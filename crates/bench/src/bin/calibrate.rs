@@ -1,0 +1,54 @@
+//! Calibration probe: verify the paper's headline phenomena emerge at
+//! the default scales before the figure benches are trusted.
+//!
+//! Prints, for the Figure 4 setting (BPPR on DBLP, Galaxy-8), the
+//! time/memory/congestion of each (workload, batches) cell, so the
+//! cost-model constants can be tuned until:
+//!   * W=1024  → 1-batch optimal,
+//!   * W=10240 → 2-batch optimal (1-batch thrashes),
+//!   * W=12288 → 4-batch optimal (1-batch overflows).
+
+use mtvc_bench::{run_cell, PaperTask, ScaledDataset};
+use mtvc_cluster::ClusterSpec;
+use mtvc_graph::Dataset;
+use mtvc_metrics::{row, Table};
+use mtvc_systems::SystemKind;
+
+fn main() {
+    let sd = ScaledDataset::load(Dataset::Dblp);
+    let cluster = sd.cluster(ClusterSpec::galaxy8());
+    println!(
+        "DBLP-like: n={} m={} scale={}  machine mem={} usable={}",
+        sd.graph.num_vertices(),
+        sd.graph.num_edges(),
+        sd.scale,
+        cluster.machine.memory,
+        cluster.machine.usable_memory()
+    );
+    let mut t = Table::new(
+        "calibration: BPPR on DBLP @ Galaxy-8",
+        &["W", "batches", "outcome", "peak_mem", "msg/round(M)", "rounds", "thrash?"],
+    );
+    for &w in &[1024u64, 4096, 10240, 12288] {
+        for &b in &[1usize, 2, 4, 8] {
+            let r = run_cell(&sd, &cluster, SystemKind::PregelPlus, PaperTask::Bppr(w), b);
+            t.row(row!(
+                w,
+                b,
+                r.outcome,
+                r.stats.peak_memory,
+                format!("{:.2}", r.stats.congestion() / 1.0e6),
+                r.stats.rounds,
+                format!(
+                    "{:.2}",
+                    r.stats
+                        .per_round
+                        .iter()
+                        .map(|x| x.duration.as_secs())
+                        .fold(0.0, f64::max)
+                )
+            ));
+        }
+    }
+    t.print();
+}

@@ -1,0 +1,35 @@
+//! Calibration diagnostic for the GraphD (out-of-core) settings: prints
+//! spill/utilization/queue behaviour for the Figure 2 and Table 3
+//! configurations so the disk-model constants can be inspected.
+//!
+//! ```sh
+//! cargo run --release -p mtvc-bench --bin probe_graphd
+//! ```
+use mtvc_bench::{run_cell, PaperTask, ScaledDataset};
+use mtvc_cluster::ClusterSpec;
+use mtvc_graph::Dataset;
+use mtvc_systems::SystemKind;
+
+fn main() {
+    let sd = ScaledDataset::load(Dataset::Dblp);
+    println!("--- Fig2 setting: GraphD BPPR(6144) @ Galaxy-8 ---");
+    let cluster = sd.cluster(ClusterSpec::galaxy8());
+    for &b in &[1usize, 2, 4, 8, 16] {
+        let r = run_cell(&sd, &cluster, SystemKind::GraphD, PaperTask::Bppr(6144), b);
+        println!(
+            "b={b:<3} outcome={:<10} spilled={:<10} util={:.2} overuseIO={:.0}s queue={:.0} rounds={}",
+            r.outcome.to_string(), r.stats.total_spilled_bytes.to_string(),
+            r.stats.max_disk_utilization, r.stats.disk_overuse.as_secs(),
+            r.stats.max_io_queue_len, r.stats.rounds);
+    }
+    println!("--- Table 3 setting: GraphD BPPR(2048) @ Galaxy-27 ---");
+    let cluster = sd.cluster(ClusterSpec::galaxy27());
+    for &b in &[1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let r = run_cell(&sd, &cluster, SystemKind::GraphD, PaperTask::Bppr(2048), b);
+        println!(
+            "b={b:<4} total={:<10} overuseNet={:.0}s overuseIO={:.0}s util={:.2} queue={:.0}",
+            r.outcome.to_string(),
+            r.stats.network_overuse.as_secs(), r.stats.disk_overuse.as_secs(),
+            r.stats.max_disk_utilization, r.stats.max_io_queue_len);
+    }
+}

@@ -1,0 +1,465 @@
+//! The cost model: resource demand → simulated time.
+//!
+//! The engine measures, per synchronous round, how much work each
+//! simulated machine must do (compute operations, bytes in/out on the
+//! network, peak memory demand, disk streaming and spill volume) and the
+//! cost model prices that demand against a [`MachineSpec`]:
+//!
+//! ```text
+//! worker_time  = max(compute + net, disk_busy) · thrash(memory)
+//! round_time   = max over workers (worker_time) + barrier + lock
+//! ```
+//!
+//! Three regimes drive the paper's findings and are modeled explicitly:
+//!
+//! * **memory-bound** (§4.3): demand above the usable capacity (~14 GB of
+//!   16 GB) triggers a thrashing multiplier that grows super-linearly
+//!   once demand exceeds *physical* capacity; far above physical
+//!   capacity the run fails with [`ChargeError::MemoryOverflow`]
+//!   (Table 2's "Overflow").
+//! * **disk-bound** (§4.4): out-of-core systems stream edges every round
+//!   and spill over-budget messages; when disk busy time exceeds the
+//!   overlapping compute+network time, the round is disk-bound and
+//!   *disk overuse* (time at 100% utilization) accrues, with the I/O
+//!   queue exploding as utilization saturates (Table 3).
+//! * **network overuse** (§4.3, §4.4): a round's message burst saturates
+//!   the NIC for `bytes/bandwidth` seconds; sustained saturation beyond
+//!   a floor counts as overuse, so smaller per-round bursts (more
+//!   batches) reduce overuse, exactly as Tables 2 and 3 observe.
+
+use crate::machine::MachineSpec;
+use mtvc_metrics::{Bytes, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Per-round resource demand, one entry per worker.
+///
+/// All quantities must already include any system-profile scaling
+/// (language CPU factors, memory object overhead): the engine owns
+/// semantics, this crate owns pricing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundDemand {
+    /// Abstract compute operations per worker.
+    pub compute_ops: Vec<f64>,
+    /// Bytes each worker sends to *other* machines this round.
+    pub net_out: Vec<Bytes>,
+    /// Bytes each worker receives from other machines this round.
+    pub net_in: Vec<Bytes>,
+    /// Peak memory demand per worker during the round.
+    pub memory: Vec<Bytes>,
+    /// Message bytes spilled to disk (out-of-core over-budget traffic).
+    pub spill: Vec<Bytes>,
+    /// Number of spilled messages (for I/O queue accounting).
+    pub spill_messages: Vec<u64>,
+    /// Unconditional disk streaming per round (e.g. GraphD streams the
+    /// edge lists from disk every round).
+    pub stream: Vec<Bytes>,
+    /// Whether a synchronization barrier ends this round.
+    pub barrier: bool,
+    /// Distributed-lock acquisitions (asynchronous engines; §4.8).
+    pub lock_ops: f64,
+}
+
+impl RoundDemand {
+    /// Demand skeleton for `workers` workers, all zeros.
+    pub fn zeros(workers: usize, barrier: bool) -> RoundDemand {
+        RoundDemand {
+            compute_ops: vec![0.0; workers],
+            net_out: vec![Bytes::ZERO; workers],
+            net_in: vec![Bytes::ZERO; workers],
+            memory: vec![Bytes::ZERO; workers],
+            spill: vec![Bytes::ZERO; workers],
+            spill_messages: vec![0; workers],
+            stream: vec![Bytes::ZERO; workers],
+            barrier,
+            lock_ops: 0.0,
+        }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.compute_ops.len()
+    }
+
+    fn validate(&self) {
+        let w = self.workers();
+        assert!(w > 0, "demand must cover at least one worker");
+        assert!(
+            self.net_out.len() == w
+                && self.net_in.len() == w
+                && self.memory.len() == w
+                && self.spill.len() == w
+                && self.spill_messages.len() == w
+                && self.stream.len() == w,
+            "demand vectors must have equal lengths"
+        );
+    }
+}
+
+/// Priced result for one round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundCharge {
+    /// Simulated duration of the round.
+    pub duration: SimTime,
+    /// Time with the NIC saturated beyond the burst floor.
+    pub network_overuse: SimTime,
+    /// Disk busy time at the busiest worker.
+    pub disk_busy: SimTime,
+    /// Time the round was purely disk-bound (100% utilization).
+    pub disk_overuse: SimTime,
+    /// Average I/O queue length at the busiest worker.
+    pub io_queue_len: f64,
+    /// Peak memory demand across workers.
+    pub peak_memory: Bytes,
+    /// Thrashing multiplier applied to the slowest worker (1.0 = none).
+    pub thrash_factor: f64,
+}
+
+/// Pricing failure: the run cannot proceed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChargeError {
+    /// A worker's memory demand exceeded physical capacity by more than
+    /// the overflow limit — the paper's "Overflow" outcome.
+    MemoryOverflow {
+        worker: usize,
+        demand: Bytes,
+        capacity: Bytes,
+    },
+}
+
+impl std::fmt::Display for ChargeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChargeError::MemoryOverflow {
+                worker,
+                demand,
+                capacity,
+            } => write!(
+                f,
+                "memory overflow on worker {worker}: demand {demand} vs capacity {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChargeError {}
+
+/// Tunable pricing constants. Defaults are calibrated so the benchmark
+/// harness reproduces the paper's figure shapes at the default dataset
+/// scale (see EXPERIMENTS.md).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Fixed barrier latency per synchronous round (seconds).
+    pub barrier_base: f64,
+    /// Additional barrier latency per machine (seconds) — sync cost
+    /// grows with the cluster (§4.8).
+    pub barrier_per_machine: f64,
+    /// NIC saturation below this many seconds per round does not count
+    /// as overuse (short bursts; see module docs).
+    pub net_overuse_floor: f64,
+    /// Thrash multiplier slope within (usable, capacity]: factor at
+    /// exactly full physical capacity is `1 + swap_mild`.
+    pub swap_mild: f64,
+    /// Super-linear exponent once demand exceeds physical capacity.
+    pub swap_exponent: f64,
+    /// Demand above `overflow_limit × capacity` is a hard Overflow.
+    pub overflow_limit: f64,
+    /// Spilled bytes are written then read back: amplification 2.0.
+    pub disk_rw_amplification: f64,
+    /// Throughput degradation once the disk is the round's bottleneck:
+    /// a saturated disk serving queued concurrent streams loses
+    /// sequential bandwidth to seeks, so disk-bound time is multiplied
+    /// by this factor (drives Table 3's saturated rows).
+    pub disk_saturation_penalty: f64,
+    /// Seconds per distributed-lock acquisition (async engines).
+    pub lock_cost_per_op: f64,
+    /// Lock cost growth per machine (more fibers ⇒ more contention).
+    pub lock_machine_coeff: f64,
+    /// Baseline in-flight I/O queue length when the disk is unsaturated.
+    pub io_queue_base: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            barrier_base: 0.05,
+            barrier_per_machine: 0.002,
+            net_overuse_floor: 2.0,
+            swap_mild: 2.0,
+            swap_exponent: 8.0,
+            overflow_limit: 1.4,
+            disk_rw_amplification: 2.0,
+            disk_saturation_penalty: 3.0,
+            lock_cost_per_op: 6.0e-7,
+            lock_machine_coeff: 0.25,
+            io_queue_base: 15.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Thrashing multiplier for memory demand `m` on `spec`.
+    /// Piecewise: 1 below usable memory; linear ramp to `1+swap_mild`
+    /// at physical capacity; power-law blow-up beyond.
+    pub fn thrash_factor(&self, m: Bytes, spec: &MachineSpec) -> f64 {
+        let usable = spec.usable_memory().as_f64();
+        let cap = spec.memory.as_f64();
+        let m = m.as_f64();
+        if m <= usable {
+            1.0
+        } else if m <= cap {
+            let span = (cap - usable).max(1.0);
+            1.0 + self.swap_mild * (m - usable) / span
+        } else {
+            (1.0 + self.swap_mild) * (m / cap).powf(self.swap_exponent)
+        }
+    }
+
+    /// Price one round of demand on a homogeneous cluster of
+    /// `spec`-machines. The number of machines is `demand.workers()`.
+    pub fn charge(&self, spec: &MachineSpec, demand: &RoundDemand) -> Result<RoundCharge, ChargeError> {
+        demand.validate();
+        let machines = demand.workers();
+        let ops_rate = spec.total_ops_per_sec().max(1.0);
+        let net_bw = spec.network_bandwidth.max(1.0);
+        let disk_bw = spec.disk_bandwidth.max(1.0);
+
+        let mut slowest = 0.0f64;
+        let mut slowest_thrash = 1.0f64;
+        let mut peak_mem = Bytes::ZERO;
+        let mut net_overuse = 0.0f64;
+        let mut max_disk_busy = 0.0f64;
+        let mut disk_overuse = 0.0f64;
+        let mut busiest_disk_worker: Option<usize> = None;
+
+        for w in 0..machines {
+            // Overflow check first: a worker that cannot hold its data
+            // fails the whole round.
+            let mem = demand.memory[w];
+            let cap = spec.memory;
+            if mem.as_f64() > cap.as_f64() * self.overflow_limit {
+                return Err(ChargeError::MemoryOverflow {
+                    worker: w,
+                    demand: mem,
+                    capacity: cap,
+                });
+            }
+            peak_mem = peak_mem.max(mem);
+
+            let compute_t = demand.compute_ops[w] / ops_rate;
+            let net_t = demand.net_out[w].as_f64().max(demand.net_in[w].as_f64()) / net_bw;
+            let mut disk_t = (demand.spill[w].as_f64() * self.disk_rw_amplification
+                + demand.stream[w].as_f64())
+                / disk_bw;
+
+            // Disk streaming overlaps compute+network; the worker is
+            // disk-bound when disk work exceeds everything else, and a
+            // saturated disk additionally loses throughput to seeks.
+            let cpu_net = compute_t + net_t;
+            if disk_t > cpu_net && disk_t > 0.0 {
+                disk_t *= self.disk_saturation_penalty;
+            }
+            let thrash = self.thrash_factor(mem, spec);
+            let worker_t = cpu_net.max(disk_t) * thrash;
+
+            if net_t > self.net_overuse_floor {
+                net_overuse = net_overuse.max(net_t - self.net_overuse_floor);
+            }
+            if disk_t > max_disk_busy {
+                max_disk_busy = disk_t;
+                busiest_disk_worker = Some(w);
+            }
+            if disk_t > cpu_net {
+                disk_overuse = disk_overuse.max((disk_t - cpu_net) * thrash);
+            }
+            if worker_t > slowest {
+                slowest = worker_t;
+                slowest_thrash = thrash;
+            }
+        }
+
+        let barrier_t = if demand.barrier {
+            self.barrier_base + self.barrier_per_machine * machines as f64
+        } else {
+            0.0
+        };
+        let lock_t = demand.lock_ops
+            * self.lock_cost_per_op
+            * (1.0 + self.lock_machine_coeff * machines as f64);
+
+        let duration = slowest + barrier_t + lock_t;
+
+        // "Overuse (I/O)" is the time spent at 100% disk utilization
+        // (§4.4). A round whose disk busy time does not dominate its
+        // duration never saturates, so its overuse is zero.
+        if duration > 0.0 && max_disk_busy / duration < 0.9 {
+            disk_overuse = 0.0;
+        }
+
+        // I/O queue at the busiest disk worker (Little's-law flavoured:
+        // explodes as utilization saturates).
+        let io_queue_len = match busiest_disk_worker {
+            Some(w) if max_disk_busy > 0.0 => {
+                let util = (max_disk_busy / duration.max(1e-12)).min(1.0);
+                let msgs = demand.spill_messages[w] as f64;
+                if util >= 0.999 {
+                    // Saturated: roughly half of the spilled messages
+                    // wait in queue on average.
+                    (msgs * 0.5).max(self.io_queue_base)
+                } else {
+                    self.io_queue_base + (util * util / (1.0 - util)) * msgs.sqrt()
+                }
+            }
+            _ => 0.0,
+        };
+
+        Ok(RoundCharge {
+            duration: SimTime::secs(duration),
+            network_overuse: SimTime::secs(net_overuse),
+            disk_busy: SimTime::secs(max_disk_busy),
+            disk_overuse: SimTime::secs(disk_overuse),
+            io_queue_len,
+            peak_memory: peak_mem,
+            thrash_factor: slowest_thrash,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> MachineSpec {
+        MachineSpec::galaxy()
+    }
+
+    fn demand_one(ops: f64, out: u64, mem: Bytes) -> RoundDemand {
+        let mut d = RoundDemand::zeros(1, true);
+        d.compute_ops[0] = ops;
+        d.net_out[0] = Bytes(out);
+        d.memory[0] = mem;
+        d
+    }
+
+    #[test]
+    fn compute_only_round() {
+        let m = CostModel::default();
+        let d = demand_one(16.0e6, 0, Bytes::gib(1));
+        let c = m.charge(&spec(), &d).unwrap();
+        let expect = 16.0e6 / spec().total_ops_per_sec();
+        let barrier = m.barrier_base + m.barrier_per_machine;
+        assert!((c.duration.as_secs() - (expect + barrier)).abs() < 1e-9);
+        assert_eq!(c.thrash_factor, 1.0);
+        assert_eq!(c.network_overuse, SimTime::ZERO);
+    }
+
+    #[test]
+    fn slowest_worker_dominates() {
+        let m = CostModel::default();
+        let mut d = RoundDemand::zeros(4, false);
+        d.compute_ops = vec![1.0e6, 2.0e6, 64.0e6, 3.0e6];
+        let c = m.charge(&spec(), &d).unwrap();
+        let expect = 64.0e6 / spec().total_ops_per_sec();
+        assert!((c.duration.as_secs() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thrash_regimes_are_ordered_and_continuous() {
+        let m = CostModel::default();
+        let s = spec();
+        let usable = s.usable_memory();
+        assert_eq!(m.thrash_factor(Bytes::gib(1), &s), 1.0);
+        assert_eq!(m.thrash_factor(usable, &s), 1.0);
+        // Just above usable: tiny ramp.
+        let just_above = Bytes(usable.get() + 1024);
+        assert!(m.thrash_factor(just_above, &s) > 1.0);
+        assert!(m.thrash_factor(just_above, &s) < 1.01);
+        // At capacity: exactly 1 + swap_mild.
+        let at_cap = m.thrash_factor(s.memory, &s);
+        assert!((at_cap - (1.0 + m.swap_mild)).abs() < 1e-9);
+        // Beyond capacity grows super-linearly but continuously.
+        let above = m.thrash_factor(s.memory.scaled(1.01), &s);
+        assert!(above > at_cap && above < at_cap * 1.2);
+        let far = m.thrash_factor(s.memory.scaled(1.3), &s);
+        assert!(far > 2.0 * at_cap);
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let m = CostModel::default();
+        let d = demand_one(1.0, 0, Bytes::gib(16).scaled(1.5));
+        match m.charge(&spec(), &d) {
+            Err(ChargeError::MemoryOverflow { worker, .. }) => assert_eq!(worker, 0),
+            other => panic!("expected overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn network_overuse_only_beyond_floor() {
+        let m = CostModel::default();
+        // 125 MB/s NIC: 100 MB burst = 0.8 s, below the 2 s floor.
+        let c = m
+            .charge(&spec(), &demand_one(0.0, 100_000_000, Bytes::ZERO))
+            .unwrap();
+        assert_eq!(c.network_overuse, SimTime::ZERO);
+        // 1 GB burst = 8 s: 6 s of overuse.
+        let c = m
+            .charge(&spec(), &demand_one(0.0, 1_000_000_000, Bytes::ZERO))
+            .unwrap();
+        assert!((c.network_overuse.as_secs() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disk_bound_round_accrues_overuse_and_queue() {
+        let m = CostModel::default();
+        let mut d = RoundDemand::zeros(1, true);
+        d.compute_ops[0] = 1.0e6; // 0.0625 s of compute
+        d.spill[0] = Bytes(600_000_000); // 1.2 GB r/w at 120 MB/s = 10 s
+        d.spill_messages[0] = 50_000;
+        let c = m.charge(&spec(), &d).unwrap();
+        assert!(c.disk_busy.as_secs() > 9.9);
+        assert!(c.disk_overuse.as_secs() > 9.0);
+        assert!(c.io_queue_len > 1000.0, "queue {}", c.io_queue_len);
+    }
+
+    #[test]
+    fn unsaturated_disk_small_queue() {
+        let m = CostModel::default();
+        let mut d = RoundDemand::zeros(1, true);
+        d.compute_ops[0] = 320.0e6; // 20 s compute
+        d.stream[0] = Bytes(120_000_000); // 1 s of streaming -> ~5% util
+        d.spill_messages[0] = 10_000;
+        let c = m.charge(&spec(), &d).unwrap();
+        assert_eq!(c.disk_overuse, SimTime::ZERO);
+        assert!(c.io_queue_len >= m.io_queue_base);
+        assert!(c.io_queue_len < m.io_queue_base + 5.0);
+    }
+
+    #[test]
+    fn async_lock_cost_grows_with_machines() {
+        let m = CostModel::default();
+        let mut d2 = RoundDemand::zeros(2, false);
+        d2.lock_ops = 1.0e6;
+        let mut d16 = RoundDemand::zeros(16, false);
+        d16.lock_ops = 1.0e6;
+        let c2 = m.charge(&spec(), &d2).unwrap();
+        let c16 = m.charge(&spec(), &d16).unwrap();
+        assert!(c16.duration > c2.duration);
+    }
+
+    #[test]
+    fn barrier_scales_with_machines() {
+        let m = CostModel::default();
+        let c8 = m.charge(&spec(), &RoundDemand::zeros(8, true)).unwrap();
+        let c27 = m.charge(&spec(), &RoundDemand::zeros(27, true)).unwrap();
+        assert!(c27.duration > c8.duration);
+        let c_async = m.charge(&spec(), &RoundDemand::zeros(8, false)).unwrap();
+        assert_eq!(c_async.duration, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_vectors_rejected() {
+        let mut d = RoundDemand::zeros(2, true);
+        d.net_out.pop();
+        let _ = CostModel::default().charge(&spec(), &d);
+    }
+}

@@ -1,0 +1,23 @@
+//! Simulated cluster substrate.
+//!
+//! The paper runs on three physical clusters (Galaxy-8, Galaxy-27,
+//! Docker-32). This crate replaces them with a deterministic resource
+//! model: machine specifications, cluster topologies, a **cost model**
+//! that converts per-round resource demand (compute operations, network
+//! bytes, memory, disk spill) into simulated seconds — including the
+//! memory-bound thrashing, overflow, and disk-bound regimes the paper's
+//! analysis hinges on — and the monetary-cost accounting of §4.6.
+//!
+//! The division of labour with `mtvc-engine`: the engine executes real
+//! vertex programs and *measures* demand; this crate *prices* demand.
+//! See DESIGN.md §4.
+
+pub mod costmodel;
+pub mod machine;
+pub mod money;
+pub mod topology;
+
+pub use costmodel::{ChargeError, CostModel, RoundCharge, RoundDemand};
+pub use machine::{DiskKind, MachineSpec};
+pub use money::MonetaryCost;
+pub use topology::ClusterSpec;

@@ -1,0 +1,161 @@
+//! Machine specifications.
+//!
+//! A [`MachineSpec`] captures the hardware attributes the paper's
+//! analysis identifies as *static system parameters* (§4): memory
+//! capacity (and the usable fraction left after the OS), core count,
+//! CPU throughput, network bandwidth, and disk kind/bandwidth.
+
+use mtvc_metrics::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Disk technology; bandwidth presets differ (Galaxy uses HDDs,
+/// Docker-32 uses SSDs — Table 1 environment description).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiskKind {
+    Hdd,
+    Ssd,
+}
+
+impl DiskKind {
+    /// Sequential streaming bandwidth in bytes/second.
+    pub fn bandwidth(self) -> f64 {
+        match self {
+            DiskKind::Hdd => 120.0e6,
+            DiskKind::Ssd => 500.0e6,
+        }
+    }
+}
+
+/// Hardware description of one (simulated) machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Physical memory capacity.
+    pub memory: Bytes,
+    /// Fraction of physical memory usable by the VC-system. The paper
+    /// measures ~14 GB usable of 16 GB (§4.3), i.e. 0.875.
+    pub usable_fraction: f64,
+    /// Physical/virtual cores available for compute threads.
+    pub cores: u32,
+    /// Abstract compute operations per second *per core*. One operation
+    /// corresponds to handling one message or one vertex activation.
+    pub cpu_ops_per_sec: f64,
+    /// NIC bandwidth in bytes/second (full duplex per direction).
+    pub network_bandwidth: f64,
+    /// Disk technology.
+    pub disk: DiskKind,
+    /// Disk streaming bandwidth in bytes/second. Defaults to the disk
+    /// kind's preset but kept explicit so scaling can adjust it.
+    pub disk_bandwidth: f64,
+    /// Cloud credit rate in credits per machine-second (0 for owned
+    /// local clusters; only Docker-32 is metered in the paper).
+    pub credit_rate: f64,
+}
+
+impl MachineSpec {
+    /// The Galaxy machines: 16 GB memory, 8 Intel i7-3770 cores, HDD,
+    /// gigabit LAN, no cloud metering.
+    pub fn galaxy() -> MachineSpec {
+        MachineSpec {
+            memory: Bytes::gib(16),
+            usable_fraction: 0.875,
+            cores: 8,
+            cpu_ops_per_sec: 1.2e6,
+            network_bandwidth: 125.0e6, // 1 Gbps
+            disk: DiskKind::Hdd,
+            disk_bandwidth: DiskKind::Hdd.bandwidth(),
+            credit_rate: 0.0,
+        }
+    }
+
+    /// The Docker-32 cloud nodes: 16 GB memory, 15 virtual Xeon cores,
+    /// SSD, 10 Gbps fabric, metered per machine-second.
+    pub fn docker() -> MachineSpec {
+        MachineSpec {
+            memory: Bytes::gib(16),
+            usable_fraction: 0.875,
+            cores: 15,
+            cpu_ops_per_sec: 1.4e6,
+            network_bandwidth: 1.25e9, // 10 Gbps
+            disk: DiskKind::Ssd,
+            disk_bandwidth: DiskKind::Ssd.bandwidth(),
+            credit_rate: 6.0e-4,
+        }
+    }
+
+    /// Memory usable by the VC-system (capacity minus the OS /
+    /// bootstrap reservation).
+    pub fn usable_memory(&self) -> Bytes {
+        self.memory.scaled(self.usable_fraction)
+    }
+
+    /// Aggregate compute throughput (ops/second across all cores).
+    pub fn total_ops_per_sec(&self) -> f64 {
+        self.cpu_ops_per_sec * self.cores as f64
+    }
+
+    /// Scale every capacity/rate by `1/sigma` where `sigma` is the
+    /// dataset scale divisor. A σ-scaled dataset on a σ-scaled machine
+    /// crosses memory/bandwidth thresholds at the same *workload*
+    /// values as the paper's full-size setup, and simulated times stay
+    /// in the paper's numeric range.
+    pub fn scaled(&self, sigma: f64) -> MachineSpec {
+        assert!(sigma >= 1.0, "scale divisor must be >= 1, got {sigma}");
+        MachineSpec {
+            memory: self.memory.scaled(1.0 / sigma),
+            usable_fraction: self.usable_fraction,
+            cores: self.cores,
+            cpu_ops_per_sec: self.cpu_ops_per_sec / sigma,
+            network_bandwidth: self.network_bandwidth / sigma,
+            disk: self.disk,
+            disk_bandwidth: self.disk_bandwidth / sigma,
+            credit_rate: self.credit_rate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn galaxy_matches_table1() {
+        let m = MachineSpec::galaxy();
+        assert_eq!(m.memory, Bytes::gib(16));
+        assert_eq!(m.cores, 8);
+        assert_eq!(m.disk, DiskKind::Hdd);
+        assert_eq!(m.credit_rate, 0.0);
+    }
+
+    #[test]
+    fn docker_matches_table1() {
+        let m = MachineSpec::docker();
+        assert_eq!(m.cores, 15);
+        assert_eq!(m.disk, DiskKind::Ssd);
+        assert!(m.credit_rate > 0.0);
+    }
+
+    #[test]
+    fn usable_memory_is_14_of_16_gb() {
+        let m = MachineSpec::galaxy();
+        assert_eq!(m.usable_memory(), Bytes::gib(14));
+    }
+
+    #[test]
+    fn scaling_divides_capacities() {
+        let m = MachineSpec::galaxy().scaled(256.0);
+        assert_eq!(m.memory, Bytes::gib(16).scaled(1.0 / 256.0));
+        assert_eq!(m.cores, 8);
+        assert!((m.network_bandwidth - 125.0e6 / 256.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale divisor")]
+    fn upscaling_rejected() {
+        MachineSpec::galaxy().scaled(0.5);
+    }
+
+    #[test]
+    fn disk_bandwidths_ordered() {
+        assert!(DiskKind::Ssd.bandwidth() > DiskKind::Hdd.bandwidth());
+    }
+}

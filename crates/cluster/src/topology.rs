@@ -1,0 +1,113 @@
+//! Cluster topologies and the three presets of Table 1.
+
+use crate::machine::MachineSpec;
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous cluster: `machines` identical [`MachineSpec`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    pub name: String,
+    pub machines: usize,
+    pub machine: MachineSpec,
+}
+
+impl ClusterSpec {
+    pub fn new(name: impl Into<String>, machines: usize, machine: MachineSpec) -> ClusterSpec {
+        assert!(machines > 0, "cluster needs at least one machine");
+        ClusterSpec {
+            name: name.into(),
+            machines,
+            machine,
+        }
+    }
+
+    /// Galaxy-8: 8 local machines (Table 1).
+    pub fn galaxy8() -> ClusterSpec {
+        ClusterSpec::new("Galaxy-8", 8, MachineSpec::galaxy())
+    }
+
+    /// Galaxy-27: 27 local machines (Table 1).
+    pub fn galaxy27() -> ClusterSpec {
+        ClusterSpec::new("Galaxy-27", 27, MachineSpec::galaxy())
+    }
+
+    /// Docker-32: 32 cloud nodes (Table 1).
+    pub fn docker32() -> ClusterSpec {
+        ClusterSpec::new("Docker-32", 32, MachineSpec::docker())
+    }
+
+    /// A Galaxy-style cluster with an arbitrary machine count — the
+    /// paper's machine-scaling experiments use 1/2/4/8/16/27.
+    pub fn galaxy(machines: usize) -> ClusterSpec {
+        ClusterSpec::new(format!("Galaxy-{machines}"), machines, MachineSpec::galaxy())
+    }
+
+    /// A Docker-style cluster with an arbitrary machine count.
+    pub fn docker(machines: usize) -> ClusterSpec {
+        ClusterSpec::new(format!("Docker-{machines}"), machines, MachineSpec::docker())
+    }
+
+    /// Scale machine capacities to match a σ-scaled dataset (see
+    /// [`MachineSpec::scaled`]).
+    pub fn scaled(&self, sigma: f64) -> ClusterSpec {
+        ClusterSpec {
+            name: self.name.clone(),
+            machines: self.machines,
+            machine: self.machine.scaled(sigma),
+        }
+    }
+
+    /// Total memory across the cluster.
+    pub fn total_memory(&self) -> mtvc_metrics::Bytes {
+        self.machine.memory * self.machines as u64
+    }
+}
+
+impl std::fmt::Display for ClusterSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} x {} mem, {} cores)",
+            self.name, self.machines, self.machine.memory, self.machine.cores
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvc_metrics::Bytes;
+
+    #[test]
+    fn presets_match_table1() {
+        assert_eq!(ClusterSpec::galaxy8().machines, 8);
+        assert_eq!(ClusterSpec::galaxy27().machines, 27);
+        assert_eq!(ClusterSpec::docker32().machines, 32);
+        assert_eq!(ClusterSpec::docker32().machine.cores, 15);
+    }
+
+    #[test]
+    fn total_memory_sums() {
+        assert_eq!(ClusterSpec::galaxy8().total_memory(), Bytes::gib(128));
+    }
+
+    #[test]
+    fn scaled_cluster_keeps_count() {
+        let c = ClusterSpec::galaxy27().scaled(256.0);
+        assert_eq!(c.machines, 27);
+        assert_eq!(c.machine.memory, Bytes::gib(16).scaled(1.0 / 256.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn zero_machines_rejected() {
+        ClusterSpec::new("bad", 0, MachineSpec::galaxy());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = ClusterSpec::galaxy8().to_string();
+        assert!(s.contains("Galaxy-8"));
+        assert!(s.contains("8 x"));
+    }
+}

@@ -1,0 +1,352 @@
+//! The batch executor: sequential batches, shared residual memory.
+//!
+//! Batches run one after another on the same cluster; the intermediate
+//! results of earlier batches stay resident ("the intermediate results
+//! of the i-th batch have to be stored for final result aggregation" —
+//! §5), which is the **residual memory** that §4.5 and §4.7 identify as
+//! a first-order effect on the optimal batch scheme.
+
+use crate::schedule::BatchSchedule;
+use crate::task::{select_sources, Task};
+use mtvc_cluster::{ClusterSpec, MonetaryCost};
+use mtvc_engine::{EngineConfig, Runner, VertexProgram};
+use mtvc_graph::partition::Partition;
+use mtvc_graph::{Graph, VertexId};
+use mtvc_metrics::{RunOutcome, RunStats, SimTime, OVERLOAD_CUTOFF};
+use mtvc_systems::SystemKind;
+use mtvc_tasks::{
+    BkhsBroadcastProgram, BkhsProgram, BpprProgram, BpprPushProgram, MsspBroadcastProgram,
+    MsspProgram,
+};
+
+/// Specification of one multi-processing job.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    pub task: Task,
+    pub system: SystemKind,
+    pub cluster: ClusterSpec,
+    pub schedule: BatchSchedule,
+    pub seed: u64,
+    /// Whole-job time cutoff (the paper's 6000 s).
+    pub cutoff: SimTime,
+}
+
+impl JobSpec {
+    pub fn new(
+        task: Task,
+        system: SystemKind,
+        cluster: ClusterSpec,
+        schedule: BatchSchedule,
+    ) -> JobSpec {
+        JobSpec {
+            task,
+            system,
+            cluster,
+            schedule,
+            seed: 0x0B57,
+            cutoff: OVERLOAD_CUTOFF,
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Outcome of one batch within a job.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    pub workload: u64,
+    pub outcome: RunOutcome,
+    pub time: SimTime,
+    pub peak_memory: mtvc_metrics::Bytes,
+    /// Total residual bytes across workers after this batch completed.
+    pub residual_after: u64,
+    /// Residual bytes on the most-loaded worker after this batch — the
+    /// `M_r^*` quantity the §5 tuning model fits.
+    pub residual_max_worker: u64,
+}
+
+/// Aggregate result of a multi-processing job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    pub outcome: RunOutcome,
+    pub stats: RunStats,
+    pub per_batch: Vec<BatchOutcome>,
+    pub cost: MonetaryCost,
+}
+
+impl JobResult {
+    /// Simulated seconds to plot (cutoff height for failed runs, as the
+    /// paper's figures do).
+    pub fn plot_time(&self) -> SimTime {
+        self.outcome.plot_time()
+    }
+}
+
+/// Execute a multi-processing job batch by batch.
+pub fn run_job(graph: &Graph, spec: &JobSpec) -> JobResult {
+    assert_eq!(
+        spec.schedule.total(),
+        spec.task.workload(),
+        "schedule total must equal the task workload"
+    );
+    assert!(
+        spec.task.workload() <= spec.task.max_workload(graph),
+        "workload exceeds the graph's capacity for this task"
+    );
+
+    let partition = spec
+        .system
+        .partitioner()
+        .partition(graph, spec.cluster.machines);
+    let profile = spec.system.profile(&spec.cluster.machine);
+
+    // Source-based tasks: one global source pool, sliced per batch so
+    // batches never repeat a unit task.
+    let source_pool = match spec.task {
+        Task::Bppr { .. } => Vec::new(),
+        Task::Mssp { num_sources } | Task::Bkhs { num_sources, .. } => {
+            select_sources(graph, num_sources, spec.seed ^ 0xA5A5)
+        }
+    };
+
+    let mut residual = vec![0u64; spec.cluster.machines];
+    let mut stats = RunStats::new();
+    let mut per_batch = Vec::with_capacity(spec.schedule.len());
+    let mut elapsed = SimTime::ZERO;
+    let mut outcome = RunOutcome::Completed(SimTime::ZERO);
+    let mut source_offset = 0usize;
+
+    for (i, &w) in spec.schedule.batches().iter().enumerate() {
+        let mut cfg = EngineConfig::new(spec.cluster.clone(), profile.clone());
+        cfg.seed = spec.seed.wrapping_add(i as u64 + 1);
+        cfg.cutoff = spec.cutoff - elapsed;
+        cfg.residual_bytes = residual.clone();
+
+        let batch_sources: &[VertexId] = match spec.task {
+            Task::Bppr { .. } => &[],
+            _ => {
+                let s = &source_pool[source_offset..source_offset + w as usize];
+                source_offset += w as usize;
+                s
+            }
+        };
+
+        let batch = run_one_batch(graph, partition.clone(), cfg, spec, w, batch_sources);
+        elapsed += batch.outcome.plot_time().min(spec.cutoff - elapsed);
+        stats.absorb(&batch.stats);
+        for (r, d) in residual.iter_mut().zip(&batch.residual_delta) {
+            *r += d;
+        }
+        let done = !batch.outcome.is_completed();
+        per_batch.push(BatchOutcome {
+            workload: w,
+            outcome: batch.outcome,
+            time: batch.outcome.plot_time(),
+            peak_memory: batch.stats.peak_memory,
+            residual_after: residual.iter().sum(),
+            residual_max_worker: residual.iter().copied().max().unwrap_or(0),
+        });
+        if done {
+            outcome = batch.outcome;
+            break;
+        }
+        if elapsed > spec.cutoff {
+            outcome = RunOutcome::Overload;
+            break;
+        }
+        outcome = RunOutcome::Completed(elapsed);
+    }
+
+    let cost = MonetaryCost::of_run(outcome, &spec.cluster);
+    JobResult {
+        outcome,
+        stats,
+        per_batch,
+        cost,
+    }
+}
+
+struct BatchRun {
+    outcome: RunOutcome,
+    stats: RunStats,
+    residual_delta: Vec<u64>,
+}
+
+fn run_one_batch(
+    graph: &Graph,
+    partition: Partition,
+    cfg: EngineConfig,
+    spec: &JobSpec,
+    workload: u64,
+    sources: &[VertexId],
+) -> BatchRun {
+    let broadcast = spec.system.is_broadcast();
+    match spec.task {
+        Task::Bppr { alpha, .. } => {
+            if broadcast {
+                let prog = BpprPushProgram::new(workload, alpha);
+                execute(graph, partition, cfg, &prog, |st| {
+                    // Residual: fractional stop masses, one f64 record
+                    // per (vertex, source) entry.
+                    st.mass.len() as u64 * 16
+                })
+            } else {
+                let prog = BpprProgram::new(workload, alpha);
+                execute(graph, partition, cfg, &prog, |st| {
+                    // §5: "we need to store the ending nodes of every
+                    // random walk computed in each batch" — residual
+                    // scales with the walk count, not just distinct
+                    // entries.
+                    st.stops.values().sum::<u64>() * 8 + st.stops.len() as u64 * 16
+                })
+            }
+        }
+        Task::Mssp { .. } => {
+            if broadcast {
+                let prog = MsspBroadcastProgram::new(sources.to_vec());
+                execute(graph, partition, cfg, &prog, |st| st.dist.len() as u64 * 16)
+            } else {
+                let prog = MsspProgram::new(sources.to_vec());
+                execute(graph, partition, cfg, &prog, |st| st.dist.len() as u64 * 16)
+            }
+        }
+        Task::Bkhs { k, .. } => {
+            // Residual: bitmap-encoded reach flags, ~1 byte per
+            // (query, vertex) flag (see mtvc-tasks::bkhs docs).
+            if broadcast {
+                let prog = BkhsBroadcastProgram::new(sources.to_vec(), k);
+                execute(graph, partition, cfg, &prog, |st| st.reached.len() as u64)
+            } else {
+                let prog = BkhsProgram::new(sources.to_vec(), k);
+                execute(graph, partition, cfg, &prog, |st| st.reached.len() as u64)
+            }
+        }
+    }
+}
+
+/// Run one program and fold its states into per-worker residual bytes.
+fn execute<P: VertexProgram>(
+    graph: &Graph,
+    partition: Partition,
+    cfg: EngineConfig,
+    program: &P,
+    residual_of: impl Fn(&P::State) -> u64,
+) -> BatchRun {
+    let workers = partition.num_workers();
+    let owner: Vec<u16> = graph.vertices().map(|v| partition.owner_of(v)).collect();
+    let runner = Runner::with_partition(graph, partition, cfg);
+    let result = runner.run(program);
+    let mut residual_delta = vec![0u64; workers];
+    for (v, state) in result.states.iter().enumerate() {
+        residual_delta[owner[v] as usize] += residual_of(state);
+    }
+    BatchRun {
+        outcome: result.outcome,
+        stats: result.stats,
+        residual_delta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvc_graph::generators;
+
+    fn small_graph() -> Graph {
+        generators::power_law(200, 900, 2.4, 17)
+    }
+
+    fn spec(task: Task, batches: usize) -> JobSpec {
+        JobSpec::new(
+            task,
+            SystemKind::PregelPlus,
+            ClusterSpec::galaxy(4),
+            BatchSchedule::equal(task.workload(), batches),
+        )
+    }
+
+    #[test]
+    fn bppr_job_completes_and_accumulates_residual() {
+        let g = small_graph();
+        let r = run_job(&g, &spec(Task::bppr(32), 2));
+        assert!(r.outcome.is_completed());
+        assert_eq!(r.per_batch.len(), 2);
+        assert!(r.per_batch[0].residual_after > 0);
+        assert!(r.per_batch[1].residual_after > r.per_batch[0].residual_after);
+        assert!(r.stats.total_messages_sent > 0);
+    }
+
+    #[test]
+    fn mssp_job_runs_all_source_batches() {
+        let g = small_graph();
+        let r = run_job(&g, &spec(Task::mssp(16), 4));
+        assert!(r.outcome.is_completed());
+        assert_eq!(r.per_batch.len(), 4);
+        let total: u64 = r.per_batch.iter().map(|b| b.workload).sum();
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn bkhs_job_completes() {
+        let g = small_graph();
+        let r = run_job(&g, &spec(Task::bkhs(8), 2));
+        assert!(r.outcome.is_completed());
+    }
+
+    #[test]
+    fn mirror_system_runs_broadcast_variants() {
+        let g = small_graph();
+        let mut s = spec(Task::bppr(8), 2);
+        s.system = SystemKind::PregelPlusMirror;
+        let r = run_job(&g, &s);
+        assert!(r.outcome.is_completed(), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn batch_times_sum_to_job_time() {
+        let g = small_graph();
+        let r = run_job(&g, &spec(Task::bppr(16), 4));
+        let sum: f64 = r.per_batch.iter().map(|b| b.time.as_secs()).sum();
+        match r.outcome {
+            RunOutcome::Completed(t) => assert!((t.as_secs() - sum).abs() < 1e-6),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule total")]
+    fn mismatched_schedule_rejected() {
+        let g = small_graph();
+        let mut s = spec(Task::bppr(16), 2);
+        s.schedule = BatchSchedule::equal(10, 2);
+        run_job(&g, &s);
+    }
+
+    #[test]
+    fn local_cluster_jobs_cost_nothing() {
+        let g = small_graph();
+        let r = run_job(&g, &spec(Task::bppr(8), 1));
+        assert_eq!(r.cost.credits, 0.0);
+    }
+
+    #[test]
+    fn cloud_jobs_are_metered() {
+        let g = small_graph();
+        let mut s = spec(Task::bppr(8), 1);
+        s.cluster = ClusterSpec::docker(4);
+        let r = run_job(&g, &s);
+        assert!(r.cost.credits > 0.0);
+    }
+
+    #[test]
+    fn determinism_across_invocations() {
+        let g = small_graph();
+        let a = run_job(&g, &spec(Task::bppr(16), 2));
+        let b = run_job(&g, &spec(Task::bppr(16), 2));
+        assert_eq!(a.stats.total_messages_sent, b.stats.total_messages_sent);
+        assert_eq!(a.plot_time(), b.plot_time());
+    }
+}

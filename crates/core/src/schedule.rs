@@ -1,0 +1,150 @@
+//! Batch schedules — the round–congestion tradeoff knob.
+//!
+//! §1: "suppose we need to compute m queries, then we have a large
+//! spectrum of round-congestion tradeoff, by computing approximately
+//! m/x queries for x batches". A [`BatchSchedule`] lists the per-batch
+//! workloads; batches execute sequentially while the unit tasks within
+//! a batch run concurrently.
+
+use serde::{Deserialize, Serialize};
+
+/// A division of a total workload into sequential batches.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchSchedule {
+    batches: Vec<u64>,
+}
+
+impl BatchSchedule {
+    /// `k` near-equal batches (the paper's *k-batch* mechanism).
+    /// Remainders spread over the first batches so sizes differ by at
+    /// most one.
+    pub fn equal(total: u64, k: usize) -> BatchSchedule {
+        assert!(k >= 1, "at least one batch");
+        assert!(total >= 1, "workload must be positive");
+        let k = (k as u64).min(total) as usize;
+        let base = total / k as u64;
+        let extra = (total % k as u64) as usize;
+        let batches = (0..k)
+            .map(|i| base + u64::from(i < extra))
+            .collect();
+        BatchSchedule { batches }
+    }
+
+    /// 1-batch — all unit tasks processed concurrently.
+    pub fn full_parallelism(total: u64) -> BatchSchedule {
+        BatchSchedule::equal(total, 1)
+    }
+
+    /// An explicit, possibly unequal schedule (tuning output, Fig 9).
+    pub fn explicit(batches: Vec<u64>) -> BatchSchedule {
+        assert!(!batches.is_empty(), "schedule cannot be empty");
+        assert!(batches.iter().all(|&b| b > 0), "batches must be positive");
+        BatchSchedule { batches }
+    }
+
+    /// Two batches `W/2 + Δ/2` and `W/2 − Δ/2` (Figure 9's sweep over
+    /// `Δ = W₁ − W₂`). `delta` must keep both batches positive.
+    pub fn two_batch_delta(total: u64, delta: i64) -> BatchSchedule {
+        // W1 = (W + Δ)/2 keeps the realized W1 − W2 within one unit of
+        // the requested Δ for any parity combination.
+        let w1 = (total as i64 + delta) / 2;
+        let w2 = total as i64 - w1;
+        assert!(
+            w1 > 0 && w2 > 0,
+            "delta {delta} leaves a non-positive batch (total {total})"
+        );
+        BatchSchedule {
+            batches: vec![w1 as u64, w2 as u64],
+        }
+    }
+
+    pub fn batches(&self) -> &[u64] {
+        &self.batches
+    }
+
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    pub fn total(&self) -> u64 {
+        self.batches.iter().sum()
+    }
+
+    /// Is this Full-Parallelism (a single batch)?
+    pub fn is_full_parallelism(&self) -> bool {
+        self.batches.len() == 1
+    }
+}
+
+impl std::fmt::Display for BatchSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_full_parallelism() {
+            write!(f, "Full-Parallelism({})", self.total())
+        } else {
+            write!(f, "{:?}", self.batches)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_batches_cover_total() {
+        let s = BatchSchedule::equal(10, 4);
+        assert_eq!(s.batches(), &[3, 3, 2, 2]);
+        assert_eq!(s.total(), 10);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn equal_caps_batch_count_at_total() {
+        let s = BatchSchedule::equal(3, 16);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.batches(), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn full_parallelism_is_one_batch() {
+        let s = BatchSchedule::full_parallelism(100);
+        assert!(s.is_full_parallelism());
+        assert_eq!(s.batches(), &[100]);
+    }
+
+    #[test]
+    fn two_batch_delta_splits() {
+        let s = BatchSchedule::two_batch_delta(12800, 2560);
+        assert_eq!(s.batches(), &[7680, 5120]);
+        assert_eq!(s.total(), 12800);
+        let neg = BatchSchedule::two_batch_delta(12800, -2560);
+        assert_eq!(neg.batches(), &[5120, 7680]);
+        let zero = BatchSchedule::two_batch_delta(10, 0);
+        assert_eq!(zero.batches(), &[5, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive batch")]
+    fn extreme_delta_rejected() {
+        BatchSchedule::two_batch_delta(100, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn explicit_rejects_zero_batches() {
+        BatchSchedule::explicit(vec![5, 0, 3]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            BatchSchedule::full_parallelism(7).to_string(),
+            "Full-Parallelism(7)"
+        );
+        assert_eq!(BatchSchedule::equal(4, 2).to_string(), "[2, 2]");
+    }
+}

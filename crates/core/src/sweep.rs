@@ -1,0 +1,127 @@
+//! Batch-count sweeps: the time-vs-#batches series of Figures 2–8.
+
+use crate::executor::{run_job, JobResult, JobSpec};
+use crate::schedule::BatchSchedule;
+use crate::task::Task;
+use mtvc_cluster::ClusterSpec;
+use mtvc_graph::Graph;
+use mtvc_metrics::Series;
+use mtvc_systems::SystemKind;
+
+/// One sweep measurement.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    pub batches: usize,
+    pub result: JobResult,
+}
+
+/// The doubling batch counts the paper plots: 1, 2, 4, … up to `max`.
+pub fn doubling_batches(max: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut b = 1usize;
+    while b <= max {
+        v.push(b);
+        b *= 2;
+    }
+    v
+}
+
+/// Run the same (task, system, cluster) under each batch count.
+pub fn batch_sweep(
+    graph: &Graph,
+    task: Task,
+    system: SystemKind,
+    cluster: &ClusterSpec,
+    batch_counts: &[usize],
+    seed: u64,
+) -> Vec<SweepPoint> {
+    batch_counts
+        .iter()
+        .map(|&k| {
+            let spec = JobSpec::new(
+                task,
+                system,
+                cluster.clone(),
+                BatchSchedule::equal(task.workload(), k),
+            )
+            .with_seed(seed);
+            SweepPoint {
+                batches: k,
+                result: run_job(graph, &spec),
+            }
+        })
+        .collect()
+}
+
+/// Plot-time series of a sweep (cutoff height for failed runs).
+pub fn sweep_series(label: impl Into<String>, points: &[SweepPoint]) -> Series {
+    Series::with_values(
+        label,
+        points
+            .iter()
+            .map(|p| p.result.plot_time().as_secs())
+            .collect(),
+    )
+}
+
+/// Batch count achieving the minimum time ("the optimal batch" — the
+/// optimum among the doubling batches, §4).
+pub fn optimal_batches(points: &[SweepPoint]) -> Option<usize> {
+    sweep_series("", points)
+        .argmin()
+        .map(|i| points[i].batches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvc_graph::generators;
+
+    #[test]
+    fn doubling_sequence() {
+        assert_eq!(doubling_batches(16), vec![1, 2, 4, 8, 16]);
+        assert_eq!(doubling_batches(1), vec![1]);
+        assert_eq!(doubling_batches(5), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn sweep_runs_each_batch_count() {
+        let g = generators::power_law(150, 600, 2.4, 23);
+        let points = batch_sweep(
+            &g,
+            Task::bppr(16),
+            SystemKind::PregelPlus,
+            &ClusterSpec::galaxy(4),
+            &[1, 2, 4],
+            7,
+        );
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].batches, 1);
+        assert_eq!(points[2].batches, 4);
+        for p in &points {
+            assert!(p.result.outcome.is_completed());
+        }
+        let series = sweep_series("t", &points);
+        assert_eq!(series.len(), 3);
+        assert!(optimal_batches(&points).is_some());
+    }
+
+    #[test]
+    fn more_batches_more_rounds() {
+        let g = generators::power_law(150, 600, 2.4, 29);
+        let points = batch_sweep(
+            &g,
+            Task::bppr(16),
+            SystemKind::PregelPlus,
+            &ClusterSpec::galaxy(2),
+            &[1, 4],
+            9,
+        );
+        // The round–congestion tradeoff: 4 batches take more rounds
+        // and send the same total messages with lower congestion.
+        let r1 = &points[0].result.stats;
+        let r4 = &points[1].result.stats;
+        assert!(r4.rounds > r1.rounds, "{} vs {}", r4.rounds, r1.rounds);
+        assert!(r4.congestion() < r1.congestion());
+    }
+}

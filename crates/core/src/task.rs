@@ -1,0 +1,182 @@
+//! The three benchmark multi-processing tasks and their workload units.
+
+use mtvc_graph::hash::mix64;
+use mtvc_graph::{Graph, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// A multi-processing benchmark task (§2.3).
+///
+/// The *workload* unit differs per task, exactly as in the paper:
+/// BPPR counts random walks per source node; MSSP and BKHS count source
+/// nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Task {
+    /// Batch Personalized PageRank: `walks_per_node` α-decay walks from
+    /// every vertex.
+    Bppr { walks_per_node: u64, alpha: f64 },
+    /// Multi-source shortest paths from `num_sources` vertices.
+    Mssp { num_sources: u64 },
+    /// Batch k-hop search from `num_sources` vertices.
+    Bkhs { num_sources: u64, k: u32 },
+}
+
+impl Task {
+    /// BPPR with the paper's default α = 0.2.
+    pub fn bppr(walks_per_node: u64) -> Task {
+        Task::Bppr {
+            walks_per_node,
+            alpha: 0.2,
+        }
+    }
+
+    pub fn mssp(num_sources: u64) -> Task {
+        Task::Mssp { num_sources }
+    }
+
+    /// BKHS with the common k = 2 (two-hop ego-network analysis,
+    /// §2.3's friend-recommendation use case).
+    pub fn bkhs(num_sources: u64) -> Task {
+        Task::Bkhs {
+            num_sources,
+            k: 2,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Task::Bppr { .. } => "BPPR",
+            Task::Mssp { .. } => "MSSP",
+            Task::Bkhs { .. } => "BKHS",
+        }
+    }
+
+    /// Total workload in this task's unit.
+    pub fn workload(&self) -> u64 {
+        match *self {
+            Task::Bppr { walks_per_node, .. } => walks_per_node,
+            Task::Mssp { num_sources } => num_sources,
+            Task::Bkhs { num_sources, .. } => num_sources,
+        }
+    }
+
+    /// Same task shape with a different workload (used to slice
+    /// batches and to probe light training workloads).
+    pub fn with_workload(&self, w: u64) -> Task {
+        match *self {
+            Task::Bppr { alpha, .. } => Task::Bppr {
+                walks_per_node: w,
+                alpha,
+            },
+            Task::Mssp { .. } => Task::Mssp { num_sources: w },
+            Task::Bkhs { k, .. } => Task::Bkhs { num_sources: w, k },
+        }
+    }
+
+    /// Upper bound on the workload for this task on `g`. Unbounded:
+    /// BPPR walks are per-node, and source-based tasks address unit
+    /// tasks by query id, so sources may repeat.
+    pub fn max_workload(&self, _g: &Graph) -> u64 {
+        u64::MAX
+    }
+}
+
+impl std::fmt::Display for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}({})", self.name(), self.workload())
+    }
+}
+
+/// Deterministically choose `count` source vertices for source-based
+/// tasks: a seeded pseudo-shuffle of the vertex ids, cycled when
+/// `count` exceeds the vertex count (each repetition is a distinct
+/// unit-task query). Batch `i` takes the slice `[offset, offset+w_i)`,
+/// so batches never share a query.
+pub fn select_sources(g: &Graph, count: u64, seed: u64) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    assert!(n > 0, "cannot select sources from an empty graph");
+    let mut ids: Vec<VertexId> = g.vertices().collect();
+    // Seeded shuffle via sort-by-hash (deterministic, uniform enough
+    // for source selection).
+    ids.sort_by_key(|&v| mix64(seed ^ (v as u64).wrapping_mul(0x517C_C1B7_2722_0A95)));
+    (0..count as usize).map(|i| ids[i % n]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvc_graph::generators;
+
+    #[test]
+    fn workload_units_per_task() {
+        assert_eq!(Task::bppr(1024).workload(), 1024);
+        assert_eq!(Task::mssp(16).workload(), 16);
+        assert_eq!(Task::bkhs(9).workload(), 9);
+        assert_eq!(Task::bppr(10).name(), "BPPR");
+    }
+
+    #[test]
+    fn with_workload_preserves_shape() {
+        let t = Task::Bppr {
+            walks_per_node: 5,
+            alpha: 0.3,
+        };
+        match t.with_workload(100) {
+            Task::Bppr {
+                walks_per_node,
+                alpha,
+            } => {
+                assert_eq!(walks_per_node, 100);
+                assert_eq!(alpha, 0.3);
+            }
+            _ => panic!("shape changed"),
+        }
+        match Task::bkhs(4).with_workload(7) {
+            Task::Bkhs { num_sources, k } => {
+                assert_eq!((num_sources, k), (7, 2));
+            }
+            _ => panic!("shape changed"),
+        }
+    }
+
+    #[test]
+    fn source_selection_is_deterministic_and_distinct() {
+        let g = generators::ring(100, true);
+        let a = select_sources(&g, 20, 7);
+        let b = select_sources(&g, 20, 7);
+        assert_eq!(a, b);
+        // Below the vertex count, sources are distinct.
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+        let c = select_sources(&g, 20, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn source_prefix_property() {
+        // Selecting more sources extends, not reshuffles, the prefix —
+        // so batch slices of a bigger selection stay consistent.
+        let g = generators::ring(50, true);
+        let small = select_sources(&g, 10, 3);
+        let large = select_sources(&g, 25, 3);
+        assert_eq!(&large[..10], &small[..]);
+    }
+
+    #[test]
+    fn oversubscribed_sources_cycle() {
+        let g = generators::ring(10, true);
+        let s = select_sources(&g, 25, 0);
+        assert_eq!(s.len(), 25);
+        // The cycle repeats the shuffled prefix.
+        assert_eq!(s[0], s[10]);
+        assert_eq!(s[4], s[14]);
+    }
+
+    #[test]
+    fn max_workload_semantics() {
+        let g = generators::ring(10, true);
+        assert_eq!(Task::bppr(1).max_workload(&g), u64::MAX);
+        assert_eq!(Task::mssp(1).max_workload(&g), u64::MAX);
+    }
+}

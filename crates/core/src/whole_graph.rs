@@ -1,0 +1,154 @@
+//! Whole-graph access mode (§4.9 "Alternative Graph Partitioning",
+//! Figure 10).
+//!
+//! Each machine holds a replica of the entire graph; the *workload* is
+//! split evenly across machines instead of the vertices. Inter-machine
+//! communication disappears during the algorithm, but each machine pays
+//! the full graph's memory footprint, and a final aggregation combines
+//! the per-machine partial results (the upper bar segments of Fig 10).
+
+use crate::executor::{run_job, JobResult, JobSpec};
+use crate::schedule::BatchSchedule;
+use crate::task::Task;
+use mtvc_cluster::{ClusterSpec, MonetaryCost};
+use mtvc_graph::Graph;
+use mtvc_metrics::{RunOutcome, SimTime};
+use mtvc_systems::SystemKind;
+
+/// Result of a whole-graph-mode execution.
+#[derive(Debug, Clone)]
+pub struct WholeGraphResult {
+    /// The per-machine algorithm phase (identical machines; simulated
+    /// once).
+    pub algorithm: JobResult,
+    /// Final cross-machine aggregation of partial results.
+    pub aggregation: SimTime,
+    /// Combined outcome (algorithm + aggregation vs the cutoff).
+    pub outcome: RunOutcome,
+    pub cost: MonetaryCost,
+}
+
+impl WholeGraphResult {
+    /// Algorithm-phase plot time (lower bar segment).
+    pub fn algorithm_time(&self) -> SimTime {
+        self.algorithm.plot_time()
+    }
+
+    /// Total plot time.
+    pub fn total_time(&self) -> SimTime {
+        self.outcome.plot_time()
+    }
+}
+
+/// Execute `task` in whole-graph mode on `cluster` with `num_batches`
+/// equal batches.
+///
+/// Every machine runs the same single-worker VC-system over the full
+/// graph with `workload / machines` of the unit tasks; since machines
+/// are statistically identical, one is simulated and its time taken as
+/// the phase time. Aggregation ships every machine's partial results to
+/// a master and merges them.
+pub fn run_whole_graph(
+    graph: &Graph,
+    task: Task,
+    system: SystemKind,
+    cluster: &ClusterSpec,
+    num_batches: usize,
+    seed: u64,
+) -> WholeGraphResult {
+    let machines = cluster.machines.max(1);
+    let per_machine_workload = (task.workload() / machines as u64).max(1);
+    let local_task = task.with_workload(per_machine_workload);
+    let single = ClusterSpec::new(
+        format!("{}-replica", cluster.name),
+        1,
+        cluster.machine.clone(),
+    );
+    let spec = JobSpec::new(
+        local_task,
+        system,
+        single,
+        BatchSchedule::equal(per_machine_workload, num_batches),
+    )
+    .with_seed(seed);
+    let algorithm = run_job(graph, &spec);
+
+    // Aggregation: each machine's accumulated intermediate results are
+    // gathered at a master and merged. Result volume = residual bytes
+    // of the local run, shipped by (machines - 1) peers.
+    let result_bytes = algorithm
+        .per_batch
+        .last()
+        .map(|b| b.residual_after)
+        .unwrap_or(0);
+    let gather_bytes = result_bytes.saturating_mul(machines as u64 - 1);
+    let bw = cluster.machine.network_bandwidth.max(1.0);
+    let merge_ops = (gather_bytes / 16) as f64; // one merge op per record
+    let agg_secs =
+        gather_bytes as f64 / bw + merge_ops / cluster.machine.total_ops_per_sec().max(1.0);
+    let aggregation = SimTime::secs(agg_secs);
+
+    let outcome = match algorithm.outcome {
+        RunOutcome::Completed(t) => RunOutcome::from_time(t + aggregation),
+        failed => failed,
+    };
+    let cost = MonetaryCost::of_run(outcome, cluster);
+    WholeGraphResult {
+        algorithm,
+        aggregation,
+        outcome,
+        cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvc_graph::generators;
+
+    #[test]
+    fn whole_graph_mode_completes_with_aggregation() {
+        let g = generators::power_law(150, 600, 2.4, 41);
+        let r = run_whole_graph(
+            &g,
+            Task::bppr(32),
+            SystemKind::PregelPlus,
+            &ClusterSpec::galaxy(4),
+            2,
+            11,
+        );
+        assert!(r.outcome.is_completed(), "{:?}", r.outcome);
+        assert!(r.aggregation > SimTime::ZERO);
+        assert!(r.total_time() >= r.algorithm_time());
+    }
+
+    #[test]
+    fn no_network_traffic_during_algorithm_phase() {
+        let g = generators::power_law(150, 600, 2.4, 43);
+        let r = run_whole_graph(
+            &g,
+            Task::bppr(16),
+            SystemKind::PregelPlus,
+            &ClusterSpec::galaxy(8),
+            1,
+            13,
+        );
+        // Single-worker replica: every message is machine-local.
+        assert_eq!(r.algorithm.stats.total_network_bytes.get(), 0);
+    }
+
+    #[test]
+    fn workload_split_across_machines() {
+        let g = generators::power_law(120, 480, 2.4, 47);
+        let r = run_whole_graph(
+            &g,
+            Task::bppr(64),
+            SystemKind::PregelPlus,
+            &ClusterSpec::galaxy(8),
+            2,
+            17,
+        );
+        let per_machine: u64 = r.algorithm.per_batch.iter().map(|b| b.workload).sum();
+        assert_eq!(per_machine, 8); // 64 / 8 machines
+    }
+}

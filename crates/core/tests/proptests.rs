@@ -1,0 +1,77 @@
+//! Property-based tests for the multi-task layer.
+
+use mtvc_core::task::select_sources;
+use mtvc_core::{BatchSchedule, Task};
+use mtvc_graph::generators;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn equal_schedules_cover_and_balance(total in 1u64..100_000, k in 1usize..64) {
+        let s = BatchSchedule::equal(total, k);
+        prop_assert_eq!(s.total(), total);
+        prop_assert_eq!(s.len(), k.min(total as usize));
+        let max = *s.batches().iter().max().unwrap();
+        let min = *s.batches().iter().min().unwrap();
+        prop_assert!(max - min <= 1, "batch sizes differ by more than one");
+        prop_assert!(s.batches().iter().all(|&b| b >= 1));
+    }
+
+    #[test]
+    fn two_batch_delta_is_consistent(total in 4u64..1_000_000, delta_frac in -0.9f64..0.9) {
+        let delta = (total as f64 * delta_frac) as i64;
+        let s = BatchSchedule::two_batch_delta(total, delta);
+        prop_assert_eq!(s.total(), total);
+        prop_assert_eq!(s.len(), 2);
+        let diff = s.batches()[0] as i64 - s.batches()[1] as i64;
+        // Integer division may shift by one unit.
+        prop_assert!((diff - delta).abs() <= 1, "diff {diff} vs delta {delta}");
+    }
+
+    #[test]
+    fn with_workload_round_trips(total in 1u64..1_000_000, next in 1u64..1_000_000) {
+        for task in [Task::bppr(total), Task::mssp(total), Task::bkhs(total)] {
+            let changed = task.with_workload(next);
+            prop_assert_eq!(changed.workload(), next);
+            prop_assert_eq!(changed.name(), task.name());
+            prop_assert_eq!(changed.with_workload(total).workload(), total);
+        }
+    }
+
+    #[test]
+    fn source_selection_covers_schedule_slices(
+        n in 4usize..200,
+        total in 1u64..500,
+        k in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        // Slicing the source pool by an equal schedule must consume the
+        // pool exactly, with no query shared between batches.
+        let g = generators::ring(n, true);
+        let pool = select_sources(&g, total, seed);
+        prop_assert_eq!(pool.len() as u64, total);
+        let schedule = BatchSchedule::equal(total, k);
+        let mut offset = 0usize;
+        for &w in schedule.batches() {
+            let slice = &pool[offset..offset + w as usize];
+            prop_assert_eq!(slice.len() as u64, w);
+            offset += w as usize;
+        }
+        prop_assert_eq!(offset, pool.len());
+        // Every source is a valid vertex.
+        prop_assert!(pool.iter().all(|&v| (v as usize) < n));
+    }
+
+    #[test]
+    fn source_prefix_stability(
+        n in 4usize..100,
+        small in 1u64..50,
+        extra in 1u64..50,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::ring(n, true);
+        let a = select_sources(&g, small, seed);
+        let b = select_sources(&g, small + extra, seed);
+        prop_assert_eq!(&b[..small as usize], &a[..]);
+    }
+}

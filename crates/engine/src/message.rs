@@ -1,0 +1,86 @@
+//! Messages and envelopes.
+//!
+//! The engine moves [`Envelope`]s: a destination, a payload, and a
+//! **multiplicity** — how many wire-level messages the envelope stands
+//! for. Multiplicity lets the tasks run in aggregated form (e.g. BPPR
+//! moves *counts* of random walks rather than individual walks, which is
+//! distributionally identical — see `mtvc-tasks::bppr`) while the cost
+//! accounting still charges a non-combining system for every individual
+//! wire message, exactly as the paper's Pregel+ implementation pays.
+
+use mtvc_graph::VertexId;
+
+/// Payload trait. Combinable payloads expose a key: the engine merges
+/// envelopes with equal `(destination, key)` when the active system
+/// profile enables combining (GraphLab(sync)-style).
+pub trait Message: Clone + Send + Sync {
+    /// Combining key within a destination vertex; `None` disables
+    /// combining for this payload entirely.
+    fn combine_key(&self) -> Option<u64>;
+
+    /// Merge `other` into `self`. Only called for equal
+    /// `(destination, combine_key)`; multiplicities are summed by the
+    /// engine separately.
+    fn merge(&mut self, other: &Self);
+}
+
+/// Unit payload for tests and simple notifications.
+impl Message for () {
+    fn combine_key(&self) -> Option<u64> {
+        None
+    }
+    fn merge(&mut self, _other: &Self) {}
+}
+
+/// A routed message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope<M> {
+    pub dest: VertexId,
+    pub msg: M,
+    /// Number of wire messages this envelope represents (≥ 1).
+    pub mult: u64,
+}
+
+impl<M> Envelope<M> {
+    pub fn new(dest: VertexId, msg: M, mult: u64) -> Self {
+        debug_assert!(mult >= 1, "envelope multiplicity must be >= 1");
+        Envelope { dest, msg, mult }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Walk {
+        source: u32,
+    }
+
+    impl Message for Walk {
+        fn combine_key(&self) -> Option<u64> {
+            Some(self.source as u64)
+        }
+        fn merge(&mut self, _other: &Self) {}
+    }
+
+    #[test]
+    fn unit_message_never_combines() {
+        assert_eq!(().combine_key(), None);
+    }
+
+    #[test]
+    fn envelope_carries_multiplicity() {
+        let e = Envelope::new(3, Walk { source: 7 }, 12);
+        assert_eq!(e.dest, 3);
+        assert_eq!(e.mult, 12);
+        assert_eq!(e.msg.combine_key(), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplicity")]
+    #[cfg(debug_assertions)]
+    fn zero_multiplicity_rejected() {
+        let _ = Envelope::new(0, (), 0);
+    }
+}

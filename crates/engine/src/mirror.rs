@@ -1,0 +1,142 @@
+//! Mirroring index for the Pregel+(mirror) broadcast interface.
+//!
+//! Section 2.2: "a mirror is created for each high-degree vertex v on
+//! all other workers that contain v's neighbor(s). … When forwarding a
+//! message from v to its neighbors, the mirror workers act as v's
+//! proxies." A broadcast from a mirrored vertex therefore costs one wire
+//! message per *remote worker hosting neighbors*, instead of one per
+//! neighbor; the mirror fans out locally.
+
+use mtvc_graph::partition::{Partition, WorkerId};
+use mtvc_graph::{Graph, VertexId};
+
+/// Precomputed mirroring information for one (graph, partition,
+/// threshold) combination.
+#[derive(Debug, Clone)]
+pub struct MirrorIndex {
+    /// Degree threshold above which a vertex is mirrored.
+    threshold: usize,
+    /// For each vertex: `None` if not mirrored; otherwise the list of
+    /// workers (other than the owner) hosting at least one neighbor.
+    mirror_workers: Vec<Option<Vec<WorkerId>>>,
+}
+
+impl MirrorIndex {
+    /// Build the index. O(m) over the graph.
+    pub fn build(g: &Graph, part: &Partition, threshold: usize) -> MirrorIndex {
+        let mut mirror_workers = vec![None; g.num_vertices()];
+        let mut scratch = vec![false; part.num_workers()];
+        for v in g.vertices() {
+            if g.degree(v) <= threshold {
+                continue;
+            }
+            scratch.iter_mut().for_each(|b| *b = false);
+            let owner = part.owner_of(v);
+            for &t in g.neighbors(v) {
+                scratch[part.owner_of(t) as usize] = true;
+            }
+            scratch[owner as usize] = false; // local fan-out is free
+            let workers: Vec<WorkerId> = scratch
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b)
+                .map(|(w, _)| w as WorkerId)
+                .collect();
+            mirror_workers[v as usize] = Some(workers);
+        }
+        MirrorIndex {
+            threshold,
+            mirror_workers,
+        }
+    }
+
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Is `v` mirrored?
+    pub fn is_mirrored(&self, v: VertexId) -> bool {
+        self.mirror_workers[v as usize].is_some()
+    }
+
+    /// Remote workers holding mirrors of `v` (empty slice if not
+    /// mirrored or all neighbors are local).
+    pub fn workers(&self, v: VertexId) -> &[WorkerId] {
+        self.mirror_workers[v as usize]
+            .as_deref()
+            .unwrap_or(&[])
+    }
+
+    /// Wire messages a broadcast from `v` costs on the network:
+    /// mirrored ⇒ one per remote mirror worker; not mirrored ⇒ one per
+    /// remote neighbor (computed by the router instead — this returns
+    /// `None` to signal per-neighbor accounting).
+    pub fn broadcast_wire_count(&self, v: VertexId) -> Option<u64> {
+        self.mirror_workers[v as usize]
+            .as_ref()
+            .map(|ws| ws.len() as u64)
+    }
+
+    /// Number of mirrored vertices.
+    pub fn mirrored_count(&self) -> usize {
+        self.mirror_workers.iter().filter(|m| m.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvc_graph::generators;
+    use mtvc_graph::partition::{Partitioner, RangePartitioner};
+
+    #[test]
+    fn hub_is_mirrored_leaves_are_not() {
+        let g = generators::star(40); // hub 0 has degree 39
+        let p = RangePartitioner.partition(&g, 4);
+        let idx = MirrorIndex::build(&g, &p, 10);
+        assert!(idx.is_mirrored(0));
+        assert!(!idx.is_mirrored(5));
+        assert_eq!(idx.mirrored_count(), 1);
+    }
+
+    #[test]
+    fn mirror_workers_exclude_owner() {
+        let g = generators::star(40);
+        let p = RangePartitioner.partition(&g, 4);
+        let idx = MirrorIndex::build(&g, &p, 10);
+        let owner = p.owner_of(0);
+        assert!(!idx.workers(0).contains(&owner));
+        // Hub neighbors span all 4 workers; 3 remote mirror workers.
+        assert_eq!(idx.workers(0).len(), 3);
+        assert_eq!(idx.broadcast_wire_count(0), Some(3));
+    }
+
+    #[test]
+    fn unmirrored_vertex_signals_per_neighbor_accounting() {
+        let g = generators::star(40);
+        let p = RangePartitioner.partition(&g, 4);
+        let idx = MirrorIndex::build(&g, &p, 10);
+        assert_eq!(idx.broadcast_wire_count(7), None);
+        assert!(idx.workers(7).is_empty());
+    }
+
+    #[test]
+    fn threshold_inclusive_boundary() {
+        // ring: all degree 2. threshold 2 means "degree > 2" -> none.
+        let g = generators::ring(10, true);
+        let p = RangePartitioner.partition(&g, 2);
+        let idx = MirrorIndex::build(&g, &p, 2);
+        assert_eq!(idx.mirrored_count(), 0);
+        let idx1 = MirrorIndex::build(&g, &p, 1);
+        assert_eq!(idx1.mirrored_count(), 10);
+    }
+
+    #[test]
+    fn single_worker_mirrors_have_no_remote_targets() {
+        let g = generators::star(20);
+        let p = RangePartitioner.partition(&g, 1);
+        let idx = MirrorIndex::build(&g, &p, 5);
+        assert!(idx.is_mirrored(0));
+        assert_eq!(idx.broadcast_wire_count(0), Some(0));
+    }
+}

@@ -1,0 +1,239 @@
+//! The vertex-program abstraction (`compute(v)` in the paper's §2.1).
+
+use crate::message::{Envelope, Message};
+use mtvc_graph::{Graph, VertexId};
+use rand::rngs::SmallRng;
+
+/// Per-worker send buffer, reused across compute calls.
+#[derive(Debug, Default)]
+pub(crate) struct Outbox<M> {
+    /// Point-to-point envelopes.
+    pub sends: Vec<Envelope<M>>,
+    /// Broadcast payloads: (origin vertex, payload, per-neighbor
+    /// multiplicity).
+    pub broadcasts: Vec<(VertexId, M, u64)>,
+    /// State bytes added by compute calls this round.
+    pub state_bytes_added: u64,
+}
+
+impl<M> Outbox<M> {
+    pub fn new() -> Self {
+        Outbox {
+            sends: Vec::new(),
+            broadcasts: Vec::new(),
+            state_bytes_added: 0,
+        }
+    }
+
+    /// Reset for reuse across rounds.
+    #[cfg(test)]
+    pub fn clear(&mut self) {
+        self.sends.clear();
+        self.broadcasts.clear();
+        self.state_bytes_added = 0;
+    }
+}
+
+/// Execution context handed to `compute`. Borrow-scoped to one vertex
+/// activation: sends are attributed to [`Context::vertex`].
+pub struct Context<'a, M: Message> {
+    vertex: VertexId,
+    round: usize,
+    graph: &'a Graph,
+    rng: &'a mut SmallRng,
+    outbox: &'a mut Outbox<M>,
+}
+
+impl<'a, M: Message> Context<'a, M> {
+    pub(crate) fn new(
+        vertex: VertexId,
+        round: usize,
+        graph: &'a Graph,
+        rng: &'a mut SmallRng,
+        outbox: &'a mut Outbox<M>,
+    ) -> Self {
+        Context {
+            vertex,
+            round,
+            graph,
+            rng,
+            outbox,
+        }
+    }
+
+    /// The vertex currently executing.
+    pub fn vertex(&self) -> VertexId {
+        self.vertex
+    }
+
+    /// Current round (0 = initialization round).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Total vertices in the graph.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Out-neighbors of the current vertex.
+    pub fn neighbors(&self) -> &'a [VertexId] {
+        self.graph.neighbors(self.vertex)
+    }
+
+    /// Out-degree of the current vertex.
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.vertex)
+    }
+
+    /// `(neighbor, weight)` pairs for the current vertex.
+    pub fn weighted_neighbors(&self) -> impl Iterator<Item = (VertexId, u32)> + 'a {
+        self.graph.weighted_neighbors(self.vertex)
+    }
+
+    /// Deterministic per-(vertex, round) random generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Send `msg` to `dest`, representing `mult` wire messages.
+    /// `mult = 0` is a silent no-op so callers don't need to branch on
+    /// empty aggregates.
+    pub fn send(&mut self, dest: VertexId, msg: M, mult: u64) {
+        if mult == 0 {
+            return;
+        }
+        self.outbox.sends.push(Envelope::new(dest, msg, mult));
+    }
+
+    /// Broadcast `msg` to every out-neighbor (the only interface
+    /// Pregel+(mirror) supports — §3 "Pregel-Mirror"). `mult` is the
+    /// per-neighbor wire multiplicity, usually 1.
+    pub fn broadcast(&mut self, msg: M, mult: u64) {
+        if mult == 0 || self.degree() == 0 {
+            return;
+        }
+        self.outbox.broadcasts.push((self.vertex, msg, mult));
+    }
+
+    /// Record growth of persistent vertex state (distance tables, walk
+    /// counters, visited sets) for the memory ledger.
+    pub fn add_state_bytes(&mut self, bytes: u64) {
+        self.outbox.state_bytes_added += bytes;
+    }
+
+    /// Send `count` copies of `msg`, each to an independently uniform
+    /// random neighbor — the aggregated random-walk hop. Equivalent to
+    /// `count` individual `send`s but allocation-free and `O(min(count,
+    /// degree))` via multinomial sampling.
+    pub fn send_uniform_spread(&mut self, msg: M, count: u64) {
+        let neighbors = self.graph.neighbors(self.vertex);
+        if count == 0 || neighbors.is_empty() {
+            return;
+        }
+        let outbox = &mut *self.outbox;
+        crate::sampling::multinomial_uniform(self.rng, count, neighbors.len(), |bin, c| {
+            outbox.sends.push(Envelope::new(neighbors[bin], msg.clone(), c));
+        });
+    }
+}
+
+/// A vertex-centric program (user-defined `compute` plus metadata).
+///
+/// Programs must be deterministic given the context RNG; the engine
+/// seeds the RNG per `(run seed, round, vertex)` so results do not
+/// depend on thread scheduling.
+pub trait VertexProgram: Sync {
+    /// Wire message payload.
+    type Message: Message;
+    /// Per-vertex persistent state.
+    type State: Default + Clone + Send;
+
+    /// Bytes of one wire message (the paper's footnote: "a message
+    /// contains a constant number of integers").
+    fn message_bytes(&self) -> u64;
+
+    /// Round 0: activate sources, seed initial messages.
+    fn init(&self, v: VertexId, state: &mut Self::State, ctx: &mut Context<'_, Self::Message>);
+
+    /// Rounds ≥ 1: process the inbox (message, multiplicity) pairs.
+    fn compute(
+        &self,
+        v: VertexId,
+        state: &mut Self::State,
+        inbox: &[(Self::Message, u64)],
+        ctx: &mut Context<'_, Self::Message>,
+    );
+
+    /// Fixed round bound (BKHS stops after k+1 rounds); `None` runs to
+    /// quiescence.
+    fn max_rounds(&self) -> Option<usize> {
+        None
+    }
+
+    /// Baseline per-vertex state bytes at initialization.
+    fn initial_state_bytes(&self) -> u64 {
+        8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvc_graph::generators;
+    use rand::SeedableRng;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Ping(u32);
+    impl Message for Ping {
+        fn combine_key(&self) -> Option<u64> {
+            Some(self.0 as u64)
+        }
+        fn merge(&mut self, _o: &Self) {}
+    }
+
+    #[test]
+    fn context_collects_sends_and_broadcasts() {
+        let g = generators::ring(4, true);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut outbox = Outbox::new();
+        let mut ctx = Context::new(2, 5, &g, &mut rng, &mut outbox);
+        assert_eq!(ctx.vertex(), 2);
+        assert_eq!(ctx.round(), 5);
+        assert_eq!(ctx.degree(), 2);
+        ctx.send(0, Ping(9), 3);
+        ctx.send(1, Ping(8), 0); // no-op
+        ctx.broadcast(Ping(7), 1);
+        ctx.add_state_bytes(16);
+        assert_eq!(outbox.sends.len(), 1);
+        assert_eq!(outbox.sends[0].mult, 3);
+        assert_eq!(outbox.broadcasts.len(), 1);
+        assert_eq!(outbox.broadcasts[0].0, 2);
+        assert_eq!(outbox.state_bytes_added, 16);
+    }
+
+    #[test]
+    fn broadcast_from_isolated_vertex_is_noop() {
+        let g = Graph::empty(3);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut outbox: Outbox<Ping> = Outbox::new();
+        let mut ctx = Context::new(0, 0, &g, &mut rng, &mut outbox);
+        ctx.broadcast(Ping(1), 1);
+        assert!(outbox.broadcasts.is_empty());
+    }
+
+    #[test]
+    fn outbox_clear_resets_everything() {
+        let g = generators::ring(3, true);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut outbox = Outbox::new();
+        {
+            let mut ctx = Context::new(0, 0, &g, &mut rng, &mut outbox);
+            ctx.send(1, Ping(1), 1);
+            ctx.add_state_bytes(4);
+        }
+        outbox.clear();
+        assert!(outbox.sends.is_empty());
+        assert_eq!(outbox.state_bytes_added, 0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Message routing: outboxes → inboxes, with combining, broadcast
+//! expansion, mirroring-aware wire accounting, and per-worker traffic
+//! statistics.
+
+use crate::message::{Envelope, Message};
+use crate::mirror::MirrorIndex;
+use crate::program::Outbox;
+use mtvc_graph::partition::Partition;
+use mtvc_graph::Graph;
+
+/// Traffic measured while routing one round's messages.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoutingStats {
+    /// Wire messages produced ("messages sent within a round" — the
+    /// paper's congestion numerator). Broadcasts count one message per
+    /// receiving neighbor.
+    pub sent_wire: u64,
+    /// Envelope count after combining (what a combining system
+    /// actually delivers and processes).
+    pub delivered_tuples: u64,
+    /// Per-worker wire messages delivered.
+    pub in_wire: Vec<u64>,
+    /// Per-worker tuples delivered.
+    pub in_tuples: Vec<u64>,
+    /// Per-worker bytes sent to other machines.
+    pub net_out_bytes: Vec<u64>,
+    /// Per-worker bytes received from other machines.
+    pub net_in_bytes: Vec<u64>,
+    /// Bytes that stayed machine-local.
+    pub local_bytes: u64,
+    /// Per-worker bytes of message buffers *produced* (local + remote;
+    /// memory accounting — mirroring saves wire bytes, not buffers).
+    pub out_buffer_bytes: Vec<u64>,
+    /// Per-worker bytes of message buffers *received* (local + remote).
+    pub in_buffer_bytes: Vec<u64>,
+}
+
+impl RoutingStats {
+    fn new(workers: usize) -> Self {
+        RoutingStats {
+            sent_wire: 0,
+            delivered_tuples: 0,
+            in_wire: vec![0; workers],
+            in_tuples: vec![0; workers],
+            net_out_bytes: vec![0; workers],
+            net_in_bytes: vec![0; workers],
+            local_bytes: 0,
+            out_buffer_bytes: vec![0; workers],
+            in_buffer_bytes: vec![0; workers],
+        }
+    }
+
+    /// Total wire messages delivered (= sent; nothing is dropped).
+    pub fn delivered_wire(&self) -> u64 {
+        self.in_wire.iter().sum()
+    }
+}
+
+/// Route all outboxes into per-worker inboxes.
+///
+/// * `mirrors`: `Some` in broadcast (Pregel+(mirror)) mode — mirrored
+///   vertices pay one wire message per remote mirror worker instead of
+///   one per remote neighbor.
+/// * `combine`: merge envelopes with equal `(dest, combine_key)` within
+///   each (source worker → dest worker) bucket before "transmission",
+///   the way sender-side Pregel combiners work.
+/// * `msg_bytes`: wire size of one message.
+pub(crate) fn route<M: Message>(
+    outboxes: Vec<Outbox<M>>,
+    graph: &Graph,
+    part: &Partition,
+    mirrors: Option<&MirrorIndex>,
+    combine: bool,
+    msg_bytes: u64,
+) -> (Vec<Vec<Envelope<M>>>, RoutingStats) {
+    let workers = part.num_workers();
+    let mut stats = RoutingStats::new(workers);
+    let mut inboxes: Vec<Vec<Envelope<M>>> = (0..workers).map(|_| Vec::new()).collect();
+
+    for (src_worker, outbox) in outboxes.into_iter().enumerate() {
+        // Bucket this worker's traffic by destination worker.
+        let mut buckets: Vec<Vec<Envelope<M>>> = (0..workers).map(|_| Vec::new()).collect();
+        // Bytes already paid on the wire per dest worker (mirrored
+        // broadcasts pay per mirror-worker, not per envelope).
+        let mut prepaid_net: Vec<u64> = vec![0; workers];
+        // Envelopes whose wire cost is prepaid (count of wire messages
+        // NOT to be charged per-envelope), per dest worker.
+        let mut prepaid_wire: Vec<u64> = vec![0; workers];
+
+        for env in outbox.sends {
+            stats.sent_wire += env.mult;
+            let dw = part.owner_of(env.dest) as usize;
+            buckets[dw].push(env);
+        }
+
+        for (origin, msg, mult) in outbox.broadcasts {
+            let degree = graph.degree(origin) as u64;
+            stats.sent_wire += degree * mult;
+            let mirrored = mirrors.map(|m| m.is_mirrored(origin)).unwrap_or(false);
+            if mirrored {
+                // One wire transfer per remote mirror worker replaces
+                // the per-neighbor wire cost of all remote fan-outs.
+                for &mw in mirrors.unwrap().workers(origin) {
+                    prepaid_net[mw as usize] += msg_bytes * mult;
+                }
+                for &t in graph.neighbors(origin) {
+                    let dw = part.owner_of(t) as usize;
+                    if dw != src_worker {
+                        prepaid_wire[dw] += mult;
+                    }
+                    buckets[dw].push(Envelope::new(t, msg.clone(), mult));
+                }
+            } else {
+                // Unmirrored broadcast: ordinary per-neighbor sends.
+                for &t in graph.neighbors(origin) {
+                    buckets[part.owner_of(t) as usize].push(Envelope::new(t, msg.clone(), mult));
+                }
+            }
+        }
+
+        // Mirrored-broadcast envelopes must not ALSO pay per-envelope
+        // network bytes. We track, per dest worker, how many wire
+        // messages were prepaid; the remainder of the bucket pays
+        // normally. Envelopes from `sends` and unmirrored broadcasts
+        // are never prepaid.
+        for (dw, mut bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() && prepaid_net[dw] == 0 {
+                continue;
+            }
+            if combine {
+                combine_bucket(&mut bucket);
+            }
+            let tuples = bucket.len() as u64;
+            let wire: u64 = bucket.iter().map(|e| e.mult).sum();
+            // Bytes on the wire: combining systems transmit tuples,
+            // non-combining systems transmit every wire message.
+            let payload_units = if combine { tuples } else { wire };
+            let buffer_bytes = payload_units * msg_bytes;
+            stats.out_buffer_bytes[src_worker] += buffer_bytes;
+            stats.in_buffer_bytes[dw] += buffer_bytes;
+            let mut bytes = buffer_bytes;
+            if dw != src_worker {
+                // Replace the prepaid portion: those wire messages
+                // crossed as mirror transfers already counted.
+                let prepaid_units = prepaid_wire[dw].min(payload_units);
+                bytes = bytes.saturating_sub(prepaid_units * msg_bytes) + prepaid_net[dw];
+                stats.net_out_bytes[src_worker] += bytes;
+                stats.net_in_bytes[dw] += bytes;
+            } else {
+                stats.local_bytes += bytes;
+            }
+            stats.in_wire[dw] += wire;
+            stats.in_tuples[dw] += tuples;
+            stats.delivered_tuples += tuples;
+            inboxes[dw].append(&mut bucket);
+        }
+    }
+    (inboxes, stats)
+}
+
+/// Merge envelopes with equal `(dest, combine_key)`; multiplicities sum.
+/// Envelopes with `combine_key() == None` are kept verbatim.
+fn combine_bucket<M: Message>(bucket: &mut Vec<Envelope<M>>) {
+    if bucket.len() < 2 {
+        return;
+    }
+    bucket.sort_by_key(|e| (e.dest, e.msg.combine_key().unwrap_or(u64::MAX)));
+    let mut out: Vec<Envelope<M>> = Vec::with_capacity(bucket.len());
+    for env in bucket.drain(..) {
+        match (out.last_mut(), env.msg.combine_key()) {
+            (Some(last), Some(key))
+                if last.dest == env.dest && last.msg.combine_key() == Some(key) =>
+            {
+                last.msg.merge(&env.msg);
+                last.mult += env.mult;
+            }
+            _ => out.push(env),
+        }
+    }
+    *bucket = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Outbox;
+    use mtvc_graph::generators;
+    use mtvc_graph::partition::{Partitioner, RangePartitioner};
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Src(u32);
+    impl Message for Src {
+        fn combine_key(&self) -> Option<u64> {
+            Some(self.0 as u64)
+        }
+        fn merge(&mut self, _o: &Self) {}
+    }
+
+    fn two_worker_setup() -> (mtvc_graph::Graph, Partition) {
+        let g = generators::ring(8, true);
+        let p = RangePartitioner.partition(&g, 2);
+        (g, p)
+    }
+
+    #[test]
+    fn p2p_local_vs_network() {
+        let (g, p) = two_worker_setup();
+        let mut ob0: Outbox<Src> = Outbox::new();
+        ob0.sends.push(Envelope::new(1, Src(0), 1)); // 0 -> w0 local
+        ob0.sends.push(Envelope::new(5, Src(0), 2)); // 0 -> w1 remote
+        let ob1: Outbox<Src> = Outbox::new();
+        let (inboxes, stats) = route(vec![ob0, ob1], &g, &p, None, false, 16);
+        assert_eq!(stats.sent_wire, 3);
+        assert_eq!(stats.local_bytes, 16);
+        assert_eq!(stats.net_out_bytes, vec![32, 0]);
+        assert_eq!(stats.net_in_bytes, vec![0, 32]);
+        assert_eq!(inboxes[0].len(), 1);
+        assert_eq!(inboxes[1].len(), 1);
+        assert_eq!(stats.in_wire, vec![1, 2]);
+    }
+
+    #[test]
+    fn combining_merges_same_dest_and_key() {
+        let (g, p) = two_worker_setup();
+        let mut ob0: Outbox<Src> = Outbox::new();
+        ob0.sends.push(Envelope::new(5, Src(7), 2));
+        ob0.sends.push(Envelope::new(5, Src(7), 3));
+        ob0.sends.push(Envelope::new(5, Src(8), 1)); // different key
+        let (inboxes, stats) = route(
+            vec![ob0, Outbox::new()],
+            &g,
+            &p,
+            None,
+            true,
+            16,
+        );
+        assert_eq!(stats.sent_wire, 6);
+        assert_eq!(stats.delivered_tuples, 2);
+        assert_eq!(stats.in_wire[1], 6);
+        assert_eq!(stats.in_tuples[1], 2);
+        // Combined transmission: 2 tuples * 16 bytes.
+        assert_eq!(stats.net_in_bytes[1], 32);
+        let mults: Vec<u64> = inboxes[1].iter().map(|e| e.mult).collect();
+        assert_eq!(mults.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn without_combining_bytes_charge_every_wire_message() {
+        let (g, p) = two_worker_setup();
+        let mut ob0: Outbox<Src> = Outbox::new();
+        ob0.sends.push(Envelope::new(5, Src(7), 5));
+        let (_, stats) = route(vec![ob0, Outbox::new()], &g, &p, None, false, 16);
+        assert_eq!(stats.net_in_bytes[1], 80);
+    }
+
+    #[test]
+    fn unmirrored_broadcast_expands_per_neighbor() {
+        let (g, p) = two_worker_setup();
+        let mut ob0: Outbox<Src> = Outbox::new();
+        // Vertex 0's neighbors on the ring: 1 (w0) and 7 (w1).
+        ob0.broadcasts.push((0, Src(0), 1));
+        let (inboxes, stats) = route(vec![ob0, Outbox::new()], &g, &p, None, false, 16);
+        assert_eq!(stats.sent_wire, 2);
+        assert_eq!(inboxes[0].len(), 1);
+        assert_eq!(inboxes[1].len(), 1);
+        assert_eq!(stats.net_out_bytes[0], 16);
+    }
+
+    #[test]
+    fn mirrored_broadcast_saves_network_bytes() {
+        // Star: hub 0 with 16 leaves, 4 workers. Hub degree 16.
+        let g = generators::star(17);
+        let p = RangePartitioner.partition(&g, 4);
+        let idx = MirrorIndex::build(&g, &p, 4);
+        assert!(idx.is_mirrored(0));
+        let mut ob0: Outbox<Src> = Outbox::new();
+        ob0.broadcasts.push((0, Src(0), 1));
+        let mut obs = vec![ob0];
+        obs.extend((1..4).map(|_| Outbox::new()));
+        let (inboxes, stats) = route(obs, &g, &p, Some(&idx), false, 16);
+        // All 16 leaves receive a message.
+        let delivered: usize = inboxes.iter().map(|i| i.len()).sum();
+        assert_eq!(delivered, 16);
+        assert_eq!(stats.sent_wire, 16);
+        // Network bytes: one transfer per remote mirror worker (3),
+        // not one per remote neighbor (~12).
+        let total_net: u64 = stats.net_out_bytes.iter().sum();
+        assert_eq!(total_net, 3 * 16);
+    }
+
+    #[test]
+    fn mirrored_and_plain_traffic_coexist() {
+        let g = generators::star(17);
+        let p = RangePartitioner.partition(&g, 4);
+        let idx = MirrorIndex::build(&g, &p, 4);
+        let mut ob0: Outbox<Src> = Outbox::new();
+        ob0.broadcasts.push((0, Src(0), 1));
+        ob0.sends.push(Envelope::new(16, Src(9), 1)); // plain remote send
+        let mut obs = vec![ob0];
+        obs.extend((1..4).map(|_| Outbox::new()));
+        let (_, stats) = route(obs, &g, &p, Some(&idx), false, 16);
+        // 3 mirror transfers + 1 plain remote send.
+        let total_net: u64 = stats.net_out_bytes.iter().sum();
+        assert_eq!(total_net, 4 * 16);
+        assert_eq!(stats.sent_wire, 17);
+    }
+
+    #[test]
+    fn combine_bucket_preserves_uncombignable() {
+        #[derive(Clone, Debug, PartialEq)]
+        struct NoKey;
+        impl Message for NoKey {
+            fn combine_key(&self) -> Option<u64> {
+                None
+            }
+            fn merge(&mut self, _o: &Self) {}
+        }
+        let mut bucket = vec![
+            Envelope::new(1, NoKey, 1),
+            Envelope::new(1, NoKey, 1),
+            Envelope::new(1, NoKey, 1),
+        ];
+        combine_bucket(&mut bucket);
+        assert_eq!(bucket.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_routing_order() {
+        let (g, p) = two_worker_setup();
+        let make = || {
+            let mut ob0: Outbox<Src> = Outbox::new();
+            ob0.sends.push(Envelope::new(5, Src(1), 1));
+            ob0.sends.push(Envelope::new(6, Src(2), 1));
+            let mut ob1: Outbox<Src> = Outbox::new();
+            ob1.sends.push(Envelope::new(5, Src(3), 1));
+            route(vec![ob0, ob1], &g, &p, None, false, 8)
+        };
+        let (a, _) = make();
+        let (b, _) = make();
+        assert_eq!(a, b);
+    }
+}

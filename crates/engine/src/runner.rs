@@ -1,0 +1,770 @@
+//! The BSP round loop: execute, route, price, repeat.
+//!
+//! [`Runner::run`] executes a [`VertexProgram`] over a partitioned graph
+//! under a [`SystemProfile`], assembling a [`RoundDemand`] per round and
+//! pricing it with the cluster's [`CostModel`]. Execution is *real* —
+//! states and messages are actually computed, so task outputs can be
+//! validated — while time, memory pressure, spill, and overuse are
+//! simulated (DESIGN.md §4).
+
+use crate::message::Envelope;
+use crate::mirror::MirrorIndex;
+use crate::profile::{ExecutionMode, SyncMode, SystemProfile};
+use crate::program::{Context, Outbox, VertexProgram};
+use crate::router::{route, RoutingStats};
+use mtvc_cluster::{ChargeError, ClusterSpec, CostModel, RoundDemand};
+use mtvc_graph::hash::mix64;
+use mtvc_graph::partition::{Partition, Partitioner};
+use mtvc_graph::{Graph, VertexId};
+use mtvc_metrics::{Bytes, RoundStats, RunOutcome, RunStats, SimTime, OVERLOAD_CUTOFF};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Vertex count below which the per-round thread fan-out costs more
+/// than it saves; small graphs run workers sequentially.
+const PARALLEL_VERTEX_THRESHOLD: usize = 65_536;
+
+/// Everything needed to execute one run.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    pub cluster: ClusterSpec,
+    pub cost: CostModel,
+    pub profile: SystemProfile,
+    /// Seed for all per-vertex randomness (deterministic runs).
+    pub seed: u64,
+    /// Hard bound on rounds (runaway guard; exceeding it = Overload).
+    pub max_rounds: usize,
+    /// Simulated-time cutoff; exceeding it = Overload (paper: 6000 s).
+    pub cutoff: SimTime,
+    /// Residual memory per worker left behind by earlier batches
+    /// (§4.5/§4.7); empty = zeros.
+    pub residual_bytes: Vec<u64>,
+}
+
+impl EngineConfig {
+    pub fn new(cluster: ClusterSpec, profile: SystemProfile) -> EngineConfig {
+        EngineConfig {
+            cluster,
+            cost: CostModel::default(),
+            profile,
+            seed: 0x5EED,
+            max_rounds: 10_000,
+            cutoff: OVERLOAD_CUTOFF,
+            residual_bytes: Vec::new(),
+        }
+    }
+}
+
+/// Result of one run.
+#[derive(Debug, Clone)]
+pub struct RunResult<S> {
+    pub outcome: RunOutcome,
+    pub stats: RunStats,
+    /// Final per-vertex states, indexed by vertex id. Valid even for
+    /// Overload (partial progress); empty only if the run overflowed
+    /// before round 0 completed.
+    pub states: Vec<S>,
+}
+
+/// A prepared executor bound to a graph, partition, and configuration.
+pub struct Runner<'g> {
+    graph: &'g Graph,
+    partition: Partition,
+    mirrors: Option<MirrorIndex>,
+    config: EngineConfig,
+    worker_vertices: Vec<Vec<VertexId>>,
+    /// vertex id → index within its worker's state vector.
+    local_index: Vec<u32>,
+    /// Adjacency bytes per worker (resident unless streamed).
+    graph_bytes: Vec<u64>,
+}
+
+impl<'g> Runner<'g> {
+    /// Prepare a runner. The partitioner must produce exactly
+    /// `config.cluster.machines` workers.
+    pub fn new(graph: &'g Graph, partitioner: &dyn Partitioner, config: EngineConfig) -> Runner<'g> {
+        let partition = partitioner.partition(graph, config.cluster.machines);
+        Self::with_partition(graph, partition, config)
+    }
+
+    /// Prepare a runner with a pre-built partition.
+    pub fn with_partition(graph: &'g Graph, partition: Partition, config: EngineConfig) -> Runner<'g> {
+        assert_eq!(
+            partition.num_workers(),
+            config.cluster.machines,
+            "partition workers must match cluster machines"
+        );
+        assert_eq!(partition.num_vertices(), graph.num_vertices());
+        assert!(
+            config.residual_bytes.is_empty()
+                || config.residual_bytes.len() == partition.num_workers(),
+            "residual_bytes must be empty or per-worker"
+        );
+        let mirrors = match config.profile.mode {
+            ExecutionMode::Broadcast { mirror_threshold } => {
+                Some(MirrorIndex::build(graph, &partition, mirror_threshold))
+            }
+            ExecutionMode::PointToPoint => None,
+        };
+        let worker_vertices = partition.worker_vertices();
+        let mut local_index = vec![0u32; graph.num_vertices()];
+        for list in &worker_vertices {
+            for (i, &v) in list.iter().enumerate() {
+                local_index[v as usize] = i as u32;
+            }
+        }
+        let weighted = graph.is_weighted();
+        let graph_bytes = worker_vertices
+            .iter()
+            .map(|list| {
+                list.iter()
+                    .map(|&v| {
+                        16 + graph.degree(v) as u64 * if weighted { 8 } else { 4 }
+                    })
+                    .sum()
+            })
+            .collect();
+        Runner {
+            graph,
+            partition,
+            mirrors,
+            config,
+            worker_vertices,
+            local_index,
+            graph_bytes,
+        }
+    }
+
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Execute `program` to completion (quiescence, fixed round bound,
+    /// overload cutoff, or overflow).
+    pub fn run<P: VertexProgram>(&self, program: &P) -> RunResult<P::State> {
+        let workers = self.partition.num_workers();
+        let profile = &self.config.profile;
+        let cost = &self.config.cost;
+        let spec = &self.config.cluster.machine;
+        let msg_bytes = program.message_bytes();
+        let async_mode = matches!(profile.sync, SyncMode::Asynchronous);
+
+        let mut states: Vec<Vec<P::State>> = self
+            .worker_vertices
+            .iter()
+            .map(|list| vec![P::State::default(); list.len()])
+            .collect();
+        let mut state_bytes: Vec<u64> = self
+            .worker_vertices
+            .iter()
+            .map(|list| list.len() as u64 * program.initial_state_bytes())
+            .collect();
+
+        let mut stats = RunStats::new();
+        let mut total = SimTime::ZERO;
+        let mut inboxes: Vec<Vec<Envelope<P::Message>>> = (0..workers).map(|_| Vec::new()).collect();
+        // Delivered-message statistics of the previous routing step:
+        // those messages are processed (and their buffers are resident)
+        // in the *current* round.
+        let mut prev_in_wire: Vec<u64> = vec![0; workers];
+        let mut prev_in_tuples: Vec<u64> = vec![0; workers];
+        let mut prev_in_bytes: Vec<u64> = vec![0; workers];
+        let mut outcome: Option<RunOutcome> = None;
+
+        let mut round = 0usize;
+        loop {
+            if round > 0 {
+                if inboxes.iter().all(|i| i.is_empty()) {
+                    break; // quiescent
+                }
+                if let Some(max) = program.max_rounds() {
+                    if round > max {
+                        break; // fixed-horizon programs (BKHS)
+                    }
+                }
+            }
+            if round > self.config.max_rounds {
+                outcome = Some(RunOutcome::Overload);
+                break;
+            }
+
+            // ---- compute phase -------------------------------------
+            let taken: Vec<Vec<Envelope<P::Message>>> = std::mem::replace(
+                &mut inboxes,
+                (0..workers).map(|_| Vec::new()).collect(),
+            );
+            let (outboxes, active) = self.compute_phase(program, round, taken, &mut states);
+
+            // Persist state growth before pricing the round: the new
+            // state is resident while the round runs.
+            for (w, ob) in outboxes.iter().enumerate() {
+                state_bytes[w] += ob.state_bytes_added;
+            }
+
+            // ---- routing phase -------------------------------------
+            let (new_inboxes, routing) = route(
+                outboxes,
+                self.graph,
+                &self.partition,
+                self.mirrors.as_ref(),
+                profile.combiner,
+                msg_bytes,
+            );
+
+            // ---- demand assembly -----------------------------------
+            let demand = self.assemble_demand(
+                profile,
+                &active,
+                &prev_in_wire,
+                &prev_in_tuples,
+                &prev_in_bytes,
+                &routing,
+                &state_bytes,
+                msg_bytes,
+                async_mode,
+            );
+
+            // ---- pricing -------------------------------------------
+            match cost.charge(spec, &demand) {
+                Err(ChargeError::MemoryOverflow { .. }) => {
+                    // Record the failed round's memory pressure so
+                    // reports can show what blew up, then abort.
+                    let peak = demand.memory.iter().copied().max().unwrap_or(Bytes::ZERO);
+                    stats.record_round(RoundStats {
+                        round,
+                        peak_machine_memory: peak,
+                        ..RoundStats::default()
+                    });
+                    outcome = Some(RunOutcome::Overflow);
+                    break;
+                }
+                Ok(charge) => {
+                    let barrier_t = profile.barrier_scale()
+                        * (cost.barrier_base + cost.barrier_per_machine * workers as f64);
+                    let duration = charge.duration + SimTime::secs(barrier_t);
+                    total += duration;
+                    // Disk overuse means 100% utilization (§4.4); with
+                    // the barrier included in the round duration the
+                    // disk may no longer dominate.
+                    let disk_overuse = if duration.as_secs() > 0.0
+                        && charge.disk_busy.as_secs() / duration.as_secs() < 0.9
+                    {
+                        SimTime::ZERO
+                    } else {
+                        charge.disk_overuse
+                    };
+                    let delivered = if profile.combiner {
+                        routing.delivered_tuples
+                    } else {
+                        routing.delivered_wire()
+                    };
+                    stats.record_round(RoundStats {
+                        round,
+                        messages_sent: routing.sent_wire,
+                        messages_delivered: delivered,
+                        network_bytes: Bytes(routing.net_out_bytes.iter().sum()),
+                        local_bytes: Bytes(routing.local_bytes),
+                        active_vertices: active.iter().sum(),
+                        peak_machine_memory: charge.peak_memory,
+                        spilled_bytes: Bytes(demand.spill.iter().map(|b| b.get()).sum()),
+                        duration,
+                        network_overuse: charge.network_overuse,
+                        disk_overuse,
+                        disk_busy: charge.disk_busy,
+                        io_queue_len: charge.io_queue_len,
+                    });
+                    if total > self.config.cutoff {
+                        outcome = Some(RunOutcome::Overload);
+                        break;
+                    }
+                }
+            }
+
+            // ---- advance -------------------------------------------
+            prev_in_wire.copy_from_slice(&routing.in_wire);
+            prev_in_tuples.copy_from_slice(&routing.in_tuples);
+            prev_in_bytes.copy_from_slice(&routing.in_buffer_bytes);
+            inboxes = new_inboxes;
+            round += 1;
+        }
+
+        let outcome = outcome.unwrap_or(RunOutcome::Completed(total));
+        let states_flat = self.flatten_states(states);
+        RunResult {
+            outcome,
+            stats,
+            states: states_flat,
+        }
+    }
+
+    /// Run every worker's compute for one round; returns per-worker
+    /// outboxes and active-vertex counts.
+    fn compute_phase<P: VertexProgram>(
+        &self,
+        program: &P,
+        round: usize,
+        inboxes: Vec<Vec<Envelope<P::Message>>>,
+        states: &mut [Vec<P::State>],
+    ) -> (Vec<Outbox<P::Message>>, Vec<u64>) {
+        let parallel = self.partition.num_workers() > 1
+            && self.graph.num_vertices() >= PARALLEL_VERTEX_THRESHOLD;
+        if parallel {
+            let mut results: Vec<Option<(Outbox<P::Message>, u64)>> =
+                (0..states.len()).map(|_| None).collect();
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (((w, inbox), worker_states), slot) in inboxes
+                    .into_iter()
+                    .enumerate()
+                    .zip(states.iter_mut())
+                    .zip(results.iter_mut())
+                {
+                    let graph = self.graph;
+                    let vertices = &self.worker_vertices[w];
+                    let local_index = &self.local_index;
+                    let seed = self.config.seed;
+                    handles.push(scope.spawn(move |_| {
+                        *slot = Some(worker_pass(
+                            program,
+                            graph,
+                            round,
+                            seed,
+                            vertices,
+                            local_index,
+                            inbox,
+                            worker_states,
+                        ));
+                    }));
+                }
+                for h in handles {
+                    h.join().expect("worker thread panicked");
+                }
+            })
+            .expect("compute scope failed");
+            let mut outboxes = Vec::with_capacity(results.len());
+            let mut active = Vec::with_capacity(results.len());
+            for r in results {
+                let (ob, a) = r.expect("worker produced no result");
+                outboxes.push(ob);
+                active.push(a);
+            }
+            (outboxes, active)
+        } else {
+            let mut outboxes = Vec::with_capacity(states.len());
+            let mut active = Vec::with_capacity(states.len());
+            for ((w, inbox), worker_states) in
+                inboxes.into_iter().enumerate().zip(states.iter_mut())
+            {
+                let (ob, a) = worker_pass(
+                    program,
+                    self.graph,
+                    round,
+                    self.config.seed,
+                    &self.worker_vertices[w],
+                    &self.local_index,
+                    inbox,
+                    worker_states,
+                );
+                outboxes.push(ob);
+                active.push(a);
+            }
+            (outboxes, active)
+        }
+    }
+
+    /// Build the [`RoundDemand`] for the cost model from this round's
+    /// measurements (see DESIGN.md §4 for the formulas).
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_demand(
+        &self,
+        profile: &SystemProfile,
+        active: &[u64],
+        prev_in_wire: &[u64],
+        prev_in_tuples: &[u64],
+        prev_in_bytes: &[u64],
+        routing: &RoutingStats,
+        state_bytes: &[u64],
+        msg_bytes: u64,
+        async_mode: bool,
+    ) -> RoundDemand {
+        let workers = active.len();
+        let mut demand = RoundDemand::zeros(workers, false);
+        let mut total_processed = 0u64;
+        for w in 0..workers {
+            let processed = if profile.combiner {
+                prev_in_tuples[w]
+            } else {
+                prev_in_wire[w]
+            };
+            total_processed += processed;
+            demand.compute_ops[w] = (active[w] as f64 * profile.per_vertex_ops
+                + processed as f64 * profile.per_msg_ops)
+                * profile.lang_cpu_factor;
+            demand.net_out[w] = Bytes(routing.net_out_bytes[w]);
+            demand.net_in[w] = Bytes(routing.net_in_bytes[w]);
+
+            let msg_buffer = prev_in_bytes[w] + routing.out_buffer_bytes[w];
+            let mut memory = (state_bytes[w] as f64 * profile.mem_overhead_factor) as u64;
+            if !self.config.residual_bytes.is_empty() {
+                memory += self.config.residual_bytes[w];
+            }
+            match profile.out_of_core {
+                Some(ooc) => {
+                    let budget = ooc.message_budget.get();
+                    let overhead_buf =
+                        (msg_buffer as f64 * profile.mem_overhead_factor) as u64;
+                    let resident = overhead_buf.min(budget);
+                    let spill = overhead_buf.saturating_sub(budget);
+                    memory += resident;
+                    demand.spill[w] = Bytes(spill);
+                    demand.spill_messages[w] = spill.checked_div(msg_bytes).unwrap_or(0);
+                    if ooc.stream_edges {
+                        demand.stream[w] = Bytes(self.graph_bytes[w]);
+                    } else {
+                        memory += (self.graph_bytes[w] as f64 * profile.graph_mem_factor) as u64;
+                    }
+                }
+                None => {
+                    memory += (msg_buffer as f64 * profile.mem_overhead_factor) as u64;
+                    memory += (self.graph_bytes[w] as f64 * profile.graph_mem_factor) as u64;
+                }
+            }
+            demand.memory[w] = Bytes(memory);
+        }
+        demand.lock_ops = if async_mode { total_processed as f64 } else { 0.0 };
+        demand
+    }
+
+    fn flatten_states<S: Default + Clone>(&self, mut states: Vec<Vec<S>>) -> Vec<S> {
+        let mut out = vec![S::default(); self.graph.num_vertices()];
+        for (w, list) in self.worker_vertices.iter().enumerate() {
+            for (i, &v) in list.iter().enumerate() {
+                out[v as usize] = std::mem::take(&mut states[w][i]);
+            }
+        }
+        out
+    }
+}
+
+/// Execute one worker's share of a round.
+#[allow(clippy::too_many_arguments)]
+fn worker_pass<P: VertexProgram>(
+    program: &P,
+    graph: &Graph,
+    round: usize,
+    seed: u64,
+    vertices: &[VertexId],
+    local_index: &[u32],
+    inbox: Vec<Envelope<P::Message>>,
+    states: &mut [P::State],
+) -> (Outbox<P::Message>, u64) {
+    let mut outbox = Outbox::new();
+    let mut active = 0u64;
+    if round == 0 {
+        for &v in vertices {
+            let mut rng = vertex_rng(seed, round, v);
+            let mut ctx = Context::new(v, round, graph, &mut rng, &mut outbox);
+            program.init(v, &mut states[local_index[v as usize] as usize], &mut ctx);
+        }
+        active = vertices.len() as u64;
+    } else {
+        // Group the inbox by destination with a counting sort over the
+        // worker's local vertex indices — O(m + n_w), stable (arrival
+        // order within a destination is preserved), and far cheaper
+        // than a comparison sort at congestion-level message volumes.
+        let nloc = states.len();
+        let mut counts = vec![0u32; nloc + 1];
+        for e in &inbox {
+            counts[local_index[e.dest as usize] as usize + 1] += 1;
+        }
+        for i in 1..=nloc {
+            counts[i] += counts[i - 1];
+        }
+        let mut order: Vec<u32> = vec![0; inbox.len()];
+        {
+            let mut cursor = counts.clone();
+            for (i, e) in inbox.iter().enumerate() {
+                let li = local_index[e.dest as usize] as usize;
+                order[cursor[li] as usize] = i as u32;
+                cursor[li] += 1;
+            }
+        }
+        let mut pairs: Vec<(P::Message, u64)> = Vec::new();
+        for li in 0..nloc {
+            let (start, end) = (counts[li] as usize, counts[li + 1] as usize);
+            if start == end {
+                continue;
+            }
+            let dest = inbox[order[start] as usize].dest;
+            pairs.clear();
+            for &idx in &order[start..end] {
+                let e = &inbox[idx as usize];
+                pairs.push((e.msg.clone(), e.mult));
+            }
+            active += 1;
+            let mut rng = vertex_rng(seed, round, dest);
+            let mut ctx = Context::new(dest, round, graph, &mut rng, &mut outbox);
+            program.compute(
+                dest,
+                &mut states[local_index[dest as usize] as usize],
+                &pairs,
+                &mut ctx,
+            );
+        }
+    }
+    (outbox, active)
+}
+
+/// Deterministic per-(round, vertex) RNG: thread scheduling cannot
+/// affect results.
+fn vertex_rng(seed: u64, round: usize, v: VertexId) -> SmallRng {
+    SmallRng::seed_from_u64(mix64(
+        seed ^ ((round as u64) << 40) ^ ((v as u64).wrapping_mul(0x9E37_79B9)),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use mtvc_graph::generators;
+    use mtvc_graph::partition::HashPartitioner;
+
+    /// Flood: source 0 broadcasts its id; every vertex forwards once.
+    /// Computes hop levels — checkable against BFS.
+    struct Flood;
+
+    #[derive(Clone, Debug)]
+    struct Hop(u32);
+    impl Message for Hop {
+        fn combine_key(&self) -> Option<u64> {
+            Some(0)
+        }
+        fn merge(&mut self, other: &Self) {
+            self.0 = self.0.min(other.0);
+        }
+    }
+
+    #[derive(Clone, Default)]
+    struct Level(Option<u32>);
+
+    impl VertexProgram for Flood {
+        type Message = Hop;
+        type State = Level;
+
+        fn message_bytes(&self) -> u64 {
+            8
+        }
+
+        fn init(&self, v: VertexId, state: &mut Level, ctx: &mut Context<'_, Hop>) {
+            if v == 0 {
+                state.0 = Some(0);
+                for &t in ctx.neighbors() {
+                    ctx.send(t, Hop(1), 1);
+                }
+            }
+        }
+
+        fn compute(
+            &self,
+            _v: VertexId,
+            state: &mut Level,
+            inbox: &[(Hop, u64)],
+            ctx: &mut Context<'_, Hop>,
+        ) {
+            let best = inbox.iter().map(|(m, _)| m.0).min().unwrap();
+            if state.0.map(|l| best < l).unwrap_or(true) {
+                state.0 = Some(best);
+                ctx.add_state_bytes(4);
+                for &t in ctx.neighbors() {
+                    ctx.send(t, Hop(best + 1), 1);
+                }
+            }
+        }
+    }
+
+    fn config(machines: usize) -> EngineConfig {
+        EngineConfig::new(
+            ClusterSpec::galaxy(machines),
+            SystemProfile::base("test"),
+        )
+    }
+
+    #[test]
+    fn flood_levels_match_bfs() {
+        let g = generators::grid(8, 9);
+        let runner = Runner::new(&g, &HashPartitioner::default(), config(4));
+        let result = runner.run(&Flood);
+        assert!(result.outcome.is_completed());
+        let reference = mtvc_graph::reference::bfs_levels(&g, 0);
+        for v in g.vertices() {
+            let got = result.states[v as usize].0;
+            let want = reference[v as usize];
+            if want == u32::MAX {
+                assert_eq!(got, None);
+            } else {
+                assert_eq!(got, Some(want), "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_partitions_counts() {
+        let g = generators::power_law(300, 1200, 2.3, 5);
+        let r1 = Runner::new(&g, &HashPartitioner::default(), config(4)).run(&Flood);
+        let r2 = Runner::new(&g, &HashPartitioner::default(), config(4)).run(&Flood);
+        assert_eq!(r1.stats.total_messages_sent, r2.stats.total_messages_sent);
+        assert_eq!(r1.outcome, r2.outcome);
+    }
+
+    #[test]
+    fn stats_record_rounds_and_messages() {
+        let g = generators::ring(16, true);
+        let result = Runner::new(&g, &HashPartitioner::default(), config(2)).run(&Flood);
+        // Ring of 16: flood takes ~8 forwarding rounds.
+        assert!(result.stats.rounds >= 8);
+        assert!(result.stats.total_messages_sent > 16);
+        assert!(result.stats.total_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn combiner_reduces_delivered_messages() {
+        let g = generators::complete(24);
+        let mut cfg = config(4);
+        cfg.profile.combiner = true;
+        let with = Runner::new(&g, &HashPartitioner::default(), cfg).run(&Flood);
+        let without = Runner::new(&g, &HashPartitioner::default(), config(4)).run(&Flood);
+        assert_eq!(
+            with.stats.total_messages_sent,
+            without.stats.total_messages_sent
+        );
+        assert!(
+            with.stats.total_messages_delivered < without.stats.total_messages_delivered,
+            "combined {} vs uncombined {}",
+            with.stats.total_messages_delivered,
+            without.stats.total_messages_delivered
+        );
+    }
+
+    #[test]
+    fn cutoff_yields_overload() {
+        let g = generators::grid(20, 20);
+        let mut cfg = config(2);
+        cfg.cutoff = SimTime::secs(0.5);
+        let result = Runner::new(&g, &HashPartitioner::default(), cfg).run(&Flood);
+        assert!(result.outcome.is_overload());
+    }
+
+    #[test]
+    fn tiny_memory_overflows() {
+        let g = generators::complete(64);
+        let mut cfg = config(2);
+        // Capacity of ~1 KB cannot hold anything.
+        cfg.cluster.machine.memory = Bytes::kib(1);
+        let result = Runner::new(&g, &HashPartitioner::default(), cfg).run(&Flood);
+        assert!(result.outcome.is_overflow());
+    }
+
+    #[test]
+    fn residual_memory_raises_pressure() {
+        let g = generators::ring(64, true);
+        let base = Runner::new(&g, &HashPartitioner::default(), config(2))
+            .run(&Flood)
+            .stats
+            .peak_memory;
+        let mut cfg = config(2);
+        cfg.residual_bytes = vec![1_000_000; 2];
+        let with = Runner::new(&g, &HashPartitioner::default(), cfg)
+            .run(&Flood)
+            .stats
+            .peak_memory;
+        assert!(with > base);
+    }
+
+    #[test]
+    fn async_profile_runs_and_skips_barrier() {
+        let g = generators::ring(64, true);
+        let mut cfg = config(4);
+        cfg.profile.sync = SyncMode::Asynchronous;
+        let async_run = Runner::new(&g, &HashPartitioner::default(), cfg).run(&Flood);
+        let sync_run = Runner::new(&g, &HashPartitioner::default(), config(4)).run(&Flood);
+        assert!(async_run.outcome.is_completed());
+        // Light load: no barrier makes async faster (§4.8's PageRank
+        // observation).
+        assert!(async_run.stats.total_time < sync_run.stats.total_time);
+    }
+
+    #[test]
+    fn ooc_profile_spills_when_budget_tiny() {
+        let g = generators::complete(48);
+        let mut cfg = config(2);
+        cfg.profile.out_of_core = Some(crate::profile::OocConfig {
+            message_budget: Bytes::new(64),
+            stream_edges: true,
+        });
+        let result = Runner::new(&g, &HashPartitioner::default(), cfg).run(&Flood);
+        assert!(result.outcome.is_completed());
+        assert!(result.stats.total_spilled_bytes > Bytes::ZERO);
+        assert!(result.stats.max_disk_utilization > 0.0);
+    }
+
+    #[test]
+    fn broadcast_mode_runs_flood_equivalently() {
+        /// Broadcast flood: same levels via ctx.broadcast.
+        struct BFlood;
+        impl VertexProgram for BFlood {
+            type Message = Hop;
+            type State = Level;
+            fn message_bytes(&self) -> u64 {
+                8
+            }
+            fn init(&self, v: VertexId, state: &mut Level, ctx: &mut Context<'_, Hop>) {
+                if v == 0 {
+                    state.0 = Some(0);
+                    ctx.broadcast(Hop(1), 1);
+                }
+            }
+            fn compute(
+                &self,
+                _v: VertexId,
+                state: &mut Level,
+                inbox: &[(Hop, u64)],
+                ctx: &mut Context<'_, Hop>,
+            ) {
+                let best = inbox.iter().map(|(m, _)| m.0).min().unwrap();
+                if state.0.map(|l| best < l).unwrap_or(true) {
+                    state.0 = Some(best);
+                    ctx.broadcast(Hop(best + 1), 1);
+                }
+            }
+        }
+        let g = generators::power_law(200, 900, 2.2, 3);
+        let mut cfg = config(4);
+        cfg.profile.mode = ExecutionMode::Broadcast { mirror_threshold: 8 };
+        let result = Runner::new(&g, &HashPartitioner::default(), cfg).run(&BFlood);
+        assert!(result.outcome.is_completed());
+        let reference = mtvc_graph::reference::bfs_levels(&g, 0);
+        for v in g.vertices() {
+            let got = result.states[v as usize].0;
+            let want = reference[v as usize];
+            if want == u32::MAX {
+                assert_eq!(got, None, "vertex {v}");
+            } else {
+                assert_eq!(got, Some(want), "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_rounds_guard_overloads() {
+        let g = generators::ring(32, true);
+        let mut cfg = config(2);
+        cfg.max_rounds = 3;
+        let result = Runner::new(&g, &HashPartitioner::default(), cfg).run(&Flood);
+        assert!(result.outcome.is_overload());
+    }
+}

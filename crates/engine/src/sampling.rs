@@ -1,0 +1,192 @@
+//! Random-variate sampling used by the aggregated random-walk tasks
+//! and by [`crate::Context::send_uniform_spread`].
+//!
+//! BPPR moves random walks in aggregated form: a vertex holding `n`
+//! walks of one source samples how many stop (binomial) and how the
+//! rest spread over `d` neighbors (uniform multinomial). The samplers
+//! here are exact for small counts and use a moment-matched normal
+//! approximation for large counts, keeping expectations exact — which
+//! is what the unbiasedness of the PPR estimator requires.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Sample `Binomial(n, p)`.
+///
+/// Exact Bernoulli summation for `n ≤ 64`; otherwise a normal
+/// approximation with continuity correction, clamped to `[0, n]`. The
+/// approximation error is negligible for the n where it is used
+/// (`n > 64` ⇒ `np(1-p)` large for the p ∈ [0.1, 0.9] range BPPR uses).
+pub fn binomial(rng: &mut SmallRng, n: u64, p: f64) -> u64 {
+    debug_assert!((0.0..=1.0).contains(&p), "p out of range: {p}");
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if n <= 64 {
+        let mut count = 0;
+        for _ in 0..n {
+            if rng.gen::<f64>() < p {
+                count += 1;
+            }
+        }
+        count
+    } else {
+        let mean = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        let z = standard_normal(rng);
+        let x = (mean + sd * z).round();
+        x.clamp(0.0, n as f64) as u64
+    }
+}
+
+/// Standard normal variate via Box–Muller.
+fn standard_normal(rng: &mut SmallRng) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Spread `n` items uniformly over `k` bins (multinomial with equal
+/// probabilities). Calls `emit(bin, count)` for non-empty bins; a bin
+/// may be emitted more than once (callers must treat emissions as
+/// additive).
+///
+/// Two regimes: when `n` is tiny it is cheaper to place each item
+/// individually (no allocation); otherwise the conditional binomial
+/// method runs in `O(k)`.
+pub fn multinomial_uniform(
+    rng: &mut SmallRng,
+    n: u64,
+    k: usize,
+    mut emit: impl FnMut(usize, u64),
+) {
+    if n == 0 || k == 0 {
+        return;
+    }
+    if k == 1 {
+        emit(0, n);
+        return;
+    }
+    if n < k as u64 && n <= 32 {
+        // Sparse placement: one draw per item, no allocation. The same
+        // bin may be emitted repeatedly; emissions are additive.
+        for _ in 0..n {
+            emit(rng.gen_range(0..k), 1);
+        }
+    } else {
+        // Conditional binomials: bin i gets Binomial(rem, 1/(k-i)).
+        let mut rem = n;
+        for i in 0..k {
+            if rem == 0 {
+                break;
+            }
+            let left = (k - i) as f64;
+            let c = if i == k - 1 {
+                rem
+            } else {
+                binomial(rng, rem, 1.0 / left)
+            };
+            if c > 0 {
+                emit(i, c);
+            }
+            rem -= c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut r = rng(1);
+        assert_eq!(binomial(&mut r, 0, 0.5), 0);
+        assert_eq!(binomial(&mut r, 10, 0.0), 0);
+        assert_eq!(binomial(&mut r, 10, 1.0), 10);
+    }
+
+    #[test]
+    fn binomial_small_n_mean() {
+        let mut r = rng(2);
+        let trials = 20_000;
+        let sum: u64 = (0..trials).map(|_| binomial(&mut r, 20, 0.3)).sum();
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 6.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_large_n_mean_and_bounds() {
+        let mut r = rng(3);
+        let trials = 5_000;
+        let mut sum = 0u64;
+        for _ in 0..trials {
+            let x = binomial(&mut r, 10_000, 0.2);
+            assert!(x <= 10_000);
+            sum += x;
+        }
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 2000.0).abs() < 10.0, "mean {mean}");
+    }
+
+    #[test]
+    fn multinomial_conserves_total() {
+        let mut r = rng(4);
+        for &(n, k) in &[(100u64, 7usize), (5, 100), (1000, 3), (0, 5), (64, 64)] {
+            let mut total = 0;
+            multinomial_uniform(&mut r, n, k, |b, c| {
+                assert!(b < k);
+                total += c;
+            });
+            assert_eq!(total, n, "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn multinomial_is_roughly_uniform() {
+        let mut r = rng(5);
+        let k = 8;
+        let mut counts = vec![0u64; k];
+        for _ in 0..200 {
+            multinomial_uniform(&mut r, 400, k, |b, c| counts[b] += c);
+        }
+        let total: u64 = counts.iter().sum();
+        assert_eq!(total, 80_000);
+        let expect = total as f64 / k as f64;
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.05,
+                "bin {b}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn multinomial_single_bin() {
+        let mut r = rng(6);
+        let mut got = None;
+        multinomial_uniform(&mut r, 42, 1, |b, c| got = Some((b, c)));
+        assert_eq!(got, Some((0, 42)));
+    }
+
+    #[test]
+    fn sparse_branch_hits_each_item() {
+        let mut r = rng(7);
+        let mut total = 0;
+        // n=3 < k=1000 triggers the sparse path.
+        multinomial_uniform(&mut r, 3, 1000, |b, c| {
+            assert!(b < 1000);
+            total += c;
+        });
+        assert_eq!(total, 3);
+    }
+}

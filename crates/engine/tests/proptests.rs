@@ -1,0 +1,224 @@
+//! Property-based tests for the engine: message conservation, sampler
+//! distribution laws, and scheduling-independence of results.
+
+use mtvc_cluster::ClusterSpec;
+use mtvc_engine::sampling::{binomial, multinomial_uniform};
+use mtvc_engine::{Context, EngineConfig, Message, Runner, SystemProfile, VertexProgram};
+use mtvc_graph::partition::HashPartitioner;
+use mtvc_graph::{generators, VertexId};
+use mtvc_metrics::SimTime;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binomial_stays_in_range(n in 0u64..200_000, p in 0.0f64..=1.0, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let x = binomial(&mut rng, n, p);
+        prop_assert!(x <= n);
+    }
+
+    #[test]
+    fn multinomial_conserves_count(n in 0u64..50_000, k in 1usize..500, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut total = 0u64;
+        multinomial_uniform(&mut rng, n, k, |bin, c| {
+            assert!(bin < k);
+            total += c;
+        });
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn binomial_mean_is_np(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let trials = 3000;
+        let (n, p) = (30u64, 0.25);
+        let sum: u64 = (0..trials).map(|_| binomial(&mut rng, n, p)).sum();
+        let mean = sum as f64 / trials as f64;
+        // 4-sigma band: sd of the mean = sqrt(np(1-p)/trials) ≈ 0.043
+        prop_assert!((mean - 7.5).abs() < 0.2, "mean {mean}");
+    }
+}
+
+/// Token-passing program: every vertex sends `tokens` unit messages to
+/// each neighbor for `rounds` rounds; receivers count. Used to check
+/// message conservation through the router.
+struct TokenFlood {
+    rounds: usize,
+}
+
+#[derive(Clone, Debug)]
+struct Token;
+impl Message for Token {
+    fn combine_key(&self) -> Option<u64> {
+        Some(0)
+    }
+    fn merge(&mut self, _o: &Self) {}
+}
+
+#[derive(Clone, Default)]
+struct Received(u64);
+
+impl VertexProgram for TokenFlood {
+    type Message = Token;
+    type State = Received;
+
+    fn message_bytes(&self) -> u64 {
+        8
+    }
+
+    fn init(&self, _v: VertexId, _state: &mut Received, ctx: &mut Context<'_, Token>) {
+        for &t in ctx.neighbors() {
+            ctx.send(t, Token, 3);
+        }
+    }
+
+    fn compute(
+        &self,
+        _v: VertexId,
+        state: &mut Received,
+        inbox: &[(Token, u64)],
+        ctx: &mut Context<'_, Token>,
+    ) {
+        for (_, mult) in inbox {
+            state.0 += mult;
+        }
+        if ctx.round() < self.rounds {
+            for &t in ctx.neighbors() {
+                ctx.send(t, Token, 3);
+            }
+        }
+    }
+
+    fn max_rounds(&self) -> Option<usize> {
+        Some(self.rounds + 1)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn messages_are_conserved_through_routing(
+        n in 8usize..120,
+        workers in 1usize..9,
+        rounds in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::erdos_renyi(n, n * 2, seed);
+        let mut cfg = EngineConfig::new(ClusterSpec::galaxy(workers), SystemProfile::base("t"));
+        cfg.cutoff = SimTime::secs(1e12);
+        cfg.seed = seed;
+        let runner = Runner::new(&g, &HashPartitioner { salt: seed }, cfg);
+        let result = runner.run(&TokenFlood { rounds });
+        prop_assert!(result.outcome.is_completed());
+        // Sending rounds are 0..rounds, each emitting 3 tokens per
+        // directed edge; every one is delivered within the horizon.
+        let expected = 3 * g.num_edges() as u64 * rounds as u64;
+        prop_assert_eq!(result.stats.total_messages_sent, expected);
+        let received: u64 = result.states.iter().map(|s| s.0).sum();
+        prop_assert_eq!(received, expected);
+    }
+
+    #[test]
+    fn partitioning_does_not_change_task_results(
+        n in 10usize..80,
+        seed in any::<u64>(),
+        workers_a in 1usize..8,
+        workers_b in 1usize..8,
+    ) {
+        // MSSP is deterministic: results must be identical regardless
+        // of how vertices are partitioned (scheduling independence).
+        let g = generators::power_law(n, n * 4, 2.4, seed);
+        let sources = vec![0 as VertexId, (n / 2) as VertexId];
+        let run = |workers: usize| {
+            let mut cfg = EngineConfig::new(ClusterSpec::galaxy(workers), SystemProfile::base("t"));
+            cfg.cutoff = SimTime::secs(1e12);
+            let runner = Runner::new(&g, &HashPartitioner { salt: seed }, cfg);
+            runner.run(&mtvc_tasks_free_mssp(sources.clone()))
+        };
+        let a = run(workers_a);
+        let b = run(workers_b);
+        prop_assert!(a.outcome.is_completed() && b.outcome.is_completed());
+        for v in 0..n {
+            prop_assert_eq!(&a.states[v].dist, &b.states[v].dist, "vertex {}", v);
+        }
+    }
+}
+
+/// A minimal MSSP used here so this crate's tests do not depend on
+/// `mtvc-tasks` (which depends on this crate).
+fn mtvc_tasks_free_mssp(sources: Vec<VertexId>) -> MiniMssp {
+    MiniMssp { sources }
+}
+
+struct MiniMssp {
+    sources: Vec<VertexId>,
+}
+
+#[derive(Clone, Debug)]
+struct Dist {
+    q: u32,
+    d: u64,
+}
+impl Message for Dist {
+    fn combine_key(&self) -> Option<u64> {
+        Some(self.q as u64)
+    }
+    fn merge(&mut self, o: &Self) {
+        self.d = self.d.min(o.d);
+    }
+}
+
+#[derive(Clone, Default, Debug, PartialEq)]
+struct DistMap {
+    dist: std::collections::BTreeMap<u32, u64>,
+}
+
+impl VertexProgram for MiniMssp {
+    type Message = Dist;
+    type State = DistMap;
+
+    fn message_bytes(&self) -> u64 {
+        16
+    }
+
+    fn init(&self, v: VertexId, state: &mut DistMap, ctx: &mut Context<'_, Dist>) {
+        for (q, &s) in self.sources.iter().enumerate() {
+            if s == v {
+                state.dist.insert(q as u32, 0);
+                for &t in ctx.neighbors() {
+                    ctx.send(t, Dist { q: q as u32, d: 1 }, 1);
+                }
+            }
+        }
+    }
+
+    fn compute(
+        &self,
+        _v: VertexId,
+        state: &mut DistMap,
+        inbox: &[(Dist, u64)],
+        ctx: &mut Context<'_, Dist>,
+    ) {
+        let mut improved = Vec::new();
+        for (m, _) in inbox {
+            let cur = state.dist.get(&m.q).copied().unwrap_or(u64::MAX);
+            if m.d < cur {
+                state.dist.insert(m.q, m.d);
+                improved.push((m.q, m.d));
+            }
+        }
+        improved.sort_unstable();
+        improved.dedup();
+        for (q, d) in improved {
+            for &t in ctx.neighbors() {
+                ctx.send(t, Dist { q, d: d + 1 }, 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The experiment harness cannot download the SNAP datasets the paper
+//! uses, so DESIGN.md substitutes scaled synthetic graphs with matching
+//! shape. Everything here is seeded and reproducible: the same call with
+//! the same seed yields the same graph on every platform.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Simple cycle `0 → 1 → … → n-1 → 0` (plus reverse edges when
+/// `undirected`). Handy in unit tests: every vertex has the same degree.
+pub fn ring(n: usize, undirected: bool) -> Graph {
+    let mut b = GraphBuilder::new(n).undirected(undirected);
+    for v in 0..n as u32 {
+        b.add_edge(v, ((v as usize + 1) % n) as VertexId);
+    }
+    b.build()
+}
+
+/// `rows × cols` 4-neighbor grid, undirected. Useful for MSSP tests
+/// where shortest distances are known in closed form.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::new(n).undirected(true);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Star: vertex 0 connected to all others, undirected. The canonical
+/// high-skew graph for mirroring tests.
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n).undirected(true);
+    for v in 1..n as u32 {
+        b.add_edge(0, v);
+    }
+    b.build()
+}
+
+/// Complete graph on `n` vertices (directed both ways).
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi G(n, m): `target_edges` undirected edges sampled
+/// uniformly (dedup may drop a few duplicates).
+pub fn erdos_renyi(n: usize, target_edges: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n).undirected(true);
+    for _ in 0..target_edges {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Chung–Lu power-law graph: endpoint `i` of every edge is drawn with
+/// probability ∝ `(i+1)^(-1/(gamma-1))`, giving an expected power-law
+/// degree distribution with exponent `gamma`. `target_edges` undirected
+/// edges are sampled; duplicates are deduplicated.
+///
+/// Social networks sit around `gamma ∈ [2.0, 2.6]`; smaller `gamma`
+/// means heavier skew.
+pub fn power_law(n: usize, target_edges: usize, gamma: f64, seed: u64) -> Graph {
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Cumulative weights for inverse-transform sampling.
+    let alpha = -1.0 / (gamma - 1.0);
+    let mut cum = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for i in 0..n {
+        total += ((i + 1) as f64).powf(alpha);
+        cum.push(total);
+    }
+    let sample = |rng: &mut SmallRng| -> VertexId {
+        let x = rng.gen_range(0.0..total);
+        // First index with cum[i] >= x.
+        cum.partition_point(|&c| c < x) as VertexId
+    };
+    let mut b = GraphBuilder::new(n).undirected(true);
+    for _ in 0..target_edges {
+        let u = sample(&mut rng);
+        let v = sample(&mut rng);
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// R-MAT generator (Chakrabarti et al.): recursively drops each edge
+/// into one of four adjacency-matrix quadrants with probabilities
+/// `(a, b, c, d)`. `scale` is log2 of the vertex count. Produces the
+/// heavy skew characteristic of web/Twitter-style graphs.
+pub fn rmat(scale: u32, target_edges: usize, probs: (f64, f64, f64, f64), seed: u64) -> Graph {
+    let (a, b_, c, d) = probs;
+    let sum = a + b_ + c + d;
+    assert!((sum - 1.0).abs() < 1e-9, "R-MAT probabilities must sum to 1");
+    let n = 1usize << scale;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n).undirected(true);
+    for _ in 0..target_edges {
+        let (mut lo_u, mut hi_u) = (0usize, n);
+        let (mut lo_v, mut hi_v) = (0usize, n);
+        while hi_u - lo_u > 1 {
+            let r: f64 = rng.gen();
+            let (right, down) = if r < a {
+                (false, false)
+            } else if r < a + b_ {
+                (true, false)
+            } else if r < a + b_ + c {
+                (false, true)
+            } else {
+                (true, true)
+            };
+            let mid_u = (lo_u + hi_u) / 2;
+            let mid_v = (lo_v + hi_v) / 2;
+            if down {
+                lo_u = mid_u;
+            } else {
+                hi_u = mid_u;
+            }
+            if right {
+                lo_v = mid_v;
+            } else {
+                hi_v = mid_v;
+            }
+        }
+        if lo_u != lo_v {
+            builder.add_edge(lo_u as VertexId, lo_v as VertexId);
+        }
+    }
+    builder.build()
+}
+
+/// Return a copy of `g` with uniformly random edge weights in
+/// `[lo, hi]`. Symmetric edges get independent weights (the engine's
+/// MSSP treats the graph as directed, as Pregel does).
+pub fn with_random_weights(g: &Graph, lo: u32, hi: u32, seed: u64) -> Graph {
+    assert!(lo >= 1 && lo <= hi, "weight range must satisfy 1 <= lo <= hi");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(g.num_vertices()).force_weighted();
+    for v in g.vertices() {
+        for &t in g.neighbors(v) {
+            b.add_weighted_edge(v, t, rng.gen_range(lo..=hi));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_degrees() {
+        let g = ring(5, true);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 2);
+        }
+        let gd = ring(5, false);
+        for v in gd.vertices() {
+            assert_eq!(gd.degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        let g = grid(3, 4);
+        // 3*3 horizontal + 2*4 vertical = 17 undirected = 34 directed.
+        assert_eq!(g.num_edges(), 34);
+        assert_eq!(g.num_vertices(), 12);
+    }
+
+    #[test]
+    fn star_center_degree() {
+        let g = star(10);
+        assert_eq!(g.degree(0), 9);
+        assert_eq!(g.degree(5), 1);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = complete(4);
+        assert_eq!(g.num_edges(), 12);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_deterministic_and_sized() {
+        let g1 = erdos_renyi(100, 300, 7);
+        let g2 = erdos_renyi(100, 300, 7);
+        assert_eq!(g1, g2);
+        // Some duplicates possible, but should be close to 600 directed.
+        assert!(g1.num_edges() > 400 && g1.num_edges() <= 600);
+    }
+
+    #[test]
+    fn power_law_is_skewed() {
+        let g = power_law(1000, 5000, 2.2, 42);
+        let (_, dmax) = g.max_degree();
+        let avg = g.avg_degree();
+        // Heavy tail: max degree far above the average.
+        assert!(
+            dmax as f64 > 8.0 * avg,
+            "expected skew: max {dmax} vs avg {avg}"
+        );
+    }
+
+    #[test]
+    fn power_law_deterministic() {
+        assert_eq!(power_law(200, 800, 2.5, 1), power_law(200, 800, 2.5, 1));
+    }
+
+    #[test]
+    fn rmat_shape() {
+        let g = rmat(10, 4000, (0.57, 0.19, 0.19, 0.05), 3);
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.num_edges() > 4000); // undirected doubling minus dedup
+        let (_, dmax) = g.max_degree();
+        assert!(dmax as f64 > 5.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn random_weights_attach() {
+        let g = with_random_weights(&ring(10, true), 2, 9, 5);
+        assert!(g.is_weighted());
+        for v in g.vertices() {
+            for (_, w) in g.weighted_neighbors(v) {
+                assert!((2..=9).contains(&w));
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Vertex partitioners.
+//!
+//! Each VC-system in the paper uses its own default partitioning
+//! (Section 4: "Pregel+ uses random hash on vertices; GraphLab
+//! partitions the graphs by edges"). We model vertex-partitioning
+//! schemes: random hash (Pregel+/Giraph/GraphD default), contiguous
+//! range, and a greedy edge-balanced scheme standing in for GraphLab's
+//! edge cuts (it balances *edge* load across workers, which is the
+//! property that matters to the cost model).
+
+use crate::csr::{Graph, VertexId};
+use crate::hash::mix64;
+use serde::{Deserialize, Serialize};
+
+/// A worker (machine) index within the simulated cluster.
+pub type WorkerId = u16;
+
+/// An assignment of every vertex to a worker.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    owner: Vec<WorkerId>,
+    num_workers: usize,
+}
+
+impl Partition {
+    /// Build from an explicit owner array.
+    pub fn from_owners(owner: Vec<WorkerId>, num_workers: usize) -> Partition {
+        assert!(num_workers > 0, "at least one worker required");
+        assert!(
+            owner.iter().all(|&w| (w as usize) < num_workers),
+            "owner out of range"
+        );
+        Partition { owner, num_workers }
+    }
+
+    #[inline]
+    pub fn owner_of(&self, v: VertexId) -> WorkerId {
+        self.owner[v as usize]
+    }
+
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Vertices owned by each worker, in id order.
+    pub fn worker_vertices(&self) -> Vec<Vec<VertexId>> {
+        let mut per: Vec<Vec<VertexId>> = vec![Vec::new(); self.num_workers];
+        for (v, &w) in self.owner.iter().enumerate() {
+            per[w as usize].push(v as VertexId);
+        }
+        per
+    }
+
+    /// Vertex count per worker.
+    pub fn worker_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_workers];
+        for &w in &self.owner {
+            sizes[w as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Directed edges per worker (edges whose *source* the worker owns).
+    pub fn worker_edge_loads(&self, g: &Graph) -> Vec<u64> {
+        let mut loads = vec![0u64; self.num_workers];
+        for v in g.vertices() {
+            loads[self.owner_of(v) as usize] += g.degree(v) as u64;
+        }
+        loads
+    }
+
+    /// Fraction of directed edges whose endpoints live on different
+    /// workers — the traffic that crosses the (simulated) network.
+    pub fn cut_fraction(&self, g: &Graph) -> f64 {
+        if g.num_edges() == 0 {
+            return 0.0;
+        }
+        let mut cut = 0u64;
+        for v in g.vertices() {
+            let wv = self.owner_of(v);
+            for &t in g.neighbors(v) {
+                if self.owner_of(t) != wv {
+                    cut += 1;
+                }
+            }
+        }
+        cut as f64 / g.num_edges() as f64
+    }
+}
+
+/// Strategy for producing a [`Partition`].
+pub trait Partitioner {
+    fn partition(&self, g: &Graph, num_workers: usize) -> Partition;
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Random hash on vertex ids — the Pregel+/Giraph/GraphD default.
+/// Deterministic given the same salt.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashPartitioner {
+    pub salt: u64,
+}
+
+impl Partitioner for HashPartitioner {
+    fn partition(&self, g: &Graph, num_workers: usize) -> Partition {
+        assert!(num_workers > 0 && num_workers <= WorkerId::MAX as usize);
+        let owner = g
+            .vertices()
+            .map(|v| (mix64(v as u64 ^ self.salt) % num_workers as u64) as WorkerId)
+            .collect();
+        Partition::from_owners(owner, num_workers)
+    }
+
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+}
+
+/// Contiguous ranges of vertex ids, sizes balanced to ±1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RangePartitioner;
+
+impl Partitioner for RangePartitioner {
+    fn partition(&self, g: &Graph, num_workers: usize) -> Partition {
+        assert!(num_workers > 0 && num_workers <= WorkerId::MAX as usize);
+        let n = g.num_vertices();
+        let base = n / num_workers;
+        let extra = n % num_workers;
+        let mut owner = Vec::with_capacity(n);
+        for w in 0..num_workers {
+            let count = base + usize::from(w < extra);
+            owner.extend(std::iter::repeat_n(w as WorkerId, count));
+        }
+        Partition::from_owners(owner, num_workers)
+    }
+
+    fn name(&self) -> &'static str {
+        "range"
+    }
+}
+
+/// Greedy edge-balancing: vertices in decreasing degree order, each
+/// assigned to the worker with the smallest current edge load. Stands in
+/// for GraphLab's edge-balanced placement.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdgeBalancedPartitioner;
+
+impl Partitioner for EdgeBalancedPartitioner {
+    fn partition(&self, g: &Graph, num_workers: usize) -> Partition {
+        assert!(num_workers > 0 && num_workers <= WorkerId::MAX as usize);
+        let n = g.num_vertices();
+        let mut order: Vec<VertexId> = g.vertices().collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+        let mut owner = vec![0 as WorkerId; n];
+        let mut loads = vec![0u64; num_workers];
+        for v in order {
+            let w = loads
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &l)| l)
+                .map(|(i, _)| i)
+                .unwrap();
+            owner[v as usize] = w as WorkerId;
+            // +1 so zero-degree vertices also spread out.
+            loads[w] += g.degree(v) as u64 + 1;
+        }
+        Partition::from_owners(owner, num_workers)
+    }
+
+    fn name(&self) -> &'static str {
+        "edge-balanced"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn hash_partition_covers_all_workers() {
+        let g = generators::ring(1000, true);
+        let p = HashPartitioner::default().partition(&g, 8);
+        let sizes = p.worker_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 1000);
+        assert!(sizes.iter().all(|&s| s > 0), "empty worker: {sizes:?}");
+        // Roughly balanced: within 3x of the mean.
+        assert!(sizes.iter().all(|&s| s < 375));
+    }
+
+    #[test]
+    fn range_partition_is_contiguous_and_balanced() {
+        let g = generators::ring(10, true);
+        let p = RangePartitioner.partition(&g, 3);
+        assert_eq!(p.worker_sizes(), vec![4, 3, 3]);
+        assert_eq!(p.owner_of(0), 0);
+        assert_eq!(p.owner_of(9), 2);
+    }
+
+    #[test]
+    fn edge_balanced_spreads_hubs() {
+        let g = generators::star(101);
+        let p = EdgeBalancedPartitioner.partition(&g, 4);
+        let loads = p.worker_edge_loads(&g);
+        // The hub (degree 100) lands alone on one worker; leaves spread
+        // across others. No worker should carry hub + many leaves.
+        let max = *loads.iter().max().unwrap();
+        let total: u64 = loads.iter().sum();
+        assert!(max <= total / 2 + 1, "loads too skewed: {loads:?}");
+    }
+
+    #[test]
+    fn cut_fraction_bounds() {
+        let g = generators::ring(100, true);
+        let p1 = RangePartitioner.partition(&g, 1);
+        assert_eq!(p1.cut_fraction(&g), 0.0);
+        let p2 = RangePartitioner.partition(&g, 2);
+        // Exactly 4 of 200 directed edges cross the boundary.
+        assert!((p2.cut_fraction(&g) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worker_vertices_consistent_with_owner() {
+        let g = generators::ring(50, true);
+        let p = HashPartitioner { salt: 9 }.partition(&g, 4);
+        let lists = p.worker_vertices();
+        let mut seen = vec![false; 50];
+        for (w, list) in lists.iter().enumerate() {
+            for &v in list {
+                assert_eq!(p.owner_of(v) as usize, w);
+                assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn deterministic_hash_partition() {
+        let g = generators::ring(64, true);
+        let a = HashPartitioner { salt: 3 }.partition(&g, 4);
+        let b = HashPartitioner { salt: 3 }.partition(&g, 4);
+        assert_eq!(a, b);
+        let c = HashPartitioner { salt: 4 }.partition(&g, 4);
+        assert_ne!(a, c);
+    }
+}

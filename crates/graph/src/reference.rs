@@ -1,0 +1,173 @@
+//! Single-machine reference algorithms.
+//!
+//! The distributed engine's task implementations are validated against
+//! these straightforward sequential versions: BFS levels (k-hop search
+//! ground truth), Dijkstra (MSSP ground truth), and weakly connected
+//! components (generator sanity checks).
+
+use crate::csr::{Graph, VertexId};
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Hop distance from `source` to every vertex (`u32::MAX` = unreachable).
+pub fn bfs_levels(g: &Graph, source: VertexId) -> Vec<u32> {
+    let mut level = vec![u32::MAX; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    level[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let next = level[v as usize] + 1;
+        for &t in g.neighbors(v) {
+            if level[t as usize] == u32::MAX {
+                level[t as usize] = next;
+                queue.push_back(t);
+            }
+        }
+    }
+    level
+}
+
+/// The set of vertices within `k` hops of `source` (including `source`).
+pub fn k_hop_set(g: &Graph, source: VertexId, k: u32) -> Vec<VertexId> {
+    bfs_levels(g, source)
+        .iter()
+        .enumerate()
+        .filter(|&(_, &l)| l <= k)
+        .map(|(v, _)| v as VertexId)
+        .collect()
+}
+
+/// Weighted shortest-path distance from `source` to every vertex
+/// (`u64::MAX` = unreachable). Unit weights when the graph is
+/// unweighted, making this equivalent to BFS.
+pub fn dijkstra(g: &Graph, source: VertexId) -> Vec<u64> {
+    let mut dist = vec![u64::MAX; g.num_vertices()];
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u64, VertexId)>> = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(std::cmp::Reverse((0, source)));
+    while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for (t, w) in g.weighted_neighbors(v) {
+            let nd = d + w as u64;
+            if nd < dist[t as usize] {
+                dist[t as usize] = nd;
+                heap.push(std::cmp::Reverse((nd, t)));
+            }
+        }
+    }
+    dist
+}
+
+/// Weakly connected component label per vertex (labels are the smallest
+/// vertex id in the component). Treats edges as undirected.
+pub fn weakly_connected_components(g: &Graph) -> Vec<VertexId> {
+    // Build reverse adjacency on the fly via union-find over edges.
+    let n = g.num_vertices();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for v in g.vertices() {
+        for &t in g.neighbors(v) {
+            let (rv, rt) = (find(&mut parent, v), find(&mut parent, t));
+            if rv != rt {
+                let (lo, hi) = if rv < rt { (rv, rt) } else { (rt, rv) };
+                parent[hi as usize] = lo;
+            }
+        }
+    }
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+/// Number of distinct weakly connected components.
+pub fn num_components(g: &Graph) -> usize {
+    let labels = weakly_connected_components(g);
+    let mut roots: Vec<VertexId> = labels
+        .iter()
+        .enumerate()
+        .filter(|&(v, &l)| v as u32 == l)
+        .map(|(v, _)| v as VertexId)
+        .collect();
+    roots.dedup();
+    roots.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_on_ring() {
+        let g = generators::ring(6, true);
+        let l = bfs_levels(&g, 0);
+        assert_eq!(l, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::empty(3);
+        let l = bfs_levels(&g, 0);
+        assert_eq!(l, vec![0, u32::MAX, u32::MAX]);
+    }
+
+    #[test]
+    fn k_hop_on_grid() {
+        let g = generators::grid(3, 3);
+        let s = k_hop_set(&g, 4, 1); // center of 3x3
+        assert_eq!(s, vec![1, 3, 4, 5, 7]);
+        assert_eq!(k_hop_set(&g, 4, 2).len(), 9);
+    }
+
+    #[test]
+    fn dijkstra_equals_bfs_when_unweighted() {
+        let g = generators::grid(4, 5);
+        let d = dijkstra(&g, 0);
+        let b = bfs_levels(&g, 0);
+        for v in 0..g.num_vertices() {
+            assert_eq!(d[v], b[v] as u64);
+        }
+    }
+
+    #[test]
+    fn dijkstra_respects_weights() {
+        // 0 -> 1 (10), 0 -> 2 (1), 2 -> 1 (2): shortest 0->1 is 3.
+        let mut b = crate::builder::GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 10);
+        b.add_weighted_edge(0, 2, 1);
+        b.add_weighted_edge(2, 1, 2);
+        let g = b.build();
+        assert_eq!(dijkstra(&g, 0), vec![0, 3, 1]);
+    }
+
+    #[test]
+    fn components_on_disjoint_rings() {
+        let mut b = crate::builder::GraphBuilder::new(6).undirected(true);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        assert_eq!(num_components(&g), 2);
+        let labels = weakly_connected_components(&g);
+        assert_eq!(labels[0], labels[2]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn generated_social_graph_is_mostly_connected() {
+        let g = generators::power_law(500, 3000, 2.3, 77);
+        // The giant component should dominate.
+        let labels = weakly_connected_components(&g);
+        let mut counts = std::collections::HashMap::new();
+        for l in labels {
+            *counts.entry(l).or_insert(0usize) += 1;
+        }
+        let giant = counts.values().copied().max().unwrap();
+        assert!(giant > 400, "giant component only {giant}");
+    }
+}

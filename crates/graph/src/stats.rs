@@ -1,0 +1,128 @@
+//! Degree statistics and skew measures.
+//!
+//! Used by the mirroring machinery (Pregel+(mirror) mirrors *high-degree*
+//! vertices) and by the dataset presets' shape checks.
+
+use crate::csr::{Graph, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Summary of a graph's degree distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    pub num_vertices: usize,
+    pub num_edges: usize,
+    pub min_degree: usize,
+    pub max_degree: usize,
+    pub avg_degree: f64,
+    /// Degree of the vertex at the 99th percentile.
+    pub p99_degree: usize,
+    /// max / avg — a crude skew indicator (≈1 for regular graphs).
+    pub skew: f64,
+}
+
+impl DegreeStats {
+    pub fn of(g: &Graph) -> DegreeStats {
+        let n = g.num_vertices();
+        if n == 0 {
+            return DegreeStats {
+                num_vertices: 0,
+                num_edges: 0,
+                min_degree: 0,
+                max_degree: 0,
+                avg_degree: 0.0,
+                p99_degree: 0,
+                skew: 0.0,
+            };
+        }
+        let mut degrees: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+        degrees.sort_unstable();
+        let avg = g.avg_degree();
+        let max = *degrees.last().unwrap();
+        DegreeStats {
+            num_vertices: n,
+            num_edges: g.num_edges(),
+            min_degree: degrees[0],
+            max_degree: max,
+            avg_degree: avg,
+            p99_degree: degrees[(n * 99 / 100).min(n - 1)],
+            skew: if avg > 0.0 { max as f64 / avg } else { 0.0 },
+        }
+    }
+}
+
+/// Vertices whose degree strictly exceeds `threshold`, descending by
+/// degree. This is the mirror-candidate set of Pregel+(mirror).
+pub fn high_degree_vertices(g: &Graph, threshold: usize) -> Vec<VertexId> {
+    let mut hubs: Vec<VertexId> = g.vertices().filter(|&v| g.degree(v) > threshold).collect();
+    hubs.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    hubs
+}
+
+/// Degree histogram with power-of-two buckets: `hist[i]` counts vertices
+/// with degree in `[2^i, 2^(i+1))`; bucket 0 holds degrees 0 and 1.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for v in g.vertices() {
+        let d = g.degree(v);
+        let bucket = if d <= 1 { 0 } else { (d as f64).log2() as usize };
+        if hist.len() <= bucket {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn ring_stats_are_regular() {
+        let s = DegreeStats::of(&generators::ring(100, true));
+        assert_eq!(s.min_degree, 2);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.avg_degree, 2.0);
+        assert_eq!(s.skew, 1.0);
+    }
+
+    #[test]
+    fn star_stats_are_skewed() {
+        let s = DegreeStats::of(&generators::star(101));
+        assert_eq!(s.max_degree, 100);
+        assert_eq!(s.min_degree, 1);
+        assert!(s.skew > 25.0);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = DegreeStats::of(&crate::csr::Graph::empty(0));
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.skew, 0.0);
+    }
+
+    #[test]
+    fn high_degree_selection() {
+        let g = generators::star(50);
+        let hubs = high_degree_vertices(&g, 10);
+        assert_eq!(hubs, vec![0]);
+        assert!(high_degree_vertices(&g, 100).is_empty());
+    }
+
+    #[test]
+    fn high_degree_sorted_descending() {
+        let g = generators::power_law(500, 2000, 2.1, 11);
+        let hubs = high_degree_vertices(&g, 8);
+        for w in hubs.windows(2) {
+            assert!(g.degree(w[0]) >= g.degree(w[1]));
+        }
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let g = generators::ring(10, true); // all degree 2 -> bucket 1
+        let h = degree_histogram(&g);
+        assert_eq!(h, vec![0, 10]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Property-based tests for the graph substrate.
+
+use mtvc_graph::partition::{
+    EdgeBalancedPartitioner, HashPartitioner, Partitioner, RangePartitioner,
+};
+use mtvc_graph::{generators, GraphBuilder, VertexId};
+use proptest::prelude::*;
+
+/// Arbitrary edge list over `n` vertices.
+fn edges(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n as u32, 0..n as u32), 0..max_edges)
+}
+
+proptest! {
+    #[test]
+    fn builder_degree_sum_equals_edge_count(list in edges(40, 200)) {
+        let mut b = GraphBuilder::new(40);
+        for &(s, d) in &list {
+            b.add_edge(s, d);
+        }
+        let g = b.build();
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, g.num_edges());
+    }
+
+    #[test]
+    fn builder_neighbors_sorted_and_deduped(list in edges(30, 150)) {
+        let mut b = GraphBuilder::new(30);
+        for &(s, d) in &list {
+            b.add_edge(s, d);
+        }
+        let g = b.build();
+        for v in g.vertices() {
+            let nbrs = g.neighbors(v);
+            for w in nbrs.windows(2) {
+                prop_assert!(w[0] < w[1], "neighbors must be strictly sorted");
+            }
+            prop_assert!(!nbrs.contains(&v), "self loops dropped by default");
+        }
+    }
+
+    #[test]
+    fn undirected_graphs_are_symmetric(list in edges(25, 120)) {
+        let mut b = GraphBuilder::new(25).undirected(true);
+        for &(s, d) in &list {
+            b.add_edge(s, d);
+        }
+        let g = b.build();
+        for v in g.vertices() {
+            for &t in g.neighbors(v) {
+                prop_assert!(
+                    g.neighbors(t).contains(&v),
+                    "missing reverse edge {t}->{v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_cover_every_vertex_exactly_once(
+        n in 1usize..400,
+        workers in 1usize..16,
+        salt in any::<u64>(),
+    ) {
+        let g = generators::ring(n.max(3), true);
+        let partitioners: [&dyn Partitioner; 3] = [
+            &HashPartitioner { salt },
+            &RangePartitioner,
+            &EdgeBalancedPartitioner,
+        ];
+        for p in partitioners {
+            let part = p.partition(&g, workers);
+            prop_assert_eq!(part.num_workers(), workers);
+            let sizes = part.worker_sizes();
+            prop_assert_eq!(sizes.iter().sum::<usize>(), g.num_vertices());
+            let lists = part.worker_vertices();
+            let mut seen = vec![false; g.num_vertices()];
+            for (w, list) in lists.iter().enumerate() {
+                for &v in list {
+                    prop_assert_eq!(part.owner_of(v) as usize, w);
+                    prop_assert!(!seen[v as usize]);
+                    seen[v as usize] = true;
+                }
+            }
+            prop_assert!(seen.into_iter().all(|x| x));
+        }
+    }
+
+    #[test]
+    fn cut_fraction_is_a_fraction(
+        n in 4usize..120,
+        workers in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::erdos_renyi(n, n * 2, seed);
+        let part = HashPartitioner { salt: seed }.partition(&g, workers);
+        let cut = part.cut_fraction(&g);
+        prop_assert!((0.0..=1.0).contains(&cut));
+        if workers == 1 {
+            prop_assert_eq!(cut, 0.0);
+        }
+    }
+
+    #[test]
+    fn generated_graph_stats_internally_consistent(
+        n in 8usize..200,
+        m in 8usize..400,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::power_law(n, m, 2.3, seed);
+        let stats = mtvc_graph::DegreeStats::of(&g);
+        prop_assert_eq!(stats.num_vertices, g.num_vertices());
+        prop_assert_eq!(stats.num_edges, g.num_edges());
+        prop_assert!(stats.min_degree <= stats.max_degree);
+        prop_assert!(stats.p99_degree <= stats.max_degree);
+        let hist = mtvc_graph::stats::degree_histogram(&g);
+        prop_assert_eq!(hist.iter().sum::<usize>(), g.num_vertices());
+    }
+
+    #[test]
+    fn bfs_levels_respect_triangle_inequality(
+        n in 4usize..80,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::erdos_renyi(n, n * 3, seed);
+        let levels = mtvc_graph::reference::bfs_levels(&g, 0);
+        for v in g.vertices() {
+            if levels[v as usize] == u32::MAX {
+                continue;
+            }
+            for &t in g.neighbors(v) {
+                prop_assert!(
+                    levels[t as usize] <= levels[v as usize] + 1,
+                    "BFS level jump across edge {v}->{t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_dominated_by_hop_count_times_max_weight(
+        n in 4usize..60,
+        seed in any::<u64>(),
+    ) {
+        let base = generators::erdos_renyi(n, n * 3, seed);
+        let g = generators::with_random_weights(&base, 1, 5, seed ^ 1);
+        let hops = mtvc_graph::reference::bfs_levels(&g, 0);
+        let dist = mtvc_graph::reference::dijkstra(&g, 0);
+        for v in 0..n {
+            match (hops[v], dist[v]) {
+                (u32::MAX, d) => prop_assert_eq!(d, u64::MAX),
+                (h, d) => {
+                    prop_assert!(d >= h as u64, "distance below hop count");
+                    prop_assert!(d <= h as u64 * 5, "distance above hops*max_weight");
+                }
+            }
+        }
+    }
+}
+
+/// Mirrored vertices must route strictly fewer or equal wire bytes than
+/// per-neighbor broadcast would (checked structurally on the index).
+#[test]
+fn mirror_index_never_exceeds_neighbor_count() {
+    let g = generators::power_law(300, 1500, 2.2, 9);
+    let part = HashPartitioner::default().partition(&g, 8);
+    let idx = mtvc_engine_free_mirror_check(&g, &part);
+    for v in g.vertices() {
+        if let Some(wires) = idx.get(&v) {
+            assert!(*wires <= g.degree(v) as u64);
+        }
+    }
+}
+
+/// Helper computing per-vertex remote-worker counts without depending
+/// on mtvc-engine (keeps the dependency DAG clean).
+fn mirror_index_free(
+    g: &mtvc_graph::Graph,
+    part: &mtvc_graph::Partition,
+    threshold: usize,
+) -> std::collections::HashMap<VertexId, u64> {
+    let mut out = std::collections::HashMap::new();
+    for v in g.vertices() {
+        if g.degree(v) <= threshold {
+            continue;
+        }
+        let mut workers: Vec<u16> = g.neighbors(v).iter().map(|&t| part.owner_of(t)).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        workers.retain(|&w| w != part.owner_of(v));
+        out.insert(v, workers.len() as u64);
+    }
+    out
+}
+
+fn mtvc_engine_free_mirror_check(
+    g: &mtvc_graph::Graph,
+    part: &mtvc_graph::Partition,
+) -> std::collections::HashMap<VertexId, u64> {
+    mirror_index_free(g, part, 16)
+}

@@ -1,0 +1,22 @@
+//! Measurement primitives shared by every crate in the `mtvc` workspace.
+//!
+//! The paper reports four kinds of quantities: **simulated running time**
+//! (seconds, with a 6000 s overload cutoff), **memory** (bytes per
+//! machine), **message congestion** (messages / bytes per round), and
+//! **derived costs** (monetary credits, disk utilization, overuse
+//! durations). This crate defines strongly-typed units for those
+//! quantities, per-round statistic records, time series with summary
+//! statistics, and plain-text table/CSV emitters used by the benchmark
+//! harness to print paper-style rows.
+
+pub mod counters;
+pub mod outcome;
+pub mod report;
+pub mod series;
+pub mod units;
+
+pub use counters::{RoundStats, RunStats};
+pub use outcome::RunOutcome;
+pub use report::{Cell, Table};
+pub use series::{Series, Summary};
+pub use units::{Bytes, SimTime, OVERLOAD_CUTOFF};

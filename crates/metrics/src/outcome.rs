@@ -1,0 +1,112 @@
+//! Run outcomes: completion vs the paper's *overload* state.
+//!
+//! Section 4 of the paper marks results as **overload** when a task does
+//! not finish within 6000 seconds; Section 4.3 additionally distinguishes
+//! **overflow** (memory exhaustion terminated the run). Monetary costs of
+//! overloaded runs are lower bounds, printed with a `>` prefix (§4.6).
+
+use crate::units::{SimTime, OVERLOAD_CUTOFF};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result of running one multi-processing job (or one batch).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// Finished within the cutoff with the given simulated running time.
+    Completed(SimTime),
+    /// Exceeded the 6000 s cutoff; carries the cutoff as lower bound.
+    Overload,
+    /// Hard memory exhaustion: the run could not proceed at all
+    /// (Table 2's "Overflow").
+    Overflow,
+}
+
+impl RunOutcome {
+    /// Classify a raw simulated duration against the cutoff.
+    pub fn from_time(t: SimTime) -> Self {
+        if !t.is_finite() || t > OVERLOAD_CUTOFF {
+            RunOutcome::Overload
+        } else {
+            RunOutcome::Completed(t)
+        }
+    }
+
+    /// Time to *plot*: completed time, or the cutoff for overload /
+    /// overflow (the paper plots overloaded bars at the cutoff height).
+    pub fn plot_time(self) -> SimTime {
+        match self {
+            RunOutcome::Completed(t) => t,
+            RunOutcome::Overload | RunOutcome::Overflow => OVERLOAD_CUTOFF,
+        }
+    }
+
+    pub fn is_completed(self) -> bool {
+        matches!(self, RunOutcome::Completed(_))
+    }
+
+    pub fn is_overload(self) -> bool {
+        matches!(self, RunOutcome::Overload)
+    }
+
+    pub fn is_overflow(self) -> bool {
+        matches!(self, RunOutcome::Overflow)
+    }
+
+    /// The completed duration, if any.
+    pub fn time(self) -> Option<SimTime> {
+        match self {
+            RunOutcome::Completed(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunOutcome::Completed(t) => write!(f, "{t}"),
+            RunOutcome::Overload => write!(f, "Overload"),
+            RunOutcome::Overflow => write!(f, "Overflow"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_uses_cutoff() {
+        assert!(RunOutcome::from_time(SimTime::secs(5999.9)).is_completed());
+        assert!(RunOutcome::from_time(SimTime::secs(6000.0)).is_completed());
+        assert!(RunOutcome::from_time(SimTime::secs(6000.1)).is_overload());
+        assert!(RunOutcome::from_time(SimTime::secs(f64::INFINITY)).is_overload());
+        assert!(RunOutcome::from_time(SimTime::secs(f64::NAN)).is_overload());
+    }
+
+    #[test]
+    fn plot_time_clamps_to_cutoff() {
+        assert_eq!(RunOutcome::Overload.plot_time(), OVERLOAD_CUTOFF);
+        assert_eq!(RunOutcome::Overflow.plot_time(), OVERLOAD_CUTOFF);
+        assert_eq!(
+            RunOutcome::Completed(SimTime::secs(12.0)).plot_time(),
+            SimTime::secs(12.0)
+        );
+    }
+
+    #[test]
+    fn display_matches_paper_vocabulary() {
+        assert_eq!(RunOutcome::Overload.to_string(), "Overload");
+        assert_eq!(RunOutcome::Overflow.to_string(), "Overflow");
+        assert_eq!(RunOutcome::Completed(SimTime::secs(173.3)).to_string(), "173.3s");
+    }
+
+    #[test]
+    fn time_extraction() {
+        assert_eq!(RunOutcome::Overload.time(), None);
+        assert_eq!(
+            RunOutcome::Completed(SimTime::secs(1.0)).time(),
+            Some(SimTime::secs(1.0))
+        );
+    }
+}

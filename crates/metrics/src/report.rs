@@ -1,0 +1,214 @@
+//! Plain-text table emitters used by the benchmark harness.
+//!
+//! Every figure/table regeneration bench prints an aligned text table to
+//! stdout (the "same rows the paper reports") and can render the same
+//! data as CSV for post-processing. No external dependency is needed;
+//! these are deliberately small.
+
+use std::fmt::Write as _;
+
+/// One table cell. Everything is stringly-rendered at insertion time so
+/// the table itself stays dead simple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell(pub String);
+
+impl<T: ToString> From<T> for Cell {
+    fn from(v: T) -> Self {
+        Cell(v.to_string())
+    }
+}
+
+/// An aligned text table with a title, header row, and data rows.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. Panics in debug builds if the arity mismatches the
+    /// header — a mismatched row is always a harness bug.
+    pub fn row(&mut self, cells: Vec<Cell>) -> &mut Self {
+        debug_assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity {} != header arity {} in table {:?}",
+            cells.len(),
+            self.headers.len(),
+            self.title
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if i < w.len() {
+                    w[i] = w[i].max(c.0.len());
+                }
+            }
+        }
+        w
+    }
+
+    /// Render as an aligned monospace table.
+    pub fn render(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let line = |cells: &[String], w: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let _ = write!(s, "{:width$}", c, width = w[i]);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &w));
+        let sep: Vec<String> = w.iter().map(|n| "-".repeat(*n)).collect();
+        let _ = writeln!(out, "{}", line(&sep, &w));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|c| c.0.clone()).collect();
+            let _ = writeln!(out, "{}", line(&cells, &w));
+        }
+        out
+    }
+
+    /// Render as RFC-4180-ish CSV (quotes fields containing commas,
+    /// quotes, or newlines).
+    pub fn to_csv(&self) -> String {
+        fn esc(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(&c.0)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('|', "\\|")
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "**{}**\n", self.title);
+        }
+        let _ = writeln!(
+            out,
+            "| {} |",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(" | ")
+        );
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "| {} |",
+                row.iter().map(|c| esc(&c.0)).collect::<Vec<_>>().join(" | ")
+            );
+        }
+        out
+    }
+
+    /// Print the table to stdout with a trailing blank line.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Convenience macro for building a row out of heterogeneous values.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        vec![$($crate::report::Cell::from($v)),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["batches", "time"]);
+        t.row(row!(1, "6641.5s"));
+        t.row(row!(16, "201.0s"));
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("batches  time"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + separator + 2 rows + title
+        assert_eq!(lines.len(), 5);
+        // column alignment: "16" should start at same offset as "1 "
+        assert!(lines[3].starts_with("1 "));
+        assert!(lines[4].starts_with("16"));
+    }
+
+    #[test]
+    fn csv_escapes_properly() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row(row!("x,y", "he said \"hi\""));
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    #[cfg(debug_assertions)]
+    fn row_arity_checked_in_debug() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(row!(1));
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new("demo", &["a", "b|c"]);
+        t.row(row!("x", 2));
+        let md = t.to_markdown();
+        assert!(md.contains("**demo**"));
+        assert!(md.contains("| a | b\\|c |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| x | 2 |"));
+    }
+
+    #[test]
+    fn cell_from_display_types() {
+        assert_eq!(Cell::from(3.5).0, "3.5");
+        assert_eq!(Cell::from("s").0, "s");
+        assert_eq!(Cell::from(crate::units::Bytes::mib(1)).0, "1.0MB");
+    }
+}

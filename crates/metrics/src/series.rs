@@ -1,0 +1,149 @@
+//! Numeric series with the summary statistics the harness reports.
+
+use serde::{Deserialize, Serialize};
+
+/// A labelled sequence of `f64` samples (e.g. running time per batch
+/// count, messages per round).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    pub label: String,
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            values: Vec::new(),
+        }
+    }
+
+    pub fn with_values(label: impl Into<String>, values: Vec<f64>) -> Self {
+        Series {
+            label: label.into(),
+            values,
+        }
+    }
+
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.values)
+    }
+
+    /// Index of the minimum value (the "optimal batch" position in the
+    /// paper's figures). Ties resolve to the first occurrence. `None`
+    /// for an empty series.
+    pub fn argmin(&self) -> Option<usize> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_nan())
+            .fold(None, |best, (i, &v)| match best {
+                Some((_, bv)) if bv <= v => best,
+                _ => Some((i, v)),
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// True when the series never increases then decreases — i.e. the
+    /// values are monotone non-decreasing. Used by the "summary of the
+    /// figures" panels in Figures 3 and 5.
+    pub fn is_monotone_non_decreasing(&self) -> bool {
+        self.values.windows(2).all(|w| w[0] <= w[1])
+    }
+}
+
+/// Five-number-ish summary of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub count: usize,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub std_dev: f64,
+}
+
+impl Summary {
+    pub fn of(values: &[f64]) -> Summary {
+        let count = values.len();
+        if count == 0 {
+            return Summary {
+                count: 0,
+                min: f64::NAN,
+                max: f64::NAN,
+                mean: f64::NAN,
+                std_dev: f64::NAN,
+            };
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        let mean = sum / count as f64;
+        let var = values.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        Summary {
+            count,
+            min,
+            max,
+            mean,
+            std_dev: var.sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[2.0, 4.0, 6.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+        assert_eq!(s.mean, 4.0);
+        assert!((s.std_dev - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_nan() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert!(s.mean.is_nan());
+    }
+
+    #[test]
+    fn argmin_finds_optimum_and_breaks_ties_first() {
+        let s = Series::with_values("t", vec![5.0, 2.0, 2.0, 9.0]);
+        assert_eq!(s.argmin(), Some(1));
+        assert_eq!(Series::new("e").argmin(), None);
+    }
+
+    #[test]
+    fn argmin_skips_nan() {
+        let s = Series::with_values("t", vec![f64::NAN, 3.0, 1.0]);
+        assert_eq!(s.argmin(), Some(2));
+    }
+
+    #[test]
+    fn monotonicity_detection() {
+        assert!(Series::with_values("m", vec![1.0, 1.0, 2.0]).is_monotone_non_decreasing());
+        assert!(!Series::with_values("m", vec![3.0, 1.0, 2.0]).is_monotone_non_decreasing());
+        assert!(Series::new("empty").is_monotone_non_decreasing());
+    }
+}

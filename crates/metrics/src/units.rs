@@ -1,0 +1,281 @@
+//! Strongly-typed measurement units.
+//!
+//! Two units dominate the workspace: [`Bytes`] for memory / traffic
+//! accounting and [`SimTime`] for simulated wall-clock durations produced
+//! by the cost model. Both are thin newtypes so they can be mixed up
+//! neither with each other nor with raw counters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// The paper marks a run as *overload* when it does not finish within
+/// 6000 seconds (Section 4, "Workloads and Evaluation Metrics").
+pub const OVERLOAD_CUTOFF: SimTime = SimTime(6000.0);
+
+/// A byte quantity (memory footprint, message traffic, spill volume).
+///
+/// Stored as `u64`; arithmetic saturates on overflow so a pathological
+/// cost-model input degrades gracefully instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Bytes(pub u64);
+
+impl Bytes {
+    pub const ZERO: Bytes = Bytes(0);
+
+    pub const fn new(b: u64) -> Self {
+        Bytes(b)
+    }
+
+    pub const fn kib(k: u64) -> Self {
+        Bytes(k * 1024)
+    }
+
+    pub const fn mib(m: u64) -> Self {
+        Bytes(m * 1024 * 1024)
+    }
+
+    pub const fn gib(g: u64) -> Self {
+        Bytes(g * 1024 * 1024 * 1024)
+    }
+
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Scale by a dimensionless factor, saturating at `u64::MAX`.
+    pub fn scaled(self, factor: f64) -> Bytes {
+        debug_assert!(factor >= 0.0, "negative byte scale {factor}");
+        let v = self.0 as f64 * factor;
+        if v >= u64::MAX as f64 {
+            Bytes(u64::MAX)
+        } else {
+            Bytes(v as u64)
+        }
+    }
+
+    /// Saturating subtraction: how far `self` exceeds `other`.
+    pub fn saturating_sub(self, other: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(other.0))
+    }
+
+    /// Fraction of `capacity` that `self` represents (0.0 when capacity is 0).
+    pub fn fraction_of(self, capacity: Bytes) -> f64 {
+        if capacity.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / capacity.0 as f64
+        }
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Bytes {
+    fn sub_assign(&mut self, rhs: Bytes) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Bytes {
+    type Output = Bytes;
+    fn mul(self, rhs: u64) -> Bytes {
+        Bytes(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Bytes {
+    /// Human form matching the paper's tables: `41M`, `1.7G`, `15.1GB`-style.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const KIB: f64 = 1024.0;
+        let b = self.0 as f64;
+        if b >= KIB * KIB * KIB {
+            write!(f, "{:.1}GB", b / (KIB * KIB * KIB))
+        } else if b >= KIB * KIB {
+            write!(f, "{:.1}MB", b / (KIB * KIB))
+        } else if b >= KIB {
+            write!(f, "{:.1}KB", b / KIB)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+/// A simulated duration in seconds.
+///
+/// Produced exclusively by the cluster cost model; never compare it with
+/// host wall-clock time. `f64` seconds keeps the arithmetic simple while
+/// being far more precise than the paper's reported resolution (0.1 s).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    pub const fn secs(s: f64) -> Self {
+        SimTime(s)
+    }
+
+    pub const fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    pub fn minutes(self) -> f64 {
+        self.0 / 60.0
+    }
+
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: f64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_constructors_compose() {
+        assert_eq!(Bytes::kib(1), Bytes(1024));
+        assert_eq!(Bytes::mib(1), Bytes(1024 * 1024));
+        assert_eq!(Bytes::gib(2), Bytes(2 * 1024 * 1024 * 1024));
+    }
+
+    #[test]
+    fn byte_arithmetic_saturates() {
+        let max = Bytes(u64::MAX);
+        assert_eq!(max + Bytes(1), max);
+        assert_eq!(Bytes(3) - Bytes(5), Bytes::ZERO);
+        assert_eq!(max * 2, max);
+        assert_eq!(max.scaled(10.0), max);
+    }
+
+    #[test]
+    fn byte_fraction_of_capacity() {
+        assert_eq!(Bytes::gib(8).fraction_of(Bytes::gib(16)), 0.5);
+        assert_eq!(Bytes::gib(8).fraction_of(Bytes::ZERO), 0.0);
+    }
+
+    #[test]
+    fn byte_display_uses_human_units() {
+        assert_eq!(Bytes(512).to_string(), "512B");
+        assert_eq!(Bytes::kib(2).to_string(), "2.0KB");
+        assert_eq!(Bytes::mib(3).to_string(), "3.0MB");
+        assert_eq!(Bytes::gib(15).scaled(1.007).to_string(), "15.1GB");
+    }
+
+    #[test]
+    fn simtime_ordering_and_math() {
+        let a = SimTime::secs(2.0);
+        let b = SimTime::secs(3.5);
+        assert_eq!((a + b).as_secs(), 5.5);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!((b * 2.0).as_secs(), 7.0);
+        assert!((b / 2.0).as_secs() > 1.74 && (b / 2.0).as_secs() < 1.76);
+    }
+
+    #[test]
+    fn simtime_sum_and_minutes() {
+        let total: SimTime = [SimTime::secs(30.0), SimTime::secs(90.0)].into_iter().sum();
+        assert_eq!(total.as_secs(), 120.0);
+        assert_eq!(total.minutes(), 2.0);
+    }
+
+    #[test]
+    fn overload_cutoff_matches_paper() {
+        assert_eq!(OVERLOAD_CUTOFF.as_secs(), 6000.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Batch k-Hop Search (BKHS).
+//!
+//! §2.3/§3: for each source `s`, collect the vertices within `k` hops.
+//! "The implementations of BKHS are similar to those of MSSP except for
+//! the termination condition: the program stops after k + 1
+//! communication rounds." The workload is the number of source queries.
+//! Like MSSP, queries are addressed by query id, so duplicate start
+//! vertices are distinct (independently-charged) unit tasks.
+
+use crate::mssp::QueryId;
+use mtvc_engine::{Context, Message, VertexProgram};
+use mtvc_graph::hash::{FastMap, FastSet};
+use mtvc_graph::VertexId;
+
+/// Reachability notification: "query `q` reaches you".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReachMsg {
+    pub query: QueryId,
+}
+
+impl Message for ReachMsg {
+    fn combine_key(&self) -> Option<u64> {
+        Some(self.query as u64)
+    }
+    fn merge(&mut self, _other: &Self) {}
+}
+
+/// Per-vertex BKHS state: queries whose k-hop ball contains this vertex.
+///
+/// Memory accounting note: a reach flag is boolean, and a production
+/// system stores the per-vertex flag set as a (sparse) bitmap — about
+/// one byte amortized per set flag including indexing — so state growth
+/// is charged at 1 byte per new `(query, vertex)` flag, not at the
+/// hash-set's in-simulator footprint.
+#[derive(Debug, Clone, Default)]
+pub struct BkhsState {
+    pub reached: FastSet<QueryId>,
+}
+
+fn queries_by_vertex(sources: &[VertexId]) -> FastMap<VertexId, Vec<QueryId>> {
+    let mut map: FastMap<VertexId, Vec<QueryId>> = FastMap::default();
+    for (q, &v) in sources.iter().enumerate() {
+        map.entry(v).or_default().push(q as QueryId);
+    }
+    map
+}
+
+/// Point-to-point BKHS.
+#[derive(Debug, Clone)]
+pub struct BkhsProgram {
+    sources: Vec<VertexId>,
+    starts: FastMap<VertexId, Vec<QueryId>>,
+    k: u32,
+}
+
+impl BkhsProgram {
+    pub fn new(sources: Vec<VertexId>, k: u32) -> BkhsProgram {
+        assert!(k >= 1, "k-hop search requires k >= 1");
+        let starts = queries_by_vertex(&sources);
+        BkhsProgram { sources, starts, k }
+    }
+
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    pub fn sources(&self) -> &[VertexId] {
+        &self.sources
+    }
+}
+
+fn absorb_new_queries(
+    state: &mut BkhsState,
+    inbox: &[(ReachMsg, u64)],
+    ctx: &mut Context<'_, ReachMsg>,
+) -> Vec<QueryId> {
+    let mut fresh: Vec<QueryId> = Vec::new();
+    for (msg, _) in inbox {
+        if state.reached.insert(msg.query) {
+            ctx.add_state_bytes(1); // bitmap-encoded reach flag
+            fresh.push(msg.query);
+        }
+    }
+    fresh.sort_unstable();
+    fresh.dedup();
+    fresh
+}
+
+impl VertexProgram for BkhsProgram {
+    type Message = ReachMsg;
+    type State = BkhsState;
+
+    fn message_bytes(&self) -> u64 {
+        12 // query id + hop tag
+    }
+
+    fn init(&self, v: VertexId, state: &mut BkhsState, ctx: &mut Context<'_, ReachMsg>) {
+        let Some(queries) = self.starts.get(&v) else {
+            return;
+        };
+        for &q in queries {
+            if state.reached.insert(q) {
+                ctx.add_state_bytes(1); // bitmap-encoded reach flag
+            }
+            for &t in ctx.neighbors() {
+                ctx.send(t, ReachMsg { query: q }, 1);
+            }
+        }
+    }
+
+    fn compute(
+        &self,
+        _v: VertexId,
+        state: &mut BkhsState,
+        inbox: &[(ReachMsg, u64)],
+        ctx: &mut Context<'_, ReachMsg>,
+    ) {
+        let fresh = absorb_new_queries(state, inbox, ctx);
+        for query in fresh {
+            for &t in ctx.neighbors() {
+                ctx.send(t, ReachMsg { query }, 1);
+            }
+        }
+    }
+
+    /// §3: stop after k+1 rounds total (init + k forwarding rounds).
+    fn max_rounds(&self) -> Option<usize> {
+        Some(self.k as usize)
+    }
+
+    fn initial_state_bytes(&self) -> u64 {
+        48
+    }
+}
+
+/// Broadcast-interface BKHS (identical semantics; broadcast sends).
+#[derive(Debug, Clone)]
+pub struct BkhsBroadcastProgram {
+    inner: BkhsProgram,
+}
+
+impl BkhsBroadcastProgram {
+    pub fn new(sources: Vec<VertexId>, k: u32) -> BkhsBroadcastProgram {
+        BkhsBroadcastProgram {
+            inner: BkhsProgram::new(sources, k),
+        }
+    }
+}
+
+impl VertexProgram for BkhsBroadcastProgram {
+    type Message = ReachMsg;
+    type State = BkhsState;
+
+    fn message_bytes(&self) -> u64 {
+        8 // query only — receivers handle via the broadcast contract
+    }
+
+    fn init(&self, v: VertexId, state: &mut BkhsState, ctx: &mut Context<'_, ReachMsg>) {
+        let Some(queries) = self.inner.starts.get(&v) else {
+            return;
+        };
+        for &q in queries {
+            if state.reached.insert(q) {
+                ctx.add_state_bytes(1); // bitmap-encoded reach flag
+            }
+            ctx.broadcast(ReachMsg { query: q }, 1);
+        }
+    }
+
+    fn compute(
+        &self,
+        _v: VertexId,
+        state: &mut BkhsState,
+        inbox: &[(ReachMsg, u64)],
+        ctx: &mut Context<'_, ReachMsg>,
+    ) {
+        let fresh = absorb_new_queries(state, inbox, ctx);
+        for query in fresh {
+            ctx.broadcast(ReachMsg { query }, 1);
+        }
+    }
+
+    fn max_rounds(&self) -> Option<usize> {
+        self.inner.max_rounds()
+    }
+
+    fn initial_state_bytes(&self) -> u64 {
+        48
+    }
+}
+
+/// Per-query k-hop neighborhood sizes, aggregated from final states.
+#[derive(Debug, Clone)]
+pub struct BkhsCounts {
+    counts: std::collections::BTreeMap<QueryId, u64>,
+}
+
+impl BkhsCounts {
+    pub fn from_states(states: &[BkhsState]) -> BkhsCounts {
+        let mut counts = std::collections::BTreeMap::new();
+        for st in states {
+            for &q in &st.reached {
+                *counts.entry(q).or_insert(0) += 1;
+            }
+        }
+        BkhsCounts { counts }
+    }
+
+    /// Number of vertices within k hops of query `q`'s source
+    /// (including the source itself).
+    pub fn count(&self, q: QueryId) -> u64 {
+        self.counts.get(&q).copied().unwrap_or(0)
+    }
+
+    /// Vertices reached by query `q`, reconstructed from states.
+    pub fn members(states: &[BkhsState], q: QueryId) -> Vec<VertexId> {
+        states
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| st.reached.contains(&q))
+            .map(|(v, _)| v as VertexId)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_sources_kept_as_queries() {
+        let p = BkhsProgram::new(vec![4, 4, 2], 3);
+        assert_eq!(p.sources(), &[4, 4, 2]);
+        assert_eq!(p.k(), 3);
+        assert_eq!(p.max_rounds(), Some(3));
+        assert_eq!(p.starts.get(&4).unwrap(), &vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_hops_rejected() {
+        BkhsProgram::new(vec![0], 0);
+    }
+
+    #[test]
+    fn counts_aggregate_states() {
+        let mut states = vec![BkhsState::default(); 3];
+        states[0].reached.insert(0);
+        states[1].reached.insert(0);
+        states[2].reached.insert(1);
+        let c = BkhsCounts::from_states(&states);
+        assert_eq!(c.count(0), 2);
+        assert_eq!(c.count(1), 1);
+        assert_eq!(c.count(9), 0);
+        assert_eq!(BkhsCounts::members(&states, 0), vec![0, 1]);
+    }
+}

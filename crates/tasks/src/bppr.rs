@@ -1,0 +1,478 @@
+//! Batch Personalized PageRank (BPPR).
+//!
+//! §2.3: "The Batch Personalized PageRanks computes PPR(s) for each node
+//! s ∈ V… each PPR is approximated by running α-decay random walks";
+//! the workload is the number `W` of walks per source.
+//!
+//! Two implementations, mirroring §3:
+//!
+//! * [`BpprProgram`] — the Pregel point-to-point Monte-Carlo method.
+//!   Each round is one walk step; a message carries the walk's source
+//!   id. Walks are moved in **aggregated form**: an envelope with
+//!   multiplicity `c` stands for `c` individual walks, the stop events
+//!   are `Binomial(c, α)` and the survivors spread over the neighbors
+//!   with a uniform multinomial — exactly the distribution of `c`
+//!   independent walks, while the cost accounting still charges `c`
+//!   wire messages.
+//! * [`BpprPushProgram`] — the Pregel-Mirror broadcast variant: the
+//!   "generalized random walk" (fractional forward-push) of §3, where a
+//!   vertex broadcasts one common message per source and the walk mass
+//!   is split evenly among neighbors. Deterministic and unbiased.
+
+use mtvc_engine::{Context, Message, VertexProgram};
+use mtvc_graph::hash::FastMap;
+use mtvc_graph::VertexId;
+
+/// Which vertices start walks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceSet {
+    /// Every vertex is a PPR source (the paper's default BPPR).
+    AllVertices,
+    /// An explicit source subset (§4.9 "Alternative Workload Settings").
+    Subset(Vec<VertexId>),
+}
+
+impl SourceSet {
+    /// Normalize: subsets are sorted and deduplicated.
+    pub fn subset(mut sources: Vec<VertexId>) -> SourceSet {
+        sources.sort_unstable();
+        sources.dedup();
+        SourceSet::Subset(sources)
+    }
+
+    pub fn contains(&self, v: VertexId) -> bool {
+        match self {
+            SourceSet::AllVertices => true,
+            SourceSet::Subset(s) => s.binary_search(&v).is_ok(),
+        }
+    }
+
+    /// Number of sources given the graph's vertex count.
+    pub fn len(&self, num_vertices: usize) -> usize {
+        match self {
+            SourceSet::AllVertices => num_vertices,
+            SourceSet::Subset(s) => s.len(),
+        }
+    }
+
+    pub fn is_empty(&self, num_vertices: usize) -> bool {
+        self.len(num_vertices) == 0
+    }
+}
+
+/// Wire message of the Monte-Carlo walk: the walk's source. The
+/// envelope multiplicity is the number of walks taking the same hop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkMsg {
+    pub source: VertexId,
+}
+
+impl Message for WalkMsg {
+    fn combine_key(&self) -> Option<u64> {
+        Some(self.source as u64)
+    }
+    fn merge(&mut self, _other: &Self) {}
+}
+
+/// Per-vertex BPPR state: how many walks of each source stopped here.
+#[derive(Debug, Clone, Default)]
+pub struct BpprState {
+    pub stops: FastMap<VertexId, u64>,
+}
+
+/// Monte-Carlo BPPR for point-to-point systems.
+#[derive(Debug, Clone)]
+pub struct BpprProgram {
+    /// Walks per source in this batch (the paper's workload unit).
+    pub walks_per_node: u64,
+    /// Decay probability α (walk stops with probability α per step).
+    pub alpha: f64,
+    /// Walk sources.
+    pub sources: SourceSet,
+}
+
+impl BpprProgram {
+    pub fn new(walks_per_node: u64, alpha: f64) -> BpprProgram {
+        assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1)");
+        BpprProgram {
+            walks_per_node,
+            alpha,
+            sources: SourceSet::AllVertices,
+        }
+    }
+
+    pub fn with_sources(mut self, sources: SourceSet) -> Self {
+        self.sources = sources;
+        self
+    }
+
+    /// Step `count` walks of `source` standing at the context vertex:
+    /// stop some, spread the rest.
+    fn step_walks(
+        &self,
+        source: VertexId,
+        count: u64,
+        state: &mut BpprState,
+        ctx: &mut Context<'_, WalkMsg>,
+    ) {
+        if count == 0 {
+            return;
+        }
+        let degree = ctx.degree();
+        let stopped = if degree == 0 {
+            count // dangling vertices absorb their walks
+        } else {
+            crate::sampling::binomial(ctx.rng(), count, self.alpha)
+        };
+        if stopped > 0 {
+            record_stop(state, source, stopped, ctx);
+        }
+        let moving = count - stopped;
+        if moving == 0 {
+            return;
+        }
+        ctx.send_uniform_spread(WalkMsg { source }, moving);
+    }
+}
+
+fn record_stop(
+    state: &mut BpprState,
+    source: VertexId,
+    count: u64,
+    ctx: &mut Context<'_, WalkMsg>,
+) {
+    let entry = state.stops.entry(source).or_insert_with(|| {
+        0
+    });
+    if *entry == 0 {
+        // First stop of this source here: the counter entry is new
+        // state (key + value).
+        ctx.add_state_bytes(16);
+    }
+    *entry += count;
+}
+
+impl VertexProgram for BpprProgram {
+    type Message = WalkMsg;
+    type State = BpprState;
+
+    fn message_bytes(&self) -> u64 {
+        16 // source id + walk bookkeeping (a constant number of ints)
+    }
+
+    fn init(&self, v: VertexId, state: &mut BpprState, ctx: &mut Context<'_, WalkMsg>) {
+        if self.sources.contains(v) {
+            self.step_walks(v, self.walks_per_node, state, ctx);
+        }
+    }
+
+    fn compute(
+        &self,
+        _v: VertexId,
+        state: &mut BpprState,
+        inbox: &[(WalkMsg, u64)],
+        ctx: &mut Context<'_, WalkMsg>,
+    ) {
+        for (msg, mult) in inbox {
+            self.step_walks(msg.source, *mult, state, ctx);
+        }
+    }
+
+    fn initial_state_bytes(&self) -> u64 {
+        48 // empty hash map header
+    }
+}
+
+/// Accumulated BPPR output across one or more batches.
+#[derive(Debug, Clone, Default)]
+pub struct BpprEstimates {
+    /// stops[v][s] = walks from source s that stopped at v.
+    stops: Vec<FastMap<VertexId, u64>>,
+    /// Total walks per source accumulated so far.
+    walks_per_source: u64,
+}
+
+impl BpprEstimates {
+    pub fn new(num_vertices: usize) -> BpprEstimates {
+        BpprEstimates {
+            stops: vec![FastMap::default(); num_vertices],
+            walks_per_source: 0,
+        }
+    }
+
+    /// Fold one batch's final states in (aggregation across batches —
+    /// the residual-memory-relevant intermediate results of §4.5).
+    pub fn absorb(&mut self, states: Vec<BpprState>, walks_per_source: u64) {
+        assert_eq!(states.len(), self.stops.len());
+        for (v, st) in states.into_iter().enumerate() {
+            for (s, c) in st.stops {
+                *self.stops[v].entry(s).or_insert(0) += c;
+            }
+        }
+        self.walks_per_source += walks_per_source;
+    }
+
+    /// Estimated PPR of `target` personalised to `source`.
+    pub fn ppr(&self, source: VertexId, target: VertexId) -> f64 {
+        if self.walks_per_source == 0 {
+            return 0.0;
+        }
+        let hits = self.stops[target as usize]
+            .get(&source)
+            .copied()
+            .unwrap_or(0);
+        hits as f64 / self.walks_per_source as f64
+    }
+
+    /// Total stopped walks across all vertices and sources.
+    pub fn total_stopped(&self) -> u64 {
+        self.stops.iter().map(|m| m.values().sum::<u64>()).sum()
+    }
+
+    /// Memory footprint of the accumulated intermediate results — the
+    /// residual-memory contribution this batch output adds (§4.5, §5).
+    pub fn residual_bytes(&self) -> u64 {
+        self.stops.iter().map(|m| 48 + m.len() as u64 * 16).sum()
+    }
+
+    pub fn walks_per_source(&self) -> u64 {
+        self.walks_per_source
+    }
+}
+
+// ---------------------------------------------------------------------
+// Forward-push (Pregel-Mirror) variant
+// ---------------------------------------------------------------------
+
+/// Broadcast message of the fractional walk: per-neighbor walk mass of
+/// one source ("the number of random walks received at that particular
+/// neighbor is (1−α)·r/d" — §3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushMsg {
+    pub source: VertexId,
+    pub amount: f64,
+}
+
+impl Message for PushMsg {
+    fn combine_key(&self) -> Option<u64> {
+        Some(self.source as u64)
+    }
+    fn merge(&mut self, other: &Self) {
+        self.amount += other.amount;
+    }
+}
+
+/// Per-vertex push state: fractional walk mass stopped here per source.
+#[derive(Debug, Clone, Default)]
+pub struct PushState {
+    pub mass: FastMap<VertexId, f64>,
+}
+
+/// Fractional-walk BPPR for the broadcast (mirror) interface.
+#[derive(Debug, Clone)]
+pub struct BpprPushProgram {
+    pub walks_per_node: u64,
+    pub alpha: f64,
+    /// Residues below this many walk units stop propagating and are
+    /// absorbed locally; bounds both rounds and total error.
+    pub epsilon: f64,
+    pub sources: SourceSet,
+}
+
+impl BpprPushProgram {
+    pub fn new(walks_per_node: u64, alpha: f64) -> BpprPushProgram {
+        assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1)");
+        BpprPushProgram {
+            walks_per_node,
+            alpha,
+            epsilon: 0.25,
+            sources: SourceSet::AllVertices,
+        }
+    }
+
+    pub fn with_sources(mut self, sources: SourceSet) -> Self {
+        self.sources = sources;
+        self
+    }
+
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0);
+        self.epsilon = epsilon;
+        self
+    }
+
+    fn push(
+        &self,
+        source: VertexId,
+        residue: f64,
+        state: &mut PushState,
+        ctx: &mut Context<'_, PushMsg>,
+    ) {
+        if residue <= 0.0 {
+            return;
+        }
+        let degree = ctx.degree();
+        let absorb_here = |state: &mut PushState, ctx: &mut Context<'_, PushMsg>, amt: f64| {
+            let entry = state.mass.entry(source).or_insert(0.0);
+            if *entry == 0.0 {
+                ctx.add_state_bytes(16);
+            }
+            *entry += amt;
+        };
+        if degree == 0 {
+            absorb_here(state, ctx, residue);
+            return;
+        }
+        let stopped = self.alpha * residue;
+        absorb_here(state, ctx, stopped);
+        let forward = residue - stopped;
+        if forward < self.epsilon {
+            // Too small to keep pushing; absorb to conserve mass.
+            absorb_here(state, ctx, forward);
+        } else {
+            ctx.broadcast(
+                PushMsg {
+                    source,
+                    amount: forward / degree as f64,
+                },
+                1,
+            );
+        }
+    }
+}
+
+impl VertexProgram for BpprPushProgram {
+    type Message = PushMsg;
+    type State = PushState;
+
+    fn message_bytes(&self) -> u64 {
+        20 // source id + f64 amount + receiver handling tag
+    }
+
+    fn init(&self, v: VertexId, state: &mut PushState, ctx: &mut Context<'_, PushMsg>) {
+        if self.sources.contains(v) {
+            self.push(v, self.walks_per_node as f64, state, ctx);
+        }
+    }
+
+    fn compute(
+        &self,
+        _v: VertexId,
+        state: &mut PushState,
+        inbox: &[(PushMsg, u64)],
+        ctx: &mut Context<'_, PushMsg>,
+    ) {
+        // Multiple tuples of the same source may arrive (one per sending
+        // worker); accumulate before pushing so the per-source residue
+        // is pushed once.
+        let mut per_source: FastMap<VertexId, f64> = FastMap::default();
+        for (msg, _mult) in inbox {
+            // `amount` is the total delivered mass: combiner merges add
+            // amounts, so multiplicity must NOT scale it again.
+            *per_source.entry(msg.source).or_insert(0.0) += msg.amount;
+        }
+        let mut sources: Vec<(VertexId, f64)> = per_source.into_iter().collect();
+        sources.sort_unstable_by_key(|(s, _)| *s); // deterministic order
+        for (source, residue) in sources {
+            self.push(source, residue, state, ctx);
+        }
+    }
+
+    fn initial_state_bytes(&self) -> u64 {
+        48
+    }
+}
+
+/// Accumulated push-BPPR output.
+#[derive(Debug, Clone, Default)]
+pub struct PushEstimates {
+    mass: Vec<FastMap<VertexId, f64>>,
+    walks_per_source: f64,
+}
+
+impl PushEstimates {
+    pub fn new(num_vertices: usize) -> PushEstimates {
+        PushEstimates {
+            mass: vec![FastMap::default(); num_vertices],
+            walks_per_source: 0.0,
+        }
+    }
+
+    pub fn absorb(&mut self, states: Vec<PushState>, walks_per_source: u64) {
+        assert_eq!(states.len(), self.mass.len());
+        for (v, st) in states.into_iter().enumerate() {
+            for (s, m) in st.mass {
+                *self.mass[v].entry(s).or_insert(0.0) += m;
+            }
+        }
+        self.walks_per_source += walks_per_source as f64;
+    }
+
+    pub fn ppr(&self, source: VertexId, target: VertexId) -> f64 {
+        if self.walks_per_source == 0.0 {
+            return 0.0;
+        }
+        self.mass[target as usize].get(&source).copied().unwrap_or(0.0) / self.walks_per_source
+    }
+
+    /// Total walk mass absorbed (conservation check).
+    pub fn total_mass(&self) -> f64 {
+        self.mass.iter().map(|m| m.values().sum::<f64>()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_set_semantics() {
+        let all = SourceSet::AllVertices;
+        assert!(all.contains(7));
+        assert_eq!(all.len(100), 100);
+        let sub = SourceSet::subset(vec![5, 2, 5, 9]);
+        assert!(sub.contains(2) && sub.contains(5) && sub.contains(9));
+        assert!(!sub.contains(3));
+        assert_eq!(sub.len(100), 3);
+    }
+
+    #[test]
+    fn walk_msg_combines_by_source() {
+        let m = WalkMsg { source: 4 };
+        assert_eq!(m.combine_key(), Some(4));
+    }
+
+    #[test]
+    fn push_msg_merges_amounts() {
+        let mut a = PushMsg {
+            source: 1,
+            amount: 0.5,
+        };
+        a.merge(&PushMsg {
+            source: 1,
+            amount: 0.25,
+        });
+        assert_eq!(a.amount, 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn alpha_must_be_fractional() {
+        BpprProgram::new(10, 1.0);
+    }
+
+    #[test]
+    fn estimates_fold_batches() {
+        let mut est = BpprEstimates::new(3);
+        let mut s1 = vec![BpprState::default(); 3];
+        s1[2].stops.insert(0, 7);
+        est.absorb(s1, 10);
+        let mut s2 = vec![BpprState::default(); 3];
+        s2[2].stops.insert(0, 3);
+        est.absorb(s2, 10);
+        assert_eq!(est.walks_per_source(), 20);
+        assert_eq!(est.ppr(0, 2), 0.5);
+        assert_eq!(est.total_stopped(), 10);
+        assert!(est.residual_bytes() > 0);
+    }
+}

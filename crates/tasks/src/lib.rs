@@ -1,0 +1,39 @@
+//! Benchmark vertex programs (§2.3 and §3 of the paper).
+//!
+//! Three multi-processing benchmark tasks, each in the Pregel
+//! (point-to-point) form and, where the paper defines one, the
+//! Pregel-Mirror (broadcast) form:
+//!
+//! * **BPPR** — batch personalized PageRank via α-decay random walks
+//!   ([`bppr::BpprProgram`]) and the generalized fractional-walk /
+//!   forward-push variant for the broadcast interface
+//!   ([`bppr::BpprPushProgram`]).
+//! * **MSSP** — multi-source shortest path distances
+//!   ([`mssp::MsspProgram`], [`mssp::MsspBroadcastProgram`]).
+//! * **BKHS** — batch k-hop search ([`bkhs::BkhsProgram`],
+//!   [`bkhs::BkhsBroadcastProgram`]).
+//!
+//! Plus classic **PageRank** ([`pagerank::PageRankProgram`]) used by the
+//! §4.8 sync-vs-async comparison (Table 4), **Connected Components**
+//! ([`cc::ConnectedComponentsProgram`]) — §2.4's example of a task that
+//! *does* admit a Practical Pregel Algorithm — and exact sequential
+//! references ([`reference`]) the engine implementations are validated
+//! against.
+
+pub mod bkhs;
+pub mod bppr;
+pub mod cc;
+pub mod mssp;
+pub mod pagerank;
+pub mod reference;
+
+/// Re-export of the engine's samplers (historically hosted here).
+pub mod sampling {
+    pub use mtvc_engine::sampling::*;
+}
+
+pub use bkhs::{BkhsBroadcastProgram, BkhsProgram};
+pub use cc::ConnectedComponentsProgram;
+pub use bppr::{BpprProgram, BpprPushProgram, SourceSet};
+pub use mssp::{MsspBroadcastProgram, MsspProgram};
+pub use pagerank::PageRankProgram;

@@ -1,0 +1,294 @@
+//! Multi-Source Shortest Path distance queries (MSSP).
+//!
+//! §3 "Pregel (MSSP)": a message `(u, v, d)` announces a length-`d`
+//! path from source `u` to `v`; receivers keep the minimum per source
+//! and relax their out-edges. The workload is the number of source
+//! queries.
+//!
+//! Queries are addressed by **query id** (index into the source list),
+//! not by source vertex: unit tasks are independent, so two queries may
+//! share a start vertex and still count (and cost) separately — which
+//! also lets a scaled-down graph carry the paper's full query counts.
+//!
+//! The broadcast (mirror) variant follows §3 "Pregel-Mirror (MSSP)":
+//! the message shrinks to `(u, d)` and is broadcast to every neighbor.
+//! That form cannot carry per-edge weights, so it computes hop
+//! distances (the paper's datasets are unweighted).
+
+use mtvc_engine::{Context, Message, VertexProgram};
+use mtvc_graph::hash::FastMap;
+use mtvc_graph::VertexId;
+
+/// Query id: index into the job's source list.
+pub type QueryId = u32;
+
+/// Point-to-point distance message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistMsg {
+    pub query: QueryId,
+    pub dist: u64,
+}
+
+impl Message for DistMsg {
+    fn combine_key(&self) -> Option<u64> {
+        Some(self.query as u64)
+    }
+    fn merge(&mut self, other: &Self) {
+        self.dist = self.dist.min(other.dist);
+    }
+}
+
+/// Per-vertex distances, one entry per query that reached it.
+#[derive(Debug, Clone, Default)]
+pub struct MsspState {
+    pub dist: FastMap<QueryId, u64>,
+}
+
+/// Map from start vertex to the queries starting there.
+fn queries_by_vertex(sources: &[VertexId]) -> FastMap<VertexId, Vec<QueryId>> {
+    let mut map: FastMap<VertexId, Vec<QueryId>> = FastMap::default();
+    for (q, &v) in sources.iter().enumerate() {
+        map.entry(v).or_default().push(q as QueryId);
+    }
+    map
+}
+
+/// Weighted multi-source shortest paths for point-to-point systems.
+#[derive(Debug, Clone)]
+pub struct MsspProgram {
+    sources: Vec<VertexId>,
+    starts: FastMap<VertexId, Vec<QueryId>>,
+}
+
+impl MsspProgram {
+    /// `sources[q]` is the start vertex of query `q`. Duplicates are
+    /// legal (independent unit tasks).
+    pub fn new(sources: Vec<VertexId>) -> MsspProgram {
+        let starts = queries_by_vertex(&sources);
+        MsspProgram { sources, starts }
+    }
+
+    pub fn sources(&self) -> &[VertexId] {
+        &self.sources
+    }
+
+    pub fn num_queries(&self) -> usize {
+        self.sources.len()
+    }
+}
+
+fn improve(
+    state: &mut MsspState,
+    query: QueryId,
+    dist: u64,
+    ctx: &mut Context<'_, DistMsg>,
+) -> bool {
+    match state.dist.get_mut(&query) {
+        Some(cur) if *cur <= dist => false,
+        Some(cur) => {
+            *cur = dist;
+            true
+        }
+        None => {
+            state.dist.insert(query, dist);
+            ctx.add_state_bytes(16);
+            true
+        }
+    }
+}
+
+impl VertexProgram for MsspProgram {
+    type Message = DistMsg;
+    type State = MsspState;
+
+    fn message_bytes(&self) -> u64 {
+        20 // (source, target, dist) — three integers as in §3
+    }
+
+    fn init(&self, v: VertexId, state: &mut MsspState, ctx: &mut Context<'_, DistMsg>) {
+        let Some(queries) = self.starts.get(&v) else {
+            return;
+        };
+        let relaxations: Vec<(VertexId, u32)> = ctx.weighted_neighbors().collect();
+        for &q in queries {
+            improve(state, q, 0, ctx);
+            for &(t, w) in &relaxations {
+                ctx.send(
+                    t,
+                    DistMsg {
+                        query: q,
+                        dist: w as u64,
+                    },
+                    1,
+                );
+            }
+        }
+    }
+
+    fn compute(
+        &self,
+        _v: VertexId,
+        state: &mut MsspState,
+        inbox: &[(DistMsg, u64)],
+        ctx: &mut Context<'_, DistMsg>,
+    ) {
+        // Receiver-side aggregation: keep the best candidate per query
+        // ("if there are multiple messages that have the same source and
+        // target, only the message with the smallest length is
+        // retained" — §3).
+        let mut best: FastMap<QueryId, u64> = FastMap::default();
+        for (msg, _) in inbox {
+            best.entry(msg.query)
+                .and_modify(|d| *d = (*d).min(msg.dist))
+                .or_insert(msg.dist);
+        }
+        let mut improved: Vec<(QueryId, u64)> = Vec::new();
+        for (query, dist) in best {
+            if improve(state, query, dist, ctx) {
+                improved.push((query, dist));
+            }
+        }
+        improved.sort_unstable(); // deterministic send order
+        if improved.is_empty() {
+            return;
+        }
+        let relaxations: Vec<(VertexId, u32)> = ctx.weighted_neighbors().collect();
+        for (query, dist) in improved {
+            for &(t, w) in &relaxations {
+                ctx.send(
+                    t,
+                    DistMsg {
+                        query,
+                        dist: dist + w as u64,
+                    },
+                    1,
+                );
+            }
+        }
+    }
+
+    fn initial_state_bytes(&self) -> u64 {
+        48
+    }
+}
+
+/// Broadcast-interface MSSP (hop distances; see module docs).
+#[derive(Debug, Clone)]
+pub struct MsspBroadcastProgram {
+    sources: Vec<VertexId>,
+    starts: FastMap<VertexId, Vec<QueryId>>,
+}
+
+impl MsspBroadcastProgram {
+    pub fn new(sources: Vec<VertexId>) -> MsspBroadcastProgram {
+        let starts = queries_by_vertex(&sources);
+        MsspBroadcastProgram { sources, starts }
+    }
+
+    pub fn sources(&self) -> &[VertexId] {
+        &self.sources
+    }
+}
+
+impl VertexProgram for MsspBroadcastProgram {
+    type Message = DistMsg;
+    type State = MsspState;
+
+    fn message_bytes(&self) -> u64 {
+        12 // (source, dist) — the slimmer broadcast message of §3
+    }
+
+    fn init(&self, v: VertexId, state: &mut MsspState, ctx: &mut Context<'_, DistMsg>) {
+        let Some(queries) = self.starts.get(&v) else {
+            return;
+        };
+        for &q in queries {
+            improve(state, q, 0, ctx);
+            ctx.broadcast(DistMsg { query: q, dist: 0 }, 1);
+        }
+    }
+
+    fn compute(
+        &self,
+        _v: VertexId,
+        state: &mut MsspState,
+        inbox: &[(DistMsg, u64)],
+        ctx: &mut Context<'_, DistMsg>,
+    ) {
+        let mut best: FastMap<QueryId, u64> = FastMap::default();
+        for (msg, _) in inbox {
+            // The sender broadcast its own distance; one hop further.
+            let cand = msg.dist + 1;
+            best.entry(msg.query)
+                .and_modify(|d| *d = (*d).min(cand))
+                .or_insert(cand);
+        }
+        let mut improved: Vec<(QueryId, u64)> = Vec::new();
+        for (query, dist) in best {
+            if improve(state, query, dist, ctx) {
+                improved.push((query, dist));
+            }
+        }
+        improved.sort_unstable();
+        for (query, dist) in improved {
+            ctx.broadcast(DistMsg { query, dist }, 1);
+        }
+    }
+
+    fn initial_state_bytes(&self) -> u64 {
+        48
+    }
+}
+
+/// Final distances reconstructed from per-vertex states.
+#[derive(Debug, Clone)]
+pub struct MsspDistances {
+    states: Vec<MsspState>,
+}
+
+impl MsspDistances {
+    pub fn new(states: Vec<MsspState>) -> MsspDistances {
+        MsspDistances { states }
+    }
+
+    /// Distance of query `q` to `target` (`None` = unreachable).
+    pub fn dist(&self, q: QueryId, target: VertexId) -> Option<u64> {
+        self.states[target as usize].dist.get(&q).copied()
+    }
+
+    /// Total `(query, vertex)` pairs discovered — the residual-memory
+    /// driver for MSSP batches.
+    pub fn total_entries(&self) -> u64 {
+        self.states.iter().map(|s| s.dist.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_msg_merges_to_min() {
+        let mut a = DistMsg { query: 1, dist: 9 };
+        a.merge(&DistMsg { query: 1, dist: 4 });
+        assert_eq!(a.dist, 4);
+        a.merge(&DistMsg { query: 1, dist: 7 });
+        assert_eq!(a.dist, 4);
+    }
+
+    #[test]
+    fn duplicate_sources_are_distinct_queries() {
+        let p = MsspProgram::new(vec![9, 3, 9]);
+        assert_eq!(p.num_queries(), 3);
+        assert_eq!(p.sources(), &[9, 3, 9]);
+        // Vertex 9 starts queries 0 and 2.
+        assert_eq!(p.starts.get(&9).unwrap(), &vec![0, 2]);
+    }
+
+    #[test]
+    fn message_sizes_differ_between_variants() {
+        let p2p = MsspProgram::new(vec![0]);
+        let bc = MsspBroadcastProgram::new(vec![0]);
+        assert!(bc.message_bytes() < p2p.message_bytes());
+    }
+}

@@ -1,0 +1,133 @@
+//! Classic (global) PageRank.
+//!
+//! Used by §4.8 / Table 4 as the *single-task* counterpoint to BPPR:
+//! "PageRank is a global metric of node importance, and its computation
+//! workload is similar to a Personalized PageRank query that takes a
+//! single source as input." Standard Pregel formulation: fixed number
+//! of iterations; each round a vertex sets
+//! `rank = (1-d)/n + d · Σ incoming` and sends `rank/degree` onward.
+
+use mtvc_engine::{Context, Message, VertexProgram};
+use mtvc_graph::VertexId;
+
+/// Rank contribution flowing along an edge. All contributions to a
+/// vertex combine by summation (combine key 0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankMsg {
+    pub value: f64,
+}
+
+impl Message for RankMsg {
+    fn combine_key(&self) -> Option<u64> {
+        Some(0)
+    }
+    fn merge(&mut self, other: &Self) {
+        self.value += other.value;
+    }
+}
+
+/// Per-vertex PageRank state.
+#[derive(Debug, Clone, Default)]
+pub struct RankState {
+    pub rank: f64,
+}
+
+/// Fixed-iteration PageRank.
+#[derive(Debug, Clone)]
+pub struct PageRankProgram {
+    pub damping: f64,
+    pub iterations: usize,
+}
+
+impl PageRankProgram {
+    pub fn new(damping: f64, iterations: usize) -> PageRankProgram {
+        assert!((0.0..1.0).contains(&damping), "damping in [0,1)");
+        assert!(iterations >= 1);
+        PageRankProgram {
+            damping,
+            iterations,
+        }
+    }
+}
+
+impl Default for PageRankProgram {
+    fn default() -> Self {
+        PageRankProgram::new(0.85, 30)
+    }
+}
+
+impl VertexProgram for PageRankProgram {
+    type Message = RankMsg;
+    type State = RankState;
+
+    fn message_bytes(&self) -> u64 {
+        12 // f64 contribution + tag
+    }
+
+    fn init(&self, _v: VertexId, state: &mut RankState, ctx: &mut Context<'_, RankMsg>) {
+        let n = ctx.num_vertices() as f64;
+        state.rank = 1.0 / n;
+        let degree = ctx.degree();
+        if degree > 0 {
+            let share = state.rank / degree as f64;
+            for &t in ctx.neighbors() {
+                ctx.send(t, RankMsg { value: share }, 1);
+            }
+        }
+    }
+
+    fn compute(
+        &self,
+        _v: VertexId,
+        state: &mut RankState,
+        inbox: &[(RankMsg, u64)],
+        ctx: &mut Context<'_, RankMsg>,
+    ) {
+        let sum: f64 = inbox.iter().map(|(m, _)| m.value).sum();
+        let n = ctx.num_vertices() as f64;
+        state.rank = (1.0 - self.damping) / n + self.damping * sum;
+        if ctx.round() < self.iterations {
+            let degree = ctx.degree();
+            if degree > 0 {
+                let share = state.rank / degree as f64;
+                for &t in ctx.neighbors() {
+                    ctx.send(t, RankMsg { value: share }, 1);
+                }
+            }
+        }
+    }
+
+    fn max_rounds(&self) -> Option<usize> {
+        Some(self.iterations)
+    }
+
+    fn initial_state_bytes(&self) -> u64 {
+        8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_messages_sum_when_merged() {
+        let mut a = RankMsg { value: 0.25 };
+        a.merge(&RankMsg { value: 0.5 });
+        assert_eq!(a.value, 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn damping_validated() {
+        PageRankProgram::new(1.0, 10);
+    }
+
+    #[test]
+    fn default_matches_convention() {
+        let p = PageRankProgram::default();
+        assert_eq!(p.damping, 0.85);
+        assert_eq!(p.iterations, 30);
+        assert_eq!(p.max_rounds(), Some(30));
+    }
+}

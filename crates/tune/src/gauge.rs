@@ -1,0 +1,186 @@
+//! The §4.10 "practical guidelines" workload gauge.
+//!
+//! "The first step is to gauge a suitable workload that will not
+//! overload the system. This can be monitored via a trial-and-error
+//! process using a binary search for the workload. In each trial, the
+//! overload situation can be detected by checking the memory
+//! consumption or disk utilization in the master machine."
+//!
+//! [`gauge_max_workload`] binary-searches the largest single-batch
+//! workload that completes without overloading (memory) or saturating
+//! the disk (out-of-core systems), which is a model-free alternative to
+//! the §5 tuner's first batch.
+
+use mtvc_cluster::ClusterSpec;
+use mtvc_core::{run_job, BatchSchedule, JobSpec, Task};
+use mtvc_graph::Graph;
+use mtvc_metrics::SimTime;
+use mtvc_systems::SystemKind;
+
+/// Outcome of one probe trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrialVerdict {
+    /// Completed with headroom.
+    Healthy,
+    /// Completed but with the warning signs §4.10 watches for:
+    /// memory above the usable threshold or disk pinned at 100%.
+    Strained,
+    /// Overloaded or overflowed.
+    Failed,
+}
+
+/// Result of the gauge.
+#[derive(Debug, Clone)]
+pub struct GaugeResult {
+    /// Largest workload that ran [`TrialVerdict::Healthy`].
+    pub max_healthy_workload: u64,
+    /// Trials performed: (workload, verdict).
+    pub trials: Vec<(u64, TrialVerdict)>,
+    /// Total simulated time spent probing.
+    pub probe_time: SimTime,
+}
+
+/// Classify one single-batch run per the §4.10 monitoring rules.
+pub fn classify(
+    graph: &Graph,
+    task: Task,
+    system: SystemKind,
+    cluster: &ClusterSpec,
+    seed: u64,
+) -> (TrialVerdict, SimTime) {
+    let w = task.workload();
+    let spec = JobSpec::new(
+        task,
+        system,
+        cluster.clone(),
+        BatchSchedule::full_parallelism(w),
+    )
+    .with_seed(seed);
+    let r = run_job(graph, &spec);
+    let time = r.plot_time();
+    if !r.outcome.is_completed() {
+        return (TrialVerdict::Failed, time);
+    }
+    let usable = cluster.machine.usable_memory();
+    let memory_strained = r.stats.peak_memory > usable;
+    let disk_strained = r.stats.max_disk_utilization >= 0.99;
+    if memory_strained || disk_strained {
+        (TrialVerdict::Strained, time)
+    } else {
+        (TrialVerdict::Healthy, time)
+    }
+}
+
+/// Binary-search the largest healthy single-batch workload in
+/// `[1, upper]`.
+///
+/// Doubles up from 1 until the first unhealthy trial (or `upper`),
+/// then bisects. Deterministic; typically `O(log upper)` trials, each a
+/// full (simulated) run of the probe workload.
+pub fn gauge_max_workload(
+    graph: &Graph,
+    task_shape: Task,
+    system: SystemKind,
+    cluster: &ClusterSpec,
+    upper: u64,
+    seed: u64,
+) -> GaugeResult {
+    assert!(upper >= 1);
+    let mut trials = Vec::new();
+    let mut probe_time = SimTime::ZERO;
+    let try_w = |w: u64, trials: &mut Vec<(u64, TrialVerdict)>, t: &mut SimTime| {
+        let (verdict, time) = classify(graph, task_shape.with_workload(w), system, cluster, seed ^ w);
+        *t += time;
+        trials.push((w, verdict));
+        verdict
+    };
+
+    // Exponential ramp.
+    let mut lo = 0u64; // largest known-healthy
+    let mut hi = None; // smallest known-unhealthy
+    let mut w = 1u64;
+    loop {
+        let verdict = try_w(w, &mut trials, &mut probe_time);
+        if verdict == TrialVerdict::Healthy {
+            lo = w;
+            if w >= upper {
+                break;
+            }
+            w = (w * 2).min(upper);
+        } else {
+            hi = Some(w);
+            break;
+        }
+    }
+    // Bisect between lo and hi.
+    if let Some(mut hi) = hi {
+        while hi - lo > 1 && hi > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if mid == lo {
+                break;
+            }
+            let verdict = try_w(mid, &mut trials, &mut probe_time);
+            if verdict == TrialVerdict::Healthy {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+    GaugeResult {
+        max_healthy_workload: lo,
+        trials,
+        probe_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvc_graph::generators;
+
+    fn setup() -> (Graph, ClusterSpec) {
+        let g = generators::power_law(300, 1400, 2.4, 71);
+        // Small machines so the gauge finds a real boundary.
+        let cluster = ClusterSpec::galaxy(4).scaled(2048.0);
+        (g, cluster)
+    }
+
+    #[test]
+    fn gauge_finds_a_boundary() {
+        let (g, cluster) = setup();
+        let r = gauge_max_workload(&g, Task::bppr(1), SystemKind::PregelPlus, &cluster, 1 << 20, 3);
+        assert!(r.max_healthy_workload >= 1);
+        assert!(r.max_healthy_workload < 1 << 20, "boundary should exist");
+        // The workload just confirmed healthy must classify healthy.
+        let (v, _) = classify(
+            &g,
+            Task::bppr(r.max_healthy_workload),
+            SystemKind::PregelPlus,
+            &cluster,
+            3 ^ r.max_healthy_workload,
+        );
+        assert_eq!(v, TrialVerdict::Healthy);
+        assert!(r.probe_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn gauge_respects_upper_bound_when_everything_fits() {
+        let (g, _) = setup();
+        // Roomy cluster: everything is healthy up to the cap.
+        let cluster = ClusterSpec::galaxy(8);
+        let r = gauge_max_workload(&g, Task::bppr(1), SystemKind::PregelPlus, &cluster, 64, 5);
+        assert_eq!(r.max_healthy_workload, 64);
+    }
+
+    #[test]
+    fn trials_grow_logarithmically() {
+        let (g, cluster) = setup();
+        let r = gauge_max_workload(&g, Task::bppr(1), SystemKind::PregelPlus, &cluster, 1 << 16, 7);
+        assert!(
+            r.trials.len() <= 2 * 17,
+            "too many trials: {}",
+            r.trials.len()
+        );
+    }
+}

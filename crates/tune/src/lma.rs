@@ -1,0 +1,294 @@
+//! Levenberg–Marquardt fitting of `f(x) = a·x^b + c`.
+//!
+//! §5 "Training": "We estimate the exponential function parameters by
+//! the standard Levenberg-Marquardt algorithm (LMA). … In practice,
+//! (a, b, c) will be initialized randomly and updated in a
+//! gradient-descent manner until they converge or maximum trials are
+//! reached." We run LM from several deterministic-seeded restarts and
+//! keep the best fit.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A fitted exponential model `a·x^b + c`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpFit {
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    /// Sum of squared residuals at convergence.
+    pub sse: f64,
+}
+
+impl ExpFit {
+    pub fn eval(&self, x: f64) -> f64 {
+        self.a * x.powf(self.b) + self.c
+    }
+
+    /// Invert: the `x` with `eval(x) = y`. `None` when `y` is below the
+    /// curve's floor or the model is degenerate.
+    pub fn invert(&self, y: f64) -> Option<f64> {
+        if self.a <= 0.0 || self.b <= 0.0 {
+            return None;
+        }
+        let t = (y - self.c) / self.a;
+        if t <= 0.0 {
+            None
+        } else {
+            Some(t.powf(1.0 / self.b))
+        }
+    }
+}
+
+/// Fitting failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer than 3 samples cannot constrain 3 parameters.
+    TooFewSamples,
+    /// Inputs contained non-finite or non-positive x values.
+    BadInput,
+    /// No restart converged to a finite fit.
+    DidNotConverge,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::TooFewSamples => write!(f, "need at least 3 samples"),
+            FitError::BadInput => write!(f, "x values must be positive and finite"),
+            FitError::DidNotConverge => write!(f, "LMA did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+fn sse_of(xs: &[f64], ys: &[f64], a: f64, b: f64, c: f64) -> f64 {
+    xs.iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            let r = y - (a * x.powf(b) + c);
+            r * r
+        })
+        .sum()
+}
+
+/// Solve a 3×3 linear system by Gaussian elimination with partial
+/// pivoting. Returns `None` for singular systems.
+fn solve3(mut m: [[f64; 3]; 3], mut rhs: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        // Pivot.
+        let mut piv = col;
+        for row in col + 1..3 {
+            if m[row][col].abs() > m[piv][col].abs() {
+                piv = row;
+            }
+        }
+        if m[piv][col].abs() < 1e-14 {
+            return None;
+        }
+        m.swap(col, piv);
+        rhs.swap(col, piv);
+        // Eliminate.
+        for row in col + 1..3 {
+            let f = m[row][col] / m[col][col];
+            let pivot_row = m[col];
+            for (k, mk) in m[row].iter_mut().enumerate().skip(col) {
+                *mk -= f * pivot_row[k];
+            }
+            rhs[row] -= f * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = [0.0f64; 3];
+    for col in (0..3).rev() {
+        let mut s = rhs[col];
+        for k in col + 1..3 {
+            s -= m[col][k] * x[k];
+        }
+        x[col] = s / m[col][col];
+    }
+    Some(x)
+}
+
+/// One LM descent from an initial guess. Returns the refined fit.
+fn lm_descent(xs: &[f64], ys: &[f64], mut a: f64, mut b: f64, mut c: f64) -> ExpFit {
+    let mut lambda = 1e-3;
+    let mut sse = sse_of(xs, ys, a, b, c);
+    for _ in 0..300 {
+        // Build JᵀJ and Jᵀr. Linearization per §5 Equation 4.
+        let mut jtj = [[0.0f64; 3]; 3];
+        let mut jtr = [0.0f64; 3];
+        for (&x, &y) in xs.iter().zip(ys) {
+            let xb = x.powf(b);
+            let f = a * xb + c;
+            let r = y - f;
+            let j = [xb, a * xb * x.ln(), 1.0];
+            for (i, ji) in j.iter().enumerate() {
+                for (k, jk) in j.iter().enumerate() {
+                    jtj[i][k] += ji * jk;
+                }
+                jtr[i] += ji * r;
+            }
+        }
+        // Damped normal equations.
+        let mut damped = jtj;
+        for (i, row) in damped.iter_mut().enumerate() {
+            row[i] += lambda * (jtj[i][i].max(1e-12));
+        }
+        let Some(delta) = solve3(damped, jtr) else {
+            lambda *= 10.0;
+            continue;
+        };
+        let (na, nb, nc) = (a + delta[0], (b + delta[1]).clamp(0.01, 6.0), c + delta[2]);
+        let new_sse = sse_of(xs, ys, na, nb, nc);
+        if new_sse.is_finite() && new_sse < sse {
+            let rel = (sse - new_sse) / sse.max(1e-30);
+            a = na;
+            b = nb;
+            c = nc;
+            sse = new_sse;
+            lambda = (lambda / 3.0).max(1e-12);
+            if rel < 1e-12 {
+                break;
+            }
+        } else {
+            lambda *= 4.0;
+            if lambda > 1e12 {
+                break;
+            }
+        }
+    }
+    ExpFit { a, b, c, sse }
+}
+
+/// Fit `y ≈ a·x^b + c` to the samples.
+///
+/// Deterministic: restarts are seeded from `seed`.
+pub fn fit_exponential(xs: &[f64], ys: &[f64], seed: u64) -> Result<ExpFit, FitError> {
+    if xs.len() != ys.len() || xs.len() < 3 {
+        return Err(FitError::TooFewSamples);
+    }
+    if xs.iter().any(|&x| !x.is_finite() || x <= 0.0) || ys.iter().any(|y| !y.is_finite()) {
+        return Err(FitError::BadInput);
+    }
+
+    let (x_min, x_max) = xs
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+    let (y_min, y_max) = ys
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &y| {
+            (lo.min(y), hi.max(y))
+        });
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut best: Option<ExpFit> = None;
+    // Structured guesses for b (sub-linear, linear, super-linear) plus
+    // random restarts, as §5 describes random initialization.
+    let mut guesses: Vec<f64> = vec![0.5, 1.0, 1.5, 2.0];
+    guesses.extend((0..4).map(|_| rng.gen_range(0.1..3.0)));
+    for b0 in guesses {
+        let denom = x_max.powf(b0) - x_min.powf(b0);
+        let a0 = if denom.abs() > 1e-12 {
+            ((y_max - y_min) / denom).max(1e-9)
+        } else {
+            1.0
+        };
+        let c0 = y_min - a0 * x_min.powf(b0);
+        let fit = lm_descent(xs, ys, a0, b0, c0);
+        if fit.sse.is_finite()
+            && best.map(|b| fit.sse < b.sse).unwrap_or(true)
+        {
+            best = Some(fit);
+        }
+    }
+    best.ok_or(FitError::DidNotConverge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planted(a: f64, b: f64, c: f64, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| a * x.powf(b) + c).collect()
+    }
+
+    #[test]
+    fn recovers_planted_linear_model() {
+        let xs: Vec<f64> = (1..=8).map(|r| (1u64 << r) as f64).collect();
+        let ys = planted(3.5, 1.0, 100.0, &xs);
+        let fit = fit_exponential(&xs, &ys, 1).unwrap();
+        assert!(fit.sse < 1e-6 * ys.iter().map(|y| y * y).sum::<f64>());
+        for (&x, &y) in xs.iter().zip(&ys) {
+            assert!((fit.eval(x) - y).abs() < 1e-3 * y.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn recovers_superlinear_model() {
+        let xs: Vec<f64> = (1..=8).map(|r| (1u64 << r) as f64).collect();
+        let ys = planted(0.7, 1.4, 12.0, &xs);
+        let fit = fit_exponential(&xs, &ys, 2).unwrap();
+        assert!((fit.b - 1.4).abs() < 0.05, "b = {}", fit.b);
+    }
+
+    #[test]
+    fn recovers_sublinear_model() {
+        let xs: Vec<f64> = (1..=8).map(|r| (1u64 << r) as f64).collect();
+        let ys = planted(40.0, 0.5, 5.0, &xs);
+        let fit = fit_exponential(&xs, &ys, 3).unwrap();
+        assert!((fit.b - 0.5).abs() < 0.05, "b = {}", fit.b);
+    }
+
+    #[test]
+    fn tolerates_noise() {
+        let xs: Vec<f64> = (1..=9).map(|r| (1u64 << r) as f64).collect();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 2.0 * x + 50.0 + rng.gen_range(-3.0..3.0))
+            .collect();
+        let fit = fit_exponential(&xs, &ys, 4).unwrap();
+        assert!((fit.b - 1.0).abs() < 0.15, "b = {}", fit.b);
+        // Predictions stay near the noiseless curve.
+        assert!((fit.eval(1024.0) - 2098.0).abs() < 60.0);
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        let fit = ExpFit {
+            a: 2.0,
+            b: 1.5,
+            c: 10.0,
+            sse: 0.0,
+        };
+        let x = fit.invert(fit.eval(37.0)).unwrap();
+        assert!((x - 37.0).abs() < 1e-9);
+        assert_eq!(fit.invert(5.0), None); // below the floor c
+    }
+
+    #[test]
+    fn input_validation() {
+        assert_eq!(
+            fit_exponential(&[1.0, 2.0], &[1.0, 2.0], 0),
+            Err(FitError::TooFewSamples)
+        );
+        assert_eq!(
+            fit_exponential(&[0.0, 2.0, 3.0], &[1.0, 2.0, 3.0], 0),
+            Err(FitError::BadInput)
+        );
+        assert_eq!(
+            fit_exponential(&[1.0, 2.0, 3.0], &[1.0, f64::NAN, 3.0], 0),
+            Err(FitError::BadInput)
+        );
+    }
+
+    #[test]
+    fn solve3_handles_singular() {
+        let singular = [[1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.0, 0.0, 1.0]];
+        assert_eq!(solve3(singular, [1.0, 2.0, 3.0]), None);
+        let id = [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]];
+        assert_eq!(solve3(id, [4.0, 5.0, 6.0]), Some([4.0, 5.0, 6.0]));
+    }
+}

@@ -1,0 +1,198 @@
+//! Batch-schedule computation from the fitted memory models
+//! (Equations 1–6 of §5).
+//!
+//! With `M*(W) = a₁W^b₁ + c₁` (peak memory of a workload-`W` batch) and
+//! `M_r*(W) = a₂W^b₂ + c₂` (residual left by `W` accumulated workload),
+//! each batch takes the largest workload whose predicted peak fits under
+//! the overload threshold `p·M` after subtracting the residual of all
+//! earlier batches:
+//!
+//! ```text
+//! W_{i+1} = ((p·M − M_r*(Σ_{j≤i} W_j) − c₁) / a₁)^(1/b₁)     (Eq. 6)
+//! ```
+
+use crate::lma::ExpFit;
+use serde::{Deserialize, Serialize};
+
+/// The two fitted curves of §5.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryModel {
+    /// `M*`: peak per-machine memory as a function of batch workload.
+    pub peak: ExpFit,
+    /// `M_r*`: max per-machine residual as a function of *accumulated*
+    /// workload.
+    pub residual: ExpFit,
+}
+
+/// Scheduling failure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScheduleError {
+    /// Even an empty cluster cannot fit the first unit of work under
+    /// `p·M` according to the model.
+    Infeasible,
+    /// The residual of already-scheduled work leaves no headroom for
+    /// the remaining workload within the batch cap.
+    OutOfHeadroom { scheduled: u64, remaining: u64 },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::Infeasible => write!(f, "model predicts no feasible first batch"),
+            ScheduleError::OutOfHeadroom {
+                scheduled,
+                remaining,
+            } => write!(
+                f,
+                "residual memory exhausts headroom after {scheduled} units ({remaining} left)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Compute the optimized schedule `S* = {W₁, …, Wₜ}` for `total`
+/// workload units under overload threshold `p` and physical capacity
+/// `capacity_bytes` per machine.
+pub fn compute_schedule(
+    model: &MemoryModel,
+    total: u64,
+    p: f64,
+    capacity_bytes: f64,
+    max_batches: usize,
+) -> Result<Vec<u64>, ScheduleError> {
+    assert!(total >= 1, "workload must be positive");
+    assert!((0.0..=1.0).contains(&p) && p > 0.0, "p in (0, 1]");
+    assert!(max_batches >= 1);
+    let budget_cap = p * capacity_bytes;
+
+    let mut schedule: Vec<u64> = Vec::new();
+    let mut scheduled = 0u64;
+    while scheduled < total && schedule.len() < max_batches {
+        // Headroom after the residual of everything scheduled so far
+        // (Equation 5).
+        let residual = if scheduled == 0 {
+            // Model floor: no batches run yet. Use the fitted constant
+            // only if it is positive (c₂ can be slightly negative from
+            // fitting noise).
+            model.residual.c.max(0.0)
+        } else {
+            model.residual.eval(scheduled as f64).max(0.0)
+        };
+        let headroom = budget_cap - residual;
+        // Invert M* at the headroom (Equation 6).
+        let w = model
+            .peak
+            .invert(headroom)
+            .map(|w| w.floor())
+            .unwrap_or(0.0);
+        if w < 1.0 {
+            return if scheduled == 0 {
+                Err(ScheduleError::Infeasible)
+            } else {
+                Err(ScheduleError::OutOfHeadroom {
+                    scheduled,
+                    remaining: total - scheduled,
+                })
+            };
+        }
+        let w = (w as u64).min(total - scheduled);
+        schedule.push(w);
+        scheduled += w;
+    }
+    if scheduled < total {
+        return Err(ScheduleError::OutOfHeadroom {
+            scheduled,
+            remaining: total - scheduled,
+        });
+    }
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fit(a: f64, b: f64, c: f64) -> ExpFit {
+        ExpFit { a, b, c, sse: 0.0 }
+    }
+
+    #[test]
+    fn single_batch_when_everything_fits() {
+        // Peak = W + 0, capacity 10_000, p=1: W1 = 10_000 >= total.
+        let model = MemoryModel {
+            peak: fit(1.0, 1.0, 0.0),
+            residual: fit(0.1, 1.0, 0.0),
+        };
+        let s = compute_schedule(&model, 5_000, 1.0, 10_000.0, 64).unwrap();
+        assert_eq!(s, vec![5_000]);
+    }
+
+    #[test]
+    fn batches_shrink_monotonically() {
+        // Residual grows linearly: later batches must shrink, like the
+        // paper's example division [2747, 1388, 644, 266, 75].
+        let model = MemoryModel {
+            peak: fit(1.0, 1.0, 0.0),
+            residual: fit(0.5, 1.0, 0.0),
+        };
+        let s = compute_schedule(&model, 5_000, 0.9, 4_000.0, 64).unwrap();
+        assert!(s.len() > 1);
+        assert_eq!(s.iter().sum::<u64>(), 5_000);
+        for w in s.windows(2) {
+            assert!(w[0] >= w[1], "not monotone: {s:?}");
+        }
+    }
+
+    #[test]
+    fn infeasible_when_floor_exceeds_budget() {
+        let model = MemoryModel {
+            peak: fit(1.0, 1.0, 10_000.0), // c1 alone above the budget
+            residual: fit(0.0, 1.0, 0.0),
+        };
+        assert_eq!(
+            compute_schedule(&model, 100, 0.9, 5_000.0, 64),
+            Err(ScheduleError::Infeasible)
+        );
+    }
+
+    #[test]
+    fn out_of_headroom_when_residual_saturates() {
+        // Residual eats the entire budget after ~1800 units.
+        let model = MemoryModel {
+            peak: fit(1.0, 1.0, 0.0),
+            residual: fit(1.0, 1.0, 0.0),
+        };
+        let err = compute_schedule(&model, 10_000, 0.9, 2_000.0, 64).unwrap_err();
+        match err {
+            ScheduleError::OutOfHeadroom { scheduled, .. } => assert!(scheduled > 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn respects_max_batches() {
+        let model = MemoryModel {
+            peak: fit(1.0, 1.0, 0.0),
+            residual: fit(0.0, 1.0, 0.0),
+        };
+        // Each batch caps at 10 units; 100 total needs 10 batches but
+        // only 3 allowed.
+        let r = compute_schedule(&model, 100, 1.0, 10.0, 3);
+        assert!(matches!(r, Err(ScheduleError::OutOfHeadroom { .. })));
+    }
+
+    #[test]
+    fn superlinear_peak_model() {
+        // Peak ∝ W^1.5: the first batch solves the inverse power.
+        let model = MemoryModel {
+            peak: fit(2.0, 1.5, 100.0),
+            residual: fit(0.2, 1.0, 0.0),
+        };
+        let s = compute_schedule(&model, 400, 0.9, 10_000.0, 64).unwrap();
+        assert_eq!(s.iter().sum::<u64>(), 400);
+        // W1 = ((9000-100)/2)^(2/3) ≈ 270.9 → 270
+        assert_eq!(s[0], 270);
+    }
+}

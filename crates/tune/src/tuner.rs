@@ -1,0 +1,154 @@
+//! End-to-end tuner: train → fit → schedule → execute (§5).
+
+use crate::lma::{fit_exponential, FitError};
+use crate::schedule::{compute_schedule, MemoryModel, ScheduleError};
+use crate::training::{train, TrainingData};
+use mtvc_cluster::ClusterSpec;
+use mtvc_core::{run_job, BatchSchedule, JobResult, JobSpec, Task};
+use mtvc_graph::Graph;
+use mtvc_metrics::SimTime;
+use mtvc_systems::SystemKind;
+
+/// Tuner hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TunerConfig {
+    /// Overloading parameter `p`: a machine is overloaded when `p` of
+    /// its physical memory is occupied (§5 "Machine Overloading").
+    pub overload_p: f64,
+    /// Upper bound on batches the scheduler may emit.
+    pub max_batches: usize,
+    /// Seed for training runs and LMA restarts.
+    pub seed: u64,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        TunerConfig {
+            overload_p: 0.85,
+            max_batches: 64,
+            seed: 0x7E57,
+        }
+    }
+}
+
+/// Tuning failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TuneError {
+    Fit(FitError),
+    Schedule(ScheduleError),
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::Fit(e) => write!(f, "model fitting failed: {e}"),
+            TuneError::Schedule(e) => write!(f, "scheduling failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+/// The tuner's output: the learned model and the optimized schedule.
+#[derive(Debug, Clone)]
+pub struct TunedSchedule {
+    pub model: MemoryModel,
+    pub schedule: BatchSchedule,
+    pub training: TrainingData,
+}
+
+impl TunedSchedule {
+    /// Training cost in simulated seconds (§5 requires it minor).
+    pub fn training_time(&self) -> SimTime {
+        self.training.training_time
+    }
+}
+
+/// Learn an optimized batch schedule for `task` on (`system`,
+/// `cluster`) — the §5 pipeline.
+pub fn tune(
+    graph: &Graph,
+    task: Task,
+    system: SystemKind,
+    cluster: &ClusterSpec,
+    cfg: &TunerConfig,
+) -> Result<TunedSchedule, TuneError> {
+    let training = train(graph, task, system, cluster, cfg.seed);
+    let peak = fit_exponential(&training.workloads, &training.peak_memory, cfg.seed)
+        .map_err(TuneError::Fit)?;
+    let residual = fit_exponential(&training.workloads, &training.residual, cfg.seed ^ 0xF17)
+        .map_err(TuneError::Fit)?;
+    let model = MemoryModel { peak, residual };
+    let schedule = compute_schedule(
+        &model,
+        task.workload(),
+        cfg.overload_p,
+        cluster.machine.memory.as_f64(),
+        cfg.max_batches,
+    )
+    .map_err(TuneError::Schedule)?;
+    Ok(TunedSchedule {
+        model,
+        schedule: BatchSchedule::explicit(schedule),
+        training,
+    })
+}
+
+/// Convenience: tune, then execute the optimized schedule.
+pub fn tune_and_run(
+    graph: &Graph,
+    task: Task,
+    system: SystemKind,
+    cluster: &ClusterSpec,
+    cfg: &TunerConfig,
+) -> Result<(TunedSchedule, JobResult), TuneError> {
+    let tuned = tune(graph, task, system, cluster, cfg)?;
+    let spec = JobSpec::new(task, system, cluster.clone(), tuned.schedule.clone())
+        .with_seed(cfg.seed ^ 0xEE);
+    let result = run_job(graph, &spec);
+    Ok((tuned, result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvc_graph::generators;
+
+    #[test]
+    fn tuner_produces_valid_schedule() {
+        let g = generators::power_law(200, 900, 2.4, 59);
+        let cluster = ClusterSpec::galaxy(4);
+        let tuned = tune(
+            &g,
+            Task::bppr(512),
+            SystemKind::PregelPlus,
+            &cluster,
+            &TunerConfig::default(),
+        )
+        .expect("tuning should succeed");
+        assert_eq!(tuned.schedule.total(), 512);
+        assert!(tuned.training_time() > SimTime::ZERO);
+        // Model curves are increasing in workload.
+        assert!(tuned.model.peak.eval(512.0) > tuned.model.peak.eval(2.0));
+    }
+
+    #[test]
+    fn tuned_run_completes() {
+        let g = generators::power_law(200, 900, 2.4, 61);
+        let cluster = ClusterSpec::galaxy(4);
+        let (tuned, result) = tune_and_run(
+            &g,
+            Task::bppr(256),
+            SystemKind::PregelPlus,
+            &cluster,
+            &TunerConfig::default(),
+        )
+        .expect("tuning should succeed");
+        assert!(result.outcome.is_completed(), "{:?}", result.outcome);
+        assert_eq!(
+            result.per_batch.len(),
+            tuned.schedule.len(),
+            "executor must honour the tuned schedule"
+        );
+    }
+}

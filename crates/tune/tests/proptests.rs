@@ -1,0 +1,77 @@
+//! Property-based tests for the tuning framework: the LMA fitter must
+//! recover planted exponential models, and the schedule solver must
+//! produce valid monotone schedules whenever one exists.
+
+use mtvc_tune::{compute_schedule, fit_exponential, ExpFit, MemoryModel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lma_recovers_planted_models(
+        a in 0.5f64..50.0,
+        b in 0.3f64..2.0,
+        c in 0.0f64..500.0,
+        seed in any::<u64>(),
+    ) {
+        let xs: Vec<f64> = (1..=9).map(|r| (1u64 << r) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| a * x.powf(b) + c).collect();
+        let fit = fit_exponential(&xs, &ys, seed).expect("fit should succeed");
+        // Prediction accuracy matters more than parameter identity
+        // (a/b/c trade off near-degenerately for small b).
+        for (&x, &y) in xs.iter().zip(&ys) {
+            let err = (fit.eval(x) - y).abs();
+            prop_assert!(err < 0.02 * y.abs().max(1.0), "err {err} at x={x}");
+        }
+        // Extrapolation one octave out stays within 15%.
+        let x_ext = 1024.0f64;
+        let y_ext = a * x_ext.powf(b) + c;
+        prop_assert!(
+            (fit.eval(x_ext) - y_ext).abs() < 0.15 * y_ext.max(1.0),
+            "extrapolation {} vs {}", fit.eval(x_ext), y_ext
+        );
+    }
+
+    #[test]
+    fn schedules_are_valid_and_monotone(
+        total in 1u64..200_000,
+        peak_a in 0.5f64..5.0,
+        peak_b in 0.7f64..1.5,
+        resid_a in 0.0f64..2.0,
+        budget_scale in 1.2f64..100.0,
+    ) {
+        let peak = ExpFit { a: peak_a, b: peak_b, c: 0.0, sse: 0.0 };
+        let residual = ExpFit { a: resid_a, b: 1.0, c: 0.0, sse: 0.0 };
+        let model = MemoryModel { peak, residual };
+        // Budget big enough for at least one unit of work.
+        let capacity = peak.eval(1.0) * budget_scale + residual.eval(total as f64);
+        match compute_schedule(&model, total, 0.9, capacity / 0.9, 512) {
+            Ok(schedule) => {
+                prop_assert_eq!(schedule.iter().sum::<u64>(), total);
+                prop_assert!(schedule.iter().all(|&w| w >= 1));
+                for w in schedule.windows(2) {
+                    prop_assert!(w[0] >= w[1], "schedule not monotone: {:?}", w);
+                }
+            }
+            Err(e) => {
+                // Only legitimate failure: residual saturates the budget
+                // before the whole workload fits in 512 batches.
+                prop_assert!(resid_a > 0.0, "unexpected failure {e} with zero residual");
+            }
+        }
+    }
+
+    #[test]
+    fn invert_is_right_inverse_of_eval(
+        a in 0.01f64..100.0,
+        b in 0.1f64..3.0,
+        c in -100.0f64..100.0,
+        x in 0.5f64..1e6,
+    ) {
+        let fit = ExpFit { a, b, c, sse: 0.0 };
+        let y = fit.eval(x);
+        let back = fit.invert(y).expect("invertible above the floor");
+        prop_assert!((back - x).abs() < 1e-6 * x, "{back} vs {x}");
+    }
+}

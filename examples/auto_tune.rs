@@ -1,0 +1,62 @@
+//! The §5 cost-based tuning framework end to end: train light probe
+//! workloads, fit the memory models with Levenberg–Marquardt, derive
+//! the batch schedule from Equations 1–6, and compare against
+//! Full-Parallelism.
+//!
+//! ```sh
+//! cargo run --release --example auto_tune
+//! ```
+
+use mtvc::cluster::ClusterSpec;
+use mtvc::graph::Dataset;
+use mtvc::multitask::{run_job, BatchSchedule, JobSpec, Task};
+use mtvc::systems::SystemKind;
+use mtvc::tune::{tune, TunerConfig};
+
+fn main() {
+    let dataset = Dataset::Dblp;
+    let graph = dataset.generate_default();
+    let cluster = ClusterSpec::galaxy(4).scaled(dataset.info().default_scale as f64);
+    let task = Task::bppr(5120);
+
+    // Train + fit + schedule.
+    let tuned = tune(
+        &graph,
+        task,
+        SystemKind::PregelPlus,
+        &cluster,
+        &TunerConfig::default(),
+    )
+    .expect("tuning should succeed on this setting");
+
+    println!(
+        "peak-memory model:  M*(W)  = {:.3}*W^{:.3} + {:.0}",
+        tuned.model.peak.a, tuned.model.peak.b, tuned.model.peak.c
+    );
+    println!(
+        "residual model:     Mr*(W) = {:.3}*W^{:.3} + {:.0}",
+        tuned.model.residual.a, tuned.model.residual.b, tuned.model.residual.c
+    );
+    println!("training cost: {}", tuned.training_time());
+    println!(
+        "optimized schedule (note the §5 monotone decrease): {:?}",
+        tuned.schedule.batches()
+    );
+
+    // Execute both schemes.
+    let optimized = run_job(
+        &graph,
+        &JobSpec::new(task, SystemKind::PregelPlus, cluster.clone(), tuned.schedule.clone()),
+    );
+    let full = run_job(
+        &graph,
+        &JobSpec::new(
+            task,
+            SystemKind::PregelPlus,
+            cluster,
+            BatchSchedule::full_parallelism(task.workload()),
+        ),
+    );
+    println!("Full-Parallelism: {}", full.outcome);
+    println!("Optimized:        {}", optimized.outcome);
+}

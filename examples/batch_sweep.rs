@@ -1,0 +1,52 @@
+//! The round–congestion tradeoff: sweep the number of batches for one
+//! workload and watch the optimum sit strictly between the extremes —
+//! the paper's headline phenomenon (Figures 2–4).
+//!
+//! ```sh
+//! cargo run --release --example batch_sweep
+//! ```
+
+use mtvc::cluster::ClusterSpec;
+use mtvc::graph::Dataset;
+use mtvc::metrics::{row, Table};
+use mtvc::multitask::sweep::{batch_sweep, optimal_batches, sweep_series};
+use mtvc::multitask::Task;
+use mtvc::systems::SystemKind;
+
+fn main() {
+    let dataset = Dataset::Dblp;
+    let graph = dataset.generate_default();
+    let cluster = ClusterSpec::galaxy8().scaled(dataset.info().default_scale as f64);
+
+    let mut table = Table::new(
+        "running time vs #batches (BPPR, DBLP-like, Galaxy-8, Pregel+)",
+        &["workload", "batches", "time", "congestion (msgs/round)", "peak memory"],
+    );
+    for workload in [1024u64, 10240, 12288] {
+        let task = Task::bppr(workload);
+        let points = batch_sweep(
+            &graph,
+            task,
+            SystemKind::PregelPlus,
+            &cluster,
+            &[1, 2, 4, 8, 16],
+            42,
+        );
+        for p in &points {
+            table.row(row!(
+                workload,
+                p.batches,
+                p.result.outcome,
+                format!("{:.2e}", p.result.stats.congestion()),
+                p.result.stats.peak_memory
+            ));
+        }
+        let series = sweep_series(format!("W={workload}"), &points);
+        println!(
+            "W={workload}: optimal batch count = {:?}, monotone = {}",
+            optimal_batches(&points),
+            series.is_monotone_non_decreasing()
+        );
+    }
+    table.print();
+}

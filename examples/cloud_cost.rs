@@ -1,0 +1,43 @@
+//! Monetary cost in the cloud (§4.6): the same job under different
+//! batch settings produces very different credit bills; overloaded
+//! settings are billed as lower bounds (`>$x`).
+//!
+//! ```sh
+//! cargo run --release --example cloud_cost
+//! ```
+
+use mtvc::cluster::ClusterSpec;
+use mtvc::graph::Dataset;
+use mtvc::metrics::{row, Table};
+use mtvc::multitask::{run_job, BatchSchedule, JobSpec, Task};
+use mtvc::systems::SystemKind;
+
+fn main() {
+    let dataset = Dataset::Dblp;
+    let graph = dataset.generate_default();
+    let cluster = ClusterSpec::docker32().scaled(dataset.info().default_scale as f64);
+    let task = Task::bppr(40960);
+
+    let mut table = Table::new(
+        "cloud credits vs batch setting (BPPR 40960, Docker-32)",
+        &["batches", "outcome", "credits"],
+    );
+    let mut best: Option<(usize, f64)> = None;
+    for batches in [1usize, 2, 4, 8, 16] {
+        let spec = JobSpec::new(
+            task,
+            SystemKind::PregelPlus,
+            cluster.clone(),
+            BatchSchedule::equal(task.workload(), batches),
+        );
+        let r = run_job(&graph, &spec);
+        if !r.cost.lower_bound && best.map(|(_, c)| r.cost.credits < c).unwrap_or(true) {
+            best = Some((batches, r.cost.credits));
+        }
+        table.row(row!(batches, r.outcome, r.cost));
+    }
+    table.print();
+    if let Some((batches, credits)) = best {
+        println!("cheapest batch setting: {batches} batches at ${credits:.0}");
+    }
+}

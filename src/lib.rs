@@ -1,0 +1,14 @@
+//! `mtvc` — Multi-Task processing in Vertex-Centric graph systems.
+//!
+//! Façade crate re-exporting the full workspace API. See the README for
+//! a guided tour and `DESIGN.md` for the architecture and the mapping
+//! from the EDBT 2023 paper's experiments to modules.
+
+pub use mtvc_cluster as cluster;
+pub use mtvc_core as multitask;
+pub use mtvc_engine as engine;
+pub use mtvc_graph as graph;
+pub use mtvc_metrics as metrics;
+pub use mtvc_systems as systems;
+pub use mtvc_tasks as tasks;
+pub use mtvc_tune as tune;

@@ -1,0 +1,261 @@
+//! Cross-crate integration tests: each of the paper's headline insights
+//! must hold end-to-end on small, fast settings. The benchmark harness
+//! demonstrates the same effects at paper-figure scale; these tests pin
+//! them down in CI time.
+
+use mtvc::cluster::ClusterSpec;
+use mtvc::graph::Dataset;
+use mtvc::multitask::sweep::{batch_sweep, optimal_batches};
+use mtvc::multitask::{run_job, BatchSchedule, JobSpec, Task};
+use mtvc::systems::SystemKind;
+use mtvc::tune::{tune, TunerConfig};
+
+fn dblp_small() -> (mtvc::graph::Graph, f64) {
+    // 1/1024 scale: ~600 vertices, fast enough for tests.
+    let scale = 1024u64;
+    (Dataset::Dblp.generate(scale), scale as f64)
+}
+
+#[test]
+fn round_congestion_tradeoff_is_real() {
+    let (g, sigma) = dblp_small();
+    let cluster = ClusterSpec::galaxy8().scaled(sigma);
+    let points = batch_sweep(&g, Task::bppr(512), SystemKind::PregelPlus, &cluster, &[1, 4], 1);
+    let one = &points[0].result.stats;
+    let four = &points[1].result.stats;
+    // Same work, more rounds, less congestion.
+    assert!(four.rounds > one.rounds);
+    assert!(four.congestion() < one.congestion());
+    let ratio = one.total_messages_sent as f64 / four.total_messages_sent as f64;
+    assert!((0.9..1.1).contains(&ratio), "total messages should match: {ratio}");
+}
+
+#[test]
+fn full_parallelism_suboptimal_under_memory_pressure() {
+    let (g, sigma) = dblp_small();
+    let cluster = ClusterSpec::galaxy(4).scaled(sigma);
+    // Heavy enough to thrash a 4-machine scaled cluster in one batch
+    // (residual still fits, so batching can rescue the job).
+    let points = batch_sweep(
+        &g,
+        Task::bppr(6144),
+        SystemKind::PregelPlus,
+        &cluster,
+        &[1, 2, 4, 8],
+        2,
+    );
+    let best = optimal_batches(&points).unwrap();
+    assert!(best > 1, "expected batching to win, optimum was {best}");
+}
+
+#[test]
+fn light_workloads_favor_full_parallelism() {
+    let (g, sigma) = dblp_small();
+    let cluster = ClusterSpec::galaxy8().scaled(sigma);
+    let points = batch_sweep(
+        &g,
+        Task::bppr(128),
+        SystemKind::PregelPlus,
+        &cluster,
+        &[1, 2, 4, 8],
+        3,
+    );
+    assert_eq!(optimal_batches(&points), Some(1));
+}
+
+#[test]
+fn async_loses_heavy_multiprocessing_but_wins_light_single_task() {
+    let (g, sigma) = dblp_small();
+    let cluster = ClusterSpec::galaxy(8).scaled(sigma);
+    let heavy = |kind: SystemKind| {
+        let task = Task::bppr(2048);
+        run_job(
+            &g,
+            &JobSpec::new(task, kind, cluster.clone(), BatchSchedule::full_parallelism(2048)),
+        )
+        .plot_time()
+        .as_secs()
+    };
+    let sync_t = heavy(SystemKind::GraphLab);
+    let async_t = heavy(SystemKind::GraphLabAsync);
+    assert!(
+        async_t > sync_t,
+        "async should lose heavy BPPR: async {async_t} vs sync {sync_t}"
+    );
+}
+
+#[test]
+fn graphd_is_immune_to_memory_overflow() {
+    let (g, sigma) = dblp_small();
+    let cluster = ClusterSpec::galaxy(2).scaled(sigma);
+    // This workload overflows the in-memory system on 2 machines...
+    let task = Task::bppr(32768);
+    let inmem = run_job(
+        &g,
+        &JobSpec::new(
+            task,
+            SystemKind::PregelPlus,
+            cluster.clone(),
+            BatchSchedule::full_parallelism(task.workload()),
+        ),
+    );
+    assert!(
+        !inmem.outcome.is_completed(),
+        "expected the in-memory system to fail, got {:?}",
+        inmem.outcome
+    );
+    // ...while the out-of-core system degrades to disk instead.
+    let ooc = run_job(
+        &g,
+        &JobSpec::new(
+            task,
+            SystemKind::GraphD,
+            cluster,
+            BatchSchedule::full_parallelism(task.workload()),
+        ),
+    );
+    assert!(
+        !ooc.outcome.is_overflow(),
+        "GraphD must never hard-overflow, got {:?}",
+        ooc.outcome
+    );
+    assert!(ooc.stats.total_spilled_bytes.get() > 0);
+}
+
+#[test]
+fn mirroring_reduces_network_traffic_for_broadcast_tasks() {
+    let (g, sigma) = dblp_small();
+    let cluster = ClusterSpec::galaxy(8).scaled(sigma);
+    let task = Task::bkhs(64);
+    let run = |kind: SystemKind| {
+        run_job(
+            &g,
+            &JobSpec::new(task, kind, cluster.clone(), BatchSchedule::full_parallelism(64)),
+        )
+    };
+    // Pregel+(mirror) uses the broadcast BKHS; compare its network
+    // bytes against plain Pregel+ on the same task. Mirrors cut the
+    // per-neighbor wire cost of high-degree vertices.
+    let plain = run(SystemKind::PregelPlus);
+    let mirror = run(SystemKind::PregelPlusMirror);
+    assert!(plain.outcome.is_completed() && mirror.outcome.is_completed());
+    assert!(
+        mirror.stats.total_network_bytes < plain.stats.total_network_bytes,
+        "mirroring should save network bytes: {} vs {}",
+        mirror.stats.total_network_bytes,
+        plain.stats.total_network_bytes
+    );
+}
+
+#[test]
+fn unequal_batches_optimum_has_heavier_first_batch() {
+    let (g, sigma) = dblp_small();
+    let cluster = ClusterSpec::galaxy(4).scaled(sigma);
+    let total = 8192u64;
+    let points = mtvc::multitask::unequal::two_batch_delta_sweep(
+        &g,
+        Task::bppr(total),
+        SystemKind::PregelPlus,
+        &cluster,
+        &[-4096, -2048, 0, 2048, 4096],
+        5,
+    );
+    let best = points
+        .iter()
+        .min_by(|a, b| {
+            a.combined
+                .plot_time()
+                .as_secs()
+                .partial_cmp(&b.combined.plot_time().as_secs())
+                .unwrap()
+        })
+        .unwrap();
+    assert!(best.delta >= 0, "best delta {} should favour batch 1", best.delta);
+}
+
+#[test]
+fn tuned_schedule_completes_where_full_parallelism_fails() {
+    let (g, sigma) = dblp_small();
+    let cluster = ClusterSpec::galaxy(2).scaled(sigma);
+    let task = Task::bppr(4096);
+    let fp = run_job(
+        &g,
+        &JobSpec::new(
+            task,
+            SystemKind::PregelPlus,
+            cluster.clone(),
+            BatchSchedule::full_parallelism(task.workload()),
+        ),
+    );
+    assert!(!fp.outcome.is_completed(), "setting should break FP: {:?}", fp.outcome);
+
+    let tuned = tune(
+        &g,
+        task,
+        SystemKind::PregelPlus,
+        &cluster,
+        &TunerConfig::default(),
+    )
+    .expect("tuning should succeed");
+    let opt = run_job(
+        &g,
+        &JobSpec::new(task, SystemKind::PregelPlus, cluster, tuned.schedule.clone()),
+    );
+    assert!(
+        opt.outcome.is_completed(),
+        "tuned schedule {:?} should complete, got {:?}",
+        tuned.schedule.batches(),
+        opt.outcome
+    );
+    // Training stays light relative to the evaluation run.
+    assert!(tuned.training_time().as_secs() < opt.outcome.plot_time().as_secs());
+}
+
+#[test]
+fn all_seven_systems_run_all_three_tasks() {
+    let (g, sigma) = dblp_small();
+    for kind in SystemKind::ALL {
+        let cluster = ClusterSpec::galaxy(4).scaled(sigma);
+        for task in [Task::bppr(32), Task::mssp(16), Task::bkhs(16)] {
+            let spec = JobSpec::new(task, kind, cluster.clone(), BatchSchedule::equal(task.workload(), 2));
+            let r = run_job(&g, &spec);
+            assert!(
+                r.outcome.is_completed(),
+                "{kind} failed {task}: {:?}",
+                r.outcome
+            );
+            assert!(r.stats.total_messages_sent > 0, "{kind} sent no messages for {task}");
+        }
+    }
+}
+
+#[test]
+fn monetary_cost_is_time_times_rate() {
+    let (g, sigma) = dblp_small();
+    let cluster = ClusterSpec::docker(8).scaled(sigma);
+    let task = Task::bppr(256);
+    let r = run_job(
+        &g,
+        &JobSpec::new(task, SystemKind::PregelPlus, cluster.clone(), BatchSchedule::equal(256, 2)),
+    );
+    let expected =
+        r.outcome.plot_time().as_secs() * cluster.machine.credit_rate * cluster.machines as f64;
+    assert!((r.cost.credits - expected).abs() < 1e-9);
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let (g, sigma) = dblp_small();
+    let cluster = ClusterSpec::galaxy(4).scaled(sigma);
+    let spec = JobSpec::new(
+        Task::bppr(512),
+        SystemKind::PregelPlus,
+        cluster,
+        BatchSchedule::equal(512, 4),
+    );
+    let a = run_job(&g, &spec);
+    let b = run_job(&g, &spec);
+    assert_eq!(a.stats.total_messages_sent, b.stats.total_messages_sent);
+    assert_eq!(a.stats.peak_memory, b.stats.peak_memory);
+    assert_eq!(a.plot_time(), b.plot_time());
+}
