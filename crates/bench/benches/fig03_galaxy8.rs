@@ -39,7 +39,14 @@ fn sweep_panel(
         ));
     }
     let monotone = Series::with_values("", times.clone()).is_monotone_non_decreasing();
-    summary.push((format!("{label} ({}, {machines}, {})", paper.paper_workload(), system.name()), monotone));
+    summary.push((
+        format!(
+            "{label} ({}, {machines}, {})",
+            paper.paper_workload(),
+            system.name()
+        ),
+        monotone,
+    ));
 }
 
 fn main() {
@@ -47,33 +54,161 @@ fn main() {
     let mut summary = Vec::new();
     let mut t = Table::new(
         "Figure 3: various experiments on Galaxy-8",
-        &["panel", "Workload", "#Machines", "System", "batches", "time (s)", "optimal"],
+        &[
+            "panel",
+            "Workload",
+            "#Machines",
+            "System",
+            "batches",
+            "time (s)",
+            "optimal",
+        ],
     );
 
     // (a) Varying task.
-    sweep_panel(&mut t, &mut summary, "a:BPPR", &dblp, 8, SystemKind::PregelPlus, PaperTask::Bppr(12288));
-    sweep_panel(&mut t, &mut summary, "a:MSSP", &dblp, 8, SystemKind::PregelPlus, PaperTask::Mssp(4096));
-    sweep_panel(&mut t, &mut summary, "a:BKHS", &dblp, 8, SystemKind::PregelPlus, PaperTask::Bkhs(65536, 2));
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "a:BPPR",
+        &dblp,
+        8,
+        SystemKind::PregelPlus,
+        PaperTask::Bppr(12288),
+    );
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "a:MSSP",
+        &dblp,
+        8,
+        SystemKind::PregelPlus,
+        PaperTask::Mssp(4096),
+    );
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "a:BKHS",
+        &dblp,
+        8,
+        SystemKind::PregelPlus,
+        PaperTask::Bkhs(65536, 2),
+    );
 
     // (b) Varying dataset.
-    sweep_panel(&mut t, &mut summary, "b:DBLP", &dblp, 8, SystemKind::PregelPlus, PaperTask::Bppr(10240));
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "b:DBLP",
+        &dblp,
+        8,
+        SystemKind::PregelPlus,
+        PaperTask::Bppr(10240),
+    );
     let webst = ScaledDataset::load(Dataset::WebSt);
-    sweep_panel(&mut t, &mut summary, "b:Web-St", &webst, 8, SystemKind::PregelPlus, PaperTask::Bppr(20480));
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "b:Web-St",
+        &webst,
+        8,
+        SystemKind::PregelPlus,
+        PaperTask::Bppr(20480),
+    );
     let orkut = ScaledDataset::load(Dataset::Orkut);
-    sweep_panel(&mut t, &mut summary, "b:Orkut", &orkut, 8, SystemKind::PregelPlus, PaperTask::Bppr(512));
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "b:Orkut",
+        &orkut,
+        8,
+        SystemKind::PregelPlus,
+        PaperTask::Bppr(512),
+    );
 
     // (c) Varying #machines.
-    sweep_panel(&mut t, &mut summary, "c:2m", &dblp, 2, SystemKind::PregelPlus, PaperTask::Bppr(2048));
-    sweep_panel(&mut t, &mut summary, "c:4m", &dblp, 4, SystemKind::PregelPlus, PaperTask::Bppr(5120));
-    sweep_panel(&mut t, &mut summary, "c:8m", &dblp, 8, SystemKind::PregelPlus, PaperTask::Bppr(10240));
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "c:2m",
+        &dblp,
+        2,
+        SystemKind::PregelPlus,
+        PaperTask::Bppr(2048),
+    );
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "c:4m",
+        &dblp,
+        4,
+        SystemKind::PregelPlus,
+        PaperTask::Bppr(5120),
+    );
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "c:8m",
+        &dblp,
+        8,
+        SystemKind::PregelPlus,
+        PaperTask::Bppr(10240),
+    );
 
     // (d) Varying system.
-    sweep_panel(&mut t, &mut summary, "d:Pregel+", &dblp, 8, SystemKind::PregelPlus, PaperTask::Bppr(10240));
-    sweep_panel(&mut t, &mut summary, "d:Giraph", &dblp, 8, SystemKind::Giraph, PaperTask::Bppr(2048));
-    sweep_panel(&mut t, &mut summary, "d:Giraph(async)", &dblp, 8, SystemKind::GiraphAsync, PaperTask::Bppr(1024));
-    sweep_panel(&mut t, &mut summary, "d:Pregel+(mirror)", &dblp, 8, SystemKind::PregelPlusMirror, PaperTask::Bppr(160));
-    sweep_panel(&mut t, &mut summary, "d:GraphD", &dblp, 8, SystemKind::GraphD, PaperTask::Bppr(2048));
-    sweep_panel(&mut t, &mut summary, "d:GraphLab", &dblp, 8, SystemKind::GraphLab, PaperTask::Bppr(20480));
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "d:Pregel+",
+        &dblp,
+        8,
+        SystemKind::PregelPlus,
+        PaperTask::Bppr(10240),
+    );
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "d:Giraph",
+        &dblp,
+        8,
+        SystemKind::Giraph,
+        PaperTask::Bppr(2048),
+    );
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "d:Giraph(async)",
+        &dblp,
+        8,
+        SystemKind::GiraphAsync,
+        PaperTask::Bppr(1024),
+    );
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "d:Pregel+(mirror)",
+        &dblp,
+        8,
+        SystemKind::PregelPlusMirror,
+        PaperTask::Bppr(160),
+    );
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "d:GraphD",
+        &dblp,
+        8,
+        SystemKind::GraphD,
+        PaperTask::Bppr(2048),
+    );
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "d:GraphLab",
+        &dblp,
+        8,
+        SystemKind::GraphLab,
+        PaperTask::Bppr(20480),
+    );
 
     emit("fig03", &t);
 
@@ -86,7 +221,10 @@ fn main() {
         if *mono {
             monotone_count += 1;
         }
-        s.row(row!(label.clone(), if *mono { "monotone" } else { "not monotone" }));
+        s.row(row!(
+            label.clone(),
+            if *mono { "monotone" } else { "not monotone" }
+        ));
     }
     emit("fig03_summary", &s);
     assert!(

@@ -34,7 +34,12 @@ fn main() {
             .0];
         optima.push((w, best));
         for (i, &b) in BATCH_AXIS.iter().enumerate() {
-            t.row(row!(w, b, fmt_outcome(&results[i]), mark_optimal(&times, i)));
+            t.row(row!(
+                w,
+                b,
+                fmt_outcome(&results[i]),
+                mark_optimal(&times, i)
+            ));
         }
     }
     emit("fig04", &t);
@@ -44,6 +49,12 @@ fn main() {
         optima.windows(2).all(|w| w[0].1 <= w[1].1),
         "optimum should not decrease with workload: {optima:?}"
     );
-    assert_eq!(optima[0].1, 1, "light workload should favour Full-Parallelism");
-    assert!(optima[2].1 >= 4, "heavy workload should favour >= 4 batches");
+    assert_eq!(
+        optima[0].1, 1,
+        "light workload should favour Full-Parallelism"
+    );
+    assert!(
+        optima[2].1 >= 4,
+        "heavy workload should favour >= 4 batches"
+    );
 }

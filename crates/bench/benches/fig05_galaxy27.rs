@@ -42,39 +42,191 @@ fn main() {
     let mut summary = Vec::new();
     let mut t = Table::new(
         "Figure 5: various experiments on Galaxy-27",
-        &["panel", "Workload", "#Machines", "System", "batches", "time (s)", "optimal"],
+        &[
+            "panel",
+            "Workload",
+            "#Machines",
+            "System",
+            "batches",
+            "time (s)",
+            "optimal",
+        ],
     );
 
     // (a) Varying task.
-    sweep_panel(&mut t, &mut summary, "a:BPPR", &dblp, 27, SystemKind::PregelPlus, PaperTask::Bppr(34560));
-    sweep_panel(&mut t, &mut summary, "a:MSSP", &dblp, 27, SystemKind::PregelPlus, PaperTask::Mssp(3456));
-    sweep_panel(&mut t, &mut summary, "a:BKHS", &dblp, 27, SystemKind::PregelPlus, PaperTask::Bkhs(25600, 2));
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "a:BPPR",
+        &dblp,
+        27,
+        SystemKind::PregelPlus,
+        PaperTask::Bppr(34560),
+    );
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "a:MSSP",
+        &dblp,
+        27,
+        SystemKind::PregelPlus,
+        PaperTask::Mssp(3456),
+    );
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "a:BKHS",
+        &dblp,
+        27,
+        SystemKind::PregelPlus,
+        PaperTask::Bkhs(25600, 2),
+    );
 
     // (b) Varying dataset.
-    sweep_panel(&mut t, &mut summary, "b:DBLP", &dblp, 27, SystemKind::PregelPlus, PaperTask::Bppr(34560));
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "b:DBLP",
+        &dblp,
+        27,
+        SystemKind::PregelPlus,
+        PaperTask::Bppr(34560),
+    );
     let webst = ScaledDataset::load(Dataset::WebSt);
-    sweep_panel(&mut t, &mut summary, "b:Web-St", &webst, 27, SystemKind::PregelPlus, PaperTask::Bppr(69120));
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "b:Web-St",
+        &webst,
+        27,
+        SystemKind::PregelPlus,
+        PaperTask::Bppr(69120),
+    );
     let lj = ScaledDataset::load(Dataset::LiveJournal);
-    sweep_panel(&mut t, &mut summary, "b:LiveJournal", &lj, 27, SystemKind::PregelPlus, PaperTask::Bppr(8192));
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "b:LiveJournal",
+        &lj,
+        27,
+        SystemKind::PregelPlus,
+        PaperTask::Bppr(8192),
+    );
     let orkut = ScaledDataset::load(Dataset::Orkut);
-    sweep_panel(&mut t, &mut summary, "b:Orkut", &orkut, 27, SystemKind::PregelPlus, PaperTask::Bppr(3000));
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "b:Orkut",
+        &orkut,
+        27,
+        SystemKind::PregelPlus,
+        PaperTask::Bppr(3000),
+    );
     let twitter = ScaledDataset::load(Dataset::Twitter);
-    sweep_panel(&mut t, &mut summary, "b:Twitter", &twitter, 27, SystemKind::PregelPlus, PaperTask::Bppr(128));
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "b:Twitter",
+        &twitter,
+        27,
+        SystemKind::PregelPlus,
+        PaperTask::Bppr(128),
+    );
     let friendster = ScaledDataset::load(Dataset::Friendster);
-    sweep_panel(&mut t, &mut summary, "b:Friendster", &friendster, 27, SystemKind::PregelPlus, PaperTask::Bppr(16));
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "b:Friendster",
+        &friendster,
+        27,
+        SystemKind::PregelPlus,
+        PaperTask::Bppr(16),
+    );
 
     // (c) Varying #machines.
-    sweep_panel(&mut t, &mut summary, "c:8m", &dblp, 8, SystemKind::PregelPlus, PaperTask::Bppr(10240));
-    sweep_panel(&mut t, &mut summary, "c:16m", &dblp, 16, SystemKind::PregelPlus, PaperTask::Bppr(20480));
-    sweep_panel(&mut t, &mut summary, "c:27m", &dblp, 27, SystemKind::PregelPlus, PaperTask::Bppr(34560));
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "c:8m",
+        &dblp,
+        8,
+        SystemKind::PregelPlus,
+        PaperTask::Bppr(10240),
+    );
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "c:16m",
+        &dblp,
+        16,
+        SystemKind::PregelPlus,
+        PaperTask::Bppr(20480),
+    );
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "c:27m",
+        &dblp,
+        27,
+        SystemKind::PregelPlus,
+        PaperTask::Bppr(34560),
+    );
 
     // (d) Varying system.
-    sweep_panel(&mut t, &mut summary, "d:Pregel+", &dblp, 27, SystemKind::PregelPlus, PaperTask::Bppr(34560));
-    sweep_panel(&mut t, &mut summary, "d:Giraph", &dblp, 27, SystemKind::Giraph, PaperTask::Bppr(6400));
-    sweep_panel(&mut t, &mut summary, "d:Giraph(async)", &dblp, 27, SystemKind::GiraphAsync, PaperTask::Bppr(6400));
-    sweep_panel(&mut t, &mut summary, "d:Pregel+(mirror)", &dblp, 27, SystemKind::PregelPlusMirror, PaperTask::Bppr(256));
-    sweep_panel(&mut t, &mut summary, "d:GraphD", &dblp, 27, SystemKind::GraphD, PaperTask::Bppr(5120));
-    sweep_panel(&mut t, &mut summary, "d:GraphLab", &dblp, 27, SystemKind::GraphLab, PaperTask::Bppr(1600));
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "d:Pregel+",
+        &dblp,
+        27,
+        SystemKind::PregelPlus,
+        PaperTask::Bppr(34560),
+    );
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "d:Giraph",
+        &dblp,
+        27,
+        SystemKind::Giraph,
+        PaperTask::Bppr(6400),
+    );
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "d:Giraph(async)",
+        &dblp,
+        27,
+        SystemKind::GiraphAsync,
+        PaperTask::Bppr(6400),
+    );
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "d:Pregel+(mirror)",
+        &dblp,
+        27,
+        SystemKind::PregelPlusMirror,
+        PaperTask::Bppr(256),
+    );
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "d:GraphD",
+        &dblp,
+        27,
+        SystemKind::GraphD,
+        PaperTask::Bppr(5120),
+    );
+    sweep_panel(
+        &mut t,
+        &mut summary,
+        "d:GraphLab",
+        &dblp,
+        27,
+        SystemKind::GraphLab,
+        PaperTask::Bppr(1600),
+    );
 
     emit("fig05", &t);
 
@@ -87,7 +239,10 @@ fn main() {
         if *mono {
             monotone_count += 1;
         }
-        s.row(row!(label.clone(), if *mono { "monotone" } else { "not monotone" }));
+        s.row(row!(
+            label.clone(),
+            if *mono { "monotone" } else { "not monotone" }
+        ));
     }
     emit("fig05_summary", &s);
     let _ = monotone_count;
@@ -103,7 +258,16 @@ fn main() {
             .unwrap_or_else(|| panic!("missing {label}"))
             .1
     };
-    for must_dip in ["a:BPPR", "b:DBLP", "b:Web-St", "c:8m", "c:16m", "c:27m", "d:Pregel+", "d:GraphD"] {
+    for must_dip in [
+        "a:BPPR",
+        "b:DBLP",
+        "b:Web-St",
+        "c:8m",
+        "c:16m",
+        "c:27m",
+        "d:Pregel+",
+        "d:GraphD",
+    ] {
         assert!(!get(must_dip), "{must_dip} should be non-monotone");
     }
     for flat in ["b:Twitter", "b:Friendster"] {

@@ -19,7 +19,10 @@ struct Panel {
 }
 
 impl Panel {
-    fn run(label: &'static str, settings: Vec<(String, ScaledDataset, SystemKind, PaperTask, usize)>) -> Panel {
+    fn run(
+        label: &'static str,
+        settings: Vec<(String, ScaledDataset, SystemKind, PaperTask, usize)>,
+    ) -> Panel {
         let lines = settings
             .into_iter()
             .map(|(name, sd, system, paper, machines)| {
@@ -69,33 +72,131 @@ impl Panel {
 fn main() {
     let dblp = || ScaledDataset::load(Dataset::Dblp);
     let panels = vec![
-        Panel::run("a:task", vec![
-            ("BPPR(40960)".into(), dblp(), SystemKind::PregelPlus, PaperTask::Bppr(40960), 32),
-            ("MSSP(4096)".into(), dblp(), SystemKind::PregelPlus, PaperTask::Mssp(4096), 32),
-            ("BKHS(8192)".into(), dblp(), SystemKind::PregelPlus, PaperTask::Bkhs(8192, 2), 32),
-        ]),
-        Panel::run("b:dataset", vec![
-            ("DBLP(40960)".into(), dblp(), SystemKind::PregelPlus, PaperTask::Bppr(40960), 32),
-            ("Web-St(81920)".into(), ScaledDataset::load(Dataset::WebSt), SystemKind::PregelPlus, PaperTask::Bppr(81920), 32),
-            ("Orkut(4096)".into(), ScaledDataset::load(Dataset::Orkut), SystemKind::PregelPlus, PaperTask::Bppr(4096), 32),
-            ("Twitter(128)".into(), ScaledDataset::load(Dataset::Twitter), SystemKind::PregelPlus, PaperTask::Bppr(128), 32),
-        ]),
-        Panel::run("c:machines", vec![
-            ("8m(10240)".into(), dblp(), SystemKind::PregelPlus, PaperTask::Bppr(10240), 8),
-            ("16m(20480)".into(), dblp(), SystemKind::PregelPlus, PaperTask::Bppr(20480), 16),
-            ("32m(40960)".into(), dblp(), SystemKind::PregelPlus, PaperTask::Bppr(40960), 32),
-        ]),
-        Panel::run("d:system", vec![
-            ("Pregel+(40960)".into(), dblp(), SystemKind::PregelPlus, PaperTask::Bppr(40960), 32),
-            ("Giraph(8192)".into(), dblp(), SystemKind::Giraph, PaperTask::Bppr(8192), 32),
-            ("GraphD(4096)".into(), dblp(), SystemKind::GraphD, PaperTask::Bppr(4096), 32),
-            ("Pregel+(mirror)(160)".into(), dblp(), SystemKind::PregelPlusMirror, PaperTask::Bppr(160), 32),
-        ]),
+        Panel::run(
+            "a:task",
+            vec![
+                (
+                    "BPPR(40960)".into(),
+                    dblp(),
+                    SystemKind::PregelPlus,
+                    PaperTask::Bppr(40960),
+                    32,
+                ),
+                (
+                    "MSSP(4096)".into(),
+                    dblp(),
+                    SystemKind::PregelPlus,
+                    PaperTask::Mssp(4096),
+                    32,
+                ),
+                (
+                    "BKHS(8192)".into(),
+                    dblp(),
+                    SystemKind::PregelPlus,
+                    PaperTask::Bkhs(8192, 2),
+                    32,
+                ),
+            ],
+        ),
+        Panel::run(
+            "b:dataset",
+            vec![
+                (
+                    "DBLP(40960)".into(),
+                    dblp(),
+                    SystemKind::PregelPlus,
+                    PaperTask::Bppr(40960),
+                    32,
+                ),
+                (
+                    "Web-St(81920)".into(),
+                    ScaledDataset::load(Dataset::WebSt),
+                    SystemKind::PregelPlus,
+                    PaperTask::Bppr(81920),
+                    32,
+                ),
+                (
+                    "Orkut(4096)".into(),
+                    ScaledDataset::load(Dataset::Orkut),
+                    SystemKind::PregelPlus,
+                    PaperTask::Bppr(4096),
+                    32,
+                ),
+                (
+                    "Twitter(128)".into(),
+                    ScaledDataset::load(Dataset::Twitter),
+                    SystemKind::PregelPlus,
+                    PaperTask::Bppr(128),
+                    32,
+                ),
+            ],
+        ),
+        Panel::run(
+            "c:machines",
+            vec![
+                (
+                    "8m(10240)".into(),
+                    dblp(),
+                    SystemKind::PregelPlus,
+                    PaperTask::Bppr(10240),
+                    8,
+                ),
+                (
+                    "16m(20480)".into(),
+                    dblp(),
+                    SystemKind::PregelPlus,
+                    PaperTask::Bppr(20480),
+                    16,
+                ),
+                (
+                    "32m(40960)".into(),
+                    dblp(),
+                    SystemKind::PregelPlus,
+                    PaperTask::Bppr(40960),
+                    32,
+                ),
+            ],
+        ),
+        Panel::run(
+            "d:system",
+            vec![
+                (
+                    "Pregel+(40960)".into(),
+                    dblp(),
+                    SystemKind::PregelPlus,
+                    PaperTask::Bppr(40960),
+                    32,
+                ),
+                (
+                    "Giraph(8192)".into(),
+                    dblp(),
+                    SystemKind::Giraph,
+                    PaperTask::Bppr(8192),
+                    32,
+                ),
+                (
+                    "GraphD(4096)".into(),
+                    dblp(),
+                    SystemKind::GraphD,
+                    PaperTask::Bppr(4096),
+                    32,
+                ),
+                (
+                    "Pregel+(mirror)(160)".into(),
+                    dblp(),
+                    SystemKind::PregelPlusMirror,
+                    PaperTask::Bppr(160),
+                    32,
+                ),
+            ],
+        ),
     ];
 
     let mut t = Table::new(
         "Figure 7: performance and monetary cost in the cloud (Docker-32)",
-        &["panel", "setting", "batches", "time (s)", "credits", "optimal"],
+        &[
+            "panel", "setting", "batches", "time (s)", "credits", "optimal",
+        ],
     );
     let mut cost_rows = Vec::new();
     for p in &panels {
@@ -111,14 +212,15 @@ fn main() {
     for (label, per_batch, optimal) in &cost_rows {
         c.row(row!(
             *label,
-            per_batch[0], per_batch[1], per_batch[2], per_batch[3], per_batch[4],
+            per_batch[0],
+            per_batch[1],
+            per_batch[2],
+            per_batch[3],
+            per_batch[4],
             *optimal
         ));
         // An ill-set batch count must cost strictly more than the optimum.
-        let max = per_batch
-            .iter()
-            .map(|m| m.credits)
-            .fold(0.0f64, f64::max);
+        let max = per_batch.iter().map(|m| m.credits).fold(0.0f64, f64::max);
         assert!(
             max > optimal.credits * 1.2,
             "{label}: batching should matter for cloud cost"

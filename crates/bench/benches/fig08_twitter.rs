@@ -22,7 +22,14 @@ fn main() {
     ];
     let mut t = Table::new(
         "Figure 8: different tasks on Twitter (Docker-32)",
-        &["task", "Workload", "batches", "time (s)", "residual after (max/machine)", "optimal"],
+        &[
+            "task",
+            "Workload",
+            "batches",
+            "time (s)",
+            "residual after (max/machine)",
+            "optimal",
+        ],
     );
     let mut optima = Vec::new();
     for paper in tasks {
@@ -56,6 +63,10 @@ fn main() {
     }
     emit("fig08", &t);
     println!("optima: {optima:?}");
-    assert_eq!(optima[0], ("BPPR", 1), "BPPR(128) on Twitter should favour Full-Parallelism");
+    assert_eq!(
+        optima[0],
+        ("BPPR", 1),
+        "BPPR(128) on Twitter should favour Full-Parallelism"
+    );
     assert!(optima[1].1 > 1, "MSSP on Twitter should favour batching");
 }

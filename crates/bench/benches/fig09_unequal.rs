@@ -27,7 +27,13 @@ fn panel(label: &str, machines: usize, total: u64, deltas: &[i64]) {
     );
     let mut t = Table::new(
         format!("Figure 9{label}: unequal batches, BPPR total={total}, {machines} machines"),
-        &["delta=W1-W2", "two-batch (s)", "1st alone (s)", "2nd alone (s)", "stacked (s)"],
+        &[
+            "delta=W1-W2",
+            "two-batch (s)",
+            "1st alone (s)",
+            "2nd alone (s)",
+            "stacked (s)",
+        ],
     );
     for p in &points {
         t.row(row!(

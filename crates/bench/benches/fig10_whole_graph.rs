@@ -18,7 +18,14 @@ fn main() {
     let settings = [(8usize, 10240u64), (16, 20480), (27, 34560)];
     let mut t = Table::new(
         "Figure 10: whole-graph access mode (Pregel+ replicated per machine)",
-        &["#Machines", "Workload", "batches", "algorithm (s)", "aggregation (s)", "total"],
+        &[
+            "#Machines",
+            "Workload",
+            "batches",
+            "algorithm (s)",
+            "aggregation (s)",
+            "total",
+        ],
     );
     for (machines, w) in settings {
         let cluster = sd.cluster(ClusterSpec::galaxy(machines));

@@ -94,11 +94,27 @@ fn main() {
     }
 
     let rows: Vec<(&str, f64, f64)> = vec![
-        ("workload -> message congestion", spearman(&w_ax, &congestion), 0.9),
-        ("congestion -> memory used (non-ooc)", spearman(&congestion, &memory), 0.9),
+        (
+            "workload -> message congestion",
+            spearman(&w_ax, &congestion),
+            0.9,
+        ),
+        (
+            "congestion -> memory used (non-ooc)",
+            spearman(&congestion, &memory),
+            0.9,
+        ),
         ("memory used -> running time", spearman(&memory, &time), 0.7),
-        ("#machines -> memory per machine", spearman(&m_ax, &mem_per_machine), -0.7),
-        ("congestion -> disk utilization (ooc)", spearman(&cong_ooc, &util_ooc), 0.6),
+        (
+            "#machines -> memory per machine",
+            spearman(&m_ax, &mem_per_machine),
+            -0.7,
+        ),
+        (
+            "congestion -> disk utilization (ooc)",
+            spearman(&cong_ooc, &util_ooc),
+            0.6,
+        ),
     ];
     let mut t = Table::new(
         "Figure 11: measured correlations behind the factor diagram",

@@ -81,17 +81,66 @@ fn main() {
     let sd = ScaledDataset::load(Dataset::Dblp);
     let mut t = Table::new(
         "Figure 12: Full-Parallelism vs Optimized (tuned) batch schemes",
-        &["panel", "task", "workload", "Full-Parallelism (s)", "Optimized (s)", "schedule"],
+        &[
+            "panel",
+            "task",
+            "workload",
+            "Full-Parallelism (s)",
+            "Optimized (s)",
+            "schedule",
+        ],
     );
     let mut wins = 0;
     let mut total = 0;
     let panels: [(&str, usize, Vec<PaperTask>); 6] = [
-        ("a:BPPR 2m", 2, vec![1280, 1536, 1792, 2048, 2304, 2560, 3072].into_iter().map(PaperTask::Bppr).collect()),
-        ("b:BPPR 4m", 4, vec![3584, 4096, 4608, 5120].into_iter().map(PaperTask::Bppr).collect()),
-        ("c:BPPR 8m", 8, vec![4096, 5120, 6144, 7168, 8192].into_iter().map(PaperTask::Bppr).collect()),
-        ("d:MSSP 2m", 2, vec![128, 136, 144, 152].into_iter().map(PaperTask::Mssp).collect()),
-        ("e:MSSP 4m", 4, vec![384, 416, 448, 480, 512].into_iter().map(PaperTask::Mssp).collect()),
-        ("f:MSSP 8m", 8, vec![832, 896, 960, 1024].into_iter().map(PaperTask::Mssp).collect()),
+        (
+            "a:BPPR 2m",
+            2,
+            vec![1280, 1536, 1792, 2048, 2304, 2560, 3072]
+                .into_iter()
+                .map(PaperTask::Bppr)
+                .collect(),
+        ),
+        (
+            "b:BPPR 4m",
+            4,
+            vec![3584, 4096, 4608, 5120]
+                .into_iter()
+                .map(PaperTask::Bppr)
+                .collect(),
+        ),
+        (
+            "c:BPPR 8m",
+            8,
+            vec![4096, 5120, 6144, 7168, 8192]
+                .into_iter()
+                .map(PaperTask::Bppr)
+                .collect(),
+        ),
+        (
+            "d:MSSP 2m",
+            2,
+            vec![128, 136, 144, 152]
+                .into_iter()
+                .map(PaperTask::Mssp)
+                .collect(),
+        ),
+        (
+            "e:MSSP 4m",
+            4,
+            vec![384, 416, 448, 480, 512]
+                .into_iter()
+                .map(PaperTask::Mssp)
+                .collect(),
+        ),
+        (
+            "f:MSSP 8m",
+            8,
+            vec![832, 896, 960, 1024]
+                .into_iter()
+                .map(PaperTask::Mssp)
+                .collect(),
+        ),
     ];
     for (label, machines, tasks) in &panels {
         let (w, n) = panel(&mut t, &sd, label, *machines, tasks);
@@ -108,8 +157,17 @@ fn main() {
     // The §5 example: BPPR workload 5120 on 4 machines yields a
     // monotone-decreasing schedule like [2747, 1388, 644, 266, 75].
     let cluster = sd.cluster(ClusterSpec::galaxy(4));
-    let cfg = TunerConfig { seed: SEED, ..TunerConfig::default() };
-    if let Ok(tuned) = tune(&sd.graph, sd.task(PaperTask::Bppr(5120)), SystemKind::PregelPlus, &cluster, &cfg) {
+    let cfg = TunerConfig {
+        seed: SEED,
+        ..TunerConfig::default()
+    };
+    if let Ok(tuned) = tune(
+        &sd.graph,
+        sd.task(PaperTask::Bppr(5120)),
+        SystemKind::PregelPlus,
+        &cluster,
+        &cfg,
+    ) {
         let batches = tuned.schedule.batches().to_vec();
         println!("tuned schedule for BPPR(5120)@4m: {batches:?}");
         assert!(

@@ -39,10 +39,8 @@ fn bench_engine_round(c: &mut Criterion) {
     c.bench_function("bppr_w16_full_run_2000v", |b| {
         b.iter_batched(
             || {
-                let mut cfg = EngineConfig::new(
-                    ClusterSpec::galaxy(4),
-                    SystemProfile::base("bench"),
-                );
+                let mut cfg =
+                    EngineConfig::new(ClusterSpec::galaxy(4), SystemProfile::base("bench"));
                 cfg.cutoff = SimTime::secs(1e12);
                 Runner::new(&g, &HashPartitioner::default(), cfg)
             },

@@ -13,8 +13,15 @@ fn main() {
     let mut data = Table::new(
         "Table 1 (datasets): paper statistics vs scaled stand-ins",
         &[
-            "Name", "paper #Nodes", "paper #Edges", "paper davg", "sigma", "gen #Nodes",
-            "gen #Edges", "gen davg", "gen dmax",
+            "Name",
+            "paper #Nodes",
+            "paper #Edges",
+            "paper davg",
+            "sigma",
+            "gen #Nodes",
+            "gen #Edges",
+            "gen davg",
+            "gen dmax",
         ],
     );
     for d in Dataset::ALL {
@@ -50,14 +57,24 @@ fn main() {
             format!("{}x{}", c.machine.memory, c.machines),
             c.machine.cores,
             format!("{:?}", c.machine.disk),
-            if c.machine.credit_rate > 0.0 { "cloud" } else { "local" }
+            if c.machine.credit_rate > 0.0 {
+                "cloud"
+            } else {
+                "local"
+            }
         ));
     }
     emit("table1_clusters", &clusters);
 
     let mut systems = Table::new(
         "Table 1 (systems)",
-        &["Name", "Synchronous", "Out-of-core", "Combiner", "Broadcast/mirror"],
+        &[
+            "Name",
+            "Synchronous",
+            "Out-of-core",
+            "Combiner",
+            "Broadcast/mirror",
+        ],
     );
     let spec = mtvc_cluster::MachineSpec::galaxy();
     for s in SystemKind::ALL {

@@ -16,7 +16,16 @@ fn main() {
     let sd = ScaledDataset::load(Dataset::Dblp);
     let mut t = Table::new(
         "Table 2: (workload, #batches) -> memory/time/network-overuse per machine",
-        &["Workload", "batches", "4m memory", "4m time", "4m net-over", "8m memory", "8m time", "8m net-over"],
+        &[
+            "Workload",
+            "batches",
+            "4m memory",
+            "4m time",
+            "4m net-over",
+            "8m memory",
+            "8m time",
+            "8m net-over",
+        ],
     );
     for &w in &[1024u64, 4096, 12288] {
         for &b in &[1usize, 2, 4] {
@@ -40,9 +49,14 @@ fn main() {
                 cells.push((mem, time, over));
             }
             t.row(row!(
-                w, b,
-                cells[0].0.clone(), cells[0].1.clone(), cells[0].2.clone(),
-                cells[1].0.clone(), cells[1].1.clone(), cells[1].2.clone()
+                w,
+                b,
+                cells[0].0.clone(),
+                cells[0].1.clone(),
+                cells[0].2.clone(),
+                cells[1].0.clone(),
+                cells[1].1.clone(),
+                cells[1].2.clone()
             ));
         }
     }

@@ -23,7 +23,15 @@ fn main() {
     let times: Vec<f64> = results.iter().map(|r| r.plot_time().as_secs()).collect();
     let mut t = Table::new(
         "Table 3: #batches vs disk utilization vs network (GraphD, 27 machines, W=2048)",
-        &["#Batches", "overuse net", "overuse I/O", "max disk util", "I/O queue len", "total time", "optimal"],
+        &[
+            "#Batches",
+            "overuse net",
+            "overuse I/O",
+            "max disk util",
+            "I/O queue len",
+            "total time",
+            "optimal",
+        ],
     );
     for (i, &b) in batch_axis.iter().enumerate() {
         let r = &results[i];
@@ -50,5 +58,8 @@ fn main() {
         .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
         .unwrap()
         .0;
-    assert!(best > 0 && best < batch_axis.len() - 1, "optimum at the boundary");
+    assert!(
+        best > 0 && best < batch_axis.len() - 1,
+        "optimum at the boundary"
+    );
 }

@@ -28,7 +28,8 @@ fn run_pagerank(sd: &ScaledDataset, machines: usize, kind: SystemKind) -> (SimTi
 fn run_bppr(sd: &ScaledDataset, machines: usize, kind: SystemKind, w: u64) -> (SimTime, Bytes) {
     let cluster = sd.cluster(ClusterSpec::galaxy(machines));
     let task = sd.task(PaperTask::Bppr(w));
-    let spec = JobSpec::new(task, kind, cluster, BatchSchedule::full_parallelism(w)).with_seed(SEED);
+    let spec =
+        JobSpec::new(task, kind, cluster, BatchSchedule::full_parallelism(w)).with_seed(SEED);
     let r = run_job(&sd.graph, &spec);
     let bytes = Bytes(r.stats.total_network_bytes.get() / machines as u64);
     (r.outcome.plot_time(), bytes)
@@ -41,8 +42,19 @@ fn main() {
 
     let mut t = Table::new(
         "Table 4: GraphLab(sync) vs GraphLab(async) — seconds / net bytes per machine",
-        &["Machines", "PR sync", "PR async", "BPPR(8) s", "BPPR(8) a", "BPPR(32) s", "BPPR(32) a",
-          "BPPR(128) s", "BPPR(128) a", "BPPR(512) s", "BPPR(512) a"],
+        &[
+            "Machines",
+            "PR sync",
+            "PR async",
+            "BPPR(8) s",
+            "BPPR(8) a",
+            "BPPR(32) s",
+            "BPPR(32) a",
+            "BPPR(128) s",
+            "BPPR(128) a",
+            "BPPR(512) s",
+            "BPPR(512) a",
+        ],
     );
     let fmt = |(t, b): (SimTime, Bytes)| format!("{:.1}s/{}", t.as_secs(), b);
     let mut pr_ratio = Vec::new();
@@ -68,13 +80,19 @@ fn main() {
     // Async wins PageRank at scale.
     let (m, ratio) = *pr_ratio.last().unwrap();
     println!("PageRank sync/async ratio at {m} machines = {ratio:.2}");
-    assert!(ratio > 1.2, "async should clearly win PageRank at {m} machines");
+    assert!(
+        ratio > 1.2,
+        "async should clearly win PageRank at {m} machines"
+    );
 
     // Sync wins heavy BPPR at scale, and async moves more bytes.
     let (m, s, a) = *bppr512.last().unwrap();
     println!(
         "BPPR(512) at {m} machines: sync {:.1}s/{} vs async {:.1}s/{}",
-        s.0.as_secs(), s.1, a.0.as_secs(), a.1
+        s.0.as_secs(),
+        s.1,
+        a.0.as_secs(),
+        a.1
     );
     assert!(
         a.0.as_secs() > s.0.as_secs() * 1.2,

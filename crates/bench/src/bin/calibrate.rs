@@ -27,7 +27,15 @@ fn main() {
     );
     let mut t = Table::new(
         "calibration: BPPR on DBLP @ Galaxy-8",
-        &["W", "batches", "outcome", "peak_mem", "msg/round(M)", "rounds", "thrash?"],
+        &[
+            "W",
+            "batches",
+            "outcome",
+            "peak_mem",
+            "msg/round(M)",
+            "rounds",
+            "thrash?",
+        ],
     );
     for &w in &[1024u64, 4096, 10240, 12288] {
         for &b in &[1usize, 2, 4, 8] {

@@ -29,7 +29,10 @@ fn main() {
         println!(
             "b={b:<4} total={:<10} overuseNet={:.0}s overuseIO={:.0}s util={:.2} queue={:.0}",
             r.outcome.to_string(),
-            r.stats.network_overuse.as_secs(), r.stats.disk_overuse.as_secs(),
-            r.stats.max_disk_utilization, r.stats.max_io_queue_len);
+            r.stats.network_overuse.as_secs(),
+            r.stats.disk_overuse.as_secs(),
+            r.stats.max_disk_utilization,
+            r.stats.max_io_queue_len
+        );
     }
 }

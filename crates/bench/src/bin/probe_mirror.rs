@@ -13,13 +13,26 @@ use mtvc_systems::SystemKind;
 fn main() {
     let sd = ScaledDataset::load(Dataset::Dblp);
     let cluster = sd.cluster_for(ClusterSpec::galaxy8(), SystemKind::PregelPlusMirror);
-    println!("mirror machine mem = {} usable = {}", cluster.machine.memory, cluster.machine.usable_memory());
+    println!(
+        "mirror machine mem = {} usable = {}",
+        cluster.machine.memory,
+        cluster.machine.usable_memory()
+    );
     for &b in &[1usize, 2, 4, 8, 16] {
-        let r = run_cell(&sd, &cluster, SystemKind::PregelPlusMirror, PaperTask::Bppr(160), b);
+        let r = run_cell(
+            &sd,
+            &cluster,
+            SystemKind::PregelPlusMirror,
+            PaperTask::Bppr(160),
+            b,
+        );
         println!(
             "b={b:<3} outcome={:<10} peak_mem={:<8} msgs/round={:.2}M rounds={} netMB={:.1}",
-            r.outcome.to_string(), r.stats.peak_memory.to_string(),
-            r.stats.congestion()/1e6, r.stats.rounds,
-            r.stats.total_network_bytes.as_f64()/1e6);
+            r.outcome.to_string(),
+            r.stats.peak_memory.to_string(),
+            r.stats.congestion() / 1e6,
+            r.stats.rounds,
+            r.stats.total_network_bytes.as_f64() / 1e6
+        );
     }
 }

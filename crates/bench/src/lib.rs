@@ -156,10 +156,7 @@ pub fn fmt_outcome(r: &JobResult) -> String {
 
 /// Mark the best (minimum plot-time) entry with the paper's arrow.
 pub fn mark_optimal(times: &[f64], idx: usize) -> &'static str {
-    let min = times
-        .iter()
-        .cloned()
-        .fold(f64::INFINITY, f64::min);
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
     if (times[idx] - min).abs() < 1e-9 {
         " <== optimal"
     } else {

@@ -215,7 +215,11 @@ impl CostModel {
 
     /// Price one round of demand on a homogeneous cluster of
     /// `spec`-machines. The number of machines is `demand.workers()`.
-    pub fn charge(&self, spec: &MachineSpec, demand: &RoundDemand) -> Result<RoundCharge, ChargeError> {
+    pub fn charge(
+        &self,
+        spec: &MachineSpec,
+        demand: &RoundDemand,
+    ) -> Result<RoundCharge, ChargeError> {
         demand.validate();
         let machines = demand.workers();
         let ops_rate = spec.total_ops_per_sec().max(1.0);

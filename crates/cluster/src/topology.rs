@@ -39,12 +39,20 @@ impl ClusterSpec {
     /// A Galaxy-style cluster with an arbitrary machine count — the
     /// paper's machine-scaling experiments use 1/2/4/8/16/27.
     pub fn galaxy(machines: usize) -> ClusterSpec {
-        ClusterSpec::new(format!("Galaxy-{machines}"), machines, MachineSpec::galaxy())
+        ClusterSpec::new(
+            format!("Galaxy-{machines}"),
+            machines,
+            MachineSpec::galaxy(),
+        )
     }
 
     /// A Docker-style cluster with an arbitrary machine count.
     pub fn docker(machines: usize) -> ClusterSpec {
-        ClusterSpec::new(format!("Docker-{machines}"), machines, MachineSpec::docker())
+        ClusterSpec::new(
+            format!("Docker-{machines}"),
+            machines,
+            MachineSpec::docker(),
+        )
     }
 
     /// Scale machine capacities to match a σ-scaled dataset (see

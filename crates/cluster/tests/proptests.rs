@@ -5,13 +5,7 @@ use mtvc_cluster::{ChargeError, CostModel, MachineSpec, RoundDemand};
 use mtvc_metrics::Bytes;
 use proptest::prelude::*;
 
-fn demand(
-    workers: usize,
-    ops: f64,
-    out_bytes: u64,
-    mem: u64,
-    spill: u64,
-) -> RoundDemand {
+fn demand(workers: usize, ops: f64, out_bytes: u64, mem: u64, spill: u64) -> RoundDemand {
     let mut d = RoundDemand::zeros(workers, true);
     for w in 0..workers {
         d.compute_ops[w] = ops;

@@ -9,15 +9,16 @@
 use crate::schedule::BatchSchedule;
 use crate::task::{select_sources, Task};
 use mtvc_cluster::{ClusterSpec, MonetaryCost};
-use mtvc_engine::{EngineConfig, Runner, VertexProgram};
+use mtvc_engine::{EngineConfig, Runner, SystemProfile, VertexProgram};
 use mtvc_graph::partition::Partition;
 use mtvc_graph::{Graph, VertexId};
-use mtvc_metrics::{RunOutcome, RunStats, SimTime, OVERLOAD_CUTOFF};
+use mtvc_metrics::{Bytes, RunOutcome, RunStats, SimTime, OVERLOAD_CUTOFF};
 use mtvc_systems::SystemKind;
 use mtvc_tasks::{
     BkhsBroadcastProgram, BkhsProgram, BpprProgram, BpprPushProgram, MsspBroadcastProgram,
     MsspProgram,
 };
+use std::sync::Arc;
 
 /// Specification of one multi-processing job.
 #[derive(Debug, Clone)]
@@ -134,7 +135,15 @@ pub fn run_job(graph: &Graph, spec: &JobSpec) -> JobResult {
             }
         };
 
-        let batch = run_one_batch(graph, partition.clone(), cfg, spec, w, batch_sources);
+        let batch = run_one_batch(
+            graph,
+            partition.clone(),
+            cfg,
+            spec.system,
+            spec.task,
+            w,
+            batch_sources,
+        );
         elapsed += batch.outcome.plot_time().min(spec.cutoff - elapsed);
         stats.absorb(&batch.stats);
         for (r, d) in residual.iter_mut().zip(&batch.residual_delta) {
@@ -169,6 +178,138 @@ pub fn run_job(graph: &Graph, spec: &JobSpec) -> JobResult {
     }
 }
 
+/// One formed batch, executed online against live residual state.
+///
+/// Produced by [`BatchRunner::run_batch`]: the serving layer forms
+/// batches dynamically (admission-controlled packing) instead of
+/// replaying a precomputed [`BatchSchedule`], so the executor exposes
+/// single-batch execution with the caller owning residual-memory
+/// bookkeeping across batches.
+#[derive(Debug, Clone)]
+pub struct BatchExecution {
+    /// Workload units executed in this batch.
+    pub workload: u64,
+    /// Completion / overload / overflow classification.
+    pub outcome: RunOutcome,
+    /// Simulated duration (cutoff height for failed runs).
+    pub time: SimTime,
+    /// Engine statistics for this batch alone.
+    pub stats: RunStats,
+    /// Max per-machine memory observed — the `M*` quantity of §5.
+    pub peak_memory: Bytes,
+    /// Residual bytes this batch leaves behind, per machine. The caller
+    /// adds these to its residual state and passes the sum into the
+    /// next `run_batch` call (and subtracts them once results are
+    /// aggregated and shipped).
+    pub residual_delta: Vec<u64>,
+}
+
+/// Reusable single-batch executor for online serving.
+///
+/// Partitions the graph and resolves the system profile once, then
+/// executes formed batches on demand. Unlike [`run_job`], batches need
+/// not be known up front, may interleave with other runners, and
+/// residual memory is owned by the caller — exactly the shape an
+/// admission-controlled service needs.
+#[derive(Debug, Clone)]
+pub struct BatchRunner {
+    graph: Arc<Graph>,
+    partition: Partition,
+    profile: SystemProfile,
+    system: SystemKind,
+    cluster: ClusterSpec,
+    task: Task,
+}
+
+impl BatchRunner {
+    /// Prepare an executor for `task`-shaped batches of `system` on
+    /// `cluster`. The workload inside `task` is ignored; each call to
+    /// [`BatchRunner::run_batch`] supplies its own.
+    pub fn new(graph: Arc<Graph>, task: Task, system: SystemKind, cluster: ClusterSpec) -> Self {
+        let partition = system.partitioner().partition(&graph, cluster.machines);
+        let profile = system.profile(&cluster.machine);
+        BatchRunner {
+            graph,
+            partition,
+            profile,
+            system,
+            cluster,
+            task,
+        }
+    }
+
+    /// Number of machines batches run on.
+    pub fn machines(&self) -> usize {
+        self.cluster.machines
+    }
+
+    /// The cluster batches are priced against.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// The task shape this runner executes.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+
+    /// The graph this runner executes on.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// Execute one formed batch of `workload` units.
+    ///
+    /// `sources` must hold exactly `workload` vertices for source-based
+    /// tasks (MSSP / BKHS) and is ignored for BPPR. `residual` is the
+    /// per-machine residual-memory state (bytes) the batch starts
+    /// against — `§4.5/§4.7`'s first-order effect, here maintained by
+    /// the caller across batches.
+    pub fn run_batch(
+        &self,
+        workload: u64,
+        sources: &[VertexId],
+        residual: &[u64],
+        seed: u64,
+        cutoff: SimTime,
+    ) -> BatchExecution {
+        assert!(workload >= 1, "batch workload must be positive");
+        assert_eq!(
+            residual.len(),
+            self.cluster.machines,
+            "residual vector must have one entry per machine"
+        );
+        if !matches!(self.task, Task::Bppr { .. }) {
+            assert_eq!(
+                sources.len() as u64,
+                workload,
+                "source-based batches need exactly `workload` sources"
+            );
+        }
+        let mut cfg = EngineConfig::new(self.cluster.clone(), self.profile.clone());
+        cfg.seed = seed;
+        cfg.cutoff = cutoff;
+        cfg.residual_bytes = residual.to_vec();
+        let run = run_one_batch(
+            &self.graph,
+            self.partition.clone(),
+            cfg,
+            self.system,
+            self.task,
+            workload,
+            sources,
+        );
+        BatchExecution {
+            workload,
+            outcome: run.outcome,
+            time: run.outcome.plot_time(),
+            peak_memory: run.stats.peak_memory,
+            stats: run.stats,
+            residual_delta: run.residual_delta,
+        }
+    }
+}
+
 struct BatchRun {
     outcome: RunOutcome,
     stats: RunStats,
@@ -179,12 +320,13 @@ fn run_one_batch(
     graph: &Graph,
     partition: Partition,
     cfg: EngineConfig,
-    spec: &JobSpec,
+    system: SystemKind,
+    task: Task,
     workload: u64,
     sources: &[VertexId],
 ) -> BatchRun {
-    let broadcast = spec.system.is_broadcast();
-    match spec.task {
+    let broadcast = system.is_broadcast();
+    match task {
         Task::Bppr { alpha, .. } => {
             if broadcast {
                 let prog = BpprPushProgram::new(workload, alpha);
@@ -339,6 +481,79 @@ mod tests {
         s.cluster = ClusterSpec::docker(4);
         let r = run_job(&g, &s);
         assert!(r.cost.credits > 0.0);
+    }
+
+    #[test]
+    fn batch_runner_replays_a_schedule_like_run_job() {
+        let g = Arc::new(small_graph());
+        let task = Task::bppr(32);
+        let schedule = BatchSchedule::equal(32, 2);
+        let job = run_job(&g, &spec(task, 2));
+
+        let runner = BatchRunner::new(
+            Arc::clone(&g),
+            task,
+            SystemKind::PregelPlus,
+            ClusterSpec::galaxy(4),
+        );
+        let mut residual = vec![0u64; runner.machines()];
+        let mut execs = Vec::new();
+        for (i, &w) in schedule.batches().iter().enumerate() {
+            let e = runner.run_batch(w, &[], &residual, 0x0B57 + i as u64 + 1, OVERLOAD_CUTOFF);
+            for (r, d) in residual.iter_mut().zip(&e.residual_delta) {
+                *r += d;
+            }
+            execs.push(e);
+        }
+        // Same batch structure: residual accumulates identically.
+        assert_eq!(execs.len(), job.per_batch.len());
+        assert_eq!(
+            residual.iter().sum::<u64>(),
+            job.per_batch.last().unwrap().residual_after
+        );
+        assert!(execs.iter().all(|e| e.outcome.is_completed()));
+    }
+
+    #[test]
+    fn batch_runner_residual_raises_memory_pressure() {
+        let g = Arc::new(small_graph());
+        let runner = BatchRunner::new(
+            g,
+            Task::bppr(8),
+            SystemKind::PregelPlus,
+            ClusterSpec::galaxy(4),
+        );
+        let clean = runner.run_batch(8, &[], &[0; 4], 7, OVERLOAD_CUTOFF);
+        let loaded = runner.run_batch(8, &[], &[Bytes::gib(1).get(); 4], 7, OVERLOAD_CUTOFF);
+        assert!(loaded.peak_memory > clean.peak_memory);
+    }
+
+    #[test]
+    fn batch_runner_source_tasks_take_explicit_sources() {
+        let g = Arc::new(small_graph());
+        let runner = BatchRunner::new(
+            Arc::clone(&g),
+            Task::mssp(4),
+            SystemKind::PregelPlus,
+            ClusterSpec::galaxy(4),
+        );
+        let sources = select_sources(&g, 4, 99);
+        let e = runner.run_batch(4, &sources, &[0; 4], 1, OVERLOAD_CUTOFF);
+        assert!(e.outcome.is_completed());
+        assert!(e.residual_delta.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly `workload` sources")]
+    fn batch_runner_rejects_source_count_mismatch() {
+        let g = Arc::new(small_graph());
+        let runner = BatchRunner::new(
+            g,
+            Task::mssp(4),
+            SystemKind::PregelPlus,
+            ClusterSpec::galaxy(4),
+        );
+        runner.run_batch(4, &[], &[0; 4], 1, OVERLOAD_CUTOFF);
     }
 
     #[test]

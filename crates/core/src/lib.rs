@@ -29,8 +29,8 @@ pub mod task;
 pub mod unequal;
 pub mod whole_graph;
 
-pub use executor::{run_job, BatchOutcome, JobResult, JobSpec};
+pub use executor::{run_job, BatchExecution, BatchOutcome, BatchRunner, JobResult, JobSpec};
 pub use ppa::{check_ppa, PpaCriteria, PpaReport};
-pub use schedule::BatchSchedule;
+pub use schedule::{BatchSchedule, InvalidSchedule};
 pub use sweep::{batch_sweep, doubling_batches, SweepPoint};
-pub use task::Task;
+pub use task::{select_sources, Task};

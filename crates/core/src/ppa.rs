@@ -103,7 +103,10 @@ mod tests {
         );
         let r = run_job(&g, &spec);
         let report = check_ppa(&g, &r.stats, PpaCriteria::default());
-        assert!(!report.comm_ok, "expected communication violation: {report:?}");
+        assert!(
+            !report.comm_ok,
+            "expected communication violation: {report:?}"
+        );
         assert!(!report.is_ppa());
     }
 

@@ -14,6 +14,28 @@ pub struct BatchSchedule {
     batches: Vec<u64>,
 }
 
+/// Why an explicit batch list is not a valid schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidSchedule {
+    /// The batch list was empty.
+    Empty,
+    /// A batch had zero workload (its index is carried).
+    ZeroBatch(usize),
+}
+
+impl std::fmt::Display for InvalidSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvalidSchedule::Empty => write!(f, "schedule cannot be empty"),
+            InvalidSchedule::ZeroBatch(i) => {
+                write!(f, "batches must be positive (batch {i} is zero)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidSchedule {}
+
 impl BatchSchedule {
     /// `k` near-equal batches (the paper's *k-batch* mechanism).
     /// Remainders spread over the first batches so sizes differ by at
@@ -24,9 +46,7 @@ impl BatchSchedule {
         let k = (k as u64).min(total) as usize;
         let base = total / k as u64;
         let extra = (total % k as u64) as usize;
-        let batches = (0..k)
-            .map(|i| base + u64::from(i < extra))
-            .collect();
+        let batches = (0..k).map(|i| base + u64::from(i < extra)).collect();
         BatchSchedule { batches }
     }
 
@@ -36,10 +56,26 @@ impl BatchSchedule {
     }
 
     /// An explicit, possibly unequal schedule (tuning output, Fig 9).
+    ///
+    /// Panics on invalid input; use [`BatchSchedule::try_explicit`] for
+    /// schedules built from untrusted or computed data.
     pub fn explicit(batches: Vec<u64>) -> BatchSchedule {
-        assert!(!batches.is_empty(), "schedule cannot be empty");
-        assert!(batches.iter().all(|&b| b > 0), "batches must be positive");
-        BatchSchedule { batches }
+        match BatchSchedule::try_explicit(batches) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Validating form of [`BatchSchedule::explicit`]: rejects empty
+    /// schedules and zero-sized batches instead of panicking.
+    pub fn try_explicit(batches: Vec<u64>) -> Result<BatchSchedule, InvalidSchedule> {
+        if batches.is_empty() {
+            return Err(InvalidSchedule::Empty);
+        }
+        if let Some(i) = batches.iter().position(|&b| b == 0) {
+            return Err(InvalidSchedule::ZeroBatch(i));
+        }
+        Ok(BatchSchedule { batches })
     }
 
     /// Two batches `W/2 + Δ/2` and `W/2 − Δ/2` (Figure 9's sweep over
@@ -137,6 +173,38 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn explicit_rejects_zero_batches() {
         BatchSchedule::explicit(vec![5, 0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn explicit_rejects_empty_schedule() {
+        BatchSchedule::explicit(Vec::new());
+    }
+
+    #[test]
+    fn try_explicit_reports_both_invariants() {
+        assert_eq!(
+            BatchSchedule::try_explicit(Vec::new()),
+            Err(InvalidSchedule::Empty)
+        );
+        assert_eq!(
+            BatchSchedule::try_explicit(vec![5, 0, 3]),
+            Err(InvalidSchedule::ZeroBatch(1))
+        );
+        let ok = BatchSchedule::try_explicit(vec![5, 3]).unwrap();
+        assert_eq!(ok.batches(), &[5, 3]);
+        assert_eq!(ok.total(), 8);
+    }
+
+    #[test]
+    fn invalid_schedule_messages_name_the_violation() {
+        assert_eq!(
+            InvalidSchedule::Empty.to_string(),
+            "schedule cannot be empty"
+        );
+        assert!(InvalidSchedule::ZeroBatch(2)
+            .to_string()
+            .contains("batch 2"));
     }
 
     #[test]

@@ -67,9 +67,7 @@ pub fn sweep_series(label: impl Into<String>, points: &[SweepPoint]) -> Series {
 /// Batch count achieving the minimum time ("the optimal batch" — the
 /// optimum among the doubling batches, §4).
 pub fn optimal_batches(points: &[SweepPoint]) -> Option<usize> {
-    sweep_series("", points)
-        .argmin()
-        .map(|i| points[i].batches)
+    sweep_series("", points).argmin().map(|i| points[i].batches)
 }
 
 #[cfg(test)]

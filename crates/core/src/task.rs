@@ -36,10 +36,7 @@ impl Task {
     /// BKHS with the common k = 2 (two-hop ego-network analysis,
     /// §2.3's friend-recommendation use case).
     pub fn bkhs(num_sources: u64) -> Task {
-        Task::Bkhs {
-            num_sources,
-            k: 2,
-        }
+        Task::Bkhs { num_sources, k: 2 }
     }
 
     pub fn name(&self) -> &'static str {

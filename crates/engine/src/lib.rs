@@ -24,8 +24,8 @@ pub mod mirror;
 pub mod profile;
 pub mod program;
 pub mod router;
-pub mod sampling;
 pub mod runner;
+pub mod sampling;
 
 pub use message::{Envelope, Message};
 pub use mirror::MirrorIndex;

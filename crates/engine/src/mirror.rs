@@ -62,9 +62,7 @@ impl MirrorIndex {
     /// Remote workers holding mirrors of `v` (empty slice if not
     /// mirrored or all neighbors are local).
     pub fn workers(&self, v: VertexId) -> &[WorkerId] {
-        self.mirror_workers[v as usize]
-            .as_deref()
-            .unwrap_or(&[])
+        self.mirror_workers[v as usize].as_deref().unwrap_or(&[])
     }
 
     /// Wire messages a broadcast from `v` costs on the network:

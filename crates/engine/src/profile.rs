@@ -152,6 +152,9 @@ mod tests {
     #[test]
     fn broadcast_mode_detection() {
         assert!(!ExecutionMode::PointToPoint.is_broadcast());
-        assert!(ExecutionMode::Broadcast { mirror_threshold: 64 }.is_broadcast());
+        assert!(ExecutionMode::Broadcast {
+            mirror_threshold: 64
+        }
+        .is_broadcast());
     }
 }

@@ -133,7 +133,9 @@ impl<'a, M: Message> Context<'a, M> {
         }
         let outbox = &mut *self.outbox;
         crate::sampling::multinomial_uniform(self.rng, count, neighbors.len(), |bin, c| {
-            outbox.sends.push(Envelope::new(neighbors[bin], msg.clone(), c));
+            outbox
+                .sends
+                .push(Envelope::new(neighbors[bin], msg.clone(), c));
         });
     }
 }

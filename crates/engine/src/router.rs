@@ -226,14 +226,7 @@ mod tests {
         ob0.sends.push(Envelope::new(5, Src(7), 2));
         ob0.sends.push(Envelope::new(5, Src(7), 3));
         ob0.sends.push(Envelope::new(5, Src(8), 1)); // different key
-        let (inboxes, stats) = route(
-            vec![ob0, Outbox::new()],
-            &g,
-            &p,
-            None,
-            true,
-            16,
-        );
+        let (inboxes, stats) = route(vec![ob0, Outbox::new()], &g, &p, None, true, 16);
         assert_eq!(stats.sent_wire, 6);
         assert_eq!(stats.delivered_tuples, 2);
         assert_eq!(stats.in_wire[1], 6);

@@ -82,13 +82,21 @@ pub struct Runner<'g> {
 impl<'g> Runner<'g> {
     /// Prepare a runner. The partitioner must produce exactly
     /// `config.cluster.machines` workers.
-    pub fn new(graph: &'g Graph, partitioner: &dyn Partitioner, config: EngineConfig) -> Runner<'g> {
+    pub fn new(
+        graph: &'g Graph,
+        partitioner: &dyn Partitioner,
+        config: EngineConfig,
+    ) -> Runner<'g> {
         let partition = partitioner.partition(graph, config.cluster.machines);
         Self::with_partition(graph, partition, config)
     }
 
     /// Prepare a runner with a pre-built partition.
-    pub fn with_partition(graph: &'g Graph, partition: Partition, config: EngineConfig) -> Runner<'g> {
+    pub fn with_partition(
+        graph: &'g Graph,
+        partition: Partition,
+        config: EngineConfig,
+    ) -> Runner<'g> {
         assert_eq!(
             partition.num_workers(),
             config.cluster.machines,
@@ -118,9 +126,7 @@ impl<'g> Runner<'g> {
             .iter()
             .map(|list| {
                 list.iter()
-                    .map(|&v| {
-                        16 + graph.degree(v) as u64 * if weighted { 8 } else { 4 }
-                    })
+                    .map(|&v| 16 + graph.degree(v) as u64 * if weighted { 8 } else { 4 })
                     .sum()
             })
             .collect();
@@ -166,7 +172,8 @@ impl<'g> Runner<'g> {
 
         let mut stats = RunStats::new();
         let mut total = SimTime::ZERO;
-        let mut inboxes: Vec<Vec<Envelope<P::Message>>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut inboxes: Vec<Vec<Envelope<P::Message>>> =
+            (0..workers).map(|_| Vec::new()).collect();
         // Delivered-message statistics of the previous routing step:
         // those messages are processed (and their buffers are resident)
         // in the *current* round.
@@ -193,10 +200,8 @@ impl<'g> Runner<'g> {
             }
 
             // ---- compute phase -------------------------------------
-            let taken: Vec<Vec<Envelope<P::Message>>> = std::mem::replace(
-                &mut inboxes,
-                (0..workers).map(|_| Vec::new()).collect(),
-            );
+            let taken: Vec<Vec<Envelope<P::Message>>> =
+                std::mem::replace(&mut inboxes, (0..workers).map(|_| Vec::new()).collect());
             let (outboxes, active) = self.compute_phase(program, round, taken, &mut states);
 
             // Persist state growth before pricing the round: the new
@@ -415,8 +420,7 @@ impl<'g> Runner<'g> {
             match profile.out_of_core {
                 Some(ooc) => {
                     let budget = ooc.message_budget.get();
-                    let overhead_buf =
-                        (msg_buffer as f64 * profile.mem_overhead_factor) as u64;
+                    let overhead_buf = (msg_buffer as f64 * profile.mem_overhead_factor) as u64;
                     let resident = overhead_buf.min(budget);
                     let spill = overhead_buf.saturating_sub(budget);
                     memory += resident;
@@ -435,7 +439,11 @@ impl<'g> Runner<'g> {
             }
             demand.memory[w] = Bytes(memory);
         }
-        demand.lock_ops = if async_mode { total_processed as f64 } else { 0.0 };
+        demand.lock_ops = if async_mode {
+            total_processed as f64
+        } else {
+            0.0
+        };
         demand
     }
 
@@ -588,10 +596,7 @@ mod tests {
     }
 
     fn config(machines: usize) -> EngineConfig {
-        EngineConfig::new(
-            ClusterSpec::galaxy(machines),
-            SystemProfile::base("test"),
-        )
+        EngineConfig::new(ClusterSpec::galaxy(machines), SystemProfile::base("test"))
     }
 
     #[test]
@@ -744,7 +749,9 @@ mod tests {
         }
         let g = generators::power_law(200, 900, 2.2, 3);
         let mut cfg = config(4);
-        cfg.profile.mode = ExecutionMode::Broadcast { mirror_threshold: 8 };
+        cfg.profile.mode = ExecutionMode::Broadcast {
+            mirror_threshold: 8,
+        };
         let result = Runner::new(&g, &HashPartitioner::default(), cfg).run(&BFlood);
         assert!(result.outcome.is_completed());
         let reference = mtvc_graph::reference::bfs_levels(&g, 0);

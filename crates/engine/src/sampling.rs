@@ -58,12 +58,7 @@ fn standard_normal(rng: &mut SmallRng) -> f64 {
 /// Two regimes: when `n` is tiny it is cheaper to place each item
 /// individually (no allocation); otherwise the conditional binomial
 /// method runs in `O(k)`.
-pub fn multinomial_uniform(
-    rng: &mut SmallRng,
-    n: u64,
-    k: usize,
-    mut emit: impl FnMut(usize, u64),
-) {
+pub fn multinomial_uniform(rng: &mut SmallRng, n: u64, k: usize, mut emit: impl FnMut(usize, u64)) {
     if n == 0 || k == 0 {
         return;
     }

@@ -75,11 +75,7 @@ impl GraphBuilder {
     /// Finish: sort, symmetrize, dedup (min weight wins), build CSR.
     pub fn build(mut self) -> Graph {
         if self.undirected {
-            let rev: Vec<_> = self
-                .edges
-                .iter()
-                .map(|&(s, d, w)| (d, s, w))
-                .collect();
+            let rev: Vec<_> = self.edges.iter().map(|&(s, d, w)| (d, s, w)).collect();
             self.edges.extend(rev);
         }
         if !self.keep_self_loops {

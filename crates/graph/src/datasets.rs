@@ -203,10 +203,7 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        assert_eq!(
-            Dataset::WebSt.generate(512),
-            Dataset::WebSt.generate(512)
-        );
+        assert_eq!(Dataset::WebSt.generate(512), Dataset::WebSt.generate(512));
     }
 
     #[test]

@@ -118,7 +118,10 @@ pub fn power_law(n: usize, target_edges: usize, gamma: f64, seed: u64) -> Graph 
 pub fn rmat(scale: u32, target_edges: usize, probs: (f64, f64, f64, f64), seed: u64) -> Graph {
     let (a, b_, c, d) = probs;
     let sum = a + b_ + c + d;
-    assert!((sum - 1.0).abs() < 1e-9, "R-MAT probabilities must sum to 1");
+    assert!(
+        (sum - 1.0).abs() < 1e-9,
+        "R-MAT probabilities must sum to 1"
+    );
     let n = 1usize << scale;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut builder = GraphBuilder::new(n).undirected(true);
@@ -160,7 +163,10 @@ pub fn rmat(scale: u32, target_edges: usize, probs: (f64, f64, f64, f64), seed: 
 /// `[lo, hi]`. Symmetric edges get independent weights (the engine's
 /// MSSP treats the graph as directed, as Pregel does).
 pub fn with_random_weights(g: &Graph, lo: u32, hi: u32, seed: u64) -> Graph {
-    assert!(lo >= 1 && lo <= hi, "weight range must satisfy 1 <= lo <= hi");
+    assert!(
+        lo >= 1 && lo <= hi,
+        "weight range must satisfy 1 <= lo <= hi"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(g.num_vertices()).force_weighted();
     for v in g.vertices() {

@@ -64,7 +64,11 @@ pub fn degree_histogram(g: &Graph) -> Vec<usize> {
     let mut hist = Vec::new();
     for v in g.vertices() {
         let d = g.degree(v);
-        let bucket = if d <= 1 { 0 } else { (d as f64).log2() as usize };
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (d as f64).log2() as usize
+        };
         if hist.len() <= bucket {
             hist.resize(bucket + 1, 0);
         }

@@ -1,0 +1,114 @@
+//! Shared gauges for live service state (queue depth, in-flight
+//! batches, residual bytes). Lock-free, cloneable handles over atomics
+//! with a high-water mark, so the serving layer's threads can publish
+//! and observers can read without coordination.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonic-watermark gauge over a `u64` level.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    inner: Arc<GaugeInner>,
+}
+
+#[derive(Debug, Default)]
+struct GaugeInner {
+    level: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl Gauge {
+    /// New gauge at level 0.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.inner.level.load(Ordering::Acquire)
+    }
+
+    /// Highest level ever observed.
+    pub fn high_water(&self) -> u64 {
+        self.inner.high_water.load(Ordering::Acquire)
+    }
+
+    /// Set the level outright.
+    pub fn set(&self, v: u64) {
+        self.inner.level.store(v, Ordering::Release);
+        self.inner.high_water.fetch_max(v, Ordering::AcqRel);
+    }
+
+    /// Raise the level by `d`, updating the high-water mark.
+    pub fn add(&self, d: u64) {
+        let now = self.inner.level.fetch_add(d, Ordering::AcqRel) + d;
+        self.inner.high_water.fetch_max(now, Ordering::AcqRel);
+    }
+
+    /// Lower the level by `d` (saturating at 0).
+    pub fn sub(&self, d: u64) {
+        let mut cur = self.inner.level.load(Ordering::Acquire);
+        loop {
+            let next = cur.saturating_sub(d);
+            match self.inner.level.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn add_sub_track_level_and_watermark() {
+        let g = Gauge::new();
+        g.add(5);
+        g.add(3);
+        assert_eq!(g.get(), 8);
+        g.sub(6);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.high_water(), 8);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "sub saturates");
+    }
+
+    #[test]
+    fn set_updates_watermark() {
+        let g = Gauge::new();
+        g.set(10);
+        g.set(4);
+        assert_eq!(g.get(), 4);
+        assert_eq!(g.high_water(), 10);
+    }
+
+    #[test]
+    fn clones_share_state_across_threads() {
+        let g = Gauge::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let g = g.clone();
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        g.add(1);
+                        g.sub(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.get(), 0);
+        assert!(g.high_water() >= 1);
+    }
+}

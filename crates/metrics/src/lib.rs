@@ -10,12 +10,16 @@
 //! harness to print paper-style rows.
 
 pub mod counters;
+pub mod gauge;
+pub mod histogram;
 pub mod outcome;
 pub mod report;
 pub mod series;
 pub mod units;
 
 pub use counters::{RoundStats, RunStats};
+pub use gauge::Gauge;
+pub use histogram::Histogram;
 pub use outcome::RunOutcome;
 pub use report::{Cell, Table};
 pub use series::{Series, Summary};

@@ -98,7 +98,10 @@ mod tests {
     fn display_matches_paper_vocabulary() {
         assert_eq!(RunOutcome::Overload.to_string(), "Overload");
         assert_eq!(RunOutcome::Overflow.to_string(), "Overflow");
-        assert_eq!(RunOutcome::Completed(SimTime::secs(173.3)).to_string(), "173.3s");
+        assert_eq!(
+            RunOutcome::Completed(SimTime::secs(173.3)).to_string(),
+            "173.3s"
+        );
     }
 
     #[test]

@@ -103,7 +103,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -127,18 +131,29 @@ impl Table {
         let _ = writeln!(
             out,
             "| {} |",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(" | ")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(" | ")
         );
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(
                 out,
                 "| {} |",
-                row.iter().map(|c| esc(&c.0)).collect::<Vec<_>>().join(" | ")
+                row.iter()
+                    .map(|c| esc(&c.0))
+                    .collect::<Vec<_>>()
+                    .join(" | ")
             );
         }
         out

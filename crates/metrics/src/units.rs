@@ -18,7 +18,9 @@ pub const OVERLOAD_CUTOFF: SimTime = SimTime(6000.0);
 ///
 /// Stored as `u64`; arithmetic saturates on overflow so a pathological
 /// cost-model input degrades gracefully instead of panicking.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Bytes(pub u64);
 

@@ -1,0 +1,328 @@
+//! Memory-model admission control for the batch former.
+//!
+//! The offline tuner solves Eq. 6 once and replays the resulting
+//! schedule. The serving layer solves the *same* equation before every
+//! batch, against live state instead of modelled accumulation:
+//!
+//! ```text
+//! W_next = M*⁻¹( p·M − M_r(measured) − Σ M*(W_inflight) )
+//! ```
+//!
+//! where `M_r(measured)` is the actual residual left on the most loaded
+//! machine by completed-but-unflushed batches (not the fitted
+//! `M_r*(ΣW)` — we have the real number, so we use it) and the sum
+//! reserves the predicted peak of every batch currently executing on
+//! the worker pool. Each completed batch feeds its observed peak and
+//! residual back into the per-shape [`OnlineMemoryModel`], so the
+//! admitted workload tracks the cluster the service actually has,
+//! not the one the training probes saw.
+
+use crate::queue::same_shape;
+use mtvc_cluster::ClusterSpec;
+use mtvc_core::Task;
+use mtvc_tune::OnlineMemoryModel;
+use std::collections::HashMap;
+
+/// Identifier of a dispatched batch, for reservation bookkeeping.
+pub type BatchId = u64;
+
+/// Tracks cluster memory headroom and decides how much workload the
+/// next batch of a given shape may carry.
+#[derive(Debug)]
+pub struct AdmissionController {
+    machines: usize,
+    /// `p · M` in bytes: the overload threshold every machine must stay
+    /// under (Eq. 1–2 of §5).
+    budget: f64,
+    /// Measured residual bytes per machine from completed, unflushed
+    /// batches.
+    residual: Vec<u64>,
+    /// Predicted peak bytes of batches currently executing.
+    inflight: HashMap<BatchId, f64>,
+    /// Per-shape memory models, refreshed online.
+    models: Vec<(Task, OnlineMemoryModel)>,
+    /// Workload units completed since the last flush (drives the
+    /// residual-model observations).
+    accumulated: u64,
+    completed_since_flush: usize,
+    flush_every: usize,
+    flushes: u64,
+    batches: u64,
+}
+
+impl AdmissionController {
+    /// An admission controller for `cluster` with overload threshold
+    /// `p` (the paper's 0.85 default lives in the service config) that
+    /// ships aggregated results — releasing residual memory — every
+    /// `flush_every` completed batches.
+    pub fn new(cluster: &ClusterSpec, p: f64, flush_every: usize) -> AdmissionController {
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "overload threshold p must be in (0, 1]"
+        );
+        assert!(flush_every >= 1);
+        AdmissionController {
+            machines: cluster.machines,
+            budget: p * cluster.machine.usable_memory().as_f64(),
+            residual: vec![0; cluster.machines],
+            inflight: HashMap::new(),
+            models: Vec::new(),
+            accumulated: 0,
+            completed_since_flush: 0,
+            flush_every,
+            flushes: 0,
+            batches: 0,
+        }
+    }
+
+    /// Register the fitted model for a task shape. One model per shape;
+    /// shapes the service supports must be registered before admitting.
+    pub fn register(&mut self, shape: Task, model: OnlineMemoryModel) {
+        assert!(
+            self.model_of(&shape).is_none(),
+            "shape {shape} registered twice"
+        );
+        self.models.push((shape.with_workload(1), model));
+    }
+
+    /// Whether a model for `shape` is registered.
+    pub fn supports(&self, shape: &Task) -> bool {
+        self.model_of(shape).is_some()
+    }
+
+    fn model_of(&self, shape: &Task) -> Option<&OnlineMemoryModel> {
+        self.models
+            .iter()
+            .find(|(s, _)| same_shape(s, shape))
+            .map(|(_, m)| m)
+    }
+
+    fn model_of_mut(&mut self, shape: &Task) -> Option<&mut OnlineMemoryModel> {
+        self.models
+            .iter_mut()
+            .find(|(s, _)| same_shape(s, shape))
+            .map(|(_, m)| m)
+    }
+
+    /// Largest workload a new `shape` batch may carry right now: Eq. 6
+    /// against measured residual plus reserved in-flight peaks. Zero
+    /// when there is no headroom (the former then waits for a
+    /// completion or forces a flush).
+    pub fn max_admissible(&self, shape: &Task) -> u64 {
+        let reserved: f64 = self.inflight.values().sum();
+        let residual = self.residual.iter().copied().max().unwrap_or(0) as f64;
+        self.invert_peak(shape, self.budget - residual - reserved)
+    }
+
+    /// Largest workload `shape` could ever be admitted with: an idle,
+    /// fully flushed cluster. A request above this can never run and is
+    /// rejected outright.
+    pub fn max_possible(&self, shape: &Task) -> u64 {
+        self.invert_peak(shape, self.budget)
+    }
+
+    fn invert_peak(&self, shape: &Task, headroom: f64) -> u64 {
+        if headroom <= 0.0 {
+            return 0;
+        }
+        let model = self
+            .model_of(shape)
+            .unwrap_or_else(|| panic!("no model registered for shape {shape}"));
+        model
+            .model()
+            .peak
+            .invert(headroom)
+            .map(|w| w.floor().max(0.0) as u64)
+            .unwrap_or(0)
+    }
+
+    /// Reserve headroom for a dispatched batch; returns its id and a
+    /// snapshot of the per-machine residual the batch starts against.
+    pub fn reserve(&mut self, shape: &Task, workload: u64) -> (BatchId, Vec<u64>) {
+        let predicted = self
+            .model_of(shape)
+            .expect("reserve of unregistered shape")
+            .model()
+            .peak
+            .eval(workload as f64)
+            .max(0.0);
+        let id = self.batches;
+        self.batches += 1;
+        self.inflight.insert(id, predicted);
+        (id, self.residual.clone())
+    }
+
+    /// Record a completed batch: release its reservation, absorb the
+    /// residual it left per machine, feed the observation to the
+    /// shape's online model, and flush if the epoch is over. Returns
+    /// `true` when this completion flushed accumulated results.
+    ///
+    /// `observed_peak` is the raw per-machine maximum the batch
+    /// reached, and `residual_before` the per-machine residual it
+    /// started against; the §5 `M*` curve models a batch on a fresh
+    /// cluster, so the baseline is subtracted before the observation
+    /// reaches the model.
+    pub fn complete(
+        &mut self,
+        id: BatchId,
+        shape: &Task,
+        workload: u64,
+        observed_peak: f64,
+        residual_before: &[u64],
+        residual_delta: &[u64],
+    ) -> bool {
+        assert_eq!(residual_delta.len(), self.machines);
+        self.inflight.remove(&id);
+        for (r, d) in self.residual.iter_mut().zip(residual_delta) {
+            *r += d;
+        }
+        self.accumulated += workload;
+        let baseline = residual_before.iter().copied().max().unwrap_or(0) as f64;
+        let own_peak = (observed_peak - baseline).max(1.0);
+        let residual_max = self.residual.iter().copied().max().unwrap_or(0) as f64;
+        let accumulated = self.accumulated;
+        if let Some(m) = self.model_of_mut(shape) {
+            m.observe(workload, own_peak, accumulated, residual_max);
+        }
+        self.completed_since_flush += 1;
+        if self.completed_since_flush >= self.flush_every {
+            self.flush();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Ship aggregated results: residual memory is released (§5 stores
+    /// intermediate results only until final aggregation).
+    pub fn flush(&mut self) {
+        self.residual.iter_mut().for_each(|r| *r = 0);
+        self.accumulated = 0;
+        self.completed_since_flush = 0;
+        self.flushes += 1;
+    }
+
+    /// Whether any dispatched batch has not completed yet.
+    pub fn has_inflight(&self) -> bool {
+        !self.inflight.is_empty()
+    }
+
+    /// Whether unflushed residual memory is held.
+    pub fn has_residual(&self) -> bool {
+        self.residual.iter().any(|&r| r > 0)
+    }
+
+    /// Completed flush epochs.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Batches dispatched so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Total online model refits across shapes.
+    pub fn refits(&self) -> u64 {
+        self.models.iter().map(|(_, m)| m.refits()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvc_tune::TrainingData;
+
+    /// A linear memory curve: peak = slope·W + floor.
+    fn model(slope: f64, floor: f64) -> OnlineMemoryModel {
+        let workloads: Vec<f64> = (1..=6).map(|r| (1u64 << r) as f64).collect();
+        let data = TrainingData {
+            peak_memory: workloads.iter().map(|w| slope * w + floor).collect(),
+            residual: workloads.iter().map(|w| 0.1 * w + 1.0).collect(),
+            workloads,
+            training_time: Default::default(),
+        };
+        OnlineMemoryModel::fit(&data, 7).unwrap()
+    }
+
+    fn tiny_cluster() -> ClusterSpec {
+        // 4 machines; usable memory comes from the Galaxy spec.
+        ClusterSpec::galaxy(4)
+    }
+
+    #[test]
+    fn admits_less_while_batches_are_inflight() {
+        let cluster = tiny_cluster();
+        let mut ac = AdmissionController::new(&cluster, 0.85, 4);
+        ac.register(Task::mssp(1), model(1e6, 0.0));
+        let idle = ac.max_admissible(&Task::mssp(1));
+        assert!(idle > 0);
+        let (id, residual) = ac.reserve(&Task::mssp(1), idle / 2);
+        assert_eq!(residual, vec![0; 4]);
+        let busy = ac.max_admissible(&Task::mssp(1));
+        assert!(busy < idle, "{busy} !< {idle}");
+        ac.complete(
+            id,
+            &Task::mssp(1),
+            idle / 2,
+            1e6 * (idle / 2) as f64,
+            &[0; 4],
+            &[0; 4],
+        );
+        assert_eq!(ac.max_admissible(&Task::mssp(1)), idle);
+    }
+
+    #[test]
+    fn residual_shrinks_admission_until_flush() {
+        let cluster = tiny_cluster();
+        let mut ac = AdmissionController::new(&cluster, 0.85, 2);
+        ac.register(Task::mssp(1), model(1e6, 0.0));
+        let idle = ac.max_admissible(&Task::mssp(1));
+        let (id, _) = ac.reserve(&Task::mssp(1), 100);
+        let flushed = ac.complete(id, &Task::mssp(1), 100, 1e8, &[0; 4], &[4_000_000_000; 4]);
+        assert!(!flushed);
+        assert!(ac.has_residual());
+        let after = ac.max_admissible(&Task::mssp(1));
+        assert!(after < idle, "{after} !< {idle}");
+        // Second completion closes the 2-batch flush epoch.
+        let (id, _) = ac.reserve(&Task::mssp(1), 100);
+        let flushed = ac.complete(
+            id,
+            &Task::mssp(1),
+            100,
+            1e8,
+            &[4_000_000_000; 4],
+            &[1_000_000; 4],
+        );
+        assert!(flushed);
+        assert!(!ac.has_residual());
+        assert_eq!(ac.max_admissible(&Task::mssp(1)), idle);
+        assert_eq!(ac.flushes(), 1);
+    }
+
+    #[test]
+    fn max_possible_ignores_live_state() {
+        let cluster = tiny_cluster();
+        let mut ac = AdmissionController::new(&cluster, 0.85, 4);
+        ac.register(Task::bppr(1), model(1e6, 0.0));
+        let max = ac.max_possible(&Task::bppr(1));
+        ac.reserve(&Task::bppr(1), max);
+        assert_eq!(ac.max_possible(&Task::bppr(1)), max);
+        assert_eq!(ac.max_admissible(&Task::bppr(1)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no model registered")]
+    fn unregistered_shape_panics() {
+        let ac = AdmissionController::new(&tiny_cluster(), 0.85, 4);
+        ac.max_admissible(&Task::mssp(1));
+    }
+
+    #[test]
+    fn supports_matches_by_shape_not_workload() {
+        let mut ac = AdmissionController::new(&tiny_cluster(), 0.85, 4);
+        ac.register(Task::mssp(64), model(1e6, 0.0));
+        assert!(ac.supports(&Task::mssp(9999)));
+        assert!(!ac.supports(&Task::bppr(1)));
+    }
+}

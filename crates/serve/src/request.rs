@@ -1,0 +1,169 @@
+//! Request and completion types for the online task service.
+//!
+//! A *request* is one unit task (§2.2's "a set of unit tasks of the
+//! same type"): a tenant asks for a [`Task`]-shaped piece of work with
+//! a small workload, optionally bounded by a deadline. The service
+//! groups compatible requests into batches; the *completion* reports
+//! how the request fared and where its time went.
+
+use mtvc_core::Task;
+use mtvc_metrics::SimTime;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Identifies the tenant a request belongs to. Tenants share the
+/// cluster; the queue arbitrates between them with deficit round-robin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
+/// Unique id assigned to a request when it is submitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req-{}", self.0)
+    }
+}
+
+/// One unit-task request as submitted by a tenant.
+#[derive(Debug, Clone)]
+pub struct TaskRequest {
+    /// The submitting tenant.
+    pub tenant: TenantId,
+    /// Task shape and workload for this request. The workload is the
+    /// request's size in the task's own unit (walks for BPPR, sources
+    /// for MSSP/BKHS) and is never split across batches.
+    pub task: Task,
+    /// Drop the request (outcome [`RequestOutcome::Expired`]) if it has
+    /// not been dispatched within this long of submission.
+    pub deadline: Option<Duration>,
+}
+
+impl TaskRequest {
+    /// A deadline-free request.
+    pub fn new(tenant: TenantId, task: Task) -> TaskRequest {
+        TaskRequest {
+            tenant,
+            task,
+            deadline: None,
+        }
+    }
+
+    /// Attach a dispatch deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> TaskRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Workload units this request contributes to a batch.
+    pub fn workload(&self) -> u64 {
+        self.task.workload()
+    }
+}
+
+/// A request with the bookkeeping the queue attaches at submission.
+#[derive(Debug, Clone)]
+pub struct QueuedRequest {
+    /// The id the service assigned on submit.
+    pub id: RequestId,
+    /// The request as submitted.
+    pub request: TaskRequest,
+    /// When the request entered the queue.
+    pub submitted: Instant,
+}
+
+impl QueuedRequest {
+    /// Whether the dispatch deadline has passed at `now`.
+    pub fn expired(&self, now: Instant) -> bool {
+        match self.request.deadline {
+            Some(d) => now.duration_since(self.submitted) > d,
+            None => false,
+        }
+    }
+
+    /// Workload units this request contributes to a batch.
+    pub fn workload(&self) -> u64 {
+        self.request.workload()
+    }
+}
+
+/// How a request ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestOutcome {
+    /// Executed in a batch that completed within the cutoff.
+    Served {
+        /// Simulated running time of the batch that carried the request.
+        batch_time: SimTime,
+    },
+    /// Dispatch deadline passed while the request sat in the queue.
+    Expired,
+    /// The admission controller predicts this request can never fit on
+    /// the cluster, even alone on flushed machines.
+    Rejected,
+    /// The carrying batch overloaded (> 6000 s cutoff) or overflowed
+    /// memory. The admission controller makes this rare; it is still a
+    /// terminal outcome, not retried.
+    Failed {
+        /// Human-readable failure class ("overload" / "overflow").
+        reason: &'static str,
+    },
+}
+
+impl RequestOutcome {
+    /// Whether the request was actually executed to completion.
+    pub fn is_served(&self) -> bool {
+        matches!(self, RequestOutcome::Served { .. })
+    }
+}
+
+/// Everything the service reports back for one finished request.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The id returned at submission.
+    pub id: RequestId,
+    /// The submitting tenant.
+    pub tenant: TenantId,
+    /// Terminal outcome.
+    pub outcome: RequestOutcome,
+    /// Wall-clock time from submission until the request left the queue
+    /// (dispatch, expiry, or rejection).
+    pub queue_wait: Duration,
+    /// Wall-clock time from submission until this completion was
+    /// published.
+    pub latency: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_expiry_is_relative_to_submission() {
+        let q = QueuedRequest {
+            id: RequestId(1),
+            request: TaskRequest::new(TenantId(0), Task::mssp(2))
+                .with_deadline(Duration::from_millis(5)),
+            submitted: Instant::now(),
+        };
+        assert!(!q.expired(q.submitted));
+        assert!(q.expired(q.submitted + Duration::from_millis(6)));
+    }
+
+    #[test]
+    fn no_deadline_never_expires() {
+        let q = QueuedRequest {
+            id: RequestId(2),
+            request: TaskRequest::new(TenantId(0), Task::bppr(4)),
+            submitted: Instant::now(),
+        };
+        assert!(!q.expired(q.submitted + Duration::from_secs(3600)));
+        assert_eq!(q.workload(), 4);
+    }
+}

@@ -1,0 +1,773 @@
+//! The online task service: queue → admission → batch former → worker
+//! pool → completions.
+//!
+//! [`TaskService::start`] trains the §5 memory model for every
+//! supported task shape (light `2^r` probes, Levenberg–Marquardt fit),
+//! then spawns one *batch former* thread and a pool of *worker*
+//! threads. Tenants submit unit-task requests and receive a [`Ticket`]
+//! they can block on; the former packs compatible requests into the
+//! largest batch the admission controller allows and hands it to the
+//! pool over a bounded crossbeam channel; workers execute batches on
+//! the simulated cluster and publish per-request completions together
+//! with queue-wait / end-to-end latency histograms.
+//! [`TaskService::shutdown`] closes the queue, drains everything still
+//! queued or in flight, joins the threads, and returns the final
+//! [`ServiceReport`].
+
+use crate::admission::AdmissionController;
+use crate::queue::{same_shape, DrrQueue, SubmitError};
+use crate::request::{Completion, QueuedRequest, RequestId, RequestOutcome, TaskRequest};
+use mtvc_cluster::ClusterSpec;
+use mtvc_core::{select_sources, BatchRunner, Task};
+use mtvc_graph::hash::mix64;
+use mtvc_graph::Graph;
+use mtvc_metrics::{Histogram, RunOutcome, SimTime, OVERLOAD_CUTOFF};
+use mtvc_systems::SystemKind;
+use mtvc_tune::{train, FitError, OnlineMemoryModel};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`TaskService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Vertex-centric system profile batches execute under.
+    pub system: SystemKind,
+    /// The shared cluster all tenants run on.
+    pub cluster: ClusterSpec,
+    /// Task shapes the service accepts (workload fields are ignored;
+    /// one memory model is trained per shape at startup).
+    pub shapes: Vec<Task>,
+    /// Worker threads executing batches concurrently.
+    pub workers: usize,
+    /// Queue capacity in requests (backpressure bound).
+    pub queue_capacity: usize,
+    /// DRR quantum in workload units per tenant per round.
+    pub quantum: u64,
+    /// Overload threshold `p` of Eq. 1–2 (fraction of usable memory a
+    /// machine may reach before the run is considered strained).
+    pub overload_p: f64,
+    /// Completed batches per flush epoch: results aggregate and
+    /// residual memory releases every this many batches.
+    pub flush_every: usize,
+    /// Hard cap on a single batch's workload, independent of headroom.
+    pub max_batch: u64,
+    /// Workload the training phase probes towards (`2^r ≤ max(8, this/4)`).
+    pub training_workload: u64,
+    /// Seed for training, source selection, and batch execution.
+    pub seed: u64,
+}
+
+impl ServiceConfig {
+    /// Defaults mirroring the paper's tuner: `p = 0.85`, light training
+    /// probes, two workers, a 256-request queue.
+    pub fn new(system: SystemKind, cluster: ClusterSpec) -> ServiceConfig {
+        ServiceConfig {
+            system,
+            cluster,
+            shapes: Vec::new(),
+            workers: 2,
+            queue_capacity: 256,
+            quantum: 8,
+            overload_p: 0.85,
+            flush_every: 4,
+            max_batch: 1 << 20,
+            training_workload: 256,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Add a supported task shape.
+    pub fn with_shape(mut self, shape: Task) -> Self {
+        self.shapes.push(shape);
+        self
+    }
+
+    /// Set the worker-pool size.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1);
+        self.workers = workers;
+        self
+    }
+
+    /// Set the queue capacity (requests).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Set the DRR quantum (workload units).
+    pub fn with_quantum(mut self, quantum: u64) -> Self {
+        self.quantum = quantum;
+        self
+    }
+
+    /// Set the overload threshold `p`.
+    pub fn with_overload_p(mut self, p: f64) -> Self {
+        self.overload_p = p;
+        self
+    }
+
+    /// Set the flush-epoch length in batches.
+    pub fn with_flush_every(mut self, every: usize) -> Self {
+        self.flush_every = every;
+        self
+    }
+
+    /// Set the per-batch workload cap.
+    pub fn with_max_batch(mut self, cap: u64) -> Self {
+        assert!(cap >= 1);
+        self.max_batch = cap;
+        self
+    }
+
+    /// Set the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Why [`TaskService::start`] failed.
+#[derive(Debug)]
+pub enum StartError {
+    /// `shapes` was empty.
+    NoShapes,
+    /// The memory-model fit for a shape did not converge.
+    Fit {
+        /// The shape whose training data could not be fitted.
+        shape: Task,
+        /// The underlying fitter error.
+        source: FitError,
+    },
+}
+
+impl std::fmt::Display for StartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StartError::NoShapes => write!(f, "service needs at least one task shape"),
+            StartError::Fit { shape, source } => {
+                write!(f, "memory-model fit failed for {shape}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StartError {}
+
+/// Handle for one submitted request; resolves to its [`Completion`].
+#[derive(Debug, Clone)]
+pub struct Ticket {
+    id: RequestId,
+    slot: Arc<Slot>,
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    done: Mutex<Option<Completion>>,
+    cv: Condvar,
+}
+
+impl Ticket {
+    /// The id the service assigned to the request.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// Block until the request finishes.
+    pub fn wait(&self) -> Completion {
+        let mut done = self.slot.done.lock().unwrap();
+        loop {
+            if let Some(c) = done.take() {
+                return c;
+            }
+            done = self.slot.cv.wait(done).unwrap();
+        }
+    }
+
+    /// The completion, if already published.
+    pub fn try_get(&self) -> Option<Completion> {
+        self.slot.done.lock().unwrap().take()
+    }
+}
+
+/// Final statistics returned by [`TaskService::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Requests executed to completion.
+    pub served: u64,
+    /// Requests dropped on their dispatch deadline.
+    pub expired: u64,
+    /// Requests that could never fit the cluster.
+    pub rejected: u64,
+    /// Requests whose batch overloaded or overflowed.
+    pub failed: u64,
+    /// Batches dispatched to the worker pool.
+    pub batches: u64,
+    /// Flush epochs completed (residual-memory releases).
+    pub flushes: u64,
+    /// Online memory-model refits across shapes.
+    pub refits: u64,
+    /// Batches that exceeded the 6000 s cutoff.
+    pub overload_batches: u64,
+    /// Batches that exhausted machine memory.
+    pub overflow_batches: u64,
+    /// Wall-clock queue wait per request, microseconds.
+    pub queue_wait: Histogram,
+    /// Wall-clock end-to-end latency per request, microseconds.
+    pub latency: Histogram,
+    /// Simulated batch running time, milliseconds.
+    pub service_time: Histogram,
+    /// Workload units per dispatched batch.
+    pub batch_workload: Histogram,
+    /// Highest queue depth observed (requests).
+    pub max_queue_depth: u64,
+    /// Total simulated cluster time across batches.
+    pub total_sim_time: SimTime,
+}
+
+impl ServiceReport {
+    /// Total requests that reached a terminal outcome.
+    pub fn requests(&self) -> u64 {
+        self.served + self.expired + self.rejected + self.failed
+    }
+}
+
+#[derive(Debug)]
+struct MetricsState {
+    served: u64,
+    expired: u64,
+    rejected: u64,
+    failed: u64,
+    batches: u64,
+    overload_batches: u64,
+    overflow_batches: u64,
+    queue_wait: Histogram,
+    latency: Histogram,
+    service_time: Histogram,
+    batch_workload: Histogram,
+    total_sim_time: SimTime,
+}
+
+impl MetricsState {
+    fn new() -> MetricsState {
+        MetricsState {
+            served: 0,
+            expired: 0,
+            rejected: 0,
+            failed: 0,
+            batches: 0,
+            overload_batches: 0,
+            overflow_batches: 0,
+            queue_wait: Histogram::new(),
+            latency: Histogram::new(),
+            service_time: Histogram::new(),
+            batch_workload: Histogram::new(),
+            total_sim_time: SimTime::ZERO,
+        }
+    }
+}
+
+struct Shared {
+    queue: DrrQueue,
+    admission: Mutex<AdmissionController>,
+    /// Signalled by workers whenever a completion frees headroom.
+    headroom: Condvar,
+    pending: Mutex<HashMap<RequestId, Arc<Slot>>>,
+    metrics: Mutex<MetricsState>,
+    shapes: Vec<Task>,
+}
+
+/// A batch formed by the scheduler, in flight to a worker.
+struct FormedBatch {
+    id: u64,
+    shape: Task,
+    workload: u64,
+    requests: Vec<QueuedRequest>,
+    /// Per-machine residual snapshot the batch starts against.
+    residual: Vec<u64>,
+    dispatched: Instant,
+}
+
+/// The running service. Dropping it shuts down without a report;
+/// prefer [`TaskService::shutdown`].
+pub struct TaskService {
+    shared: Arc<Shared>,
+    next_id: AtomicU64,
+    former: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl TaskService {
+    /// Train the memory model for every shape, fit it, and spawn the
+    /// former and worker threads. Training cost is the §5 "minor"
+    /// probe cost, paid once here.
+    pub fn start(graph: Arc<Graph>, cfg: ServiceConfig) -> Result<TaskService, StartError> {
+        if cfg.shapes.is_empty() {
+            return Err(StartError::NoShapes);
+        }
+        let mut admission = AdmissionController::new(&cfg.cluster, cfg.overload_p, cfg.flush_every);
+        let mut runners: Vec<(Task, Arc<BatchRunner>)> = Vec::new();
+        for (i, &shape) in cfg.shapes.iter().enumerate() {
+            if admission.supports(&shape) {
+                continue; // duplicate shape in the config
+            }
+            let probe_task = shape.with_workload(cfg.training_workload);
+            let data = train(
+                &graph,
+                probe_task,
+                cfg.system,
+                &cfg.cluster,
+                cfg.seed ^ mix64(i as u64 + 1),
+            );
+            let model = OnlineMemoryModel::fit(&data, cfg.seed)
+                .map_err(|source| StartError::Fit { shape, source })?;
+            admission.register(shape, model);
+            runners.push((
+                shape,
+                Arc::new(BatchRunner::new(
+                    graph.clone(),
+                    shape,
+                    cfg.system,
+                    cfg.cluster.clone(),
+                )),
+            ));
+        }
+
+        let shared = Arc::new(Shared {
+            queue: DrrQueue::new(cfg.queue_capacity, cfg.quantum),
+            admission: Mutex::new(admission),
+            headroom: Condvar::new(),
+            pending: Mutex::new(HashMap::new()),
+            metrics: Mutex::new(MetricsState::new()),
+            shapes: cfg.shapes.iter().map(|s| s.with_workload(1)).collect(),
+        });
+
+        let (tx, rx) = crossbeam::channel::bounded::<FormedBatch>(cfg.workers);
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for _ in 0..cfg.workers {
+            let rx = rx.clone();
+            let shared = shared.clone();
+            let runners = runners.clone();
+            let seed = cfg.seed;
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&shared, &runners, seed, rx)
+            }));
+        }
+        drop(rx);
+
+        let former = {
+            let shared = shared.clone();
+            let max_batch = cfg.max_batch;
+            std::thread::spawn(move || former_loop(&shared, max_batch, tx))
+        };
+
+        Ok(TaskService {
+            shared,
+            next_id: AtomicU64::new(0),
+            former: Some(former),
+            workers,
+        })
+    }
+
+    /// Submit a request, blocking while the queue is at capacity
+    /// (backpressure). Returns a [`Ticket`] resolving to the
+    /// completion.
+    pub fn submit(&self, request: TaskRequest) -> Result<Ticket, SubmitError> {
+        self.submit_inner(request, true)
+    }
+
+    /// Submit without blocking; fails with [`SubmitError::Full`] when
+    /// the queue is at capacity.
+    pub fn try_submit(&self, request: TaskRequest) -> Result<Ticket, SubmitError> {
+        self.submit_inner(request, false)
+    }
+
+    fn submit_inner(&self, request: TaskRequest, block: bool) -> Result<Ticket, SubmitError> {
+        if request.workload() == 0 {
+            return Err(SubmitError::Empty);
+        }
+        if !self
+            .shared
+            .shapes
+            .iter()
+            .any(|s| same_shape(s, &request.task))
+        {
+            return Err(SubmitError::Unsupported);
+        }
+        let id = RequestId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let slot = Arc::new(Slot::default());
+        self.shared.pending.lock().unwrap().insert(id, slot.clone());
+        let queued = QueuedRequest {
+            id,
+            request,
+            submitted: Instant::now(),
+        };
+        let res = if block {
+            self.shared.queue.submit_blocking(queued)
+        } else {
+            self.shared.queue.try_submit(queued)
+        };
+        match res {
+            Ok(()) => Ok(Ticket { id, slot }),
+            Err(e) => {
+                self.shared.pending.lock().unwrap().remove(&id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Requests currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Largest workload a `shape` batch could carry right now, given
+    /// current residual and in-flight reservations.
+    pub fn admissible_now(&self, shape: &Task) -> u64 {
+        self.shared.admission.lock().unwrap().max_admissible(shape)
+    }
+
+    /// Largest workload a `shape` batch could ever carry (idle, flushed
+    /// cluster) — requests above this are rejected outright.
+    pub fn admissible_max(&self, shape: &Task) -> u64 {
+        self.shared.admission.lock().unwrap().max_possible(shape)
+    }
+
+    /// Live queue-depth gauge (with high-water mark).
+    pub fn queue_depth(&self) -> mtvc_metrics::Gauge {
+        self.shared.queue.depth()
+    }
+
+    /// Stop accepting requests, drain everything queued and in flight,
+    /// join all threads, and return the final report.
+    pub fn shutdown(mut self) -> ServiceReport {
+        self.stop();
+        let m = self.shared.metrics.lock().unwrap();
+        let ac = self.shared.admission.lock().unwrap();
+        ServiceReport {
+            served: m.served,
+            expired: m.expired,
+            rejected: m.rejected,
+            failed: m.failed,
+            batches: m.batches,
+            flushes: ac.flushes(),
+            refits: ac.refits(),
+            overload_batches: m.overload_batches,
+            overflow_batches: m.overflow_batches,
+            queue_wait: m.queue_wait.clone(),
+            latency: m.latency.clone(),
+            service_time: m.service_time.clone(),
+            batch_workload: m.batch_workload.clone(),
+            max_queue_depth: self.shared.queue.depth().high_water(),
+            total_sim_time: m.total_sim_time,
+        }
+    }
+
+    fn stop(&mut self) {
+        self.shared.queue.close();
+        if let Some(former) = self.former.take() {
+            let _ = former.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for TaskService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Publish a terminal outcome for one request.
+fn finish(
+    shared: &Shared,
+    req: QueuedRequest,
+    outcome: RequestOutcome,
+    dispatched: Option<Instant>,
+) {
+    let now = Instant::now();
+    let queue_wait = dispatched.unwrap_or(now).duration_since(req.submitted);
+    let latency = now.duration_since(req.submitted);
+    {
+        let mut m = shared.metrics.lock().unwrap();
+        match &outcome {
+            RequestOutcome::Served { .. } => m.served += 1,
+            RequestOutcome::Expired => m.expired += 1,
+            RequestOutcome::Rejected => m.rejected += 1,
+            RequestOutcome::Failed { .. } => m.failed += 1,
+        }
+        m.queue_wait.record(queue_wait.as_micros() as u64);
+        m.latency.record(latency.as_micros() as u64);
+    }
+    let completion = Completion {
+        id: req.id,
+        tenant: req.request.tenant,
+        outcome,
+        queue_wait,
+        latency,
+    };
+    let slot = shared.pending.lock().unwrap().remove(&req.id);
+    if let Some(slot) = slot {
+        *slot.done.lock().unwrap() = Some(completion);
+        slot.cv.notify_all();
+    }
+}
+
+/// How long the former waits for worker completions before rechecking
+/// headroom (a safety valve; the headroom condvar is the fast path).
+const HEADROOM_POLL: Duration = Duration::from_millis(20);
+
+fn former_loop(shared: &Shared, max_batch: u64, tx: crossbeam::channel::Sender<FormedBatch>) {
+    while let Some(shape) = shared.queue.next_shape_blocking() {
+        let w_max = {
+            let ac = shared.admission.lock().unwrap();
+            ac.max_admissible(&shape).min(max_batch)
+        };
+        if w_max >= 1 {
+            let round = shared.queue.take_batch(&shape, w_max, Instant::now());
+            for req in round.expired {
+                finish(shared, req, RequestOutcome::Expired, None);
+            }
+            if !round.taken.is_empty() {
+                let workload: u64 = round.taken.iter().map(|r| r.workload()).sum();
+                let (id, residual) = {
+                    let mut ac = shared.admission.lock().unwrap();
+                    ac.reserve(&shape, workload)
+                };
+                let batch = FormedBatch {
+                    id,
+                    shape,
+                    workload,
+                    requests: round.taken,
+                    residual,
+                    dispatched: Instant::now(),
+                };
+                // Bounded channel: blocks when every worker is busy.
+                if tx.send(batch).is_err() {
+                    return; // workers are gone; shutting down
+                }
+                continue;
+            }
+        }
+        // Nothing was taken: the ring head does not fit the current
+        // headroom (or the budget is zero).
+        let Some(w_head) = shared.queue.head_workload(&shape) else {
+            continue; // head expired away or shape rotated; re-peek
+        };
+        let mut ac = shared.admission.lock().unwrap();
+        if w_head > ac.max_possible(&shape).min(max_batch) {
+            // Cannot fit even an idle, flushed cluster: reject.
+            drop(ac);
+            if let Some(req) = shared.queue.pop_head(&shape) {
+                finish(shared, req, RequestOutcome::Rejected, None);
+            }
+            continue;
+        }
+        if w_head <= w_max {
+            // Fits the headroom; the DRR deficit just has not built up
+            // yet. Loop again — every round banks another quantum.
+            continue;
+        }
+        if ac.has_inflight() {
+            // Wait for a worker to free headroom.
+            let _ = shared.headroom.wait_timeout(ac, HEADROOM_POLL);
+            continue;
+        }
+        if ac.has_residual() {
+            // Idle cluster blocked only by unshipped results: close the
+            // flush epoch early and re-check.
+            ac.flush();
+            continue;
+        }
+        // No in-flight work, no residual, yet w_head > w_max: the
+        // model's idle admission equals max_possible, so this is
+        // unreachable; guard against a pathological fit by rejecting.
+        drop(ac);
+        if let Some(req) = shared.queue.pop_head(&shape) {
+            finish(shared, req, RequestOutcome::Rejected, None);
+        }
+    }
+}
+
+fn worker_loop(
+    shared: &Shared,
+    runners: &[(Task, Arc<BatchRunner>)],
+    seed: u64,
+    rx: crossbeam::channel::Receiver<FormedBatch>,
+) {
+    while let Ok(batch) = rx.recv() {
+        let runner = &runners
+            .iter()
+            .find(|(s, _)| same_shape(s, &batch.shape))
+            .expect("dispatched batch of unregistered shape")
+            .1;
+        let batch_seed = seed ^ mix64(batch.id.wrapping_add(0xB42C));
+        let sources = match batch.shape {
+            Task::Bppr { .. } => Vec::new(),
+            Task::Mssp { .. } | Task::Bkhs { .. } => {
+                select_sources(runner.graph(), batch.workload, batch_seed)
+            }
+        };
+        let exec = runner.run_batch(
+            batch.workload,
+            &sources,
+            &batch.residual,
+            batch_seed,
+            OVERLOAD_CUTOFF,
+        );
+        {
+            let mut ac = shared.admission.lock().unwrap();
+            ac.complete(
+                batch.id,
+                &batch.shape,
+                batch.workload,
+                exec.peak_memory.as_f64(),
+                &batch.residual,
+                &exec.residual_delta,
+            );
+        }
+        shared.headroom.notify_all();
+        {
+            let mut m = shared.metrics.lock().unwrap();
+            m.batches += 1;
+            m.batch_workload.record(batch.workload);
+            m.total_sim_time += exec.time;
+            m.service_time
+                .record((exec.time.as_secs() * 1e3).round() as u64);
+            match exec.outcome {
+                RunOutcome::Completed(_) => {}
+                RunOutcome::Overload => m.overload_batches += 1,
+                RunOutcome::Overflow => m.overflow_batches += 1,
+            }
+        }
+        let outcome = match exec.outcome {
+            RunOutcome::Completed(t) => RequestOutcome::Served { batch_time: t },
+            RunOutcome::Overload => RequestOutcome::Failed { reason: "overload" },
+            RunOutcome::Overflow => RequestOutcome::Failed { reason: "overflow" },
+        };
+        for req in batch.requests {
+            finish(shared, req, outcome.clone(), Some(batch.dispatched));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::TenantId;
+    use mtvc_graph::generators;
+
+    fn small_service(shapes: &[Task]) -> TaskService {
+        let graph = Arc::new(generators::power_law(300, 1400, 2.4, 11));
+        let mut cfg = ServiceConfig::new(SystemKind::PregelPlus, ClusterSpec::galaxy(4))
+            .with_workers(2)
+            .with_quantum(16)
+            .with_seed(0xC0FFEE);
+        cfg.training_workload = 64;
+        for &s in shapes {
+            cfg = cfg.with_shape(s);
+        }
+        TaskService::start(graph, cfg).expect("service starts")
+    }
+
+    #[test]
+    fn serves_a_mixed_stream_to_completion() {
+        let svc = small_service(&[Task::mssp(1), Task::bppr(1)]);
+        let mut tickets = Vec::new();
+        for i in 0..20u64 {
+            let tenant = TenantId((i % 3) as u32);
+            let task = if i % 2 == 0 {
+                Task::mssp(2)
+            } else {
+                Task::bppr(4)
+            };
+            tickets.push(svc.submit(TaskRequest::new(tenant, task)).unwrap());
+        }
+        for t in &tickets {
+            let c = t.wait();
+            assert!(c.outcome.is_served(), "{:?}", c.outcome);
+            assert!(c.latency >= c.queue_wait);
+        }
+        let report = svc.shutdown();
+        assert_eq!(report.served, 20);
+        assert_eq!(report.requests(), 20);
+        assert_eq!(report.overload_batches, 0);
+        assert_eq!(report.overflow_batches, 0);
+        assert!(report.batches >= 1);
+        assert_eq!(report.latency.count(), 20);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        let svc = small_service(&[Task::mssp(1)]);
+        let tickets: Vec<Ticket> = (0..10)
+            .map(|i| {
+                svc.submit(TaskRequest::new(TenantId(i % 2), Task::mssp(1)))
+                    .unwrap()
+            })
+            .collect();
+        let report = svc.shutdown();
+        assert_eq!(report.served, 10);
+        for t in tickets {
+            assert!(t.try_get().is_some());
+        }
+    }
+
+    #[test]
+    fn unsupported_shape_is_refused_at_submit() {
+        let svc = small_service(&[Task::mssp(1)]);
+        let err = svc
+            .submit(TaskRequest::new(TenantId(0), Task::bkhs(1)))
+            .unwrap_err();
+        assert_eq!(err, SubmitError::Unsupported);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_is_rejected_not_hung() {
+        let svc = small_service(&[Task::bppr(1)]);
+        // A single request far beyond any admissible batch.
+        let t = svc
+            .submit(TaskRequest::new(TenantId(0), Task::bppr(u64::MAX / 2)))
+            .unwrap();
+        let c = t.wait();
+        assert_eq!(c.outcome, RequestOutcome::Rejected);
+        let report = svc.shutdown();
+        assert_eq!(report.rejected, 1);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_fail_closed() {
+        let svc = small_service(&[Task::mssp(1)]);
+        svc.shared.queue.close();
+        let err = svc
+            .submit(TaskRequest::new(TenantId(0), Task::mssp(1)))
+            .unwrap_err();
+        assert_eq!(err, SubmitError::Closed);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn expired_requests_report_expired() {
+        let svc = small_service(&[Task::mssp(1)]);
+        // Deadline already passed relative to a backdated submission.
+        let t = svc
+            .submit(
+                TaskRequest::new(TenantId(0), Task::mssp(1)).with_deadline(Duration::from_nanos(1)),
+            )
+            .unwrap();
+        let c = t.wait();
+        // Either it expired in the queue, or the former dispatched it
+        // before the deadline check saw it — both are terminal.
+        assert!(matches!(
+            c.outcome,
+            RequestOutcome::Expired | RequestOutcome::Served { .. }
+        ));
+        svc.shutdown();
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the multi-tenant DRR queue: conservation under
+//! concurrent submit/drain, the deficit round-robin fairness bound, and
+//! backpressure at capacity.
+
+use mtvc_core::Task;
+use mtvc_serve::{DrrQueue, QueuedRequest, RequestId, SubmitError, TaskRequest, TenantId};
+use proptest::prelude::*;
+use std::thread;
+use std::time::Instant;
+
+fn unit_request(id: u64, tenant: u32, workload: u64) -> QueuedRequest {
+    QueuedRequest {
+        id: RequestId(id),
+        request: TaskRequest::new(TenantId(tenant), Task::mssp(workload)),
+        submitted: Instant::now(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every submitted request is drained exactly once, even with
+    /// several tenants submitting concurrently against a small queue
+    /// (so submitters block on backpressure mid-run).
+    #[test]
+    fn no_request_lost_or_duplicated(
+        per_tenant in proptest::collection::vec(1usize..40, 2..5),
+        capacity in 2usize..16,
+        quantum in 1u64..8,
+    ) {
+        let q = DrrQueue::new(capacity, quantum);
+        let total: usize = per_tenant.iter().sum();
+        let mut collected: Vec<u64> = Vec::with_capacity(total);
+        thread::scope(|s| {
+            for (t, &n) in per_tenant.iter().enumerate() {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..n {
+                        let id = (t as u64) * 1_000 + i as u64;
+                        q.submit_blocking(unit_request(id, t as u32, 1)).unwrap();
+                    }
+                });
+            }
+            while collected.len() < total {
+                if let Some(shape) = q.next_shape_blocking() {
+                    let round = q.take_batch(&shape, u64::MAX, Instant::now());
+                    collected.extend(round.taken.into_iter().map(|r| r.id.0));
+                }
+            }
+        });
+        prop_assert!(q.is_empty());
+        collected.sort_unstable();
+        let mut expected: Vec<u64> = per_tenant
+            .iter()
+            .enumerate()
+            .flat_map(|(t, &n)| (0..n as u64).map(move |i| (t as u64) * 1_000 + i))
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(collected, expected);
+    }
+
+    /// Two continuously backlogged tenants receive workload shares that
+    /// never diverge by more than one request's workload: per round each
+    /// is paid the same quantum, and at most one partial request's worth
+    /// of deficit (< max workload) stays banked.
+    #[test]
+    fn drr_fairness_bound(
+        quantum in 1u64..16,
+        rounds in 1usize..20,
+        seed_ws in proptest::collection::vec(1u64..4, 200),
+    ) {
+        let q = DrrQueue::new(4096, quantum);
+        let max_w = 3u64;
+        // Backlog each tenant beyond what `rounds` rounds can drain.
+        let need = quantum * rounds as u64 + 10;
+        for tenant in 0..2u32 {
+            let mut sum = 0;
+            for (id, &w) in (tenant as u64 * 10_000..).zip(seed_ws.iter().cycle()) {
+                if sum >= need {
+                    break;
+                }
+                q.try_submit(unit_request(id, tenant, w)).unwrap();
+                sum += w;
+            }
+        }
+        let mut served = [0u64; 2];
+        for _ in 0..rounds {
+            let round = q.take_batch(&Task::mssp(1), u64::MAX, Instant::now());
+            for r in round.taken {
+                served[r.request.tenant.0 as usize] += r.workload();
+            }
+        }
+        let diff = served[0].abs_diff(served[1]);
+        prop_assert!(
+            diff < max_w,
+            "served {:?} diverges by {} > {} after {} rounds (quantum {})",
+            served, diff, max_w, rounds, quantum
+        );
+    }
+
+    /// The queue admits exactly `capacity` requests, then refuses with
+    /// `Full` until a drain frees space; `len` tracks the difference
+    /// between submissions and drains throughout.
+    #[test]
+    fn backpressure_at_capacity(capacity in 1usize..32, refills in 1usize..5) {
+        let q = DrrQueue::new(capacity, 8);
+        let mut next_id = 0u64;
+        for _ in 0..refills {
+            while q.len() < capacity {
+                q.try_submit(unit_request(next_id, (next_id % 3) as u32, 1)).unwrap();
+                next_id += 1;
+            }
+            prop_assert_eq!(
+                q.try_submit(unit_request(next_id, 0, 1)).unwrap_err(),
+                SubmitError::Full
+            );
+            let drained = q
+                .take_batch(&Task::mssp(1), u64::MAX, Instant::now())
+                .taken
+                .len();
+            prop_assert!(drained >= 1);
+            prop_assert_eq!(q.len(), capacity - drained);
+        }
+    }
+}

@@ -133,9 +133,7 @@ impl SystemKind {
     /// graphs by edges").
     pub fn partitioner(self) -> Box<dyn Partitioner> {
         match self {
-            SystemKind::GraphLab | SystemKind::GraphLabAsync => {
-                Box::new(EdgeBalancedPartitioner)
-            }
+            SystemKind::GraphLab | SystemKind::GraphLabAsync => Box::new(EdgeBalancedPartitioner),
             _ => Box::new(HashPartitioner::default()),
         }
     }

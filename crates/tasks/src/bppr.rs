@@ -141,9 +141,7 @@ fn record_stop(
     count: u64,
     ctx: &mut Context<'_, WalkMsg>,
 ) {
-    let entry = state.stops.entry(source).or_insert_with(|| {
-        0
-    });
+    let entry = state.stops.entry(source).or_insert_with(|| 0);
     if *entry == 0 {
         // First stop of this source here: the counter entry is new
         // state (key + value).
@@ -412,7 +410,11 @@ impl PushEstimates {
         if self.walks_per_source == 0.0 {
             return 0.0;
         }
-        self.mass[target as usize].get(&source).copied().unwrap_or(0.0) / self.walks_per_source
+        self.mass[target as usize]
+            .get(&source)
+            .copied()
+            .unwrap_or(0.0)
+            / self.walks_per_source
     }
 
     /// Total walk mass absorbed (conservation check).

@@ -33,7 +33,9 @@ pub struct CcState {
 
 impl Default for CcState {
     fn default() -> Self {
-        CcState { label: VertexId::MAX }
+        CcState {
+            label: VertexId::MAX,
+        }
     }
 }
 

@@ -33,7 +33,7 @@ pub mod sampling {
 }
 
 pub use bkhs::{BkhsBroadcastProgram, BkhsProgram};
-pub use cc::ConnectedComponentsProgram;
 pub use bppr::{BpprProgram, BpprPushProgram, SourceSet};
+pub use cc::ConnectedComponentsProgram;
 pub use mssp::{MsspBroadcastProgram, MsspProgram};
 pub use pagerank::PageRankProgram;

@@ -6,9 +6,9 @@ use mtvc_engine::{EngineConfig, ExecutionMode, Runner, SystemProfile};
 use mtvc_graph::partition::HashPartitioner;
 use mtvc_graph::{generators, reference as gref, Graph, VertexId};
 use mtvc_metrics::SimTime;
+use mtvc_tasks::bkhs::BkhsCounts;
 use mtvc_tasks::bppr::{BpprEstimates, PushEstimates};
 use mtvc_tasks::mssp::MsspDistances;
-use mtvc_tasks::bkhs::BkhsCounts;
 use mtvc_tasks::{
     reference as tref, BkhsBroadcastProgram, BkhsProgram, BpprProgram, BpprPushProgram,
     MsspBroadcastProgram, MsspProgram, PageRankProgram, SourceSet,
@@ -16,7 +16,10 @@ use mtvc_tasks::{
 
 /// Roomy config: validation must never hit overload/overflow.
 fn roomy_config(machines: usize) -> EngineConfig {
-    let mut cfg = EngineConfig::new(ClusterSpec::galaxy(machines), SystemProfile::base("validate"));
+    let mut cfg = EngineConfig::new(
+        ClusterSpec::galaxy(machines),
+        SystemProfile::base("validate"),
+    );
     cfg.cutoff = SimTime::secs(1.0e12);
     cfg
 }
@@ -57,7 +60,9 @@ fn mssp_broadcast_matches_bfs_hops() {
     let g = generators::power_law(120, 500, 2.4, 7);
     let sources = vec![5, 60];
     let mut cfg = roomy_config(3);
-    cfg.profile.mode = ExecutionMode::Broadcast { mirror_threshold: 12 };
+    cfg.profile.mode = ExecutionMode::Broadcast {
+        mirror_threshold: 12,
+    };
     let runner = Runner::new(&g, &HashPartitioner::default(), cfg);
     let result = runner.run(&MsspBroadcastProgram::new(sources.clone()));
     assert!(result.outcome.is_completed());
@@ -96,7 +101,9 @@ fn bkhs_broadcast_agrees_with_p2p() {
     let k = 3;
     let p2p = run(&g, 3, &BkhsProgram::new(sources.clone(), k));
     let mut cfg = roomy_config(3);
-    cfg.profile.mode = ExecutionMode::Broadcast { mirror_threshold: 10 };
+    cfg.profile.mode = ExecutionMode::Broadcast {
+        mirror_threshold: 10,
+    };
     let runner = Runner::new(&g, &HashPartitioner::default(), cfg);
     let bc = runner.run(&BkhsBroadcastProgram::new(sources.clone(), k));
     assert!(bc.outcome.is_completed());
@@ -150,7 +157,9 @@ fn bppr_push_matches_exact_ppr_closely() {
         .with_sources(SourceSet::subset(vec![source]))
         .with_epsilon(0.01);
     let mut cfg = roomy_config(4);
-    cfg.profile.mode = ExecutionMode::Broadcast { mirror_threshold: 16 };
+    cfg.profile.mode = ExecutionMode::Broadcast {
+        mirror_threshold: 16,
+    };
     let runner = Runner::new(&g, &HashPartitioner::default(), cfg);
     let result = runner.run(&prog);
     assert!(result.outcome.is_completed());
@@ -176,10 +185,7 @@ fn pagerank_matches_power_iteration() {
     for v in g.vertices() {
         let got = states[v as usize].rank;
         let want = exact[v as usize];
-        assert!(
-            (got - want).abs() < 1e-9,
-            "vertex {v}: {got} vs {want}"
-        );
+        assert!((got - want).abs() < 1e-9, "vertex {v}: {got} vs {want}");
     }
 }
 

@@ -89,7 +89,13 @@ pub fn gauge_max_workload(
     let mut trials = Vec::new();
     let mut probe_time = SimTime::ZERO;
     let try_w = |w: u64, trials: &mut Vec<(u64, TrialVerdict)>, t: &mut SimTime| {
-        let (verdict, time) = classify(graph, task_shape.with_workload(w), system, cluster, seed ^ w);
+        let (verdict, time) = classify(
+            graph,
+            task_shape.with_workload(w),
+            system,
+            cluster,
+            seed ^ w,
+        );
         *t += time;
         trials.push((w, verdict));
         verdict
@@ -149,7 +155,14 @@ mod tests {
     #[test]
     fn gauge_finds_a_boundary() {
         let (g, cluster) = setup();
-        let r = gauge_max_workload(&g, Task::bppr(1), SystemKind::PregelPlus, &cluster, 1 << 20, 3);
+        let r = gauge_max_workload(
+            &g,
+            Task::bppr(1),
+            SystemKind::PregelPlus,
+            &cluster,
+            1 << 20,
+            3,
+        );
         assert!(r.max_healthy_workload >= 1);
         assert!(r.max_healthy_workload < 1 << 20, "boundary should exist");
         // The workload just confirmed healthy must classify healthy.
@@ -176,7 +189,14 @@ mod tests {
     #[test]
     fn trials_grow_logarithmically() {
         let (g, cluster) = setup();
-        let r = gauge_max_workload(&g, Task::bppr(1), SystemKind::PregelPlus, &cluster, 1 << 16, 7);
+        let r = gauge_max_workload(
+            &g,
+            Task::bppr(1),
+            SystemKind::PregelPlus,
+            &cluster,
+            1 << 16,
+            7,
+        );
         assert!(
             r.trials.len() <= 2 * 17,
             "too many trials: {}",

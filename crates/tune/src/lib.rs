@@ -22,12 +22,14 @@
 
 pub mod gauge;
 pub mod lma;
+pub mod online;
 pub mod schedule;
 pub mod training;
 pub mod tuner;
 
 pub use gauge::{gauge_max_workload, GaugeResult, TrialVerdict};
 pub use lma::{fit_exponential, ExpFit, FitError};
+pub use online::OnlineMemoryModel;
 pub use schedule::{compute_schedule, MemoryModel, ScheduleError};
 pub use training::{train, TrainingData};
 pub use tuner::{tune, TunedSchedule, TunerConfig};

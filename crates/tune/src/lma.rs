@@ -173,9 +173,9 @@ pub fn fit_exponential(xs: &[f64], ys: &[f64], seed: u64) -> Result<ExpFit, FitE
         return Err(FitError::BadInput);
     }
 
-    let (x_min, x_max) = xs
-        .iter()
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+    let (x_min, x_max) = xs.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &x| {
+        (lo.min(x), hi.max(x))
+    });
     let (y_min, y_max) = ys
         .iter()
         .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &y| {
@@ -197,9 +197,7 @@ pub fn fit_exponential(xs: &[f64], ys: &[f64], seed: u64) -> Result<ExpFit, FitE
         };
         let c0 = y_min - a0 * x_min.powf(b0);
         let fit = lm_descent(xs, ys, a0, b0, c0);
-        if fit.sse.is_finite()
-            && best.map(|b| fit.sse < b.sse).unwrap_or(true)
-        {
+        if fit.sse.is_finite() && best.map(|b| fit.sse < b.sse).unwrap_or(true) {
             best = Some(fit);
         }
     }

@@ -1,0 +1,224 @@
+//! Online refresh of the §5 memory model for serving workloads.
+//!
+//! The offline tuner fits `M*` / `M_r*` once from the training probes
+//! and replays the schedule it derives. A *serving* deployment keeps
+//! admitting batches long after training, and every completed batch is
+//! a fresh measurement of both curves at a real operating point. This
+//! module maintains the fitted [`MemoryModel`] together with a bounded
+//! window of such observations and periodically refits, so the
+//! admission controller tracks drift (cache warm-up, residual-encoding
+//! efficiency, graph mutations) instead of trusting a stale probe fit.
+
+use crate::lma::{fit_exponential, FitError};
+use crate::schedule::MemoryModel;
+use crate::training::TrainingData;
+
+/// A [`MemoryModel`] that refits itself from observed per-batch peaks.
+///
+/// Training points act as permanent anchors (they cover the small-`W`
+/// regime online traffic rarely revisits); observations are kept in a
+/// bounded sliding window so the fit follows the live operating range.
+#[derive(Debug, Clone)]
+pub struct OnlineMemoryModel {
+    model: MemoryModel,
+    // Anchor points from the offline training phase.
+    base_w: Vec<f64>,
+    base_peak: Vec<f64>,
+    base_resid: Vec<f64>,
+    // Sliding window of online observations.
+    obs_w: Vec<f64>,
+    obs_peak: Vec<f64>,
+    obs_accum: Vec<f64>,
+    obs_resid: Vec<f64>,
+    window: usize,
+    refit_every: usize,
+    since_refit: usize,
+    refits: u64,
+    seed: u64,
+}
+
+impl OnlineMemoryModel {
+    /// Observations kept in the sliding window by default.
+    pub const DEFAULT_WINDOW: usize = 64;
+    /// Observations between refits by default.
+    pub const DEFAULT_REFIT_EVERY: usize = 8;
+
+    /// Fit the initial model from offline training data (§5 "Training"
+    /// + LMA fitting), keeping the probes as anchor points.
+    pub fn fit(training: &TrainingData, seed: u64) -> Result<OnlineMemoryModel, FitError> {
+        let peak = fit_exponential(&training.workloads, &training.peak_memory, seed)?;
+        let residual = fit_exponential(&training.workloads, &training.residual, seed ^ 0xF17)?;
+        Ok(OnlineMemoryModel {
+            model: MemoryModel { peak, residual },
+            base_w: training.workloads.clone(),
+            base_peak: training.peak_memory.clone(),
+            base_resid: training.residual.clone(),
+            obs_w: Vec::new(),
+            obs_peak: Vec::new(),
+            obs_accum: Vec::new(),
+            obs_resid: Vec::new(),
+            window: Self::DEFAULT_WINDOW,
+            refit_every: Self::DEFAULT_REFIT_EVERY,
+            since_refit: 0,
+            refits: 0,
+            seed,
+        })
+    }
+
+    /// Override the observation window length (≥ 1).
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window >= 1);
+        self.window = window;
+        self
+    }
+
+    /// Override the refit cadence (≥ 1 observations between refits).
+    pub fn with_refit_every(mut self, every: usize) -> Self {
+        assert!(every >= 1);
+        self.refit_every = every;
+        self
+    }
+
+    /// The current fitted model.
+    pub fn model(&self) -> &MemoryModel {
+        &self.model
+    }
+
+    /// Number of successful online refits so far.
+    pub fn refits(&self) -> u64 {
+        self.refits
+    }
+
+    /// Number of online observations currently in the window.
+    pub fn observations(&self) -> usize {
+        self.obs_w.len()
+    }
+
+    /// Record one completed batch: `batch_workload` units peaked at
+    /// `observed_peak` bytes on the most loaded machine, and the
+    /// accumulated (unflushed) workload `accum_workload` left
+    /// `observed_residual` bytes on the most loaded machine. Refits
+    /// after every [`Self::with_refit_every`] observations; a refit
+    /// that fails to converge keeps the previous model (the fitter sees
+    /// strictly more data next time).
+    pub fn observe(
+        &mut self,
+        batch_workload: u64,
+        observed_peak: f64,
+        accum_workload: u64,
+        observed_residual: f64,
+    ) {
+        if self.obs_w.len() == self.window {
+            self.obs_w.remove(0);
+            self.obs_peak.remove(0);
+            self.obs_accum.remove(0);
+            self.obs_resid.remove(0);
+        }
+        self.obs_w.push(batch_workload as f64);
+        self.obs_peak.push(observed_peak);
+        self.obs_accum.push(accum_workload.max(1) as f64);
+        self.obs_resid.push(observed_residual);
+        self.since_refit += 1;
+        if self.since_refit >= self.refit_every {
+            self.since_refit = 0;
+            self.refit();
+        }
+    }
+
+    /// Refit both curves from anchors + window; keeps the old model on
+    /// fitter failure or a degenerate (non-increasing) peak curve.
+    fn refit(&mut self) {
+        let xs_peak: Vec<f64> = self.base_w.iter().chain(&self.obs_w).copied().collect();
+        let ys_peak: Vec<f64> = self
+            .base_peak
+            .iter()
+            .chain(&self.obs_peak)
+            .copied()
+            .collect();
+        let xs_res: Vec<f64> = self.base_w.iter().chain(&self.obs_accum).copied().collect();
+        let ys_res: Vec<f64> = self
+            .base_resid
+            .iter()
+            .chain(&self.obs_resid)
+            .copied()
+            .collect();
+        let seed = self.seed ^ self.refits.wrapping_mul(0x9E37_79B9);
+        let peak = fit_exponential(&xs_peak, &ys_peak, seed);
+        let residual = fit_exponential(&xs_res, &ys_res, seed ^ 0xF17);
+        if let (Ok(peak), Ok(residual)) = (peak, residual) {
+            // A memory curve must grow with workload; a fit that does
+            // not (noisy observations can produce one) would make the
+            // admission inversion meaningless, so keep the old model.
+            if peak.a > 0.0 && peak.b > 0.0 && residual.a >= 0.0 {
+                self.model = MemoryModel { peak, residual };
+                self.refits += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn training(slope: f64) -> TrainingData {
+        let workloads: Vec<f64> = (1..=5).map(|r| (1u64 << r) as f64).collect();
+        TrainingData {
+            peak_memory: workloads.iter().map(|w| slope * w + 100.0).collect(),
+            residual: workloads.iter().map(|w| 0.5 * slope * w + 10.0).collect(),
+            workloads,
+            training_time: Default::default(),
+        }
+    }
+
+    #[test]
+    fn initial_fit_matches_training_curve() {
+        let m = OnlineMemoryModel::fit(&training(3.0), 1).unwrap();
+        let y = m.model().peak.eval(64.0);
+        assert!((y - (3.0 * 64.0 + 100.0)).abs() < 0.05 * y, "{y}");
+    }
+
+    #[test]
+    fn observations_drive_refit_toward_new_regime() {
+        let mut m = OnlineMemoryModel::fit(&training(3.0), 2)
+            .unwrap()
+            .with_refit_every(4);
+        // Live traffic reveals a steeper curve at large W.
+        for i in 0..16u64 {
+            let w = 512 + i * 64;
+            m.observe(w, 6.0 * w as f64 + 100.0, w, 3.0 * w as f64 + 10.0);
+        }
+        assert!(m.refits() >= 1, "no refit happened");
+        let before = 3.0 * 1024.0 + 100.0;
+        let after = m.model().peak.eval(1024.0);
+        // The refit model predicts markedly more than the stale fit.
+        assert!(
+            after > 1.3 * before,
+            "refit ignored drift: {after} vs {before}"
+        );
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut m = OnlineMemoryModel::fit(&training(2.0), 3)
+            .unwrap()
+            .with_window(8)
+            .with_refit_every(1000); // never refit; only test the window
+        for i in 0..100u64 {
+            m.observe(10 + i, 1000.0, 10 + i, 100.0);
+        }
+        assert_eq!(m.observations(), 8);
+    }
+
+    #[test]
+    fn failed_refit_keeps_previous_model() {
+        let mut m = OnlineMemoryModel::fit(&training(3.0), 4)
+            .unwrap()
+            .with_refit_every(1);
+        let before = m.model().peak.eval(100.0);
+        // Pathological observation (non-finite) cannot produce a fit.
+        m.observe(100, f64::NAN, 100, f64::NAN);
+        let after = m.model().peak.eval(100.0);
+        assert_eq!(before, after);
+    }
+}

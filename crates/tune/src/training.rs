@@ -134,7 +134,11 @@ mod tests {
         assert!(data.training_time > SimTime::ZERO);
         // Peak memory grows with workload.
         for w in data.peak_memory.windows(2) {
-            assert!(w[1] >= w[0] * 0.9, "memory curve not growing: {:?}", data.peak_memory);
+            assert!(
+                w[1] >= w[0] * 0.9,
+                "memory curve not growing: {:?}",
+                data.peak_memory
+            );
         }
         // Residual grows with workload too (more walks stored).
         assert!(data.residual.last().unwrap() > data.residual.first().unwrap());

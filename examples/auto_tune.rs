@@ -46,7 +46,12 @@ fn main() {
     // Execute both schemes.
     let optimized = run_job(
         &graph,
-        &JobSpec::new(task, SystemKind::PregelPlus, cluster.clone(), tuned.schedule.clone()),
+        &JobSpec::new(
+            task,
+            SystemKind::PregelPlus,
+            cluster.clone(),
+            tuned.schedule.clone(),
+        ),
     );
     let full = run_job(
         &graph,

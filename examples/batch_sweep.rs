@@ -20,7 +20,13 @@ fn main() {
 
     let mut table = Table::new(
         "running time vs #batches (BPPR, DBLP-like, Galaxy-8, Pregel+)",
-        &["workload", "batches", "time", "congestion (msgs/round)", "peak memory"],
+        &[
+            "workload",
+            "batches",
+            "time",
+            "congestion (msgs/round)",
+            "peak memory",
+        ],
     );
     for workload in [1024u64, 10240, 12288] {
         let task = Task::bppr(workload);

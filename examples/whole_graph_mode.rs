@@ -21,7 +21,13 @@ fn main() {
 
     let mut table = Table::new(
         "default (partitioned) vs whole-graph (replicated) mode",
-        &["batches", "default mode", "whole-graph algorithm", "aggregation", "whole-graph total"],
+        &[
+            "batches",
+            "default mode",
+            "whole-graph algorithm",
+            "aggregation",
+            "whole-graph total",
+        ],
     );
     for batches in [1usize, 2, 4, 8] {
         let default_mode = run_job(

@@ -1,0 +1,164 @@
+//! Offline stand-in for `criterion` with the API subset this workspace
+//! uses: [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery it runs a short
+//! calibration pass and reports the mean wall-clock time per iteration
+//! — enough to compare hot paths locally while staying dependency-free.
+//! See `shims/README.md` for why the workspace vendors shims.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted, not used to batch
+/// — every iteration re-runs setup, matching `PerIteration`).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup before every iteration.
+    PerIteration,
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter*`.
+    mean_ns: f64,
+    iters: u64,
+}
+
+const TARGET: Duration = Duration::from_millis(300);
+
+impl Bencher {
+    /// Time `routine` repeatedly and record the mean.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Calibrate: grow the iteration count until the measurement
+        // window is long enough to trust.
+        let mut n = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET || n >= 1 << 24 {
+                self.mean_ns = elapsed.as_nanos() as f64 / n as f64;
+                self.iters = n;
+                return;
+            }
+            n = (n * 4).max(4);
+        }
+    }
+
+    /// Time `routine` with a fresh `setup()` input per iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut n = 1u64;
+        loop {
+            let mut busy = Duration::ZERO;
+            for _ in 0..n {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                busy += start.elapsed();
+            }
+            if busy >= TARGET || n >= 1 << 20 {
+                self.mean_ns = busy.as_nanos() as f64 / n as f64;
+                self.iters = n;
+                return;
+            }
+            n = (n * 4).max(4);
+        }
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility; the shim ignores sampling config.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores sampling config.
+    pub fn measurement_time(self, _d: std::time::Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores sampling config.
+    pub fn warm_up_time(self, _d: std::time::Duration) -> Self {
+        self
+    }
+
+    /// Run one named benchmark and print its mean time.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        let (value, unit) = if b.mean_ns >= 1e9 {
+            (b.mean_ns / 1e9, "s")
+        } else if b.mean_ns >= 1e6 {
+            (b.mean_ns / 1e6, "ms")
+        } else if b.mean_ns >= 1e3 {
+            (b.mean_ns / 1e3, "µs")
+        } else {
+            (b.mean_ns, "ns")
+        };
+        println!("{id:<40} {value:>10.3} {unit}/iter  ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Define a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_prints() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::PerIteration)
+        });
+    }
+}

@@ -1,0 +1,7 @@
+//! Offline stand-in for the `crossbeam` 0.8 API subset this workspace
+//! uses: [`thread::scope`] (over `std::thread::scope`) and the MPMC
+//! [`channel`] module (over a mutex-protected deque). See
+//! `shims/README.md` for why the workspace vendors shims.
+
+pub mod channel;
+pub mod thread;

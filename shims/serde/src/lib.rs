@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its value types
+//! but never serializes through a data format crate (no `serde_json`
+//! etc. in the dependency tree), so the traits can be pure markers and
+//! the derives can expand to nothing. Blanket impls keep any
+//! `T: Serialize` bound satisfied. See `shims/README.md` for why the
+//! workspace vendors shims at all.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+// The no-op derive macros live beside the traits, exactly as the real
+// crate arranges it with the `derive` feature: `serde::Serialize` names
+// both the trait and the derive macro.
+pub use serde_derive::{Deserialize, Serialize};

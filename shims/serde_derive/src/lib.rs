@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde shim.
+//!
+//! The shim's traits are blanket-implemented for every type, so the
+//! derive has nothing to generate; it only has to exist (and accept the
+//! `#[serde(...)]` helper attribute) for `#[derive(Serialize)]` sites
+//! to compile.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing — `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing — `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

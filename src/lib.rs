@@ -9,6 +9,7 @@ pub use mtvc_core as multitask;
 pub use mtvc_engine as engine;
 pub use mtvc_graph as graph;
 pub use mtvc_metrics as metrics;
+pub use mtvc_serve as serve;
 pub use mtvc_systems as systems;
 pub use mtvc_tasks as tasks;
 pub use mtvc_tune as tune;

@@ -26,6 +26,7 @@ fn tiny_engine(machines: usize) -> EngineConfig {
 #[test]
 fn task_result_extractors_compose() {
     let g = generators::power_law(120, 500, 2.4, 101);
+    assert_eq!(HashPartitioner::default().name(), "hash");
     let runner = Runner::new(&g, &HashPartitioner::default(), tiny_engine(3));
 
     // BPPR estimates.
@@ -46,11 +47,17 @@ fn task_result_extractors_compose() {
     // BKHS counts.
     let bkhs = runner.run(&BkhsProgram::new(vec![5], 2));
     let counts = BkhsCounts::from_states(&bkhs.states);
-    assert!(counts.count(0) >= 1 + g.degree(5) as u64);
+    assert!(counts.count(0) > g.degree(5) as u64);
 
     // Connected components + PageRank run through the same runner.
-    assert!(runner.run(&ConnectedComponentsProgram).outcome.is_completed());
-    assert!(runner.run(&PageRankProgram::default()).outcome.is_completed());
+    assert!(runner
+        .run(&ConnectedComponentsProgram)
+        .outcome
+        .is_completed());
+    assert!(runner
+        .run(&PageRankProgram::default())
+        .outcome
+        .is_completed());
 }
 
 #[test]
@@ -86,7 +93,12 @@ fn dataset_presets_compose_with_jobs() {
     let task = Task::mssp(8);
     let r = run_job(
         &g,
-        &JobSpec::new(task, SystemKind::GraphLab, cluster, BatchSchedule::equal(8, 2)),
+        &JobSpec::new(
+            task,
+            SystemKind::GraphLab,
+            cluster,
+            BatchSchedule::equal(8, 2),
+        ),
     );
     assert!(r.outcome.is_completed());
 }
@@ -95,7 +107,14 @@ fn dataset_presets_compose_with_jobs() {
 fn gauge_and_tuner_share_vocabulary() {
     let g = Dataset::Dblp.generate(2048);
     let cluster = ClusterSpec::galaxy(2).scaled(2048.0);
-    let gauge = gauge_max_workload(&g, Task::bppr(1), SystemKind::PregelPlus, &cluster, 1 << 15, 9);
+    let gauge = gauge_max_workload(
+        &g,
+        Task::bppr(1),
+        SystemKind::PregelPlus,
+        &cluster,
+        1 << 15,
+        9,
+    );
     assert!(gauge.max_healthy_workload >= 1);
     assert!(gauge
         .trials

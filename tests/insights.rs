@@ -20,14 +20,24 @@ fn dblp_small() -> (mtvc::graph::Graph, f64) {
 fn round_congestion_tradeoff_is_real() {
     let (g, sigma) = dblp_small();
     let cluster = ClusterSpec::galaxy8().scaled(sigma);
-    let points = batch_sweep(&g, Task::bppr(512), SystemKind::PregelPlus, &cluster, &[1, 4], 1);
+    let points = batch_sweep(
+        &g,
+        Task::bppr(512),
+        SystemKind::PregelPlus,
+        &cluster,
+        &[1, 4],
+        1,
+    );
     let one = &points[0].result.stats;
     let four = &points[1].result.stats;
     // Same work, more rounds, less congestion.
     assert!(four.rounds > one.rounds);
     assert!(four.congestion() < one.congestion());
     let ratio = one.total_messages_sent as f64 / four.total_messages_sent as f64;
-    assert!((0.9..1.1).contains(&ratio), "total messages should match: {ratio}");
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "total messages should match: {ratio}"
+    );
 }
 
 #[test]
@@ -71,7 +81,12 @@ fn async_loses_heavy_multiprocessing_but_wins_light_single_task() {
         let task = Task::bppr(2048);
         run_job(
             &g,
-            &JobSpec::new(task, kind, cluster.clone(), BatchSchedule::full_parallelism(2048)),
+            &JobSpec::new(
+                task,
+                kind,
+                cluster.clone(),
+                BatchSchedule::full_parallelism(2048),
+            ),
         )
         .plot_time()
         .as_secs()
@@ -130,7 +145,12 @@ fn mirroring_reduces_network_traffic_for_broadcast_tasks() {
     let run = |kind: SystemKind| {
         run_job(
             &g,
-            &JobSpec::new(task, kind, cluster.clone(), BatchSchedule::full_parallelism(64)),
+            &JobSpec::new(
+                task,
+                kind,
+                cluster.clone(),
+                BatchSchedule::full_parallelism(64),
+            ),
         )
     };
     // Pregel+(mirror) uses the broadcast BKHS; compare its network
@@ -170,7 +190,11 @@ fn unequal_batches_optimum_has_heavier_first_batch() {
                 .unwrap()
         })
         .unwrap();
-    assert!(best.delta >= 0, "best delta {} should favour batch 1", best.delta);
+    assert!(
+        best.delta >= 0,
+        "best delta {} should favour batch 1",
+        best.delta
+    );
 }
 
 #[test]
@@ -187,7 +211,11 @@ fn tuned_schedule_completes_where_full_parallelism_fails() {
             BatchSchedule::full_parallelism(task.workload()),
         ),
     );
-    assert!(!fp.outcome.is_completed(), "setting should break FP: {:?}", fp.outcome);
+    assert!(
+        !fp.outcome.is_completed(),
+        "setting should break FP: {:?}",
+        fp.outcome
+    );
 
     let tuned = tune(
         &g,
@@ -199,7 +227,12 @@ fn tuned_schedule_completes_where_full_parallelism_fails() {
     .expect("tuning should succeed");
     let opt = run_job(
         &g,
-        &JobSpec::new(task, SystemKind::PregelPlus, cluster, tuned.schedule.clone()),
+        &JobSpec::new(
+            task,
+            SystemKind::PregelPlus,
+            cluster,
+            tuned.schedule.clone(),
+        ),
     );
     assert!(
         opt.outcome.is_completed(),
@@ -217,14 +250,22 @@ fn all_seven_systems_run_all_three_tasks() {
     for kind in SystemKind::ALL {
         let cluster = ClusterSpec::galaxy(4).scaled(sigma);
         for task in [Task::bppr(32), Task::mssp(16), Task::bkhs(16)] {
-            let spec = JobSpec::new(task, kind, cluster.clone(), BatchSchedule::equal(task.workload(), 2));
+            let spec = JobSpec::new(
+                task,
+                kind,
+                cluster.clone(),
+                BatchSchedule::equal(task.workload(), 2),
+            );
             let r = run_job(&g, &spec);
             assert!(
                 r.outcome.is_completed(),
                 "{kind} failed {task}: {:?}",
                 r.outcome
             );
-            assert!(r.stats.total_messages_sent > 0, "{kind} sent no messages for {task}");
+            assert!(
+                r.stats.total_messages_sent > 0,
+                "{kind} sent no messages for {task}"
+            );
         }
     }
 }
@@ -236,7 +277,12 @@ fn monetary_cost_is_time_times_rate() {
     let task = Task::bppr(256);
     let r = run_job(
         &g,
-        &JobSpec::new(task, SystemKind::PregelPlus, cluster.clone(), BatchSchedule::equal(256, 2)),
+        &JobSpec::new(
+            task,
+            SystemKind::PregelPlus,
+            cluster.clone(),
+            BatchSchedule::equal(256, 2),
+        ),
     );
     let expected =
         r.outcome.plot_time().as_secs() * cluster.machine.credit_rate * cluster.machines as f64;
