@@ -30,6 +30,9 @@ pub struct JobSpec {
     pub seed: u64,
     /// Whole-job time cutoff (the paper's 6000 s).
     pub cutoff: SimTime,
+    /// Override for the engine's parallel cutover
+    /// ([`mtvc_engine::PARALLEL_VERTEX_THRESHOLD`] when `None`).
+    pub parallel_vertex_threshold: Option<usize>,
 }
 
 impl JobSpec {
@@ -46,11 +49,19 @@ impl JobSpec {
             schedule,
             seed: 0x0B57,
             cutoff: OVERLOAD_CUTOFF,
+            parallel_vertex_threshold: None,
         }
     }
 
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Override the vertex count at which batches execute on the
+    /// engine's persistent worker pool.
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_vertex_threshold = Some(threshold);
         self
     }
 }
@@ -125,6 +136,9 @@ pub fn run_job(graph: &Graph, spec: &JobSpec) -> JobResult {
         cfg.seed = spec.seed.wrapping_add(i as u64 + 1);
         cfg.cutoff = spec.cutoff - elapsed;
         cfg.residual_bytes = residual.clone();
+        if let Some(t) = spec.parallel_vertex_threshold {
+            cfg.parallel_vertex_threshold = t;
+        }
 
         let batch_sources: &[VertexId] = match spec.task {
             Task::Bppr { .. } => &[],
@@ -219,6 +233,7 @@ pub struct BatchRunner {
     system: SystemKind,
     cluster: ClusterSpec,
     task: Task,
+    parallel_vertex_threshold: Option<usize>,
 }
 
 impl BatchRunner {
@@ -235,7 +250,15 @@ impl BatchRunner {
             system,
             cluster,
             task,
+            parallel_vertex_threshold: None,
         }
+    }
+
+    /// Override the vertex count at which batches execute on the
+    /// engine's persistent worker pool.
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_vertex_threshold = Some(threshold);
+        self
     }
 
     /// Number of machines batches run on.
@@ -290,6 +313,9 @@ impl BatchRunner {
         cfg.seed = seed;
         cfg.cutoff = cutoff;
         cfg.residual_bytes = residual.to_vec();
+        if let Some(t) = self.parallel_vertex_threshold {
+            cfg.parallel_vertex_threshold = t;
+        }
         let run = run_one_batch(
             &self.graph,
             self.partition.clone(),
@@ -554,6 +580,30 @@ mod tests {
             ClusterSpec::galaxy(4),
         );
         runner.run_batch(4, &[], &[0; 4], 1, OVERLOAD_CUTOFF);
+    }
+
+    #[test]
+    fn parallel_threshold_does_not_change_results() {
+        let g = small_graph();
+        let serial = run_job(&g, &spec(Task::bppr(16), 2));
+        let mut s = spec(Task::bppr(16), 2);
+        s = s.with_parallel_threshold(1); // force the pooled pipeline
+        let pooled = run_job(&g, &s);
+        assert_eq!(
+            serial.stats.total_messages_sent,
+            pooled.stats.total_messages_sent
+        );
+        assert_eq!(serial.plot_time(), pooled.plot_time());
+
+        let runner = BatchRunner::new(
+            Arc::new(small_graph()),
+            Task::bppr(8),
+            SystemKind::PregelPlus,
+            ClusterSpec::galaxy(4),
+        )
+        .with_parallel_threshold(1);
+        let e = runner.run_batch(8, &[], &[0; 4], 7, OVERLOAD_CUTOFF);
+        assert!(e.outcome.is_completed());
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 pub mod message;
 pub mod mirror;
+pub mod pool;
 pub mod profile;
 pub mod program;
 pub mod router;
@@ -29,6 +30,8 @@ pub mod sampling;
 
 pub use message::{Envelope, Message};
 pub use mirror::MirrorIndex;
+pub use pool::WorkerPool;
 pub use profile::{ExecutionMode, OocConfig, SyncMode, SystemProfile};
-pub use program::{Context, VertexProgram};
-pub use runner::{EngineConfig, RunResult, Runner};
+pub use program::{Context, Outbox, VertexProgram};
+pub use router::{route, RouteGrid, RoutingStats};
+pub use runner::{EngineConfig, RunResult, Runner, PARALLEL_VERTEX_THRESHOLD};

@@ -48,6 +48,19 @@ impl<M> Envelope<M> {
     }
 }
 
+impl<M: Message> Envelope<M> {
+    /// Combining sort tag: `(dest, key-is-None, key)`. Computed once
+    /// per envelope and cached by the router's combine stage, so the
+    /// sort comparator never re-invokes [`Message::combine_key`].
+    /// Unkeyed envelopes (`None`) order strictly after every keyed
+    /// envelope of the same destination — a `Some(u64::MAX)` key can
+    /// never interleave with them.
+    pub(crate) fn sort_tag(&self) -> (VertexId, bool, u64) {
+        let key = self.msg.combine_key();
+        (self.dest, key.is_none(), key.unwrap_or(0))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,6 +80,23 @@ mod tests {
     #[test]
     fn unit_message_never_combines() {
         assert_eq!(().combine_key(), None);
+    }
+
+    #[test]
+    fn sort_tag_orders_unkeyed_after_all_keys() {
+        #[derive(Clone, Debug)]
+        struct K(Option<u64>);
+        impl Message for K {
+            fn combine_key(&self) -> Option<u64> {
+                self.0
+            }
+            fn merge(&mut self, _o: &Self) {}
+        }
+        let max = Envelope::new(3, K(Some(u64::MAX)), 1);
+        let none = Envelope::new(3, K(None), 1);
+        let zero = Envelope::new(3, K(Some(0)), 1);
+        assert!(zero.sort_tag() < max.sort_tag());
+        assert!(max.sort_tag() < none.sort_tag());
     }
 
     #[test]

@@ -65,6 +65,15 @@ impl MirrorIndex {
         self.mirror_workers[v as usize].as_deref().unwrap_or(&[])
     }
 
+    /// Single-lookup combination of [`is_mirrored`](Self::is_mirrored)
+    /// and [`workers`](Self::workers) for the routing hot path:
+    /// `Some(remote mirror workers)` if `v` is mirrored (possibly empty
+    /// when every neighbor is local), `None` for per-neighbor wire
+    /// accounting.
+    pub fn fanout(&self, v: VertexId) -> Option<&[WorkerId]> {
+        self.mirror_workers[v as usize].as_deref()
+    }
+
     /// Wire messages a broadcast from `v` costs on the network:
     /// mirrored ⇒ one per remote mirror worker; not mirrored ⇒ one per
     /// remote neighbor (computed by the router instead — this returns
@@ -116,6 +125,23 @@ mod tests {
         let idx = MirrorIndex::build(&g, &p, 10);
         assert_eq!(idx.broadcast_wire_count(7), None);
         assert!(idx.workers(7).is_empty());
+        assert_eq!(idx.fanout(7), None);
+    }
+
+    #[test]
+    fn fanout_matches_is_mirrored_and_workers() {
+        let g = generators::star(40);
+        let p = RangePartitioner.partition(&g, 4);
+        let idx = MirrorIndex::build(&g, &p, 10);
+        for v in g.vertices() {
+            match idx.fanout(v) {
+                Some(ws) => {
+                    assert!(idx.is_mirrored(v));
+                    assert_eq!(ws, idx.workers(v));
+                }
+                None => assert!(!idx.is_mirrored(v)),
+            }
+        }
     }
 
     #[test]

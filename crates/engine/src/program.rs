@@ -4,9 +4,17 @@ use crate::message::{Envelope, Message};
 use mtvc_graph::{Graph, VertexId};
 use rand::rngs::SmallRng;
 
-/// Per-worker send buffer, reused across compute calls.
-#[derive(Debug, Default)]
-pub(crate) struct Outbox<M> {
+/// Per-worker send buffer, reused across compute calls *and* across
+/// rounds: the routing pipeline drains `sends`/`broadcasts` in place,
+/// so the vectors keep their capacity and a steady-state round
+/// performs no outbox allocation.
+///
+/// Public so benches and property tests can drive
+/// [`route`](crate::router::route) / [`RouteGrid`](crate::RouteGrid)
+/// with synthetic traffic; vertex programs never see an `Outbox`
+/// directly — they go through [`Context`].
+#[derive(Debug, Default, Clone)]
+pub struct Outbox<M> {
     /// Point-to-point envelopes.
     pub sends: Vec<Envelope<M>>,
     /// Broadcast payloads: (origin vertex, payload, per-neighbor
@@ -25,8 +33,7 @@ impl<M> Outbox<M> {
         }
     }
 
-    /// Reset for reuse across rounds.
-    #[cfg(test)]
+    /// Reset for reuse across rounds; capacity is retained.
     pub fn clear(&mut self) {
         self.sends.clear();
         self.broadcasts.clear();

@@ -1,12 +1,35 @@
 //! Message routing: outboxes → inboxes, with combining, broadcast
 //! expansion, mirroring-aware wire accounting, and per-worker traffic
 //! statistics.
+//!
+//! Routing runs as a two-stage **shard-then-merge** pipeline:
+//!
+//! 1. **Shard** — each *source* worker buckets its outbox into one
+//!    [`Shard`] per destination worker (broadcast expansion and
+//!    mirror-prepaid accounting happen here). Shards of different
+//!    sources are independent, so this stage parallelizes over source
+//!    workers.
+//! 2. **Merge** — each *destination* worker folds its column of shards
+//!    (in source order) into its inbox, applying the combiner per
+//!    shard and measuring the pair's traffic as a [`PairFlow`]. Columns
+//!    of different destinations are independent, so this stage
+//!    parallelizes over destination workers.
+//!
+//! [`RoutingStats`] is then a pure reduction over the per-pair flows,
+//! which makes the parallel path *bit-identical* to the serial
+//! reference [`route`] — same inbox contents in the same order, same
+//! statistics — regardless of thread scheduling. [`RouteGrid`] owns the
+//! shard matrix and recycles every envelope buffer across rounds, so a
+//! steady-state round performs no envelope-`Vec` allocations: each
+//! shard's capacity is exactly what the previous round's traffic on
+//! that (source → destination) pair needed.
 
 use crate::message::{Envelope, Message};
 use crate::mirror::MirrorIndex;
+use crate::pool::WorkerPool;
 use crate::program::Outbox;
 use mtvc_graph::partition::Partition;
-use mtvc_graph::Graph;
+use mtvc_graph::{Graph, VertexId};
 
 /// Traffic measured while routing one round's messages.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -50,13 +73,195 @@ impl RoutingStats {
         }
     }
 
+    /// Zero every counter in place (capacity retained).
+    fn reset(&mut self) {
+        self.sent_wire = 0;
+        self.delivered_tuples = 0;
+        self.local_bytes = 0;
+        for v in [
+            &mut self.in_wire,
+            &mut self.in_tuples,
+            &mut self.net_out_bytes,
+            &mut self.net_in_bytes,
+            &mut self.out_buffer_bytes,
+            &mut self.in_buffer_bytes,
+        ] {
+            v.iter_mut().for_each(|x| *x = 0);
+        }
+    }
+
     /// Total wire messages delivered (= sent; nothing is dropped).
     pub fn delivered_wire(&self) -> u64 {
         self.in_wire.iter().sum()
     }
 }
 
-/// Route all outboxes into per-worker inboxes.
+/// Traffic of one (source worker → destination worker) pair for one
+/// round; folding every pair's flow yields the round's
+/// [`RoutingStats`].
+#[derive(Debug, Clone, Copy, Default)]
+struct PairFlow {
+    buffer_bytes: u64,
+    net_bytes: u64,
+    local_bytes: u64,
+    wire: u64,
+    tuples: u64,
+}
+
+/// Messages from one source worker bound for one destination worker,
+/// plus the mirror-prepaid wire accounting for the pair.
+#[derive(Debug)]
+pub struct Shard<M> {
+    bucket: Vec<Envelope<M>>,
+    /// Bytes already paid on the wire for this pair (mirrored
+    /// broadcasts pay per mirror-worker, not per envelope).
+    prepaid_net: u64,
+    /// Wire messages whose network cost is prepaid (count NOT to be
+    /// charged per-envelope).
+    prepaid_wire: u64,
+}
+
+impl<M> Default for Shard<M> {
+    fn default() -> Self {
+        Shard {
+            bucket: Vec::new(),
+            prepaid_net: 0,
+            prepaid_wire: 0,
+        }
+    }
+}
+
+/// Reusable scratch for [`combine_bucket`]: envelopes paired with their
+/// sort tag so `combine_key()` is computed exactly once per envelope
+/// instead of `O(n log n)` times inside the sort comparator.
+#[derive(Debug)]
+pub struct CombineScratch<M> {
+    keyed: Vec<((VertexId, bool, u64), Envelope<M>)>,
+}
+
+impl<M> Default for CombineScratch<M> {
+    fn default() -> Self {
+        CombineScratch { keyed: Vec::new() }
+    }
+}
+
+/// Stage 1: drain `outbox` into one shard per destination worker.
+/// Returns the wire messages produced by this source. Send/broadcast
+/// capacity of the outbox is retained for the next round.
+fn shard_outbox<M: Message>(
+    src_worker: usize,
+    outbox: &mut Outbox<M>,
+    graph: &Graph,
+    part: &Partition,
+    mirrors: Option<&MirrorIndex>,
+    msg_bytes: u64,
+    shards: &mut [Shard<M>],
+) -> u64 {
+    let mut sent_wire = 0u64;
+    for env in outbox.sends.drain(..) {
+        sent_wire += env.mult;
+        let dw = part.owner_of(env.dest) as usize;
+        shards[dw].bucket.push(env);
+    }
+
+    for (origin, msg, mult) in outbox.broadcasts.drain(..) {
+        let degree = graph.degree(origin) as u64;
+        sent_wire += degree * mult;
+        match mirrors.and_then(|m| m.fanout(origin)) {
+            Some(mirror_workers) => {
+                // One wire transfer per remote mirror worker replaces
+                // the per-neighbor wire cost of all remote fan-outs.
+                for &mw in mirror_workers {
+                    shards[mw as usize].prepaid_net += msg_bytes * mult;
+                }
+                for &t in graph.neighbors(origin) {
+                    let dw = part.owner_of(t) as usize;
+                    if dw != src_worker {
+                        shards[dw].prepaid_wire += mult;
+                    }
+                    shards[dw].bucket.push(Envelope::new(t, msg.clone(), mult));
+                }
+            }
+            None => {
+                // Unmirrored broadcast: ordinary per-neighbor sends.
+                for &t in graph.neighbors(origin) {
+                    shards[part.owner_of(t) as usize].bucket.push(Envelope::new(
+                        t,
+                        msg.clone(),
+                        mult,
+                    ));
+                }
+            }
+        }
+    }
+    sent_wire
+}
+
+/// Stage 2: fold one shard into its destination's inbox, optionally
+/// combining first, and measure the pair's traffic.
+///
+/// Mirrored-broadcast envelopes must not ALSO pay per-envelope network
+/// bytes: the shard tracks how many wire messages were prepaid, and the
+/// remainder of the bucket pays normally. Envelopes from `sends` and
+/// unmirrored broadcasts are never prepaid.
+fn merge_shard<M: Message>(
+    src_worker: usize,
+    dest_worker: usize,
+    shard: &mut Shard<M>,
+    combine: bool,
+    msg_bytes: u64,
+    scratch: &mut CombineScratch<M>,
+    inbox: &mut Vec<Envelope<M>>,
+) -> PairFlow {
+    let prepaid_net = std::mem::take(&mut shard.prepaid_net);
+    let prepaid_wire = std::mem::take(&mut shard.prepaid_wire);
+    let bucket = &mut shard.bucket;
+    let mut flow = PairFlow::default();
+    if bucket.is_empty() && prepaid_net == 0 {
+        return flow;
+    }
+    if combine {
+        combine_bucket_keyed(bucket, scratch);
+    }
+    let tuples = bucket.len() as u64;
+    let wire: u64 = bucket.iter().map(|e| e.mult).sum();
+    // Bytes on the wire: combining systems transmit tuples,
+    // non-combining systems transmit every wire message.
+    let payload_units = if combine { tuples } else { wire };
+    let buffer_bytes = payload_units * msg_bytes;
+    flow.buffer_bytes = buffer_bytes;
+    flow.wire = wire;
+    flow.tuples = tuples;
+    if dest_worker != src_worker {
+        // Replace the prepaid portion: those wire messages crossed as
+        // mirror transfers already counted.
+        let prepaid_units = prepaid_wire.min(payload_units);
+        flow.net_bytes = buffer_bytes.saturating_sub(prepaid_units * msg_bytes) + prepaid_net;
+    } else {
+        flow.local_bytes = buffer_bytes;
+    }
+    // `append` drains the bucket but retains its capacity — the shard
+    // is pre-sized for the next round by this round's traffic.
+    inbox.append(bucket);
+    flow
+}
+
+/// Fold one pair's flow into the round statistics.
+fn apply_flow(stats: &mut RoutingStats, src: usize, dst: usize, flow: &PairFlow) {
+    stats.out_buffer_bytes[src] += flow.buffer_bytes;
+    stats.in_buffer_bytes[dst] += flow.buffer_bytes;
+    stats.net_out_bytes[src] += flow.net_bytes;
+    stats.net_in_bytes[dst] += flow.net_bytes;
+    stats.local_bytes += flow.local_bytes;
+    stats.in_wire[dst] += flow.wire;
+    stats.in_tuples[dst] += flow.tuples;
+    stats.delivered_tuples += flow.tuples;
+}
+
+/// Route all outboxes into per-worker inboxes — the serial reference
+/// implementation of the shard-then-merge pipeline. [`RouteGrid`] is
+/// the buffer-recycling, pool-dispatching equivalent the engine uses;
+/// both produce bit-identical inboxes and statistics.
 ///
 /// * `mirrors`: `Some` in broadcast (Pregel+(mirror)) mode — mirrored
 ///   vertices pay one wire message per remote mirror worker instead of
@@ -65,8 +270,8 @@ impl RoutingStats {
 ///   each (source worker → dest worker) bucket before "transmission",
 ///   the way sender-side Pregel combiners work.
 /// * `msg_bytes`: wire size of one message.
-pub(crate) fn route<M: Message>(
-    outboxes: Vec<Outbox<M>>,
+pub fn route<M: Message>(
+    mut outboxes: Vec<Outbox<M>>,
     graph: &Graph,
     part: &Partition,
     mirrors: Option<&MirrorIndex>,
@@ -76,108 +281,240 @@ pub(crate) fn route<M: Message>(
     let workers = part.num_workers();
     let mut stats = RoutingStats::new(workers);
     let mut inboxes: Vec<Vec<Envelope<M>>> = (0..workers).map(|_| Vec::new()).collect();
+    let mut shards: Vec<Shard<M>> = (0..workers).map(|_| Shard::default()).collect();
+    let mut scratch = CombineScratch::default();
 
-    for (src_worker, outbox) in outboxes.into_iter().enumerate() {
-        // Bucket this worker's traffic by destination worker.
-        let mut buckets: Vec<Vec<Envelope<M>>> = (0..workers).map(|_| Vec::new()).collect();
-        // Bytes already paid on the wire per dest worker (mirrored
-        // broadcasts pay per mirror-worker, not per envelope).
-        let mut prepaid_net: Vec<u64> = vec![0; workers];
-        // Envelopes whose wire cost is prepaid (count of wire messages
-        // NOT to be charged per-envelope), per dest worker.
-        let mut prepaid_wire: Vec<u64> = vec![0; workers];
-
-        for env in outbox.sends {
-            stats.sent_wire += env.mult;
-            let dw = part.owner_of(env.dest) as usize;
-            buckets[dw].push(env);
-        }
-
-        for (origin, msg, mult) in outbox.broadcasts {
-            let degree = graph.degree(origin) as u64;
-            stats.sent_wire += degree * mult;
-            let mirrored = mirrors.map(|m| m.is_mirrored(origin)).unwrap_or(false);
-            if mirrored {
-                // One wire transfer per remote mirror worker replaces
-                // the per-neighbor wire cost of all remote fan-outs.
-                for &mw in mirrors.unwrap().workers(origin) {
-                    prepaid_net[mw as usize] += msg_bytes * mult;
-                }
-                for &t in graph.neighbors(origin) {
-                    let dw = part.owner_of(t) as usize;
-                    if dw != src_worker {
-                        prepaid_wire[dw] += mult;
-                    }
-                    buckets[dw].push(Envelope::new(t, msg.clone(), mult));
-                }
-            } else {
-                // Unmirrored broadcast: ordinary per-neighbor sends.
-                for &t in graph.neighbors(origin) {
-                    buckets[part.owner_of(t) as usize].push(Envelope::new(t, msg.clone(), mult));
-                }
-            }
-        }
-
-        // Mirrored-broadcast envelopes must not ALSO pay per-envelope
-        // network bytes. We track, per dest worker, how many wire
-        // messages were prepaid; the remainder of the bucket pays
-        // normally. Envelopes from `sends` and unmirrored broadcasts
-        // are never prepaid.
-        for (dw, mut bucket) in buckets.into_iter().enumerate() {
-            if bucket.is_empty() && prepaid_net[dw] == 0 {
-                continue;
-            }
-            if combine {
-                combine_bucket(&mut bucket);
-            }
-            let tuples = bucket.len() as u64;
-            let wire: u64 = bucket.iter().map(|e| e.mult).sum();
-            // Bytes on the wire: combining systems transmit tuples,
-            // non-combining systems transmit every wire message.
-            let payload_units = if combine { tuples } else { wire };
-            let buffer_bytes = payload_units * msg_bytes;
-            stats.out_buffer_bytes[src_worker] += buffer_bytes;
-            stats.in_buffer_bytes[dw] += buffer_bytes;
-            let mut bytes = buffer_bytes;
-            if dw != src_worker {
-                // Replace the prepaid portion: those wire messages
-                // crossed as mirror transfers already counted.
-                let prepaid_units = prepaid_wire[dw].min(payload_units);
-                bytes = bytes.saturating_sub(prepaid_units * msg_bytes) + prepaid_net[dw];
-                stats.net_out_bytes[src_worker] += bytes;
-                stats.net_in_bytes[dw] += bytes;
-            } else {
-                stats.local_bytes += bytes;
-            }
-            stats.in_wire[dw] += wire;
-            stats.in_tuples[dw] += tuples;
-            stats.delivered_tuples += tuples;
-            inboxes[dw].append(&mut bucket);
+    for (src_worker, outbox) in outboxes.iter_mut().enumerate() {
+        stats.sent_wire += shard_outbox(
+            src_worker,
+            outbox,
+            graph,
+            part,
+            mirrors,
+            msg_bytes,
+            &mut shards,
+        );
+        for (dw, shard) in shards.iter_mut().enumerate() {
+            let flow = merge_shard(
+                src_worker,
+                dw,
+                shard,
+                combine,
+                msg_bytes,
+                &mut scratch,
+                &mut inboxes[dw],
+            );
+            apply_flow(&mut stats, src_worker, dw, &flow);
         }
     }
     (inboxes, stats)
 }
 
-/// Merge envelopes with equal `(dest, combine_key)`; multiplicities sum.
-/// Envelopes with `combine_key() == None` are kept verbatim.
-fn combine_bucket<M: Message>(bucket: &mut Vec<Envelope<M>>) {
+/// Persistent state of the two-stage routing pipeline: the
+/// workers×workers shard matrix, per-pair flow cells, and per-worker
+/// combine scratch. Owned for the duration of one run and reused every
+/// round, so steady-state routing allocates nothing.
+pub struct RouteGrid<M> {
+    workers: usize,
+    /// Row-major shards, `rows[src][dst]` — the layout stage 1 writes.
+    rows: Vec<Vec<Shard<M>>>,
+    /// Column-major shards, `cols[dst][src]` — the layout stage 2
+    /// reads. Shards shuttle between the two layouts via O(workers²)
+    /// `Vec`-header moves per round; their heap buffers never move.
+    cols: Vec<Vec<Shard<M>>>,
+    /// Flow cells, `flows[dst * workers + src]`, written by stage 2 in
+    /// disjoint per-destination chunks.
+    flows: Vec<PairFlow>,
+    /// Per-source wire messages produced, written by stage 1.
+    sent: Vec<u64>,
+    /// Per-destination combine scratch.
+    scratch: Vec<CombineScratch<M>>,
+    stats: RoutingStats,
+}
+
+impl<M: Message> RouteGrid<M> {
+    /// Build an empty grid for `workers` logical workers.
+    pub fn new(workers: usize) -> RouteGrid<M> {
+        assert!(workers >= 1);
+        RouteGrid {
+            workers,
+            rows: (0..workers)
+                .map(|_| (0..workers).map(|_| Shard::default()).collect())
+                .collect(),
+            cols: (0..workers)
+                .map(|_| (0..workers).map(|_| Shard::default()).collect())
+                .collect(),
+            flows: vec![PairFlow::default(); workers * workers],
+            sent: vec![0; workers],
+            scratch: (0..workers).map(|_| CombineScratch::default()).collect(),
+            stats: RoutingStats::new(workers),
+        }
+    }
+
+    /// Route one round of traffic: drain `outboxes` into `inboxes`
+    /// (which must arrive empty; capacity is reused) and return the
+    /// round's statistics. With `pool: Some`, the shard stage fans out
+    /// over source workers and the merge stage over destination
+    /// workers, each job pinned to its worker's pool thread; with
+    /// `None`, both stages run inline. Results are identical either
+    /// way, and bit-identical to [`route`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn route_round(
+        &mut self,
+        pool: Option<&WorkerPool>,
+        outboxes: &mut [Outbox<M>],
+        inboxes: &mut [Vec<Envelope<M>>],
+        graph: &Graph,
+        part: &Partition,
+        mirrors: Option<&MirrorIndex>,
+        combine: bool,
+        msg_bytes: u64,
+    ) -> &RoutingStats {
+        let workers = self.workers;
+        assert_eq!(outboxes.len(), workers, "one outbox per worker");
+        assert_eq!(inboxes.len(), workers, "one inbox per worker");
+        debug_assert!(inboxes.iter().all(|i| i.is_empty()));
+
+        // ---- stage 1: shard, parallel over source workers ----------
+        // Lane assignment is `worker % pool.workers()`: normally the
+        // pool is partition-sized and this is the identity, but it also
+        // keeps a smaller pool (fewer cores than workers) correct.
+        match pool {
+            Some(pool) => pool.scope(|s| {
+                let lanes = pool.workers();
+                for (src, ((outbox, row), sent)) in outboxes
+                    .iter_mut()
+                    .zip(self.rows.iter_mut())
+                    .zip(self.sent.iter_mut())
+                    .enumerate()
+                {
+                    s.run_on(src % lanes, move || {
+                        *sent = shard_outbox(src, outbox, graph, part, mirrors, msg_bytes, row);
+                    });
+                }
+            }),
+            None => {
+                for (src, ((outbox, row), sent)) in outboxes
+                    .iter_mut()
+                    .zip(self.rows.iter_mut())
+                    .zip(self.sent.iter_mut())
+                    .enumerate()
+                {
+                    *sent = shard_outbox(src, outbox, graph, part, mirrors, msg_bytes, row);
+                }
+            }
+        }
+
+        // ---- transpose: hand each destination its shard column -----
+        for (src, row) in self.rows.iter_mut().enumerate() {
+            for (dst, shard) in row.iter_mut().enumerate() {
+                self.cols[dst][src] = std::mem::take(shard);
+            }
+        }
+
+        // ---- stage 2: merge, parallel over destination workers -----
+        match pool {
+            Some(pool) => pool.scope(|s| {
+                let lanes = pool.workers();
+                for (dst, (((col, inbox), flows), scratch)) in self
+                    .cols
+                    .iter_mut()
+                    .zip(inboxes.iter_mut())
+                    .zip(self.flows.chunks_mut(workers))
+                    .zip(self.scratch.iter_mut())
+                    .enumerate()
+                {
+                    s.run_on(dst % lanes, move || {
+                        for (src, shard) in col.iter_mut().enumerate() {
+                            flows[src] =
+                                merge_shard(src, dst, shard, combine, msg_bytes, scratch, inbox);
+                        }
+                    });
+                }
+            }),
+            None => {
+                for (dst, (((col, inbox), flows), scratch)) in self
+                    .cols
+                    .iter_mut()
+                    .zip(inboxes.iter_mut())
+                    .zip(self.flows.chunks_mut(workers))
+                    .zip(self.scratch.iter_mut())
+                    .enumerate()
+                {
+                    for (src, shard) in col.iter_mut().enumerate() {
+                        flows[src] =
+                            merge_shard(src, dst, shard, combine, msg_bytes, scratch, inbox);
+                    }
+                }
+            }
+        }
+
+        // ---- transpose back: return drained shards (and their
+        // capacity) to the stage-1 layout for the next round ---------
+        for (dst, col) in self.cols.iter_mut().enumerate() {
+            for (src, shard) in col.iter_mut().enumerate() {
+                self.rows[src][dst] = std::mem::take(shard);
+            }
+        }
+
+        // ---- reduction: fold per-pair flows into round stats -------
+        self.stats.reset();
+        self.stats.sent_wire = self.sent.iter().sum();
+        for src in 0..workers {
+            for dst in 0..workers {
+                let flow = self.flows[dst * workers + src];
+                apply_flow(&mut self.stats, src, dst, &flow);
+            }
+        }
+        &self.stats
+    }
+}
+
+impl<M> std::fmt::Debug for RouteGrid<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouteGrid")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+/// Merge envelopes with equal `(dest, combine_key)`; multiplicities
+/// sum. Envelopes with `combine_key() == None` are kept verbatim — they
+/// sort *after* every keyed envelope of the same destination, so a
+/// `Some(u64::MAX)` key can never interleave with (and be split by)
+/// unkeyed envelopes. Keys are computed once per envelope into the
+/// scratch buffer, not re-derived inside the sort comparator.
+fn combine_bucket_keyed<M: Message>(
+    bucket: &mut Vec<Envelope<M>>,
+    scratch: &mut CombineScratch<M>,
+) {
     if bucket.len() < 2 {
         return;
     }
-    bucket.sort_by_key(|e| (e.dest, e.msg.combine_key().unwrap_or(u64::MAX)));
-    let mut out: Vec<Envelope<M>> = Vec::with_capacity(bucket.len());
-    for env in bucket.drain(..) {
-        match (out.last_mut(), env.msg.combine_key()) {
-            (Some(last), Some(key))
-                if last.dest == env.dest && last.msg.combine_key() == Some(key) =>
-            {
-                last.msg.merge(&env.msg);
-                last.mult += env.mult;
-            }
-            _ => out.push(env),
+    scratch.keyed.clear();
+    scratch
+        .keyed
+        .extend(bucket.drain(..).map(|e| (e.sort_tag(), e)));
+    // Stable: envelopes with equal tags keep arrival order, so merge
+    // order (and thus non-commutative `merge` results) is deterministic.
+    scratch.keyed.sort_by_key(|a| a.0);
+    let mut last_key: Option<(VertexId, u64)> = None;
+    for ((dest, uncombinable, key), env) in scratch.keyed.drain(..) {
+        if !uncombinable && last_key == Some((dest, key)) {
+            let last = bucket.last_mut().expect("merge target exists");
+            last.msg.merge(&env.msg);
+            last.mult += env.mult;
+        } else {
+            last_key = (!uncombinable).then_some((dest, key));
+            bucket.push(env);
         }
     }
-    *bucket = out;
+}
+
+/// [`combine_bucket_keyed`] with owned scratch, for tests.
+#[cfg(test)]
+fn combine_bucket<M: Message>(bucket: &mut Vec<Envelope<M>>) {
+    combine_bucket_keyed(bucket, &mut CombineScratch::default());
 }
 
 #[cfg(test)]
@@ -318,6 +655,35 @@ mod tests {
     }
 
     #[test]
+    fn combine_bucket_max_key_does_not_interleave_with_unkeyed() {
+        // Messages whose combine key is Some(u64::MAX) must all merge
+        // even when unkeyed envelopes arrive between them. The old
+        // comparator mapped both to u64::MAX and interleaved them.
+        #[derive(Clone, Debug, PartialEq)]
+        struct MaybeKey(Option<u64>);
+        impl Message for MaybeKey {
+            fn combine_key(&self) -> Option<u64> {
+                self.0
+            }
+            fn merge(&mut self, _o: &Self) {}
+        }
+        let mut bucket = vec![
+            Envelope::new(1, MaybeKey(Some(u64::MAX)), 1),
+            Envelope::new(1, MaybeKey(None), 1),
+            Envelope::new(1, MaybeKey(Some(u64::MAX)), 1),
+            Envelope::new(1, MaybeKey(None), 1),
+            Envelope::new(1, MaybeKey(Some(u64::MAX)), 1),
+        ];
+        combine_bucket(&mut bucket);
+        // 1 merged MAX-keyed envelope (mult 3) + 2 unkeyed kept verbatim.
+        assert_eq!(bucket.len(), 3);
+        let max_keyed: Vec<&Envelope<MaybeKey>> =
+            bucket.iter().filter(|e| e.msg.0.is_some()).collect();
+        assert_eq!(max_keyed.len(), 1);
+        assert_eq!(max_keyed[0].mult, 3);
+    }
+
+    #[test]
     fn deterministic_routing_order() {
         let (g, p) = two_worker_setup();
         let make = || {
@@ -331,5 +697,61 @@ mod tests {
         let (a, _) = make();
         let (b, _) = make();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grid_matches_serial_route_with_and_without_pool() {
+        let g = generators::star(17);
+        let p = RangePartitioner.partition(&g, 4);
+        let idx = MirrorIndex::build(&g, &p, 4);
+        let make_outboxes = || {
+            let mut ob0: Outbox<Src> = Outbox::new();
+            ob0.broadcasts.push((0, Src(0), 1));
+            ob0.sends.push(Envelope::new(16, Src(9), 2));
+            ob0.sends.push(Envelope::new(16, Src(9), 3));
+            let mut obs = vec![ob0];
+            obs.extend((1..4).map(|_| Outbox::new()));
+            obs
+        };
+        for combine in [false, true] {
+            let (want_in, want_stats) = route(make_outboxes(), &g, &p, Some(&idx), combine, 16);
+            for pooled in [false, true] {
+                let pool = pooled.then(|| WorkerPool::new(4));
+                let mut grid: RouteGrid<Src> = RouteGrid::new(4);
+                let mut outboxes = make_outboxes();
+                let mut inboxes: Vec<Vec<Envelope<Src>>> = vec![Vec::new(); 4];
+                let stats = grid.route_round(
+                    pool.as_ref(),
+                    &mut outboxes,
+                    &mut inboxes,
+                    &g,
+                    &p,
+                    Some(&idx),
+                    combine,
+                    16,
+                );
+                assert_eq!(stats, &want_stats, "combine={combine} pooled={pooled}");
+                assert_eq!(inboxes, want_in, "combine={combine} pooled={pooled}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_reuses_buffers_across_rounds() {
+        let (g, p) = two_worker_setup();
+        let mut grid: RouteGrid<Src> = RouteGrid::new(2);
+        let mut inboxes: Vec<Vec<Envelope<Src>>> = vec![Vec::new(); 2];
+        for round in 0..3 {
+            let mut obs: Vec<Outbox<Src>> = vec![Outbox::new(), Outbox::new()];
+            for d in 0..8u32 {
+                obs[0].sends.push(Envelope::new(d, Src(d), 1));
+            }
+            let stats = grid.route_round(None, &mut obs, &mut inboxes, &g, &p, None, false, 8);
+            assert_eq!(stats.sent_wire, 8, "round {round}");
+            assert!(obs.iter().all(|o| o.sends.is_empty()), "outboxes drained");
+            let delivered: usize = inboxes.iter().map(|i| i.len()).sum();
+            assert_eq!(delivered, 8);
+            inboxes.iter_mut().for_each(|i| i.clear());
+        }
     }
 }

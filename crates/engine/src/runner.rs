@@ -6,12 +6,21 @@
 //! states and messages are actually computed, so task outputs can be
 //! validated — while time, memory pressure, spill, and overuse are
 //! simulated (DESIGN.md §4).
+//!
+//! Large runs execute on a persistent [`WorkerPool`] owned by the
+//! runner: one long-lived thread per partition worker, onto which both
+//! the compute phase and the two routing stages are dispatched each
+//! round. No thread is ever spawned inside the round loop, and the
+//! round buffers (inboxes, outboxes, routing shards) are recycled
+//! across rounds, so a steady-state round is allocation-free on the
+//! envelope path.
 
 use crate::message::Envelope;
 use crate::mirror::MirrorIndex;
+use crate::pool::WorkerPool;
 use crate::profile::{ExecutionMode, SyncMode, SystemProfile};
 use crate::program::{Context, Outbox, VertexProgram};
-use crate::router::{route, RoutingStats};
+use crate::router::{RouteGrid, RoutingStats};
 use mtvc_cluster::{ChargeError, ClusterSpec, CostModel, RoundDemand};
 use mtvc_graph::hash::mix64;
 use mtvc_graph::partition::{Partition, Partitioner};
@@ -20,9 +29,11 @@ use mtvc_metrics::{Bytes, RoundStats, RunOutcome, RunStats, SimTime, OVERLOAD_CU
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-/// Vertex count below which the per-round thread fan-out costs more
-/// than it saves; small graphs run workers sequentially.
-const PARALLEL_VERTEX_THRESHOLD: usize = 65_536;
+/// Default vertex count below which the thread fan-out costs more than
+/// it saves; smaller graphs run workers sequentially on the calling
+/// thread. Configurable per run via
+/// [`EngineConfig::parallel_vertex_threshold`].
+pub const PARALLEL_VERTEX_THRESHOLD: usize = 65_536;
 
 /// Everything needed to execute one run.
 #[derive(Debug, Clone)]
@@ -39,6 +50,12 @@ pub struct EngineConfig {
     /// Residual memory per worker left behind by earlier batches
     /// (§4.5/§4.7); empty = zeros.
     pub residual_bytes: Vec<u64>,
+    /// Vertex count at which (with more than one worker) the runner
+    /// builds its persistent [`WorkerPool`] and executes the compute
+    /// and routing phases in parallel. `0` forces the pool on, and
+    /// `usize::MAX` forces the serial path — benches sweep this
+    /// cutover.
+    pub parallel_vertex_threshold: usize,
 }
 
 impl EngineConfig {
@@ -51,7 +68,14 @@ impl EngineConfig {
             max_rounds: 10_000,
             cutoff: OVERLOAD_CUTOFF,
             residual_bytes: Vec::new(),
+            parallel_vertex_threshold: PARALLEL_VERTEX_THRESHOLD,
         }
+    }
+
+    /// Set the parallel cutover ([`EngineConfig::parallel_vertex_threshold`]).
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_vertex_threshold = threshold;
+        self
     }
 }
 
@@ -77,6 +101,9 @@ pub struct Runner<'g> {
     local_index: Vec<u32>,
     /// Adjacency bytes per worker (resident unless streamed).
     graph_bytes: Vec<u64>,
+    /// Persistent worker threads, present iff the run qualifies for
+    /// parallel execution. Spawned once here — never per round.
+    pool: Option<WorkerPool>,
 }
 
 impl<'g> Runner<'g> {
@@ -130,6 +157,9 @@ impl<'g> Runner<'g> {
                     .sum()
             })
             .collect();
+        let pool = (partition.num_workers() > 1
+            && graph.num_vertices() >= config.parallel_vertex_threshold)
+            .then(|| WorkerPool::new(partition.num_workers()));
         Runner {
             graph,
             partition,
@@ -138,6 +168,7 @@ impl<'g> Runner<'g> {
             worker_vertices,
             local_index,
             graph_bytes,
+            pool,
         }
     }
 
@@ -147,6 +178,13 @@ impl<'g> Runner<'g> {
 
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The persistent worker pool, if this run qualifies for parallel
+    /// execution (more than one worker and a graph at or above
+    /// [`EngineConfig::parallel_vertex_threshold`]).
+    pub fn pool(&self) -> Option<&WorkerPool> {
+        self.pool.as_ref()
     }
 
     /// Execute `program` to completion (quiescence, fixed round bound,
@@ -172,8 +210,14 @@ impl<'g> Runner<'g> {
 
         let mut stats = RunStats::new();
         let mut total = SimTime::ZERO;
+        // Round buffers, all recycled across rounds: the compute phase
+        // drains the inboxes in place, the shard stage drains the
+        // outboxes in place, and the merge stage refills the inboxes —
+        // every Vec keeps the capacity last round's traffic shaped.
         let mut inboxes: Vec<Vec<Envelope<P::Message>>> =
             (0..workers).map(|_| Vec::new()).collect();
+        let mut outboxes: Vec<Outbox<P::Message>> = (0..workers).map(|_| Outbox::new()).collect();
+        let mut grid: RouteGrid<P::Message> = RouteGrid::new(workers);
         // Delivered-message statistics of the previous routing step:
         // those messages are processed (and their buffers are resident)
         // in the *current* round.
@@ -200,9 +244,8 @@ impl<'g> Runner<'g> {
             }
 
             // ---- compute phase -------------------------------------
-            let taken: Vec<Vec<Envelope<P::Message>>> =
-                std::mem::replace(&mut inboxes, (0..workers).map(|_| Vec::new()).collect());
-            let (outboxes, active) = self.compute_phase(program, round, taken, &mut states);
+            let active =
+                self.compute_phase(program, round, &mut inboxes, &mut outboxes, &mut states);
 
             // Persist state growth before pricing the round: the new
             // state is resident while the round runs.
@@ -211,8 +254,10 @@ impl<'g> Runner<'g> {
             }
 
             // ---- routing phase -------------------------------------
-            let (new_inboxes, routing) = route(
-                outboxes,
+            let routing = grid.route_round(
+                self.pool.as_ref(),
+                &mut outboxes,
+                &mut inboxes,
                 self.graph,
                 &self.partition,
                 self.mirrors.as_ref(),
@@ -227,7 +272,7 @@ impl<'g> Runner<'g> {
                 &prev_in_wire,
                 &prev_in_tuples,
                 &prev_in_bytes,
-                &routing,
+                routing,
                 &state_bytes,
                 msg_bytes,
                 async_mode,
@@ -293,7 +338,6 @@ impl<'g> Runner<'g> {
             prev_in_wire.copy_from_slice(&routing.in_wire);
             prev_in_tuples.copy_from_slice(&routing.in_tuples);
             prev_in_bytes.copy_from_slice(&routing.in_buffer_bytes);
-            inboxes = new_inboxes;
             round += 1;
         }
 
@@ -306,79 +350,72 @@ impl<'g> Runner<'g> {
         }
     }
 
-    /// Run every worker's compute for one round; returns per-worker
-    /// outboxes and active-vertex counts.
+    /// Run every worker's compute for one round, draining each inbox
+    /// into its worker's outbox; returns per-worker active-vertex
+    /// counts. With a pool, worker `w` always executes on pool thread
+    /// `w`.
     fn compute_phase<P: VertexProgram>(
         &self,
         program: &P,
         round: usize,
-        inboxes: Vec<Vec<Envelope<P::Message>>>,
+        inboxes: &mut [Vec<Envelope<P::Message>>],
+        outboxes: &mut [Outbox<P::Message>],
         states: &mut [Vec<P::State>],
-    ) -> (Vec<Outbox<P::Message>>, Vec<u64>) {
-        let parallel = self.partition.num_workers() > 1
-            && self.graph.num_vertices() >= PARALLEL_VERTEX_THRESHOLD;
-        if parallel {
-            let mut results: Vec<Option<(Outbox<P::Message>, u64)>> =
-                (0..states.len()).map(|_| None).collect();
-            crossbeam::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (((w, inbox), worker_states), slot) in inboxes
-                    .into_iter()
-                    .enumerate()
+    ) -> Vec<u64> {
+        let seed = self.config.seed;
+        let mut active = vec![0u64; states.len()];
+        match &self.pool {
+            Some(pool) => {
+                pool.scope(|s| {
+                    for (w, (((inbox, outbox), worker_states), slot)) in inboxes
+                        .iter_mut()
+                        .zip(outboxes.iter_mut())
+                        .zip(states.iter_mut())
+                        .zip(active.iter_mut())
+                        .enumerate()
+                    {
+                        let graph = self.graph;
+                        let vertices = &self.worker_vertices[w];
+                        let local_index = &self.local_index;
+                        s.run_on(w, move || {
+                            *slot = worker_pass(
+                                program,
+                                graph,
+                                round,
+                                seed,
+                                vertices,
+                                local_index,
+                                inbox,
+                                outbox,
+                                worker_states,
+                            );
+                        });
+                    }
+                });
+            }
+            None => {
+                for (w, (((inbox, outbox), worker_states), slot)) in inboxes
+                    .iter_mut()
+                    .zip(outboxes.iter_mut())
                     .zip(states.iter_mut())
-                    .zip(results.iter_mut())
+                    .zip(active.iter_mut())
+                    .enumerate()
                 {
-                    let graph = self.graph;
-                    let vertices = &self.worker_vertices[w];
-                    let local_index = &self.local_index;
-                    let seed = self.config.seed;
-                    handles.push(scope.spawn(move |_| {
-                        *slot = Some(worker_pass(
-                            program,
-                            graph,
-                            round,
-                            seed,
-                            vertices,
-                            local_index,
-                            inbox,
-                            worker_states,
-                        ));
-                    }));
+                    *slot = worker_pass(
+                        program,
+                        self.graph,
+                        round,
+                        seed,
+                        &self.worker_vertices[w],
+                        &self.local_index,
+                        inbox,
+                        outbox,
+                        worker_states,
+                    );
                 }
-                for h in handles {
-                    h.join().expect("worker thread panicked");
-                }
-            })
-            .expect("compute scope failed");
-            let mut outboxes = Vec::with_capacity(results.len());
-            let mut active = Vec::with_capacity(results.len());
-            for r in results {
-                let (ob, a) = r.expect("worker produced no result");
-                outboxes.push(ob);
-                active.push(a);
             }
-            (outboxes, active)
-        } else {
-            let mut outboxes = Vec::with_capacity(states.len());
-            let mut active = Vec::with_capacity(states.len());
-            for ((w, inbox), worker_states) in
-                inboxes.into_iter().enumerate().zip(states.iter_mut())
-            {
-                let (ob, a) = worker_pass(
-                    program,
-                    self.graph,
-                    round,
-                    self.config.seed,
-                    &self.worker_vertices[w],
-                    &self.local_index,
-                    inbox,
-                    worker_states,
-                );
-                outboxes.push(ob);
-                active.push(a);
-            }
-            (outboxes, active)
         }
+        active
     }
 
     /// Build the [`RoundDemand`] for the cost model from this round's
@@ -458,7 +495,9 @@ impl<'g> Runner<'g> {
     }
 }
 
-/// Execute one worker's share of a round.
+/// Execute one worker's share of a round. The inbox is consumed and
+/// cleared in place (capacity retained for the next routing round);
+/// the outbox is cleared and refilled.
 #[allow(clippy::too_many_arguments)]
 fn worker_pass<P: VertexProgram>(
     program: &P,
@@ -467,15 +506,16 @@ fn worker_pass<P: VertexProgram>(
     seed: u64,
     vertices: &[VertexId],
     local_index: &[u32],
-    inbox: Vec<Envelope<P::Message>>,
+    inbox: &mut Vec<Envelope<P::Message>>,
+    outbox: &mut Outbox<P::Message>,
     states: &mut [P::State],
-) -> (Outbox<P::Message>, u64) {
-    let mut outbox = Outbox::new();
+) -> u64 {
+    outbox.clear();
     let mut active = 0u64;
     if round == 0 {
         for &v in vertices {
             let mut rng = vertex_rng(seed, round, v);
-            let mut ctx = Context::new(v, round, graph, &mut rng, &mut outbox);
+            let mut ctx = Context::new(v, round, graph, &mut rng, outbox);
             program.init(v, &mut states[local_index[v as usize] as usize], &mut ctx);
         }
         active = vertices.len() as u64;
@@ -486,7 +526,7 @@ fn worker_pass<P: VertexProgram>(
         // than a comparison sort at congestion-level message volumes.
         let nloc = states.len();
         let mut counts = vec![0u32; nloc + 1];
-        for e in &inbox {
+        for e in inbox.iter() {
             counts[local_index[e.dest as usize] as usize + 1] += 1;
         }
         for i in 1..=nloc {
@@ -515,7 +555,7 @@ fn worker_pass<P: VertexProgram>(
             }
             active += 1;
             let mut rng = vertex_rng(seed, round, dest);
-            let mut ctx = Context::new(dest, round, graph, &mut rng, &mut outbox);
+            let mut ctx = Context::new(dest, round, graph, &mut rng, outbox);
             program.compute(
                 dest,
                 &mut states[local_index[dest as usize] as usize],
@@ -523,8 +563,11 @@ fn worker_pass<P: VertexProgram>(
                 &mut ctx,
             );
         }
+        // Recycle: the routing merge stage refills this Vec, reusing
+        // the capacity this round's traffic established.
+        inbox.clear();
     }
-    (outbox, active)
+    active
 }
 
 /// Deterministic per-(round, vertex) RNG: thread scheduling cannot
@@ -541,6 +584,8 @@ mod tests {
     use crate::message::Message;
     use mtvc_graph::generators;
     use mtvc_graph::partition::HashPartitioner;
+    use std::sync::Mutex;
+    use std::thread::ThreadId;
 
     /// Flood: source 0 broadcasts its id; every vertex forwards once.
     /// Computes hop levels — checkable against BFS.
@@ -773,5 +818,167 @@ mod tests {
         cfg.max_rounds = 3;
         let result = Runner::new(&g, &HashPartitioner::default(), cfg).run(&Flood);
         assert!(result.outcome.is_overload());
+    }
+
+    #[test]
+    fn threshold_controls_pool_creation() {
+        let g = generators::ring(64, true);
+        let serial = Runner::new(
+            &g,
+            &HashPartitioner::default(),
+            config(4).with_parallel_threshold(usize::MAX),
+        );
+        assert!(serial.pool().is_none());
+        let pooled = Runner::new(
+            &g,
+            &HashPartitioner::default(),
+            config(4).with_parallel_threshold(1),
+        );
+        let pool = pooled.pool().expect("threshold 1 must build the pool");
+        assert_eq!(pool.workers(), 4);
+        // Single worker never pools, regardless of threshold.
+        let single = Runner::new(
+            &g,
+            &HashPartitioner::default(),
+            config(1).with_parallel_threshold(0),
+        );
+        assert!(single.pool().is_none());
+    }
+
+    #[test]
+    fn pooled_pipeline_matches_serial_pipeline() {
+        let g = generators::power_law(400, 1600, 2.3, 11);
+        let serial = Runner::new(
+            &g,
+            &HashPartitioner::default(),
+            config(4).with_parallel_threshold(usize::MAX),
+        )
+        .run(&Flood);
+        let pooled = Runner::new(
+            &g,
+            &HashPartitioner::default(),
+            config(4).with_parallel_threshold(1),
+        )
+        .run(&Flood);
+        assert_eq!(serial.outcome, pooled.outcome);
+        assert_eq!(serial.stats, pooled.stats, "RunStats must be bit-identical");
+        for v in g.vertices() {
+            assert_eq!(
+                serial.states[v as usize].0, pooled.states[v as usize].0,
+                "vertex {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_runs_are_deterministic() {
+        let g = generators::power_law(300, 1200, 2.4, 17);
+        let run = || {
+            Runner::new(
+                &g,
+                &HashPartitioner::default(),
+                config(4).with_parallel_threshold(1),
+            )
+            .run(&Flood)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.stats, b.stats);
+        for v in g.vertices() {
+            assert_eq!(a.states[v as usize].0, b.states[v as usize].0);
+        }
+    }
+
+    #[test]
+    fn pool_thread_ids_stable_across_rounds() {
+        /// Flood variant that records which OS thread computed each
+        /// round, proving no per-round thread churn.
+        struct TracingFlood {
+            log: Mutex<Vec<(usize, ThreadId)>>,
+        }
+        impl VertexProgram for TracingFlood {
+            type Message = Hop;
+            type State = Level;
+            fn message_bytes(&self) -> u64 {
+                8
+            }
+            fn init(&self, v: VertexId, state: &mut Level, ctx: &mut Context<'_, Hop>) {
+                self.log
+                    .lock()
+                    .unwrap()
+                    .push((ctx.round(), std::thread::current().id()));
+                if v == 0 {
+                    state.0 = Some(0);
+                    for &t in ctx.neighbors() {
+                        ctx.send(t, Hop(1), 1);
+                    }
+                }
+            }
+            fn compute(
+                &self,
+                _v: VertexId,
+                state: &mut Level,
+                inbox: &[(Hop, u64)],
+                ctx: &mut Context<'_, Hop>,
+            ) {
+                self.log
+                    .lock()
+                    .unwrap()
+                    .push((ctx.round(), std::thread::current().id()));
+                let best = inbox.iter().map(|(m, _)| m.0).min().unwrap();
+                if state.0.map(|l| best < l).unwrap_or(true) {
+                    state.0 = Some(best);
+                    for &t in ctx.neighbors() {
+                        ctx.send(t, Hop(best + 1), 1);
+                    }
+                }
+            }
+        }
+
+        let g = generators::ring(64, true);
+        let runner = Runner::new(
+            &g,
+            &HashPartitioner::default(),
+            config(4).with_parallel_threshold(1),
+        );
+        let pool_ids: std::collections::HashSet<ThreadId> = runner
+            .pool()
+            .unwrap()
+            .thread_ids()
+            .iter()
+            .copied()
+            .collect();
+        let program = TracingFlood {
+            log: Mutex::new(Vec::new()),
+        };
+        let result = runner.run(&program);
+        assert!(result.outcome.is_completed());
+
+        let log = program.log.into_inner().unwrap();
+        let rounds = log.iter().map(|&(r, _)| r).max().unwrap();
+        assert!(rounds >= 8, "flood over a 64-ring runs many rounds");
+        let ids_in = |r: usize| -> std::collections::HashSet<ThreadId> {
+            log.iter()
+                .filter(|&&(round, _)| round == r)
+                .map(|&(_, id)| id)
+                .collect()
+        };
+        let first = ids_in(0);
+        assert!(!first.is_empty());
+        assert!(
+            first.is_subset(&pool_ids),
+            "compute must run on pool threads"
+        );
+        for r in 1..=rounds {
+            let ids = ids_in(r);
+            if ids.is_empty() {
+                continue; // quiescent tail round
+            }
+            assert!(
+                ids.is_subset(&first),
+                "round {r} ran on threads outside round 0's set"
+            );
+        }
     }
 }

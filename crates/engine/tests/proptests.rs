@@ -3,8 +3,11 @@
 
 use mtvc_cluster::ClusterSpec;
 use mtvc_engine::sampling::{binomial, multinomial_uniform};
-use mtvc_engine::{Context, EngineConfig, Message, Runner, SystemProfile, VertexProgram};
-use mtvc_graph::partition::HashPartitioner;
+use mtvc_engine::{
+    route, Context, EngineConfig, Envelope, Message, MirrorIndex, Outbox, RouteGrid, Runner,
+    SystemProfile, VertexProgram, WorkerPool,
+};
+use mtvc_graph::partition::{HashPartitioner, Partitioner};
 use mtvc_graph::{generators, VertexId};
 use mtvc_metrics::SimTime;
 use proptest::prelude::*;
@@ -147,6 +150,115 @@ proptest! {
         for v in 0..n {
             prop_assert_eq!(&a.states[v].dist, &b.states[v].dist, "vertex {}", v);
         }
+    }
+}
+
+/// Payload for the routing-equivalence property: an optional combine
+/// key (including the adversarial `u64::MAX`) plus a value merged by
+/// summing, so combining order mistakes change observable state.
+#[derive(Clone, Debug, PartialEq)]
+struct Keyed {
+    key: Option<u64>,
+    val: u64,
+}
+impl Message for Keyed {
+    fn combine_key(&self) -> Option<u64> {
+        self.key
+    }
+    fn merge(&mut self, o: &Self) {
+        self.val += o.val;
+    }
+}
+
+/// Build one synthetic outbox per worker from the RNG: point-to-point
+/// sends with mixed keys plus broadcasts from vertices the worker owns.
+fn synthetic_outboxes(
+    g: &mtvc_graph::Graph,
+    part: &mtvc_graph::partition::Partition,
+    seed: u64,
+    sends_per_worker: usize,
+    broadcasts_per_worker: usize,
+) -> Vec<Outbox<Keyed>> {
+    use rand::Rng;
+    let n = g.num_vertices() as u64;
+    let workers = part.num_workers();
+    let owned = part.worker_vertices();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..workers)
+        .map(|w| {
+            let mut ob = Outbox::new();
+            for _ in 0..sends_per_worker {
+                let dest = (rng.gen::<u64>() % n) as VertexId;
+                let key = match rng.gen::<u64>() % 5 {
+                    0 => None,
+                    1 => Some(u64::MAX),
+                    k => Some(k % 3),
+                };
+                let val = rng.gen::<u64>() % 100;
+                let mult = 1 + rng.gen::<u64>() % 4;
+                ob.sends.push(Envelope::new(dest, Keyed { key, val }, mult));
+            }
+            for _ in 0..broadcasts_per_worker {
+                if owned[w].is_empty() {
+                    break;
+                }
+                let origin = owned[w][rng.gen::<u64>() as usize % owned[w].len()];
+                let key = (rng.gen::<u64>() % 2 == 0).then(|| rng.gen::<u64>() % 3);
+                let val = rng.gen::<u64>() % 100;
+                ob.broadcasts.push((origin, Keyed { key, val }, 1));
+            }
+            ob
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tentpole invariant: the pooled two-stage grid produces inboxes
+    /// and statistics **identical** to the serial reference `route`,
+    /// across random graphs, worker counts, combining, and mirroring.
+    #[test]
+    fn parallel_route_equals_serial_route(
+        n in 8usize..150,
+        workers in 1usize..9,
+        combine in any::<bool>(),
+        mirrored in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let g = generators::erdos_renyi(n, n * 3, seed);
+        let part = HashPartitioner { salt: seed }.partition(&g, workers);
+        let mirrors = mirrored.then(|| MirrorIndex::build(&g, &part, 4));
+        let outboxes = synthetic_outboxes(&g, &part, seed ^ 0xD1CE, 40, 6);
+        let msg_bytes = 16;
+
+        let (serial_inboxes, serial_stats) =
+            route(outboxes.clone(), &g, &part, mirrors.as_ref(), combine, msg_bytes);
+
+        // Pooled grid, run twice over the same traffic to also exercise
+        // buffer reuse across rounds.
+        let pool = WorkerPool::new(workers.min(4));
+        let mut grid: RouteGrid<Keyed> = RouteGrid::new(workers);
+        let mut grid_inboxes: Vec<Vec<Envelope<Keyed>>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for _ in 0..2 {
+            let mut working = outboxes.clone();
+            grid_inboxes.iter_mut().for_each(|i| i.clear());
+            let stats = grid.route_round(
+                Some(&pool),
+                &mut working,
+                &mut grid_inboxes,
+                &g,
+                &part,
+                mirrors.as_ref(),
+                combine,
+                msg_bytes,
+            );
+            prop_assert_eq!(stats, &serial_stats);
+            prop_assert!(working.iter().all(|ob| ob.sends.is_empty()
+                && ob.broadcasts.is_empty()));
+        }
+        prop_assert_eq!(&grid_inboxes, &serial_inboxes);
     }
 }
 

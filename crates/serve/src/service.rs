@@ -58,6 +58,10 @@ pub struct ServiceConfig {
     pub training_workload: u64,
     /// Seed for training, source selection, and batch execution.
     pub seed: u64,
+    /// Override for the engine's parallel cutover (vertex count at
+    /// which batches execute on the engine's persistent worker pool);
+    /// `None` keeps [`mtvc_engine::PARALLEL_VERTEX_THRESHOLD`].
+    pub parallel_vertex_threshold: Option<usize>,
 }
 
 impl ServiceConfig {
@@ -76,7 +80,15 @@ impl ServiceConfig {
             max_batch: 1 << 20,
             training_workload: 256,
             seed: 0x5EED,
+            parallel_vertex_threshold: None,
         }
+    }
+
+    /// Override the vertex count at which batches execute on the
+    /// engine's persistent worker pool.
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_vertex_threshold = Some(threshold);
+        self
     }
 
     /// Add a supported task shape.
@@ -325,15 +337,12 @@ impl TaskService {
             let model = OnlineMemoryModel::fit(&data, cfg.seed)
                 .map_err(|source| StartError::Fit { shape, source })?;
             admission.register(shape, model);
-            runners.push((
-                shape,
-                Arc::new(BatchRunner::new(
-                    graph.clone(),
-                    shape,
-                    cfg.system,
-                    cfg.cluster.clone(),
-                )),
-            ));
+            let mut runner =
+                BatchRunner::new(graph.clone(), shape, cfg.system, cfg.cluster.clone());
+            if let Some(t) = cfg.parallel_vertex_threshold {
+                runner = runner.with_parallel_threshold(t);
+            }
+            runners.push((shape, Arc::new(runner)));
         }
 
         let shared = Arc::new(Shared {

@@ -33,9 +33,24 @@ pub struct Bencher {
 
 const TARGET: Duration = Duration::from_millis(300);
 
+/// Smoke-test mode, as in real criterion: `--test` on the bench binary's
+/// command line runs every routine exactly once, without calibration —
+/// CI uses it to prove benches still execute without paying for a
+/// measurement.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 impl Bencher {
     /// Time `routine` repeatedly and record the mean.
     pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if test_mode() {
+            let start = Instant::now();
+            black_box(routine());
+            self.mean_ns = start.elapsed().as_nanos() as f64;
+            self.iters = 1;
+            return;
+        }
         // Calibrate: grow the iteration count until the measurement
         // window is long enough to trust.
         let mut n = 1u64;
@@ -62,6 +77,14 @@ impl Bencher {
         mut routine: impl FnMut(I) -> R,
         _size: BatchSize,
     ) {
+        if test_mode() {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.mean_ns = start.elapsed().as_nanos() as f64;
+            self.iters = 1;
+            return;
+        }
         let mut n = 1u64;
         loop {
             let mut busy = Duration::ZERO;
