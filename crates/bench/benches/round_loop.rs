@@ -1,0 +1,98 @@
+//! End-to-end round-loop microbenchmark: compute + route per round,
+//! current engine hot path (sender combining + grouped delivery) vs the
+//! pre-PR replica (merge-stage sort combining + counting-sort regroup +
+//! per-delivery clones), on MSSP and BPPR with combining on and off.
+//!
+//! Single-threaded by design — the delta isolates the envelope-path
+//! rework, not thread scaling. `--test` runs every routine once for CI
+//! smoke. `bench_pr3` (a bin in this crate) runs the same drivers under
+//! a counting allocator and emits `BENCH_pr3.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtvc_bench::round_loop::{drive_current, drive_legacy};
+use mtvc_engine::LocalIndex;
+use mtvc_graph::partition::{HashPartitioner, Partitioner};
+use mtvc_graph::{generators, VertexId};
+use mtvc_tasks::bppr::{BpprProgram, SourceSet};
+use mtvc_tasks::mssp::MsspProgram;
+use std::hint::black_box;
+
+const VERTICES: usize = 20_000;
+const EDGES: usize = 80_000;
+const WORKERS: usize = 4;
+const SEED: u64 = 0x9E3;
+
+fn bench_round_loop(c: &mut Criterion) {
+    let g = generators::power_law(VERTICES, EDGES, 2.3, 42);
+    let part = HashPartitioner::default().partition(&g, WORKERS);
+    let locals = LocalIndex::build(&part);
+
+    let mssp = MsspProgram::new(
+        (0..16u32)
+            .map(|q| (q * 997) % VERTICES as VertexId)
+            .collect(),
+    );
+    let bppr_sources: Vec<VertexId> = (0..256u32)
+        .map(|s| (s * 613) % VERTICES as VertexId)
+        .collect();
+    let bppr = BpprProgram::new(8, 0.2).with_sources(SourceSet::subset(bppr_sources));
+
+    for combine in [false, true] {
+        let tag = if combine { "combine" } else { "nocombine" };
+        c.bench_function(&format!("round_loop_mssp_current_{tag}"), |b| {
+            b.iter(|| {
+                black_box(drive_current(
+                    &mssp,
+                    &g,
+                    &part,
+                    &locals,
+                    combine,
+                    SEED,
+                    |_| {},
+                ))
+            })
+        });
+        c.bench_function(&format!("round_loop_mssp_legacy_{tag}"), |b| {
+            b.iter(|| {
+                black_box(drive_legacy(
+                    &mssp,
+                    &g,
+                    &part,
+                    &locals,
+                    combine,
+                    SEED,
+                    |_| {},
+                ))
+            })
+        });
+        c.bench_function(&format!("round_loop_bppr_current_{tag}"), |b| {
+            b.iter(|| {
+                black_box(drive_current(
+                    &bppr,
+                    &g,
+                    &part,
+                    &locals,
+                    combine,
+                    SEED,
+                    |_| {},
+                ))
+            })
+        });
+        c.bench_function(&format!("round_loop_bppr_legacy_{tag}"), |b| {
+            b.iter(|| {
+                black_box(drive_legacy(
+                    &bppr,
+                    &g,
+                    &part,
+                    &locals,
+                    combine,
+                    SEED,
+                    |_| {},
+                ))
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_round_loop);
+criterion_main!(benches);

@@ -14,7 +14,7 @@
 //! slice a single core). `--test` runs every routine once for CI smoke.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use mtvc_engine::{route, Envelope, Message, Outbox, RouteGrid, WorkerPool};
+use mtvc_engine::{route, Envelope, Inbox, LocalIndex, Message, Outbox, RouteGrid, WorkerPool};
 use mtvc_graph::partition::{HashPartitioner, Partition, Partitioner};
 use mtvc_graph::{generators, Graph};
 use std::hint::black_box;
@@ -64,6 +64,7 @@ fn build_outboxes(g: &Graph, part: &Partition) -> Vec<Outbox<Hop>> {
 fn bench_router(c: &mut Criterion) {
     let g = generators::power_law(VERTICES, EDGES, 2.3, 42);
     let part = HashPartitioner::default().partition(&g, WORKERS);
+    let locals = LocalIndex::build(&part);
     let outboxes = build_outboxes(&g, &part);
     let envelopes: usize = outboxes.iter().map(|o| o.sends.len()).sum();
     println!(
@@ -78,14 +79,20 @@ fn bench_router(c: &mut Criterion) {
         c.bench_function(&format!("route_serial_{tag}"), |b| {
             b.iter_batched(
                 || outboxes.clone(),
-                |obs| black_box(route(obs, &g, &part, None, combine, MSG_BYTES).1.sent_wire),
+                |obs| {
+                    black_box(
+                        route(obs, &g, &part, &locals, None, combine, MSG_BYTES)
+                            .1
+                            .sent_wire,
+                    )
+                },
                 BatchSize::LargeInput,
             )
         });
 
         let pool = WorkerPool::new(WORKERS);
         let mut grid: RouteGrid<Hop> = RouteGrid::new(WORKERS);
-        let mut inboxes: Vec<Vec<Envelope<Hop>>> = (0..WORKERS).map(|_| Vec::new()).collect();
+        let mut inboxes: Vec<Inbox<Hop>> = (0..WORKERS).map(|_| Inbox::new()).collect();
         c.bench_function(&format!("route_grid_pooled_{tag}"), |b| {
             b.iter_batched(
                 || outboxes.clone(),
@@ -97,6 +104,7 @@ fn bench_router(c: &mut Criterion) {
                         &mut inboxes,
                         &g,
                         &part,
+                        &locals,
                         None,
                         combine,
                         MSG_BYTES,

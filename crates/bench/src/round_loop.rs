@@ -1,0 +1,365 @@
+//! End-to-end round-loop drivers for the envelope-path benchmarks.
+//!
+//! Two serial (single-threaded) implementations of the BSP round loop —
+//! compute phase + routing phase, no cost pricing — over the *same*
+//! [`VertexProgram`]s the engine runs:
+//!
+//! * [`drive_current`] — the engine's shipped hot path: sender-side
+//!   combining, grouped delivery through [`RouteGrid`]/[`Inbox`], and
+//!   borrowed per-vertex delivery runs (zero clones, recycled buffers).
+//! * [`drive_legacy`] — a faithful replica of the pre-sender-combining
+//!   path, kept here as the benchmark baseline: combining happens at
+//!   the merge stage via a stable sort over `(dest, key)` tags, inboxes
+//!   are flat envelope vectors, and the compute phase re-groups each
+//!   inbox with a counting sort whose `counts`/`order` buffers are
+//!   allocated fresh every round and clones every message into a
+//!   scratch pair vector.
+//!
+//! Both drivers execute real task code via the public [`Context`] and
+//! the engine's [`vertex_rng`], so for order-insensitive programs
+//! (MSSP: receiver-side min-aggregation) the two paths produce
+//! identical round counts and wire totals — making the timing delta a
+//! pure measurement of the envelope-path rework.
+
+use mtvc_engine::{
+    vertex_rng, Context, Delivery, Envelope, Inbox, LocalIndex, Message, Outbox, RouteGrid,
+    VertexProgram,
+};
+use mtvc_graph::partition::Partition;
+use mtvc_graph::Graph;
+
+/// What one full run of a driver did (for parity checks and rate math).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundLoopReport {
+    /// Rounds executed (including the init round).
+    pub rounds: usize,
+    /// Total wire messages produced across the run.
+    pub sent_wire: u64,
+    /// Total envelopes delivered (post-combining tuples).
+    pub delivered_tuples: u64,
+}
+
+/// Ceiling on rounds for runaway protection in both drivers.
+const ROUND_CAP: usize = 10_000;
+
+/// Run `program` to quiescence on the current engine hot path
+/// (sender-side combining + grouped delivery), single-threaded.
+/// `on_round_end(round)` fires after each round's routing completes —
+/// the allocation bench snapshots its byte counter there.
+pub fn drive_current<P: VertexProgram>(
+    program: &P,
+    graph: &Graph,
+    part: &Partition,
+    locals: &LocalIndex,
+    combine: bool,
+    seed: u64,
+    mut on_round_end: impl FnMut(usize),
+) -> RoundLoopReport {
+    let workers = part.num_workers();
+    let msg_bytes = program.message_bytes();
+    let mut states: Vec<Vec<P::State>> = locals
+        .worker_vertices()
+        .iter()
+        .map(|list| vec![P::State::default(); list.len()])
+        .collect();
+    let mut outboxes: Vec<Outbox<P::Message>> = (0..workers).map(|_| Outbox::new()).collect();
+    let mut inboxes: Vec<Inbox<P::Message>> = (0..workers).map(|_| Inbox::new()).collect();
+    let mut grid: RouteGrid<P::Message> = RouteGrid::new(workers);
+    let mut report = RoundLoopReport {
+        rounds: 0,
+        sent_wire: 0,
+        delivered_tuples: 0,
+    };
+
+    for round in 0..ROUND_CAP {
+        if round > 0 {
+            if inboxes.iter().all(|i| i.is_empty()) {
+                break;
+            }
+            if program.max_rounds().is_some_and(|max| round > max) {
+                break;
+            }
+        }
+        for (w, vertices) in locals.worker_vertices().iter().enumerate() {
+            let outbox = &mut outboxes[w];
+            outbox.clear();
+            if round == 0 {
+                for (li, &v) in vertices.iter().enumerate() {
+                    let mut rng = vertex_rng(seed, round, v);
+                    let mut ctx = Context::new(v, round, graph, &mut rng, outbox);
+                    program.init(v, &mut states[w][li], &mut ctx);
+                }
+            } else {
+                let inbox = &mut inboxes[w];
+                let mut start = 0usize;
+                for run in inbox.runs() {
+                    let msgs = &inbox.deliveries()[start..run.end as usize];
+                    start = run.end as usize;
+                    let mut rng = vertex_rng(seed, round, run.dest);
+                    let mut ctx = Context::new(run.dest, round, graph, &mut rng, outbox);
+                    program.compute(run.dest, &mut states[w][run.local as usize], msgs, &mut ctx);
+                }
+                inbox.clear();
+            }
+        }
+        let stats = grid.route_round(
+            None,
+            &mut outboxes,
+            &mut inboxes,
+            graph,
+            part,
+            locals,
+            None,
+            combine,
+            msg_bytes,
+        );
+        report.sent_wire += stats.sent_wire;
+        report.delivered_tuples += stats.delivered_tuples;
+        report.rounds = round + 1;
+        on_round_end(round);
+    }
+    report
+}
+
+/// Run `program` to quiescence on a replica of the pre-PR envelope
+/// path, single-threaded. See the module docs for what this reproduces;
+/// it exists purely as the baseline the `round_loop` bench and
+/// `bench_pr3` bin measure against.
+pub fn drive_legacy<P: VertexProgram>(
+    program: &P,
+    graph: &Graph,
+    part: &Partition,
+    locals: &LocalIndex,
+    combine: bool,
+    seed: u64,
+    mut on_round_end: impl FnMut(usize),
+) -> RoundLoopReport {
+    let workers = part.num_workers();
+    let mut states: Vec<Vec<P::State>> = locals
+        .worker_vertices()
+        .iter()
+        .map(|list| vec![P::State::default(); list.len()])
+        .collect();
+    let mut outboxes: Vec<Outbox<P::Message>> = (0..workers).map(|_| Outbox::new()).collect();
+    let mut inboxes: Vec<Vec<Envelope<P::Message>>> = (0..workers).map(|_| Vec::new()).collect();
+    // The pre-PR grid recycled its shard buckets across rounds too.
+    let mut shards: Vec<Vec<Vec<Envelope<P::Message>>>> = (0..workers)
+        .map(|_| (0..workers).map(|_| Vec::new()).collect())
+        .collect();
+    let mut report = RoundLoopReport {
+        rounds: 0,
+        sent_wire: 0,
+        delivered_tuples: 0,
+    };
+
+    for round in 0..ROUND_CAP {
+        if round > 0 {
+            if inboxes.iter().all(|i| i.is_empty()) {
+                break;
+            }
+            if program.max_rounds().is_some_and(|max| round > max) {
+                break;
+            }
+        }
+        for (w, vertices) in locals.worker_vertices().iter().enumerate() {
+            let outbox = &mut outboxes[w];
+            outbox.clear();
+            if round == 0 {
+                for (li, &v) in vertices.iter().enumerate() {
+                    let mut rng = vertex_rng(seed, round, v);
+                    let mut ctx = Context::new(v, round, graph, &mut rng, outbox);
+                    program.init(v, &mut states[w][li], &mut ctx);
+                }
+            } else {
+                legacy_worker_compute(
+                    program,
+                    graph,
+                    round,
+                    seed,
+                    locals,
+                    &mut inboxes[w],
+                    outbox,
+                    &mut states[w],
+                );
+            }
+        }
+        let (sent, tuples) = legacy_route(
+            graph,
+            part,
+            combine,
+            &mut outboxes,
+            &mut shards,
+            &mut inboxes,
+        );
+        report.sent_wire += sent;
+        report.delivered_tuples += tuples;
+        report.rounds = round + 1;
+        on_round_end(round);
+    }
+    report
+}
+
+/// Pre-PR routing: shard per destination worker, combine each shard at
+/// the merge stage with a stable sort over `(dest, key_is_none, key)`
+/// tags, then concatenate the column (in source order) into a flat
+/// inbox vector.
+fn legacy_route<M: Message>(
+    graph: &Graph,
+    part: &Partition,
+    combine: bool,
+    outboxes: &mut [Outbox<M>],
+    shards: &mut [Vec<Vec<Envelope<M>>>],
+    inboxes: &mut [Vec<Envelope<M>>],
+) -> (u64, u64) {
+    let mut sent_wire = 0u64;
+    for (row, outbox) in shards.iter_mut().zip(outboxes.iter_mut()) {
+        for env in outbox.sends.drain(..) {
+            sent_wire += env.mult;
+            row[part.owner_of(env.dest) as usize].push(env);
+        }
+        for (origin, msg, mult) in outbox.broadcasts.drain(..) {
+            sent_wire += graph.degree(origin) as u64 * mult;
+            for &t in graph.neighbors(origin) {
+                row[part.owner_of(t) as usize].push(Envelope::new(t, msg.clone(), mult));
+            }
+        }
+    }
+    let mut tuples = 0u64;
+    for (dst, inbox) in inboxes.iter_mut().enumerate() {
+        for row in shards.iter_mut() {
+            let bucket = &mut row[dst];
+            if combine {
+                legacy_combine_bucket(bucket);
+            }
+            tuples += bucket.len() as u64;
+            inbox.append(bucket);
+        }
+    }
+    (sent_wire, tuples)
+}
+
+/// Pre-PR merge-stage combining: stable sort by `(dest, key_is_none,
+/// key)` (unkeyed entries ordered after all keyed ones so `u64::MAX`
+/// keys never interleave with them), then fold adjacent equal-keyed
+/// envelopes.
+fn legacy_combine_bucket<M: Message>(bucket: &mut Vec<Envelope<M>>) {
+    if bucket.len() < 2 {
+        return;
+    }
+    bucket.sort_by_cached_key(|e| {
+        let key = e.msg.combine_key();
+        (e.dest, key.is_none(), key.unwrap_or(0))
+    });
+    let mut write = 0usize;
+    for read in 1..bucket.len() {
+        let (head, tail) = bucket.split_at_mut(read);
+        let prev = &mut head[write];
+        let cur = &tail[0];
+        let mergeable = prev.dest == cur.dest
+            && prev.msg.combine_key().is_some()
+            && prev.msg.combine_key() == cur.msg.combine_key();
+        if mergeable {
+            prev.msg.merge(&cur.msg);
+            prev.mult += cur.mult;
+        } else {
+            write += 1;
+            bucket.swap(write, read);
+        }
+    }
+    bucket.truncate(write + 1);
+}
+
+/// Pre-PR compute phase for one worker: re-group the flat inbox with a
+/// counting sort (fresh `counts`/`order` every round) and clone each
+/// delivery into a scratch pair vector before calling `compute`.
+#[allow(clippy::too_many_arguments)]
+fn legacy_worker_compute<P: VertexProgram>(
+    program: &P,
+    graph: &Graph,
+    round: usize,
+    seed: u64,
+    locals: &LocalIndex,
+    inbox: &mut Vec<Envelope<P::Message>>,
+    outbox: &mut Outbox<P::Message>,
+    states: &mut [P::State],
+) {
+    let nloc = states.len();
+    let mut counts = vec![0u32; nloc + 1];
+    for e in inbox.iter() {
+        counts[locals.local_of(e.dest) as usize + 1] += 1;
+    }
+    for i in 1..=nloc {
+        counts[i] += counts[i - 1];
+    }
+    let mut order: Vec<u32> = vec![0; inbox.len()];
+    {
+        let mut cursor = counts.clone();
+        for (i, e) in inbox.iter().enumerate() {
+            let li = locals.local_of(e.dest) as usize;
+            order[cursor[li] as usize] = i as u32;
+            cursor[li] += 1;
+        }
+    }
+    let mut pairs: Vec<Delivery<P::Message>> = Vec::new();
+    for li in 0..nloc {
+        let (start, end) = (counts[li] as usize, counts[li + 1] as usize);
+        if start == end {
+            continue;
+        }
+        let dest = inbox[order[start] as usize].dest;
+        pairs.clear();
+        for &idx in &order[start..end] {
+            let e = &inbox[idx as usize];
+            pairs.push(Delivery {
+                msg: e.msg.clone(),
+                mult: e.mult,
+            });
+        }
+        let mut rng = vertex_rng(seed, round, dest);
+        let mut ctx = Context::new(dest, round, graph, &mut rng, outbox);
+        program.compute(dest, &mut states[li], &pairs, &mut ctx);
+    }
+    inbox.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvc_graph::generators;
+    use mtvc_graph::partition::{HashPartitioner, Partitioner};
+    use mtvc_tasks::mssp::MsspProgram;
+
+    /// MSSP aggregates receiver-side, so the two paths must agree
+    /// exactly on rounds and wire volume — combining on or off.
+    #[test]
+    fn current_and_legacy_paths_agree_on_mssp() {
+        let g = generators::power_law(400, 1600, 2.3, 7);
+        let part = HashPartitioner::default().partition(&g, 4);
+        let locals = LocalIndex::build(&part);
+        let program = MsspProgram::new(vec![0, 13, 200]);
+        for combine in [false, true] {
+            let cur = drive_current(&program, &g, &part, &locals, combine, 42, |_| {});
+            let old = drive_legacy(&program, &g, &part, &locals, combine, 42, |_| {});
+            assert_eq!(cur.rounds, old.rounds, "combine={combine}");
+            assert_eq!(cur.sent_wire, old.sent_wire, "combine={combine}");
+            assert_eq!(
+                cur.delivered_tuples, old.delivered_tuples,
+                "combine={combine}"
+            );
+            assert!(cur.rounds > 2, "run must actually do work");
+        }
+    }
+
+    /// Combining must shrink delivered tuples but never wire totals.
+    #[test]
+    fn combining_shrinks_tuples_not_wire() {
+        let g = generators::power_law(400, 1600, 2.3, 7);
+        let part = HashPartitioner::default().partition(&g, 4);
+        let locals = LocalIndex::build(&part);
+        let program = MsspProgram::new(vec![0, 0, 5]);
+        let plain = drive_current(&program, &g, &part, &locals, false, 1, |_| {});
+        let combined = drive_current(&program, &g, &part, &locals, true, 1, |_| {});
+        assert_eq!(plain.sent_wire, combined.sent_wire);
+        assert!(combined.delivered_tuples < plain.delivered_tuples);
+    }
+}

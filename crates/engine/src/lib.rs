@@ -28,10 +28,10 @@ pub mod router;
 pub mod runner;
 pub mod sampling;
 
-pub use message::{Envelope, Message};
+pub use message::{Delivery, Envelope, Message};
 pub use mirror::MirrorIndex;
 pub use pool::WorkerPool;
 pub use profile::{ExecutionMode, OocConfig, SyncMode, SystemProfile};
 pub use program::{Context, Outbox, VertexProgram};
-pub use router::{route, RouteGrid, RoutingStats};
-pub use runner::{EngineConfig, RunResult, Runner, PARALLEL_VERTEX_THRESHOLD};
+pub use router::{route, Inbox, LocalIndex, RouteGrid, RoutingStats, Run};
+pub use runner::{vertex_rng, EngineConfig, RunResult, Runner, PARALLEL_VERTEX_THRESHOLD};

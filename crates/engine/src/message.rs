@@ -48,17 +48,18 @@ impl<M> Envelope<M> {
     }
 }
 
-impl<M: Message> Envelope<M> {
-    /// Combining sort tag: `(dest, key-is-None, key)`. Computed once
-    /// per envelope and cached by the router's combine stage, so the
-    /// sort comparator never re-invokes [`Message::combine_key`].
-    /// Unkeyed envelopes (`None`) order strictly after every keyed
-    /// envelope of the same destination — a `Some(u64::MAX)` key can
-    /// never interleave with them.
-    pub(crate) fn sort_tag(&self) -> (VertexId, bool, u64) {
-        let key = self.msg.combine_key();
-        (self.dest, key.is_none(), key.unwrap_or(0))
-    }
+/// One delivered message run entry: the payload plus the wire
+/// multiplicity it stands for. This is what [`VertexProgram::compute`]
+/// receives — the routing merge stage moves each envelope's payload
+/// into a grouped delivery buffer exactly once, so the compute phase
+/// never clones a message.
+///
+/// [`VertexProgram::compute`]: crate::program::VertexProgram::compute
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery<M> {
+    pub msg: M,
+    /// Number of wire messages this delivery represents (≥ 1).
+    pub mult: u64,
 }
 
 #[cfg(test)]
@@ -83,20 +84,13 @@ mod tests {
     }
 
     #[test]
-    fn sort_tag_orders_unkeyed_after_all_keys() {
-        #[derive(Clone, Debug)]
-        struct K(Option<u64>);
-        impl Message for K {
-            fn combine_key(&self) -> Option<u64> {
-                self.0
-            }
-            fn merge(&mut self, _o: &Self) {}
-        }
-        let max = Envelope::new(3, K(Some(u64::MAX)), 1);
-        let none = Envelope::new(3, K(None), 1);
-        let zero = Envelope::new(3, K(Some(0)), 1);
-        assert!(zero.sort_tag() < max.sort_tag());
-        assert!(max.sort_tag() < none.sort_tag());
+    fn delivery_preserves_payload_and_multiplicity() {
+        let d = Delivery {
+            msg: Walk { source: 7 },
+            mult: 4,
+        };
+        assert_eq!(d.msg.combine_key(), Some(7));
+        assert_eq!(d.mult, 4);
     }
 
     #[test]

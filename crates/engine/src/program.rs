@@ -1,6 +1,6 @@
 //! The vertex-program abstraction (`compute(v)` in the paper's §2.1).
 
-use crate::message::{Envelope, Message};
+use crate::message::{Delivery, Envelope, Message};
 use mtvc_graph::{Graph, VertexId};
 use rand::rngs::SmallRng;
 
@@ -52,7 +52,10 @@ pub struct Context<'a, M: Message> {
 }
 
 impl<'a, M: Message> Context<'a, M> {
-    pub(crate) fn new(
+    /// Build a context for one vertex activation. Public so benches and
+    /// harnesses can drive programs directly; the engine's round loop
+    /// constructs one per `init`/`compute` call.
+    pub fn new(
         vertex: VertexId,
         round: usize,
         graph: &'a Graph,
@@ -165,12 +168,15 @@ pub trait VertexProgram: Sync {
     /// Round 0: activate sources, seed initial messages.
     fn init(&self, v: VertexId, state: &mut Self::State, ctx: &mut Context<'_, Self::Message>);
 
-    /// Rounds ≥ 1: process the inbox (message, multiplicity) pairs.
+    /// Rounds ≥ 1: process the vertex's delivered messages. The slice
+    /// is a contiguous borrowed run inside the worker's grouped
+    /// [`Inbox`](crate::router::Inbox) — deliveries arrive in (source
+    /// worker, send order) and are never cloned on the way here.
     fn compute(
         &self,
         v: VertexId,
         state: &mut Self::State,
-        inbox: &[(Self::Message, u64)],
+        inbox: &[Delivery<Self::Message>],
         ctx: &mut Context<'_, Self::Message>,
     );
 

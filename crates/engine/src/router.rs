@@ -1,35 +1,47 @@
-//! Message routing: outboxes → inboxes, with combining, broadcast
-//! expansion, mirroring-aware wire accounting, and per-worker traffic
-//! statistics.
+//! Message routing: outboxes → grouped inboxes, with sender-side
+//! combining, broadcast expansion, mirroring-aware wire accounting, and
+//! per-worker traffic statistics.
 //!
 //! Routing runs as a two-stage **shard-then-merge** pipeline:
 //!
 //! 1. **Shard** — each *source* worker buckets its outbox into one
-//!    [`Shard`] per destination worker (broadcast expansion and
-//!    mirror-prepaid accounting happen here). Shards of different
-//!    sources are independent, so this stage parallelizes over source
-//!    workers.
+//!    [`Shard`] per destination worker. When the system profile enables
+//!    combining, envelopes with equal `(dest, combine_key)` are folded
+//!    *here*, at the source, through a recycled slot map — before any
+//!    "transmission" — so the shard columns the merge stage sees are
+//!    already combined (sender-side combining, the Pregel+ technique).
+//!    Each shard additionally keeps a histogram of destination local
+//!    indices, and since a shard's content is final after this stage,
+//!    its traffic ([`PairFlow`]) is measured here too. Shards of
+//!    different sources are independent, so this stage parallelizes
+//!    over source workers.
 //! 2. **Merge** — each *destination* worker folds its column of shards
-//!    (in source order) into its inbox, applying the combiner per
-//!    shard and measuring the pair's traffic as a [`PairFlow`]. Columns
-//!    of different destinations are independent, so this stage
+//!    (in source order) into a grouped [`Inbox`]: the per-shard
+//!    histograms are summed into per-vertex offsets, and every
+//!    envelope's payload is *moved* (never cloned) straight into its
+//!    vertex's contiguous run of [`Delivery`] slots. Columns of
+//!    different destinations are independent, so this stage
 //!    parallelizes over destination workers.
 //!
-//! [`RoutingStats`] is then a pure reduction over the per-pair flows,
-//! which makes the parallel path *bit-identical* to the serial
-//! reference [`route`] — same inbox contents in the same order, same
-//! statistics — regardless of thread scheduling. [`RouteGrid`] owns the
-//! shard matrix and recycles every envelope buffer across rounds, so a
-//! steady-state round performs no envelope-`Vec` allocations: each
-//! shard's capacity is exactly what the previous round's traffic on
-//! that (source → destination) pair needed.
+//! The grouped inbox hands `compute` a borrowed `&[Delivery<M>]` run
+//! per vertex, which eliminates the per-round counting sort and the
+//! per-delivery message clone the compute phase used to pay.
+//! [`RoutingStats`] is a pure reduction over the per-pair flows, which
+//! makes the parallel path *bit-identical* to the serial reference
+//! [`route`] — same runs in the same order, same statistics —
+//! regardless of thread scheduling. [`RouteGrid`] owns the shard
+//! matrix, slot maps, and offset buffers and recycles all of them
+//! across rounds, so a steady-state round performs zero allocations and
+//! zero message clones between `send()` and `compute()`.
 
-use crate::message::{Envelope, Message};
+use crate::message::{Delivery, Envelope, Message};
 use crate::mirror::MirrorIndex;
 use crate::pool::WorkerPool;
 use crate::program::Outbox;
+use mtvc_graph::hash::FastMap;
 use mtvc_graph::partition::Partition;
 use mtvc_graph::{Graph, VertexId};
+use std::collections::hash_map::Entry;
 
 /// Traffic measured while routing one round's messages.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -96,6 +108,131 @@ impl RoutingStats {
     }
 }
 
+/// Vertex ↔ (worker, local index) addressing for one partition.
+///
+/// The shard stage uses `local_of` to histogram destinations; the merge
+/// stage uses `vertex_at` to label the grouped runs. Built once per run
+/// (the [`Runner`](crate::Runner) owns one) and shared read-only by
+/// every routing stage.
+#[derive(Debug, Clone)]
+pub struct LocalIndex {
+    /// vertex id → index within its owner's vertex list.
+    index: Vec<u32>,
+    /// worker → owned vertices, in local-index order.
+    vertices: Vec<Vec<VertexId>>,
+}
+
+impl LocalIndex {
+    /// Build the two-way mapping from a partition.
+    pub fn build(part: &Partition) -> LocalIndex {
+        let vertices = part.worker_vertices();
+        let mut index = vec![0u32; part.num_vertices()];
+        for list in &vertices {
+            for (i, &v) in list.iter().enumerate() {
+                index[v as usize] = i as u32;
+            }
+        }
+        LocalIndex { index, vertices }
+    }
+
+    /// Index of `v` within its owning worker's vertex list.
+    #[inline]
+    pub fn local_of(&self, v: VertexId) -> u32 {
+        self.index[v as usize]
+    }
+
+    /// The vertex at `(worker, local index)`.
+    #[inline]
+    pub fn vertex_at(&self, worker: usize, local: u32) -> VertexId {
+        self.vertices[worker][local as usize]
+    }
+
+    /// Vertices owned by `worker`.
+    pub fn count(&self, worker: usize) -> usize {
+        self.vertices[worker].len()
+    }
+
+    /// Per-worker vertex lists, in local-index order.
+    pub fn worker_vertices(&self) -> &[Vec<VertexId>] {
+        &self.vertices
+    }
+}
+
+/// One vertex's contiguous slice of [`Delivery`] slots within an
+/// [`Inbox`]. The run starts where the previous run ended (offset 0 for
+/// the first run); runs are stored in ascending local-index order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// Destination vertex.
+    pub dest: VertexId,
+    /// Destination's local index within its worker.
+    pub local: u32,
+    /// Exclusive end offset into the delivery buffer.
+    pub end: u32,
+}
+
+/// One worker's round inbox, already grouped for the compute phase:
+/// deliveries are laid out in destination-local-index order (stable by
+/// source worker, then send order within a source) and partitioned into
+/// per-vertex [`Run`]s. The compute phase hands each vertex its run as
+/// a borrowed slice — no sort, no clone, no per-round allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inbox<M> {
+    deliveries: Vec<Delivery<M>>,
+    runs: Vec<Run>,
+}
+
+impl<M> Default for Inbox<M> {
+    fn default() -> Self {
+        Inbox::new()
+    }
+}
+
+impl<M> Inbox<M> {
+    pub fn new() -> Inbox<M> {
+        Inbox {
+            deliveries: Vec::new(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// True when no messages were delivered (quiescence test).
+    pub fn is_empty(&self) -> bool {
+        self.deliveries.is_empty()
+    }
+
+    /// Delivered tuples in this inbox.
+    pub fn len(&self) -> usize {
+        self.deliveries.len()
+    }
+
+    /// The grouped delivery buffer.
+    pub fn deliveries(&self) -> &[Delivery<M>] {
+        &self.deliveries
+    }
+
+    /// The per-vertex runs, ascending by local index.
+    pub fn runs(&self) -> &[Run] {
+        &self.runs
+    }
+
+    /// Iterate `(dest, local index, deliveries)` per active vertex.
+    pub fn iter_runs(&self) -> impl Iterator<Item = (VertexId, u32, &[Delivery<M>])> {
+        let mut start = 0usize;
+        self.runs.iter().map(move |r| {
+            let slice = &self.deliveries[start..r.end as usize];
+            start = r.end as usize;
+            (r.dest, r.local, slice)
+        })
+    }
+
+    /// Reset for reuse across rounds; capacity is retained.
+    pub fn clear(&mut self) {
+        self.deliveries.clear();
+        self.runs.clear();
+    }
+}
+
 /// Traffic of one (source worker → destination worker) pair for one
 /// round; folding every pair's flow yields the round's
 /// [`RoutingStats`].
@@ -108,60 +245,172 @@ struct PairFlow {
     tuples: u64,
 }
 
-/// Messages from one source worker bound for one destination worker,
-/// plus the mirror-prepaid wire accounting for the pair.
+/// Messages from one source worker bound for one destination worker:
+/// the (already sender-combined) envelope bucket, a histogram of
+/// destination local indices, the mirror-prepaid wire accounting, and
+/// the pair's measured flow. All buffers are recycled across rounds.
 #[derive(Debug)]
 pub struct Shard<M> {
     bucket: Vec<Envelope<M>>,
+    /// Envelopes per destination local index (len = destination
+    /// worker's vertex count; all-zero outside the pipeline).
+    hist: Vec<u32>,
+    /// Local indices with `hist > 0`, in first-touch order — makes
+    /// re-zeroing `hist` O(distinct destinations), not O(n).
+    touched: Vec<u32>,
+    /// Wire messages in the bucket (multiplicity sum; combining folds
+    /// envelopes but preserves this total).
+    wire: u64,
     /// Bytes already paid on the wire for this pair (mirrored
     /// broadcasts pay per mirror-worker, not per envelope).
     prepaid_net: u64,
     /// Wire messages whose network cost is prepaid (count NOT to be
     /// charged per-envelope).
     prepaid_wire: u64,
+    /// The pair's traffic, measured at the end of the shard stage
+    /// (bucket content is final once combining happened at the source).
+    flow: PairFlow,
 }
 
 impl<M> Default for Shard<M> {
     fn default() -> Self {
         Shard {
             bucket: Vec::new(),
+            hist: Vec::new(),
+            touched: Vec::new(),
+            wire: 0,
             prepaid_net: 0,
             prepaid_wire: 0,
+            flow: PairFlow::default(),
         }
     }
 }
 
-/// Reusable scratch for [`combine_bucket`]: envelopes paired with their
-/// sort tag so `combine_key()` is computed exactly once per envelope
-/// instead of `O(n log n)` times inside the sort comparator.
-#[derive(Debug)]
-pub struct CombineScratch<M> {
-    keyed: Vec<((VertexId, bool, u64), Envelope<M>)>,
+/// Sender-side combining state for one source worker: maps
+/// `(dest, combine_key)` to the envelope's position within the
+/// destination shard's bucket. Recycled across rounds (cleared, never
+/// dropped), so steady-state combining allocates nothing.
+#[derive(Debug, Default)]
+pub struct SenderSlots {
+    map: FastMap<(VertexId, u64), u32>,
 }
 
-impl<M> Default for CombineScratch<M> {
-    fn default() -> Self {
-        CombineScratch { keyed: Vec::new() }
+/// Append `env` to `shard`, maintaining the wire count and the
+/// local-index histogram.
+#[inline]
+fn append_env<M>(shard: &mut Shard<M>, li: u32, env: Envelope<M>) {
+    shard.wire += env.mult;
+    let h = &mut shard.hist[li as usize];
+    if *h == 0 {
+        shard.touched.push(li);
     }
+    *h += 1;
+    shard.bucket.push(env);
 }
 
-/// Stage 1: drain `outbox` into one shard per destination worker.
-/// Returns the wire messages produced by this source. Send/broadcast
-/// capacity of the outbox is retained for the next round.
+/// Route one point-to-point envelope into its shard, folding it into an
+/// existing slot when combining is on and an equal `(dest, key)`
+/// envelope was already sent this round.
+#[inline]
+fn push_send<M: Message>(
+    env: Envelope<M>,
+    part: &Partition,
+    locals: &LocalIndex,
+    combine: bool,
+    shards: &mut [Shard<M>],
+    slots: &mut SenderSlots,
+) {
+    let dw = part.owner_of(env.dest) as usize;
+    if combine {
+        if let Some(key) = env.msg.combine_key() {
+            match slots.map.entry((env.dest, key)) {
+                Entry::Occupied(o) => {
+                    let shard = &mut shards[dw];
+                    let slot = &mut shard.bucket[*o.get() as usize];
+                    slot.msg.merge(&env.msg);
+                    slot.mult += env.mult;
+                    shard.wire += env.mult;
+                    return;
+                }
+                Entry::Vacant(vac) => {
+                    vac.insert(shards[dw].bucket.len() as u32);
+                }
+            }
+        }
+    }
+    append_env(&mut shards[dw], locals.local_of(env.dest), env);
+}
+
+/// Route one broadcast-expanded message. On a combining hit the clone
+/// is skipped entirely — the borrowed payload merges into the slot.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn push_broadcast<M: Message>(
+    dest: VertexId,
+    msg: &M,
+    mult: u64,
+    dw: usize,
+    locals: &LocalIndex,
+    combine: bool,
+    shards: &mut [Shard<M>],
+    slots: &mut SenderSlots,
+) {
+    if combine {
+        if let Some(key) = msg.combine_key() {
+            match slots.map.entry((dest, key)) {
+                Entry::Occupied(o) => {
+                    let shard = &mut shards[dw];
+                    let slot = &mut shard.bucket[*o.get() as usize];
+                    slot.msg.merge(msg);
+                    slot.mult += mult;
+                    shard.wire += mult;
+                    return;
+                }
+                Entry::Vacant(vac) => {
+                    vac.insert(shards[dw].bucket.len() as u32);
+                }
+            }
+        }
+    }
+    append_env(
+        &mut shards[dw],
+        locals.local_of(dest),
+        Envelope::new(dest, msg.clone(), mult),
+    );
+}
+
+/// Stage 1: drain `outbox` into one shard per destination worker,
+/// sender-combining when `combine` is set, and measure each pair's
+/// flow. Returns the wire messages produced by this source.
+/// Send/broadcast capacity of the outbox is retained for the next
+/// round.
+#[allow(clippy::too_many_arguments)]
 fn shard_outbox<M: Message>(
     src_worker: usize,
     outbox: &mut Outbox<M>,
     graph: &Graph,
     part: &Partition,
+    locals: &LocalIndex,
     mirrors: Option<&MirrorIndex>,
+    combine: bool,
     msg_bytes: u64,
     shards: &mut [Shard<M>],
+    slots: &mut SenderSlots,
 ) -> u64 {
+    for (dw, shard) in shards.iter_mut().enumerate() {
+        let nloc = locals.count(dw);
+        if shard.hist.len() < nloc {
+            shard.hist.resize(nloc, 0);
+        }
+    }
+    if combine {
+        slots.map.clear();
+    }
+
     let mut sent_wire = 0u64;
     for env in outbox.sends.drain(..) {
         sent_wire += env.mult;
-        let dw = part.owner_of(env.dest) as usize;
-        shards[dw].bucket.push(env);
+        push_send(env, part, locals, combine, shards, slots);
     }
 
     for (origin, msg, mult) in outbox.broadcasts.drain(..) {
@@ -179,71 +428,148 @@ fn shard_outbox<M: Message>(
                     if dw != src_worker {
                         shards[dw].prepaid_wire += mult;
                     }
-                    shards[dw].bucket.push(Envelope::new(t, msg.clone(), mult));
+                    push_broadcast(t, &msg, mult, dw, locals, combine, shards, slots);
                 }
             }
             None => {
                 // Unmirrored broadcast: ordinary per-neighbor sends.
                 for &t in graph.neighbors(origin) {
-                    shards[part.owner_of(t) as usize].bucket.push(Envelope::new(
-                        t,
-                        msg.clone(),
-                        mult,
-                    ));
+                    let dw = part.owner_of(t) as usize;
+                    push_broadcast(t, &msg, mult, dw, locals, combine, shards, slots);
                 }
             }
         }
     }
+
+    for (dw, shard) in shards.iter_mut().enumerate() {
+        finish_shard(src_worker, dw, shard, combine, msg_bytes);
+    }
     sent_wire
 }
 
-/// Stage 2: fold one shard into its destination's inbox, optionally
-/// combining first, and measure the pair's traffic.
+/// Measure one shard's pair traffic after its content is final.
 ///
 /// Mirrored-broadcast envelopes must not ALSO pay per-envelope network
 /// bytes: the shard tracks how many wire messages were prepaid, and the
 /// remainder of the bucket pays normally. Envelopes from `sends` and
 /// unmirrored broadcasts are never prepaid.
-fn merge_shard<M: Message>(
-    src_worker: usize,
-    dest_worker: usize,
-    shard: &mut Shard<M>,
-    combine: bool,
-    msg_bytes: u64,
-    scratch: &mut CombineScratch<M>,
-    inbox: &mut Vec<Envelope<M>>,
-) -> PairFlow {
+fn finish_shard<M>(src: usize, dst: usize, shard: &mut Shard<M>, combine: bool, msg_bytes: u64) {
     let prepaid_net = std::mem::take(&mut shard.prepaid_net);
     let prepaid_wire = std::mem::take(&mut shard.prepaid_wire);
-    let bucket = &mut shard.bucket;
+    let wire = std::mem::take(&mut shard.wire);
     let mut flow = PairFlow::default();
-    if bucket.is_empty() && prepaid_net == 0 {
-        return flow;
+    if !shard.bucket.is_empty() || prepaid_net != 0 {
+        let tuples = shard.bucket.len() as u64;
+        // Bytes on the wire: combining systems transmit tuples,
+        // non-combining systems transmit every wire message.
+        let payload_units = if combine { tuples } else { wire };
+        let buffer_bytes = payload_units * msg_bytes;
+        flow.buffer_bytes = buffer_bytes;
+        flow.wire = wire;
+        flow.tuples = tuples;
+        if dst != src {
+            // Replace the prepaid portion: those wire messages crossed
+            // as mirror transfers already counted.
+            let prepaid_units = prepaid_wire.min(payload_units);
+            flow.net_bytes = buffer_bytes.saturating_sub(prepaid_units * msg_bytes) + prepaid_net;
+        } else {
+            flow.local_bytes = buffer_bytes;
+        }
     }
-    if combine {
-        combine_bucket_keyed(bucket, scratch);
+    shard.flow = flow;
+}
+
+/// Stage 2: fold one destination's shard column (in source order) into
+/// its grouped [`Inbox`].
+///
+/// The per-shard histograms are summed into per-vertex offsets, every
+/// envelope payload is moved into its vertex's delivery run, and the
+/// runs are emitted in ascending local-index order — the exact grouping
+/// the compute phase used to derive with a per-round counting sort.
+fn merge_column<M: Message>(
+    dst: usize,
+    col: &mut [Shard<M>],
+    locals: &LocalIndex,
+    counts: &mut Vec<u32>,
+    active: &mut Vec<u32>,
+    inbox: &mut Inbox<M>,
+    flows: &mut [PairFlow],
+) {
+    let nloc = locals.count(dst);
+    if counts.len() < nloc {
+        counts.resize(nloc, 0);
     }
-    let tuples = bucket.len() as u64;
-    let wire: u64 = bucket.iter().map(|e| e.mult).sum();
-    // Bytes on the wire: combining systems transmit tuples,
-    // non-combining systems transmit every wire message.
-    let payload_units = if combine { tuples } else { wire };
-    let buffer_bytes = payload_units * msg_bytes;
-    flow.buffer_bytes = buffer_bytes;
-    flow.wire = wire;
-    flow.tuples = tuples;
-    if dest_worker != src_worker {
-        // Replace the prepaid portion: those wire messages crossed as
-        // mirror transfers already counted.
-        let prepaid_units = prepaid_wire.min(payload_units);
-        flow.net_bytes = buffer_bytes.saturating_sub(prepaid_units * msg_bytes) + prepaid_net;
-    } else {
-        flow.local_bytes = buffer_bytes;
+    debug_assert!(inbox.is_empty(), "inboxes must arrive empty");
+    debug_assert!(counts.iter().all(|&c| c == 0), "offset buffer not reset");
+    active.clear();
+
+    // Sum the shard histograms; `active` collects the distinct local
+    // indices so nothing here is O(worker vertex count).
+    let mut total = 0usize;
+    for (src, shard) in col.iter_mut().enumerate() {
+        flows[src] = std::mem::take(&mut shard.flow);
+        total += shard.bucket.len();
+        for &li in &shard.touched {
+            if counts[li as usize] == 0 {
+                active.push(li);
+            }
+            counts[li as usize] += shard.hist[li as usize];
+        }
     }
-    // `append` drains the bucket but retains its capacity — the shard
-    // is pre-sized for the next round by this round's traffic.
-    inbox.append(bucket);
-    flow
+    if total == 0 {
+        return;
+    }
+    assert!(total <= u32::MAX as usize, "round inbox exceeds u32 range");
+
+    // Prefix-sum in ascending local order: counts[li] becomes the write
+    // cursor of li's run.
+    active.sort_unstable();
+    let mut running = 0u32;
+    for &li in active.iter() {
+        let c = counts[li as usize];
+        counts[li as usize] = running;
+        running += c;
+    }
+    debug_assert_eq!(running as usize, total);
+
+    // Scatter: move each envelope's payload straight into its run slot.
+    // Iterating shards in source order keeps runs stable by (source,
+    // send order) — the same order the counting sort used to produce.
+    inbox.deliveries.reserve(total);
+    let spare = inbox.deliveries.spare_capacity_mut();
+    for shard in col.iter_mut() {
+        for env in shard.bucket.drain(..) {
+            let li = locals.local_of(env.dest) as usize;
+            let slot = counts[li] as usize;
+            counts[li] += 1;
+            spare[slot].write(Delivery {
+                msg: env.msg,
+                mult: env.mult,
+            });
+        }
+        // Restore the shard's all-zero histogram for the next round.
+        for &li in &shard.touched {
+            shard.hist[li as usize] = 0;
+        }
+        shard.touched.clear();
+    }
+    // SAFETY: the cursors partition 0..total into disjoint runs (run li
+    // starts at its prefix sum and receives exactly hist-sum(li)
+    // writes), so every slot in 0..total was written exactly once
+    // above, and `reserve(total)` guaranteed the spare capacity.
+    unsafe { inbox.deliveries.set_len(total) };
+
+    // After the scatter each cursor sits at its run's end offset; emit
+    // the runs and restore the all-zero offset buffer.
+    inbox.runs.reserve(active.len());
+    for &li in active.iter() {
+        inbox.runs.push(Run {
+            dest: locals.vertex_at(dst, li),
+            local: li,
+            end: counts[li as usize],
+        });
+        counts[li as usize] = 0;
+    }
 }
 
 /// Fold one pair's flow into the round statistics.
@@ -258,62 +584,144 @@ fn apply_flow(stats: &mut RoutingStats, src: usize, dst: usize, flow: &PairFlow)
     stats.delivered_tuples += flow.tuples;
 }
 
-/// Route all outboxes into per-worker inboxes — the serial reference
-/// implementation of the shard-then-merge pipeline. [`RouteGrid`] is
-/// the buffer-recycling, pool-dispatching equivalent the engine uses;
-/// both produce bit-identical inboxes and statistics.
+/// Route all outboxes into grouped per-worker inboxes — the serial
+/// reference implementation of the sender-combining shard-then-merge
+/// pipeline. [`RouteGrid`] is the buffer-recycling, pool-dispatching
+/// equivalent the engine uses; both produce bit-identical inboxes and
+/// statistics. This implementation is deliberately different machinery
+/// (fresh per-call buffers, a plain `HashMap` for combining, a stable
+/// comparison sort for grouping) so the property tests pin the grid
+/// against genuinely independent code.
 ///
 /// * `mirrors`: `Some` in broadcast (Pregel+(mirror)) mode — mirrored
 ///   vertices pay one wire message per remote mirror worker instead of
 ///   one per remote neighbor.
-/// * `combine`: merge envelopes with equal `(dest, combine_key)` within
-///   each (source worker → dest worker) bucket before "transmission",
-///   the way sender-side Pregel combiners work.
+/// * `combine`: fold envelopes with equal `(dest, combine_key)` at the
+///   source worker before "transmission", the way sender-side Pregel
+///   combiners work. Multiplicities sum; payloads merge in send order.
 /// * `msg_bytes`: wire size of one message.
 pub fn route<M: Message>(
     mut outboxes: Vec<Outbox<M>>,
     graph: &Graph,
     part: &Partition,
+    locals: &LocalIndex,
     mirrors: Option<&MirrorIndex>,
     combine: bool,
     msg_bytes: u64,
-) -> (Vec<Vec<Envelope<M>>>, RoutingStats) {
+) -> (Vec<Inbox<M>>, RoutingStats) {
+    use std::collections::HashMap;
+
     let workers = part.num_workers();
     let mut stats = RoutingStats::new(workers);
-    let mut inboxes: Vec<Vec<Envelope<M>>> = (0..workers).map(|_| Vec::new()).collect();
-    let mut shards: Vec<Shard<M>> = (0..workers).map(|_| Shard::default()).collect();
-    let mut scratch = CombineScratch::default();
+    // columns[dst][src]: combined envelope buckets in source order.
+    let mut columns: Vec<Vec<Vec<Envelope<M>>>> =
+        (0..workers).map(|_| Vec::with_capacity(workers)).collect();
 
-    for (src_worker, outbox) in outboxes.iter_mut().enumerate() {
-        stats.sent_wire += shard_outbox(
-            src_worker,
-            outbox,
-            graph,
-            part,
-            mirrors,
-            msg_bytes,
-            &mut shards,
-        );
-        for (dw, shard) in shards.iter_mut().enumerate() {
-            let flow = merge_shard(
-                src_worker,
-                dw,
-                shard,
-                combine,
-                msg_bytes,
-                &mut scratch,
-                &mut inboxes[dw],
-            );
-            apply_flow(&mut stats, src_worker, dw, &flow);
+    for (src, outbox) in outboxes.iter_mut().enumerate() {
+        let mut buckets: Vec<Vec<Envelope<M>>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut prepaid_net = vec![0u64; workers];
+        let mut prepaid_wire = vec![0u64; workers];
+        let mut slots: HashMap<(VertexId, u64), usize> = HashMap::new();
+
+        let deposit = |buckets: &mut Vec<Vec<Envelope<M>>>,
+                       slots: &mut HashMap<(VertexId, u64), usize>,
+                       dest: VertexId,
+                       msg: &M,
+                       mult: u64| {
+            let dw = part.owner_of(dest) as usize;
+            if combine {
+                if let Some(key) = msg.combine_key() {
+                    if let Some(&pos) = slots.get(&(dest, key)) {
+                        let slot = &mut buckets[dw][pos];
+                        slot.msg.merge(msg);
+                        slot.mult += mult;
+                        return;
+                    }
+                    slots.insert((dest, key), buckets[dw].len());
+                }
+            }
+            buckets[dw].push(Envelope::new(dest, msg.clone(), mult));
+        };
+
+        for env in outbox.sends.drain(..) {
+            stats.sent_wire += env.mult;
+            deposit(&mut buckets, &mut slots, env.dest, &env.msg, env.mult);
+        }
+        for (origin, msg, mult) in outbox.broadcasts.drain(..) {
+            stats.sent_wire += graph.degree(origin) as u64 * mult;
+            let fanout = mirrors.and_then(|m| m.fanout(origin));
+            if let Some(mirror_workers) = fanout {
+                for &mw in mirror_workers {
+                    prepaid_net[mw as usize] += msg_bytes * mult;
+                }
+            }
+            for &t in graph.neighbors(origin) {
+                let dw = part.owner_of(t) as usize;
+                if fanout.is_some() && dw != src {
+                    prepaid_wire[dw] += mult;
+                }
+                deposit(&mut buckets, &mut slots, t, &msg, mult);
+            }
+        }
+
+        for (dw, bucket) in buckets.into_iter().enumerate() {
+            let mut flow = PairFlow::default();
+            if !bucket.is_empty() || prepaid_net[dw] != 0 {
+                let tuples = bucket.len() as u64;
+                let wire: u64 = bucket.iter().map(|e| e.mult).sum();
+                let payload_units = if combine { tuples } else { wire };
+                let buffer_bytes = payload_units * msg_bytes;
+                flow.buffer_bytes = buffer_bytes;
+                flow.wire = wire;
+                flow.tuples = tuples;
+                if dw != src {
+                    let prepaid_units = prepaid_wire[dw].min(payload_units);
+                    flow.net_bytes =
+                        buffer_bytes.saturating_sub(prepaid_units * msg_bytes) + prepaid_net[dw];
+                } else {
+                    flow.local_bytes = buffer_bytes;
+                }
+            }
+            apply_flow(&mut stats, src, dw, &flow);
+            columns[dw].push(bucket);
         }
     }
+
+    // Grouped delivery: concatenate each column in source order and
+    // stable-sort by local index (the grid derives the same order from
+    // histograms instead).
+    let inboxes = columns
+        .into_iter()
+        .map(|column| {
+            let mut all: Vec<Envelope<M>> = column.into_iter().flatten().collect();
+            all.sort_by_key(|e| locals.local_of(e.dest)); // stable
+            let mut inbox = Inbox::new();
+            for env in all {
+                let li = locals.local_of(env.dest);
+                if inbox.runs.last().map(|r| r.local) != Some(li) {
+                    inbox.runs.push(Run {
+                        dest: env.dest,
+                        local: li,
+                        end: inbox.deliveries.len() as u32,
+                    });
+                }
+                inbox.deliveries.push(Delivery {
+                    msg: env.msg,
+                    mult: env.mult,
+                });
+                inbox.runs.last_mut().expect("run exists").end = inbox.deliveries.len() as u32;
+            }
+            inbox
+        })
+        .collect();
     (inboxes, stats)
 }
 
 /// Persistent state of the two-stage routing pipeline: the
-/// workers×workers shard matrix, per-pair flow cells, and per-worker
-/// combine scratch. Owned for the duration of one run and reused every
-/// round, so steady-state routing allocates nothing.
+/// workers×workers shard matrix, per-pair flow cells, per-source
+/// combining slot maps, and per-destination offset buffers. Owned for
+/// the duration of one run and reused every round, so steady-state
+/// routing allocates nothing.
 pub struct RouteGrid<M> {
     workers: usize,
     /// Row-major shards, `rows[src][dst]` — the layout stage 1 writes.
@@ -327,8 +735,12 @@ pub struct RouteGrid<M> {
     flows: Vec<PairFlow>,
     /// Per-source wire messages produced, written by stage 1.
     sent: Vec<u64>,
-    /// Per-destination combine scratch.
-    scratch: Vec<CombineScratch<M>>,
+    /// Per-source sender-combining slot maps.
+    slots: Vec<SenderSlots>,
+    /// Per-destination run-offset buffers (all-zero between rounds).
+    counts: Vec<Vec<u32>>,
+    /// Per-destination active-local-index scratch.
+    active: Vec<Vec<u32>>,
     stats: RoutingStats,
 }
 
@@ -346,26 +758,29 @@ impl<M: Message> RouteGrid<M> {
                 .collect(),
             flows: vec![PairFlow::default(); workers * workers],
             sent: vec![0; workers],
-            scratch: (0..workers).map(|_| CombineScratch::default()).collect(),
+            slots: (0..workers).map(|_| SenderSlots::default()).collect(),
+            counts: (0..workers).map(|_| Vec::new()).collect(),
+            active: (0..workers).map(|_| Vec::new()).collect(),
             stats: RoutingStats::new(workers),
         }
     }
 
-    /// Route one round of traffic: drain `outboxes` into `inboxes`
-    /// (which must arrive empty; capacity is reused) and return the
-    /// round's statistics. With `pool: Some`, the shard stage fans out
-    /// over source workers and the merge stage over destination
-    /// workers, each job pinned to its worker's pool thread; with
-    /// `None`, both stages run inline. Results are identical either
-    /// way, and bit-identical to [`route`].
+    /// Route one round of traffic: drain `outboxes` into the grouped
+    /// `inboxes` (which must arrive empty; capacity is reused) and
+    /// return the round's statistics. With `pool: Some`, the shard
+    /// stage fans out over source workers and the merge stage over
+    /// destination workers, each job pinned to its worker's pool
+    /// thread; with `None`, both stages run inline. Results are
+    /// identical either way, and bit-identical to [`route`].
     #[allow(clippy::too_many_arguments)]
     pub fn route_round(
         &mut self,
         pool: Option<&WorkerPool>,
         outboxes: &mut [Outbox<M>],
-        inboxes: &mut [Vec<Envelope<M>>],
+        inboxes: &mut [Inbox<M>],
         graph: &Graph,
         part: &Partition,
+        locals: &LocalIndex,
         mirrors: Option<&MirrorIndex>,
         combine: bool,
         msg_bytes: u64,
@@ -373,34 +788,40 @@ impl<M: Message> RouteGrid<M> {
         let workers = self.workers;
         assert_eq!(outboxes.len(), workers, "one outbox per worker");
         assert_eq!(inboxes.len(), workers, "one inbox per worker");
-        debug_assert!(inboxes.iter().all(|i| i.is_empty()));
 
-        // ---- stage 1: shard, parallel over source workers ----------
+        // ---- stage 1: shard + combine, parallel over sources --------
         // Lane assignment is `worker % pool.workers()`: normally the
         // pool is partition-sized and this is the identity, but it also
         // keeps a smaller pool (fewer cores than workers) correct.
         match pool {
             Some(pool) => pool.scope(|s| {
                 let lanes = pool.workers();
-                for (src, ((outbox, row), sent)) in outboxes
+                for (src, (((outbox, row), sent), slots)) in outboxes
                     .iter_mut()
                     .zip(self.rows.iter_mut())
                     .zip(self.sent.iter_mut())
+                    .zip(self.slots.iter_mut())
                     .enumerate()
                 {
                     s.run_on(src % lanes, move || {
-                        *sent = shard_outbox(src, outbox, graph, part, mirrors, msg_bytes, row);
+                        *sent = shard_outbox(
+                            src, outbox, graph, part, locals, mirrors, combine, msg_bytes, row,
+                            slots,
+                        );
                     });
                 }
             }),
             None => {
-                for (src, ((outbox, row), sent)) in outboxes
+                for (src, (((outbox, row), sent), slots)) in outboxes
                     .iter_mut()
                     .zip(self.rows.iter_mut())
                     .zip(self.sent.iter_mut())
+                    .zip(self.slots.iter_mut())
                     .enumerate()
                 {
-                    *sent = shard_outbox(src, outbox, graph, part, mirrors, msg_bytes, row);
+                    *sent = shard_outbox(
+                        src, outbox, graph, part, locals, mirrors, combine, msg_bytes, row, slots,
+                    );
                 }
             }
         }
@@ -412,39 +833,35 @@ impl<M: Message> RouteGrid<M> {
             }
         }
 
-        // ---- stage 2: merge, parallel over destination workers -----
+        // ---- stage 2: grouped merge, parallel over destinations ----
         match pool {
             Some(pool) => pool.scope(|s| {
                 let lanes = pool.workers();
-                for (dst, (((col, inbox), flows), scratch)) in self
+                for (dst, ((((col, inbox), flows), counts), active)) in self
                     .cols
                     .iter_mut()
                     .zip(inboxes.iter_mut())
                     .zip(self.flows.chunks_mut(workers))
-                    .zip(self.scratch.iter_mut())
+                    .zip(self.counts.iter_mut())
+                    .zip(self.active.iter_mut())
                     .enumerate()
                 {
                     s.run_on(dst % lanes, move || {
-                        for (src, shard) in col.iter_mut().enumerate() {
-                            flows[src] =
-                                merge_shard(src, dst, shard, combine, msg_bytes, scratch, inbox);
-                        }
+                        merge_column(dst, col, locals, counts, active, inbox, flows);
                     });
                 }
             }),
             None => {
-                for (dst, (((col, inbox), flows), scratch)) in self
+                for (dst, ((((col, inbox), flows), counts), active)) in self
                     .cols
                     .iter_mut()
                     .zip(inboxes.iter_mut())
                     .zip(self.flows.chunks_mut(workers))
-                    .zip(self.scratch.iter_mut())
+                    .zip(self.counts.iter_mut())
+                    .zip(self.active.iter_mut())
                     .enumerate()
                 {
-                    for (src, shard) in col.iter_mut().enumerate() {
-                        flows[src] =
-                            merge_shard(src, dst, shard, combine, msg_bytes, scratch, inbox);
-                    }
+                    merge_column(dst, col, locals, counts, active, inbox, flows);
                 }
             }
         }
@@ -478,45 +895,6 @@ impl<M> std::fmt::Debug for RouteGrid<M> {
     }
 }
 
-/// Merge envelopes with equal `(dest, combine_key)`; multiplicities
-/// sum. Envelopes with `combine_key() == None` are kept verbatim — they
-/// sort *after* every keyed envelope of the same destination, so a
-/// `Some(u64::MAX)` key can never interleave with (and be split by)
-/// unkeyed envelopes. Keys are computed once per envelope into the
-/// scratch buffer, not re-derived inside the sort comparator.
-fn combine_bucket_keyed<M: Message>(
-    bucket: &mut Vec<Envelope<M>>,
-    scratch: &mut CombineScratch<M>,
-) {
-    if bucket.len() < 2 {
-        return;
-    }
-    scratch.keyed.clear();
-    scratch
-        .keyed
-        .extend(bucket.drain(..).map(|e| (e.sort_tag(), e)));
-    // Stable: envelopes with equal tags keep arrival order, so merge
-    // order (and thus non-commutative `merge` results) is deterministic.
-    scratch.keyed.sort_by_key(|a| a.0);
-    let mut last_key: Option<(VertexId, u64)> = None;
-    for ((dest, uncombinable, key), env) in scratch.keyed.drain(..) {
-        if !uncombinable && last_key == Some((dest, key)) {
-            let last = bucket.last_mut().expect("merge target exists");
-            last.msg.merge(&env.msg);
-            last.mult += env.mult;
-        } else {
-            last_key = (!uncombinable).then_some((dest, key));
-            bucket.push(env);
-        }
-    }
-}
-
-/// [`combine_bucket_keyed`] with owned scratch, for tests.
-#[cfg(test)]
-fn combine_bucket<M: Message>(bucket: &mut Vec<Envelope<M>>) {
-    combine_bucket_keyed(bucket, &mut CombineScratch::default());
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -533,20 +911,21 @@ mod tests {
         fn merge(&mut self, _o: &Self) {}
     }
 
-    fn two_worker_setup() -> (mtvc_graph::Graph, Partition) {
+    fn two_worker_setup() -> (mtvc_graph::Graph, Partition, LocalIndex) {
         let g = generators::ring(8, true);
         let p = RangePartitioner.partition(&g, 2);
-        (g, p)
+        let l = LocalIndex::build(&p);
+        (g, p, l)
     }
 
     #[test]
     fn p2p_local_vs_network() {
-        let (g, p) = two_worker_setup();
+        let (g, p, l) = two_worker_setup();
         let mut ob0: Outbox<Src> = Outbox::new();
         ob0.sends.push(Envelope::new(1, Src(0), 1)); // 0 -> w0 local
         ob0.sends.push(Envelope::new(5, Src(0), 2)); // 0 -> w1 remote
         let ob1: Outbox<Src> = Outbox::new();
-        let (inboxes, stats) = route(vec![ob0, ob1], &g, &p, None, false, 16);
+        let (inboxes, stats) = route(vec![ob0, ob1], &g, &p, &l, None, false, 16);
         assert_eq!(stats.sent_wire, 3);
         assert_eq!(stats.local_bytes, 16);
         assert_eq!(stats.net_out_bytes, vec![32, 0]);
@@ -558,38 +937,41 @@ mod tests {
 
     #[test]
     fn combining_merges_same_dest_and_key() {
-        let (g, p) = two_worker_setup();
+        let (g, p, l) = two_worker_setup();
         let mut ob0: Outbox<Src> = Outbox::new();
         ob0.sends.push(Envelope::new(5, Src(7), 2));
         ob0.sends.push(Envelope::new(5, Src(7), 3));
         ob0.sends.push(Envelope::new(5, Src(8), 1)); // different key
-        let (inboxes, stats) = route(vec![ob0, Outbox::new()], &g, &p, None, true, 16);
+        let (inboxes, stats) = route(vec![ob0, Outbox::new()], &g, &p, &l, None, true, 16);
         assert_eq!(stats.sent_wire, 6);
         assert_eq!(stats.delivered_tuples, 2);
         assert_eq!(stats.in_wire[1], 6);
         assert_eq!(stats.in_tuples[1], 2);
         // Combined transmission: 2 tuples * 16 bytes.
         assert_eq!(stats.net_in_bytes[1], 32);
-        let mults: Vec<u64> = inboxes[1].iter().map(|e| e.mult).collect();
+        let mults: Vec<u64> = inboxes[1].deliveries().iter().map(|d| d.mult).collect();
         assert_eq!(mults.iter().sum::<u64>(), 6);
+        // Sender combining keeps first-send order: Src(7) then Src(8).
+        assert_eq!(inboxes[1].deliveries()[0].mult, 5);
+        assert_eq!(inboxes[1].deliveries()[1].mult, 1);
     }
 
     #[test]
     fn without_combining_bytes_charge_every_wire_message() {
-        let (g, p) = two_worker_setup();
+        let (g, p, l) = two_worker_setup();
         let mut ob0: Outbox<Src> = Outbox::new();
         ob0.sends.push(Envelope::new(5, Src(7), 5));
-        let (_, stats) = route(vec![ob0, Outbox::new()], &g, &p, None, false, 16);
+        let (_, stats) = route(vec![ob0, Outbox::new()], &g, &p, &l, None, false, 16);
         assert_eq!(stats.net_in_bytes[1], 80);
     }
 
     #[test]
     fn unmirrored_broadcast_expands_per_neighbor() {
-        let (g, p) = two_worker_setup();
+        let (g, p, l) = two_worker_setup();
         let mut ob0: Outbox<Src> = Outbox::new();
         // Vertex 0's neighbors on the ring: 1 (w0) and 7 (w1).
         ob0.broadcasts.push((0, Src(0), 1));
-        let (inboxes, stats) = route(vec![ob0, Outbox::new()], &g, &p, None, false, 16);
+        let (inboxes, stats) = route(vec![ob0, Outbox::new()], &g, &p, &l, None, false, 16);
         assert_eq!(stats.sent_wire, 2);
         assert_eq!(inboxes[0].len(), 1);
         assert_eq!(inboxes[1].len(), 1);
@@ -601,13 +983,13 @@ mod tests {
         // Star: hub 0 with 16 leaves, 4 workers. Hub degree 16.
         let g = generators::star(17);
         let p = RangePartitioner.partition(&g, 4);
+        let l = LocalIndex::build(&p);
         let idx = MirrorIndex::build(&g, &p, 4);
-        assert!(idx.is_mirrored(0));
         let mut ob0: Outbox<Src> = Outbox::new();
         ob0.broadcasts.push((0, Src(0), 1));
         let mut obs = vec![ob0];
         obs.extend((1..4).map(|_| Outbox::new()));
-        let (inboxes, stats) = route(obs, &g, &p, Some(&idx), false, 16);
+        let (inboxes, stats) = route(obs, &g, &p, &l, Some(&idx), false, 16);
         // All 16 leaves receive a message.
         let delivered: usize = inboxes.iter().map(|i| i.len()).sum();
         assert_eq!(delivered, 16);
@@ -622,13 +1004,14 @@ mod tests {
     fn mirrored_and_plain_traffic_coexist() {
         let g = generators::star(17);
         let p = RangePartitioner.partition(&g, 4);
+        let l = LocalIndex::build(&p);
         let idx = MirrorIndex::build(&g, &p, 4);
         let mut ob0: Outbox<Src> = Outbox::new();
         ob0.broadcasts.push((0, Src(0), 1));
         ob0.sends.push(Envelope::new(16, Src(9), 1)); // plain remote send
         let mut obs = vec![ob0];
         obs.extend((1..4).map(|_| Outbox::new()));
-        let (_, stats) = route(obs, &g, &p, Some(&idx), false, 16);
+        let (_, stats) = route(obs, &g, &p, &l, Some(&idx), false, 16);
         // 3 mirror transfers + 1 plain remote send.
         let total_net: u64 = stats.net_out_bytes.iter().sum();
         assert_eq!(total_net, 4 * 16);
@@ -636,7 +1019,7 @@ mod tests {
     }
 
     #[test]
-    fn combine_bucket_preserves_uncombignable() {
+    fn combining_preserves_uncombinable() {
         #[derive(Clone, Debug, PartialEq)]
         struct NoKey;
         impl Message for NoKey {
@@ -645,20 +1028,21 @@ mod tests {
             }
             fn merge(&mut self, _o: &Self) {}
         }
-        let mut bucket = vec![
-            Envelope::new(1, NoKey, 1),
-            Envelope::new(1, NoKey, 1),
-            Envelope::new(1, NoKey, 1),
-        ];
-        combine_bucket(&mut bucket);
-        assert_eq!(bucket.len(), 3);
+        let (g, p, l) = two_worker_setup();
+        let mut ob0: Outbox<NoKey> = Outbox::new();
+        ob0.sends.push(Envelope::new(1, NoKey, 1));
+        ob0.sends.push(Envelope::new(1, NoKey, 1));
+        ob0.sends.push(Envelope::new(1, NoKey, 1));
+        let (inboxes, stats) = route(vec![ob0, Outbox::new()], &g, &p, &l, None, true, 16);
+        assert_eq!(stats.delivered_tuples, 3);
+        assert_eq!(inboxes[0].len(), 3);
     }
 
     #[test]
-    fn combine_bucket_max_key_does_not_interleave_with_unkeyed() {
+    fn combining_max_key_does_not_merge_with_unkeyed() {
         // Messages whose combine key is Some(u64::MAX) must all merge
-        // even when unkeyed envelopes arrive between them. The old
-        // comparator mapped both to u64::MAX and interleaved them.
+        // even when unkeyed envelopes arrive between them, and the
+        // unkeyed ones must stay distinct.
         #[derive(Clone, Debug, PartialEq)]
         struct MaybeKey(Option<u64>);
         impl Message for MaybeKey {
@@ -667,32 +1051,39 @@ mod tests {
             }
             fn merge(&mut self, _o: &Self) {}
         }
-        let mut bucket = vec![
-            Envelope::new(1, MaybeKey(Some(u64::MAX)), 1),
-            Envelope::new(1, MaybeKey(None), 1),
-            Envelope::new(1, MaybeKey(Some(u64::MAX)), 1),
-            Envelope::new(1, MaybeKey(None), 1),
-            Envelope::new(1, MaybeKey(Some(u64::MAX)), 1),
-        ];
-        combine_bucket(&mut bucket);
-        // 1 merged MAX-keyed envelope (mult 3) + 2 unkeyed kept verbatim.
-        assert_eq!(bucket.len(), 3);
-        let max_keyed: Vec<&Envelope<MaybeKey>> =
-            bucket.iter().filter(|e| e.msg.0.is_some()).collect();
+        let (g, p, l) = two_worker_setup();
+        let mut ob0: Outbox<MaybeKey> = Outbox::new();
+        for msg in [
+            MaybeKey(Some(u64::MAX)),
+            MaybeKey(None),
+            MaybeKey(Some(u64::MAX)),
+            MaybeKey(None),
+            MaybeKey(Some(u64::MAX)),
+        ] {
+            ob0.sends.push(Envelope::new(1, msg, 1));
+        }
+        let (inboxes, _) = route(vec![ob0, Outbox::new()], &g, &p, &l, None, true, 16);
+        // 1 merged MAX-keyed delivery (mult 3) + 2 unkeyed kept verbatim.
+        assert_eq!(inboxes[0].len(), 3);
+        let max_keyed: Vec<&Delivery<MaybeKey>> = inboxes[0]
+            .deliveries()
+            .iter()
+            .filter(|d| d.msg.0.is_some())
+            .collect();
         assert_eq!(max_keyed.len(), 1);
         assert_eq!(max_keyed[0].mult, 3);
     }
 
     #[test]
     fn deterministic_routing_order() {
-        let (g, p) = two_worker_setup();
+        let (g, p, l) = two_worker_setup();
         let make = || {
             let mut ob0: Outbox<Src> = Outbox::new();
             ob0.sends.push(Envelope::new(5, Src(1), 1));
             ob0.sends.push(Envelope::new(6, Src(2), 1));
             let mut ob1: Outbox<Src> = Outbox::new();
             ob1.sends.push(Envelope::new(5, Src(3), 1));
-            route(vec![ob0, ob1], &g, &p, None, false, 8)
+            route(vec![ob0, ob1], &g, &p, &l, None, false, 8)
         };
         let (a, _) = make();
         let (b, _) = make();
@@ -700,9 +1091,30 @@ mod tests {
     }
 
     #[test]
+    fn runs_are_grouped_and_ascending() {
+        let (g, p, l) = two_worker_setup();
+        // Worker 1 owns vertices 4..8; interleave traffic to 5 and 7.
+        let mut ob0: Outbox<Src> = Outbox::new();
+        ob0.sends.push(Envelope::new(7, Src(1), 1));
+        ob0.sends.push(Envelope::new(5, Src(2), 1));
+        ob0.sends.push(Envelope::new(7, Src(3), 1));
+        let mut ob1: Outbox<Src> = Outbox::new();
+        ob1.sends.push(Envelope::new(5, Src(4), 1));
+        let (inboxes, _) = route(vec![ob0, ob1], &g, &p, &l, None, false, 8);
+        let runs: Vec<(VertexId, u32, Vec<u32>)> = inboxes[1]
+            .iter_runs()
+            .map(|(dest, li, ds)| (dest, li, ds.iter().map(|d| d.msg.0).collect()))
+            .collect();
+        // Ascending local index; within a run, source order then send
+        // order: vertex 5 hears Src(2) from w0 before Src(4) from w1.
+        assert_eq!(runs, vec![(5, 1, vec![2, 4]), (7, 3, vec![1, 3])]);
+    }
+
+    #[test]
     fn grid_matches_serial_route_with_and_without_pool() {
         let g = generators::star(17);
         let p = RangePartitioner.partition(&g, 4);
+        let l = LocalIndex::build(&p);
         let idx = MirrorIndex::build(&g, &p, 4);
         let make_outboxes = || {
             let mut ob0: Outbox<Src> = Outbox::new();
@@ -714,18 +1126,19 @@ mod tests {
             obs
         };
         for combine in [false, true] {
-            let (want_in, want_stats) = route(make_outboxes(), &g, &p, Some(&idx), combine, 16);
+            let (want_in, want_stats) = route(make_outboxes(), &g, &p, &l, Some(&idx), combine, 16);
             for pooled in [false, true] {
                 let pool = pooled.then(|| WorkerPool::new(4));
                 let mut grid: RouteGrid<Src> = RouteGrid::new(4);
                 let mut outboxes = make_outboxes();
-                let mut inboxes: Vec<Vec<Envelope<Src>>> = vec![Vec::new(); 4];
+                let mut inboxes: Vec<Inbox<Src>> = (0..4).map(|_| Inbox::new()).collect();
                 let stats = grid.route_round(
                     pool.as_ref(),
                     &mut outboxes,
                     &mut inboxes,
                     &g,
                     &p,
+                    &l,
                     Some(&idx),
                     combine,
                     16,
@@ -738,15 +1151,15 @@ mod tests {
 
     #[test]
     fn grid_reuses_buffers_across_rounds() {
-        let (g, p) = two_worker_setup();
+        let (g, p, l) = two_worker_setup();
         let mut grid: RouteGrid<Src> = RouteGrid::new(2);
-        let mut inboxes: Vec<Vec<Envelope<Src>>> = vec![Vec::new(); 2];
+        let mut inboxes: Vec<Inbox<Src>> = (0..2).map(|_| Inbox::new()).collect();
         for round in 0..3 {
             let mut obs: Vec<Outbox<Src>> = vec![Outbox::new(), Outbox::new()];
             for d in 0..8u32 {
                 obs[0].sends.push(Envelope::new(d, Src(d), 1));
             }
-            let stats = grid.route_round(None, &mut obs, &mut inboxes, &g, &p, None, false, 8);
+            let stats = grid.route_round(None, &mut obs, &mut inboxes, &g, &p, &l, None, false, 8);
             assert_eq!(stats.sent_wire, 8, "round {round}");
             assert!(obs.iter().all(|o| o.sends.is_empty()), "outboxes drained");
             let delivered: usize = inboxes.iter().map(|i| i.len()).sum();

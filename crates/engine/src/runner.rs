@@ -15,12 +15,11 @@
 //! across rounds, so a steady-state round is allocation-free on the
 //! envelope path.
 
-use crate::message::Envelope;
 use crate::mirror::MirrorIndex;
 use crate::pool::WorkerPool;
 use crate::profile::{ExecutionMode, SyncMode, SystemProfile};
 use crate::program::{Context, Outbox, VertexProgram};
-use crate::router::{RouteGrid, RoutingStats};
+use crate::router::{Inbox, LocalIndex, RouteGrid, RoutingStats};
 use mtvc_cluster::{ChargeError, ClusterSpec, CostModel, RoundDemand};
 use mtvc_graph::hash::mix64;
 use mtvc_graph::partition::{Partition, Partitioner};
@@ -96,9 +95,10 @@ pub struct Runner<'g> {
     partition: Partition,
     mirrors: Option<MirrorIndex>,
     config: EngineConfig,
-    worker_vertices: Vec<Vec<VertexId>>,
-    /// vertex id → index within its worker's state vector.
-    local_index: Vec<u32>,
+    /// Vertex ↔ (worker, local index) addressing, shared by the compute
+    /// phase (state vectors, inbox runs) and the routing pipeline
+    /// (shard histograms, grouped merge).
+    locals: LocalIndex,
     /// Adjacency bytes per worker (resident unless streamed).
     graph_bytes: Vec<u64>,
     /// Persistent worker threads, present iff the run qualifies for
@@ -141,15 +141,10 @@ impl<'g> Runner<'g> {
             }
             ExecutionMode::PointToPoint => None,
         };
-        let worker_vertices = partition.worker_vertices();
-        let mut local_index = vec![0u32; graph.num_vertices()];
-        for list in &worker_vertices {
-            for (i, &v) in list.iter().enumerate() {
-                local_index[v as usize] = i as u32;
-            }
-        }
+        let locals = LocalIndex::build(&partition);
         let weighted = graph.is_weighted();
-        let graph_bytes = worker_vertices
+        let graph_bytes = locals
+            .worker_vertices()
             .iter()
             .map(|list| {
                 list.iter()
@@ -165,8 +160,7 @@ impl<'g> Runner<'g> {
             partition,
             mirrors,
             config,
-            worker_vertices,
-            local_index,
+            locals,
             graph_bytes,
             pool,
         }
@@ -198,12 +192,14 @@ impl<'g> Runner<'g> {
         let async_mode = matches!(profile.sync, SyncMode::Asynchronous);
 
         let mut states: Vec<Vec<P::State>> = self
-            .worker_vertices
+            .locals
+            .worker_vertices()
             .iter()
             .map(|list| vec![P::State::default(); list.len()])
             .collect();
         let mut state_bytes: Vec<u64> = self
-            .worker_vertices
+            .locals
+            .worker_vertices()
             .iter()
             .map(|list| list.len() as u64 * program.initial_state_bytes())
             .collect();
@@ -214,8 +210,7 @@ impl<'g> Runner<'g> {
         // drains the inboxes in place, the shard stage drains the
         // outboxes in place, and the merge stage refills the inboxes —
         // every Vec keeps the capacity last round's traffic shaped.
-        let mut inboxes: Vec<Vec<Envelope<P::Message>>> =
-            (0..workers).map(|_| Vec::new()).collect();
+        let mut inboxes: Vec<Inbox<P::Message>> = (0..workers).map(|_| Inbox::new()).collect();
         let mut outboxes: Vec<Outbox<P::Message>> = (0..workers).map(|_| Outbox::new()).collect();
         let mut grid: RouteGrid<P::Message> = RouteGrid::new(workers);
         // Delivered-message statistics of the previous routing step:
@@ -260,6 +255,7 @@ impl<'g> Runner<'g> {
                 &mut inboxes,
                 self.graph,
                 &self.partition,
+                &self.locals,
                 self.mirrors.as_ref(),
                 profile.combiner,
                 msg_bytes,
@@ -358,7 +354,7 @@ impl<'g> Runner<'g> {
         &self,
         program: &P,
         round: usize,
-        inboxes: &mut [Vec<Envelope<P::Message>>],
+        inboxes: &mut [Inbox<P::Message>],
         outboxes: &mut [Outbox<P::Message>],
         states: &mut [Vec<P::State>],
     ) -> Vec<u64> {
@@ -375,8 +371,7 @@ impl<'g> Runner<'g> {
                         .enumerate()
                     {
                         let graph = self.graph;
-                        let vertices = &self.worker_vertices[w];
-                        let local_index = &self.local_index;
+                        let vertices = &self.locals.worker_vertices()[w];
                         s.run_on(w, move || {
                             *slot = worker_pass(
                                 program,
@@ -384,7 +379,6 @@ impl<'g> Runner<'g> {
                                 round,
                                 seed,
                                 vertices,
-                                local_index,
                                 inbox,
                                 outbox,
                                 worker_states,
@@ -406,8 +400,7 @@ impl<'g> Runner<'g> {
                         self.graph,
                         round,
                         seed,
-                        &self.worker_vertices[w],
-                        &self.local_index,
+                        &self.locals.worker_vertices()[w],
                         inbox,
                         outbox,
                         worker_states,
@@ -486,7 +479,7 @@ impl<'g> Runner<'g> {
 
     fn flatten_states<S: Default + Clone>(&self, mut states: Vec<Vec<S>>) -> Vec<S> {
         let mut out = vec![S::default(); self.graph.num_vertices()];
-        for (w, list) in self.worker_vertices.iter().enumerate() {
+        for (w, list) in self.locals.worker_vertices().iter().enumerate() {
             for (i, &v) in list.iter().enumerate() {
                 out[v as usize] = std::mem::take(&mut states[w][i]);
             }
@@ -495,8 +488,12 @@ impl<'g> Runner<'g> {
     }
 }
 
-/// Execute one worker's share of a round. The inbox is consumed and
-/// cleared in place (capacity retained for the next routing round);
+/// Execute one worker's share of a round. The inbox arrives already
+/// grouped by destination local index (the routing merge stage wrote it
+/// that way), so this is a single pass over its runs — each vertex's
+/// messages are handed to `compute` as a borrowed slice, with no
+/// sorting, no clones, and no per-round allocation. The inbox is
+/// cleared afterwards (capacity retained for the next routing round);
 /// the outbox is cleared and refilled.
 #[allow(clippy::too_many_arguments)]
 fn worker_pass<P: VertexProgram>(
@@ -505,65 +502,32 @@ fn worker_pass<P: VertexProgram>(
     round: usize,
     seed: u64,
     vertices: &[VertexId],
-    local_index: &[u32],
-    inbox: &mut Vec<Envelope<P::Message>>,
+    inbox: &mut Inbox<P::Message>,
     outbox: &mut Outbox<P::Message>,
     states: &mut [P::State],
 ) -> u64 {
     outbox.clear();
-    let mut active = 0u64;
+    let active;
     if round == 0 {
-        for &v in vertices {
+        // A worker's vertex list is in local-index order, so position
+        // IS the state index.
+        for (li, &v) in vertices.iter().enumerate() {
             let mut rng = vertex_rng(seed, round, v);
             let mut ctx = Context::new(v, round, graph, &mut rng, outbox);
-            program.init(v, &mut states[local_index[v as usize] as usize], &mut ctx);
+            program.init(v, &mut states[li], &mut ctx);
         }
         active = vertices.len() as u64;
     } else {
-        // Group the inbox by destination with a counting sort over the
-        // worker's local vertex indices — O(m + n_w), stable (arrival
-        // order within a destination is preserved), and far cheaper
-        // than a comparison sort at congestion-level message volumes.
-        let nloc = states.len();
-        let mut counts = vec![0u32; nloc + 1];
-        for e in inbox.iter() {
-            counts[local_index[e.dest as usize] as usize + 1] += 1;
+        active = inbox.runs().len() as u64;
+        let mut start = 0usize;
+        for run in inbox.runs() {
+            let msgs = &inbox.deliveries()[start..run.end as usize];
+            start = run.end as usize;
+            let mut rng = vertex_rng(seed, round, run.dest);
+            let mut ctx = Context::new(run.dest, round, graph, &mut rng, outbox);
+            program.compute(run.dest, &mut states[run.local as usize], msgs, &mut ctx);
         }
-        for i in 1..=nloc {
-            counts[i] += counts[i - 1];
-        }
-        let mut order: Vec<u32> = vec![0; inbox.len()];
-        {
-            let mut cursor = counts.clone();
-            for (i, e) in inbox.iter().enumerate() {
-                let li = local_index[e.dest as usize] as usize;
-                order[cursor[li] as usize] = i as u32;
-                cursor[li] += 1;
-            }
-        }
-        let mut pairs: Vec<(P::Message, u64)> = Vec::new();
-        for li in 0..nloc {
-            let (start, end) = (counts[li] as usize, counts[li + 1] as usize);
-            if start == end {
-                continue;
-            }
-            let dest = inbox[order[start] as usize].dest;
-            pairs.clear();
-            for &idx in &order[start..end] {
-                let e = &inbox[idx as usize];
-                pairs.push((e.msg.clone(), e.mult));
-            }
-            active += 1;
-            let mut rng = vertex_rng(seed, round, dest);
-            let mut ctx = Context::new(dest, round, graph, &mut rng, outbox);
-            program.compute(
-                dest,
-                &mut states[local_index[dest as usize] as usize],
-                &pairs,
-                &mut ctx,
-            );
-        }
-        // Recycle: the routing merge stage refills this Vec, reusing
+        // Recycle: the routing merge stage refills this inbox, reusing
         // the capacity this round's traffic established.
         inbox.clear();
     }
@@ -571,8 +535,9 @@ fn worker_pass<P: VertexProgram>(
 }
 
 /// Deterministic per-(round, vertex) RNG: thread scheduling cannot
-/// affect results.
-fn vertex_rng(seed: u64, round: usize, v: VertexId) -> SmallRng {
+/// affect results. Public so harnesses driving programs outside the
+/// engine (benches) reproduce a [`Runner`] run bit-for-bit.
+pub fn vertex_rng(seed: u64, round: usize, v: VertexId) -> SmallRng {
     SmallRng::seed_from_u64(mix64(
         seed ^ ((round as u64) << 40) ^ ((v as u64).wrapping_mul(0x9E37_79B9)),
     ))
@@ -581,7 +546,7 @@ fn vertex_rng(seed: u64, round: usize, v: VertexId) -> SmallRng {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::Message;
+    use crate::message::{Delivery, Message};
     use mtvc_graph::generators;
     use mtvc_graph::partition::HashPartitioner;
     use std::sync::Mutex;
@@ -626,10 +591,10 @@ mod tests {
             &self,
             _v: VertexId,
             state: &mut Level,
-            inbox: &[(Hop, u64)],
+            inbox: &[Delivery<Hop>],
             ctx: &mut Context<'_, Hop>,
         ) {
-            let best = inbox.iter().map(|(m, _)| m.0).min().unwrap();
+            let best = inbox.iter().map(|d| d.msg.0).min().unwrap();
             if state.0.map(|l| best < l).unwrap_or(true) {
                 state.0 = Some(best);
                 ctx.add_state_bytes(4);
@@ -782,10 +747,10 @@ mod tests {
                 &self,
                 _v: VertexId,
                 state: &mut Level,
-                inbox: &[(Hop, u64)],
+                inbox: &[Delivery<Hop>],
                 ctx: &mut Context<'_, Hop>,
             ) {
-                let best = inbox.iter().map(|(m, _)| m.0).min().unwrap();
+                let best = inbox.iter().map(|d| d.msg.0).min().unwrap();
                 if state.0.map(|l| best < l).unwrap_or(true) {
                     state.0 = Some(best);
                     ctx.broadcast(Hop(best + 1), 1);
@@ -919,14 +884,14 @@ mod tests {
                 &self,
                 _v: VertexId,
                 state: &mut Level,
-                inbox: &[(Hop, u64)],
+                inbox: &[Delivery<Hop>],
                 ctx: &mut Context<'_, Hop>,
             ) {
                 self.log
                     .lock()
                     .unwrap()
                     .push((ctx.round(), std::thread::current().id()));
-                let best = inbox.iter().map(|(m, _)| m.0).min().unwrap();
+                let best = inbox.iter().map(|d| d.msg.0).min().unwrap();
                 if state.0.map(|l| best < l).unwrap_or(true) {
                     state.0 = Some(best);
                     for &t in ctx.neighbors() {

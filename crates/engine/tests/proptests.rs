@@ -4,8 +4,8 @@
 use mtvc_cluster::ClusterSpec;
 use mtvc_engine::sampling::{binomial, multinomial_uniform};
 use mtvc_engine::{
-    route, Context, EngineConfig, Envelope, Message, MirrorIndex, Outbox, RouteGrid, Runner,
-    SystemProfile, VertexProgram, WorkerPool,
+    route, Context, Delivery, EngineConfig, Envelope, Inbox, LocalIndex, Message, MirrorIndex,
+    Outbox, RouteGrid, Runner, SystemProfile, VertexProgram, WorkerPool,
 };
 use mtvc_graph::partition::{HashPartitioner, Partitioner};
 use mtvc_graph::{generators, VertexId};
@@ -84,11 +84,11 @@ impl VertexProgram for TokenFlood {
         &self,
         _v: VertexId,
         state: &mut Received,
-        inbox: &[(Token, u64)],
+        inbox: &[Delivery<Token>],
         ctx: &mut Context<'_, Token>,
     ) {
-        for (_, mult) in inbox {
-            state.0 += mult;
+        for d in inbox {
+            state.0 += d.mult;
         }
         if ctx.round() < self.rounds {
             for &t in ctx.neighbors() {
@@ -215,9 +215,11 @@ fn synthetic_outboxes(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Tentpole invariant: the pooled two-stage grid produces inboxes
-    /// and statistics **identical** to the serial reference `route`,
-    /// across random graphs, worker counts, combining, and mirroring.
+    /// Tentpole invariant: the pooled two-stage grid (histogram scatter
+    /// + sender-side slot-map combining) produces grouped inboxes and
+    /// statistics **identical** to the serial reference `route` (stable
+    /// comparison sort + plain-HashMap combining), across random
+    /// graphs, worker counts, combining, and mirroring.
     #[test]
     fn parallel_route_equals_serial_route(
         n in 8usize..150,
@@ -228,19 +230,60 @@ proptest! {
     ) {
         let g = generators::erdos_renyi(n, n * 3, seed);
         let part = HashPartitioner { salt: seed }.partition(&g, workers);
+        let locals = LocalIndex::build(&part);
         let mirrors = mirrored.then(|| MirrorIndex::build(&g, &part, 4));
         let outboxes = synthetic_outboxes(&g, &part, seed ^ 0xD1CE, 40, 6);
         let msg_bytes = 16;
 
+        // Total wire messages entering the router, counted from the raw
+        // traffic — conservation baseline for the accounting checks.
+        let raw_wire: u64 = outboxes.iter().map(|ob| {
+            ob.sends.iter().map(|e| e.mult).sum::<u64>()
+                + ob.broadcasts.iter()
+                    .map(|(o, _, m)| g.degree(*o) as u64 * m)
+                    .sum::<u64>()
+        }).sum();
+
         let (serial_inboxes, serial_stats) =
-            route(outboxes.clone(), &g, &part, mirrors.as_ref(), combine, msg_bytes);
+            route(outboxes.clone(), &g, &part, &locals, mirrors.as_ref(), combine, msg_bytes);
+
+        // Wire accounting must be invariant under combining: combiners
+        // fold tuples, never wire messages.
+        prop_assert_eq!(serial_stats.sent_wire, raw_wire);
+        prop_assert_eq!(serial_stats.delivered_wire(), raw_wire);
+        let tuples: u64 = serial_inboxes.iter().map(|i| i.len() as u64).sum();
+        prop_assert_eq!(serial_stats.delivered_tuples, tuples);
+        let delivered_mult: u64 = serial_inboxes
+            .iter()
+            .flat_map(|i| i.deliveries())
+            .map(|d| d.mult)
+            .sum();
+        prop_assert_eq!(delivered_mult, raw_wire);
+
+        // Grouped-delivery invariants: runs ascend by local index, end
+        // offsets are strictly monotone and partition the buffer, and
+        // every delivery sits inside the run of its own vertex.
+        for (w, inbox) in serial_inboxes.iter().enumerate() {
+            let mut prev_local = None;
+            let mut start = 0usize;
+            for run in inbox.runs() {
+                prop_assert!(prev_local.is_none_or(|p| run.local > p));
+                prev_local = Some(run.local);
+                prop_assert!((run.end as usize) > start, "empty run");
+                prop_assert_eq!(part.owner_of(run.dest) as usize, w);
+                prop_assert_eq!(locals.local_of(run.dest), run.local);
+                prop_assert_eq!(locals.vertex_at(w, run.local), run.dest);
+                start = run.end as usize;
+            }
+            prop_assert_eq!(start, inbox.len(), "runs must cover the buffer");
+        }
 
         // Pooled grid, run twice over the same traffic to also exercise
         // buffer reuse across rounds.
         let pool = WorkerPool::new(workers.min(4));
         let mut grid: RouteGrid<Keyed> = RouteGrid::new(workers);
-        let mut grid_inboxes: Vec<Vec<Envelope<Keyed>>> =
-            (0..workers).map(|_| Vec::new()).collect();
+        let mut grid_inboxes: Vec<Inbox<Keyed>> =
+            (0..workers).map(|_| Inbox::new()).collect();
         for _ in 0..2 {
             let mut working = outboxes.clone();
             grid_inboxes.iter_mut().for_each(|i| i.clear());
@@ -250,6 +293,7 @@ proptest! {
                 &mut grid_inboxes,
                 &g,
                 &part,
+                &locals,
                 mirrors.as_ref(),
                 combine,
                 msg_bytes,
@@ -259,6 +303,40 @@ proptest! {
                 && ob.broadcasts.is_empty()));
         }
         prop_assert_eq!(&grid_inboxes, &serial_inboxes);
+    }
+
+    /// Full-run scheduling independence across the combiner axis: the
+    /// pooled pipeline and the serial pipeline must produce identical
+    /// outcomes, statistics, and per-vertex states, with the combiner
+    /// on or off — end-to-end over the sender-combining grouped path.
+    #[test]
+    fn pooled_run_equals_serial_run(
+        n in 16usize..120,
+        workers in 2usize..6,
+        combine in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let g = generators::power_law(n, n * 4, 2.4, seed);
+        let sources = vec![0 as VertexId, (n / 2) as VertexId];
+        let run = |threshold: usize| {
+            let mut cfg = EngineConfig::new(
+                ClusterSpec::galaxy(workers),
+                SystemProfile::base("t"),
+            );
+            cfg.cutoff = SimTime::secs(1e12);
+            cfg.profile.combiner = combine;
+            cfg.parallel_vertex_threshold = threshold;
+            let runner = Runner::new(&g, &HashPartitioner { salt: seed }, cfg);
+            runner.run(&mtvc_tasks_free_mssp(sources.clone()))
+        };
+        let serial = run(usize::MAX);
+        let pooled = run(0);
+        prop_assert!(serial.outcome.is_completed());
+        prop_assert_eq!(&serial.outcome, &pooled.outcome);
+        prop_assert_eq!(&serial.stats, &pooled.stats);
+        for v in 0..n {
+            prop_assert_eq!(&serial.states[v].dist, &pooled.states[v].dist, "vertex {}", v);
+        }
     }
 }
 
@@ -314,11 +392,12 @@ impl VertexProgram for MiniMssp {
         &self,
         _v: VertexId,
         state: &mut DistMap,
-        inbox: &[(Dist, u64)],
+        inbox: &[Delivery<Dist>],
         ctx: &mut Context<'_, Dist>,
     ) {
         let mut improved = Vec::new();
-        for (m, _) in inbox {
+        for d in inbox {
+            let m = &d.msg;
             let cur = state.dist.get(&m.q).copied().unwrap_or(u64::MAX);
             if m.d < cur {
                 state.dist.insert(m.q, m.d);

@@ -8,7 +8,7 @@
 //! vertices are distinct (independently-charged) unit tasks.
 
 use crate::mssp::QueryId;
-use mtvc_engine::{Context, Message, VertexProgram};
+use mtvc_engine::{Context, Delivery, Message, VertexProgram};
 use mtvc_graph::hash::{FastMap, FastSet};
 use mtvc_graph::VertexId;
 
@@ -69,21 +69,23 @@ impl BkhsProgram {
     }
 }
 
-fn absorb_new_queries(
+/// Mark never-seen queries as reached and forward each one via
+/// `forward`, in inbox arrival order (deterministic: routing delivers
+/// in a fixed order). The set insert already deduplicates, so no
+/// scratch collection is needed — the old per-call `Vec<QueryId>` +
+/// sort + dedup is gone from the hot path.
+fn absorb_and_forward(
     state: &mut BkhsState,
-    inbox: &[(ReachMsg, u64)],
+    inbox: &[Delivery<ReachMsg>],
     ctx: &mut Context<'_, ReachMsg>,
-) -> Vec<QueryId> {
-    let mut fresh: Vec<QueryId> = Vec::new();
-    for (msg, _) in inbox {
-        if state.reached.insert(msg.query) {
+    mut forward: impl FnMut(QueryId, &mut Context<'_, ReachMsg>),
+) {
+    for d in inbox {
+        if state.reached.insert(d.msg.query) {
             ctx.add_state_bytes(1); // bitmap-encoded reach flag
-            fresh.push(msg.query);
+            forward(d.msg.query, ctx);
         }
     }
-    fresh.sort_unstable();
-    fresh.dedup();
-    fresh
 }
 
 impl VertexProgram for BkhsProgram {
@@ -112,15 +114,14 @@ impl VertexProgram for BkhsProgram {
         &self,
         _v: VertexId,
         state: &mut BkhsState,
-        inbox: &[(ReachMsg, u64)],
+        inbox: &[Delivery<ReachMsg>],
         ctx: &mut Context<'_, ReachMsg>,
     ) {
-        let fresh = absorb_new_queries(state, inbox, ctx);
-        for query in fresh {
+        absorb_and_forward(state, inbox, ctx, |query, ctx| {
             for &t in ctx.neighbors() {
                 ctx.send(t, ReachMsg { query }, 1);
             }
-        }
+        });
     }
 
     /// §3: stop after k+1 rounds total (init + k forwarding rounds).
@@ -171,13 +172,12 @@ impl VertexProgram for BkhsBroadcastProgram {
         &self,
         _v: VertexId,
         state: &mut BkhsState,
-        inbox: &[(ReachMsg, u64)],
+        inbox: &[Delivery<ReachMsg>],
         ctx: &mut Context<'_, ReachMsg>,
     ) {
-        let fresh = absorb_new_queries(state, inbox, ctx);
-        for query in fresh {
+        absorb_and_forward(state, inbox, ctx, |query, ctx| {
             ctx.broadcast(ReachMsg { query }, 1);
-        }
+        });
     }
 
     fn max_rounds(&self) -> Option<usize> {

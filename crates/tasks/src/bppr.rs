@@ -19,7 +19,7 @@
 //!   vertex broadcasts one common message per source and the walk mass
 //!   is split evenly among neighbors. Deterministic and unbiased.
 
-use mtvc_engine::{Context, Message, VertexProgram};
+use mtvc_engine::{Context, Delivery, Message, VertexProgram};
 use mtvc_graph::hash::FastMap;
 use mtvc_graph::VertexId;
 
@@ -168,11 +168,11 @@ impl VertexProgram for BpprProgram {
         &self,
         _v: VertexId,
         state: &mut BpprState,
-        inbox: &[(WalkMsg, u64)],
+        inbox: &[Delivery<WalkMsg>],
         ctx: &mut Context<'_, WalkMsg>,
     ) {
-        for (msg, mult) in inbox {
-            self.step_walks(msg.source, *mult, state, ctx);
+        for d in inbox {
+            self.step_walks(d.msg.source, d.mult, state, ctx);
         }
     }
 
@@ -357,17 +357,17 @@ impl VertexProgram for BpprPushProgram {
         &self,
         _v: VertexId,
         state: &mut PushState,
-        inbox: &[(PushMsg, u64)],
+        inbox: &[Delivery<PushMsg>],
         ctx: &mut Context<'_, PushMsg>,
     ) {
         // Multiple tuples of the same source may arrive (one per sending
         // worker); accumulate before pushing so the per-source residue
         // is pushed once.
         let mut per_source: FastMap<VertexId, f64> = FastMap::default();
-        for (msg, _mult) in inbox {
+        for d in inbox {
             // `amount` is the total delivered mass: combiner merges add
             // amounts, so multiplicity must NOT scale it again.
-            *per_source.entry(msg.source).or_insert(0.0) += msg.amount;
+            *per_source.entry(d.msg.source).or_insert(0.0) += d.msg.amount;
         }
         let mut sources: Vec<(VertexId, f64)> = per_source.into_iter().collect();
         sources.sort_unstable_by_key(|(s, _)| *s); // deterministic order

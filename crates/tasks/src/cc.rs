@@ -7,7 +7,7 @@
 //! neighbors; on graphs with small diameter this converges in few
 //! rounds with O(d(v)) communication per vertex per round.
 
-use mtvc_engine::{Context, Message, VertexProgram};
+use mtvc_engine::{Context, Delivery, Message, VertexProgram};
 use mtvc_graph::VertexId;
 
 /// Label message: the sender's current component label.
@@ -62,10 +62,10 @@ impl VertexProgram for ConnectedComponentsProgram {
         &self,
         _v: VertexId,
         state: &mut CcState,
-        inbox: &[(LabelMsg, u64)],
+        inbox: &[Delivery<LabelMsg>],
         ctx: &mut Context<'_, LabelMsg>,
     ) {
-        let best = inbox.iter().map(|(m, _)| m.label).min().unwrap();
+        let best = inbox.iter().map(|d| d.msg.label).min().unwrap();
         if best < state.label {
             state.label = best;
             for &t in ctx.neighbors() {

@@ -15,7 +15,7 @@
 //! That form cannot carry per-edge weights, so it computes hop
 //! distances (the paper's datasets are unweighted).
 
-use mtvc_engine::{Context, Message, VertexProgram};
+use mtvc_engine::{Context, Delivery, Message, VertexProgram};
 use mtvc_graph::hash::FastMap;
 use mtvc_graph::VertexId;
 
@@ -109,10 +109,11 @@ impl VertexProgram for MsspProgram {
         let Some(queries) = self.starts.get(&v) else {
             return;
         };
-        let relaxations: Vec<(VertexId, u32)> = ctx.weighted_neighbors().collect();
         for &q in queries {
             improve(state, q, 0, ctx);
-            for &(t, w) in &relaxations {
+            // `weighted_neighbors` borrows only the graph, so the edge
+            // walk interleaves with `send` without materializing a Vec.
+            for (t, w) in ctx.weighted_neighbors() {
                 ctx.send(
                     t,
                     DistMsg {
@@ -129,7 +130,7 @@ impl VertexProgram for MsspProgram {
         &self,
         _v: VertexId,
         state: &mut MsspState,
-        inbox: &[(DistMsg, u64)],
+        inbox: &[Delivery<DistMsg>],
         ctx: &mut Context<'_, DistMsg>,
     ) {
         // Receiver-side aggregation: keep the best candidate per query
@@ -137,10 +138,10 @@ impl VertexProgram for MsspProgram {
         // target, only the message with the smallest length is
         // retained" — §3).
         let mut best: FastMap<QueryId, u64> = FastMap::default();
-        for (msg, _) in inbox {
-            best.entry(msg.query)
-                .and_modify(|d| *d = (*d).min(msg.dist))
-                .or_insert(msg.dist);
+        for d in inbox {
+            best.entry(d.msg.query)
+                .and_modify(|x| *x = (*x).min(d.msg.dist))
+                .or_insert(d.msg.dist);
         }
         let mut improved: Vec<(QueryId, u64)> = Vec::new();
         for (query, dist) in best {
@@ -149,12 +150,8 @@ impl VertexProgram for MsspProgram {
             }
         }
         improved.sort_unstable(); // deterministic send order
-        if improved.is_empty() {
-            return;
-        }
-        let relaxations: Vec<(VertexId, u32)> = ctx.weighted_neighbors().collect();
         for (query, dist) in improved {
-            for &(t, w) in &relaxations {
+            for (t, w) in ctx.weighted_neighbors() {
                 ctx.send(
                     t,
                     DistMsg {
@@ -212,15 +209,15 @@ impl VertexProgram for MsspBroadcastProgram {
         &self,
         _v: VertexId,
         state: &mut MsspState,
-        inbox: &[(DistMsg, u64)],
+        inbox: &[Delivery<DistMsg>],
         ctx: &mut Context<'_, DistMsg>,
     ) {
         let mut best: FastMap<QueryId, u64> = FastMap::default();
-        for (msg, _) in inbox {
+        for d in inbox {
             // The sender broadcast its own distance; one hop further.
-            let cand = msg.dist + 1;
-            best.entry(msg.query)
-                .and_modify(|d| *d = (*d).min(cand))
+            let cand = d.msg.dist + 1;
+            best.entry(d.msg.query)
+                .and_modify(|x| *x = (*x).min(cand))
                 .or_insert(cand);
         }
         let mut improved: Vec<(QueryId, u64)> = Vec::new();

@@ -7,7 +7,7 @@
 //! of iterations; each round a vertex sets
 //! `rank = (1-d)/n + d · Σ incoming` and sends `rank/degree` onward.
 
-use mtvc_engine::{Context, Message, VertexProgram};
+use mtvc_engine::{Context, Delivery, Message, VertexProgram};
 use mtvc_graph::VertexId;
 
 /// Rank contribution flowing along an edge. All contributions to a
@@ -80,10 +80,10 @@ impl VertexProgram for PageRankProgram {
         &self,
         _v: VertexId,
         state: &mut RankState,
-        inbox: &[(RankMsg, u64)],
+        inbox: &[Delivery<RankMsg>],
         ctx: &mut Context<'_, RankMsg>,
     ) {
-        let sum: f64 = inbox.iter().map(|(m, _)| m.value).sum();
+        let sum: f64 = inbox.iter().map(|d| d.msg.value).sum();
         let n = ctx.num_vertices() as f64;
         state.rank = (1.0 - self.damping) / n + self.damping * sum;
         if ctx.round() < self.iterations {
