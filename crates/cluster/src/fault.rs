@@ -1,0 +1,271 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! The paper's central hazard is memory overload: full-parallelism runs
+//! crash real systems (Giraph OOMs in §4), and the §5 tuner exists to
+//! keep every machine under `p·M`. A production substrate must survive
+//! a mispredicted memory model, not just report it — so this module
+//! provides the *fault side* of the failure path: a seeded, fully
+//! deterministic [`FaultPlan`] describing which machines crash at which
+//! supersteps, which rounds lose their in-flight messages, and whether
+//! the simulated kernel OOM-kills a worker the moment its memory demand
+//! exceeds physical capacity (instead of the cost model's softer
+//! thrashing-then-overflow regime).
+//!
+//! The engine consumes a plan through a [`FaultInjector`]: each
+//! recoverable event fires exactly once (transient semantics — the
+//! replayed superstep succeeds), which makes Pregel-style
+//! checkpoint-rollback-replay recovery terminate. Everything is seeded,
+//! so a chaos run is reproducible bit for bit.
+
+use serde::{Deserialize, Serialize};
+
+/// One recoverable injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The machine's in-memory state (vertex states, received message
+    /// buffers) is lost at the start of the superstep. Pregel recovery:
+    /// global rollback to the last checkpoint and replay.
+    MachineCrash {
+        /// The machine that crashes.
+        machine: usize,
+    },
+    /// The messages routed *to* this machine at the end of the previous
+    /// superstep are lost in transit. Recovered the same way a crash
+    /// is: rollback and retransmit via replay.
+    DeliveryFailure {
+        /// The machine whose inbound messages are dropped.
+        machine: usize,
+    },
+}
+
+impl FaultKind {
+    /// The machine the fault strikes.
+    pub fn machine(&self) -> usize {
+        match *self {
+            FaultKind::MachineCrash { machine } | FaultKind::DeliveryFailure { machine } => machine,
+        }
+    }
+}
+
+/// A fault scheduled at a specific superstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// The superstep (engine round) at whose start the fault fires. A
+    /// round beyond the run's natural length never fires.
+    pub round: usize,
+    /// What breaks.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of injected faults for one run.
+///
+/// Plans are data: build one explicitly with [`FaultPlan::with_crash`]
+/// / [`FaultPlan::with_delivery_failure`], or draw a seeded random
+/// schedule with [`FaultPlan::random`]. The same plan always produces
+/// the same faults.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    hard_oom: bool,
+}
+
+/// SplitMix64 step — keeps the plan generator self-contained (no RNG
+/// dependency in this crate).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults, soft overflow semantics).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedule a machine crash at the start of `round`.
+    pub fn with_crash(mut self, round: usize, machine: usize) -> FaultPlan {
+        self.events.push(FaultEvent {
+            round,
+            kind: FaultKind::MachineCrash { machine },
+        });
+        self
+    }
+
+    /// Schedule a transient loss of `machine`'s inbound messages at the
+    /// start of `round`.
+    pub fn with_delivery_failure(mut self, round: usize, machine: usize) -> FaultPlan {
+        self.events.push(FaultEvent {
+            round,
+            kind: FaultKind::DeliveryFailure { machine },
+        });
+        self
+    }
+
+    /// Enable the hard OOM kill: the run is terminated the moment any
+    /// machine's simulated memory demand exceeds its physical capacity,
+    /// instead of entering the cost model's thrashing regime and only
+    /// overflowing at `overflow_limit × capacity`.
+    pub fn with_hard_oom(mut self) -> FaultPlan {
+        self.hard_oom = true;
+        self
+    }
+
+    /// Draw a seeded random schedule: `crashes` machine crashes and
+    /// `losses` delivery failures, uniformly over supersteps
+    /// `1..=horizon` and `machines` machines. Deterministic in `seed`.
+    pub fn random(
+        seed: u64,
+        machines: usize,
+        horizon: usize,
+        crashes: usize,
+        losses: usize,
+    ) -> FaultPlan {
+        assert!(machines >= 1, "need at least one machine");
+        assert!(horizon >= 1, "need at least one superstep");
+        let mut state = seed ^ 0xFA17_FA17_FA17_FA17;
+        let mut plan = FaultPlan::none();
+        for _ in 0..crashes {
+            let round = 1 + (splitmix64(&mut state) as usize) % horizon;
+            let machine = (splitmix64(&mut state) as usize) % machines;
+            plan = plan.with_crash(round, machine);
+        }
+        for _ in 0..losses {
+            let round = 1 + (splitmix64(&mut state) as usize) % horizon;
+            let machine = (splitmix64(&mut state) as usize) % machines;
+            plan = plan.with_delivery_failure(round, machine);
+        }
+        plan
+    }
+
+    /// Whether the hard OOM kill is armed.
+    pub fn hard_oom(&self) -> bool {
+        self.hard_oom
+    }
+
+    /// The scheduled recoverable events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && !self.hard_oom
+    }
+}
+
+/// Runtime consumer of a [`FaultPlan`] for one run.
+///
+/// Events are delivered by [`FaultInjector::take_at`] exactly once each
+/// (transient-fault semantics): after a rollback, the replayed
+/// superstep passes the point of failure cleanly, so recovery
+/// terminates even when several faults stack up.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    /// Remaining events, sorted by round (stable for equal rounds).
+    pending: Vec<FaultEvent>,
+    hard_oom: bool,
+    fired: u64,
+}
+
+impl FaultInjector {
+    /// Arm an injector for one run of `plan`.
+    pub fn new(plan: &FaultPlan) -> FaultInjector {
+        let mut pending = plan.events.clone();
+        // Sort descending by round so firing pops from the back.
+        pending.sort_by_key(|e| std::cmp::Reverse(e.round));
+        FaultInjector {
+            pending,
+            hard_oom: plan.hard_oom,
+            fired: 0,
+        }
+    }
+
+    /// Fire (and consume) one event scheduled at `round`, if any. Call
+    /// repeatedly per round until `None`: stacked events at the same
+    /// round each fire once.
+    pub fn take_at(&mut self, round: usize) -> Option<FaultEvent> {
+        match self.pending.last() {
+            Some(e) if e.round <= round => {
+                self.fired += 1;
+                self.pending.pop()
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the hard OOM kill is armed.
+    pub fn hard_oom(&self) -> bool {
+        self.hard_oom
+    }
+
+    /// Events fired so far.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Events still scheduled.
+    pub fn remaining(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_once_in_round_order() {
+        let plan = FaultPlan::none()
+            .with_crash(5, 1)
+            .with_delivery_failure(2, 0)
+            .with_crash(5, 3);
+        let mut inj = FaultInjector::new(&plan);
+        assert!(inj.take_at(0).is_none());
+        assert!(inj.take_at(1).is_none());
+        let e = inj.take_at(2).unwrap();
+        assert_eq!(e.kind, FaultKind::DeliveryFailure { machine: 0 });
+        assert!(inj.take_at(2).is_none());
+        // Both round-5 events fire, one take_at call each.
+        assert!(inj.take_at(5).is_some());
+        assert!(inj.take_at(5).is_some());
+        assert!(inj.take_at(5).is_none());
+        assert_eq!(inj.fired(), 3);
+        assert_eq!(inj.remaining(), 0);
+    }
+
+    #[test]
+    fn skipped_rounds_still_fire_late() {
+        // A fault at round 3 queried first at round 7 (e.g. the engine
+        // only polls at checkpoint boundaries) still fires.
+        let plan = FaultPlan::none().with_crash(3, 0);
+        let mut inj = FaultInjector::new(&plan);
+        assert!(inj.take_at(7).is_some());
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_in_range() {
+        let a = FaultPlan::random(42, 4, 10, 3, 2);
+        let b = FaultPlan::random(42, 4, 10, 3, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.events().len(), 5);
+        for e in a.events() {
+            assert!((1..=10).contains(&e.round));
+            assert!(e.kind.machine() < 4);
+        }
+        let c = FaultPlan::random(43, 4, 10, 3, 2);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn hard_oom_is_carried_through() {
+        let plan = FaultPlan::none().with_hard_oom();
+        assert!(plan.hard_oom());
+        assert!(!plan.is_empty());
+        let inj = FaultInjector::new(&plan);
+        assert!(inj.hard_oom());
+        assert_eq!(inj.remaining(), 0);
+    }
+}

@@ -13,11 +13,13 @@
 //! See DESIGN.md §4.
 
 pub mod costmodel;
+pub mod fault;
 pub mod machine;
 pub mod money;
 pub mod topology;
 
 pub use costmodel::{ChargeError, CostModel, RoundCharge, RoundDemand};
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use machine::{DiskKind, MachineSpec};
 pub use money::MonetaryCost;
 pub use topology::ClusterSpec;

@@ -8,8 +8,9 @@
 
 use crate::schedule::BatchSchedule;
 use crate::task::{select_sources, Task};
-use mtvc_cluster::{ClusterSpec, MonetaryCost};
+use mtvc_cluster::{ClusterSpec, FaultPlan, MonetaryCost};
 use mtvc_engine::{EngineConfig, Runner, SystemProfile, VertexProgram};
+use mtvc_graph::hash::mix64;
 use mtvc_graph::partition::Partition;
 use mtvc_graph::{Graph, VertexId};
 use mtvc_metrics::{Bytes, RunOutcome, RunStats, SimTime, OVERLOAD_CUTOFF};
@@ -234,6 +235,8 @@ pub struct BatchRunner {
     cluster: ClusterSpec,
     task: Task,
     parallel_vertex_threshold: Option<usize>,
+    faults: Option<FaultPlan>,
+    checkpoint_every: Option<usize>,
 }
 
 impl BatchRunner {
@@ -251,6 +254,8 @@ impl BatchRunner {
             cluster,
             task,
             parallel_vertex_threshold: None,
+            faults: None,
+            checkpoint_every: None,
         }
     }
 
@@ -258,6 +263,22 @@ impl BatchRunner {
     /// engine's persistent worker pool.
     pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
         self.parallel_vertex_threshold = Some(threshold);
+        self
+    }
+
+    /// Arm an injected-fault schedule: every batch this runner executes
+    /// runs under `plan` (checkpointed, with rollback-replay recovery
+    /// for crashes and delivery failures, and the hard OOM kill if the
+    /// plan arms it).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Override the engine's checkpoint cadence for fault-tolerant
+    /// batches (ignored without [`BatchRunner::with_faults`]).
+    pub fn with_checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = Some(every);
         self
     }
 
@@ -316,6 +337,12 @@ impl BatchRunner {
         if let Some(t) = self.parallel_vertex_threshold {
             cfg.parallel_vertex_threshold = t;
         }
+        if let Some(plan) = &self.faults {
+            cfg.faults = Some(plan.clone());
+        }
+        if let Some(every) = self.checkpoint_every {
+            cfg.checkpoint_every = every;
+        }
         let run = run_one_batch(
             &self.graph,
             self.partition.clone(),
@@ -334,6 +361,162 @@ impl BatchRunner {
             residual_delta: run.residual_delta,
         }
     }
+
+    /// Execute one formed batch with OOM recovery by bisection — the
+    /// degradation ladder.
+    ///
+    /// An overflowed (OOM-killed) batch is never retried verbatim:
+    /// narrower batches trade rounds for congestion (the paper's
+    /// central tradeoff), so the failed width is split in half and each
+    /// half re-executed against the live residual state, recursively
+    /// down to width 1 or [`RecoveryPolicy::max_depth`]. Every kill is
+    /// also reported in [`RecoveredBatch::censored`] as a `(width,
+    /// peak-lower-bound)` pair for the memory model's censored refit.
+    /// Overload (time cutoff) is terminal — narrowing raises rounds,
+    /// which makes overload worse, not better.
+    pub fn run_batch_bisecting(
+        &self,
+        workload: u64,
+        sources: &[VertexId],
+        residual: &[u64],
+        seed: u64,
+        cutoff: SimTime,
+        policy: &RecoveryPolicy,
+    ) -> RecoveredBatch {
+        use std::collections::VecDeque;
+        let src_based = !matches!(self.task, Task::Bppr { .. });
+        let mut queue: VecDeque<(u64, std::ops::Range<usize>, u32)> = VecDeque::new();
+        queue.push_back((workload, 0..sources.len(), 0));
+
+        let mut residual_state = residual.to_vec();
+        let mut stats = RunStats::new();
+        let mut ladder = Vec::new();
+        let mut censored = Vec::new();
+        let mut peak = Bytes::ZERO;
+        let mut total = SimTime::ZERO;
+        let mut residual_delta = vec![0u64; self.cluster.machines];
+        let mut index = 0u64;
+        let mut outcome = RunOutcome::Completed(SimTime::ZERO);
+
+        while let Some((w, range, depth)) = queue.pop_front() {
+            // The unbisected first attempt uses the caller's seed
+            // verbatim (identical to `run_batch`); sub-batches derive
+            // distinct deterministic seeds.
+            let sub_seed = if index == 0 {
+                seed
+            } else {
+                seed ^ mix64(index)
+            };
+            index += 1;
+            let srcs = if src_based {
+                &sources[range.clone()]
+            } else {
+                &[]
+            };
+            let exec = self.run_batch(w, srcs, &residual_state, sub_seed, cutoff);
+            stats.absorb(&exec.stats);
+            peak = peak.max(exec.peak_memory);
+            ladder.push(LadderStep {
+                width: w,
+                outcome: exec.outcome,
+            });
+            match exec.outcome {
+                RunOutcome::Completed(t) => {
+                    total += t;
+                    for (r, d) in residual_state.iter_mut().zip(&exec.residual_delta) {
+                        *r += d;
+                    }
+                    for (r, d) in residual_delta.iter_mut().zip(&exec.residual_delta) {
+                        *r += d;
+                    }
+                    outcome = RunOutcome::Completed(total);
+                }
+                RunOutcome::Overflow => {
+                    censored.push((w, exec.peak_memory.get() as f64));
+                    if w == 1 || depth >= policy.max_depth {
+                        outcome = RunOutcome::Overflow;
+                        break;
+                    }
+                    let left = w / 2;
+                    let (lr, rr) = if src_based {
+                        let mid = range.start + left as usize;
+                        (range.start..mid, mid..range.end)
+                    } else {
+                        (0..0, 0..0)
+                    };
+                    // Front of the queue, left first: unit-task order
+                    // is preserved across the split.
+                    queue.push_front((w - left, rr, depth + 1));
+                    queue.push_front((left, lr, depth + 1));
+                }
+                RunOutcome::Overload => {
+                    outcome = RunOutcome::Overload;
+                    break;
+                }
+            }
+        }
+
+        RecoveredBatch {
+            workload,
+            outcome,
+            time: outcome.plot_time(),
+            stats,
+            peak_memory: peak,
+            residual_delta,
+            ladder,
+            censored,
+        }
+    }
+}
+
+/// How far [`BatchRunner::run_batch_bisecting`] degrades before giving
+/// up on an OOM-killed batch.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryPolicy {
+    /// Maximum bisection depth: a batch of width `w` shrinks to at most
+    /// `w / 2^max_depth` before an overflow becomes terminal.
+    pub max_depth: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy { max_depth: 4 }
+    }
+}
+
+/// One rung of the degradation ladder: a width that was attempted and
+/// how it ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderStep {
+    pub width: u64,
+    pub outcome: RunOutcome,
+}
+
+/// Result of [`BatchRunner::run_batch_bisecting`].
+#[derive(Debug, Clone)]
+pub struct RecoveredBatch {
+    /// Workload units of the original (pre-bisection) batch.
+    pub workload: u64,
+    /// Terminal classification: `Completed` iff every unit task ran to
+    /// completion (possibly across several sub-batches).
+    pub outcome: RunOutcome,
+    /// Simulated duration (sum over completed sub-batches; cutoff
+    /// height for failed runs).
+    pub time: SimTime,
+    /// Merged engine statistics over every attempt, failed ones
+    /// included (`stats.faults.oom_kills` counts the kills).
+    pub stats: RunStats,
+    /// Max per-machine memory observed across all attempts.
+    pub peak_memory: Bytes,
+    /// Residual bytes left behind by *completed* sub-batches, per
+    /// machine.
+    pub residual_delta: Vec<u64>,
+    /// Every width attempted, in execution order — the shrinking
+    /// ladder.
+    pub ladder: Vec<LadderStep>,
+    /// `(width, peak-lower-bound-bytes)` for each OOM kill: censored
+    /// observations for the `mtvc-tune` online model refit.
+    pub censored: Vec<(u64, f64)>,
 }
 
 struct BatchRun {
@@ -604,6 +787,139 @@ mod tests {
         .with_parallel_threshold(1);
         let e = runner.run_batch(8, &[], &[0; 4], 7, OVERLOAD_CUTOFF);
         assert!(e.outcome.is_completed());
+    }
+
+    #[test]
+    fn bisecting_without_faults_matches_run_batch() {
+        let g = Arc::new(small_graph());
+        let runner = BatchRunner::new(
+            g,
+            Task::bppr(8),
+            SystemKind::PregelPlus,
+            ClusterSpec::galaxy(4),
+        );
+        let plain = runner.run_batch(8, &[], &[0; 4], 7, OVERLOAD_CUTOFF);
+        let rec = runner.run_batch_bisecting(
+            8,
+            &[],
+            &[0; 4],
+            7,
+            OVERLOAD_CUTOFF,
+            &RecoveryPolicy::default(),
+        );
+        assert_eq!(rec.outcome, plain.outcome);
+        assert_eq!(rec.stats, plain.stats, "single rung = identical run");
+        assert_eq!(rec.residual_delta, plain.residual_delta);
+        assert_eq!(rec.ladder.len(), 1);
+        assert!(rec.censored.is_empty());
+    }
+
+    #[test]
+    fn oom_killed_batch_degrades_to_narrower_widths() {
+        let g = Arc::new(small_graph());
+        let sources = select_sources(&g, 8, 99);
+        // Probe the memory curve: peak of the full width vs the peaks
+        // of its halves run sequentially with residual carried over.
+        let probe = BatchRunner::new(
+            Arc::clone(&g),
+            Task::mssp(8),
+            SystemKind::PregelPlus,
+            ClusterSpec::galaxy(4),
+        );
+        let wide = probe.run_batch(8, &sources, &[0; 4], 1, OVERLOAD_CUTOFF);
+        let a = probe.run_batch(4, &sources[..4], &[0; 4], 1, OVERLOAD_CUTOFF);
+        let mut resid = vec![0u64; 4];
+        for (r, d) in resid.iter_mut().zip(&a.residual_delta) {
+            *r += d;
+        }
+        let b = probe.run_batch(4, &sources[4..], &resid, 2, OVERLOAD_CUTOFF);
+        let narrow_peak = a.peak_memory.max(b.peak_memory);
+        assert!(
+            wide.peak_memory > narrow_peak,
+            "halving must shrink the peak: {} vs {}",
+            wide.peak_memory.get(),
+            narrow_peak.get()
+        );
+
+        // Capacity between the two: the full batch is OOM-killed, its
+        // halves fit — the ladder must recover.
+        let mut cluster = ClusterSpec::galaxy(4);
+        cluster.machine.memory = Bytes((narrow_peak.get() + wide.peak_memory.get()) / 2);
+        let runner = BatchRunner::new(
+            Arc::clone(&g),
+            Task::mssp(8),
+            SystemKind::PregelPlus,
+            cluster,
+        )
+        .with_faults(FaultPlan::none().with_hard_oom());
+        let rec = runner.run_batch_bisecting(
+            8,
+            &sources,
+            &[0; 4],
+            1,
+            OVERLOAD_CUTOFF,
+            &RecoveryPolicy::default(),
+        );
+        assert!(rec.outcome.is_completed(), "{:?}", rec.outcome);
+        assert!(rec.ladder.len() >= 3, "ladder: {:?}", rec.ladder);
+        assert_eq!(rec.ladder[0].width, 8);
+        assert!(rec.ladder[0].outcome.is_overflow());
+        assert!(rec.ladder[1..].iter().all(|s| s.width < 8));
+        assert_eq!(rec.censored.len(), 1, "one kill = one censored point");
+        assert_eq!(rec.censored[0].0, 8);
+        assert!(rec.stats.faults.oom_kills >= 1);
+        assert!(rec.residual_delta.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn hopeless_batch_fails_typed_after_ladder_exhausts() {
+        let g = Arc::new(small_graph());
+        let sources = select_sources(&g, 8, 99);
+        let mut cluster = ClusterSpec::galaxy(4);
+        cluster.machine.memory = Bytes::kib(1); // nothing fits
+        let runner = BatchRunner::new(
+            Arc::clone(&g),
+            Task::mssp(8),
+            SystemKind::PregelPlus,
+            cluster,
+        )
+        .with_faults(FaultPlan::none().with_hard_oom());
+        let rec = runner.run_batch_bisecting(
+            8,
+            &sources,
+            &[0; 4],
+            1,
+            OVERLOAD_CUTOFF,
+            &RecoveryPolicy::default(),
+        );
+        assert!(rec.outcome.is_overflow(), "typed terminal failure");
+        // The ladder shrinks 8 → 4 → 2 → 1 and stops at width 1.
+        let widths: Vec<u64> = rec.ladder.iter().map(|s| s.width).collect();
+        assert_eq!(widths, vec![8, 4, 2, 1]);
+        assert_eq!(rec.censored.len(), 4, "every kill reported");
+    }
+
+    #[test]
+    fn injected_crashes_do_not_change_batch_results() {
+        let g = Arc::new(small_graph());
+        let runner = BatchRunner::new(
+            Arc::clone(&g),
+            Task::bppr(8),
+            SystemKind::PregelPlus,
+            ClusterSpec::galaxy(4),
+        );
+        let clean = runner.run_batch(8, &[], &[0; 4], 7, OVERLOAD_CUTOFF);
+        let chaotic = runner
+            .clone()
+            .with_faults(FaultPlan::random(11, 4, 6, 2, 1))
+            .with_checkpoint_every(2)
+            .run_batch(8, &[], &[0; 4], 7, OVERLOAD_CUTOFF);
+        assert_eq!(clean.outcome, chaotic.outcome);
+        assert_eq!(clean.time, chaotic.time);
+        assert_eq!(clean.residual_delta, chaotic.residual_delta);
+        let mut scrubbed = chaotic.stats.clone();
+        scrubbed.faults = Default::default();
+        assert_eq!(scrubbed, clean.stats);
     }
 
     #[test]

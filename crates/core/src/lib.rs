@@ -29,7 +29,10 @@ pub mod task;
 pub mod unequal;
 pub mod whole_graph;
 
-pub use executor::{run_job, BatchExecution, BatchOutcome, BatchRunner, JobResult, JobSpec};
+pub use executor::{
+    run_job, BatchExecution, BatchOutcome, BatchRunner, JobResult, JobSpec, LadderStep,
+    RecoveredBatch, RecoveryPolicy,
+};
 pub use ppa::{check_ppa, PpaCriteria, PpaReport};
 pub use schedule::{BatchSchedule, InvalidSchedule};
 pub use sweep::{batch_sweep, doubling_batches, SweepPoint};

@@ -68,6 +68,11 @@ pub struct RoutingStats {
     pub out_buffer_bytes: Vec<u64>,
     /// Per-worker bytes of message buffers *received* (local + remote).
     pub in_buffer_bytes: Vec<u64>,
+    /// True when this round re-transmitted traffic during
+    /// rollback-replay recovery. Replayed wire traffic must never be
+    /// folded into a run's first-run totals; the runner branches its
+    /// accounting on this flag.
+    pub replay: bool,
 }
 
 impl RoutingStats {
@@ -82,6 +87,7 @@ impl RoutingStats {
             local_bytes: 0,
             out_buffer_bytes: vec![0; workers],
             in_buffer_bytes: vec![0; workers],
+            replay: false,
         }
     }
 
@@ -90,6 +96,7 @@ impl RoutingStats {
         self.sent_wire = 0;
         self.delivered_tuples = 0;
         self.local_bytes = 0;
+        self.replay = false;
         for v in [
             &mut self.in_wire,
             &mut self.in_tuples,
@@ -176,10 +183,29 @@ pub struct Run {
 /// source worker, then send order within a source) and partitioned into
 /// per-vertex [`Run`]s. The compute phase hands each vertex its run as
 /// a borrowed slice — no sort, no clone, no per-round allocation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Inbox<M> {
     deliveries: Vec<Delivery<M>>,
     runs: Vec<Run>,
+}
+
+impl<M: Clone> Clone for Inbox<M> {
+    fn clone(&self) -> Self {
+        Inbox {
+            deliveries: self.deliveries.clone(),
+            runs: self.runs.clone(),
+        }
+    }
+
+    /// Buffer-reusing clone: checkpoint snapshots call this every
+    /// cadence round, so the snapshot buffers are recycled instead of
+    /// reallocated.
+    fn clone_from(&mut self, src: &Self) {
+        self.deliveries.clear();
+        self.deliveries.extend(src.deliveries.iter().cloned());
+        self.runs.clear();
+        self.runs.extend_from_slice(&src.runs);
+    }
 }
 
 impl<M> Default for Inbox<M> {
@@ -742,6 +768,9 @@ pub struct RouteGrid<M> {
     /// Per-destination active-local-index scratch.
     active: Vec<Vec<u32>>,
     stats: RoutingStats,
+    /// When set, rounds routed by this grid are tagged as
+    /// rollback-replay retransmissions in their [`RoutingStats`].
+    replay: bool,
 }
 
 impl<M: Message> RouteGrid<M> {
@@ -762,7 +791,14 @@ impl<M: Message> RouteGrid<M> {
             counts: (0..workers).map(|_| Vec::new()).collect(),
             active: (0..workers).map(|_| Vec::new()).collect(),
             stats: RoutingStats::new(workers),
+            replay: false,
         }
+    }
+
+    /// Mark subsequent rounds as replayed (or first-run) traffic; see
+    /// [`RoutingStats::replay`].
+    pub fn set_replay(&mut self, replay: bool) {
+        self.replay = replay;
     }
 
     /// Route one round of traffic: drain `outboxes` into the grouped
@@ -876,6 +912,7 @@ impl<M: Message> RouteGrid<M> {
 
         // ---- reduction: fold per-pair flows into round stats -------
         self.stats.reset();
+        self.stats.replay = self.replay;
         self.stats.sent_wire = self.sent.iter().sum();
         for src in 0..workers {
             for dst in 0..workers {

@@ -20,7 +20,9 @@ use crate::pool::WorkerPool;
 use crate::profile::{ExecutionMode, SyncMode, SystemProfile};
 use crate::program::{Context, Outbox, VertexProgram};
 use crate::router::{Inbox, LocalIndex, RouteGrid, RoutingStats};
-use mtvc_cluster::{ChargeError, ClusterSpec, CostModel, RoundDemand};
+use mtvc_cluster::{
+    ChargeError, ClusterSpec, CostModel, FaultInjector, FaultKind, FaultPlan, RoundDemand,
+};
 use mtvc_graph::hash::mix64;
 use mtvc_graph::partition::{Partition, Partitioner};
 use mtvc_graph::{Graph, VertexId};
@@ -55,6 +57,18 @@ pub struct EngineConfig {
     /// `usize::MAX` forces the serial path — benches sweep this
     /// cutover.
     pub parallel_vertex_threshold: usize,
+    /// Checkpoint cadence for fault-tolerant runs: with `faults` set, a
+    /// snapshot of vertex states and in-flight aggregates is taken
+    /// before round 0 and thereafter every `checkpoint_every` rounds
+    /// (values `0` and `1` both mean every round). Fault-free runs
+    /// never checkpoint, so the clean path stays snapshot-free.
+    pub checkpoint_every: usize,
+    /// Injected-fault schedule; `None` = fault-free run. With a plan
+    /// set, the runner checkpoints and recovers injected crashes and
+    /// delivery failures by rollback-replay; replayed work is recorded
+    /// in `RunStats::faults` only, so every other statistic — and the
+    /// final states and outcome — match the fault-free run bit for bit.
+    pub faults: Option<FaultPlan>,
 }
 
 impl EngineConfig {
@@ -68,12 +82,26 @@ impl EngineConfig {
             cutoff: OVERLOAD_CUTOFF,
             residual_bytes: Vec::new(),
             parallel_vertex_threshold: PARALLEL_VERTEX_THRESHOLD,
+            checkpoint_every: 8,
+            faults: None,
         }
     }
 
     /// Set the parallel cutover ([`EngineConfig::parallel_vertex_threshold`]).
     pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
         self.parallel_vertex_threshold = threshold;
+        self
+    }
+
+    /// Set the checkpoint cadence ([`EngineConfig::checkpoint_every`]).
+    pub fn with_checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Arm an injected-fault schedule ([`EngineConfig::faults`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 }
@@ -87,6 +115,87 @@ pub struct RunResult<S> {
     /// Overload (partial progress); empty only if the run overflowed
     /// before round 0 completed.
     pub states: Vec<S>,
+}
+
+/// Snapshot of everything the round loop needs to re-enter a superstep:
+/// per-worker vertex states, the grouped inboxes holding the in-flight
+/// messages of the checkpointed round, the state-size accumulators, and
+/// the previous round's delivery aggregates that feed demand assembly.
+/// One buffer per run, refilled in place every cadence round
+/// (`clone_from` reuses capacity), so steady-state checkpointing
+/// allocates only when traffic grows.
+struct Checkpoint<S, M> {
+    round: usize,
+    states: Vec<Vec<S>>,
+    inboxes: Vec<Inbox<M>>,
+    state_bytes: Vec<u64>,
+    prev_in_wire: Vec<u64>,
+    prev_in_tuples: Vec<u64>,
+    prev_in_bytes: Vec<u64>,
+}
+
+/// `dst.clone_from(src)` for vectors, guaranteed to reuse both the
+/// outer buffer and (via each element's `clone_from`) the inner ones.
+fn recycle_into<T: Clone>(dst: &mut Vec<T>, src: &[T]) {
+    dst.truncate(src.len());
+    let shared = dst.len();
+    for (d, s) in dst.iter_mut().zip(src) {
+        d.clone_from(s);
+    }
+    dst.extend(src[shared..].iter().cloned());
+}
+
+impl<S: Clone, M: Clone> Checkpoint<S, M> {
+    fn empty() -> Self {
+        Checkpoint {
+            round: 0,
+            states: Vec::new(),
+            inboxes: Vec::new(),
+            state_bytes: Vec::new(),
+            prev_in_wire: Vec::new(),
+            prev_in_tuples: Vec::new(),
+            prev_in_bytes: Vec::new(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn save(
+        &mut self,
+        round: usize,
+        states: &[Vec<S>],
+        inboxes: &[Inbox<M>],
+        state_bytes: &[u64],
+        prev_in_wire: &[u64],
+        prev_in_tuples: &[u64],
+        prev_in_bytes: &[u64],
+    ) {
+        self.round = round;
+        recycle_into(&mut self.states, states);
+        recycle_into(&mut self.inboxes, inboxes);
+        recycle_into(&mut self.state_bytes, state_bytes);
+        recycle_into(&mut self.prev_in_wire, prev_in_wire);
+        recycle_into(&mut self.prev_in_tuples, prev_in_tuples);
+        recycle_into(&mut self.prev_in_bytes, prev_in_bytes);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn restore(
+        &self,
+        states: &mut Vec<Vec<S>>,
+        inboxes: &mut Vec<Inbox<M>>,
+        state_bytes: &mut Vec<u64>,
+        prev_in_wire: &mut Vec<u64>,
+        prev_in_tuples: &mut Vec<u64>,
+        prev_in_bytes: &mut Vec<u64>,
+    ) -> usize {
+        recycle_into(states, &self.states);
+        recycle_into(inboxes, &self.inboxes);
+        recycle_into(state_bytes, &self.state_bytes);
+        recycle_into(prev_in_wire, &self.prev_in_wire);
+        recycle_into(prev_in_tuples, &self.prev_in_tuples);
+        recycle_into(prev_in_bytes, &self.prev_in_bytes);
+        self.round
+    }
 }
 
 /// A prepared executor bound to a graph, partition, and configuration.
@@ -221,6 +330,16 @@ impl<'g> Runner<'g> {
         let mut prev_in_bytes: Vec<u64> = vec![0; workers];
         let mut outcome: Option<RunOutcome> = None;
 
+        // Fault machinery, armed only when a plan is present — the
+        // clean path takes no snapshots and pays no per-round checks.
+        let mut injector = self.config.faults.as_ref().map(FaultInjector::new);
+        let hard_oom = injector.as_ref().is_some_and(|i| i.hard_oom());
+        let ckpt_every = self.config.checkpoint_every.max(1);
+        let mut checkpoint: Option<Checkpoint<P::State, P::Message>> = None;
+        // Rounds below this index were already executed (and recorded)
+        // before a rollback; re-running them is replay, not first-run.
+        let mut replay_until = 0usize;
+
         let mut round = 0usize;
         loop {
             if round > 0 {
@@ -238,6 +357,53 @@ impl<'g> Runner<'g> {
                 break;
             }
 
+            let replaying = round < replay_until;
+            if let Some(inj) = injector.as_mut() {
+                // ---- checkpoint ------------------------------------
+                // Snapshot at the cadence, before this round's compute
+                // touches anything — but never during replay (the saved
+                // snapshot already covers the replay window).
+                if !replaying && round.is_multiple_of(ckpt_every) {
+                    let ckpt = checkpoint.get_or_insert_with(Checkpoint::empty);
+                    ckpt.save(
+                        round,
+                        &states,
+                        &inboxes,
+                        &state_bytes,
+                        &prev_in_wire,
+                        &prev_in_tuples,
+                        &prev_in_bytes,
+                    );
+                    stats.faults.checkpoints += 1;
+                }
+                // ---- fault firing ----------------------------------
+                if let Some(event) = inj.take_at(round) {
+                    stats.faults.injected += 1;
+                    match event.kind {
+                        FaultKind::MachineCrash { .. } => stats.faults.crashes += 1,
+                        FaultKind::DeliveryFailure { .. } => stats.faults.delivery_failures += 1,
+                    }
+                    // Global rollback — the canonical Pregel recovery:
+                    // restore the last checkpoint and replay forward.
+                    // The event is consumed (transient semantics), so
+                    // the replayed superstep passes the failure point
+                    // cleanly and recovery terminates.
+                    let ckpt = checkpoint
+                        .as_ref()
+                        .expect("a checkpoint is saved at round 0 before any fault can fire");
+                    replay_until = replay_until.max(round);
+                    round = ckpt.restore(
+                        &mut states,
+                        &mut inboxes,
+                        &mut state_bytes,
+                        &mut prev_in_wire,
+                        &mut prev_in_tuples,
+                        &mut prev_in_bytes,
+                    );
+                    continue; // re-enter the loop at the restored round
+                }
+            }
+
             // ---- compute phase -------------------------------------
             let active =
                 self.compute_phase(program, round, &mut inboxes, &mut outboxes, &mut states);
@@ -249,6 +415,7 @@ impl<'g> Runner<'g> {
             }
 
             // ---- routing phase -------------------------------------
+            grid.set_replay(replaying);
             let routing = grid.route_round(
                 self.pool.as_ref(),
                 &mut outboxes,
@@ -274,6 +441,24 @@ impl<'g> Runner<'g> {
                 async_mode,
             );
 
+            // ---- hard OOM kill -------------------------------------
+            // With the hard fault armed, a machine whose memory demand
+            // exceeds physical capacity is killed outright — no
+            // thrashing grace up to the cost model's overflow limit.
+            // Replay rounds completed under capacity on their first
+            // run, so they cannot trip this.
+            if hard_oom && !replaying && demand.memory.iter().any(|&m| m > spec.memory) {
+                let peak = demand.memory.iter().copied().max().unwrap_or(Bytes::ZERO);
+                stats.record_round(RoundStats {
+                    round,
+                    peak_machine_memory: peak,
+                    ..RoundStats::default()
+                });
+                stats.faults.oom_kills += 1;
+                outcome = Some(RunOutcome::Overflow);
+                break;
+            }
+
             // ---- pricing -------------------------------------------
             match cost.charge(spec, &demand) {
                 Err(ChargeError::MemoryOverflow { .. }) => {
@@ -292,40 +477,51 @@ impl<'g> Runner<'g> {
                     let barrier_t = profile.barrier_scale()
                         * (cost.barrier_base + cost.barrier_per_machine * workers as f64);
                     let duration = charge.duration + SimTime::secs(barrier_t);
-                    total += duration;
-                    // Disk overuse means 100% utilization (§4.4); with
-                    // the barrier included in the round duration the
-                    // disk may no longer dominate.
-                    let disk_overuse = if duration.as_secs() > 0.0
-                        && charge.disk_busy.as_secs() / duration.as_secs() < 0.9
-                    {
-                        SimTime::ZERO
+                    if routing.replay {
+                        // Replayed work is pure recovery cost. Its time
+                        // and traffic must not skew the run's first-run
+                        // totals — the original execution of this
+                        // superstep is already on the books — so it is
+                        // accounted to the fault record only.
+                        stats.faults.replayed_rounds += 1;
+                        stats.faults.replayed_wire += routing.sent_wire;
+                        stats.faults.recovery_time += duration;
                     } else {
-                        charge.disk_overuse
-                    };
-                    let delivered = if profile.combiner {
-                        routing.delivered_tuples
-                    } else {
-                        routing.delivered_wire()
-                    };
-                    stats.record_round(RoundStats {
-                        round,
-                        messages_sent: routing.sent_wire,
-                        messages_delivered: delivered,
-                        network_bytes: Bytes(routing.net_out_bytes.iter().sum()),
-                        local_bytes: Bytes(routing.local_bytes),
-                        active_vertices: active.iter().sum(),
-                        peak_machine_memory: charge.peak_memory,
-                        spilled_bytes: Bytes(demand.spill.iter().map(|b| b.get()).sum()),
-                        duration,
-                        network_overuse: charge.network_overuse,
-                        disk_overuse,
-                        disk_busy: charge.disk_busy,
-                        io_queue_len: charge.io_queue_len,
-                    });
-                    if total > self.config.cutoff {
-                        outcome = Some(RunOutcome::Overload);
-                        break;
+                        total += duration;
+                        // Disk overuse means 100% utilization (§4.4);
+                        // with the barrier included in the round
+                        // duration the disk may no longer dominate.
+                        let disk_overuse = if duration.as_secs() > 0.0
+                            && charge.disk_busy.as_secs() / duration.as_secs() < 0.9
+                        {
+                            SimTime::ZERO
+                        } else {
+                            charge.disk_overuse
+                        };
+                        let delivered = if profile.combiner {
+                            routing.delivered_tuples
+                        } else {
+                            routing.delivered_wire()
+                        };
+                        stats.record_round(RoundStats {
+                            round,
+                            messages_sent: routing.sent_wire,
+                            messages_delivered: delivered,
+                            network_bytes: Bytes(routing.net_out_bytes.iter().sum()),
+                            local_bytes: Bytes(routing.local_bytes),
+                            active_vertices: active.iter().sum(),
+                            peak_machine_memory: charge.peak_memory,
+                            spilled_bytes: Bytes(demand.spill.iter().map(|b| b.get()).sum()),
+                            duration,
+                            network_overuse: charge.network_overuse,
+                            disk_overuse,
+                            disk_busy: charge.disk_busy,
+                            io_queue_len: charge.io_queue_len,
+                        });
+                        if total > self.config.cutoff {
+                            outcome = Some(RunOutcome::Overload);
+                            break;
+                        }
                     }
                 }
             }
@@ -852,6 +1048,127 @@ mod tests {
         assert_eq!(a.stats, b.stats);
         for v in g.vertices() {
             assert_eq!(a.states[v as usize].0, b.states[v as usize].0);
+        }
+    }
+
+    /// Zero the fault record so a chaos run can be compared field-for-
+    /// field against a fault-free run (recovery cost is the only
+    /// permitted difference).
+    fn without_faults(mut stats: RunStats) -> RunStats {
+        stats.faults = Default::default();
+        stats
+    }
+
+    #[test]
+    fn injected_crashes_recover_bit_identical() {
+        // A grid's flood runs ~23 rounds, so every scheduled fault
+        // fires well before quiescence.
+        let g = generators::grid(12, 12);
+        let clean = Runner::new(&g, &HashPartitioner::default(), config(4)).run(&Flood);
+        let plan = FaultPlan::none()
+            .with_crash(3, 1)
+            .with_delivery_failure(5, 0)
+            .with_crash(5, 2);
+        let cfg = config(4).with_checkpoint_every(2).with_faults(plan);
+        let chaos = Runner::new(&g, &HashPartitioner::default(), cfg).run(&Flood);
+
+        assert_eq!(clean.outcome, chaos.outcome);
+        for v in g.vertices() {
+            assert_eq!(
+                clean.states[v as usize].0, chaos.states[v as usize].0,
+                "vertex {v}"
+            );
+        }
+        let f = chaos.stats.faults;
+        assert_eq!(f.injected, 3);
+        assert_eq!(f.crashes, 2);
+        assert_eq!(f.delivery_failures, 1);
+        assert!(f.checkpoints > 0);
+        assert!(f.replayed_rounds > 0, "rollback must replay rounds");
+        assert!(f.replayed_wire > 0, "replay retransmits wire traffic");
+        assert!(f.recovery_time > SimTime::ZERO);
+        assert_eq!(
+            without_faults(chaos.stats),
+            without_faults(clean.stats),
+            "non-replay statistics must match the fault-free run"
+        );
+    }
+
+    #[test]
+    fn fault_at_round_zero_recovers() {
+        let g = generators::ring(32, true);
+        let cfg = config(2)
+            .with_checkpoint_every(4)
+            .with_faults(FaultPlan::none().with_crash(0, 0));
+        let chaos = Runner::new(&g, &HashPartitioner::default(), cfg).run(&Flood);
+        let clean = Runner::new(&g, &HashPartitioner::default(), config(2)).run(&Flood);
+        assert_eq!(clean.outcome, chaos.outcome);
+        assert_eq!(chaos.stats.faults.injected, 1);
+        assert_eq!(without_faults(chaos.stats), without_faults(clean.stats));
+    }
+
+    #[test]
+    fn empty_plan_checkpoints_but_changes_nothing() {
+        let g = generators::ring(64, true);
+        let cfg = config(2)
+            .with_checkpoint_every(3)
+            .with_faults(FaultPlan::none());
+        let armed = Runner::new(&g, &HashPartitioner::default(), cfg).run(&Flood);
+        let clean = Runner::new(&g, &HashPartitioner::default(), config(2)).run(&Flood);
+        assert!(armed.stats.faults.checkpoints > 1);
+        assert_eq!(armed.stats.faults.injected, 0);
+        assert_eq!(armed.stats.faults.replayed_rounds, 0);
+        assert_eq!(without_faults(armed.stats), without_faults(clean.stats));
+    }
+
+    #[test]
+    fn hard_oom_kills_where_soft_model_survives() {
+        let g = generators::complete(48);
+        let peak = Runner::new(&g, &HashPartitioner::default(), config(2))
+            .run(&Flood)
+            .stats
+            .peak_memory;
+        // Capacity just under the observed peak: the soft cost model
+        // tolerates demand up to 1.4× capacity (thrashing regime), so
+        // the run completes; the hard OOM kill fires the moment demand
+        // exceeds capacity.
+        let cap = Bytes((peak.get() as f64 * 0.9) as u64);
+        let mut soft = config(2);
+        soft.cluster.machine.memory = cap;
+        let soft_run = Runner::new(&g, &HashPartitioner::default(), soft.clone()).run(&Flood);
+        assert!(
+            soft_run.outcome.is_completed(),
+            "soft model thrashes through"
+        );
+
+        let hard = soft.with_faults(FaultPlan::none().with_hard_oom());
+        let hard_run = Runner::new(&g, &HashPartitioner::default(), hard).run(&Flood);
+        assert!(hard_run.outcome.is_overflow(), "hard OOM kill aborts");
+        assert_eq!(hard_run.stats.faults.oom_kills, 1);
+        assert!(hard_run.stats.peak_memory > cap);
+    }
+
+    #[test]
+    fn pooled_chaos_matches_serial_chaos() {
+        let g = generators::power_law(400, 1600, 2.3, 11);
+        let plan = FaultPlan::random(7, 4, 12, 2, 2);
+        let make = |threshold: usize| {
+            Runner::new(
+                &g,
+                &HashPartitioner::default(),
+                config(4)
+                    .with_parallel_threshold(threshold)
+                    .with_checkpoint_every(3)
+                    .with_faults(plan.clone()),
+            )
+            .run(&Flood)
+        };
+        let serial = make(usize::MAX);
+        let pooled = make(1);
+        assert_eq!(serial.outcome, pooled.outcome);
+        assert_eq!(serial.stats, pooled.stats, "fault record included");
+        for v in g.vertices() {
+            assert_eq!(serial.states[v as usize].0, pooled.states[v as usize].0);
         }
     }
 

@@ -1,7 +1,7 @@
 //! Property-based tests for the engine: message conservation, sampler
 //! distribution laws, and scheduling-independence of results.
 
-use mtvc_cluster::ClusterSpec;
+use mtvc_cluster::{ClusterSpec, FaultPlan};
 use mtvc_engine::sampling::{binomial, multinomial_uniform};
 use mtvc_engine::{
     route, Context, Delivery, EngineConfig, Envelope, Inbox, LocalIndex, Message, MirrorIndex,
@@ -336,6 +336,58 @@ proptest! {
         prop_assert_eq!(&serial.stats, &pooled.stats);
         for v in 0..n {
             prop_assert_eq!(&serial.states[v].dist, &pooled.states[v].dist, "vertex {}", v);
+        }
+    }
+
+    /// Chaos property: a run with injected machine crashes and
+    /// transient delivery failures, recovered via superstep checkpoints
+    /// (rollback + deterministic replay), is indistinguishable from a
+    /// fault-free run — identical outcome, identical per-vertex states,
+    /// and identical non-replay statistics. Replay wire traffic and
+    /// recovery time are segregated into `stats.faults`, which is
+    /// zeroed before the comparison.
+    #[test]
+    fn chaos_run_equals_fault_free_run(
+        n in 16usize..100,
+        workers in 2usize..6,
+        pooled in any::<bool>(),
+        checkpoint_every in 1usize..6,
+        crashes in 0usize..3,
+        losses in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::power_law(n, n * 4, 2.4, seed);
+        let sources = vec![0 as VertexId, (n / 2) as VertexId];
+        let run = |faults: Option<FaultPlan>| {
+            let mut cfg = EngineConfig::new(
+                ClusterSpec::galaxy(workers),
+                SystemProfile::base("t"),
+            );
+            cfg.cutoff = SimTime::secs(1e12);
+            cfg.parallel_vertex_threshold = if pooled { 0 } else { usize::MAX };
+            cfg.checkpoint_every = checkpoint_every;
+            cfg.faults = faults;
+            let runner = Runner::new(&g, &HashPartitioner { salt: seed }, cfg);
+            runner.run(&mtvc_tasks_free_mssp(sources.clone()))
+        };
+        let clean = run(None);
+        let chaos = run(Some(FaultPlan::random(
+            seed ^ 0xFA11,
+            workers,
+            8,
+            crashes,
+            losses,
+        )));
+        prop_assert!(clean.outcome.is_completed());
+        prop_assert_eq!(&clean.outcome, &chaos.outcome);
+        let scrub = |stats: &mtvc_metrics::RunStats| {
+            let mut s = stats.clone();
+            s.faults = Default::default();
+            s
+        };
+        prop_assert_eq!(scrub(&clean.stats), scrub(&chaos.stats));
+        for v in 0..n {
+            prop_assert_eq!(&clean.states[v].dist, &chaos.states[v].dist, "vertex {}", v);
         }
     }
 }

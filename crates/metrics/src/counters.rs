@@ -7,6 +7,7 @@
 //! the aggregate quantities the paper's tables report — total messages,
 //! per-round congestion, network/disk overuse durations, and peak memory.
 
+use crate::faults::FaultStats;
 use crate::units::{Bytes, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -76,6 +77,10 @@ pub struct RunStats {
     pub disk_overuse: SimTime,
     pub max_disk_utilization: f64,
     pub max_io_queue_len: f64,
+    /// Fault-injection and recovery accounting (all-zero on clean runs;
+    /// replayed work is recorded here and *only* here, so the rest of
+    /// the record matches a fault-free run bit for bit).
+    pub faults: FaultStats,
     /// Per-round history; kept so the harness can print figure series.
     pub per_round: Vec<RoundStats>,
 }
@@ -114,6 +119,7 @@ impl RunStats {
         self.disk_overuse += other.disk_overuse;
         self.max_disk_utilization = self.max_disk_utilization.max(other.max_disk_utilization);
         self.max_io_queue_len = self.max_io_queue_len.max(other.max_io_queue_len);
+        self.faults.absorb(&other.faults);
         self.per_round.extend(other.per_round.iter().cloned());
     }
 

@@ -1,0 +1,105 @@
+//! Fault-injection and recovery accounting.
+//!
+//! [`FaultStats`] travels inside [`RunStats`](crate::RunStats) so every
+//! layer — engine, batch runner, serve — sees the same record of what
+//! was injected and what recovery cost. Replayed work is kept strictly
+//! separate from first-run work: a chaos run's *non-replay* statistics
+//! must be bit-identical to the fault-free run, and these counters hold
+//! everything that differs.
+
+use crate::units::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// What went wrong during a run, and what it cost to recover.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Recoverable faults injected (crashes + delivery failures).
+    pub injected: u64,
+    /// Machine crashes among `injected`.
+    pub crashes: u64,
+    /// Transient message-delivery failures among `injected`.
+    pub delivery_failures: u64,
+    /// Hard OOM kills (memory demand exceeded physical capacity while
+    /// the hard-OOM fault was armed). These abort the run.
+    pub oom_kills: u64,
+    /// Checkpoints taken (snapshots of vertex state + in-flight
+    /// messages at superstep boundaries).
+    pub checkpoints: u64,
+    /// Supersteps re-executed during rollback-replay recovery.
+    pub replayed_rounds: u64,
+    /// Wire messages retransmitted during replay (never counted in the
+    /// run's first-run traffic totals).
+    pub replayed_wire: u64,
+    /// Simulated time spent replaying (excluded from the run's
+    /// completion time, which reflects first-run work only).
+    pub recovery_time: SimTime,
+    /// Batch-level retries performed above the engine (serve layer).
+    pub retries: u64,
+}
+
+impl FaultStats {
+    /// Whether any fault machinery left a trace in this run.
+    pub fn is_quiet(&self) -> bool {
+        *self == FaultStats::default()
+    }
+
+    /// Merge another run's fault record into this one.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.injected += other.injected;
+        self.crashes += other.crashes;
+        self.delivery_failures += other.delivery_failures;
+        self.oom_kills += other.oom_kills;
+        self.checkpoints += other.checkpoints;
+        self.replayed_rounds += other.replayed_rounds;
+        self.replayed_wire += other.replayed_wire;
+        self.recovery_time += other.recovery_time;
+        self.retries += other.retries;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_quiet() {
+        assert!(FaultStats::default().is_quiet());
+    }
+
+    #[test]
+    fn absorb_sums_everything() {
+        let mut a = FaultStats {
+            injected: 2,
+            crashes: 1,
+            delivery_failures: 1,
+            oom_kills: 0,
+            checkpoints: 3,
+            replayed_rounds: 4,
+            replayed_wire: 100,
+            recovery_time: SimTime::secs(1.5),
+            retries: 1,
+        };
+        let b = FaultStats {
+            injected: 1,
+            crashes: 1,
+            delivery_failures: 0,
+            oom_kills: 1,
+            checkpoints: 2,
+            replayed_rounds: 2,
+            replayed_wire: 50,
+            recovery_time: SimTime::secs(0.5),
+            retries: 0,
+        };
+        a.absorb(&b);
+        assert_eq!(a.injected, 3);
+        assert_eq!(a.crashes, 2);
+        assert_eq!(a.delivery_failures, 1);
+        assert_eq!(a.oom_kills, 1);
+        assert_eq!(a.checkpoints, 5);
+        assert_eq!(a.replayed_rounds, 6);
+        assert_eq!(a.replayed_wire, 150);
+        assert_eq!(a.recovery_time.as_secs(), 2.0);
+        assert_eq!(a.retries, 1);
+        assert!(!a.is_quiet());
+    }
+}

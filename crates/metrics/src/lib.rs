@@ -10,6 +10,7 @@
 //! harness to print paper-style rows.
 
 pub mod counters;
+pub mod faults;
 pub mod gauge;
 pub mod histogram;
 pub mod outcome;
@@ -18,6 +19,7 @@ pub mod series;
 pub mod units;
 
 pub use counters::{RoundStats, RunStats};
+pub use faults::FaultStats;
 pub use gauge::Gauge;
 pub use histogram::Histogram;
 pub use outcome::RunOutcome;

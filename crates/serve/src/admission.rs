@@ -26,6 +26,27 @@ use std::collections::HashMap;
 /// Identifier of a dispatched batch, for reservation bookkeeping.
 pub type BatchId = u64;
 
+/// Why the admission controller could not answer a query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionError {
+    /// No memory model is registered for this task shape (it was not in
+    /// [`crate::ServiceConfig::shapes`] at startup), so Eq. 6 cannot be
+    /// inverted for it.
+    UnregisteredShape(Task),
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::UnregisteredShape(shape) => {
+                write!(f, "no memory model registered for shape {shape}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
 /// Tracks cluster memory headroom and decides how much workload the
 /// next batch of a given shape may carry.
 #[derive(Debug)]
@@ -108,7 +129,7 @@ impl AdmissionController {
     /// against measured residual plus reserved in-flight peaks. Zero
     /// when there is no headroom (the former then waits for a
     /// completion or forces a flush).
-    pub fn max_admissible(&self, shape: &Task) -> u64 {
+    pub fn max_admissible(&self, shape: &Task) -> Result<u64, AdmissionError> {
         let reserved: f64 = self.inflight.values().sum();
         let residual = self.residual.iter().copied().max().unwrap_or(0) as f64;
         self.invert_peak(shape, self.budget - residual - reserved)
@@ -117,31 +138,35 @@ impl AdmissionController {
     /// Largest workload `shape` could ever be admitted with: an idle,
     /// fully flushed cluster. A request above this can never run and is
     /// rejected outright.
-    pub fn max_possible(&self, shape: &Task) -> u64 {
+    pub fn max_possible(&self, shape: &Task) -> Result<u64, AdmissionError> {
         self.invert_peak(shape, self.budget)
     }
 
-    fn invert_peak(&self, shape: &Task, headroom: f64) -> u64 {
-        if headroom <= 0.0 {
-            return 0;
-        }
+    fn invert_peak(&self, shape: &Task, headroom: f64) -> Result<u64, AdmissionError> {
         let model = self
             .model_of(shape)
-            .unwrap_or_else(|| panic!("no model registered for shape {shape}"));
-        model
+            .ok_or(AdmissionError::UnregisteredShape(shape.with_workload(1)))?;
+        if headroom <= 0.0 {
+            return Ok(0);
+        }
+        Ok(model
             .model()
             .peak
             .invert(headroom)
             .map(|w| w.floor().max(0.0) as u64)
-            .unwrap_or(0)
+            .unwrap_or(0))
     }
 
     /// Reserve headroom for a dispatched batch; returns its id and a
     /// snapshot of the per-machine residual the batch starts against.
-    pub fn reserve(&mut self, shape: &Task, workload: u64) -> (BatchId, Vec<u64>) {
+    pub fn reserve(
+        &mut self,
+        shape: &Task,
+        workload: u64,
+    ) -> Result<(BatchId, Vec<u64>), AdmissionError> {
         let predicted = self
             .model_of(shape)
-            .expect("reserve of unregistered shape")
+            .ok_or(AdmissionError::UnregisteredShape(shape.with_workload(1)))?
             .model()
             .peak
             .eval(workload as f64)
@@ -149,7 +174,24 @@ impl AdmissionController {
         let id = self.batches;
         self.batches += 1;
         self.inflight.insert(id, predicted);
-        (id, self.residual.clone())
+        Ok((id, self.residual.clone()))
+    }
+
+    /// Drop the reservation of a batch that never executed (its worker
+    /// found no runner for the shape). Releases the headroom without
+    /// feeding the model or touching residual state.
+    pub fn abort(&mut self, id: BatchId) {
+        self.inflight.remove(&id);
+    }
+
+    /// Record an OOM-killed attempt as a *censored* observation: the
+    /// batch's true peak is unknown but at least `peak_lower_bound`
+    /// bytes. Feeds [`OnlineMemoryModel::observe_censored`] so the next
+    /// refit pulls the curve up where the kill proves it under-predicts.
+    pub fn record_censored(&mut self, shape: &Task, workload: u64, peak_lower_bound: f64) {
+        if let Some(m) = self.model_of_mut(shape) {
+            m.observe_censored(workload, peak_lower_bound);
+        }
     }
 
     /// Record a completed batch: release its reservation, absorb the
@@ -161,13 +203,18 @@ impl AdmissionController {
     /// reached, and `residual_before` the per-machine residual it
     /// started against; the §5 `M*` curve models a batch on a fresh
     /// cluster, so the baseline is subtracted before the observation
-    /// reaches the model.
+    /// reaches the model. Pass `observed_peak = None` for a batch that
+    /// *failed* (overload, or OOM past the degradation ladder): the
+    /// reservation is released and any residual its completed
+    /// sub-batches left is absorbed, but no uncensored observation is
+    /// fed to the model — the failed attempt's peak belongs in
+    /// [`AdmissionController::record_censored`] instead.
     pub fn complete(
         &mut self,
         id: BatchId,
         shape: &Task,
         workload: u64,
-        observed_peak: f64,
+        observed_peak: Option<f64>,
         residual_before: &[u64],
         residual_delta: &[u64],
     ) -> bool {
@@ -177,12 +224,14 @@ impl AdmissionController {
             *r += d;
         }
         self.accumulated += workload;
-        let baseline = residual_before.iter().copied().max().unwrap_or(0) as f64;
-        let own_peak = (observed_peak - baseline).max(1.0);
-        let residual_max = self.residual.iter().copied().max().unwrap_or(0) as f64;
-        let accumulated = self.accumulated;
-        if let Some(m) = self.model_of_mut(shape) {
-            m.observe(workload, own_peak, accumulated, residual_max);
+        if let Some(observed_peak) = observed_peak {
+            let baseline = residual_before.iter().copied().max().unwrap_or(0) as f64;
+            let own_peak = (observed_peak - baseline).max(1.0);
+            let residual_max = self.residual.iter().copied().max().unwrap_or(0) as f64;
+            let accumulated = self.accumulated;
+            if let Some(m) = self.model_of_mut(shape) {
+                m.observe(workload, own_peak, accumulated, residual_max);
+            }
         }
         self.completed_since_flush += 1;
         if self.completed_since_flush >= self.flush_every {
@@ -255,21 +304,21 @@ mod tests {
         let cluster = tiny_cluster();
         let mut ac = AdmissionController::new(&cluster, 0.85, 4);
         ac.register(Task::mssp(1), model(1e6, 0.0));
-        let idle = ac.max_admissible(&Task::mssp(1));
+        let idle = ac.max_admissible(&Task::mssp(1)).unwrap();
         assert!(idle > 0);
-        let (id, residual) = ac.reserve(&Task::mssp(1), idle / 2);
+        let (id, residual) = ac.reserve(&Task::mssp(1), idle / 2).unwrap();
         assert_eq!(residual, vec![0; 4]);
-        let busy = ac.max_admissible(&Task::mssp(1));
+        let busy = ac.max_admissible(&Task::mssp(1)).unwrap();
         assert!(busy < idle, "{busy} !< {idle}");
         ac.complete(
             id,
             &Task::mssp(1),
             idle / 2,
-            1e6 * (idle / 2) as f64,
+            Some(1e6 * (idle / 2) as f64),
             &[0; 4],
             &[0; 4],
         );
-        assert_eq!(ac.max_admissible(&Task::mssp(1)), idle);
+        assert_eq!(ac.max_admissible(&Task::mssp(1)).unwrap(), idle);
     }
 
     #[test]
@@ -277,26 +326,33 @@ mod tests {
         let cluster = tiny_cluster();
         let mut ac = AdmissionController::new(&cluster, 0.85, 2);
         ac.register(Task::mssp(1), model(1e6, 0.0));
-        let idle = ac.max_admissible(&Task::mssp(1));
-        let (id, _) = ac.reserve(&Task::mssp(1), 100);
-        let flushed = ac.complete(id, &Task::mssp(1), 100, 1e8, &[0; 4], &[4_000_000_000; 4]);
-        assert!(!flushed);
-        assert!(ac.has_residual());
-        let after = ac.max_admissible(&Task::mssp(1));
-        assert!(after < idle, "{after} !< {idle}");
-        // Second completion closes the 2-batch flush epoch.
-        let (id, _) = ac.reserve(&Task::mssp(1), 100);
+        let idle = ac.max_admissible(&Task::mssp(1)).unwrap();
+        let (id, _) = ac.reserve(&Task::mssp(1), 100).unwrap();
         let flushed = ac.complete(
             id,
             &Task::mssp(1),
             100,
-            1e8,
+            Some(1e8),
+            &[0; 4],
+            &[4_000_000_000; 4],
+        );
+        assert!(!flushed);
+        assert!(ac.has_residual());
+        let after = ac.max_admissible(&Task::mssp(1)).unwrap();
+        assert!(after < idle, "{after} !< {idle}");
+        // Second completion closes the 2-batch flush epoch.
+        let (id, _) = ac.reserve(&Task::mssp(1), 100).unwrap();
+        let flushed = ac.complete(
+            id,
+            &Task::mssp(1),
+            100,
+            Some(1e8),
             &[4_000_000_000; 4],
             &[1_000_000; 4],
         );
         assert!(flushed);
         assert!(!ac.has_residual());
-        assert_eq!(ac.max_admissible(&Task::mssp(1)), idle);
+        assert_eq!(ac.max_admissible(&Task::mssp(1)).unwrap(), idle);
         assert_eq!(ac.flushes(), 1);
     }
 
@@ -305,17 +361,56 @@ mod tests {
         let cluster = tiny_cluster();
         let mut ac = AdmissionController::new(&cluster, 0.85, 4);
         ac.register(Task::bppr(1), model(1e6, 0.0));
-        let max = ac.max_possible(&Task::bppr(1));
-        ac.reserve(&Task::bppr(1), max);
-        assert_eq!(ac.max_possible(&Task::bppr(1)), max);
-        assert_eq!(ac.max_admissible(&Task::bppr(1)), 0);
+        let max = ac.max_possible(&Task::bppr(1)).unwrap();
+        ac.reserve(&Task::bppr(1), max).unwrap();
+        assert_eq!(ac.max_possible(&Task::bppr(1)).unwrap(), max);
+        assert_eq!(ac.max_admissible(&Task::bppr(1)).unwrap(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "no model registered")]
-    fn unregistered_shape_panics() {
-        let ac = AdmissionController::new(&tiny_cluster(), 0.85, 4);
-        ac.max_admissible(&Task::mssp(1));
+    fn unregistered_shape_is_a_typed_error() {
+        let mut ac = AdmissionController::new(&tiny_cluster(), 0.85, 4);
+        let err = ac.max_admissible(&Task::mssp(1)).unwrap_err();
+        assert_eq!(err, AdmissionError::UnregisteredShape(Task::mssp(1)));
+        assert_eq!(
+            ac.max_possible(&Task::mssp(5)).unwrap_err(),
+            AdmissionError::UnregisteredShape(Task::mssp(1))
+        );
+        assert_eq!(
+            ac.reserve(&Task::bppr(3), 10).unwrap_err(),
+            AdmissionError::UnregisteredShape(Task::bppr(1))
+        );
+        assert!(err.to_string().contains("no memory model registered"));
+    }
+
+    #[test]
+    fn abort_releases_the_reservation_without_observing() {
+        let mut ac = AdmissionController::new(&tiny_cluster(), 0.85, 4);
+        ac.register(Task::mssp(1), model(1e6, 0.0));
+        let idle = ac.max_admissible(&Task::mssp(1)).unwrap();
+        let (id, _) = ac.reserve(&Task::mssp(1), idle / 2).unwrap();
+        assert!(ac.has_inflight());
+        ac.abort(id);
+        assert!(!ac.has_inflight());
+        assert_eq!(ac.max_admissible(&Task::mssp(1)).unwrap(), idle);
+    }
+
+    #[test]
+    fn failed_completion_releases_but_skips_the_model() {
+        let mut ac = AdmissionController::new(&tiny_cluster(), 0.85, 2);
+        ac.register(Task::mssp(1), model(1e6, 0.0));
+        let m = ac.model_of(&Task::mssp(1)).unwrap();
+        let obs_before = m.observations();
+        let (id, _) = ac.reserve(&Task::mssp(1), 100).unwrap();
+        ac.complete(id, &Task::mssp(1), 100, None, &[0; 4], &[5_000; 4]);
+        assert!(!ac.has_inflight());
+        assert!(ac.has_residual(), "partial-rung residual must be absorbed");
+        let m = ac.model_of(&Task::mssp(1)).unwrap();
+        assert_eq!(m.observations(), obs_before);
+        // Censored kills still reach the model, as censored points.
+        ac.record_censored(&Task::mssp(1), 100, 1e9);
+        let m = ac.model_of(&Task::mssp(1)).unwrap();
+        assert_eq!(m.censored_points(), 1);
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub mod queue;
 pub mod request;
 pub mod service;
 
-pub use admission::{AdmissionController, BatchId};
+pub use admission::{AdmissionController, AdmissionError, BatchId};
 pub use queue::{same_shape, DrrQueue, SubmitError, TakenBatch};
 pub use request::{Completion, QueuedRequest, RequestId, RequestOutcome, TaskRequest, TenantId};
 pub use service::{ServiceConfig, ServiceReport, StartError, TaskService, Ticket};

@@ -14,6 +14,7 @@
 //! [`DrrQueue::submit_blocking`] parks the submitter — backpressure
 //! instead of unbounded buffering.
 
+use crate::admission::AdmissionError;
 use crate::request::{QueuedRequest, TenantId};
 use mtvc_core::Task;
 use mtvc_metrics::Gauge;
@@ -22,15 +23,15 @@ use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// Why a submission was turned away.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SubmitError {
     /// The queue holds `capacity` requests; try again after drains.
     Full,
     /// The service is shutting down and accepts no new work.
     Closed,
-    /// The service has no memory model for this task shape (it was not
-    /// in [`crate::ServiceConfig::shapes`] at startup).
-    Unsupported,
+    /// The admission controller cannot handle the request — no memory
+    /// model is registered for its task shape.
+    Admission(AdmissionError),
     /// The request carries zero workload units.
     Empty,
 }
@@ -40,13 +41,26 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::Full => write!(f, "queue is at capacity"),
             SubmitError::Closed => write!(f, "service is shutting down"),
-            SubmitError::Unsupported => write!(f, "task shape not supported by this service"),
+            SubmitError::Admission(e) => write!(f, "admission refused the request: {e}"),
             SubmitError::Empty => write!(f, "request has zero workload"),
         }
     }
 }
 
-impl std::error::Error for SubmitError {}
+impl std::error::Error for SubmitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SubmitError::Admission(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AdmissionError> for SubmitError {
+    fn from(e: AdmissionError) -> SubmitError {
+        SubmitError::Admission(e)
+    }
+}
 
 /// Result of one DRR drain round.
 #[derive(Debug, Default)]
@@ -349,6 +363,7 @@ mod tests {
             id: RequestId(id),
             request: TaskRequest::new(TenantId(tenant), task),
             submitted: Instant::now(),
+            attempts: 0,
         }
     }
 

@@ -41,8 +41,8 @@ pub struct TaskRequest {
     /// request's size in the task's own unit (walks for BPPR, sources
     /// for MSSP/BKHS) and is never split across batches.
     pub task: Task,
-    /// Drop the request (outcome [`RequestOutcome::Expired`]) if it has
-    /// not been dispatched within this long of submission.
+    /// Drop the request (outcome [`RequestOutcome::Deadline`]) if it
+    /// has not been dispatched within this long of submission.
     pub deadline: Option<Duration>,
 }
 
@@ -77,6 +77,9 @@ pub struct QueuedRequest {
     pub request: TaskRequest,
     /// When the request entered the queue.
     pub submitted: Instant,
+    /// Dispatch attempts already consumed: how many times a batch
+    /// carrying this request failed and the request was re-queued.
+    pub attempts: u32,
 }
 
 impl QueuedRequest {
@@ -102,14 +105,16 @@ pub enum RequestOutcome {
         /// Simulated running time of the batch that carried the request.
         batch_time: SimTime,
     },
-    /// Dispatch deadline passed while the request sat in the queue.
-    Expired,
+    /// Dispatch deadline passed — while the request sat in the queue,
+    /// or after its carrying batch failed and no retry could land
+    /// before the deadline.
+    Deadline,
     /// The admission controller predicts this request can never fit on
     /// the cluster, even alone on flushed machines.
     Rejected,
     /// The carrying batch overloaded (> 6000 s cutoff) or overflowed
-    /// memory. The admission controller makes this rare; it is still a
-    /// terminal outcome, not retried.
+    /// memory past the degradation ladder, and the retry budget is
+    /// exhausted (or the queue refused the retry).
     Failed {
         /// Human-readable failure class ("overload" / "overflow").
         reason: &'static str,
@@ -138,6 +143,9 @@ pub struct Completion {
     /// Wall-clock time from submission until this completion was
     /// published.
     pub latency: Duration,
+    /// Retries the request consumed before this terminal outcome
+    /// (0 = settled on the first dispatch).
+    pub attempts: u32,
 }
 
 #[cfg(test)]
@@ -151,6 +159,7 @@ mod tests {
             request: TaskRequest::new(TenantId(0), Task::mssp(2))
                 .with_deadline(Duration::from_millis(5)),
             submitted: Instant::now(),
+            attempts: 0,
         };
         assert!(!q.expired(q.submitted));
         assert!(q.expired(q.submitted + Duration::from_millis(6)));
@@ -162,6 +171,7 @@ mod tests {
             id: RequestId(2),
             request: TaskRequest::new(TenantId(0), Task::bppr(4)),
             submitted: Instant::now(),
+            attempts: 0,
         };
         assert!(!q.expired(q.submitted + Duration::from_secs(3600)));
         assert_eq!(q.workload(), 4);

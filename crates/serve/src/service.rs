@@ -14,11 +14,11 @@
 //! queued or in flight, joins the threads, and returns the final
 //! [`ServiceReport`].
 
-use crate::admission::AdmissionController;
+use crate::admission::{AdmissionController, AdmissionError};
 use crate::queue::{same_shape, DrrQueue, SubmitError};
 use crate::request::{Completion, QueuedRequest, RequestId, RequestOutcome, TaskRequest};
-use mtvc_cluster::ClusterSpec;
-use mtvc_core::{select_sources, BatchRunner, Task};
+use mtvc_cluster::{ClusterSpec, FaultPlan};
+use mtvc_core::{select_sources, BatchRunner, RecoveryPolicy, Task};
 use mtvc_graph::hash::mix64;
 use mtvc_graph::Graph;
 use mtvc_metrics::{Histogram, RunOutcome, SimTime, OVERLOAD_CUTOFF};
@@ -62,6 +62,24 @@ pub struct ServiceConfig {
     /// which batches execute on the engine's persistent worker pool);
     /// `None` keeps [`mtvc_engine::PARALLEL_VERTEX_THRESHOLD`].
     pub parallel_vertex_threshold: Option<usize>,
+    /// Times a request whose carrying batch failed is re-queued before
+    /// the failure becomes terminal.
+    pub retry_budget: u32,
+    /// Base delay of the exponential retry backoff (doubles per
+    /// attempt, plus deterministic jitter).
+    pub retry_backoff: Duration,
+    /// Hard cap on a single retry's backoff delay.
+    pub retry_backoff_cap: Duration,
+    /// Engine checkpoint cadence: rounds between superstep snapshots
+    /// inside every batch (drives rollback-and-replay recovery).
+    pub checkpoint_every: usize,
+    /// Fault plan injected into every batch — chaos testing. `None`
+    /// runs fault-free.
+    pub chaos: Option<FaultPlan>,
+    /// Maximum bisection depth of the OOM degradation ladder: a killed
+    /// batch shrinks to at most `workload / 2^ladder_depth` before the
+    /// overflow becomes terminal.
+    pub ladder_depth: u32,
 }
 
 impl ServiceConfig {
@@ -81,6 +99,12 @@ impl ServiceConfig {
             training_workload: 256,
             seed: 0x5EED,
             parallel_vertex_threshold: None,
+            retry_budget: 2,
+            retry_backoff: Duration::from_micros(500),
+            retry_backoff_cap: Duration::from_millis(20),
+            checkpoint_every: 8,
+            chaos: None,
+            ladder_depth: 4,
         }
     }
 
@@ -138,6 +162,37 @@ impl ServiceConfig {
     /// Set the base seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Set the per-request retry budget for failed batches.
+    pub fn with_retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Set the retry backoff base and cap.
+    pub fn with_retry_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.retry_backoff = base;
+        self.retry_backoff_cap = cap;
+        self
+    }
+
+    /// Set the engine checkpoint cadence (rounds between snapshots).
+    pub fn with_checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Inject a fault plan into every batch (chaos testing).
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Set the OOM degradation ladder's maximum bisection depth.
+    pub fn with_ladder_depth(mut self, depth: u32) -> Self {
+        self.ladder_depth = depth;
         self
     }
 }
@@ -210,11 +265,13 @@ impl Ticket {
 pub struct ServiceReport {
     /// Requests executed to completion.
     pub served: u64,
-    /// Requests dropped on their dispatch deadline.
-    pub expired: u64,
+    /// Requests dropped on their dispatch deadline (queued or after a
+    /// failed batch their retries could not redeem in time).
+    pub deadline: u64,
     /// Requests that could never fit the cluster.
     pub rejected: u64,
-    /// Requests whose batch overloaded or overflowed.
+    /// Requests whose batch overloaded or overflowed and whose retry
+    /// budget is exhausted.
     pub failed: u64,
     /// Batches dispatched to the worker pool.
     pub batches: u64,
@@ -238,28 +295,46 @@ pub struct ServiceReport {
     pub max_queue_depth: u64,
     /// Total simulated cluster time across batches.
     pub total_sim_time: SimTime,
+    /// Requests re-queued after their batch failed.
+    pub retries: u64,
+    /// Retried requests that were eventually served.
+    pub retried_success: u64,
+    /// Faults injected into batches by the chaos plan.
+    pub faults_injected: u64,
+    /// Supersteps re-executed during rollback-and-replay recovery.
+    pub replayed_rounds: u64,
+    /// Batch attempts hard-killed for exceeding physical memory.
+    pub oom_kills: u64,
+    /// Simulated recovery time per faulted batch, milliseconds.
+    pub recovery_latency: Histogram,
 }
 
 impl ServiceReport {
     /// Total requests that reached a terminal outcome.
     pub fn requests(&self) -> u64 {
-        self.served + self.expired + self.rejected + self.failed
+        self.served + self.deadline + self.rejected + self.failed
     }
 }
 
 #[derive(Debug)]
 struct MetricsState {
     served: u64,
-    expired: u64,
+    deadline: u64,
     rejected: u64,
     failed: u64,
     batches: u64,
     overload_batches: u64,
     overflow_batches: u64,
+    retries: u64,
+    retried_success: u64,
+    faults_injected: u64,
+    replayed_rounds: u64,
+    oom_kills: u64,
     queue_wait: Histogram,
     latency: Histogram,
     service_time: Histogram,
     batch_workload: Histogram,
+    recovery_latency: Histogram,
     total_sim_time: SimTime,
 }
 
@@ -267,16 +342,22 @@ impl MetricsState {
     fn new() -> MetricsState {
         MetricsState {
             served: 0,
-            expired: 0,
+            deadline: 0,
             rejected: 0,
             failed: 0,
             batches: 0,
             overload_batches: 0,
             overflow_batches: 0,
+            retries: 0,
+            retried_success: 0,
+            faults_injected: 0,
+            replayed_rounds: 0,
+            oom_kills: 0,
             queue_wait: Histogram::new(),
             latency: Histogram::new(),
             service_time: Histogram::new(),
             batch_workload: Histogram::new(),
+            recovery_latency: Histogram::new(),
             total_sim_time: SimTime::ZERO,
         }
     }
@@ -290,6 +371,16 @@ struct Shared {
     pending: Mutex<HashMap<RequestId, Arc<Slot>>>,
     metrics: Mutex<MetricsState>,
     shapes: Vec<Task>,
+}
+
+/// Per-worker execution knobs, cloned into every worker thread.
+#[derive(Clone)]
+struct WorkerCfg {
+    seed: u64,
+    policy: RecoveryPolicy,
+    retry_budget: u32,
+    backoff: Duration,
+    backoff_cap: Duration,
 }
 
 /// A batch formed by the scheduler, in flight to a worker.
@@ -338,9 +429,13 @@ impl TaskService {
                 .map_err(|source| StartError::Fit { shape, source })?;
             admission.register(shape, model);
             let mut runner =
-                BatchRunner::new(graph.clone(), shape, cfg.system, cfg.cluster.clone());
+                BatchRunner::new(graph.clone(), shape, cfg.system, cfg.cluster.clone())
+                    .with_checkpoint_every(cfg.checkpoint_every);
             if let Some(t) = cfg.parallel_vertex_threshold {
                 runner = runner.with_parallel_threshold(t);
+            }
+            if let Some(plan) = &cfg.chaos {
+                runner = runner.with_faults(plan.clone());
             }
             runners.push((shape, Arc::new(runner)));
         }
@@ -354,15 +449,24 @@ impl TaskService {
             shapes: cfg.shapes.iter().map(|s| s.with_workload(1)).collect(),
         });
 
+        let wcfg = WorkerCfg {
+            seed: cfg.seed,
+            policy: RecoveryPolicy {
+                max_depth: cfg.ladder_depth,
+            },
+            retry_budget: cfg.retry_budget,
+            backoff: cfg.retry_backoff,
+            backoff_cap: cfg.retry_backoff_cap,
+        };
         let (tx, rx) = crossbeam::channel::bounded::<FormedBatch>(cfg.workers);
         let mut workers = Vec::with_capacity(cfg.workers);
         for _ in 0..cfg.workers {
             let rx = rx.clone();
             let shared = shared.clone();
             let runners = runners.clone();
-            let seed = cfg.seed;
+            let wcfg = wcfg.clone();
             workers.push(std::thread::spawn(move || {
-                worker_loop(&shared, &runners, seed, rx)
+                worker_loop(&shared, &runners, &wcfg, rx)
             }));
         }
         drop(rx);
@@ -404,7 +508,7 @@ impl TaskService {
             .iter()
             .any(|s| same_shape(s, &request.task))
         {
-            return Err(SubmitError::Unsupported);
+            return Err(AdmissionError::UnregisteredShape(request.task.with_workload(1)).into());
         }
         let id = RequestId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let slot = Arc::new(Slot::default());
@@ -413,6 +517,7 @@ impl TaskService {
             id,
             request,
             submitted: Instant::now(),
+            attempts: 0,
         };
         let res = if block {
             self.shared.queue.submit_blocking(queued)
@@ -434,14 +539,16 @@ impl TaskService {
     }
 
     /// Largest workload a `shape` batch could carry right now, given
-    /// current residual and in-flight reservations.
-    pub fn admissible_now(&self, shape: &Task) -> u64 {
+    /// current residual and in-flight reservations. Errs typed when no
+    /// model is registered for the shape.
+    pub fn admissible_now(&self, shape: &Task) -> Result<u64, AdmissionError> {
         self.shared.admission.lock().unwrap().max_admissible(shape)
     }
 
     /// Largest workload a `shape` batch could ever carry (idle, flushed
-    /// cluster) — requests above this are rejected outright.
-    pub fn admissible_max(&self, shape: &Task) -> u64 {
+    /// cluster) — requests above this are rejected outright. Errs typed
+    /// when no model is registered for the shape.
+    pub fn admissible_max(&self, shape: &Task) -> Result<u64, AdmissionError> {
         self.shared.admission.lock().unwrap().max_possible(shape)
     }
 
@@ -458,7 +565,7 @@ impl TaskService {
         let ac = self.shared.admission.lock().unwrap();
         ServiceReport {
             served: m.served,
-            expired: m.expired,
+            deadline: m.deadline,
             rejected: m.rejected,
             failed: m.failed,
             batches: m.batches,
@@ -472,6 +579,12 @@ impl TaskService {
             batch_workload: m.batch_workload.clone(),
             max_queue_depth: self.shared.queue.depth().high_water(),
             total_sim_time: m.total_sim_time,
+            retries: m.retries,
+            retried_success: m.retried_success,
+            faults_injected: m.faults_injected,
+            replayed_rounds: m.replayed_rounds,
+            oom_kills: m.oom_kills,
+            recovery_latency: m.recovery_latency.clone(),
         }
     }
 
@@ -505,8 +618,13 @@ fn finish(
     {
         let mut m = shared.metrics.lock().unwrap();
         match &outcome {
-            RequestOutcome::Served { .. } => m.served += 1,
-            RequestOutcome::Expired => m.expired += 1,
+            RequestOutcome::Served { .. } => {
+                m.served += 1;
+                if req.attempts > 0 {
+                    m.retried_success += 1;
+                }
+            }
+            RequestOutcome::Deadline => m.deadline += 1,
             RequestOutcome::Rejected => m.rejected += 1,
             RequestOutcome::Failed { .. } => m.failed += 1,
         }
@@ -519,6 +637,7 @@ fn finish(
         outcome,
         queue_wait,
         latency,
+        attempts: req.attempts,
     };
     let slot = shared.pending.lock().unwrap().remove(&req.id);
     if let Some(slot) = slot {
@@ -535,18 +654,36 @@ fn former_loop(shared: &Shared, max_batch: u64, tx: crossbeam::channel::Sender<F
     while let Some(shape) = shared.queue.next_shape_blocking() {
         let w_max = {
             let ac = shared.admission.lock().unwrap();
-            ac.max_admissible(&shape).min(max_batch)
+            match ac.max_admissible(&shape) {
+                Ok(w) => w.min(max_batch),
+                Err(_) => {
+                    // No model for this shape (submit gates on the
+                    // registered set, so only a config bug reaches
+                    // here): drain the head typed instead of panicking.
+                    drop(ac);
+                    if let Some(req) = shared.queue.pop_head(&shape) {
+                        finish(shared, req, RequestOutcome::Rejected, None);
+                    }
+                    continue;
+                }
+            }
         };
         if w_max >= 1 {
             let round = shared.queue.take_batch(&shape, w_max, Instant::now());
             for req in round.expired {
-                finish(shared, req, RequestOutcome::Expired, None);
+                finish(shared, req, RequestOutcome::Deadline, None);
             }
             if !round.taken.is_empty() {
                 let workload: u64 = round.taken.iter().map(|r| r.workload()).sum();
-                let (id, residual) = {
+                let reserved = {
                     let mut ac = shared.admission.lock().unwrap();
                     ac.reserve(&shape, workload)
+                };
+                let Ok((id, residual)) = reserved else {
+                    for req in round.taken {
+                        finish(shared, req, RequestOutcome::Rejected, None);
+                    }
+                    continue;
                 };
                 let batch = FormedBatch {
                     id,
@@ -569,7 +706,7 @@ fn former_loop(shared: &Shared, max_batch: u64, tx: crossbeam::channel::Sender<F
             continue; // head expired away or shape rotated; re-peek
         };
         let mut ac = shared.admission.lock().unwrap();
-        if w_head > ac.max_possible(&shape).min(max_batch) {
+        if w_head > ac.max_possible(&shape).unwrap_or(0).min(max_batch) {
             // Cannot fit even an idle, flushed cluster: reject.
             drop(ac);
             if let Some(req) = shared.queue.pop_head(&shape) {
@@ -606,36 +743,63 @@ fn former_loop(shared: &Shared, max_batch: u64, tx: crossbeam::channel::Sender<F
 fn worker_loop(
     shared: &Shared,
     runners: &[(Task, Arc<BatchRunner>)],
-    seed: u64,
+    wcfg: &WorkerCfg,
     rx: crossbeam::channel::Receiver<FormedBatch>,
 ) {
     while let Ok(batch) = rx.recv() {
-        let runner = &runners
+        let Some(runner) = runners
             .iter()
             .find(|(s, _)| same_shape(s, &batch.shape))
-            .expect("dispatched batch of unregistered shape")
-            .1;
-        let batch_seed = seed ^ mix64(batch.id.wrapping_add(0xB42C));
+            .map(|(_, r)| r)
+        else {
+            // No runner for this shape (only a config bug reaches
+            // here): release the reservation and fail the requests
+            // typed instead of panicking the worker.
+            shared.admission.lock().unwrap().abort(batch.id);
+            shared.headroom.notify_all();
+            for req in batch.requests {
+                finish(
+                    shared,
+                    req,
+                    RequestOutcome::Failed {
+                        reason: "unregistered shape",
+                    },
+                    Some(batch.dispatched),
+                );
+            }
+            continue;
+        };
+        let batch_seed = wcfg.seed ^ mix64(batch.id.wrapping_add(0xB42C));
         let sources = match batch.shape {
             Task::Bppr { .. } => Vec::new(),
             Task::Mssp { .. } | Task::Bkhs { .. } => {
                 select_sources(runner.graph(), batch.workload, batch_seed)
             }
         };
-        let exec = runner.run_batch(
+        let exec = runner.run_batch_bisecting(
             batch.workload,
             &sources,
             &batch.residual,
             batch_seed,
             OVERLOAD_CUTOFF,
+            &wcfg.policy,
         );
+        let completed_time = match exec.outcome {
+            RunOutcome::Completed(t) => Some(t),
+            _ => None,
+        };
         {
             let mut ac = shared.admission.lock().unwrap();
+            // OOM-killed attempts are censored observations: the model
+            // learns the kill's demand as a lower bound on the peak.
+            for &(w, bound) in &exec.censored {
+                ac.record_censored(&batch.shape, w, bound);
+            }
             ac.complete(
                 batch.id,
                 &batch.shape,
                 batch.workload,
-                exec.peak_memory.as_f64(),
+                completed_time.map(|_| exec.peak_memory.as_f64()),
                 &batch.residual,
                 &exec.residual_delta,
             );
@@ -648,19 +812,93 @@ fn worker_loop(
             m.total_sim_time += exec.time;
             m.service_time
                 .record((exec.time.as_secs() * 1e3).round() as u64);
+            let f = &exec.stats.faults;
+            m.faults_injected += f.injected;
+            m.replayed_rounds += f.replayed_rounds;
+            m.oom_kills += f.oom_kills;
+            if f.injected > 0 {
+                m.recovery_latency
+                    .record((f.recovery_time.as_secs() * 1e3).round() as u64);
+            }
             match exec.outcome {
                 RunOutcome::Completed(_) => {}
                 RunOutcome::Overload => m.overload_batches += 1,
                 RunOutcome::Overflow => m.overflow_batches += 1,
             }
         }
-        let outcome = match exec.outcome {
-            RunOutcome::Completed(t) => RequestOutcome::Served { batch_time: t },
-            RunOutcome::Overload => RequestOutcome::Failed { reason: "overload" },
-            RunOutcome::Overflow => RequestOutcome::Failed { reason: "overflow" },
-        };
-        for req in batch.requests {
-            finish(shared, req, outcome.clone(), Some(batch.dispatched));
+        match completed_time {
+            Some(t) => {
+                for req in batch.requests {
+                    finish(
+                        shared,
+                        req,
+                        RequestOutcome::Served { batch_time: t },
+                        Some(batch.dispatched),
+                    );
+                }
+            }
+            None => {
+                let reason = match exec.outcome {
+                    RunOutcome::Overload => "overload",
+                    _ => "overflow",
+                };
+                retry_or_fail(shared, batch.requests, reason, batch.dispatched, wcfg);
+            }
+        }
+    }
+}
+
+/// Settle every request of a failed batch: re-queue it (with
+/// exponential backoff and deterministic jitter) while the retry budget
+/// and its deadline allow, otherwise publish the typed terminal
+/// outcome.
+fn retry_or_fail(
+    shared: &Shared,
+    requests: Vec<QueuedRequest>,
+    reason: &'static str,
+    dispatched: Instant,
+    wcfg: &WorkerCfg,
+) {
+    for mut req in requests {
+        if req.attempts >= wcfg.retry_budget {
+            finish(
+                shared,
+                req,
+                RequestOutcome::Failed { reason },
+                Some(dispatched),
+            );
+            continue;
+        }
+        if req.expired(Instant::now()) {
+            // The deadline passed while the batch was failing; no
+            // retry can land in time.
+            finish(shared, req, RequestOutcome::Deadline, Some(dispatched));
+            continue;
+        }
+        // base · 2^attempt, jittered by up to one base, capped. The
+        // jitter is deterministic in (request, attempt) so runs stay
+        // reproducible.
+        let base = wcfg
+            .backoff
+            .saturating_mul(1u32 << req.attempts.min(16))
+            .min(wcfg.backoff_cap);
+        let jitter_ns = mix64(req.id.0 ^ ((u64::from(req.attempts) + 1) << 48))
+            % wcfg.backoff.as_nanos().max(1) as u64;
+        let delay = (base + Duration::from_nanos(jitter_ns)).min(wcfg.backoff_cap);
+        std::thread::sleep(delay);
+        req.attempts += 1;
+        match shared.queue.try_submit(req.clone()) {
+            Ok(()) => {
+                shared.metrics.lock().unwrap().retries += 1;
+            }
+            // Queue closed (shutdown) or full: the retry cannot be
+            // parked anywhere, so the failure becomes terminal.
+            Err(_) => finish(
+                shared,
+                req,
+                RequestOutcome::Failed { reason },
+                Some(dispatched),
+            ),
         }
     }
 }
@@ -733,7 +971,11 @@ mod tests {
         let err = svc
             .submit(TaskRequest::new(TenantId(0), Task::bkhs(1)))
             .unwrap_err();
-        assert_eq!(err, SubmitError::Unsupported);
+        assert_eq!(
+            err,
+            SubmitError::Admission(AdmissionError::UnregisteredShape(Task::bkhs(1)))
+        );
+        assert!(svc.admissible_max(&Task::bkhs(1)).is_err());
         svc.shutdown();
     }
 
@@ -762,7 +1004,7 @@ mod tests {
     }
 
     #[test]
-    fn expired_requests_report_expired() {
+    fn expired_requests_report_deadline() {
         let svc = small_service(&[Task::mssp(1)]);
         // Deadline already passed relative to a backdated submission.
         let t = svc
@@ -775,8 +1017,145 @@ mod tests {
         // before the deadline check saw it — both are terminal.
         assert!(matches!(
             c.outcome,
-            RequestOutcome::Expired | RequestOutcome::Served { .. }
+            RequestOutcome::Deadline | RequestOutcome::Served { .. }
         ));
         svc.shutdown();
+    }
+
+    /// Satellite (c): shutdown under injected worker-batch faults must
+    /// still resolve every ticket — recoverable crashes and delivery
+    /// failures replay from checkpoints and the drain leaves nothing
+    /// hung on [`Ticket::wait`].
+    #[test]
+    fn shutdown_drains_every_ticket_under_injected_faults() {
+        let graph = Arc::new(generators::grid(12, 12));
+        let mut cfg = ServiceConfig::new(SystemKind::PregelPlus, ClusterSpec::galaxy(4))
+            .with_workers(2)
+            .with_quantum(16)
+            .with_seed(0xFA117)
+            .with_checkpoint_every(2)
+            // Off-cadence fault rounds: a crash at a checkpoint round
+            // restores to itself and replays nothing.
+            .with_chaos(
+                FaultPlan::none()
+                    .with_crash(3, 1)
+                    .with_delivery_failure(5, 0),
+            );
+        cfg.training_workload = 64;
+        cfg = cfg.with_shape(Task::mssp(1)).with_shape(Task::bppr(1));
+        let svc = TaskService::start(graph, cfg).expect("service starts");
+        let tickets: Vec<Ticket> = (0..16u32)
+            .map(|i| {
+                let task = if i % 2 == 0 {
+                    Task::mssp(2)
+                } else {
+                    Task::bppr(4)
+                };
+                svc.submit(TaskRequest::new(TenantId(i % 3), task)).unwrap()
+            })
+            .collect();
+        let report = svc.shutdown();
+        for t in &tickets {
+            let c = t.try_get().expect("ticket left unresolved after drain");
+            assert!(c.outcome.is_served(), "{:?}", c.outcome);
+        }
+        assert_eq!(report.requests(), 16);
+        assert_eq!(
+            report.served, 16,
+            "recoverable faults must not fail requests"
+        );
+        assert!(report.faults_injected > 0, "chaos plan never fired");
+        assert!(report.replayed_rounds > 0, "no rollback-replay happened");
+        assert!(report.recovery_latency.count() > 0);
+        assert_eq!(report.failed, 0);
+    }
+
+    /// The retry ladder: a request from a failed batch is re-queued
+    /// with its attempt count bumped while budget and deadline allow,
+    /// and fails typed (never panics, never hangs) otherwise.
+    #[test]
+    fn failed_requests_retry_until_budget_exhausts() {
+        let shared = Shared {
+            queue: DrrQueue::new(8, 8),
+            admission: Mutex::new(AdmissionController::new(&ClusterSpec::galaxy(2), 0.85, 4)),
+            headroom: Condvar::new(),
+            pending: Mutex::new(HashMap::new()),
+            metrics: Mutex::new(MetricsState::new()),
+            shapes: vec![Task::mssp(1)],
+        };
+        let wcfg = WorkerCfg {
+            seed: 1,
+            policy: RecoveryPolicy::default(),
+            retry_budget: 2,
+            backoff: Duration::from_micros(10),
+            backoff_cap: Duration::from_micros(50),
+        };
+        let req = |attempts: u32| QueuedRequest {
+            id: RequestId(1),
+            request: TaskRequest::new(TenantId(0), Task::mssp(1)),
+            submitted: Instant::now(),
+            attempts,
+        };
+        // Under budget: re-queued with the attempt consumed.
+        retry_or_fail(&shared, vec![req(0)], "overflow", Instant::now(), &wcfg);
+        assert_eq!(shared.queue.len(), 1);
+        assert_eq!(shared.metrics.lock().unwrap().retries, 1);
+        let requeued = shared.queue.pop_head(&Task::mssp(1)).unwrap();
+        assert_eq!(requeued.attempts, 1);
+        // Budget exhausted: terminal typed failure.
+        retry_or_fail(&shared, vec![req(2)], "overflow", Instant::now(), &wcfg);
+        assert_eq!(shared.metrics.lock().unwrap().failed, 1);
+        assert!(shared.queue.is_empty());
+        // Deadline already passed: Deadline, not Failed.
+        let mut stale = req(0);
+        stale.request.deadline = Some(Duration::from_nanos(1));
+        stale.submitted = Instant::now() - Duration::from_millis(5);
+        retry_or_fail(&shared, vec![stale], "overflow", Instant::now(), &wcfg);
+        assert_eq!(shared.metrics.lock().unwrap().deadline, 1);
+        // Closed queue (shutdown): the retry has nowhere to park.
+        shared.queue.close();
+        retry_or_fail(&shared, vec![req(0)], "overload", Instant::now(), &wcfg);
+        assert_eq!(shared.metrics.lock().unwrap().failed, 2);
+    }
+
+    /// Chaos does not change outcomes: a stream served under injected
+    /// crashes completes every request exactly as a fault-free one
+    /// does (batch-level bit-identity is proven by the engine's chaos
+    /// proptest; here the claim is the service level never degrades an
+    /// outcome). Replay traffic is visible only in the fault counters.
+    #[test]
+    fn chaos_stream_serves_everything_fault_free_does() {
+        let run = |chaos: Option<FaultPlan>| {
+            let graph = Arc::new(generators::grid(10, 10));
+            let mut cfg = ServiceConfig::new(SystemKind::PregelPlus, ClusterSpec::galaxy(4))
+                .with_workers(1)
+                .with_quantum(16)
+                .with_seed(0xD15EA5E)
+                .with_checkpoint_every(3);
+            cfg.training_workload = 64;
+            cfg = cfg.with_shape(Task::mssp(1));
+            if let Some(plan) = chaos {
+                cfg = cfg.with_chaos(plan);
+            }
+            let svc = TaskService::start(graph, cfg).expect("service starts");
+            let tickets: Vec<Ticket> = (0..8)
+                .map(|i| {
+                    svc.submit(TaskRequest::new(TenantId(i % 2), Task::mssp(2)))
+                        .unwrap()
+                })
+                .collect();
+            for t in &tickets {
+                assert!(t.wait().outcome.is_served());
+            }
+            svc.shutdown()
+        };
+        let clean = run(None);
+        let chaos = run(Some(FaultPlan::none().with_crash(1, 0).with_crash(3, 2)));
+        assert_eq!(clean.served, 8);
+        assert_eq!(chaos.served, 8);
+        assert_eq!(chaos.failed, 0);
+        assert!(chaos.faults_injected > 0, "chaos plan never fired");
+        assert_eq!(clean.faults_injected, 0);
+        assert!(chaos.replayed_rounds > clean.replayed_rounds);
     }
 }

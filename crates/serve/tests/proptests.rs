@@ -13,6 +13,7 @@ fn unit_request(id: u64, tenant: u32, workload: u64) -> QueuedRequest {
         id: RequestId(id),
         request: TaskRequest::new(TenantId(tenant), Task::mssp(workload)),
         submitted: Instant::now(),
+        attempts: 0,
     }
 }
 

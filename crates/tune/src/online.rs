@@ -30,6 +30,11 @@ pub struct OnlineMemoryModel {
     obs_peak: Vec<f64>,
     obs_accum: Vec<f64>,
     obs_resid: Vec<f64>,
+    // Sliding window of censored observations: OOM-killed batches whose
+    // true peak is unknown but at least `bound` (the demand measured
+    // when the kill fired).
+    cens_w: Vec<f64>,
+    cens_bound: Vec<f64>,
     window: usize,
     refit_every: usize,
     since_refit: usize,
@@ -57,6 +62,8 @@ impl OnlineMemoryModel {
             obs_peak: Vec::new(),
             obs_accum: Vec::new(),
             obs_resid: Vec::new(),
+            cens_w: Vec::new(),
+            cens_bound: Vec::new(),
             window: Self::DEFAULT_WINDOW,
             refit_every: Self::DEFAULT_REFIT_EVERY,
             since_refit: 0,
@@ -94,6 +101,11 @@ impl OnlineMemoryModel {
         self.obs_w.len()
     }
 
+    /// Number of censored observations currently in the window.
+    pub fn censored_points(&self) -> usize {
+        self.cens_w.len()
+    }
+
     /// Record one completed batch: `batch_workload` units peaked at
     /// `observed_peak` bytes on the most loaded machine, and the
     /// accumulated (unflushed) workload `accum_workload` left
@@ -125,16 +137,45 @@ impl OnlineMemoryModel {
         }
     }
 
+    /// Record a *censored* observation: a batch of `batch_workload`
+    /// units was OOM-killed, so its true peak is unknown but at least
+    /// `peak_lower_bound` bytes (the demand measured when the kill
+    /// fired). Censored points participate in refits as lower bounds —
+    /// each contributes `max(bound, current model prediction)`, so it
+    /// pulls the curve *up* when the model under-predicts the kill and
+    /// is uninformative when the model already explains it. Counts
+    /// toward the refit cadence like an ordinary observation.
+    pub fn observe_censored(&mut self, batch_workload: u64, peak_lower_bound: f64) {
+        if self.cens_w.len() == self.window {
+            self.cens_w.remove(0);
+            self.cens_bound.remove(0);
+        }
+        self.cens_w.push(batch_workload.max(1) as f64);
+        self.cens_bound.push(peak_lower_bound);
+        self.since_refit += 1;
+        if self.since_refit >= self.refit_every {
+            self.since_refit = 0;
+            self.refit();
+        }
+    }
+
     /// Refit both curves from anchors + window; keeps the old model on
     /// fitter failure or a degenerate (non-increasing) peak curve.
     fn refit(&mut self) {
-        let xs_peak: Vec<f64> = self.base_w.iter().chain(&self.obs_w).copied().collect();
-        let ys_peak: Vec<f64> = self
+        let mut xs_peak: Vec<f64> = self.base_w.iter().chain(&self.obs_w).copied().collect();
+        let mut ys_peak: Vec<f64> = self
             .base_peak
             .iter()
             .chain(&self.obs_peak)
             .copied()
             .collect();
+        // Censored points: the kill's demand is a lower bound on the
+        // peak, so feed the fitter `max(bound, prediction)` — never
+        // below what the current model already believes.
+        for (&w, &bound) in self.cens_w.iter().zip(&self.cens_bound) {
+            xs_peak.push(w);
+            ys_peak.push(bound.max(self.model.peak.eval(w)));
+        }
         let xs_res: Vec<f64> = self.base_w.iter().chain(&self.obs_accum).copied().collect();
         let ys_res: Vec<f64> = self
             .base_resid
@@ -208,6 +249,44 @@ mod tests {
             m.observe(10 + i, 1000.0, 10 + i, 100.0);
         }
         assert_eq!(m.observations(), 8);
+    }
+
+    #[test]
+    fn censored_kills_raise_underpredicting_model() {
+        let mut m = OnlineMemoryModel::fit(&training(3.0), 5)
+            .unwrap()
+            .with_refit_every(4);
+        // OOM kills whose measured demand already far exceeds the
+        // model's prediction: each is a hard lower bound on the peak.
+        for i in 0..12u64 {
+            let w = 512 + i * 64;
+            m.observe_censored(w, 9.0 * w as f64);
+        }
+        assert!(m.censored_points() > 0);
+        assert!(m.refits() >= 1, "censored points must drive refits");
+        let before = 3.0 * 1024.0 + 100.0;
+        let after = m.model().peak.eval(1024.0);
+        assert!(
+            after > 1.5 * before,
+            "model ignored censored kills: {after} vs {before}"
+        );
+    }
+
+    #[test]
+    fn censored_bound_below_prediction_is_uninformative() {
+        let mut m = OnlineMemoryModel::fit(&training(3.0), 6)
+            .unwrap()
+            .with_refit_every(1);
+        let before = m.model().peak.eval(100.0);
+        // The model already explains this kill (bound far below its
+        // prediction), so the refit point is the prediction itself and
+        // the curve barely moves.
+        m.observe_censored(100, 1.0);
+        let after = m.model().peak.eval(100.0);
+        assert!(
+            (after - before).abs() < 0.05 * before,
+            "uninformative bound moved the model: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -80,7 +80,7 @@ fn main() {
         println!(
             "  model ceiling for {}: {} units/batch",
             shape.name(),
-            svc.admissible_max(&shape)
+            svc.admissible_max(&shape).expect("shape registered")
         );
     }
 
