@@ -1,0 +1,211 @@
+//! PR 5 perf snapshot: dense batch-state slabs vs the hash-map state
+//! layout, on the same single-threaded round loop the earlier envelope
+//! benches use. Sweeps the batch width W ∈ {1, 8, 64} on MSSP — the
+//! width axis is the whole point: hash-map state pays a probe per
+//! (vertex, query) touch, slab rows pay a multiply — and emits
+//! `BENCH_pr5.json` in the working directory.
+//!
+//! Both kernels run the identical envelope hot path, so every cell
+//! pair is traffic-identical by construction and the timing delta
+//! isolates the state layout. Cells run with the combiner off and on:
+//! the headline `slab_speedup_*` keys come from the combiner-off
+//! configuration — with sender-side combining enabled, duplicates are
+//! folded *before* the receiver's state phase, so the layout delta is
+//! partially masked by routing (both numbers are in the JSON). The
+//! slab cells run through a [`SlabRecycler`], the production
+//! configuration: after the warm-up run the state phase allocates
+//! nothing, so `steady_bytes_per_round` measures what a whole round
+//! costs once every buffer — routing and state — has reached its
+//! high-water capacity.
+//!
+//! `PR5_SMOKE=1` shrinks the graph and rep count for CI: the parity
+//! asserts still run end to end, the timings are not meaningful.
+
+use mtvc_bench::round_loop::{drive_current, drive_slab_recycled, RoundLoopReport};
+use mtvc_engine::{LocalIndex, SlabRecycler};
+use mtvc_graph::partition::{HashPartitioner, Partitioner};
+use mtvc_graph::{generators, VertexId};
+use mtvc_tasks::{MsspProgram, MsspSlabProgram};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// System allocator wrapper counting every allocated byte (allocations
+/// only — frees are not subtracted, so deltas measure allocation
+/// *churn*, which is exactly what slab recycling removes).
+struct CountingAlloc;
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let grown = new_size.saturating_sub(layout.size());
+        ALLOCATED.fetch_add(grown as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const WORKERS: usize = 4;
+const SEED: u64 = 0x9E3;
+/// Rounds skipped before the steady-state allocation window opens.
+const WARMUP_ROUNDS: usize = 3;
+/// Batch widths swept (queries per batch).
+const WIDTHS: [usize; 3] = [1, 8, 64];
+
+struct Params {
+    vertices: usize,
+    edges: usize,
+    /// Timed repetitions per cell (single-threaded full runs).
+    reps: usize,
+}
+
+impl Params {
+    fn from_env() -> Params {
+        if std::env::var("PR5_SMOKE").is_ok_and(|v| v == "1") {
+            Params {
+                vertices: 4_000,
+                edges: 16_000,
+                reps: 1,
+            }
+        } else {
+            Params {
+                vertices: 20_000,
+                edges: 80_000,
+                reps: 5,
+            }
+        }
+    }
+}
+
+struct CellResult {
+    report: RoundLoopReport,
+    rounds_per_sec: f64,
+    total_bytes_per_round: u64,
+    steady_bytes_per_round: u64,
+}
+
+/// Time `reps` full runs of `driver` (best-of, which filters scheduler
+/// noise on shared runners) and profile one extra run's per-round
+/// allocation. The profiling run comes *first* so the timed runs start
+/// from warmed buffers (for the recycled slab driver that means pooled
+/// slabs — the production steady state).
+fn measure(reps: usize, driver: impl Fn(&mut dyn FnMut(usize)) -> RoundLoopReport) -> CellResult {
+    let mut marks: Vec<u64> = Vec::with_capacity(64);
+    let warm = driver(&mut |_| {});
+    let report = driver(&mut |_| marks.push(ALLOCATED.load(Ordering::Relaxed)));
+    assert_eq!(warm, report, "driver must be deterministic");
+    let deltas: Vec<u64> = marks.windows(2).map(|w| w[1] - w[0]).collect();
+    let steady = deltas
+        .iter()
+        .skip(WARMUP_ROUNDS.min(deltas.len().saturating_sub(1)))
+        .copied()
+        .min()
+        .unwrap_or(0);
+
+    let before = ALLOCATED.load(Ordering::Relaxed);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let r = driver(&mut |_| {});
+        best = best.min(start.elapsed().as_secs_f64());
+        assert_eq!(r, report, "driver must be deterministic");
+    }
+    let allocated = ALLOCATED.load(Ordering::Relaxed) - before;
+    CellResult {
+        report,
+        rounds_per_sec: report.rounds as f64 / best,
+        total_bytes_per_round: allocated / (report.rounds * reps) as u64,
+        steady_bytes_per_round: steady,
+    }
+}
+
+fn json_cell(name: &str, r: &CellResult) -> String {
+    format!(
+        "    \"{name}\": {{\"rounds\": {}, \"sent_wire\": {}, \"delivered_tuples\": {}, \
+         \"rounds_per_sec\": {:.2}, \"total_bytes_per_round\": {}, \
+         \"steady_bytes_per_round\": {}}}",
+        r.report.rounds,
+        r.report.sent_wire,
+        r.report.delivered_tuples,
+        r.rounds_per_sec,
+        r.total_bytes_per_round,
+        r.steady_bytes_per_round,
+    )
+}
+
+fn main() {
+    let params = Params::from_env();
+    let g = generators::power_law(params.vertices, params.edges, 2.3, 42);
+    let part = HashPartitioner::default().partition(&g, WORKERS);
+    let locals = LocalIndex::build(&part);
+
+    let mut cells: Vec<String> = Vec::new();
+    let mut summary: Vec<String> = Vec::new();
+    for combine in [false, true] {
+        let tag = if combine { "combine" } else { "nocombine" };
+        for width in WIDTHS {
+            let sources: Vec<VertexId> = (0..width as u32)
+                .map(|q| (q * 997) % params.vertices as VertexId)
+                .collect();
+            let hashmap = MsspProgram::new(sources.clone());
+            let slab_prog = MsspSlabProgram::new(sources);
+            let recycler: SlabRecycler<u64> = SlabRecycler::new();
+
+            let base = measure(params.reps, |hook| {
+                drive_current(&hashmap, &g, &part, &locals, combine, SEED, hook)
+            });
+            let slab = measure(params.reps, |hook| {
+                drive_slab_recycled(
+                    &slab_prog, &recycler, &g, &part, &locals, combine, SEED, hook,
+                )
+            });
+            // Same kernel semantics, same envelope path: exact parity.
+            assert_eq!(base.report, slab.report, "mssp parity (W={width}, {tag})");
+
+            let speedup = slab.rounds_per_sec / base.rounds_per_sec;
+            println!(
+                "mssp_{tag}_w{width}: slab {:.1} rounds/s vs hashmap {:.1} rounds/s \
+                 ({speedup:.2}x), steady alloc/round {} vs {} bytes",
+                slab.rounds_per_sec,
+                base.rounds_per_sec,
+                slab.steady_bytes_per_round,
+                base.steady_bytes_per_round
+            );
+            cells.push(json_cell(&format!("mssp_slab_{tag}_w{width}"), &slab));
+            cells.push(json_cell(&format!("mssp_hashmap_{tag}_w{width}"), &base));
+            // Headline keys: the combiner-off (state-bound) cells.
+            if !combine {
+                summary.push(format!("  \"slab_speedup_w{width}\": {speedup:.3}"));
+                summary.push(format!(
+                    "  \"slab_steady_bytes_per_round_w{width}\": {}",
+                    slab.steady_bytes_per_round
+                ));
+            }
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr5_state_slab\",\n  \"graph\": {{\"vertices\": {}, \
+         \"edges\": {}, \"workers\": {WORKERS}}},\n  \"reps\": {},\n{},\n  \
+         \"cells\": {{\n{}\n  }}\n}}\n",
+        params.vertices,
+        params.edges,
+        params.reps,
+        summary.join(",\n"),
+        cells.join(",\n")
+    );
+    let mut f = std::fs::File::create("BENCH_pr5.json").expect("create BENCH_pr5.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_pr5.json");
+    println!("-> BENCH_pr5.json");
+}

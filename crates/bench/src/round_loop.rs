@@ -7,6 +7,12 @@
 //! * [`drive_current`] — the engine's shipped hot path: sender-side
 //!   combining, grouped delivery through [`RouteGrid`]/[`Inbox`], and
 //!   borrowed per-vertex delivery runs (zero clones, recycled buffers).
+//! * [`drive_slab`] / [`drive_slab_recycled`] — the same hot path
+//!   running a dense-slab kernel ([`SlabProgram`]) instead of the
+//!   hash-map state: per-vertex state is a
+//!   [`StateSlab`](mtvc_engine::StateSlab) row, compute
+//!   is frontier-driven, and the recycled variant draws worker slabs
+//!   from a [`SlabRecycler`] so back-to-back runs allocate no state.
 //! * [`drive_legacy`] — a faithful replica of the pre-sender-combining
 //!   path, kept here as the benchmark baseline: combining happens at
 //!   the merge stage via a stable sort over `(dest, key)` tags, inboxes
@@ -15,15 +21,16 @@
 //!   allocated fresh every round and clones every message into a
 //!   scratch pair vector.
 //!
-//! Both drivers execute real task code via the public [`Context`] and
+//! All drivers execute real task code via the public [`Context`] and
 //! the engine's [`vertex_rng`], so for order-insensitive programs
-//! (MSSP: receiver-side min-aggregation) the two paths produce
-//! identical round counts and wire totals — making the timing delta a
-//! pure measurement of the envelope-path rework.
+//! (MSSP: receiver-side min-aggregation) the paths produce identical
+//! round counts and wire totals — making the timing delta a pure
+//! measurement of the envelope path (current vs legacy) or the state
+//! layout (slab vs hash map).
 
 use mtvc_engine::{
-    vertex_rng, Context, Delivery, Envelope, Inbox, LocalIndex, Message, Outbox, RouteGrid,
-    VertexProgram,
+    vertex_rng, Context, Delivery, Envelope, Inbox, LocalIndex, Message, Outbox, PerSlab,
+    PerVertex, ProgramCore, RouteGrid, SlabProgram, SlabRecycler, VertexProgram,
 };
 use mtvc_graph::partition::Partition;
 use mtvc_graph::Graph;
@@ -42,12 +49,13 @@ pub struct RoundLoopReport {
 /// Ceiling on rounds for runaway protection in both drivers.
 const ROUND_CAP: usize = 10_000;
 
-/// Run `program` to quiescence on the current engine hot path
-/// (sender-side combining + grouped delivery), single-threaded.
+/// Run any [`ProgramCore`] to quiescence on the current engine hot
+/// path (sender-side combining + grouped delivery), single-threaded.
 /// `on_round_end(round)` fires after each round's routing completes —
-/// the allocation bench snapshots its byte counter there.
-pub fn drive_current<P: VertexProgram>(
-    program: &P,
+/// the allocation bench snapshots its byte counter there. Stores are
+/// handed back through [`ProgramCore::recycle`] when the run finishes.
+pub fn drive_core<P: ProgramCore>(
+    core: &P,
     graph: &Graph,
     part: &Partition,
     locals: &LocalIndex,
@@ -56,11 +64,11 @@ pub fn drive_current<P: VertexProgram>(
     mut on_round_end: impl FnMut(usize),
 ) -> RoundLoopReport {
     let workers = part.num_workers();
-    let msg_bytes = program.message_bytes();
-    let mut states: Vec<Vec<P::State>> = locals
+    let msg_bytes = core.message_bytes();
+    let mut stores: Vec<P::Store> = locals
         .worker_vertices()
         .iter()
-        .map(|list| vec![P::State::default(); list.len()])
+        .map(|list| core.make_store(list))
         .collect();
     let mut outboxes: Vec<Outbox<P::Message>> = (0..workers).map(|_| Outbox::new()).collect();
     let mut inboxes: Vec<Inbox<P::Message>> = (0..workers).map(|_| Inbox::new()).collect();
@@ -76,7 +84,7 @@ pub fn drive_current<P: VertexProgram>(
             if inboxes.iter().all(|i| i.is_empty()) {
                 break;
             }
-            if program.max_rounds().is_some_and(|max| round > max) {
+            if core.max_rounds().is_some_and(|max| round > max) {
                 break;
             }
         }
@@ -87,7 +95,7 @@ pub fn drive_current<P: VertexProgram>(
                 for (li, &v) in vertices.iter().enumerate() {
                     let mut rng = vertex_rng(seed, round, v);
                     let mut ctx = Context::new(v, round, graph, &mut rng, outbox);
-                    program.init(v, &mut states[w][li], &mut ctx);
+                    core.init_vertex(v, li as u32, &mut stores[w], &mut ctx);
                 }
             } else {
                 let inbox = &mut inboxes[w];
@@ -97,7 +105,7 @@ pub fn drive_current<P: VertexProgram>(
                     start = run.end as usize;
                     let mut rng = vertex_rng(seed, round, run.dest);
                     let mut ctx = Context::new(run.dest, round, graph, &mut rng, outbox);
-                    program.compute(run.dest, &mut states[w][run.local as usize], msgs, &mut ctx);
+                    core.compute_vertex(run.dest, run.local, &mut stores[w], msgs, &mut ctx);
                 }
                 inbox.clear();
             }
@@ -118,7 +126,76 @@ pub fn drive_current<P: VertexProgram>(
         report.rounds = round + 1;
         on_round_end(round);
     }
+    core.recycle(stores);
     report
+}
+
+/// Run a [`VertexProgram`] (hash-map state) on the current hot path.
+pub fn drive_current<P: VertexProgram>(
+    program: &P,
+    graph: &Graph,
+    part: &Partition,
+    locals: &LocalIndex,
+    combine: bool,
+    seed: u64,
+    on_round_end: impl FnMut(usize),
+) -> RoundLoopReport {
+    drive_core(
+        &PerVertex(program),
+        graph,
+        part,
+        locals,
+        combine,
+        seed,
+        on_round_end,
+    )
+}
+
+/// Run a [`SlabProgram`] (dense slab state) on the current hot path,
+/// allocating fresh worker slabs.
+pub fn drive_slab<P: SlabProgram>(
+    program: &P,
+    graph: &Graph,
+    part: &Partition,
+    locals: &LocalIndex,
+    combine: bool,
+    seed: u64,
+    on_round_end: impl FnMut(usize),
+) -> RoundLoopReport {
+    drive_core(
+        &PerSlab::new(program),
+        graph,
+        part,
+        locals,
+        combine,
+        seed,
+        on_round_end,
+    )
+}
+
+/// Run a [`SlabProgram`] drawing worker slabs from (and retiring them
+/// to) `recycler` — after a warm-up run the state phase performs no
+/// allocation at all.
+#[allow(clippy::too_many_arguments)]
+pub fn drive_slab_recycled<P: SlabProgram>(
+    program: &P,
+    recycler: &SlabRecycler<P::Cell>,
+    graph: &Graph,
+    part: &Partition,
+    locals: &LocalIndex,
+    combine: bool,
+    seed: u64,
+    on_round_end: impl FnMut(usize),
+) -> RoundLoopReport {
+    drive_core(
+        &PerSlab::with_recycler(program, recycler),
+        graph,
+        part,
+        locals,
+        combine,
+        seed,
+        on_round_end,
+    )
 }
 
 /// Run `program` to quiescence on a replica of the pre-PR envelope
@@ -347,6 +424,29 @@ mod tests {
                 "combine={combine}"
             );
             assert!(cur.rounds > 2, "run must actually do work");
+        }
+    }
+
+    /// The slab MSSP kernel must be traffic-identical to the hash-map
+    /// kernel, fresh or recycled — and recycling must return every
+    /// worker slab to the pool.
+    #[test]
+    fn slab_and_hashmap_paths_agree_on_mssp() {
+        let g = generators::power_law(400, 1600, 2.3, 7);
+        let part = HashPartitioner::default().partition(&g, 4);
+        let locals = LocalIndex::build(&part);
+        let sources = vec![0, 13, 200];
+        let hashmap = MsspProgram::new(sources.clone());
+        let slab = mtvc_tasks::MsspSlabProgram::new(sources);
+        let recycler = SlabRecycler::new();
+        for combine in [false, true] {
+            let base = drive_current(&hashmap, &g, &part, &locals, combine, 42, |_| {});
+            let dense = drive_slab(&slab, &g, &part, &locals, combine, 42, |_| {});
+            let pooled =
+                drive_slab_recycled(&slab, &recycler, &g, &part, &locals, combine, 42, |_| {});
+            assert_eq!(base, dense, "combine={combine}");
+            assert_eq!(base, pooled, "combine={combine}");
+            assert_eq!(recycler.pooled(), 4, "all worker slabs retired");
         }
     }
 

@@ -9,17 +9,62 @@
 use crate::schedule::BatchSchedule;
 use crate::task::{select_sources, Task};
 use mtvc_cluster::{ClusterSpec, FaultPlan, MonetaryCost};
-use mtvc_engine::{EngineConfig, Runner, SystemProfile, VertexProgram};
+use mtvc_engine::{EngineConfig, RunResult, Runner, SlabRecycler, SystemProfile};
 use mtvc_graph::hash::mix64;
 use mtvc_graph::partition::Partition;
 use mtvc_graph::{Graph, VertexId};
 use mtvc_metrics::{Bytes, RunOutcome, RunStats, SimTime, OVERLOAD_CUTOFF};
 use mtvc_systems::SystemKind;
+use mtvc_tasks::bkhs::BkhsState;
+use mtvc_tasks::bppr::{BpprState, PushState};
+use mtvc_tasks::mssp::MsspState;
 use mtvc_tasks::{
-    BkhsBroadcastProgram, BkhsProgram, BpprProgram, BpprPushProgram, MsspBroadcastProgram,
-    MsspProgram,
+    BkhsBroadcastSlabProgram, BkhsSlabProgram, BpprPushSlabProgram, BpprSlabProgram,
+    MsspBroadcastSlabProgram, MsspSlabProgram, PushCell, SourceIndex,
 };
+use std::ops::Range;
 use std::sync::Arc;
+
+/// Slab pools shared by every batch of a job (or of a [`BatchRunner`]'s
+/// lifetime): a finished batch returns its per-worker state slabs here
+/// and the next batch re-fills them in place — zeroed via reset, never
+/// re-allocated — so steady-state batching performs no slab allocation.
+/// One pool per cell type; MSSP distance rows and BPPR walk counters
+/// share the `u64` pool.
+#[derive(Debug)]
+struct BatchShared {
+    words: SlabRecycler<u64>,
+    flags: SlabRecycler<u8>,
+    push: SlabRecycler<PushCell>,
+}
+
+impl Default for BatchShared {
+    fn default() -> Self {
+        BatchShared {
+            words: SlabRecycler::new(),
+            flags: SlabRecycler::new(),
+            push: SlabRecycler::new(),
+        }
+    }
+}
+
+/// Where a batch's source queries come from.
+enum BatchSources<'a> {
+    /// An ad-hoc slice (online serving: the caller forms batches).
+    Slice(&'a [VertexId]),
+    /// A contiguous query range of a job-wide index built once per job
+    /// — batches slice it instead of rebuilding the vertex → query map.
+    Indexed(Arc<SourceIndex>, Range<usize>),
+}
+
+impl BatchSources<'_> {
+    fn resolve(self) -> (Arc<SourceIndex>, Range<usize>) {
+        match self {
+            BatchSources::Slice(s) => (SourceIndex::shared(s.to_vec()), 0..s.len()),
+            BatchSources::Indexed(index, range) => (index, range),
+        }
+    }
+}
 
 /// Specification of one multi-processing job.
 #[derive(Debug, Clone)]
@@ -116,14 +161,17 @@ pub fn run_job(graph: &Graph, spec: &JobSpec) -> JobResult {
         .partition(graph, spec.cluster.machines);
     let profile = spec.system.profile(&spec.cluster.machine);
 
-    // Source-based tasks: one global source pool, sliced per batch so
-    // batches never repeat a unit task.
+    // Source-based tasks: one global source pool, indexed once here and
+    // sliced per batch so batches never repeat a unit task (and never
+    // rebuild the vertex → query map).
     let source_pool = match spec.task {
         Task::Bppr { .. } => Vec::new(),
         Task::Mssp { num_sources } | Task::Bkhs { num_sources, .. } => {
             select_sources(graph, num_sources, spec.seed ^ 0xA5A5)
         }
     };
+    let source_index = SourceIndex::shared(source_pool);
+    let shared = BatchShared::default();
 
     let mut residual = vec![0u64; spec.cluster.machines];
     let mut stats = RunStats::new();
@@ -141,12 +189,12 @@ pub fn run_job(graph: &Graph, spec: &JobSpec) -> JobResult {
             cfg.parallel_vertex_threshold = t;
         }
 
-        let batch_sources: &[VertexId] = match spec.task {
-            Task::Bppr { .. } => &[],
+        let batch_sources = match spec.task {
+            Task::Bppr { .. } => BatchSources::Slice(&[]),
             _ => {
-                let s = &source_pool[source_offset..source_offset + w as usize];
-                source_offset += w as usize;
-                s
+                let range = source_offset..source_offset + w as usize;
+                source_offset = range.end;
+                BatchSources::Indexed(Arc::clone(&source_index), range)
             }
         };
 
@@ -158,6 +206,7 @@ pub fn run_job(graph: &Graph, spec: &JobSpec) -> JobResult {
             spec.task,
             w,
             batch_sources,
+            &shared,
         );
         elapsed += batch.outcome.plot_time().min(spec.cutoff - elapsed);
         stats.absorb(&batch.stats);
@@ -237,6 +286,9 @@ pub struct BatchRunner {
     parallel_vertex_threshold: Option<usize>,
     faults: Option<FaultPlan>,
     checkpoint_every: Option<usize>,
+    /// Slab pools recycled across every batch this runner (and its
+    /// clones) executes.
+    shared: Arc<BatchShared>,
 }
 
 impl BatchRunner {
@@ -256,6 +308,7 @@ impl BatchRunner {
             parallel_vertex_threshold: None,
             faults: None,
             checkpoint_every: None,
+            shared: Arc::new(BatchShared::default()),
         }
     }
 
@@ -350,7 +403,8 @@ impl BatchRunner {
             self.system,
             self.task,
             workload,
-            sources,
+            BatchSources::Slice(sources),
+            &self.shared,
         );
         BatchExecution {
             workload,
@@ -525,6 +579,7 @@ struct BatchRun {
     residual_delta: Vec<u64>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_one_batch(
     graph: &Graph,
     partition: Partition,
@@ -532,64 +587,107 @@ fn run_one_batch(
     system: SystemKind,
     task: Task,
     workload: u64,
-    sources: &[VertexId],
+    sources: BatchSources<'_>,
+    shared: &BatchShared,
 ) -> BatchRun {
     let broadcast = system.is_broadcast();
     match task {
         Task::Bppr { alpha, .. } => {
+            let n = graph.num_vertices();
             if broadcast {
-                let prog = BpprPushProgram::new(workload, alpha);
-                execute(graph, partition, cfg, &prog, |st| {
-                    // Residual: fractional stop masses, one f64 record
-                    // per (vertex, source) entry.
-                    st.mass.len() as u64 * 16
-                })
+                let prog = BpprPushSlabProgram::new(workload, alpha, n);
+                execute(
+                    graph,
+                    partition,
+                    cfg,
+                    |r| r.run_slab_recycled(&prog, &shared.push),
+                    |st: &PushState| {
+                        // Residual: fractional stop masses, one f64
+                        // record per (vertex, source) entry.
+                        st.mass.len() as u64 * 16
+                    },
+                )
             } else {
-                let prog = BpprProgram::new(workload, alpha);
-                execute(graph, partition, cfg, &prog, |st| {
-                    // §5: "we need to store the ending nodes of every
-                    // random walk computed in each batch" — residual
-                    // scales with the walk count, not just distinct
-                    // entries.
-                    st.stops.values().sum::<u64>() * 8 + st.stops.len() as u64 * 16
-                })
+                let prog = BpprSlabProgram::new(workload, alpha, n);
+                execute(
+                    graph,
+                    partition,
+                    cfg,
+                    |r| r.run_slab_recycled(&prog, &shared.words),
+                    |st: &BpprState| {
+                        // §5: "we need to store the ending nodes of
+                        // every random walk computed in each batch" —
+                        // residual scales with the walk count, not just
+                        // distinct entries.
+                        st.stops.values().sum::<u64>() * 8 + st.stops.len() as u64 * 16
+                    },
+                )
             }
         }
         Task::Mssp { .. } => {
+            let (index, range) = sources.resolve();
+            let residual = |st: &MsspState| st.dist.len() as u64 * 16;
             if broadcast {
-                let prog = MsspBroadcastProgram::new(sources.to_vec());
-                execute(graph, partition, cfg, &prog, |st| st.dist.len() as u64 * 16)
+                let prog = MsspBroadcastSlabProgram::batch(index, range);
+                execute(
+                    graph,
+                    partition,
+                    cfg,
+                    |r| r.run_slab_recycled(&prog, &shared.words),
+                    residual,
+                )
             } else {
-                let prog = MsspProgram::new(sources.to_vec());
-                execute(graph, partition, cfg, &prog, |st| st.dist.len() as u64 * 16)
+                let prog = MsspSlabProgram::batch(index, range);
+                execute(
+                    graph,
+                    partition,
+                    cfg,
+                    |r| r.run_slab_recycled(&prog, &shared.words),
+                    residual,
+                )
             }
         }
         Task::Bkhs { k, .. } => {
+            let (index, range) = sources.resolve();
             // Residual: bitmap-encoded reach flags, ~1 byte per
             // (query, vertex) flag (see mtvc-tasks::bkhs docs).
+            let residual = |st: &BkhsState| st.reached.len() as u64;
             if broadcast {
-                let prog = BkhsBroadcastProgram::new(sources.to_vec(), k);
-                execute(graph, partition, cfg, &prog, |st| st.reached.len() as u64)
+                let prog = BkhsBroadcastSlabProgram::batch(index, range, k);
+                execute(
+                    graph,
+                    partition,
+                    cfg,
+                    |r| r.run_slab_recycled(&prog, &shared.flags),
+                    residual,
+                )
             } else {
-                let prog = BkhsProgram::new(sources.to_vec(), k);
-                execute(graph, partition, cfg, &prog, |st| st.reached.len() as u64)
+                let prog = BkhsSlabProgram::batch(index, range, k);
+                execute(
+                    graph,
+                    partition,
+                    cfg,
+                    |r| r.run_slab_recycled(&prog, &shared.flags),
+                    residual,
+                )
             }
         }
     }
 }
 
-/// Run one program and fold its states into per-worker residual bytes.
-fn execute<P: VertexProgram>(
+/// Run one batch (the `run` closure picks the program and state layout)
+/// and fold its extracted states into per-worker residual bytes.
+fn execute<S: Default + Clone + Send>(
     graph: &Graph,
     partition: Partition,
     cfg: EngineConfig,
-    program: &P,
-    residual_of: impl Fn(&P::State) -> u64,
+    run: impl FnOnce(&Runner) -> RunResult<S>,
+    residual_of: impl Fn(&S) -> u64,
 ) -> BatchRun {
     let workers = partition.num_workers();
     let owner: Vec<u16> = graph.vertices().map(|v| partition.owner_of(v)).collect();
     let runner = Runner::with_partition(graph, partition, cfg);
-    let result = runner.run(program);
+    let result = run(&runner);
     let mut residual_delta = vec![0u64; workers];
     for (v, state) in result.states.iter().enumerate() {
         residual_delta[owner[v] as usize] += residual_of(state);

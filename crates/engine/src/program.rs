@@ -192,6 +192,129 @@ pub trait VertexProgram: Sync {
     }
 }
 
+/// The worker-granular execution contract the round loop actually
+/// runs: one `Store` per worker holding every local vertex's state,
+/// addressed by local index. [`VertexProgram`]s run through the
+/// [`PerVertex`] adapter (`Store = Vec<State>`); slab programs run
+/// through [`PerSlab`](crate::slab::PerSlab) (`Store =
+/// StateSlab<Cell>`). Coherence forbids one blanket impl covering
+/// both, hence two concrete adapters over one shared loop.
+pub trait ProgramCore: Sync {
+    /// Wire message payload.
+    type Message: Message;
+    /// One worker's state container. `Clone` must recycle via
+    /// `clone_from` (checkpointing relies on it).
+    type Store: Clone + Send;
+    /// Per-vertex output extracted after the run.
+    type Out: Default + Clone + Send;
+
+    fn message_bytes(&self) -> u64;
+
+    fn max_rounds(&self) -> Option<usize> {
+        None
+    }
+
+    /// Build (or recycle) the store for a worker owning `vertices`,
+    /// listed in local-index order.
+    fn make_store(&self, vertices: &[VertexId]) -> Self::Store;
+
+    /// Exact resident state bytes of `store`, if this program accounts
+    /// state exactly (dense layouts know their capacity). Returning
+    /// `None` makes the runner fall back to the `add_state_bytes`
+    /// ledger seeded with [`ProgramCore::initial_state_bytes`] per
+    /// vertex.
+    fn exact_store_bytes(&self, store: &Self::Store) -> Option<u64>;
+
+    /// Ledger baseline per vertex; unused when exact accounting is on.
+    fn initial_state_bytes(&self) -> u64;
+
+    /// Round 0 activation of vertex `v` at local index `li`.
+    fn init_vertex(
+        &self,
+        v: VertexId,
+        li: u32,
+        store: &mut Self::Store,
+        ctx: &mut Context<'_, Self::Message>,
+    );
+
+    /// Rounds ≥ 1: fold `v`'s delivered messages into the store.
+    fn compute_vertex(
+        &self,
+        v: VertexId,
+        li: u32,
+        store: &mut Self::Store,
+        inbox: &[Delivery<Self::Message>],
+        ctx: &mut Context<'_, Self::Message>,
+    );
+
+    /// Extract vertex `v`'s final output (cold path, once per run).
+    fn take_out(&self, v: VertexId, li: u32, store: &mut Self::Store) -> Self::Out;
+
+    /// Hand the run's stores back after extraction, e.g. to a
+    /// recycler pool. Default: drop them.
+    fn recycle(&self, stores: Vec<Self::Store>) {
+        drop(stores);
+    }
+}
+
+/// [`ProgramCore`] adapter for classic [`VertexProgram`]s: the store is
+/// a plain `Vec<State>` in local-index order, state growth is tracked
+/// by the `add_state_bytes` ledger. This is the path
+/// [`Runner::run`](crate::runner::Runner::run) takes; behavior is
+/// identical to the pre-slab engine.
+pub struct PerVertex<'p, P: VertexProgram>(pub &'p P);
+
+impl<P: VertexProgram> ProgramCore for PerVertex<'_, P> {
+    type Message = P::Message;
+    type Store = Vec<P::State>;
+    type Out = P::State;
+
+    fn message_bytes(&self) -> u64 {
+        self.0.message_bytes()
+    }
+
+    fn max_rounds(&self) -> Option<usize> {
+        self.0.max_rounds()
+    }
+
+    fn make_store(&self, vertices: &[VertexId]) -> Self::Store {
+        vec![P::State::default(); vertices.len()]
+    }
+
+    fn exact_store_bytes(&self, _store: &Self::Store) -> Option<u64> {
+        None
+    }
+
+    fn initial_state_bytes(&self) -> u64 {
+        self.0.initial_state_bytes()
+    }
+
+    fn init_vertex(
+        &self,
+        v: VertexId,
+        li: u32,
+        store: &mut Self::Store,
+        ctx: &mut Context<'_, Self::Message>,
+    ) {
+        self.0.init(v, &mut store[li as usize], ctx);
+    }
+
+    fn compute_vertex(
+        &self,
+        v: VertexId,
+        li: u32,
+        store: &mut Self::Store,
+        inbox: &[Delivery<Self::Message>],
+        ctx: &mut Context<'_, Self::Message>,
+    ) {
+        self.0.compute(v, &mut store[li as usize], inbox, ctx);
+    }
+
+    fn take_out(&self, _v: VertexId, li: u32, store: &mut Self::Store) -> Self::Out {
+        std::mem::take(&mut store[li as usize])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,8 +18,9 @@
 use crate::mirror::MirrorIndex;
 use crate::pool::WorkerPool;
 use crate::profile::{ExecutionMode, SyncMode, SystemProfile};
-use crate::program::{Context, Outbox, VertexProgram};
+use crate::program::{Context, Outbox, PerVertex, ProgramCore, VertexProgram};
 use crate::router::{Inbox, LocalIndex, RouteGrid, RoutingStats};
+use crate::slab::{PerSlab, SlabProgram, SlabRecycler};
 use mtvc_cluster::{
     ChargeError, ClusterSpec, CostModel, FaultInjector, FaultKind, FaultPlan, RoundDemand,
 };
@@ -126,7 +127,7 @@ pub struct RunResult<S> {
 /// allocates only when traffic grows.
 struct Checkpoint<S, M> {
     round: usize,
-    states: Vec<Vec<S>>,
+    states: Vec<S>,
     inboxes: Vec<Inbox<M>>,
     state_bytes: Vec<u64>,
     prev_in_wire: Vec<u64>,
@@ -162,7 +163,7 @@ impl<S: Clone, M: Clone> Checkpoint<S, M> {
     fn save(
         &mut self,
         round: usize,
-        states: &[Vec<S>],
+        states: &[S],
         inboxes: &[Inbox<M>],
         state_bytes: &[u64],
         prev_in_wire: &[u64],
@@ -181,7 +182,7 @@ impl<S: Clone, M: Clone> Checkpoint<S, M> {
     #[allow(clippy::too_many_arguments)]
     fn restore(
         &self,
-        states: &mut Vec<Vec<S>>,
+        states: &mut Vec<S>,
         inboxes: &mut Vec<Inbox<M>>,
         state_bytes: &mut Vec<u64>,
         prev_in_wire: &mut Vec<u64>,
@@ -293,6 +294,31 @@ impl<'g> Runner<'g> {
     /// Execute `program` to completion (quiescence, fixed round bound,
     /// overload cutoff, or overflow).
     pub fn run<P: VertexProgram>(&self, program: &P) -> RunResult<P::State> {
+        self.run_core(&PerVertex(program))
+    }
+
+    /// Execute a slab-backed program ([`SlabProgram`]): one dense
+    /// [`StateSlab`](crate::slab::StateSlab) per worker instead of
+    /// per-vertex state values, with exact state-byte accounting.
+    pub fn run_slab<P: SlabProgram>(&self, program: &P) -> RunResult<P::Out> {
+        self.run_core(&PerSlab::new(program))
+    }
+
+    /// [`Runner::run_slab`], drawing worker slabs from (and retiring
+    /// them to) `recycler` so consecutive batches reuse allocations.
+    pub fn run_slab_recycled<P: SlabProgram>(
+        &self,
+        program: &P,
+        recycler: &SlabRecycler<P::Cell>,
+    ) -> RunResult<P::Out> {
+        self.run_core(&PerSlab::with_recycler(program, recycler))
+    }
+
+    /// The round loop, generic over how worker state is stored
+    /// ([`ProgramCore`]). Everything observable — traffic, pricing,
+    /// checkpointing, fault recovery — is identical across store
+    /// shapes; only state addressing and accounting differ.
+    fn run_core<C: ProgramCore>(&self, program: &C) -> RunResult<C::Out> {
         let workers = self.partition.num_workers();
         let profile = &self.config.profile;
         let cost = &self.config.cost;
@@ -300,17 +326,25 @@ impl<'g> Runner<'g> {
         let msg_bytes = program.message_bytes();
         let async_mode = matches!(profile.sync, SyncMode::Asynchronous);
 
-        let mut states: Vec<Vec<P::State>> = self
+        let mut states: Vec<C::Store> = self
             .locals
             .worker_vertices()
             .iter()
-            .map(|list| vec![P::State::default(); list.len()])
+            .map(|list| program.make_store(list))
             .collect();
+        // Exactly-accounted programs (slabs) report resident capacity;
+        // ledger programs start from the per-vertex baseline and
+        // accumulate `add_state_bytes` deltas.
         let mut state_bytes: Vec<u64> = self
             .locals
             .worker_vertices()
             .iter()
-            .map(|list| list.len() as u64 * program.initial_state_bytes())
+            .zip(&states)
+            .map(|(list, store)| {
+                program
+                    .exact_store_bytes(store)
+                    .unwrap_or(list.len() as u64 * program.initial_state_bytes())
+            })
             .collect();
 
         let mut stats = RunStats::new();
@@ -319,9 +353,9 @@ impl<'g> Runner<'g> {
         // drains the inboxes in place, the shard stage drains the
         // outboxes in place, and the merge stage refills the inboxes —
         // every Vec keeps the capacity last round's traffic shaped.
-        let mut inboxes: Vec<Inbox<P::Message>> = (0..workers).map(|_| Inbox::new()).collect();
-        let mut outboxes: Vec<Outbox<P::Message>> = (0..workers).map(|_| Outbox::new()).collect();
-        let mut grid: RouteGrid<P::Message> = RouteGrid::new(workers);
+        let mut inboxes: Vec<Inbox<C::Message>> = (0..workers).map(|_| Inbox::new()).collect();
+        let mut outboxes: Vec<Outbox<C::Message>> = (0..workers).map(|_| Outbox::new()).collect();
+        let mut grid: RouteGrid<C::Message> = RouteGrid::new(workers);
         // Delivered-message statistics of the previous routing step:
         // those messages are processed (and their buffers are resident)
         // in the *current* round.
@@ -335,7 +369,7 @@ impl<'g> Runner<'g> {
         let mut injector = self.config.faults.as_ref().map(FaultInjector::new);
         let hard_oom = injector.as_ref().is_some_and(|i| i.hard_oom());
         let ckpt_every = self.config.checkpoint_every.max(1);
-        let mut checkpoint: Option<Checkpoint<P::State, P::Message>> = None;
+        let mut checkpoint: Option<Checkpoint<C::Store, C::Message>> = None;
         // Rounds below this index were already executed (and recorded)
         // before a rollback; re-running them is replay, not first-run.
         let mut replay_until = 0usize;
@@ -409,9 +443,20 @@ impl<'g> Runner<'g> {
                 self.compute_phase(program, round, &mut inboxes, &mut outboxes, &mut states);
 
             // Persist state growth before pricing the round: the new
-            // state is resident while the round runs.
+            // state is resident while the round runs. Exact stores
+            // (slabs) report their capacity directly; ledger stores
+            // accumulate what compute declared.
             for (w, ob) in outboxes.iter().enumerate() {
-                state_bytes[w] += ob.state_bytes_added;
+                match program.exact_store_bytes(&states[w]) {
+                    Some(exact) => {
+                        debug_assert_eq!(
+                            ob.state_bytes_added, 0,
+                            "exactly-accounted programs must not call add_state_bytes"
+                        );
+                        state_bytes[w] = exact;
+                    }
+                    None => state_bytes[w] += ob.state_bytes_added,
+                }
             }
 
             // ---- routing phase -------------------------------------
@@ -511,6 +556,7 @@ impl<'g> Runner<'g> {
                             local_bytes: Bytes(routing.local_bytes),
                             active_vertices: active.iter().sum(),
                             peak_machine_memory: charge.peak_memory,
+                            state_bytes: Bytes(state_bytes.iter().copied().max().unwrap_or(0)),
                             spilled_bytes: Bytes(demand.spill.iter().map(|b| b.get()).sum()),
                             duration,
                             network_overuse: charge.network_overuse,
@@ -534,7 +580,7 @@ impl<'g> Runner<'g> {
         }
 
         let outcome = outcome.unwrap_or(RunOutcome::Completed(total));
-        let states_flat = self.flatten_states(states);
+        let states_flat = self.flatten_states(program, states);
         RunResult {
             outcome,
             stats,
@@ -546,13 +592,13 @@ impl<'g> Runner<'g> {
     /// into its worker's outbox; returns per-worker active-vertex
     /// counts. With a pool, worker `w` always executes on pool thread
     /// `w`.
-    fn compute_phase<P: VertexProgram>(
+    fn compute_phase<C: ProgramCore>(
         &self,
-        program: &P,
+        program: &C,
         round: usize,
-        inboxes: &mut [Inbox<P::Message>],
-        outboxes: &mut [Outbox<P::Message>],
-        states: &mut [Vec<P::State>],
+        inboxes: &mut [Inbox<C::Message>],
+        outboxes: &mut [Outbox<C::Message>],
+        states: &mut [C::Store],
     ) -> Vec<u64> {
         let seed = self.config.seed;
         let mut active = vec![0u64; states.len()];
@@ -673,13 +719,18 @@ impl<'g> Runner<'g> {
         demand
     }
 
-    fn flatten_states<S: Default + Clone>(&self, mut states: Vec<Vec<S>>) -> Vec<S> {
-        let mut out = vec![S::default(); self.graph.num_vertices()];
+    fn flatten_states<C: ProgramCore>(
+        &self,
+        program: &C,
+        mut states: Vec<C::Store>,
+    ) -> Vec<C::Out> {
+        let mut out = vec![C::Out::default(); self.graph.num_vertices()];
         for (w, list) in self.locals.worker_vertices().iter().enumerate() {
             for (i, &v) in list.iter().enumerate() {
-                out[v as usize] = std::mem::take(&mut states[w][i]);
+                out[v as usize] = program.take_out(v, i as u32, &mut states[w]);
             }
         }
+        program.recycle(states);
         out
     }
 }
@@ -692,15 +743,15 @@ impl<'g> Runner<'g> {
 /// cleared afterwards (capacity retained for the next routing round);
 /// the outbox is cleared and refilled.
 #[allow(clippy::too_many_arguments)]
-fn worker_pass<P: VertexProgram>(
-    program: &P,
+fn worker_pass<C: ProgramCore>(
+    program: &C,
     graph: &Graph,
     round: usize,
     seed: u64,
     vertices: &[VertexId],
-    inbox: &mut Inbox<P::Message>,
-    outbox: &mut Outbox<P::Message>,
-    states: &mut [P::State],
+    inbox: &mut Inbox<C::Message>,
+    outbox: &mut Outbox<C::Message>,
+    store: &mut C::Store,
 ) -> u64 {
     outbox.clear();
     let active;
@@ -710,7 +761,7 @@ fn worker_pass<P: VertexProgram>(
         for (li, &v) in vertices.iter().enumerate() {
             let mut rng = vertex_rng(seed, round, v);
             let mut ctx = Context::new(v, round, graph, &mut rng, outbox);
-            program.init(v, &mut states[li], &mut ctx);
+            program.init_vertex(v, li as u32, store, &mut ctx);
         }
         active = vertices.len() as u64;
     } else {
@@ -721,7 +772,7 @@ fn worker_pass<P: VertexProgram>(
             start = run.end as usize;
             let mut rng = vertex_rng(seed, round, run.dest);
             let mut ctx = Context::new(run.dest, round, graph, &mut rng, outbox);
-            program.compute(run.dest, &mut states[run.local as usize], msgs, &mut ctx);
+            program.compute_vertex(run.dest, run.local, store, msgs, &mut ctx);
         }
         // Recycle: the routing merge stage refills this inbox, reusing
         // the capacity this round's traffic established.

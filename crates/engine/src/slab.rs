@@ -1,0 +1,537 @@
+//! Dense batch-state slabs: hash-free multi-task vertex state.
+//!
+//! A [`StateSlab`] stores one fixed-size **row of `W` cells per local
+//! vertex**, local-index-major, so the compute hot loop addresses the
+//! state of `(vertex, query)` with one multiply instead of a hash
+//! probe. A companion **frontier bitset** (one bit per cell, row-major)
+//! marks the cells a round actually improved, so a program's send phase
+//! walks only the dirty cells — the GraphLab/Ligra layout (DESIGN.md
+//! §4.2) adapted to multi-task batches.
+//!
+//! Programs opt in by implementing [`SlabProgram`] instead of
+//! [`VertexProgram`](crate::program::VertexProgram) and running via
+//! [`Runner::run_slab`](crate::runner::Runner::run_slab). Slab-backed
+//! state is accounted **exactly**: the runner reports the slab's
+//! resident capacity per superstep instead of trusting manual
+//! `add_state_bytes` calls.
+//!
+//! Slabs are recycled across batches through a [`SlabRecycler`]:
+//! [`StateSlab::reset`] re-stamps the cells to the empty sentinel and
+//! clears the frontier without releasing capacity, so back-to-back
+//! batches of similar shape perform no state allocation at all.
+
+use crate::message::{Delivery, Message};
+use crate::program::{Context, ProgramCore};
+use mtvc_graph::VertexId;
+use parking_lot::Mutex;
+
+/// One dense state slab: `rows × width` cells plus a frontier bitset.
+///
+/// Layout (local-index-major, unpadded):
+///
+/// ```text
+/// cells:    [ v0: q0 q1 .. qW-1 | v1: q0 q1 .. qW-1 | ... ]
+/// frontier: [ v0: ceil(W/64) words | v1: ... ]               (1 bit/cell)
+/// ```
+#[derive(Debug)]
+pub struct StateSlab<C> {
+    width: usize,
+    words_per_row: usize,
+    rows: usize,
+    empty: C,
+    cells: Vec<C>,
+    frontier: Vec<u64>,
+}
+
+impl<C: Copy> StateSlab<C> {
+    /// Build a slab of `rows × width` cells, all set to `empty`.
+    pub fn new(rows: usize, width: usize, empty: C) -> StateSlab<C> {
+        let mut slab = StateSlab {
+            width: 0,
+            words_per_row: 0,
+            rows: 0,
+            empty,
+            cells: Vec::new(),
+            frontier: Vec::new(),
+        };
+        slab.reset(rows, width, empty);
+        slab
+    }
+
+    /// Re-shape for a new batch, **reusing the existing allocation**:
+    /// cells are re-stamped to the empty sentinel and the frontier is
+    /// cleared, but capacity is never released. This is what makes
+    /// slabs recyclable across batches.
+    pub fn reset(&mut self, rows: usize, width: usize, empty: C) {
+        self.width = width;
+        self.words_per_row = width.div_ceil(64);
+        self.rows = rows;
+        self.empty = empty;
+        self.cells.clear();
+        self.cells.resize(rows * width, empty);
+        self.frontier.clear();
+        self.frontier.resize(rows * self.words_per_row, 0);
+    }
+
+    /// Cells per row (the batch width `W`).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows (local vertices).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The empty-cell sentinel.
+    pub fn empty_cell(&self) -> C {
+        self.empty
+    }
+
+    /// Exact resident bytes of this slab (cells + frontier). This is
+    /// what the runner reports to the memory ledger each superstep.
+    pub fn resident_bytes(&self) -> u64 {
+        (self.cells.len() * std::mem::size_of::<C>() + self.frontier.len() * 8) as u64
+    }
+
+    /// The resident bytes a `rows × width` slab must report — the
+    /// debug-build cross-check for exact state accounting.
+    pub fn capacity_bytes(rows: usize, width: usize) -> u64 {
+        (rows * width * std::mem::size_of::<C>() + rows * width.div_ceil(64) * 8) as u64
+    }
+
+    /// Immutable view of one vertex's row.
+    pub fn row(&self, li: u32) -> &[C] {
+        let li = li as usize;
+        &self.cells[li * self.width..(li + 1) * self.width]
+    }
+
+    /// Mutable row view with its frontier words.
+    pub fn row_mut(&mut self, li: u32) -> SlabRowMut<'_, C> {
+        let li = li as usize;
+        SlabRowMut {
+            cells: &mut self.cells[li * self.width..(li + 1) * self.width],
+            front: &mut self.frontier[li * self.words_per_row..(li + 1) * self.words_per_row],
+        }
+    }
+}
+
+impl<C: Copy> Clone for StateSlab<C> {
+    fn clone(&self) -> Self {
+        StateSlab {
+            width: self.width,
+            words_per_row: self.words_per_row,
+            rows: self.rows,
+            empty: self.empty,
+            cells: self.cells.clone(),
+            frontier: self.frontier.clone(),
+        }
+    }
+
+    /// Checkpointing clones slabs at the cadence; reusing the snapshot
+    /// buffers keeps steady-state checkpointing allocation-free (the
+    /// runner's `recycle_into` relies on this).
+    fn clone_from(&mut self, src: &Self) {
+        self.width = src.width;
+        self.words_per_row = src.words_per_row;
+        self.rows = src.rows;
+        self.empty = src.empty;
+        self.cells.clone_from(&src.cells);
+        self.frontier.clone_from(&src.frontier);
+    }
+}
+
+/// Mutable view of one vertex's slab row: `W` cells plus the row's
+/// frontier words. Handed to [`SlabProgram::init`] / [`compute`].
+///
+/// [`compute`]: SlabProgram::compute
+pub struct SlabRowMut<'a, C> {
+    cells: &'a mut [C],
+    front: &'a mut [u64],
+}
+
+impl<C: Copy> SlabRowMut<'_, C> {
+    /// Cells in this row (the batch width `W`).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Read cell `q`.
+    #[inline]
+    pub fn get(&self, q: usize) -> C {
+        self.cells[q]
+    }
+
+    /// Overwrite cell `q` without touching the frontier.
+    #[inline]
+    pub fn set(&mut self, q: usize, value: C) {
+        self.cells[q] = value;
+    }
+
+    /// Mutable access to cell `q` (in-place accumulation).
+    #[inline]
+    pub fn cell_mut(&mut self, q: usize) -> &mut C {
+        &mut self.cells[q]
+    }
+
+    /// Mark cell `q` dirty in the frontier.
+    #[inline]
+    pub fn mark(&mut self, q: usize) {
+        self.front[q >> 6] |= 1u64 << (q & 63);
+    }
+
+    /// Whether cell `q` is currently marked.
+    #[inline]
+    pub fn is_marked(&self, q: usize) -> bool {
+        self.front[q >> 6] >> (q & 63) & 1 != 0
+    }
+
+    /// Visit every marked cell in ascending `q` order, clearing the
+    /// marks as it goes. The visitor gets mutable cell access so push
+    /// kernels can settle residuals in place.
+    #[inline]
+    pub fn drain(&mut self, mut f: impl FnMut(usize, &mut C)) {
+        for (wi, word) in self.front.iter_mut().enumerate() {
+            let mut bits = *word;
+            *word = 0;
+            while bits != 0 {
+                let q = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                f(q, &mut self.cells[q]);
+            }
+        }
+    }
+
+    /// The raw cell slice.
+    #[inline]
+    pub fn cells(&self) -> &[C] {
+        self.cells
+    }
+}
+
+impl SlabRowMut<'_, u64> {
+    /// Branchless min-relax: lower cell `q` to `cand` if it improves,
+    /// marking the frontier iff it did. The MSSP inner loop.
+    #[inline]
+    pub fn relax_min(&mut self, q: usize, cand: u64) {
+        let cur = self.cells[q];
+        let better = cand < cur;
+        self.cells[q] = if better { cand } else { cur };
+        self.front[q >> 6] |= (better as u64) << (q & 63);
+    }
+}
+
+/// A vertex program whose per-vertex state is one dense slab row of
+/// `W` cells instead of an owned `State` value. Semantics otherwise
+/// match [`VertexProgram`](crate::program::VertexProgram): `init` runs
+/// at round 0, `compute` per delivered run, determinism per the
+/// context RNG.
+///
+/// Slab programs never call `Context::add_state_bytes` — the runner
+/// accounts the slab's resident capacity exactly, each superstep.
+pub trait SlabProgram: Sync {
+    /// Wire message payload.
+    type Message: Message;
+    /// One `(vertex, query)` state cell.
+    type Cell: Copy + PartialEq + Send + Sync;
+    /// Per-vertex output extracted once after the run (cold path);
+    /// usually the sparse state type downstream consumers already use.
+    type Out: Default + Clone + Send;
+
+    /// Batch width `W`: cells per vertex row.
+    fn width(&self) -> usize;
+
+    /// The sentinel stored in untouched cells.
+    fn empty_cell(&self) -> Self::Cell;
+
+    /// Bytes of one wire message.
+    fn message_bytes(&self) -> u64;
+
+    /// Round 0: activate sources, seed initial messages.
+    fn init(
+        &self,
+        v: VertexId,
+        row: SlabRowMut<'_, Self::Cell>,
+        ctx: &mut Context<'_, Self::Message>,
+    );
+
+    /// Rounds ≥ 1: fold the vertex's delivered messages into its row.
+    fn compute(
+        &self,
+        v: VertexId,
+        row: SlabRowMut<'_, Self::Cell>,
+        inbox: &[Delivery<Self::Message>],
+        ctx: &mut Context<'_, Self::Message>,
+    );
+
+    /// Materialize vertex `v`'s final output from its row.
+    fn extract(&self, v: VertexId, row: &[Self::Cell]) -> Self::Out;
+
+    /// Fixed round bound; `None` runs to quiescence.
+    fn max_rounds(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// A pool of retired slabs, shared across batches (and safely across
+/// threads). Runs started via
+/// [`Runner::run_slab_recycled`](crate::runner::Runner::run_slab_recycled)
+/// draw their worker slabs from here and return them after output
+/// extraction, so consecutive batches re-stamp existing buffers
+/// instead of allocating new ones.
+pub struct SlabRecycler<C> {
+    pool: Mutex<Vec<StateSlab<C>>>,
+}
+
+impl<C> Default for SlabRecycler<C> {
+    fn default() -> Self {
+        SlabRecycler {
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl<C: Copy> SlabRecycler<C> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a retired slab (shape unspecified — callers `reset` it), or
+    /// `None` if the pool is empty.
+    pub fn take(&self) -> Option<StateSlab<C>> {
+        self.pool.lock().pop()
+    }
+
+    /// Return slabs after a run.
+    pub fn put_all(&self, slabs: impl IntoIterator<Item = StateSlab<C>>) {
+        self.pool.lock().extend(slabs);
+    }
+
+    /// Retired slabs currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.pool.lock().len()
+    }
+}
+
+impl<C> std::fmt::Debug for SlabRecycler<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlabRecycler")
+            .field("pooled", &self.pool.lock().len())
+            .finish()
+    }
+}
+
+/// [`ProgramCore`] adapter executing a [`SlabProgram`] with one
+/// [`StateSlab`] per worker as the store. Created internally by
+/// [`Runner::run_slab`](crate::runner::Runner::run_slab); public so
+/// benches can drive slab programs through generic round loops.
+pub struct PerSlab<'p, P: SlabProgram> {
+    program: &'p P,
+    recycler: Option<&'p SlabRecycler<P::Cell>>,
+}
+
+impl<'p, P: SlabProgram> PerSlab<'p, P> {
+    pub fn new(program: &'p P) -> Self {
+        PerSlab {
+            program,
+            recycler: None,
+        }
+    }
+
+    /// Draw worker slabs from (and retire them to) `recycler`.
+    pub fn with_recycler(program: &'p P, recycler: &'p SlabRecycler<P::Cell>) -> Self {
+        PerSlab {
+            program,
+            recycler: Some(recycler),
+        }
+    }
+}
+
+impl<P: SlabProgram> ProgramCore for PerSlab<'_, P> {
+    type Message = P::Message;
+    type Store = StateSlab<P::Cell>;
+    type Out = P::Out;
+
+    fn message_bytes(&self) -> u64 {
+        self.program.message_bytes()
+    }
+
+    fn max_rounds(&self) -> Option<usize> {
+        self.program.max_rounds()
+    }
+
+    fn make_store(&self, vertices: &[VertexId]) -> Self::Store {
+        let width = self.program.width();
+        let empty = self.program.empty_cell();
+        match self.recycler.and_then(|r| r.take()) {
+            Some(mut slab) => {
+                slab.reset(vertices.len(), width, empty);
+                slab
+            }
+            None => StateSlab::new(vertices.len(), width, empty),
+        }
+    }
+
+    fn exact_store_bytes(&self, store: &Self::Store) -> Option<u64> {
+        let bytes = store.resident_bytes();
+        // Satellite check: the bytes reported to the ledger must equal
+        // the slab's nominal capacity — accounting cannot drift from
+        // the layout.
+        debug_assert_eq!(
+            bytes,
+            StateSlab::<P::Cell>::capacity_bytes(store.rows(), self.program.width()),
+            "slab resident bytes must equal rows x width capacity"
+        );
+        Some(bytes)
+    }
+
+    fn initial_state_bytes(&self) -> u64 {
+        0 // unused: slab stores are exactly accounted
+    }
+
+    fn init_vertex(
+        &self,
+        v: VertexId,
+        li: u32,
+        store: &mut Self::Store,
+        ctx: &mut Context<'_, Self::Message>,
+    ) {
+        self.program.init(v, store.row_mut(li), ctx);
+    }
+
+    fn compute_vertex(
+        &self,
+        v: VertexId,
+        li: u32,
+        store: &mut Self::Store,
+        inbox: &[Delivery<Self::Message>],
+        ctx: &mut Context<'_, Self::Message>,
+    ) {
+        self.program.compute(v, store.row_mut(li), inbox, ctx);
+    }
+
+    fn take_out(&self, v: VertexId, li: u32, store: &mut Self::Store) -> Self::Out {
+        self.program.extract(v, store.row(li))
+    }
+
+    fn recycle(&self, stores: Vec<Self::Store>) {
+        if let Some(recycler) = self.recycler {
+            recycler.put_all(stores);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_layout_and_rows() {
+        let mut slab: StateSlab<u64> = StateSlab::new(3, 5, u64::MAX);
+        assert_eq!(slab.rows(), 3);
+        assert_eq!(slab.width(), 5);
+        assert!(slab.row(2).iter().all(|&c| c == u64::MAX));
+        {
+            let mut row = slab.row_mut(1);
+            row.set(4, 7);
+            assert_eq!(row.get(4), 7);
+        }
+        assert_eq!(slab.row(1)[4], 7);
+        assert_eq!(slab.row(0)[4], u64::MAX); // rows are disjoint
+        assert_eq!(slab.row(2)[4], u64::MAX);
+    }
+
+    #[test]
+    fn frontier_drain_is_ascending_and_clears() {
+        let mut slab: StateSlab<u64> = StateSlab::new(1, 130, 0);
+        let mut row = slab.row_mut(0);
+        for q in [129, 3, 64, 63] {
+            row.set(q, q as u64 + 1);
+            row.mark(q);
+        }
+        assert!(row.is_marked(64));
+        let mut seen = Vec::new();
+        row.drain(|q, cell| {
+            seen.push((q, *cell));
+            *cell += 100;
+        });
+        assert_eq!(seen, vec![(3, 4), (63, 64), (64, 65), (129, 130)]);
+        assert!(!row.is_marked(64));
+        let mut again = Vec::new();
+        row.drain(|q, _| again.push(q));
+        assert!(again.is_empty(), "drain clears the frontier");
+        assert_eq!(row.get(3), 104, "drain visits cells mutably");
+    }
+
+    #[test]
+    fn relax_min_marks_only_improvements() {
+        let mut slab: StateSlab<u64> = StateSlab::new(1, 4, u64::MAX);
+        let mut row = slab.row_mut(0);
+        row.relax_min(1, 10);
+        row.relax_min(1, 12); // worse: no-op
+        row.relax_min(1, 9); // better: improves
+        row.relax_min(3, 5);
+        let mut seen = Vec::new();
+        row.drain(|q, cell| seen.push((q, *cell)));
+        assert_eq!(seen, vec![(1, 9), (3, 5)]);
+        // After drain, a non-improving relax leaves the frontier clean.
+        row.relax_min(1, 50);
+        let mut empty = Vec::new();
+        row.drain(|q, _| empty.push(q));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn reset_reuses_capacity() {
+        let mut slab: StateSlab<u64> = StateSlab::new(100, 64, u64::MAX);
+        slab.row_mut(10).set(3, 42);
+        slab.row_mut(10).mark(3);
+        let cap_before = slab.cells.capacity();
+        slab.reset(50, 8, u64::MAX);
+        assert_eq!(slab.cells.capacity(), cap_before, "no reallocation");
+        assert_eq!(slab.rows(), 50);
+        assert_eq!(slab.width(), 8);
+        assert!(slab.row(10).iter().all(|&c| c == u64::MAX));
+        let mut none = Vec::new();
+        slab.row_mut(10).drain(|q, _| none.push(q));
+        assert!(none.is_empty(), "frontier cleared by reset");
+    }
+
+    #[test]
+    fn resident_bytes_match_capacity_formula() {
+        let slab: StateSlab<u64> = StateSlab::new(7, 65, 0);
+        assert_eq!(
+            slab.resident_bytes(),
+            StateSlab::<u64>::capacity_bytes(7, 65)
+        );
+        // 65 cells need 2 frontier words per row.
+        assert_eq!(slab.resident_bytes(), 7 * 65 * 8 + 7 * 2 * 8);
+    }
+
+    #[test]
+    fn clone_from_reuses_and_matches() {
+        let mut a: StateSlab<u64> = StateSlab::new(4, 3, u64::MAX);
+        a.row_mut(2).relax_min(1, 5);
+        let mut b = a.clone();
+        assert_eq!(b.row(2)[1], 5);
+        a.row_mut(2).relax_min(1, 2);
+        b.clone_from(&a);
+        assert_eq!(b.row(2)[1], 2);
+        let mut marks = Vec::new();
+        b.row_mut(2).drain(|q, _| marks.push(q));
+        assert_eq!(marks, vec![1], "frontier words travel with the clone");
+    }
+
+    #[test]
+    fn recycler_round_trips_slabs() {
+        let recycler: SlabRecycler<u64> = SlabRecycler::new();
+        assert!(recycler.take().is_none());
+        recycler.put_all([StateSlab::new(10, 4, 0), StateSlab::new(5, 2, 0)]);
+        assert_eq!(recycler.pooled(), 2);
+        let slab = recycler.take().unwrap();
+        assert_eq!(recycler.pooled(), 1);
+        recycler.put_all([slab]);
+        assert_eq!(recycler.pooled(), 2);
+    }
+}

@@ -5,7 +5,8 @@ use mtvc_cluster::{ClusterSpec, FaultPlan};
 use mtvc_engine::sampling::{binomial, multinomial_uniform};
 use mtvc_engine::{
     route, Context, Delivery, EngineConfig, Envelope, Inbox, LocalIndex, Message, MirrorIndex,
-    Outbox, RouteGrid, Runner, SystemProfile, VertexProgram, WorkerPool,
+    Outbox, RouteGrid, Runner, SlabProgram, SlabRecycler, SlabRowMut, SystemProfile, VertexProgram,
+    WorkerPool,
 };
 use mtvc_graph::partition::{HashPartitioner, Partitioner};
 use mtvc_graph::{generators, VertexId};
@@ -462,6 +463,219 @@ impl VertexProgram for MiniMssp {
             for &t in ctx.neighbors() {
                 ctx.send(t, Dist { q, d: d + 1 }, 1);
             }
+        }
+    }
+}
+
+/// The same MSSP on the dense slab layout: one `u64` distance cell per
+/// (vertex, query), branchless min-relax, frontier-driven drain. Must
+/// emit byte-identical traffic to [`MiniMssp`].
+struct MiniSlabMssp {
+    sources: Vec<VertexId>,
+}
+
+impl SlabProgram for MiniSlabMssp {
+    type Message = Dist;
+    type Cell = u64;
+    type Out = DistMap;
+
+    fn width(&self) -> usize {
+        self.sources.len()
+    }
+
+    fn empty_cell(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn message_bytes(&self) -> u64 {
+        16
+    }
+
+    fn init(&self, v: VertexId, mut row: SlabRowMut<'_, u64>, ctx: &mut Context<'_, Dist>) {
+        for (q, &s) in self.sources.iter().enumerate() {
+            if s == v {
+                row.set(q, 0);
+                for &t in ctx.neighbors() {
+                    ctx.send(t, Dist { q: q as u32, d: 1 }, 1);
+                }
+            }
+        }
+    }
+
+    fn compute(
+        &self,
+        _v: VertexId,
+        mut row: SlabRowMut<'_, u64>,
+        inbox: &[Delivery<Dist>],
+        ctx: &mut Context<'_, Dist>,
+    ) {
+        for d in inbox {
+            row.relax_min(d.msg.q as usize, d.msg.d);
+        }
+        row.drain(|q, d| {
+            let d = *d;
+            for &t in ctx.neighbors() {
+                ctx.send(
+                    t,
+                    Dist {
+                        q: q as u32,
+                        d: d + 1,
+                    },
+                    1,
+                );
+            }
+        });
+    }
+
+    fn extract(&self, _v: VertexId, row: &[u64]) -> DistMap {
+        let mut out = DistMap::default();
+        for (q, &d) in row.iter().enumerate() {
+            if d != u64::MAX {
+                out.dist.insert(q as u32, d);
+            }
+        }
+        out
+    }
+}
+
+/// Scrub the state-accounting fields that legitimately differ between
+/// the ledger-tracked hashmap layout and the exactly-accounted slab
+/// layout; everything else (traffic, rounds, timing) must match.
+fn scrub_state_accounting(stats: &mtvc_metrics::RunStats) -> mtvc_metrics::RunStats {
+    let mut s = stats.clone();
+    s.peak_state_bytes = Default::default();
+    s.peak_memory = Default::default();
+    for r in &mut s.per_round {
+        r.state_bytes = Default::default();
+        r.peak_machine_memory = Default::default();
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Slab-state tentpole: the dense-slab MSSP produces identical
+    /// outcomes, per-vertex results, and identical traffic/round
+    /// statistics to the hash-map program across random graphs, batch
+    /// widths, combining on/off, and the serial/pooled axis. Only the
+    /// state-byte accounting differs (exact slab capacity vs ledger).
+    #[test]
+    fn slab_run_equals_hashmap_run(
+        n in 16usize..120,
+        workers in 1usize..6,
+        width in 1usize..9,
+        combine in any::<bool>(),
+        pooled in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let g = generators::power_law(n, n * 4, 2.4, seed);
+        let sources: Vec<VertexId> =
+            (0..width).map(|q| ((q * 7 + 3) % n) as VertexId).collect();
+        let mut cfg = EngineConfig::new(
+            ClusterSpec::galaxy(workers),
+            SystemProfile::base("t"),
+        );
+        cfg.cutoff = SimTime::secs(1e12);
+        cfg.profile.combiner = combine;
+        cfg.parallel_vertex_threshold = if pooled { 0 } else { usize::MAX };
+
+        let runner = Runner::new(&g, &HashPartitioner { salt: seed }, cfg);
+        let map = runner.run(&mtvc_tasks_free_mssp(sources.clone()));
+        let slab = runner.run_slab(&MiniSlabMssp { sources });
+
+        prop_assert!(map.outcome.is_completed());
+        prop_assert_eq!(&map.outcome, &slab.outcome);
+        prop_assert_eq!(
+            scrub_state_accounting(&map.stats),
+            scrub_state_accounting(&slab.stats)
+        );
+        for v in 0..n {
+            prop_assert_eq!(&map.states[v].dist, &slab.states[v].dist, "vertex {}", v);
+        }
+        // Exact accounting: the slab's resident bytes are reported
+        // every round and never shrink below one row per vertex.
+        prop_assert!(slab.stats.peak_state_bytes.get() > 0);
+    }
+
+    /// Slab runs are recyclable: executing the same batch through a
+    /// shared `SlabRecycler` re-fills pooled slabs in place and yields
+    /// results identical to fresh allocation.
+    #[test]
+    fn recycled_slab_run_equals_fresh_run(
+        n in 16usize..80,
+        workers in 1usize..5,
+        width in 1usize..7,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::power_law(n, n * 4, 2.4, seed);
+        let sources: Vec<VertexId> =
+            (0..width).map(|q| ((q * 5 + 1) % n) as VertexId).collect();
+        let mut cfg = EngineConfig::new(ClusterSpec::galaxy(workers), SystemProfile::base("t"));
+        cfg.cutoff = SimTime::secs(1e12);
+        let runner = Runner::new(&g, &HashPartitioner { salt: seed }, cfg);
+        let prog = MiniSlabMssp { sources };
+
+        let fresh = runner.run_slab(&prog);
+        let recycler: SlabRecycler<u64> = SlabRecycler::new();
+        let first = runner.run_slab_recycled(&prog, &recycler);
+        prop_assert_eq!(recycler.pooled(), workers, "all slabs returned");
+        let second = runner.run_slab_recycled(&prog, &recycler);
+        prop_assert_eq!(recycler.pooled(), workers, "pool is stable");
+
+        prop_assert_eq!(&fresh.stats, &first.stats);
+        prop_assert_eq!(&fresh.stats, &second.stats);
+        for v in 0..n {
+            prop_assert_eq!(&fresh.states[v].dist, &second.states[v].dist, "vertex {}", v);
+        }
+    }
+
+    /// Chaos regression for slab state: superstep checkpoints snapshot
+    /// whole slabs, rollback restores them via the buffer-reusing
+    /// `clone_from`, and a crashed-and-replayed slab run is
+    /// indistinguishable from a fault-free one.
+    #[test]
+    fn chaos_slab_run_equals_fault_free_run(
+        n in 16usize..100,
+        workers in 2usize..6,
+        pooled in any::<bool>(),
+        checkpoint_every in 1usize..6,
+        crashes in 0usize..3,
+        losses in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::power_law(n, n * 4, 2.4, seed);
+        let sources = vec![0 as VertexId, (n / 2) as VertexId];
+        let run = |faults: Option<FaultPlan>| {
+            let mut cfg = EngineConfig::new(
+                ClusterSpec::galaxy(workers),
+                SystemProfile::base("t"),
+            );
+            cfg.cutoff = SimTime::secs(1e12);
+            cfg.parallel_vertex_threshold = if pooled { 0 } else { usize::MAX };
+            cfg.checkpoint_every = checkpoint_every;
+            cfg.faults = faults;
+            let runner = Runner::new(&g, &HashPartitioner { salt: seed }, cfg);
+            runner.run_slab(&MiniSlabMssp { sources: sources.clone() })
+        };
+        let clean = run(None);
+        let chaos = run(Some(FaultPlan::random(
+            seed ^ 0x51AB,
+            workers,
+            8,
+            crashes,
+            losses,
+        )));
+        prop_assert!(clean.outcome.is_completed());
+        prop_assert_eq!(&clean.outcome, &chaos.outcome);
+        let scrub = |stats: &mtvc_metrics::RunStats| {
+            let mut s = stats.clone();
+            s.faults = Default::default();
+            s
+        };
+        prop_assert_eq!(scrub(&clean.stats), scrub(&chaos.stats));
+        for v in 0..n {
+            prop_assert_eq!(&clean.states[v].dist, &chaos.states[v].dist, "vertex {}", v);
         }
     }
 }

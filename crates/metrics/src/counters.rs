@@ -28,6 +28,10 @@ pub struct RoundStats {
     pub active_vertices: u64,
     /// Peak memory used by the *busiest* machine during this round.
     pub peak_machine_memory: Bytes,
+    /// Resident vertex-state bytes on the busiest machine this round.
+    /// Exact for slab-backed programs (the slab's capacity); ledger-
+    /// tracked otherwise.
+    pub state_bytes: Bytes,
     /// Bytes streamed to disk by out-of-core execution this round.
     pub spilled_bytes: Bytes,
     /// Simulated duration of this round as charged by the cost model.
@@ -72,6 +76,9 @@ pub struct RunStats {
     pub total_network_bytes: Bytes,
     pub total_spilled_bytes: Bytes,
     pub peak_memory: Bytes,
+    /// High-water mark of per-machine resident vertex-state bytes
+    /// across the run (see [`RoundStats::state_bytes`]).
+    pub peak_state_bytes: Bytes,
     pub total_time: SimTime,
     pub network_overuse: SimTime,
     pub disk_overuse: SimTime,
@@ -98,6 +105,7 @@ impl RunStats {
         self.total_network_bytes += round.network_bytes;
         self.total_spilled_bytes += round.spilled_bytes;
         self.peak_memory = self.peak_memory.max(round.peak_machine_memory);
+        self.peak_state_bytes = self.peak_state_bytes.max(round.state_bytes);
         self.total_time += round.duration;
         self.network_overuse += round.network_overuse;
         self.disk_overuse += round.disk_overuse;
@@ -114,6 +122,7 @@ impl RunStats {
         self.total_network_bytes += other.total_network_bytes;
         self.total_spilled_bytes += other.total_spilled_bytes;
         self.peak_memory = self.peak_memory.max(other.peak_memory);
+        self.peak_state_bytes = self.peak_state_bytes.max(other.peak_state_bytes);
         self.total_time += other.total_time;
         self.network_overuse += other.network_overuse;
         self.disk_overuse += other.disk_overuse;

@@ -6,11 +6,22 @@
 //! communication rounds." The workload is the number of source queries.
 //! Like MSSP, queries are addressed by query id, so duplicate start
 //! vertices are distinct (independently-charged) unit tasks.
+//!
+//! Two state layouts per variant (see `mssp` module docs for the
+//! rationale): the slab kernels [`BkhsSlabProgram`] /
+//! [`BkhsBroadcastSlabProgram`] keep one reach byte per
+//! `(vertex, query)` in a dense slab row; the hash-set baselines
+//! [`BkhsProgram`] / [`BkhsBroadcastProgram`] remain for benchmarking
+//! and cross-checking. Message traffic is bit-identical between the
+//! layouts.
 
 use crate::mssp::QueryId;
-use mtvc_engine::{Context, Delivery, Message, VertexProgram};
-use mtvc_graph::hash::{FastMap, FastSet};
+use crate::sources::SourceIndex;
+use mtvc_engine::{Context, Delivery, Message, SlabProgram, SlabRowMut, VertexProgram};
+use mtvc_graph::hash::FastSet;
 use mtvc_graph::VertexId;
+use std::ops::Range;
+use std::sync::Arc;
 
 /// Reachability notification: "query `q` reaches you".
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,38 +37,35 @@ impl Message for ReachMsg {
 }
 
 /// Per-vertex BKHS state: queries whose k-hop ball contains this vertex.
-///
-/// Memory accounting note: a reach flag is boolean, and a production
-/// system stores the per-vertex flag set as a (sparse) bitmap — about
-/// one byte amortized per set flag including indexing — so state growth
-/// is charged at 1 byte per new `(query, vertex)` flag, not at the
-/// hash-set's in-simulator footprint.
 #[derive(Debug, Clone, Default)]
 pub struct BkhsState {
     pub reached: FastSet<QueryId>,
 }
 
-fn queries_by_vertex(sources: &[VertexId]) -> FastMap<VertexId, Vec<QueryId>> {
-    let mut map: FastMap<VertexId, Vec<QueryId>> = FastMap::default();
-    for (q, &v) in sources.iter().enumerate() {
-        map.entry(v).or_default().push(q as QueryId);
-    }
-    map
-}
-
-/// Point-to-point BKHS.
+/// Point-to-point BKHS (hash-set state layout).
 #[derive(Debug, Clone)]
 pub struct BkhsProgram {
-    sources: Vec<VertexId>,
-    starts: FastMap<VertexId, Vec<QueryId>>,
+    index: Arc<SourceIndex>,
+    range: Range<usize>,
     k: u32,
 }
 
 impl BkhsProgram {
     pub fn new(sources: Vec<VertexId>, k: u32) -> BkhsProgram {
         assert!(k >= 1, "k-hop search requires k >= 1");
-        let starts = queries_by_vertex(&sources);
-        BkhsProgram { sources, starts, k }
+        let range = 0..sources.len();
+        BkhsProgram {
+            index: SourceIndex::shared(sources),
+            range,
+            k,
+        }
+    }
+
+    /// One batch of a job-wide [`SourceIndex`].
+    pub fn batch(index: Arc<SourceIndex>, range: Range<usize>, k: u32) -> BkhsProgram {
+        assert!(k >= 1, "k-hop search requires k >= 1");
+        assert!(range.end <= index.len(), "batch range exceeds source pool");
+        BkhsProgram { index, range, k }
     }
 
     pub fn k(&self) -> u32 {
@@ -65,15 +73,14 @@ impl BkhsProgram {
     }
 
     pub fn sources(&self) -> &[VertexId] {
-        &self.sources
+        &self.index.sources()[self.range.clone()]
     }
 }
 
 /// Mark never-seen queries as reached and forward each one via
 /// `forward`, in inbox arrival order (deterministic: routing delivers
 /// in a fixed order). The set insert already deduplicates, so no
-/// scratch collection is needed — the old per-call `Vec<QueryId>` +
-/// sort + dedup is gone from the hot path.
+/// scratch collection is needed.
 fn absorb_and_forward(
     state: &mut BkhsState,
     inbox: &[Delivery<ReachMsg>],
@@ -82,7 +89,6 @@ fn absorb_and_forward(
 ) {
     for d in inbox {
         if state.reached.insert(d.msg.query) {
-            ctx.add_state_bytes(1); // bitmap-encoded reach flag
             forward(d.msg.query, ctx);
         }
     }
@@ -97,13 +103,8 @@ impl VertexProgram for BkhsProgram {
     }
 
     fn init(&self, v: VertexId, state: &mut BkhsState, ctx: &mut Context<'_, ReachMsg>) {
-        let Some(queries) = self.starts.get(&v) else {
-            return;
-        };
-        for &q in queries {
-            if state.reached.insert(q) {
-                ctx.add_state_bytes(1); // bitmap-encoded reach flag
-            }
+        for q in self.index.batch_queries_at(v, &self.range) {
+            state.reached.insert(q);
             for &t in ctx.neighbors() {
                 ctx.send(t, ReachMsg { query: q }, 1);
             }
@@ -146,6 +147,13 @@ impl BkhsBroadcastProgram {
             inner: BkhsProgram::new(sources, k),
         }
     }
+
+    /// One batch of a job-wide [`SourceIndex`].
+    pub fn batch(index: Arc<SourceIndex>, range: Range<usize>, k: u32) -> BkhsBroadcastProgram {
+        BkhsBroadcastProgram {
+            inner: BkhsProgram::batch(index, range, k),
+        }
+    }
 }
 
 impl VertexProgram for BkhsBroadcastProgram {
@@ -157,13 +165,8 @@ impl VertexProgram for BkhsBroadcastProgram {
     }
 
     fn init(&self, v: VertexId, state: &mut BkhsState, ctx: &mut Context<'_, ReachMsg>) {
-        let Some(queries) = self.inner.starts.get(&v) else {
-            return;
-        };
-        for &q in queries {
-            if state.reached.insert(q) {
-                ctx.add_state_bytes(1); // bitmap-encoded reach flag
-            }
+        for q in self.inner.index.batch_queries_at(v, &self.inner.range) {
+            state.reached.insert(q);
             ctx.broadcast(ReachMsg { query: q }, 1);
         }
     }
@@ -186,6 +189,184 @@ impl VertexProgram for BkhsBroadcastProgram {
 
     fn initial_state_bytes(&self) -> u64 {
         48
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slab kernels
+// ---------------------------------------------------------------------
+
+/// Reconstruct the sparse reach set from a dense flag row.
+fn extract_reached(row: &[u8]) -> BkhsState {
+    let mut state = BkhsState::default();
+    for (q, &flag) in row.iter().enumerate() {
+        if flag != 0 {
+            state.reached.insert(q as QueryId);
+        }
+    }
+    state
+}
+
+/// Point-to-point BKHS on a dense state slab: one reach byte per
+/// `(vertex, query)`. Deduplication is a flag test instead of a
+/// hash-set probe; forwarding happens per delivery in inbox order, so
+/// traffic is bit-identical to [`BkhsProgram`]. The frontier bitset is
+/// unused — BKHS forwards inline and never re-scans its row.
+#[derive(Debug, Clone)]
+pub struct BkhsSlabProgram {
+    index: Arc<SourceIndex>,
+    range: Range<usize>,
+    k: u32,
+}
+
+impl BkhsSlabProgram {
+    pub fn new(sources: Vec<VertexId>, k: u32) -> BkhsSlabProgram {
+        assert!(k >= 1, "k-hop search requires k >= 1");
+        let range = 0..sources.len();
+        BkhsSlabProgram {
+            index: SourceIndex::shared(sources),
+            range,
+            k,
+        }
+    }
+
+    /// One batch of a job-wide [`SourceIndex`].
+    pub fn batch(index: Arc<SourceIndex>, range: Range<usize>, k: u32) -> BkhsSlabProgram {
+        assert!(k >= 1, "k-hop search requires k >= 1");
+        assert!(range.end <= index.len(), "batch range exceeds source pool");
+        BkhsSlabProgram { index, range, k }
+    }
+
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    pub fn sources(&self) -> &[VertexId] {
+        &self.index.sources()[self.range.clone()]
+    }
+}
+
+impl SlabProgram for BkhsSlabProgram {
+    type Message = ReachMsg;
+    type Cell = u8;
+    type Out = BkhsState;
+
+    fn width(&self) -> usize {
+        self.range.len()
+    }
+
+    fn empty_cell(&self) -> u8 {
+        0
+    }
+
+    fn message_bytes(&self) -> u64 {
+        12
+    }
+
+    fn init(&self, v: VertexId, mut row: SlabRowMut<'_, u8>, ctx: &mut Context<'_, ReachMsg>) {
+        for q in self.index.batch_queries_at(v, &self.range) {
+            *row.cell_mut(q as usize) = 1;
+            for &t in ctx.neighbors() {
+                ctx.send(t, ReachMsg { query: q }, 1);
+            }
+        }
+    }
+
+    fn compute(
+        &self,
+        _v: VertexId,
+        mut row: SlabRowMut<'_, u8>,
+        inbox: &[Delivery<ReachMsg>],
+        ctx: &mut Context<'_, ReachMsg>,
+    ) {
+        for d in inbox {
+            let cell = row.cell_mut(d.msg.query as usize);
+            if *cell == 0 {
+                *cell = 1;
+                for &t in ctx.neighbors() {
+                    ctx.send(t, ReachMsg { query: d.msg.query }, 1);
+                }
+            }
+        }
+    }
+
+    fn extract(&self, _v: VertexId, row: &[u8]) -> BkhsState {
+        extract_reached(row)
+    }
+
+    fn max_rounds(&self) -> Option<usize> {
+        Some(self.k as usize)
+    }
+}
+
+/// Broadcast-interface BKHS on a dense state slab. Traffic-identical
+/// to [`BkhsBroadcastProgram`].
+#[derive(Debug, Clone)]
+pub struct BkhsBroadcastSlabProgram {
+    inner: BkhsSlabProgram,
+}
+
+impl BkhsBroadcastSlabProgram {
+    pub fn new(sources: Vec<VertexId>, k: u32) -> BkhsBroadcastSlabProgram {
+        BkhsBroadcastSlabProgram {
+            inner: BkhsSlabProgram::new(sources, k),
+        }
+    }
+
+    /// One batch of a job-wide [`SourceIndex`].
+    pub fn batch(index: Arc<SourceIndex>, range: Range<usize>, k: u32) -> BkhsBroadcastSlabProgram {
+        BkhsBroadcastSlabProgram {
+            inner: BkhsSlabProgram::batch(index, range, k),
+        }
+    }
+}
+
+impl SlabProgram for BkhsBroadcastSlabProgram {
+    type Message = ReachMsg;
+    type Cell = u8;
+    type Out = BkhsState;
+
+    fn width(&self) -> usize {
+        self.inner.width()
+    }
+
+    fn empty_cell(&self) -> u8 {
+        0
+    }
+
+    fn message_bytes(&self) -> u64 {
+        8
+    }
+
+    fn init(&self, v: VertexId, mut row: SlabRowMut<'_, u8>, ctx: &mut Context<'_, ReachMsg>) {
+        for q in self.inner.index.batch_queries_at(v, &self.inner.range) {
+            *row.cell_mut(q as usize) = 1;
+            ctx.broadcast(ReachMsg { query: q }, 1);
+        }
+    }
+
+    fn compute(
+        &self,
+        _v: VertexId,
+        mut row: SlabRowMut<'_, u8>,
+        inbox: &[Delivery<ReachMsg>],
+        ctx: &mut Context<'_, ReachMsg>,
+    ) {
+        for d in inbox {
+            let cell = row.cell_mut(d.msg.query as usize);
+            if *cell == 0 {
+                *cell = 1;
+                ctx.broadcast(ReachMsg { query: d.msg.query }, 1);
+            }
+        }
+    }
+
+    fn extract(&self, _v: VertexId, row: &[u8]) -> BkhsState {
+        extract_reached(row)
+    }
+
+    fn max_rounds(&self) -> Option<usize> {
+        self.inner.max_rounds()
     }
 }
 
@@ -233,13 +414,30 @@ mod tests {
         assert_eq!(p.sources(), &[4, 4, 2]);
         assert_eq!(p.k(), 3);
         assert_eq!(p.max_rounds(), Some(3));
-        assert_eq!(p.starts.get(&4).unwrap(), &vec![0, 1]);
+        assert_eq!(p.index.queries_at(4), &[0, 1]);
     }
 
     #[test]
     #[should_panic(expected = "k >= 1")]
     fn zero_hops_rejected() {
         BkhsProgram::new(vec![0], 0);
+    }
+
+    #[test]
+    fn batch_programs_slice_a_shared_index() {
+        let index = SourceIndex::shared(vec![4, 4, 2, 7]);
+        let b = BkhsSlabProgram::batch(Arc::clone(&index), 2..4, 2);
+        assert_eq!(b.sources(), &[2, 7]);
+        assert_eq!(b.width(), 2);
+        assert_eq!(SlabProgram::max_rounds(&b), Some(2));
+    }
+
+    #[test]
+    fn extract_inverts_flag_rows() {
+        let st = extract_reached(&[1, 0, 1]);
+        assert!(st.reached.contains(&0));
+        assert!(!st.reached.contains(&1));
+        assert!(st.reached.contains(&2));
     }
 
     #[test]

@@ -4,22 +4,33 @@
 //! s ∈ V… each PPR is approximated by running α-decay random walks";
 //! the workload is the number `W` of walks per source.
 //!
-//! Two implementations, mirroring §3:
+//! Two algorithms, mirroring §3:
 //!
-//! * [`BpprProgram`] — the Pregel point-to-point Monte-Carlo method.
-//!   Each round is one walk step; a message carries the walk's source
-//!   id. Walks are moved in **aggregated form**: an envelope with
-//!   multiplicity `c` stands for `c` individual walks, the stop events
-//!   are `Binomial(c, α)` and the survivors spread over the neighbors
-//!   with a uniform multinomial — exactly the distribution of `c`
+//! * **Monte-Carlo** ([`BpprSlabProgram`], hash-map baseline
+//!   [`BpprProgram`]) — the Pregel point-to-point method. Each round is
+//!   one walk step; a message carries the walk's source id. Walks are
+//!   moved in **aggregated form**: an envelope with multiplicity `c`
+//!   stands for `c` individual walks, the stop events are
+//!   `Binomial(c, α)` and the survivors spread over the neighbors with
+//!   a uniform multinomial — exactly the distribution of `c`
 //!   independent walks, while the cost accounting still charges `c`
 //!   wire messages.
-//! * [`BpprPushProgram`] — the Pregel-Mirror broadcast variant: the
+//! * **Forward-push** ([`BpprPushSlabProgram`], baseline
+//!   [`BpprPushProgram`]) — the Pregel-Mirror broadcast variant: the
 //!   "generalized random walk" (fractional forward-push) of §3, where a
 //!   vertex broadcasts one common message per source and the walk mass
 //!   is split evenly among neighbors. Deterministic and unbiased.
+//!
+//! The slab kernels store per-source state in a dense row indexed by
+//! **source slot** (see [`SourceSet::slot_of`]): stop counters for the
+//! Monte-Carlo walk, `(mass, residue)` cells for the push. The push is
+//! *in place* — incoming mass accumulates into the residue cell and the
+//! frontier bitset marks which slots to settle, so a round touches only
+//! the sources that actually received mass. Message traffic, RNG
+//! consumption and f64 summation order are bit-identical to the
+//! hash-map baselines.
 
-use mtvc_engine::{Context, Delivery, Message, VertexProgram};
+use mtvc_engine::{Context, Delivery, Message, SlabProgram, SlabRowMut, VertexProgram};
 use mtvc_graph::hash::FastMap;
 use mtvc_graph::VertexId;
 
@@ -58,6 +69,25 @@ impl SourceSet {
     pub fn is_empty(&self, num_vertices: usize) -> bool {
         self.len(num_vertices) == 0
     }
+
+    /// Dense slab slot of source `v`: its rank in the sorted source
+    /// list (`v` itself for [`SourceSet::AllVertices`]). `None` when
+    /// `v` is not a source. Slot order equals source-id order, which
+    /// keeps slab drains aligned with the baselines' sorted pushes.
+    pub fn slot_of(&self, v: VertexId) -> Option<usize> {
+        match self {
+            SourceSet::AllVertices => Some(v as usize),
+            SourceSet::Subset(s) => s.binary_search(&v).ok(),
+        }
+    }
+
+    /// Inverse of [`SourceSet::slot_of`].
+    pub fn source_at(&self, slot: usize) -> VertexId {
+        match self {
+            SourceSet::AllVertices => slot as VertexId,
+            SourceSet::Subset(s) => s[slot],
+        }
+    }
 }
 
 /// Wire message of the Monte-Carlo walk: the walk's source. The
@@ -80,7 +110,8 @@ pub struct BpprState {
     pub stops: FastMap<VertexId, u64>,
 }
 
-/// Monte-Carlo BPPR for point-to-point systems.
+/// Monte-Carlo BPPR for point-to-point systems (hash-map state layout;
+/// the production kernel is [`BpprSlabProgram`]).
 #[derive(Debug, Clone)]
 pub struct BpprProgram {
     /// Walks per source in this batch (the paper's workload unit).
@@ -125,7 +156,7 @@ impl BpprProgram {
             crate::sampling::binomial(ctx.rng(), count, self.alpha)
         };
         if stopped > 0 {
-            record_stop(state, source, stopped, ctx);
+            *state.stops.entry(source).or_insert(0) += stopped;
         }
         let moving = count - stopped;
         if moving == 0 {
@@ -133,21 +164,6 @@ impl BpprProgram {
         }
         ctx.send_uniform_spread(WalkMsg { source }, moving);
     }
-}
-
-fn record_stop(
-    state: &mut BpprState,
-    source: VertexId,
-    count: u64,
-    ctx: &mut Context<'_, WalkMsg>,
-) {
-    let entry = state.stops.entry(source).or_insert_with(|| 0);
-    if *entry == 0 {
-        // First stop of this source here: the counter entry is new
-        // state (key + value).
-        ctx.add_state_bytes(16);
-    }
-    *entry += count;
 }
 
 impl VertexProgram for BpprProgram {
@@ -178,6 +194,108 @@ impl VertexProgram for BpprProgram {
 
     fn initial_state_bytes(&self) -> u64 {
         48 // empty hash map header
+    }
+}
+
+/// Monte-Carlo BPPR on a dense state slab: one `u64` stop counter per
+/// `(vertex, source-slot)`. RNG consumption and message traffic are
+/// bit-identical to [`BpprProgram`], so the sampled walks are the same.
+#[derive(Debug, Clone)]
+pub struct BpprSlabProgram {
+    pub walks_per_node: u64,
+    pub alpha: f64,
+    pub sources: SourceSet,
+    num_vertices: usize,
+}
+
+impl BpprSlabProgram {
+    /// `num_vertices` sizes the slab row for [`SourceSet::AllVertices`].
+    pub fn new(walks_per_node: u64, alpha: f64, num_vertices: usize) -> BpprSlabProgram {
+        assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1)");
+        BpprSlabProgram {
+            walks_per_node,
+            alpha,
+            sources: SourceSet::AllVertices,
+            num_vertices,
+        }
+    }
+
+    pub fn with_sources(mut self, sources: SourceSet) -> Self {
+        self.sources = sources;
+        self
+    }
+
+    fn step_walks(
+        &self,
+        source: VertexId,
+        count: u64,
+        row: &mut SlabRowMut<'_, u64>,
+        ctx: &mut Context<'_, WalkMsg>,
+    ) {
+        if count == 0 {
+            return;
+        }
+        let degree = ctx.degree();
+        let stopped = if degree == 0 {
+            count
+        } else {
+            crate::sampling::binomial(ctx.rng(), count, self.alpha)
+        };
+        if stopped > 0 {
+            let slot = self.sources.slot_of(source).expect("walk from non-source");
+            *row.cell_mut(slot) += stopped;
+        }
+        let moving = count - stopped;
+        if moving == 0 {
+            return;
+        }
+        ctx.send_uniform_spread(WalkMsg { source }, moving);
+    }
+}
+
+impl SlabProgram for BpprSlabProgram {
+    type Message = WalkMsg;
+    type Cell = u64;
+    type Out = BpprState;
+
+    fn width(&self) -> usize {
+        self.sources.len(self.num_vertices)
+    }
+
+    fn empty_cell(&self) -> u64 {
+        0
+    }
+
+    fn message_bytes(&self) -> u64 {
+        16
+    }
+
+    fn init(&self, v: VertexId, mut row: SlabRowMut<'_, u64>, ctx: &mut Context<'_, WalkMsg>) {
+        if self.sources.contains(v) {
+            self.step_walks(v, self.walks_per_node, &mut row, ctx);
+        }
+    }
+
+    fn compute(
+        &self,
+        _v: VertexId,
+        mut row: SlabRowMut<'_, u64>,
+        inbox: &[Delivery<WalkMsg>],
+        ctx: &mut Context<'_, WalkMsg>,
+    ) {
+        for d in inbox {
+            self.step_walks(d.msg.source, d.mult, &mut row, ctx);
+        }
+    }
+
+    fn extract(&self, _v: VertexId, row: &[u64]) -> BpprState {
+        let mut state = BpprState::default();
+        for (slot, &count) in row.iter().enumerate() {
+            if count > 0 {
+                state.stops.insert(self.sources.source_at(slot), count);
+            }
+        }
+        state
     }
 }
 
@@ -266,7 +384,8 @@ pub struct PushState {
     pub mass: FastMap<VertexId, f64>,
 }
 
-/// Fractional-walk BPPR for the broadcast (mirror) interface.
+/// Fractional-walk BPPR for the broadcast (mirror) interface (hash-map
+/// state layout; the production kernel is [`BpprPushSlabProgram`]).
 #[derive(Debug, Clone)]
 pub struct BpprPushProgram {
     pub walks_per_node: u64,
@@ -310,23 +429,19 @@ impl BpprPushProgram {
             return;
         }
         let degree = ctx.degree();
-        let absorb_here = |state: &mut PushState, ctx: &mut Context<'_, PushMsg>, amt: f64| {
-            let entry = state.mass.entry(source).or_insert(0.0);
-            if *entry == 0.0 {
-                ctx.add_state_bytes(16);
-            }
-            *entry += amt;
+        let absorb_here = |state: &mut PushState, amt: f64| {
+            *state.mass.entry(source).or_insert(0.0) += amt;
         };
         if degree == 0 {
-            absorb_here(state, ctx, residue);
+            absorb_here(state, residue);
             return;
         }
         let stopped = self.alpha * residue;
-        absorb_here(state, ctx, stopped);
+        absorb_here(state, stopped);
         let forward = residue - stopped;
         if forward < self.epsilon {
             // Too small to keep pushing; absorb to conserve mass.
-            absorb_here(state, ctx, forward);
+            absorb_here(state, forward);
         } else {
             ctx.broadcast(
                 PushMsg {
@@ -378,6 +493,144 @@ impl VertexProgram for BpprPushProgram {
 
     fn initial_state_bytes(&self) -> u64 {
         48
+    }
+}
+
+/// Dense push cell: absorbed walk `mass` plus the `residue` delivered
+/// this round and not yet settled.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PushCell {
+    pub mass: f64,
+    pub residue: f64,
+}
+
+/// Forward-push BPPR on a dense state slab: `(mass, residue)` per
+/// `(vertex, source-slot)`. Incoming mass accumulates **in place** into
+/// the residue cell (inbox order, so f64 sums match the baseline) and
+/// the frontier bitset marks the slot; settling drains marked slots in
+/// ascending slot order — the same order the baseline's sorted push
+/// uses. Traffic and results are bit-identical to [`BpprPushProgram`].
+#[derive(Debug, Clone)]
+pub struct BpprPushSlabProgram {
+    pub walks_per_node: u64,
+    pub alpha: f64,
+    pub epsilon: f64,
+    pub sources: SourceSet,
+    num_vertices: usize,
+}
+
+impl BpprPushSlabProgram {
+    /// `num_vertices` sizes the slab row for [`SourceSet::AllVertices`].
+    pub fn new(walks_per_node: u64, alpha: f64, num_vertices: usize) -> BpprPushSlabProgram {
+        assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1)");
+        BpprPushSlabProgram {
+            walks_per_node,
+            alpha,
+            epsilon: 0.25,
+            sources: SourceSet::AllVertices,
+            num_vertices,
+        }
+    }
+
+    pub fn with_sources(mut self, sources: SourceSet) -> Self {
+        self.sources = sources;
+        self
+    }
+
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0);
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Settle `residue` units of `source` into `cell`: absorb the
+    /// stopped fraction, broadcast the survivors. Mirrors
+    /// [`BpprPushProgram::push`] operation for operation.
+    fn settle(
+        &self,
+        source: VertexId,
+        residue: f64,
+        cell: &mut PushCell,
+        ctx: &mut Context<'_, PushMsg>,
+    ) {
+        if residue <= 0.0 {
+            return;
+        }
+        let degree = ctx.degree();
+        if degree == 0 {
+            cell.mass += residue;
+            return;
+        }
+        let stopped = self.alpha * residue;
+        cell.mass += stopped;
+        let forward = residue - stopped;
+        if forward < self.epsilon {
+            cell.mass += forward;
+        } else {
+            ctx.broadcast(
+                PushMsg {
+                    source,
+                    amount: forward / degree as f64,
+                },
+                1,
+            );
+        }
+    }
+}
+
+impl SlabProgram for BpprPushSlabProgram {
+    type Message = PushMsg;
+    type Cell = PushCell;
+    type Out = PushState;
+
+    fn width(&self) -> usize {
+        self.sources.len(self.num_vertices)
+    }
+
+    fn empty_cell(&self) -> PushCell {
+        PushCell::default()
+    }
+
+    fn message_bytes(&self) -> u64 {
+        20
+    }
+
+    fn init(&self, v: VertexId, mut row: SlabRowMut<'_, PushCell>, ctx: &mut Context<'_, PushMsg>) {
+        if self.sources.contains(v) {
+            let slot = self.sources.slot_of(v).expect("source without slot");
+            self.settle(v, self.walks_per_node as f64, row.cell_mut(slot), ctx);
+        }
+    }
+
+    fn compute(
+        &self,
+        _v: VertexId,
+        mut row: SlabRowMut<'_, PushCell>,
+        inbox: &[Delivery<PushMsg>],
+        ctx: &mut Context<'_, PushMsg>,
+    ) {
+        // Accumulate in place, inbox order: same f64 summation order as
+        // the baseline's scratch map.
+        for d in inbox {
+            let slot = self.sources.slot_of(d.msg.source).expect("non-source push");
+            row.cell_mut(slot).residue += d.msg.amount;
+            row.mark(slot);
+        }
+        // Settle marked slots ascending — slot order == source order.
+        row.drain(|slot, cell| {
+            let residue = std::mem::replace(&mut cell.residue, 0.0);
+            self.settle(self.sources.source_at(slot), residue, cell, ctx);
+        });
+    }
+
+    fn extract(&self, _v: VertexId, row: &[PushCell]) -> PushState {
+        let mut state = PushState::default();
+        for (slot, cell) in row.iter().enumerate() {
+            if cell.mass != 0.0 {
+                state.mass.insert(self.sources.source_at(slot), cell.mass);
+            }
+        }
+        state
     }
 }
 
@@ -439,6 +692,19 @@ mod tests {
     }
 
     #[test]
+    fn slots_rank_sources() {
+        let all = SourceSet::AllVertices;
+        assert_eq!(all.slot_of(7), Some(7));
+        assert_eq!(all.source_at(7), 7);
+        let sub = SourceSet::subset(vec![9, 2, 5]);
+        assert_eq!(sub.slot_of(2), Some(0));
+        assert_eq!(sub.slot_of(5), Some(1));
+        assert_eq!(sub.slot_of(9), Some(2));
+        assert_eq!(sub.slot_of(3), None);
+        assert_eq!(sub.source_at(1), 5);
+    }
+
+    #[test]
     fn walk_msg_combines_by_source() {
         let m = WalkMsg { source: 4 };
         assert_eq!(m.combine_key(), Some(4));
@@ -461,6 +727,22 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn alpha_must_be_fractional() {
         BpprProgram::new(10, 1.0);
+    }
+
+    #[test]
+    fn slab_width_follows_source_set() {
+        let all = BpprSlabProgram::new(8, 0.2, 50);
+        assert_eq!(all.width(), 50);
+        let sub = BpprPushSlabProgram::new(8, 0.2, 50).with_sources(SourceSet::subset(vec![3, 7]));
+        assert_eq!(sub.width(), 2);
+    }
+
+    #[test]
+    fn slab_extract_maps_slots_to_sources() {
+        let p = BpprSlabProgram::new(8, 0.2, 4).with_sources(SourceSet::subset(vec![9, 2]));
+        let st = p.extract(0, &[3, 0]);
+        assert_eq!(st.stops.get(&2), Some(&3), "slot 0 = source 2");
+        assert_eq!(st.stops.get(&9), None, "zero counts are skipped");
     }
 
     #[test]

@@ -13,6 +13,14 @@
 //! * **BKHS** — batch k-hop search ([`bkhs::BkhsProgram`],
 //!   [`bkhs::BkhsBroadcastProgram`]).
 //!
+//! Each of the three benchmarks ships two state layouts: a dense
+//! **slab** kernel (`*SlabProgram`, the production path — per-batch
+//! state lives in a [`mtvc_engine::StateSlab`] row per vertex with
+//! frontier-driven compute and exact byte accounting) and the original
+//! hash-map kernel, kept as benchmarking baseline and independent
+//! test oracle. Source-based tasks share a once-per-job
+//! [`sources::SourceIndex`] that batches slice instead of rebuilding.
+//!
 //! Plus classic **PageRank** ([`pagerank::PageRankProgram`]) used by the
 //! §4.8 sync-vs-async comparison (Table 4), **Connected Components**
 //! ([`cc::ConnectedComponentsProgram`]) — §2.4's example of a task that
@@ -26,14 +34,18 @@ pub mod cc;
 pub mod mssp;
 pub mod pagerank;
 pub mod reference;
+pub mod sources;
 
 /// Re-export of the engine's samplers (historically hosted here).
 pub mod sampling {
     pub use mtvc_engine::sampling::*;
 }
 
-pub use bkhs::{BkhsBroadcastProgram, BkhsProgram};
-pub use bppr::{BpprProgram, BpprPushProgram, SourceSet};
+pub use bkhs::{BkhsBroadcastProgram, BkhsBroadcastSlabProgram, BkhsProgram, BkhsSlabProgram};
+pub use bppr::{
+    BpprProgram, BpprPushProgram, BpprPushSlabProgram, BpprSlabProgram, PushCell, SourceSet,
+};
 pub use cc::ConnectedComponentsProgram;
-pub use mssp::{MsspBroadcastProgram, MsspProgram};
+pub use mssp::{MsspBroadcastProgram, MsspBroadcastSlabProgram, MsspProgram, MsspSlabProgram};
 pub use pagerank::PageRankProgram;
+pub use sources::SourceIndex;

@@ -14,10 +14,25 @@
 //! the message shrinks to `(u, d)` and is broadcast to every neighbor.
 //! That form cannot carry per-edge weights, so it computes hop
 //! distances (the paper's datasets are unweighted).
+//!
+//! Two state layouts per variant:
+//!
+//! * [`MsspSlabProgram`] / [`MsspBroadcastSlabProgram`] — the
+//!   production kernels: distances live in a dense
+//!   [`StateSlab`](mtvc_engine::StateSlab) row of `W` cells per vertex,
+//!   relaxed branchlessly and drained via the frontier bitset. Exact
+//!   state accounting, no hashing, no per-compute allocation.
+//! * [`MsspProgram`] / [`MsspBroadcastProgram`] — the hash-map
+//!   baselines, kept for benchmarking the slab layout against and as
+//!   independent oracles in property tests. Message traffic is
+//!   bit-identical to the slab kernels.
 
-use mtvc_engine::{Context, Delivery, Message, VertexProgram};
+use crate::sources::SourceIndex;
+use mtvc_engine::{Context, Delivery, Message, SlabProgram, SlabRowMut, VertexProgram};
 use mtvc_graph::hash::FastMap;
 use mtvc_graph::VertexId;
+use std::ops::Range;
+use std::sync::Arc;
 
 /// Query id: index into the job's source list.
 pub type QueryId = u32;
@@ -38,51 +53,49 @@ impl Message for DistMsg {
     }
 }
 
-/// Per-vertex distances, one entry per query that reached it.
-#[derive(Debug, Clone, Default)]
+/// Per-vertex distances, one entry per query that reached it. The
+/// sparse output shape (also what slab runs extract into).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MsspState {
     pub dist: FastMap<QueryId, u64>,
 }
 
-/// Map from start vertex to the queries starting there.
-fn queries_by_vertex(sources: &[VertexId]) -> FastMap<VertexId, Vec<QueryId>> {
-    let mut map: FastMap<VertexId, Vec<QueryId>> = FastMap::default();
-    for (q, &v) in sources.iter().enumerate() {
-        map.entry(v).or_default().push(q as QueryId);
-    }
-    map
-}
-
-/// Weighted multi-source shortest paths for point-to-point systems.
+/// Weighted multi-source shortest paths for point-to-point systems
+/// (hash-map state layout; see module docs).
 #[derive(Debug, Clone)]
 pub struct MsspProgram {
-    sources: Vec<VertexId>,
-    starts: FastMap<VertexId, Vec<QueryId>>,
+    index: Arc<SourceIndex>,
+    range: Range<usize>,
 }
 
 impl MsspProgram {
     /// `sources[q]` is the start vertex of query `q`. Duplicates are
     /// legal (independent unit tasks).
     pub fn new(sources: Vec<VertexId>) -> MsspProgram {
-        let starts = queries_by_vertex(&sources);
-        MsspProgram { sources, starts }
+        let range = 0..sources.len();
+        MsspProgram {
+            index: SourceIndex::shared(sources),
+            range,
+        }
+    }
+
+    /// One batch of a job-wide [`SourceIndex`]: queries
+    /// `[range.start, range.end)`, addressed by batch-local id.
+    pub fn batch(index: Arc<SourceIndex>, range: Range<usize>) -> MsspProgram {
+        assert!(range.end <= index.len(), "batch range exceeds source pool");
+        MsspProgram { index, range }
     }
 
     pub fn sources(&self) -> &[VertexId] {
-        &self.sources
+        &self.index.sources()[self.range.clone()]
     }
 
     pub fn num_queries(&self) -> usize {
-        self.sources.len()
+        self.range.len()
     }
 }
 
-fn improve(
-    state: &mut MsspState,
-    query: QueryId,
-    dist: u64,
-    ctx: &mut Context<'_, DistMsg>,
-) -> bool {
+fn improve(state: &mut MsspState, query: QueryId, dist: u64) -> bool {
     match state.dist.get_mut(&query) {
         Some(cur) if *cur <= dist => false,
         Some(cur) => {
@@ -91,7 +104,6 @@ fn improve(
         }
         None => {
             state.dist.insert(query, dist);
-            ctx.add_state_bytes(16);
             true
         }
     }
@@ -106,11 +118,8 @@ impl VertexProgram for MsspProgram {
     }
 
     fn init(&self, v: VertexId, state: &mut MsspState, ctx: &mut Context<'_, DistMsg>) {
-        let Some(queries) = self.starts.get(&v) else {
-            return;
-        };
-        for &q in queries {
-            improve(state, q, 0, ctx);
+        for q in self.index.batch_queries_at(v, &self.range) {
+            improve(state, q, 0);
             // `weighted_neighbors` borrows only the graph, so the edge
             // walk interleaves with `send` without materializing a Vec.
             for (t, w) in ctx.weighted_neighbors() {
@@ -145,7 +154,7 @@ impl VertexProgram for MsspProgram {
         }
         let mut improved: Vec<(QueryId, u64)> = Vec::new();
         for (query, dist) in best {
-            if improve(state, query, dist, ctx) {
+            if improve(state, query, dist) {
                 improved.push((query, dist));
             }
         }
@@ -169,21 +178,30 @@ impl VertexProgram for MsspProgram {
     }
 }
 
-/// Broadcast-interface MSSP (hop distances; see module docs).
+/// Broadcast-interface MSSP (hop distances; hash-map baseline).
 #[derive(Debug, Clone)]
 pub struct MsspBroadcastProgram {
-    sources: Vec<VertexId>,
-    starts: FastMap<VertexId, Vec<QueryId>>,
+    index: Arc<SourceIndex>,
+    range: Range<usize>,
 }
 
 impl MsspBroadcastProgram {
     pub fn new(sources: Vec<VertexId>) -> MsspBroadcastProgram {
-        let starts = queries_by_vertex(&sources);
-        MsspBroadcastProgram { sources, starts }
+        let range = 0..sources.len();
+        MsspBroadcastProgram {
+            index: SourceIndex::shared(sources),
+            range,
+        }
+    }
+
+    /// One batch of a job-wide [`SourceIndex`].
+    pub fn batch(index: Arc<SourceIndex>, range: Range<usize>) -> MsspBroadcastProgram {
+        assert!(range.end <= index.len(), "batch range exceeds source pool");
+        MsspBroadcastProgram { index, range }
     }
 
     pub fn sources(&self) -> &[VertexId] {
-        &self.sources
+        &self.index.sources()[self.range.clone()]
     }
 }
 
@@ -196,11 +214,8 @@ impl VertexProgram for MsspBroadcastProgram {
     }
 
     fn init(&self, v: VertexId, state: &mut MsspState, ctx: &mut Context<'_, DistMsg>) {
-        let Some(queries) = self.starts.get(&v) else {
-            return;
-        };
-        for &q in queries {
-            improve(state, q, 0, ctx);
+        for q in self.index.batch_queries_at(v, &self.range) {
+            improve(state, q, 0);
             ctx.broadcast(DistMsg { query: q, dist: 0 }, 1);
         }
     }
@@ -222,7 +237,7 @@ impl VertexProgram for MsspBroadcastProgram {
         }
         let mut improved: Vec<(QueryId, u64)> = Vec::new();
         for (query, dist) in best {
-            if improve(state, query, dist, ctx) {
+            if improve(state, query, dist) {
                 improved.push((query, dist));
             }
         }
@@ -234,6 +249,198 @@ impl VertexProgram for MsspBroadcastProgram {
 
     fn initial_state_bytes(&self) -> u64 {
         48
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slab kernels
+// ---------------------------------------------------------------------
+
+/// Extract the sparse [`MsspState`] from a dense distance row —
+/// untouched cells hold `u64::MAX`.
+fn extract_dists(row: &[u64]) -> MsspState {
+    let mut state = MsspState::default();
+    for (q, &d) in row.iter().enumerate() {
+        if d != u64::MAX {
+            state.dist.insert(q as QueryId, d);
+        }
+    }
+    state
+}
+
+/// Weighted point-to-point MSSP on a dense state slab: one `u64`
+/// distance cell per `(vertex, query)`, branchless min-relax per
+/// delivery, frontier-driven edge relaxation. Message traffic is
+/// bit-identical to [`MsspProgram`].
+#[derive(Debug, Clone)]
+pub struct MsspSlabProgram {
+    index: Arc<SourceIndex>,
+    range: Range<usize>,
+}
+
+impl MsspSlabProgram {
+    pub fn new(sources: Vec<VertexId>) -> MsspSlabProgram {
+        let range = 0..sources.len();
+        MsspSlabProgram {
+            index: SourceIndex::shared(sources),
+            range,
+        }
+    }
+
+    /// One batch of a job-wide [`SourceIndex`].
+    pub fn batch(index: Arc<SourceIndex>, range: Range<usize>) -> MsspSlabProgram {
+        assert!(range.end <= index.len(), "batch range exceeds source pool");
+        MsspSlabProgram { index, range }
+    }
+
+    pub fn sources(&self) -> &[VertexId] {
+        &self.index.sources()[self.range.clone()]
+    }
+
+    pub fn num_queries(&self) -> usize {
+        self.range.len()
+    }
+}
+
+impl SlabProgram for MsspSlabProgram {
+    type Message = DistMsg;
+    type Cell = u64;
+    type Out = MsspState;
+
+    fn width(&self) -> usize {
+        self.range.len()
+    }
+
+    fn empty_cell(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn message_bytes(&self) -> u64 {
+        20 // same wire format as the hash-map baseline
+    }
+
+    fn init(&self, v: VertexId, mut row: SlabRowMut<'_, u64>, ctx: &mut Context<'_, DistMsg>) {
+        for q in self.index.batch_queries_at(v, &self.range) {
+            row.set(q as usize, 0);
+            for (t, w) in ctx.weighted_neighbors() {
+                ctx.send(
+                    t,
+                    DistMsg {
+                        query: q,
+                        dist: w as u64,
+                    },
+                    1,
+                );
+            }
+        }
+    }
+
+    fn compute(
+        &self,
+        _v: VertexId,
+        mut row: SlabRowMut<'_, u64>,
+        inbox: &[Delivery<DistMsg>],
+        ctx: &mut Context<'_, DistMsg>,
+    ) {
+        // Min-relax straight into the row — no scratch map, no
+        // allocation; the frontier remembers which cells improved.
+        for d in inbox {
+            row.relax_min(d.msg.query as usize, d.msg.dist);
+        }
+        // Drain ascending by query id: the same deterministic send
+        // order the baseline's sort produces.
+        row.drain(|q, dist| {
+            let dist = *dist;
+            for (t, w) in ctx.weighted_neighbors() {
+                ctx.send(
+                    t,
+                    DistMsg {
+                        query: q as QueryId,
+                        dist: dist + w as u64,
+                    },
+                    1,
+                );
+            }
+        });
+    }
+
+    fn extract(&self, _v: VertexId, row: &[u64]) -> MsspState {
+        extract_dists(row)
+    }
+}
+
+/// Broadcast-interface MSSP on a dense state slab (hop distances).
+/// Traffic-identical to [`MsspBroadcastProgram`].
+#[derive(Debug, Clone)]
+pub struct MsspBroadcastSlabProgram {
+    index: Arc<SourceIndex>,
+    range: Range<usize>,
+}
+
+impl MsspBroadcastSlabProgram {
+    pub fn new(sources: Vec<VertexId>) -> MsspBroadcastSlabProgram {
+        let range = 0..sources.len();
+        MsspBroadcastSlabProgram {
+            index: SourceIndex::shared(sources),
+            range,
+        }
+    }
+
+    /// One batch of a job-wide [`SourceIndex`].
+    pub fn batch(index: Arc<SourceIndex>, range: Range<usize>) -> MsspBroadcastSlabProgram {
+        assert!(range.end <= index.len(), "batch range exceeds source pool");
+        MsspBroadcastSlabProgram { index, range }
+    }
+}
+
+impl SlabProgram for MsspBroadcastSlabProgram {
+    type Message = DistMsg;
+    type Cell = u64;
+    type Out = MsspState;
+
+    fn width(&self) -> usize {
+        self.range.len()
+    }
+
+    fn empty_cell(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn message_bytes(&self) -> u64 {
+        12
+    }
+
+    fn init(&self, v: VertexId, mut row: SlabRowMut<'_, u64>, ctx: &mut Context<'_, DistMsg>) {
+        for q in self.index.batch_queries_at(v, &self.range) {
+            row.set(q as usize, 0);
+            ctx.broadcast(DistMsg { query: q, dist: 0 }, 1);
+        }
+    }
+
+    fn compute(
+        &self,
+        _v: VertexId,
+        mut row: SlabRowMut<'_, u64>,
+        inbox: &[Delivery<DistMsg>],
+        ctx: &mut Context<'_, DistMsg>,
+    ) {
+        for d in inbox {
+            // The sender broadcast its own distance; one hop further.
+            row.relax_min(d.msg.query as usize, d.msg.dist + 1);
+        }
+        row.drain(|q, dist| {
+            ctx.broadcast(
+                DistMsg {
+                    query: q as QueryId,
+                    dist: *dist,
+                },
+                1,
+            );
+        });
+    }
+
+    fn extract(&self, _v: VertexId, row: &[u64]) -> MsspState {
+        extract_dists(row)
     }
 }
 
@@ -279,7 +486,18 @@ mod tests {
         assert_eq!(p.num_queries(), 3);
         assert_eq!(p.sources(), &[9, 3, 9]);
         // Vertex 9 starts queries 0 and 2.
-        assert_eq!(p.starts.get(&9).unwrap(), &vec![0, 2]);
+        assert_eq!(p.index.queries_at(9), &[0, 2]);
+    }
+
+    #[test]
+    fn batch_programs_slice_a_shared_index() {
+        let index = SourceIndex::shared(vec![4, 7, 4, 2]);
+        let b = MsspProgram::batch(Arc::clone(&index), 1..3);
+        assert_eq!(b.sources(), &[7, 4]);
+        assert_eq!(b.num_queries(), 2);
+        let s = MsspSlabProgram::batch(index, 1..3);
+        assert_eq!(s.sources(), &[7, 4]);
+        assert_eq!(s.width(), 2);
     }
 
     #[test]
@@ -287,5 +505,17 @@ mod tests {
         let p2p = MsspProgram::new(vec![0]);
         let bc = MsspBroadcastProgram::new(vec![0]);
         assert!(bc.message_bytes() < p2p.message_bytes());
+        assert_eq!(
+            SlabProgram::message_bytes(&MsspSlabProgram::new(vec![0])),
+            VertexProgram::message_bytes(&p2p)
+        );
+    }
+
+    #[test]
+    fn extract_skips_untouched_cells() {
+        let st = extract_dists(&[u64::MAX, 5, u64::MAX, 0]);
+        assert_eq!(st.dist.len(), 2);
+        assert_eq!(st.dist.get(&1), Some(&5));
+        assert_eq!(st.dist.get(&3), Some(&0));
     }
 }

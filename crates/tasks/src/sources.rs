@@ -1,0 +1,106 @@
+//! Job-level source indexing, shared across batches.
+//!
+//! Source-based tasks (MSSP, BKHS) address queries by **query id** —
+//! the index into the job's source pool. Historically every batch
+//! program rebuilt its own `vertex → query ids` hash map from its
+//! source slice; a job with many narrow batches paid that rebuild per
+//! batch. A [`SourceIndex`] is built **once per job** over the whole
+//! pool and shared (`Arc`) by every batch program, which addresses its
+//! batch as a contiguous query range `[start, end)` and translates to
+//! batch-local ids by subtracting `start`.
+
+use crate::mssp::QueryId;
+use mtvc_graph::hash::FastMap;
+use mtvc_graph::VertexId;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Immutable map of a job's source pool: `sources[q]` is the start
+/// vertex of global query `q`, plus the inverted `vertex → query ids`
+/// index. Duplicate start vertices are legal — each occurrence is an
+/// independent unit task with its own query id.
+#[derive(Debug, Clone, Default)]
+pub struct SourceIndex {
+    sources: Vec<VertexId>,
+    starts: FastMap<VertexId, Vec<QueryId>>,
+}
+
+impl SourceIndex {
+    /// Build the index for a job's whole source pool.
+    pub fn build(sources: Vec<VertexId>) -> SourceIndex {
+        let mut starts: FastMap<VertexId, Vec<QueryId>> = FastMap::default();
+        for (q, &v) in sources.iter().enumerate() {
+            starts.entry(v).or_default().push(q as QueryId);
+        }
+        SourceIndex { sources, starts }
+    }
+
+    /// [`SourceIndex::build`], wrapped for sharing across batches.
+    pub fn shared(sources: Vec<VertexId>) -> Arc<SourceIndex> {
+        Arc::new(Self::build(sources))
+    }
+
+    /// Total queries in the pool.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// The full source pool, indexed by global query id.
+    pub fn sources(&self) -> &[VertexId] {
+        &self.sources
+    }
+
+    /// Global query ids starting at `v`, in ascending order.
+    pub fn queries_at(&self, v: VertexId) -> &[QueryId] {
+        self.starts.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Queries of `v` that fall in the batch `range`, yielded as
+    /// **batch-local** ids (`global - range.start`). This is the
+    /// per-batch slice of the once-per-job index.
+    pub fn batch_queries_at(
+        &self,
+        v: VertexId,
+        range: &Range<usize>,
+    ) -> impl Iterator<Item = QueryId> + '_ {
+        let qs = self.queries_at(v);
+        let lo = qs.partition_point(|&q| (q as usize) < range.start);
+        let hi = qs.partition_point(|&q| (q as usize) < range.end);
+        let start = range.start as QueryId;
+        qs[lo..hi].iter().map(move |&q| q - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_inverts_the_pool() {
+        let idx = SourceIndex::build(vec![9, 3, 9, 5]);
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.sources(), &[9, 3, 9, 5]);
+        assert_eq!(idx.queries_at(9), &[0, 2]);
+        assert_eq!(idx.queries_at(3), &[1]);
+        assert_eq!(idx.queries_at(7), &[] as &[QueryId]);
+    }
+
+    #[test]
+    fn batch_ranges_yield_local_ids() {
+        // Pool: q0..q5 start at vertices 1,1,2,1,3,1.
+        let idx = SourceIndex::build(vec![1, 1, 2, 1, 3, 1]);
+        let all: Vec<_> = idx.batch_queries_at(1, &(0..6)).collect();
+        assert_eq!(all, vec![0, 1, 3, 5]);
+        // Batch [2, 5): global q3 and q5 start at 1, but q5 is outside.
+        let batch: Vec<_> = idx.batch_queries_at(1, &(2..5)).collect();
+        assert_eq!(batch, vec![1], "global q3 = local q1 in batch [2,5)");
+        let v3: Vec<_> = idx.batch_queries_at(3, &(2..5)).collect();
+        assert_eq!(v3, vec![2], "global q4 = local q2");
+        let none: Vec<_> = idx.batch_queries_at(2, &(3..6)).collect();
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,286 @@
+//! Property tests for the dense-slab task kernels: across random
+//! graphs, batch widths, worker counts, and combining on/off, the slab
+//! programs must (a) agree with the exact sequential oracles and
+//! (b) be bit-identical to the hash-map baseline programs — same
+//! per-vertex results, same message traffic, same RNG consumption.
+
+use mtvc_cluster::ClusterSpec;
+use mtvc_engine::{EngineConfig, ExecutionMode, RunResult, Runner, SystemProfile};
+use mtvc_graph::partition::HashPartitioner;
+use mtvc_graph::{generators, reference as gref, Graph, VertexId};
+use mtvc_metrics::SimTime;
+use mtvc_tasks::bppr::{BpprState, PushState};
+use mtvc_tasks::{
+    BkhsProgram, BkhsSlabProgram, BpprProgram, BpprPushProgram, BpprPushSlabProgram,
+    BpprSlabProgram, MsspBroadcastProgram, MsspBroadcastSlabProgram, MsspProgram, MsspSlabProgram,
+    SourceIndex, SourceSet,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn roomy_config(machines: usize, seed: u64, combine: bool) -> EngineConfig {
+    let mut cfg = EngineConfig::new(ClusterSpec::galaxy(machines), SystemProfile::base("prop"));
+    cfg.cutoff = SimTime::secs(1.0e12);
+    cfg.seed = seed;
+    cfg.profile.combiner = combine;
+    cfg
+}
+
+fn broadcast_config(machines: usize, seed: u64, combine: bool) -> EngineConfig {
+    let mut cfg = roomy_config(machines, seed, combine);
+    cfg.profile.mode = ExecutionMode::Broadcast {
+        mirror_threshold: 8,
+    };
+    cfg
+}
+
+fn runner<'g>(g: &'g Graph, cfg: EngineConfig) -> Runner<'g> {
+    Runner::new(g, &HashPartitioner::default(), cfg)
+}
+
+fn completed<S>(r: &RunResult<S>) {
+    assert!(r.outcome.is_completed(), "must complete: {:?}", r.outcome);
+}
+
+/// Deterministic pseudo-random sources, duplicates allowed (duplicate
+/// start vertices are distinct unit tasks and must stay distinct).
+fn pick_sources(n: usize, width: usize, seed: u64) -> Vec<VertexId> {
+    (0..width)
+        .map(|q| (mtvc_graph::hash::mix64(seed ^ q as u64) % n as u64) as VertexId)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Slab MSSP == Dijkstra, and bit-identical to the hash-map kernel.
+    #[test]
+    fn slab_mssp_matches_dijkstra_and_hashmap(
+        n in 20usize..110,
+        width in 1usize..10,
+        workers in 1usize..5,
+        combine in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let base = generators::power_law(n, n * 4, 2.3, seed);
+        let g = generators::with_random_weights(&base, 1, 9, seed ^ 3);
+        let sources = pick_sources(n, width, seed ^ 7);
+
+        let slab = runner(&g, roomy_config(workers, seed, combine))
+            .run_slab(&MsspSlabProgram::new(sources.clone()));
+        completed(&slab);
+        // Oracle: per-query Dijkstra.
+        for (q, &s) in sources.iter().enumerate() {
+            let want = gref::dijkstra(&g, s);
+            for v in g.vertices() {
+                let got = slab.states[v as usize].dist.get(&(q as u32)).copied();
+                let expect = (want[v as usize] != u64::MAX).then(|| want[v as usize]);
+                prop_assert_eq!(got, expect, "q={} s={} v={}", q, s, v);
+            }
+        }
+        // Bit-identity with the hash-map baseline.
+        let hash = runner(&g, roomy_config(workers, seed, combine))
+            .run(&MsspProgram::new(sources));
+        prop_assert_eq!(&hash.outcome, &slab.outcome);
+        prop_assert_eq!(hash.stats.total_messages_sent, slab.stats.total_messages_sent);
+        prop_assert_eq!(hash.stats.total_messages_delivered, slab.stats.total_messages_delivered);
+        prop_assert_eq!(hash.stats.rounds, slab.stats.rounds);
+        for v in g.vertices() {
+            prop_assert_eq!(&hash.states[v as usize], &slab.states[v as usize], "v={}", v);
+        }
+    }
+
+    /// Slab broadcast MSSP == BFS hop levels.
+    #[test]
+    fn slab_mssp_broadcast_matches_bfs(
+        n in 20usize..100,
+        width in 1usize..8,
+        workers in 1usize..5,
+        combine in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let g = generators::power_law(n, n * 4, 2.4, seed);
+        let sources = pick_sources(n, width, seed ^ 11);
+        let slab = runner(&g, broadcast_config(workers, seed, combine))
+            .run_slab(&MsspBroadcastSlabProgram::new(sources.clone()));
+        completed(&slab);
+        for (q, &s) in sources.iter().enumerate() {
+            let want = gref::bfs_levels(&g, s);
+            for v in g.vertices() {
+                let got = slab.states[v as usize].dist.get(&(q as u32)).copied();
+                let expect = (want[v as usize] != u32::MAX).then(|| want[v as usize] as u64);
+                prop_assert_eq!(got, expect, "q={} s={} v={}", q, s, v);
+            }
+        }
+        let hash = runner(&g, broadcast_config(workers, seed, combine))
+            .run(&MsspBroadcastProgram::new(sources));
+        prop_assert_eq!(hash.stats.total_messages_sent, slab.stats.total_messages_sent);
+        for v in g.vertices() {
+            prop_assert_eq!(&hash.states[v as usize], &slab.states[v as usize], "v={}", v);
+        }
+    }
+
+    /// Slab BKHS == reference k-hop sets, and identical to the hash-set
+    /// kernel.
+    #[test]
+    fn slab_bkhs_matches_k_hop_sets_and_hashmap(
+        n in 20usize..100,
+        width in 1usize..8,
+        k in 1u32..5,
+        workers in 1usize..5,
+        combine in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let g = generators::power_law(n, n * 4, 2.4, seed);
+        let sources = pick_sources(n, width, seed ^ 13);
+        let slab = runner(&g, roomy_config(workers, seed, combine))
+            .run_slab(&BkhsSlabProgram::new(sources.clone(), k));
+        completed(&slab);
+        for (q, &s) in sources.iter().enumerate() {
+            let mut want = gref::k_hop_set(&g, s, k);
+            want.sort_unstable();
+            let got: Vec<VertexId> = g
+                .vertices()
+                .filter(|&v| slab.states[v as usize].reached.contains(&(q as u32)))
+                .collect();
+            prop_assert_eq!(got, want, "q={} s={}", q, s);
+        }
+        let hash = runner(&g, roomy_config(workers, seed, combine))
+            .run(&BkhsProgram::new(sources, k));
+        prop_assert_eq!(hash.stats.total_messages_sent, slab.stats.total_messages_sent);
+        prop_assert_eq!(hash.stats.rounds, slab.stats.rounds);
+        for v in g.vertices() {
+            prop_assert_eq!(
+                &hash.states[v as usize].reached,
+                &slab.states[v as usize].reached,
+                "v={}", v
+            );
+        }
+    }
+
+    /// Slab Monte-Carlo BPPR consumes the RNG identically to the
+    /// hash-map kernel: the sampled walks — and therefore every stop
+    /// counter and message statistic — are bit-identical. Walk
+    /// conservation holds: every injected walk stops somewhere.
+    #[test]
+    fn slab_bppr_mc_is_bit_identical_and_conserves_walks(
+        n in 20usize..90,
+        walks in 1u64..40,
+        workers in 1usize..5,
+        subset in any::<bool>(),
+        combine in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let g = generators::power_law(n, n * 4, 2.3, seed);
+        let sources = if subset {
+            SourceSet::subset(pick_sources(n, 5, seed ^ 17))
+        } else {
+            SourceSet::AllVertices
+        };
+        let slab = runner(&g, roomy_config(workers, seed, combine)).run_slab(
+            &BpprSlabProgram::new(walks, 0.2, n).with_sources(sources.clone()),
+        );
+        completed(&slab);
+        let hash = runner(&g, roomy_config(workers, seed, combine)).run(
+            &BpprProgram::new(walks, 0.2).with_sources(sources.clone()),
+        );
+        prop_assert_eq!(hash.stats.total_messages_sent, slab.stats.total_messages_sent);
+        prop_assert_eq!(hash.stats.rounds, slab.stats.rounds);
+        for v in g.vertices() {
+            prop_assert_eq!(
+                &hash.states[v as usize].stops,
+                &slab.states[v as usize].stops,
+                "v={}", v
+            );
+        }
+        let stopped: u64 = slab
+            .states
+            .iter()
+            .flat_map(|st: &BpprState| st.stops.values())
+            .sum();
+        prop_assert_eq!(stopped, walks * sources.len(n) as u64);
+    }
+
+    /// Slab forward-push BPPR: identical f64 masses to the hash-map
+    /// kernel (same summation order), and total mass is conserved.
+    #[test]
+    fn slab_bppr_push_is_bit_identical_and_conserves_mass(
+        n in 20usize..90,
+        walks in 1u64..200,
+        workers in 1usize..5,
+        subset in any::<bool>(),
+        combine in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let g = generators::power_law(n, n * 4, 2.3, seed);
+        let sources = if subset {
+            SourceSet::subset(pick_sources(n, 5, seed ^ 19))
+        } else {
+            SourceSet::AllVertices
+        };
+        let slab = runner(&g, broadcast_config(workers, seed, combine)).run_slab(
+            &BpprPushSlabProgram::new(walks, 0.2, n).with_sources(sources.clone()),
+        );
+        completed(&slab);
+        let hash = runner(&g, broadcast_config(workers, seed, combine)).run(
+            &BpprPushProgram::new(walks, 0.2).with_sources(sources.clone()),
+        );
+        prop_assert_eq!(hash.stats.total_messages_sent, slab.stats.total_messages_sent);
+        prop_assert_eq!(hash.stats.rounds, slab.stats.rounds);
+        for v in g.vertices() {
+            // Exact f64 equality: same adds in the same order.
+            prop_assert_eq!(
+                &hash.states[v as usize].mass,
+                &slab.states[v as usize].mass,
+                "v={}", v
+            );
+        }
+        let mass: f64 = slab
+            .states
+            .iter()
+            .flat_map(|st: &PushState| st.mass.values())
+            .sum();
+        let injected = walks as f64 * sources.len(n) as f64;
+        prop_assert!(
+            (mass - injected).abs() < 1e-6 * injected.max(1.0),
+            "mass {} vs injected {}", mass, injected
+        );
+    }
+
+    /// Batch slicing: running the query pool as two batches over one
+    /// shared job-wide SourceIndex covers exactly the same (query,
+    /// vertex) results as one full-width batch, after remapping the
+    /// second batch's local ids.
+    #[test]
+    fn sliced_batches_cover_the_full_pool(
+        n in 20usize..90,
+        width in 2usize..10,
+        split in 1usize..9,
+        workers in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let split = split.min(width - 1);
+        let base = generators::power_law(n, n * 4, 2.3, seed);
+        let g = generators::with_random_weights(&base, 1, 9, seed ^ 23);
+        let sources = pick_sources(n, width, seed ^ 29);
+        let index = SourceIndex::shared(sources.clone());
+
+        let full = runner(&g, roomy_config(workers, seed, true))
+            .run_slab(&MsspSlabProgram::new(sources));
+        completed(&full);
+        let first = runner(&g, roomy_config(workers, seed, true))
+            .run_slab(&MsspSlabProgram::batch(Arc::clone(&index), 0..split));
+        let second = runner(&g, roomy_config(workers, seed, true))
+            .run_slab(&MsspSlabProgram::batch(index, split..width));
+        completed(&first);
+        completed(&second);
+
+        for v in g.vertices() {
+            let mut merged = first.states[v as usize].dist.clone();
+            for (&q, &d) in &second.states[v as usize].dist {
+                merged.insert(q + split as u32, d);
+            }
+            prop_assert_eq!(&merged, &full.states[v as usize].dist, "v={}", v);
+        }
+    }
+}
