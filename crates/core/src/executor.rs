@@ -370,6 +370,26 @@ impl BatchRunner {
         seed: u64,
         cutoff: SimTime,
     ) -> BatchExecution {
+        self.run_batch_at(workload, sources, residual, seed, cutoff, None)
+    }
+
+    /// [`BatchRunner::run_batch`] with a per-batch override of the
+    /// parallel cutover: `parallel_threshold = Some(t)` executes this
+    /// batch as if the runner were built with
+    /// [`BatchRunner::with_parallel_threshold`]`(t)`, without touching
+    /// the runner's configuration. The serve layer's joint parallelism
+    /// controller uses this to widen intra-task parallelism for lone
+    /// wide batches and narrow it when many small batches run
+    /// concurrently.
+    pub fn run_batch_at(
+        &self,
+        workload: u64,
+        sources: &[VertexId],
+        residual: &[u64],
+        seed: u64,
+        cutoff: SimTime,
+        parallel_threshold: Option<usize>,
+    ) -> BatchExecution {
         assert!(workload >= 1, "batch workload must be positive");
         assert_eq!(
             residual.len(),
@@ -387,7 +407,7 @@ impl BatchRunner {
         cfg.seed = seed;
         cfg.cutoff = cutoff;
         cfg.residual_bytes = residual.to_vec();
-        if let Some(t) = self.parallel_vertex_threshold {
+        if let Some(t) = parallel_threshold.or(self.parallel_vertex_threshold) {
             cfg.parallel_vertex_threshold = t;
         }
         if let Some(plan) = &self.faults {
@@ -437,6 +457,23 @@ impl BatchRunner {
         cutoff: SimTime,
         policy: &RecoveryPolicy,
     ) -> RecoveredBatch {
+        self.run_batch_bisecting_at(workload, sources, residual, seed, cutoff, policy, None)
+    }
+
+    /// [`BatchRunner::run_batch_bisecting`] with a per-batch parallel
+    /// cutover override (see [`BatchRunner::run_batch_at`]); every rung
+    /// of the degradation ladder inherits the override.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_batch_bisecting_at(
+        &self,
+        workload: u64,
+        sources: &[VertexId],
+        residual: &[u64],
+        seed: u64,
+        cutoff: SimTime,
+        policy: &RecoveryPolicy,
+        parallel_threshold: Option<usize>,
+    ) -> RecoveredBatch {
         use std::collections::VecDeque;
         let src_based = !matches!(self.task, Task::Bppr { .. });
         let mut queue: VecDeque<(u64, std::ops::Range<usize>, u32)> = VecDeque::new();
@@ -467,7 +504,14 @@ impl BatchRunner {
             } else {
                 &[]
             };
-            let exec = self.run_batch(w, srcs, &residual_state, sub_seed, cutoff);
+            let exec = self.run_batch_at(
+                w,
+                srcs,
+                &residual_state,
+                sub_seed,
+                cutoff,
+                parallel_threshold,
+            );
             stats.absorb(&exec.stats);
             peak = peak.max(exec.peak_memory);
             ladder.push(LadderStep {

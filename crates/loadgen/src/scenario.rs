@@ -1,0 +1,237 @@
+//! Workload scenario descriptions.
+//!
+//! A [`Scenario`] is the declarative half of the generator: *what* the
+//! traffic looks like — who sends (Zipf tenant population), when
+//! (base rate modulated by a diurnal cycle and burst episodes), and
+//! what they ask for (task-shape mix, SLO class mix, per-class
+//! deadlines). [`crate::generate`] turns it plus a seed into a
+//! concrete [`crate::Trace`].
+
+use mtvc_core::Task;
+use mtvc_serve::SloClass;
+use std::ops::RangeInclusive;
+use std::time::Duration;
+
+/// Sinusoidal rate modulation mimicking a day/night cycle: the
+/// instantaneous rate is `base · (1 + amplitude · sin(2πt/period))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalSpec {
+    /// One full cycle (a scaled-down "day").
+    pub period: Duration,
+    /// Peak-to-baseline swing in `[0, 1]` (1 ⇒ the trough is silent).
+    pub amplitude: f64,
+}
+
+/// Correlated burst episodes: a two-state (calm/burst) renewal process
+/// with exponentially distributed dwell times; during a burst the
+/// instantaneous rate is multiplied by `multiplier`. Bursts are
+/// *correlated* load in the sense that every tenant's arrivals
+/// intensify together — the hard case for admission control.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstSpec {
+    /// Mean dwell time in the calm state.
+    pub mean_calm: Duration,
+    /// Mean dwell time in the burst state.
+    pub mean_burst: Duration,
+    /// Rate multiplier while bursting (≥ 1).
+    pub multiplier: f64,
+}
+
+/// One entry of the task-shape mix: a shape template drawn with
+/// probability proportional to `weight`, its per-request workload
+/// uniform in `workload`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeMix {
+    /// Shape template (its own workload field is ignored).
+    pub shape: Task,
+    /// Relative draw weight (> 0).
+    pub weight: f64,
+    /// Per-request workload range (units of the shape: sources for
+    /// MSSP/BKHS, walk batches for BPPR).
+    pub workload: RangeInclusive<u64>,
+}
+
+/// How tenants split into SLO classes and what deadline each class
+/// carries. A tenant's class is a deterministic function of its id
+/// (and the trace seed), so the same tenant keeps its class across
+/// the whole trace — classes describe *tenants*, not requests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassMix {
+    /// Relative population weight per class, indexed by
+    /// [`SloClass::index`].
+    pub weights: [f64; 3],
+    /// Dispatch deadline attached to each class's requests (`None` ⇒
+    /// deadline-free), indexed by [`SloClass::index`].
+    pub deadlines: [Option<Duration>; 3],
+}
+
+impl Default for ClassMix {
+    /// 10 % interactive (tight deadline), 60 % standard (loose
+    /// deadline), 30 % batch (no deadline).
+    fn default() -> ClassMix {
+        ClassMix {
+            weights: [0.1, 0.6, 0.3],
+            deadlines: [
+                Some(Duration::from_millis(250)),
+                Some(Duration::from_secs(2)),
+                None,
+            ],
+        }
+    }
+}
+
+impl ClassMix {
+    /// The class a cumulative-weight coordinate `u ∈ [0, 1)` falls in.
+    pub(crate) fn pick(&self, u: f64) -> SloClass {
+        let total: f64 = self.weights.iter().sum();
+        let mut acc = 0.0;
+        for class in SloClass::ALL {
+            acc += self.weights[class.index()] / total;
+            if u < acc {
+                return class;
+            }
+        }
+        SloClass::Batch
+    }
+}
+
+/// A complete workload description. Everything is plain data: two
+/// scenarios compare equal iff they generate identical traces under
+/// equal seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Human-readable name, carried into traces and reports.
+    pub name: String,
+    /// Tenant population size (ranks of the Zipf draw).
+    pub tenants: u32,
+    /// Zipf exponent of the tenant popularity distribution (larger ⇒
+    /// heavier head).
+    pub zipf_exponent: f64,
+    /// Baseline arrival rate, requests per second.
+    pub base_rate: f64,
+    /// Trace length.
+    pub duration: Duration,
+    /// Optional diurnal modulation.
+    pub diurnal: Option<DiurnalSpec>,
+    /// Optional burst episodes.
+    pub bursts: Option<BurstSpec>,
+    /// Task-shape mix (must be non-empty to generate).
+    pub shapes: Vec<ShapeMix>,
+    /// SLO class mix.
+    pub classes: ClassMix,
+}
+
+impl Scenario {
+    /// A scenario with the given envelope and the default mixes: no
+    /// diurnal cycle, no bursts, default class split, empty shape mix
+    /// (add at least one with [`Scenario::with_shape`]).
+    pub fn new(name: impl Into<String>, tenants: u32, base_rate: f64, duration: Duration) -> Self {
+        assert!(tenants >= 1, "scenario needs at least one tenant");
+        assert!(
+            base_rate.is_finite() && base_rate > 0.0,
+            "base rate must be positive"
+        );
+        Scenario {
+            name: name.into(),
+            tenants,
+            zipf_exponent: 1.0,
+            base_rate,
+            duration,
+            diurnal: None,
+            bursts: None,
+            shapes: Vec::new(),
+            classes: ClassMix::default(),
+        }
+    }
+
+    /// Set the tenant-popularity Zipf exponent.
+    pub fn with_zipf_exponent(mut self, s: f64) -> Self {
+        self.zipf_exponent = s;
+        self
+    }
+
+    /// Add a diurnal cycle.
+    pub fn with_diurnal(mut self, period: Duration, amplitude: f64) -> Self {
+        assert!((0.0..=1.0).contains(&amplitude), "amplitude in [0, 1]");
+        self.diurnal = Some(DiurnalSpec { period, amplitude });
+        self
+    }
+
+    /// Add burst episodes.
+    pub fn with_bursts(
+        mut self,
+        mean_calm: Duration,
+        mean_burst: Duration,
+        multiplier: f64,
+    ) -> Self {
+        assert!(multiplier >= 1.0, "burst multiplier must be ≥ 1");
+        self.bursts = Some(BurstSpec {
+            mean_calm,
+            mean_burst,
+            multiplier,
+        });
+        self
+    }
+
+    /// Add one task shape to the mix.
+    pub fn with_shape(mut self, shape: Task, weight: f64, workload: RangeInclusive<u64>) -> Self {
+        assert!(weight > 0.0, "shape weight must be positive");
+        assert!(*workload.start() >= 1, "workload range must start ≥ 1");
+        assert!(workload.start() <= workload.end(), "empty workload range");
+        self.shapes.push(ShapeMix {
+            shape: shape.with_workload(1),
+            weight,
+            workload,
+        });
+        self
+    }
+
+    /// Replace the class mix.
+    pub fn with_classes(mut self, classes: ClassMix) -> Self {
+        self.classes = classes;
+        self
+    }
+
+    /// Peak instantaneous arrival rate this scenario can reach —
+    /// diurnal crest times burst multiplier. The thinning envelope.
+    pub fn peak_rate(&self) -> f64 {
+        let crest = 1.0 + self.diurnal.map_or(0.0, |d| d.amplitude);
+        let burst = self.bursts.map_or(1.0, |b| b.multiplier);
+        self.base_rate * crest * burst
+    }
+
+    /// Expected request count over the whole trace (bursts averaged
+    /// in, diurnal averaging to its baseline).
+    pub fn expected_requests(&self) -> f64 {
+        let burst_avg = self.bursts.map_or(1.0, |b| {
+            let calm = b.mean_calm.as_secs_f64();
+            let burst = b.mean_burst.as_secs_f64();
+            (calm + burst * b.multiplier) / (calm + burst).max(f64::MIN_POSITIVE)
+        });
+        self.base_rate * burst_avg * self.duration.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_mix_pick_covers_all_classes() {
+        let mix = ClassMix::default();
+        assert_eq!(mix.pick(0.0), SloClass::Interactive);
+        assert_eq!(mix.pick(0.3), SloClass::Standard);
+        assert_eq!(mix.pick(0.95), SloClass::Batch);
+        assert_eq!(mix.pick(1.0), SloClass::Batch);
+    }
+
+    #[test]
+    fn peak_rate_composes_diurnal_and_bursts() {
+        let s = Scenario::new("s", 10, 100.0, Duration::from_secs(10))
+            .with_diurnal(Duration::from_secs(5), 0.5)
+            .with_bursts(Duration::from_secs(2), Duration::from_secs(1), 3.0);
+        assert!((s.peak_rate() - 100.0 * 1.5 * 3.0).abs() < 1e-9);
+        // Burst-averaged expectation: (2 + 1·3)/(2 + 1) = 5/3.
+        assert!((s.expected_requests() - 100.0 * 5.0 / 3.0 * 10.0).abs() < 1e-6);
+    }
+}

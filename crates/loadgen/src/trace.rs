@@ -1,0 +1,307 @@
+//! Trace materialisation: scenario + seed → sorted arrival events.
+//!
+//! Arrivals are a time-varying Poisson process sampled by *thinning*
+//! (Lewis–Shedler): candidates arrive at the scenario's peak rate and
+//! are accepted with probability `λ(t) / λ_peak`, where `λ(t)`
+//! composes the diurnal cycle with the burst-episode timeline. Both
+//! the candidate stream and every per-event draw come from one seeded
+//! [`SmallRng`], so a trace is a pure function of `(scenario, seed)` —
+//! asserted cheaply via [`Trace::fingerprint`].
+
+use crate::scenario::Scenario;
+use crate::zipf::Zipf;
+use mtvc_core::Task;
+use mtvc_serve::{SloClass, TaskRequest, TenantId};
+use rand::{rngs::SmallRng, Rng, RngCore, SeedableRng};
+use std::time::Duration;
+
+/// One generated arrival.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Arrival offset from the trace start.
+    pub at: Duration,
+    /// The submitting tenant.
+    pub tenant: TenantId,
+    /// Task shape and workload.
+    pub task: Task,
+    /// The tenant's SLO class.
+    pub class: SloClass,
+    /// Dispatch deadline the class prescribes, if any.
+    pub deadline: Option<Duration>,
+}
+
+impl TraceEvent {
+    /// The [`TaskRequest`] this event submits.
+    pub fn request(&self) -> TaskRequest {
+        let mut req = TaskRequest::new(self.tenant, self.task).with_class(self.class);
+        if let Some(d) = self.deadline {
+            req = req.with_deadline(d);
+        }
+        req
+    }
+}
+
+/// A materialised workload trace: events sorted by arrival time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Name of the scenario that generated this trace.
+    pub scenario: String,
+    /// The seed it was generated under.
+    pub seed: u64,
+    /// Arrival events in non-decreasing `at` order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Arrival time of the last event (zero for an empty trace).
+    pub fn span(&self) -> Duration {
+        self.events.last().map_or(Duration::ZERO, |e| e.at)
+    }
+
+    /// Events per [`SloClass`], indexed by [`SloClass::index`].
+    pub fn class_counts(&self) -> [u64; 3] {
+        let mut counts = [0u64; 3];
+        for e in &self.events {
+            counts[e.class.index()] += 1;
+        }
+        counts
+    }
+
+    /// Order-sensitive 64-bit digest of every event field. Two traces
+    /// fingerprint equal iff they are byte-for-byte the same workload
+    /// — the reproducibility check the bench harness asserts.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        let mut eat = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(self.seed);
+        eat(self.events.len() as u64);
+        for e in &self.events {
+            eat(e.at.as_nanos() as u64);
+            eat(u64::from(e.tenant.0));
+            eat(task_code(&e.task));
+            eat(e.class.index() as u64);
+            eat(e.deadline.map_or(u64::MAX, |d| d.as_nanos() as u64));
+        }
+        h
+    }
+}
+
+/// Stable numeric encoding of a task's shape and workload.
+fn task_code(t: &Task) -> u64 {
+    // The shape (workload stripped) distinguishes variants and their
+    // parameters; hashing its debug form avoids a bespoke per-variant
+    // encoding that would rot as task types grow.
+    let shape = format!("{:?}", t.with_workload(1));
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in shape.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ t.workload().rotate_left(32)
+}
+
+/// SplitMix64 — stable per-tenant hashing independent of the arrival
+/// RNG stream.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The tenant's SLO class: a deterministic function of `(seed,
+/// tenant)` weighted by the scenario's class mix, so a tenant keeps
+/// one class for the whole trace.
+fn tenant_class(scenario: &Scenario, seed: u64, tenant: u32) -> SloClass {
+    let u = (mix(seed ^ (u64::from(tenant) << 17)) >> 11) as f64 / (1u64 << 53) as f64;
+    scenario.classes.pick(u)
+}
+
+/// Exponential inter-arrival draw with rate `lambda`.
+fn exp_draw<R: RngCore>(rng: &mut R, lambda: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>();
+    -(1.0 - u).max(1e-16).ln() / lambda
+}
+
+/// Generate the trace for `scenario` under `seed`.
+///
+/// Panics if the scenario's shape mix is empty.
+pub fn generate(scenario: &Scenario, seed: u64) -> Trace {
+    assert!(
+        !scenario.shapes.is_empty(),
+        "scenario '{}' has no task shapes",
+        scenario.name
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let zipf = Zipf::new(u64::from(scenario.tenants), scenario.zipf_exponent);
+    let horizon = scenario.duration.as_secs_f64();
+
+    // Burst-episode timeline, drawn up front from its own stream so
+    // the arrival thinning below cannot perturb it: alternating
+    // calm/burst dwell times, exponential with the configured means.
+    let mut burst_windows: Vec<(f64, f64)> = Vec::new();
+    if let Some(b) = scenario.bursts {
+        let mut brng = SmallRng::seed_from_u64(mix(seed ^ 0xB0B5));
+        let mut t = 0.0;
+        while t < horizon {
+            t += exp_draw(&mut brng, 1.0 / b.mean_calm.as_secs_f64().max(1e-9));
+            let start = t;
+            t += exp_draw(&mut brng, 1.0 / b.mean_burst.as_secs_f64().max(1e-9));
+            if start < horizon {
+                burst_windows.push((start, t.min(horizon)));
+            }
+        }
+    }
+    let in_burst = |t: f64| {
+        // Windows are few and sorted; a scan from the back-half point
+        // would micro-optimise what a short linear walk already does.
+        burst_windows.iter().any(|&(s, e)| (s..e).contains(&t))
+    };
+    let rate_at = |t: f64| {
+        let diurnal = scenario.diurnal.map_or(1.0, |d| {
+            let phase = t / d.period.as_secs_f64().max(1e-9);
+            1.0 + d.amplitude * (phase * std::f64::consts::TAU).sin()
+        });
+        let burst = match scenario.bursts {
+            Some(b) if in_burst(t) => b.multiplier,
+            _ => 1.0,
+        };
+        (scenario.base_rate * diurnal * burst).max(0.0)
+    };
+
+    let peak = scenario.peak_rate();
+    let shape_total: f64 = scenario.shapes.iter().map(|s| s.weight).sum();
+    let mut events = Vec::new();
+    let mut t = 0.0;
+    loop {
+        t += exp_draw(&mut rng, peak);
+        if t >= horizon {
+            break;
+        }
+        // Thinning: accept this candidate with λ(t)/λ_peak.
+        if rng.gen::<f64>() * peak > rate_at(t) {
+            continue;
+        }
+        let tenant = zipf.sample(&mut rng) as u32;
+        let class = tenant_class(scenario, seed, tenant);
+        let mut pick = rng.gen::<f64>() * shape_total;
+        let mix_entry = scenario
+            .shapes
+            .iter()
+            .find(|s| {
+                pick -= s.weight;
+                pick < 0.0
+            })
+            .unwrap_or(&scenario.shapes[0]);
+        let workload = if mix_entry.workload.start() == mix_entry.workload.end() {
+            *mix_entry.workload.start()
+        } else {
+            rng.gen_range(mix_entry.workload.clone())
+        };
+        events.push(TraceEvent {
+            at: Duration::from_secs_f64(t),
+            tenant: TenantId(tenant),
+            task: mix_entry.shape.with_workload(workload),
+            class,
+            deadline: scenario.classes.deadlines[class.index()],
+        });
+    }
+    Trace {
+        scenario: scenario.name.clone(),
+        seed,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> Scenario {
+        Scenario::new("test", 500, 200.0, Duration::from_secs(5))
+            .with_zipf_exponent(1.1)
+            .with_diurnal(Duration::from_secs(2), 0.6)
+            .with_bursts(Duration::from_millis(800), Duration::from_millis(300), 2.5)
+            .with_shape(Task::mssp(1), 2.0, 1..=4)
+            .with_shape(Task::bppr(1), 1.0, 2..=8)
+            .with_shape(Task::bkhs(1), 0.5, 1..=2)
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_traces() {
+        let s = scenario();
+        let a = generate(&s, 0xFEED);
+        let b = generate(&s, 0xFEED);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = generate(&s, 0xFEED + 1);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn events_are_time_ordered_within_horizon() {
+        let t = generate(&scenario(), 3);
+        assert!(!t.is_empty());
+        assert!(t.span() < Duration::from_secs(5));
+        for w in t.events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn volume_tracks_expectation() {
+        let s = scenario();
+        let t = generate(&s, 11);
+        let expect = s.expected_requests();
+        let got = t.len() as f64;
+        // Poisson noise plus diurnal phase effects: stay within ±40 %.
+        assert!(
+            got > expect * 0.6 && got < expect * 1.4,
+            "got {got} events, expected ≈{expect}"
+        );
+    }
+
+    #[test]
+    fn tenant_classes_are_stable_and_deadlines_match() {
+        let s = scenario();
+        let t = generate(&s, 21);
+        let mut seen: std::collections::HashMap<u32, SloClass> = Default::default();
+        for e in &t.events {
+            let prior = seen.insert(e.tenant.0, e.class);
+            if let Some(p) = prior {
+                assert_eq!(p, e.class, "tenant {} switched class", e.tenant.0);
+            }
+            assert_eq!(e.deadline, s.classes.deadlines[e.class.index()]);
+        }
+        let counts = t.class_counts();
+        assert!(counts.iter().sum::<u64>() == t.len() as u64);
+    }
+
+    #[test]
+    fn zipf_population_is_skewed() {
+        let t = generate(&scenario(), 5);
+        let head: usize = t.events.iter().filter(|e| e.tenant.0 < 10).count();
+        // 10 of 500 tenants (2 %) should carry far more than 2 % of
+        // the traffic under Zipf(1.1).
+        assert!(
+            head * 5 > t.len(),
+            "head tenants carried {head}/{} events",
+            t.len()
+        );
+    }
+}

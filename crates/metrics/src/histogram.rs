@@ -55,6 +55,17 @@ fn bucket_value(i: usize) -> u64 {
 }
 
 impl Histogram {
+    /// Worst-case relative overestimate of [`Histogram::quantile`] due
+    /// to bucketing: a sample in octave `[2^k, 2^(k+1))` lands in a
+    /// sub-bucket of width `2^(k-4)`, and the reported value is the
+    /// sub-bucket's upper bound, so the overestimate is strictly less
+    /// than one sub-bucket width — `2^(k-4) / 2^k = 1/16` of the value.
+    /// Values below 16 are exact. (Quantiles additionally inherit rank
+    /// granularity: with `n` samples the returned order statistic is
+    /// exact to within one sample's rank, so `p999` needs `n ≳ 1000`
+    /// before the bucket bound is the dominant error.)
+    pub const MAX_QUANTILE_RELATIVE_ERROR: f64 = 1.0 / 16.0;
+
     /// Empty histogram.
     pub fn new() -> Histogram {
         Histogram {
@@ -134,6 +145,15 @@ impl Histogram {
             self.quantile(0.50),
             self.quantile(0.95),
             self.quantile(0.99),
+        )
+    }
+
+    /// The tail triple the serving benchmarks report.
+    pub fn p50_p99_p999(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.quantile(0.999),
         )
     }
 

@@ -24,5 +24,5 @@ pub use gauge::Gauge;
 pub use histogram::Histogram;
 pub use outcome::RunOutcome;
 pub use report::{Cell, Table};
-pub use series::{Series, Summary};
+pub use series::{Series, Summary, TimedSeries};
 pub use units::{Bytes, SimTime, OVERLOAD_CUTOFF};

@@ -64,6 +64,67 @@ impl Series {
     }
 }
 
+/// A time-stamped numeric series: `(seconds-since-start, value)`
+/// samples in arrival order. The serving layer uses it for
+/// queue-depth-over-time traces, where plain [`Series`] would lose the
+/// (irregular) sampling instants.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimedSeries {
+    pub label: String,
+    /// `(t, value)` pairs; `t` is seconds from the series' epoch.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl TimedSeries {
+    pub fn new(label: impl Into<String>) -> Self {
+        TimedSeries {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a sample taken `t` seconds after the epoch.
+    pub fn push(&mut self, t: f64, v: f64) {
+        self.points.push((t, v));
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Summary over the values (timestamps ignored).
+    pub fn summary(&self) -> Summary {
+        let values: Vec<f64> = self.points.iter().map(|&(_, v)| v).collect();
+        Summary::of(&values)
+    }
+
+    /// Time-weighted mean value: each sample holds until the next
+    /// timestamp (zero-order hold); the last sample is excluded since
+    /// its holding time is unknown. Falls back to the plain mean with
+    /// fewer than two samples.
+    pub fn time_weighted_mean(&self) -> f64 {
+        if self.points.len() < 2 {
+            return self.summary().mean;
+        }
+        let mut area = 0.0;
+        let mut span = 0.0;
+        for w in self.points.windows(2) {
+            let dt = (w[1].0 - w[0].0).max(0.0);
+            area += w[0].1 * dt;
+            span += dt;
+        }
+        if span > 0.0 {
+            area / span
+        } else {
+            self.summary().mean
+        }
+    }
+}
+
 /// Five-number-ish summary of a sample set.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Summary {
@@ -138,6 +199,23 @@ mod tests {
     fn argmin_skips_nan() {
         let s = Series::with_values("t", vec![f64::NAN, 3.0, 1.0]);
         assert_eq!(s.argmin(), Some(2));
+    }
+
+    #[test]
+    fn timed_series_summary_and_weighted_mean() {
+        let mut ts = TimedSeries::new("depth");
+        ts.push(0.0, 10.0);
+        ts.push(1.0, 20.0);
+        ts.push(3.0, 0.0);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.summary().max, 20.0);
+        // 10 held for 1 s, 20 held for 2 s → (10 + 40) / 3.
+        assert!((ts.time_weighted_mean() - 50.0 / 3.0).abs() < 1e-12);
+        let single = TimedSeries {
+            label: "one".into(),
+            points: vec![(5.0, 7.0)],
+        };
+        assert_eq!(single.time_weighted_mean(), 7.0);
     }
 
     #[test]

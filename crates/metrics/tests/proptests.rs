@@ -1,0 +1,112 @@
+//! Property tests pinning [`Histogram`]'s tail-quantile accuracy to
+//! its documented error bound, on distributions whose true quantiles
+//! are known in closed form.
+//!
+//! [`Histogram::MAX_QUANTILE_RELATIVE_ERROR`] (1/16, from the 16
+//! sub-buckets per octave) bounds the *bucketing* overestimate. The
+//! quantile additionally inherits rank granularity of one sample, so
+//! the asserted tolerance is the bucket bound plus the rank term
+//! `1/(q·n)` scaled into value space — negligible at the sample counts
+//! used here.
+
+use mtvc_metrics::Histogram;
+use proptest::prelude::*;
+
+/// Assert every tail quantile of `samples` is within the documented
+/// bucket error of the exact ⌈q·n⌉-rank order statistic (plus one
+/// rank of slack to either side).
+fn assert_tail_quantiles(samples: Vec<u64>) {
+    let mut h = Histogram::new();
+    for &v in &samples {
+        h.record(v);
+    }
+    let mut sorted = samples;
+    sorted.sort_unstable();
+    let n = sorted.len();
+    for q in [0.5, 0.9, 0.99, 0.999] {
+        let got = h.quantile(q) as f64;
+        // The histogram may land one rank to either side of the exact
+        // order statistic when bucket boundaries split equal ranks;
+        // bound the comparison by the neighbouring order statistics.
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let lo = sorted[rank.saturating_sub(2)] as f64;
+        let hi = sorted[(rank).min(n - 1)] as f64;
+        let tol = Histogram::MAX_QUANTILE_RELATIVE_ERROR;
+        assert!(
+            got >= lo * (1.0 - 1e-12),
+            "q={q}: {got} underestimates order statistic {lo}"
+        );
+        assert!(
+            got <= hi * (1.0 + tol) + 1.0,
+            "q={q}: {got} exceeds {hi} by more than {tol:.4} relative \
+             (n={n})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Uniform integers over a random range: p50/p90/p99/p999 all stay
+    /// within the documented bucket error of the true order statistic.
+    #[test]
+    fn uniform_tail_quantiles_within_bound(
+        seed in any::<u64>(),
+        span in 1_000u64..1_000_000,
+    ) {
+        let mut x = seed | 1;
+        let samples: Vec<u64> = (0..20_000)
+            .map(|_| {
+                // SplitMix64: deterministic, well-distributed.
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) % span
+            })
+            .collect();
+        assert_tail_quantiles(samples);
+    }
+
+    /// Exponential-ish (geometric tail) samples — the shape latency
+    /// distributions actually take: long tail across many octaves, so
+    /// every octave's bucketing is exercised.
+    #[test]
+    fn heavy_tail_quantiles_within_bound(
+        seed in any::<u64>(),
+        scale in 10u64..10_000,
+    ) {
+        let mut x = seed | 1;
+        let samples: Vec<u64> = (0..20_000)
+            .map(|_| {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                let u = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64;
+                // Inverse-CDF exponential, scaled and floored.
+                (-(1.0 - u).max(1e-16).ln() * scale as f64) as u64
+            })
+            .collect();
+        assert_tail_quantiles(samples);
+    }
+
+    /// Deterministic populations (every permutation of 1..=n records
+    /// the same histogram): quantiles are permutation-invariant and
+    /// p999 tracks the known value n·0.999 within the bound.
+    #[test]
+    fn known_population_p999(n in 2_000usize..50_000) {
+        let mut h = Histogram::new();
+        for v in 1..=n as u64 {
+            h.record(v);
+        }
+        let want = (0.999 * n as f64).ceil();
+        let got = h.quantile(0.999) as f64;
+        let tol = Histogram::MAX_QUANTILE_RELATIVE_ERROR;
+        prop_assert!(
+            got >= want && got <= want * (1.0 + tol) + 1.0,
+            "p999 of 1..={n}: got {got}, want [{want}, {}]",
+            want * (1.0 + tol)
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! Joint batching/parallelism controller for the SLO-aware scheduler.
+//!
+//! The service has two throughput levers that trade against each other
+//! (the inter-task vs intra-task parallelism tension the multi-task
+//! literature keeps rediscovering):
+//!
+//! * **Batch width** — how much of the admissible headroom one batch
+//!   consumes. Wide batches amortise superstep overhead (the paper's
+//!   core effect) but serialise behind each other; narrow batches keep
+//!   more workers busy concurrently.
+//! * **Intra-task parallelism** — whether a batch executes on the
+//!   engine's persistent worker pool (wide) or serially on its own
+//!   thread (narrow), via the per-batch parallel-vertex-threshold
+//!   override.
+//!
+//! [`JointController`] couples the two to the observed queue depth:
+//! a **deep** queue means latency is dominated by waiting, so it forms
+//! *more, smaller* concurrent batches (cap ≈ headroom / workers) and
+//! runs each serially so the worker threads do not fight over the
+//! engine pool; a **shallow** queue means the cluster is
+//! under-committed, so it forms one wide batch and lets it fan out on
+//! the engine pool. Between the two extremes it interpolates linearly
+//! in the queue occupancy.
+//!
+//! Independently, when the head request carries a deadline and the
+//! [`OnlineLatencyModel`] has a fit, the controller caps the batch at
+//! the largest workload the model predicts can finish inside a
+//! configured fraction of the remaining slack — EDF ordering gets the
+//! urgent request into the *next* batch, this cap keeps that batch
+//! small enough to land in time.
+//!
+//! Every decision is a pure function of its inputs; for a fixed input
+//! sequence the controller is bit-deterministic (property-tested).
+
+use mtvc_tune::OnlineLatencyModel;
+use std::time::Duration;
+
+/// Which scheduler the service runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerPolicy {
+    /// PR-1 behaviour: plain DRR rotation, class-blind quanta, batches
+    /// always sized to the full admissible headroom, engine-default
+    /// parallel cutover.
+    #[default]
+    BaselineDrr,
+    /// EDF-within-DRR ordering, class-weighted quanta, and the
+    /// [`JointController`] sizing batches and picking the per-batch
+    /// parallel cutover.
+    SloAware,
+}
+
+impl SchedulerPolicy {
+    /// Stable label for reports and JSON keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerPolicy::BaselineDrr => "baseline_drr",
+            SchedulerPolicy::SloAware => "slo_aware",
+        }
+    }
+}
+
+/// Tunables of the [`JointController`].
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerCfg {
+    /// Worker threads the narrow end divides the headroom across.
+    pub workers: usize,
+    /// Queue depth (requests) treated as fully "deep"; occupancy is
+    /// `depth / deep_depth`, clamped to 1.
+    pub deep_depth: usize,
+    /// Occupancy at or above which batches run serially (narrow
+    /// intra-task parallelism) instead of on the engine pool.
+    pub narrow_occupancy: f64,
+    /// Fraction of the head request's remaining deadline slack the
+    /// latency model may budget for its carrying batch.
+    pub slack_fraction: f64,
+    /// Smallest batch cap worth fanning out on the engine pool; below
+    /// it a "wide" decision keeps the engine default instead of
+    /// forcing the pool (whose per-batch coordination overhead would
+    /// swamp a tiny batch).
+    pub wide_min_workload: u64,
+    /// The parallel-cutover override a "wide" decision applies:
+    /// `Some(0)` forces the engine pool, `None` (the default) keeps
+    /// the engine's own cutover. Deployments with idle cores should
+    /// set `Some(0)`; on a saturated box forcing the pool for every
+    /// shallow-queue batch only adds coordination overhead.
+    pub wide_threshold: Option<usize>,
+}
+
+impl ControllerCfg {
+    /// Defaults: deep at 64 queued requests, go serial above 50 %
+    /// occupancy, budget half the head slack.
+    pub fn new(workers: usize) -> ControllerCfg {
+        ControllerCfg {
+            workers: workers.max(1),
+            deep_depth: 64,
+            narrow_occupancy: 0.5,
+            slack_fraction: 0.5,
+            wide_min_workload: 32,
+            wide_threshold: None,
+        }
+    }
+}
+
+/// One sizing decision for the batch about to be formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Workload cap for this batch (≤ the admissible headroom the
+    /// controller was given, ≥ 1).
+    pub batch_cap: u64,
+    /// Per-batch parallel-cutover override: `Some(0)` forces the
+    /// engine worker pool (wide), `Some(usize::MAX)` forces serial
+    /// execution (narrow), `None` keeps the engine default.
+    pub parallel_threshold: Option<usize>,
+}
+
+/// Counters describing what the controller actually did, folded into
+/// the service report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ControllerStats {
+    /// Decisions taken.
+    pub decisions: u64,
+    /// Decisions that forced serial execution (deep queue).
+    pub narrowed: u64,
+    /// Decisions that forced the engine pool (shallow queue).
+    pub widened: u64,
+    /// Decisions where the latency model's deadline cap bound the
+    /// batch below the occupancy-interpolated size.
+    pub deadline_capped: u64,
+}
+
+/// The joint batching/parallelism controller. Cheap and lock-free on
+/// its own; the caller serialises access (the batch former is the only
+/// consumer).
+#[derive(Debug)]
+pub struct JointController {
+    cfg: ControllerCfg,
+    stats: ControllerStats,
+}
+
+impl JointController {
+    /// A controller with the given tunables and zeroed counters.
+    pub fn new(cfg: ControllerCfg) -> JointController {
+        JointController {
+            cfg,
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    /// Size the next batch. `depth` is the current queue depth in
+    /// requests, `w_max` the admissible headroom in workload units,
+    /// `head_slack` the remaining deadline slack of the head request
+    /// (`None` when deadline-free), and `model` the latency model for
+    /// the batch's shape.
+    ///
+    /// The returned cap is in `[1, w_max]`; the *caller* must still
+    /// raise it to the head request's workload when that is larger —
+    /// otherwise a head wider than the cap would never be taken and
+    /// the former would spin.
+    pub fn decide(
+        &mut self,
+        depth: usize,
+        w_max: u64,
+        head_slack: Option<Duration>,
+        model: &OnlineLatencyModel,
+    ) -> Decision {
+        self.stats.decisions += 1;
+        let occupancy = if self.cfg.deep_depth == 0 {
+            1.0
+        } else {
+            (depth as f64 / self.cfg.deep_depth as f64).min(1.0)
+        };
+        // Interpolate the cap between the wide end (all headroom in
+        // one batch) and the narrow end (headroom split across the
+        // worker pool).
+        let narrow = (w_max / self.cfg.workers as u64).max(1);
+        let span = w_max.saturating_sub(narrow) as f64;
+        let mut cap = w_max.saturating_sub((span * occupancy).round() as u64);
+
+        // Deadline sizing: bound the batch to what the model predicts
+        // finishes within the budgeted slice of the head's slack.
+        if let Some(slack) = head_slack {
+            let budget = slack.as_secs_f64() * self.cfg.slack_fraction;
+            if let Some(w) = model.invert(budget) {
+                if w < cap {
+                    cap = w;
+                    self.stats.deadline_capped += 1;
+                }
+            }
+        }
+
+        let cap = cap.clamp(1, w_max.max(1));
+        let parallel_threshold = if occupancy >= self.cfg.narrow_occupancy {
+            self.stats.narrowed += 1;
+            Some(usize::MAX) // serial: keep workers independent
+        } else {
+            self.stats.widened += 1;
+            if cap >= self.cfg.wide_min_workload {
+                self.cfg.wide_threshold
+            } else {
+                None // tiny batch: not worth fanning out anywhere
+            }
+        };
+        Decision {
+            batch_cap: cap,
+            parallel_threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fitted_model() -> OnlineLatencyModel {
+        let mut m = OnlineLatencyModel::new();
+        // latency ≈ 0.1 + 0.01 · w
+        for w in (1..=32u64).map(|i| i * 4) {
+            m.observe(w, 0.1 + 0.01 * w as f64);
+        }
+        m
+    }
+
+    #[test]
+    fn shallow_queue_goes_wide_and_full() {
+        let mut cfg = ControllerCfg::new(4);
+        cfg.wide_threshold = Some(0);
+        let mut c = JointController::new(cfg);
+        let d = c.decide(0, 1000, None, &OnlineLatencyModel::new());
+        assert_eq!(d.batch_cap, 1000);
+        assert_eq!(d.parallel_threshold, Some(0));
+        assert_eq!(c.stats().widened, 1);
+        // Below the wide minimum the engine default is kept.
+        let tiny = c.decide(0, 8, None, &OnlineLatencyModel::new());
+        assert_eq!(tiny.parallel_threshold, None);
+        // And with the default config, widening defers to the engine.
+        let mut default = JointController::new(ControllerCfg::new(4));
+        let d = default.decide(0, 1000, None, &OnlineLatencyModel::new());
+        assert_eq!(d.parallel_threshold, None);
+        assert_eq!(default.stats().widened, 1);
+    }
+
+    #[test]
+    fn deep_queue_splits_headroom_and_goes_serial() {
+        let mut c = JointController::new(ControllerCfg::new(4));
+        let d = c.decide(500, 1000, None, &OnlineLatencyModel::new());
+        assert_eq!(d.batch_cap, 250); // w_max / workers
+        assert_eq!(d.parallel_threshold, Some(usize::MAX));
+        assert_eq!(c.stats().narrowed, 1);
+    }
+
+    #[test]
+    fn occupancy_interpolates_between_extremes() {
+        let mut c = JointController::new(ControllerCfg::new(4));
+        let d = c.decide(32, 1000, None, &OnlineLatencyModel::new());
+        // Half occupancy: halfway between 1000 and 250.
+        assert_eq!(d.batch_cap, 625);
+    }
+
+    #[test]
+    fn deadline_cap_binds_when_model_is_fitted() {
+        let mut c = JointController::new(ControllerCfg::new(2));
+        let model = fitted_model();
+        // Slack 0.4 s, half budgeted → 0.2 s → w ≈ (0.2 − 0.1)/0.01 = 10.
+        let d = c.decide(0, 1000, Some(Duration::from_millis(400)), &model);
+        assert!(d.batch_cap <= 12, "cap {} not deadline-bound", d.batch_cap);
+        assert!(d.batch_cap >= 1);
+        assert_eq!(c.stats().deadline_capped, 1);
+    }
+
+    #[test]
+    fn unfitted_model_never_caps() {
+        let mut c = JointController::new(ControllerCfg::new(2));
+        let d = c.decide(
+            0,
+            800,
+            Some(Duration::from_millis(1)),
+            &OnlineLatencyModel::new(),
+        );
+        assert_eq!(d.batch_cap, 800);
+        assert_eq!(c.stats().deadline_capped, 0);
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let run = || {
+            let mut c = JointController::new(ControllerCfg::new(3));
+            let model = fitted_model();
+            (0..50)
+                .map(|i| {
+                    c.decide(
+                        (i * 7) % 97,
+                        64 + (i as u64 * 13) % 512,
+                        if i % 3 == 0 {
+                            Some(Duration::from_millis(50 + i as u64))
+                        } else {
+                            None
+                        },
+                        &model,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

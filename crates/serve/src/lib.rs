@@ -55,11 +55,15 @@
 #![deny(missing_docs)]
 
 pub mod admission;
+pub mod controller;
 pub mod queue;
 pub mod request;
 pub mod service;
 
 pub use admission::{AdmissionController, AdmissionError, BatchId};
-pub use queue::{same_shape, DrrQueue, SubmitError, TakenBatch};
-pub use request::{Completion, QueuedRequest, RequestId, RequestOutcome, TaskRequest, TenantId};
-pub use service::{ServiceConfig, ServiceReport, StartError, TaskService, Ticket};
+pub use controller::{ControllerCfg, ControllerStats, Decision, JointController, SchedulerPolicy};
+pub use queue::{same_shape, DrrQueue, ExpiredRequest, QueuePolicy, SubmitError, TakenBatch};
+pub use request::{
+    Completion, QueuedRequest, RequestId, RequestOutcome, SloClass, TaskRequest, TenantId,
+};
+pub use service::{ClassReport, ServiceConfig, ServiceReport, StartError, TaskService, Ticket};

@@ -13,14 +13,31 @@
 //! [`DrrQueue::try_submit`] fails with [`SubmitError::Full`] and
 //! [`DrrQueue::submit_blocking`] parks the submitter — backpressure
 //! instead of unbounded buffering.
+//!
+//! # SLO-aware ordering
+//!
+//! A [`QueuePolicy`] upgrades plain DRR in two orthogonal ways, both
+//! preserving the per-round fairness invariant (every backlogged
+//! tenant is visited once per round and paid its quantum):
+//!
+//! * **EDF-within-DRR** (`edf`): the visit order inside each round is
+//!   earliest-absolute-deadline first (deadline-free lanes last, by
+//!   age) instead of ring rotation, so urgent heads land in earlier
+//!   batches and are drained before they expire. Because the sort only
+//!   permutes the visits of one round — it never skips a lane — no
+//!   backlogged tenant can be starved.
+//! * **Class-weighted quanta** (`class_quanta`): the quantum paid to a
+//!   lane is scaled by its head request's [`SloClass`] weight, giving
+//!   interactive traffic a larger workload share per round (weighted
+//!   DRR). Every weight is ≥ 1, so every class still makes progress.
 
 use crate::admission::AdmissionError;
-use crate::request::{QueuedRequest, TenantId};
+use crate::request::{QueuedRequest, SloClass, TenantId};
 use mtvc_core::Task;
 use mtvc_metrics::Gauge;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Why a submission was turned away.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,6 +79,20 @@ impl From<AdmissionError> for SubmitError {
     }
 }
 
+/// A request whose dispatch deadline passed while it sat in the queue,
+/// stamped with the exact time it spent there. Stamping happens at
+/// removal — inside the queue lock — so the reported wait measures the
+/// queueing itself, not however long the caller takes to publish the
+/// completion.
+#[derive(Debug)]
+pub struct ExpiredRequest {
+    /// The expired request.
+    pub request: QueuedRequest,
+    /// Submission-to-removal time: how long the request waited in the
+    /// queue before the expiry sweep caught it.
+    pub time_in_queue: Duration,
+}
+
 /// Result of one DRR drain round.
 #[derive(Debug, Default)]
 pub struct TakenBatch {
@@ -70,14 +101,76 @@ pub struct TakenBatch {
     /// given to [`DrrQueue::take_batch`].
     pub taken: Vec<QueuedRequest>,
     /// Requests whose dispatch deadline passed while queued; removed
-    /// from their lanes, to be completed as expired by the caller.
-    pub expired: Vec<QueuedRequest>,
+    /// from their lanes, to be completed as expired by the caller,
+    /// each carrying its measured time-in-queue.
+    pub expired: Vec<ExpiredRequest>,
 }
 
 /// Two tasks batch together iff they are the same task with the same
 /// parameters, workload aside (same α for BPPR, same k for BKHS).
 pub fn same_shape(a: &Task, b: &Task) -> bool {
     a.with_workload(1) == b.with_workload(1)
+}
+
+/// Scheduling policy of a [`DrrQueue`]: plain DRR by default, EDF
+/// ordering and class-weighted quanta for the SLO-aware scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuePolicy {
+    /// Order each DRR round's lane visits earliest-deadline-first
+    /// instead of ring rotation.
+    pub edf: bool,
+    /// Quantum multiplier per [`SloClass`] (indexed by
+    /// [`SloClass::index`]); the lane's head request picks the weight.
+    pub class_quanta: [u64; 3],
+    /// Percentage of the queue's capacity reserved for
+    /// [`SloClass::Interactive`] submissions: other classes see
+    /// [`SubmitError::Full`] once the queue reaches
+    /// `capacity · (100 − reserve) / 100`, so a saturating burst
+    /// sheds background traffic before it sheds interactive traffic.
+    /// 0 (the default) disables the reservation.
+    pub interactive_reserve_pct: u8,
+}
+
+impl Default for QueuePolicy {
+    /// Plain DRR: rotation order, every class weighted 1, no
+    /// reserved capacity.
+    fn default() -> QueuePolicy {
+        QueuePolicy {
+            edf: false,
+            class_quanta: [1, 1, 1],
+            interactive_reserve_pct: 0,
+        }
+    }
+}
+
+impl QueuePolicy {
+    /// The SLO-aware default: EDF ordering, Interactive paid 4×,
+    /// Standard 2×, Batch 1×, and 10 % of the queue held back for
+    /// interactive submissions.
+    pub fn slo_aware() -> QueuePolicy {
+        QueuePolicy {
+            edf: true,
+            class_quanta: [4, 2, 1],
+            interactive_reserve_pct: 10,
+        }
+    }
+
+    /// Quantum multiplier for `class` (≥ 1 is enforced at use).
+    pub fn weight(&self, class: SloClass) -> u64 {
+        self.class_quanta[class.index()].max(1)
+    }
+
+    /// The submit-side capacity limit `class` sees on a queue of
+    /// `capacity` requests. Interactive always sees the full
+    /// capacity; at least one slot always remains usable by every
+    /// class.
+    pub fn class_capacity(&self, capacity: usize, class: SloClass) -> usize {
+        if class == SloClass::Interactive {
+            return capacity;
+        }
+        let reserve = capacity * usize::from(self.interactive_reserve_pct.min(100)) / 100;
+        capacity.saturating_sub(reserve).max(1)
+    }
 }
 
 struct Lane {
@@ -133,12 +226,14 @@ pub struct DrrQueue {
     not_empty: Condvar,
     capacity: usize,
     quantum: u64,
+    policy: QueuePolicy,
     depth: Gauge,
 }
 
 impl DrrQueue {
     /// A queue holding at most `capacity` requests, serving tenants
-    /// `quantum` workload units per DRR round.
+    /// `quantum` workload units per DRR round under the default
+    /// (plain-DRR) policy.
     pub fn new(capacity: usize, quantum: u64) -> DrrQueue {
         assert!(capacity >= 1, "capacity must be positive");
         assert!(quantum >= 1, "quantum must be positive");
@@ -154,8 +249,47 @@ impl DrrQueue {
             not_empty: Condvar::new(),
             capacity,
             quantum,
+            policy: QueuePolicy::default(),
             depth: Gauge::new(),
         }
+    }
+
+    /// Replace the scheduling policy (builder-style, before sharing).
+    pub fn with_policy(mut self, policy: QueuePolicy) -> DrrQueue {
+        self.policy = policy;
+        self
+    }
+
+    /// The active scheduling policy.
+    pub fn policy(&self) -> QueuePolicy {
+        self.policy
+    }
+
+    /// EDF sort key of a lane: `(has-no-deadline, instant)` so lanes
+    /// with deadlines order strictly before deadline-free ones, which
+    /// order by head age (oldest first). Stable across a round because
+    /// lane heads only leave through this queue's own drains.
+    fn edf_key(lane: &Lane) -> (bool, Instant) {
+        match lane.requests.front() {
+            Some(head) => match head.deadline_at() {
+                Some(at) => (false, at),
+                None => (true, head.submitted),
+            },
+            // Empty lanes (cannot appear in the ring) sort last.
+            None => (true, Instant::now()),
+        }
+    }
+
+    /// The lane the next drain would serve: ring front under plain
+    /// DRR, the earliest-deadline head under EDF.
+    fn front_lane(&self, st: &QueueState) -> Option<usize> {
+        if !self.policy.edf {
+            return st.ring.front().copied();
+        }
+        st.ring
+            .iter()
+            .copied()
+            .min_by_key(|&l| Self::edf_key(&st.lanes[l]))
     }
 
     /// Requests currently queued.
@@ -193,13 +327,16 @@ impl DrrQueue {
         self.state.lock().unwrap().closed
     }
 
-    /// Enqueue without blocking.
+    /// Enqueue without blocking. The capacity a submission sees is
+    /// class-dependent under an interactive reservation (see
+    /// [`QueuePolicy::class_capacity`]).
     pub fn try_submit(&self, req: QueuedRequest) -> Result<(), SubmitError> {
+        let cap = self.policy.class_capacity(self.capacity, req.request.class);
         let mut st = self.state.lock().unwrap();
         if st.closed {
             return Err(SubmitError::Closed);
         }
-        if st.len >= self.capacity {
+        if st.len >= cap {
             return Err(SubmitError::Full);
         }
         self.push_locked(&mut st, req);
@@ -208,15 +345,16 @@ impl DrrQueue {
         Ok(())
     }
 
-    /// Enqueue, parking the submitter while the queue is at capacity
-    /// (the backpressure path).
+    /// Enqueue, parking the submitter while the queue is at (this
+    /// class's) capacity — the backpressure path.
     pub fn submit_blocking(&self, req: QueuedRequest) -> Result<(), SubmitError> {
+        let cap = self.policy.class_capacity(self.capacity, req.request.class);
         let mut st = self.state.lock().unwrap();
         loop {
             if st.closed {
                 return Err(SubmitError::Closed);
             }
-            if st.len < self.capacity {
+            if st.len < cap {
                 self.push_locked(&mut st, req);
                 drop(st);
                 self.not_empty.notify_all();
@@ -240,7 +378,7 @@ impl DrrQueue {
     pub fn next_shape_blocking(&self) -> Option<Task> {
         let mut st = self.state.lock().unwrap();
         loop {
-            if let Some(&lane) = st.ring.front() {
+            if let Some(lane) = self.front_lane(&st) {
                 if let Some(head) = st.lanes[lane].requests.front() {
                     return Some(head.request.task);
                 }
@@ -252,20 +390,33 @@ impl DrrQueue {
         }
     }
 
-    /// Workload of the ring-head request if it matches `shape`.
+    /// Workload of the front-lane head request if it matches `shape`.
     pub fn head_workload(&self, shape: &Task) -> Option<u64> {
         let st = self.state.lock().unwrap();
-        let &lane = st.ring.front()?;
+        let lane = self.front_lane(&st)?;
         let head = st.lanes[lane].requests.front()?;
         same_shape(&head.request.task, shape).then(|| head.workload())
     }
 
-    /// Remove and return the ring-head request if it matches `shape` —
-    /// the path the former uses to reject a request that can never be
-    /// admitted.
+    /// Remaining deadline slack of the front-lane head at `now`, if it
+    /// matches `shape` and carries a deadline. The SLO scheduler sizes
+    /// deadline-constrained batches against this.
+    pub fn head_slack(&self, shape: &Task, now: Instant) -> Option<Duration> {
+        let st = self.state.lock().unwrap();
+        let lane = self.front_lane(&st)?;
+        let head = st.lanes[lane].requests.front()?;
+        if !same_shape(&head.request.task, shape) {
+            return None;
+        }
+        head.slack(now)
+    }
+
+    /// Remove and return the front-lane head request if it matches
+    /// `shape` — the path the former uses to reject a request that can
+    /// never be admitted.
     pub fn pop_head(&self, shape: &Task) -> Option<QueuedRequest> {
         let mut st = self.state.lock().unwrap();
-        let &lane = st.ring.front()?;
+        let lane = self.front_lane(&st)?;
         let matches = st.lanes[lane]
             .requests
             .front()
@@ -277,7 +428,8 @@ impl DrrQueue {
         st.len -= 1;
         self.depth.set(st.len as u64);
         if st.lanes[lane].requests.is_empty() {
-            st.ring.pop_front();
+            // Under EDF the popped lane need not be the ring front.
+            st.ring.retain(|&l| l != lane);
             st.deactivate(lane);
         }
         drop(st);
@@ -286,22 +438,40 @@ impl DrrQueue {
     }
 
     /// Run one DRR round: visit every backlogged tenant once, pay each
-    /// a `quantum` of deficit when its lane head matches `shape`, and
-    /// take requests while the deficit and the `max_units` batch budget
-    /// cover them. Requests past their deadline at `now` are removed
-    /// and returned separately without consuming budget or deficit.
+    /// a `quantum` of deficit when its lane head matches `shape` (the
+    /// quantum scaled by the head's class weight under an SLO policy),
+    /// and take requests while the deficit and the `max_units` batch
+    /// budget cover them. Requests past their deadline at `now` are
+    /// removed and returned separately without consuming budget or
+    /// deficit. Under an EDF policy the round's visit order is
+    /// earliest-deadline first instead of ring rotation; every
+    /// backlogged lane is still visited exactly once.
     pub fn take_batch(&self, shape: &Task, max_units: u64, now: Instant) -> TakenBatch {
         let mut out = TakenBatch::default();
         let mut budget = max_units;
         let mut removed = 0usize;
         let mut st = self.state.lock().unwrap();
+        if self.policy.edf {
+            // Re-order the ring for this round: urgent heads first,
+            // stably, so ties keep their rotation order. Lanes are not
+            // added or removed — only permuted — so the one-visit-per-
+            // round fairness invariant is untouched.
+            let mut order: Vec<usize> = st.ring.iter().copied().collect();
+            order.sort_by_key(|&l| Self::edf_key(&st.lanes[l]));
+            st.ring.clear();
+            st.ring.extend(order);
+        }
         let visits = st.ring.len();
         'round: for _ in 0..visits {
             let Some(&lane) = st.ring.front() else { break };
             let l = &mut st.lanes[lane];
             // Expired requests leave the lane no matter their shape.
             while l.requests.front().is_some_and(|h| h.expired(now)) {
-                out.expired.push(l.requests.pop_front().unwrap());
+                let req = l.requests.pop_front().unwrap();
+                out.expired.push(ExpiredRequest {
+                    time_in_queue: now.duration_since(req.submitted),
+                    request: req,
+                });
                 removed += 1;
             }
             let head_matches = l
@@ -309,10 +479,19 @@ impl DrrQueue {
                 .front()
                 .is_some_and(|h| same_shape(&h.request.task, shape));
             if head_matches {
-                l.deficit = l.deficit.saturating_add(self.quantum);
+                let weight = self
+                    .policy
+                    .weight(l.requests.front().unwrap().request.class);
+                l.deficit = l
+                    .deficit
+                    .saturating_add(self.quantum.saturating_mul(weight));
                 while let Some(head) = l.requests.front() {
                     if head.expired(now) {
-                        out.expired.push(l.requests.pop_front().unwrap());
+                        let req = l.requests.pop_front().unwrap();
+                        out.expired.push(ExpiredRequest {
+                            time_in_queue: now.duration_since(req.submitted),
+                            request: req,
+                        });
                         removed += 1;
                         continue;
                     }
@@ -456,7 +635,8 @@ mod tests {
         q.try_submit(req(1, 0, Task::mssp(1))).unwrap();
         let b = q.take_batch(&Task::mssp(1), 10, Instant::now());
         assert_eq!(b.expired.len(), 1);
-        assert_eq!(b.expired[0].id.0, 0);
+        assert_eq!(b.expired[0].request.id.0, 0);
+        assert!(b.expired[0].time_in_queue >= Duration::from_millis(50));
         assert_eq!(b.taken.len(), 1);
         assert_eq!(b.taken[0].id.0, 1);
     }

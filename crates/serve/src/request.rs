@@ -22,6 +22,60 @@ impl std::fmt::Display for TenantId {
     }
 }
 
+/// Service-level-objective class of a request: how urgently the
+/// scheduler should treat it relative to other traffic.
+///
+/// Classes drive the SLO-aware scheduler
+/// ([`crate::SchedulerPolicy::SloAware`]): per-class DRR quanta weight
+/// the workload share, earliest-deadline-first ordering favours
+/// urgent heads within each DRR round, and the per-class sections of
+/// [`crate::ServiceReport`] break latency and deadline outcomes out by
+/// class. Under the baseline scheduler the class is carried and
+/// reported but does not influence ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SloClass {
+    /// User-facing traffic with tight deadlines (think an interactive
+    /// query on a dashboard): smallest latency target, highest DRR
+    /// weight.
+    Interactive,
+    /// Ordinary traffic with moderate latency expectations.
+    Standard,
+    /// Throughput-oriented background work; no meaningful latency
+    /// target beyond eventual completion.
+    Batch,
+}
+
+impl SloClass {
+    /// Every class, in severity order — index matches
+    /// [`SloClass::index`].
+    pub const ALL: [SloClass; 3] = [SloClass::Interactive, SloClass::Standard, SloClass::Batch];
+
+    /// Dense index for per-class arrays (0 = Interactive, 1 = Standard,
+    /// 2 = Batch).
+    pub fn index(self) -> usize {
+        match self {
+            SloClass::Interactive => 0,
+            SloClass::Standard => 1,
+            SloClass::Batch => 2,
+        }
+    }
+
+    /// Short lowercase label for reports and JSON keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            SloClass::Interactive => "interactive",
+            SloClass::Standard => "standard",
+            SloClass::Batch => "batch",
+        }
+    }
+}
+
+impl std::fmt::Display for SloClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Unique id assigned to a request when it is submitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct RequestId(pub u64);
@@ -44,21 +98,30 @@ pub struct TaskRequest {
     /// Drop the request (outcome [`RequestOutcome::Deadline`]) if it
     /// has not been dispatched within this long of submission.
     pub deadline: Option<Duration>,
+    /// SLO class the scheduler and the per-class report sections use.
+    pub class: SloClass,
 }
 
 impl TaskRequest {
-    /// A deadline-free request.
+    /// A deadline-free [`SloClass::Standard`] request.
     pub fn new(tenant: TenantId, task: Task) -> TaskRequest {
         TaskRequest {
             tenant,
             task,
             deadline: None,
+            class: SloClass::Standard,
         }
     }
 
     /// Attach a dispatch deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> TaskRequest {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the SLO class.
+    pub fn with_class(mut self, class: SloClass) -> TaskRequest {
+        self.class = class;
         self
     }
 
@@ -94,6 +157,19 @@ impl QueuedRequest {
     /// Workload units this request contributes to a batch.
     pub fn workload(&self) -> u64 {
         self.request.workload()
+    }
+
+    /// Absolute instant the dispatch deadline expires (`None` for
+    /// deadline-free requests). The EDF ordering key.
+    pub fn deadline_at(&self) -> Option<Instant> {
+        self.request.deadline.map(|d| self.submitted + d)
+    }
+
+    /// Remaining deadline slack at `now`: zero once expired, `None`
+    /// without a deadline.
+    pub fn slack(&self, now: Instant) -> Option<Duration> {
+        self.deadline_at()
+            .map(|at| at.saturating_duration_since(now))
     }
 }
 
@@ -135,6 +211,8 @@ pub struct Completion {
     pub id: RequestId,
     /// The submitting tenant.
     pub tenant: TenantId,
+    /// The request's SLO class.
+    pub class: SloClass,
     /// Terminal outcome.
     pub outcome: RequestOutcome,
     /// Wall-clock time from submission until the request left the queue

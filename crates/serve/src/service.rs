@@ -15,15 +15,16 @@
 //! [`ServiceReport`].
 
 use crate::admission::{AdmissionController, AdmissionError};
-use crate::queue::{same_shape, DrrQueue, SubmitError};
-use crate::request::{Completion, QueuedRequest, RequestId, RequestOutcome, TaskRequest};
+use crate::controller::{ControllerCfg, ControllerStats, JointController, SchedulerPolicy};
+use crate::queue::{same_shape, DrrQueue, QueuePolicy, SubmitError};
+use crate::request::{Completion, QueuedRequest, RequestId, RequestOutcome, SloClass, TaskRequest};
 use mtvc_cluster::{ClusterSpec, FaultPlan};
 use mtvc_core::{select_sources, BatchRunner, RecoveryPolicy, Task};
 use mtvc_graph::hash::mix64;
 use mtvc_graph::Graph;
-use mtvc_metrics::{Histogram, RunOutcome, SimTime, OVERLOAD_CUTOFF};
+use mtvc_metrics::{Histogram, RunOutcome, SimTime, TimedSeries, OVERLOAD_CUTOFF};
 use mtvc_systems::SystemKind;
-use mtvc_tune::{train, FitError, OnlineMemoryModel};
+use mtvc_tune::{train, FitError, OnlineLatencyModel, OnlineMemoryModel};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -80,6 +81,10 @@ pub struct ServiceConfig {
     /// batch shrinks to at most `workload / 2^ladder_depth` before the
     /// overflow becomes terminal.
     pub ladder_depth: u32,
+    /// Which scheduler forms batches: the PR-1 baseline or the
+    /// SLO-aware scheduler (EDF-within-DRR, class-weighted quanta, and
+    /// the joint batching/parallelism controller).
+    pub scheduler: SchedulerPolicy,
 }
 
 impl ServiceConfig {
@@ -105,7 +110,14 @@ impl ServiceConfig {
             checkpoint_every: 8,
             chaos: None,
             ladder_depth: 4,
+            scheduler: SchedulerPolicy::BaselineDrr,
         }
+    }
+
+    /// Pick the scheduler policy.
+    pub fn with_scheduler(mut self, scheduler: SchedulerPolicy) -> Self {
+        self.scheduler = scheduler;
+        self
     }
 
     /// Override the vertex count at which batches execute on the
@@ -260,6 +272,42 @@ impl Ticket {
     }
 }
 
+/// Per-[`SloClass`] slice of the service report: how one tenant class
+/// fared, independent of the others.
+#[derive(Debug, Clone, Default)]
+pub struct ClassReport {
+    /// Requests of this class executed to completion.
+    pub served: u64,
+    /// Requests of this class dropped on their dispatch deadline.
+    pub deadline: u64,
+    /// Requests of this class that could never fit the cluster.
+    pub rejected: u64,
+    /// Requests of this class whose batch failed terminally.
+    pub failed: u64,
+    /// Served requests of this class that carried a deadline — i.e.
+    /// deadlines *met* (`deadline` above counts the misses).
+    pub deadline_met: u64,
+    /// Of the `deadline` misses, how many expired while still queued
+    /// (never dispatched), as opposed to after a failed batch.
+    pub expired_in_queue: u64,
+    /// Time-in-queue of the in-queue expiries, microseconds — stamped
+    /// inside the queue lock at removal.
+    pub expired_wait: Histogram,
+    /// End-to-end latency of this class's requests, microseconds.
+    pub latency: Histogram,
+    /// Queue wait of this class's requests, microseconds.
+    pub queue_wait: Histogram,
+}
+
+impl ClassReport {
+    /// Fraction of this class's deadline-carrying requests that were
+    /// served in time (`NaN` when none carried a deadline).
+    pub fn deadline_hit_rate(&self) -> f64 {
+        let total = self.deadline_met + self.deadline;
+        self.deadline_met as f64 / total as f64
+    }
+}
+
 /// Final statistics returned by [`TaskService::shutdown`].
 #[derive(Debug, Clone)]
 pub struct ServiceReport {
@@ -307,12 +355,27 @@ pub struct ServiceReport {
     pub oom_kills: u64,
     /// Simulated recovery time per faulted batch, milliseconds.
     pub recovery_latency: Histogram,
+    /// Per-[`SloClass`] breakdown, indexed by [`SloClass::index`].
+    pub class: [ClassReport; 3],
+    /// Queue depth over time: `(seconds since start, requests)`
+    /// sampled by the batch former each scheduling round.
+    pub queue_depth_series: TimedSeries,
+    /// What the joint controller did (all-zero under the baseline
+    /// scheduler, which never consults it).
+    pub controller: ControllerStats,
+    /// The scheduler this report was produced under.
+    pub scheduler: SchedulerPolicy,
 }
 
 impl ServiceReport {
     /// Total requests that reached a terminal outcome.
     pub fn requests(&self) -> u64 {
         self.served + self.deadline + self.rejected + self.failed
+    }
+
+    /// The report slice for `class`.
+    pub fn class(&self, class: SloClass) -> &ClassReport {
+        &self.class[class.index()]
     }
 }
 
@@ -336,6 +399,8 @@ struct MetricsState {
     batch_workload: Histogram,
     recovery_latency: Histogram,
     total_sim_time: SimTime,
+    class: [ClassReport; 3],
+    depth_series: TimedSeries,
 }
 
 impl MetricsState {
@@ -359,6 +424,8 @@ impl MetricsState {
             batch_workload: Histogram::new(),
             recovery_latency: Histogram::new(),
             total_sim_time: SimTime::ZERO,
+            class: Default::default(),
+            depth_series: TimedSeries::new("queue_depth"),
         }
     }
 }
@@ -371,6 +438,25 @@ struct Shared {
     pending: Mutex<HashMap<RequestId, Arc<Slot>>>,
     metrics: Mutex<MetricsState>,
     shapes: Vec<Task>,
+    /// One online latency model per shape (parallel to `shapes`):
+    /// workers feed observed batch wall latencies in; the SLO
+    /// scheduler inverts the fit to size deadline-constrained batches.
+    latency_models: Vec<Mutex<OnlineLatencyModel>>,
+    /// Joint controller + its stats (the former is the only caller;
+    /// the lock exists so `shutdown` can read the stats).
+    controller: Mutex<JointController>,
+    scheduler: SchedulerPolicy,
+    /// Epoch for the queue-depth time series.
+    started: Instant,
+}
+
+impl Shared {
+    fn latency_model_for(&self, shape: &Task) -> Option<&Mutex<OnlineLatencyModel>> {
+        self.shapes
+            .iter()
+            .position(|s| same_shape(s, shape))
+            .map(|i| &self.latency_models[i])
+    }
 }
 
 /// Per-worker execution knobs, cloned into every worker thread.
@@ -392,6 +478,9 @@ struct FormedBatch {
     /// Per-machine residual snapshot the batch starts against.
     residual: Vec<u64>,
     dispatched: Instant,
+    /// Per-batch engine parallel-cutover override chosen by the joint
+    /// controller (`None` under the baseline scheduler).
+    parallel_threshold: Option<usize>,
 }
 
 /// The running service. Dropping it shuts down without a report;
@@ -440,13 +529,26 @@ impl TaskService {
             runners.push((shape, Arc::new(runner)));
         }
 
+        let queue_policy = match cfg.scheduler {
+            SchedulerPolicy::BaselineDrr => QueuePolicy::default(),
+            SchedulerPolicy::SloAware => QueuePolicy::slo_aware(),
+        };
+        let shapes: Vec<Task> = cfg.shapes.iter().map(|s| s.with_workload(1)).collect();
+        let latency_models = shapes
+            .iter()
+            .map(|_| Mutex::new(OnlineLatencyModel::new()))
+            .collect();
         let shared = Arc::new(Shared {
-            queue: DrrQueue::new(cfg.queue_capacity, cfg.quantum),
+            queue: DrrQueue::new(cfg.queue_capacity, cfg.quantum).with_policy(queue_policy),
             admission: Mutex::new(admission),
             headroom: Condvar::new(),
             pending: Mutex::new(HashMap::new()),
             metrics: Mutex::new(MetricsState::new()),
-            shapes: cfg.shapes.iter().map(|s| s.with_workload(1)).collect(),
+            shapes,
+            latency_models,
+            controller: Mutex::new(JointController::new(ControllerCfg::new(cfg.workers))),
+            scheduler: cfg.scheduler,
+            started: Instant::now(),
         });
 
         let wcfg = WorkerCfg {
@@ -585,6 +687,10 @@ impl TaskService {
             replayed_rounds: m.replayed_rounds,
             oom_kills: m.oom_kills,
             recovery_latency: m.recovery_latency.clone(),
+            class: m.class.clone(),
+            queue_depth_series: m.depth_series.clone(),
+            controller: self.shared.controller.lock().unwrap().stats(),
+            scheduler: self.shared.scheduler,
         }
     }
 
@@ -615,8 +721,29 @@ fn finish(
     let now = Instant::now();
     let queue_wait = dispatched.unwrap_or(now).duration_since(req.submitted);
     let latency = now.duration_since(req.submitted);
+    let class = req.request.class;
     {
         let mut m = shared.metrics.lock().unwrap();
+        let c = &mut m.class[class.index()];
+        match &outcome {
+            RequestOutcome::Served { .. } => {
+                c.served += 1;
+                if req.request.deadline.is_some() {
+                    c.deadline_met += 1;
+                }
+            }
+            RequestOutcome::Deadline => {
+                c.deadline += 1;
+                if dispatched.is_none() {
+                    // Never dispatched: the deadline passed in-queue.
+                    c.expired_in_queue += 1;
+                }
+            }
+            RequestOutcome::Rejected => c.rejected += 1,
+            RequestOutcome::Failed { .. } => c.failed += 1,
+        }
+        c.latency.record(latency.as_micros() as u64);
+        c.queue_wait.record(queue_wait.as_micros() as u64);
         match &outcome {
             RequestOutcome::Served { .. } => {
                 m.served += 1;
@@ -634,6 +761,7 @@ fn finish(
     let completion = Completion {
         id: req.id,
         tenant: req.request.tenant,
+        class,
         outcome,
         queue_wait,
         latency,
@@ -651,7 +779,19 @@ fn finish(
 const HEADROOM_POLL: Duration = Duration::from_millis(20);
 
 fn former_loop(shared: &Shared, max_batch: u64, tx: crossbeam::channel::Sender<FormedBatch>) {
+    let mut last_depth = usize::MAX;
     while let Some(shape) = shared.queue.next_shape_blocking() {
+        let depth = shared.queue.len();
+        if depth != last_depth {
+            last_depth = depth;
+            let t = shared.started.elapsed().as_secs_f64();
+            shared
+                .metrics
+                .lock()
+                .unwrap()
+                .depth_series
+                .push(t, depth as f64);
+        }
         let w_max = {
             let ac = shared.admission.lock().unwrap();
             match ac.max_admissible(&shape) {
@@ -669,9 +809,45 @@ fn former_loop(shared: &Shared, max_batch: u64, tx: crossbeam::channel::Sender<F
             }
         };
         if w_max >= 1 {
-            let round = shared.queue.take_batch(&shape, w_max, Instant::now());
-            for req in round.expired {
-                finish(shared, req, RequestOutcome::Deadline, None);
+            let now = Instant::now();
+            // The joint controller may size the batch below the full
+            // headroom (and pick its parallel cutover); the cap is
+            // raised back to the head's workload so a head wider than
+            // the cap cannot wedge the former.
+            let (budget, parallel_threshold) = match shared.scheduler {
+                SchedulerPolicy::BaselineDrr => (w_max, None),
+                SchedulerPolicy::SloAware => {
+                    let head_slack = shared.queue.head_slack(&shape, now);
+                    let head_w = shared.queue.head_workload(&shape).unwrap_or(1);
+                    let decision = {
+                        let model = shared
+                            .latency_model_for(&shape)
+                            .expect("admissible shape has a latency model")
+                            .lock()
+                            .unwrap();
+                        shared
+                            .controller
+                            .lock()
+                            .unwrap()
+                            .decide(depth, w_max, head_slack, &model)
+                    };
+                    (
+                        decision.batch_cap.max(head_w.min(w_max)),
+                        decision.parallel_threshold,
+                    )
+                }
+            };
+            let round = shared.queue.take_batch(&shape, budget, now);
+            if !round.expired.is_empty() {
+                let mut m = shared.metrics.lock().unwrap();
+                for exp in &round.expired {
+                    m.class[exp.request.request.class.index()]
+                        .expired_wait
+                        .record(exp.time_in_queue.as_micros() as u64);
+                }
+            }
+            for exp in round.expired {
+                finish(shared, exp.request, RequestOutcome::Deadline, None);
             }
             if !round.taken.is_empty() {
                 let workload: u64 = round.taken.iter().map(|r| r.workload()).sum();
@@ -692,6 +868,7 @@ fn former_loop(shared: &Shared, max_batch: u64, tx: crossbeam::channel::Sender<F
                     requests: round.taken,
                     residual,
                     dispatched: Instant::now(),
+                    parallel_threshold,
                 };
                 // Bounded channel: blocks when every worker is busy.
                 if tx.send(batch).is_err() {
@@ -776,18 +953,31 @@ fn worker_loop(
                 select_sources(runner.graph(), batch.workload, batch_seed)
             }
         };
-        let exec = runner.run_batch_bisecting(
+        let run_started = Instant::now();
+        let exec = runner.run_batch_bisecting_at(
             batch.workload,
             &sources,
             &batch.residual,
             batch_seed,
             OVERLOAD_CUTOFF,
             &wcfg.policy,
+            batch.parallel_threshold,
         );
         let completed_time = match exec.outcome {
             RunOutcome::Completed(t) => Some(t),
             _ => None,
         };
+        // Feed the observed wall latency back as a refit point: the
+        // SLO scheduler inverts this model to size deadline-bound
+        // batches against real (not simulated) execution cost.
+        if completed_time.is_some() {
+            if let Some(model) = shared.latency_model_for(&batch.shape) {
+                model
+                    .lock()
+                    .unwrap()
+                    .observe(batch.workload, run_started.elapsed().as_secs_f64());
+            }
+        }
         {
             let mut ac = shared.admission.lock().unwrap();
             // OOM-killed attempts are censored observations: the model
@@ -1082,6 +1272,10 @@ mod tests {
             pending: Mutex::new(HashMap::new()),
             metrics: Mutex::new(MetricsState::new()),
             shapes: vec![Task::mssp(1)],
+            latency_models: vec![Mutex::new(OnlineLatencyModel::new())],
+            controller: Mutex::new(JointController::new(ControllerCfg::new(2))),
+            scheduler: SchedulerPolicy::BaselineDrr,
+            started: Instant::now(),
         };
         let wcfg = WorkerCfg {
             seed: 1,

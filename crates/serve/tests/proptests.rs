@@ -1,12 +1,19 @@
 //! Property tests for the multi-tenant DRR queue: conservation under
-//! concurrent submit/drain, the deficit round-robin fairness bound, and
-//! backpressure at capacity.
+//! concurrent submit/drain, the deficit round-robin fairness bound,
+//! backpressure at capacity, EDF starvation-freedom, and joint
+//! controller determinism.
 
 use mtvc_core::Task;
-use mtvc_serve::{DrrQueue, QueuedRequest, RequestId, SubmitError, TaskRequest, TenantId};
+use mtvc_serve::{
+    ControllerCfg, DrrQueue, JointController, QueuePolicy, QueuedRequest, RequestId, SloClass,
+    SubmitError, TaskRequest, TenantId,
+};
+use mtvc_tune::OnlineLatencyModel;
 use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn unit_request(id: u64, tenant: u32, workload: u64) -> QueuedRequest {
     QueuedRequest {
@@ -122,5 +129,93 @@ proptest! {
             prop_assert!(drained >= 1);
             prop_assert_eq!(q.len(), capacity - drained);
         }
+    }
+
+    /// EDF-within-DRR is starvation-free: the deadline sort only
+    /// permutes each round's visit order, so a continuously backlogged
+    /// lane of *any* class — including deadline-free Batch competing
+    /// against deadline-heavy Interactive lanes — is paid its weighted
+    /// quantum every single round, whatever the deadline layout.
+    #[test]
+    fn edf_never_starves_a_backlogged_class(
+        backlog in 8usize..40,
+        quantum in 1u64..6,
+        deadline_ms in proptest::collection::vec(1u64..5_000, 8),
+        interactive_lanes in 1u32..4,
+    ) {
+        let q = DrrQueue::new(4096, quantum).with_policy(QueuePolicy::slo_aware());
+        let policy = q.policy();
+        // One deadline-free Batch tenant (tenant 0) plus several
+        // Interactive tenants whose arbitrary deadlines feed the EDF
+        // sort. Every lane is backlogged beyond one round's payout.
+        let mut id = 0u64;
+        for i in 0..backlog {
+            let mut r = unit_request(id, 0, 1);
+            r.request = r.request.with_class(SloClass::Batch);
+            q.try_submit(r).unwrap();
+            id += 1;
+            for t in 1..=interactive_lanes {
+                let mut r = unit_request(id, t, 1);
+                r.request = r
+                    .request
+                    .with_class(SloClass::Interactive)
+                    // Far enough out that nothing expires mid-test.
+                    .with_deadline(Duration::from_secs(
+                        60 + deadline_ms[(i + t as usize) % deadline_ms.len()],
+                    ));
+                q.try_submit(r).unwrap();
+                id += 1;
+            }
+        }
+        let rounds = 3usize;
+        let mut served = vec![0u64; interactive_lanes as usize + 1];
+        for _ in 0..rounds {
+            let round = q.take_batch(&Task::mssp(1), u64::MAX, Instant::now());
+            for r in round.taken {
+                served[r.request.tenant.0 as usize] += 1;
+            }
+        }
+        // Each backlogged lane gets exactly its weighted quantum per
+        // round (unit workloads, no expiry, unconstrained budget).
+        let expect = |class: SloClass| {
+            (rounds as u64 * quantum * policy.weight(class)).min(backlog as u64)
+        };
+        prop_assert_eq!(served[0], expect(SloClass::Batch), "batch lane starved");
+        for &s in &served[1..] {
+            prop_assert_eq!(s, expect(SloClass::Interactive));
+        }
+    }
+
+    /// For a fixed seed the joint controller is bit-deterministic:
+    /// replaying the same pseudo-random (depth, headroom, slack)
+    /// sequence against an identically trained latency model yields an
+    /// identical decision stream.
+    #[test]
+    fn controller_is_deterministic_for_fixed_seed(
+        seed in any::<u64>(),
+        steps in 1usize..120,
+        workers in 1usize..8,
+    ) {
+        let run = || {
+            let mut model = OnlineLatencyModel::new();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut c = JointController::new(ControllerCfg::new(workers));
+            (0..steps)
+                .map(|_| {
+                    // Interleave observations so the model's fit (and
+                    // therefore the deadline cap) evolves mid-stream.
+                    let w = rng.gen_range(1u64..512);
+                    model.observe(w, 0.05 + 0.002 * w as f64);
+                    let depth = rng.gen_range(0usize..200);
+                    let slack = if rng.gen_bool(0.5) {
+                        Some(Duration::from_millis(rng.gen_range(1u64..2_000)))
+                    } else {
+                        None
+                    };
+                    c.decide(depth, rng.gen_range(1u64..1_024), slack, &model)
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
     }
 }

@@ -1,0 +1,244 @@
+//! Online batch-latency model for the SLO-aware scheduler.
+//!
+//! The §5 memory model answers *how much fits*; a deadline-aware
+//! scheduler also needs *how long it takes*. Every batch the serve
+//! layer completes is a fresh `(workload, wall latency)` measurement,
+//! and the joint parallelism controller feeds each one back here as a
+//! refit point. The model keeps a bounded sliding window and
+//! periodically refits a least-squares line
+//!
+//! ```text
+//! latency(W) ≈ a + b·W      (a, b ≥ 0)
+//! ```
+//!
+//! which it can evaluate ([`OnlineLatencyModel::estimate`]) and invert
+//! ([`OnlineLatencyModel::invert`]): "what is the largest batch that
+//! still finishes inside this deadline slack?" — the question
+//! earliest-deadline-first batch sizing asks before every dispatch.
+//!
+//! A straight line is deliberately the whole model: per-batch wall
+//! latency is dominated by per-round fixed cost plus per-unit state
+//! and message work, both near-linear in the regime the admission
+//! controller already restricts batches to. The fit is closed-form
+//! (no iterative optimizer to diverge), deterministic for a given
+//! observation sequence, and degrades gracefully: with fewer than two
+//! distinct workloads it falls back to a flat mean.
+
+/// A self-refitting linear model of batch wall latency vs workload.
+#[derive(Debug, Clone)]
+pub struct OnlineLatencyModel {
+    /// Intercept: seconds a zero-width batch would still cost.
+    a: f64,
+    /// Slope: seconds per workload unit.
+    b: f64,
+    obs_w: Vec<f64>,
+    obs_secs: Vec<f64>,
+    window: usize,
+    refit_every: usize,
+    since_refit: usize,
+    refits: u64,
+}
+
+impl Default for OnlineLatencyModel {
+    fn default() -> Self {
+        OnlineLatencyModel::new()
+    }
+}
+
+impl OnlineLatencyModel {
+    /// Observations kept in the sliding window by default.
+    pub const DEFAULT_WINDOW: usize = 64;
+    /// Observations between refits by default.
+    pub const DEFAULT_REFIT_EVERY: usize = 4;
+
+    /// An empty model. Until the first refit it estimates zero latency
+    /// for every workload — i.e. it never *restricts* a batch before
+    /// real measurements exist.
+    pub fn new() -> OnlineLatencyModel {
+        OnlineLatencyModel {
+            a: 0.0,
+            b: 0.0,
+            obs_w: Vec::new(),
+            obs_secs: Vec::new(),
+            window: Self::DEFAULT_WINDOW,
+            refit_every: Self::DEFAULT_REFIT_EVERY,
+            since_refit: 0,
+            refits: 0,
+        }
+    }
+
+    /// Override the observation window length (≥ 2).
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window >= 2);
+        self.window = window;
+        self
+    }
+
+    /// Override the refit cadence (≥ 1 observations between refits).
+    pub fn with_refit_every(mut self, every: usize) -> Self {
+        assert!(every >= 1);
+        self.refit_every = every;
+        self
+    }
+
+    /// Successful refits so far.
+    pub fn refits(&self) -> u64 {
+        self.refits
+    }
+
+    /// Observations currently in the window.
+    pub fn observations(&self) -> usize {
+        self.obs_w.len()
+    }
+
+    /// Whether at least one refit has produced a usable line.
+    pub fn is_fitted(&self) -> bool {
+        self.refits > 0
+    }
+
+    /// Record one completed batch: `workload` units took `secs` of wall
+    /// time. Non-finite or negative samples are ignored (a panicked
+    /// worker clock must not poison the fit).
+    pub fn observe(&mut self, workload: u64, secs: f64) {
+        if !secs.is_finite() || secs < 0.0 || workload == 0 {
+            return;
+        }
+        if self.obs_w.len() == self.window {
+            self.obs_w.remove(0);
+            self.obs_secs.remove(0);
+        }
+        self.obs_w.push(workload as f64);
+        self.obs_secs.push(secs);
+        self.since_refit += 1;
+        if self.since_refit >= self.refit_every {
+            self.since_refit = 0;
+            self.refit();
+        }
+    }
+
+    /// Predicted wall latency (seconds) of a `workload`-unit batch.
+    /// Zero until the first refit.
+    pub fn estimate(&self, workload: u64) -> f64 {
+        self.a + self.b * workload as f64
+    }
+
+    /// Largest workload whose predicted latency stays within `budget`
+    /// seconds. `None` when the model is unfitted (no data — no
+    /// restriction) or the budget is below even the intercept (then the
+    /// caller should dispatch the minimum batch and hope; returning
+    /// `Some(0)` would deadlock the former).
+    pub fn invert(&self, budget: f64) -> Option<u64> {
+        if !self.is_fitted() || budget <= self.a {
+            return None;
+        }
+        if self.b <= 0.0 {
+            // Flat line under budget: latency does not grow with W.
+            return None;
+        }
+        Some(((budget - self.a) / self.b).floor().max(1.0) as u64)
+    }
+
+    /// Closed-form least squares over the window; clamps `a`, `b` to be
+    /// non-negative (a latency line sloping down with workload is
+    /// noise, and a negative intercept would invert to absurd widths).
+    fn refit(&mut self) {
+        let n = self.obs_w.len() as f64;
+        if n < 2.0 {
+            return;
+        }
+        let mean_w = self.obs_w.iter().sum::<f64>() / n;
+        let mean_s = self.obs_secs.iter().sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for (&w, &s) in self.obs_w.iter().zip(&self.obs_secs) {
+            sxx += (w - mean_w) * (w - mean_w);
+            sxy += (w - mean_w) * (s - mean_s);
+        }
+        let (a, b) = if sxx > f64::EPSILON {
+            let b = (sxy / sxx).max(0.0);
+            ((mean_s - b * mean_w).max(0.0), b)
+        } else {
+            // Every observation at the same workload: flat mean.
+            (mean_s.max(0.0), 0.0)
+        };
+        if a.is_finite() && b.is_finite() {
+            self.a = a;
+            self.b = b;
+            self.refits += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unfitted_model_never_restricts() {
+        let m = OnlineLatencyModel::new();
+        assert_eq!(m.estimate(1_000), 0.0);
+        assert_eq!(m.invert(0.001), None);
+        assert!(!m.is_fitted());
+    }
+
+    #[test]
+    fn recovers_a_linear_law() {
+        let mut m = OnlineLatencyModel::new().with_refit_every(1);
+        for w in (10..200u64).step_by(10) {
+            m.observe(w, 0.05 + 0.002 * w as f64);
+        }
+        assert!(m.is_fitted());
+        let est = m.estimate(100);
+        let want = 0.05 + 0.2;
+        assert!((est - want).abs() < 0.01 * want, "{est} vs {want}");
+        // Inversion is consistent with evaluation.
+        let w = m.invert(want).unwrap();
+        assert!((95..=100).contains(&w), "{w}");
+    }
+
+    #[test]
+    fn budget_below_intercept_is_none_not_zero() {
+        let mut m = OnlineLatencyModel::new().with_refit_every(1);
+        for w in [10u64, 20, 30, 40] {
+            m.observe(w, 1.0 + 0.01 * w as f64);
+        }
+        assert_eq!(m.invert(0.5), None);
+        assert!(m.invert(2.0).unwrap() >= 1);
+    }
+
+    #[test]
+    fn window_is_bounded_and_tracks_drift() {
+        let mut m = OnlineLatencyModel::new().with_window(8).with_refit_every(1);
+        for w in 1..100u64 {
+            m.observe(w, 0.001 * w as f64);
+        }
+        assert_eq!(m.observations(), 8);
+        // Latency regime shifts 10×; the windowed fit follows.
+        for w in 1..20u64 {
+            m.observe(w * 10, 0.01 * (w * 10) as f64);
+        }
+        let est = m.estimate(100);
+        assert!((est - 1.0).abs() < 0.2, "{est}");
+    }
+
+    #[test]
+    fn pathological_samples_are_ignored() {
+        let mut m = OnlineLatencyModel::new().with_refit_every(1);
+        m.observe(10, f64::NAN);
+        m.observe(10, -1.0);
+        m.observe(0, 1.0);
+        assert_eq!(m.observations(), 0);
+        assert!(!m.is_fitted());
+    }
+
+    #[test]
+    fn identical_workloads_fit_a_flat_mean() {
+        let mut m = OnlineLatencyModel::new().with_refit_every(1);
+        for _ in 0..4 {
+            m.observe(50, 0.2);
+        }
+        assert!((m.estimate(50) - 0.2).abs() < 1e-12);
+        assert!((m.estimate(5_000) - 0.2).abs() < 1e-12);
+        assert_eq!(m.invert(1.0), None, "flat line never restricts");
+    }
+}

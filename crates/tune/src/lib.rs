@@ -19,8 +19,15 @@
 //! The §4.10 "practical guidelines" alternative — a model-free binary
 //! search for the largest workload that does not strain the cluster —
 //! lives in [`gauge`].
+//!
+//! Serving deployments extend the offline fits with two online models:
+//! [`online`] refreshes the memory curves from observed batch peaks,
+//! and [`latency`] learns batch wall latency vs workload from the
+//! scheduler's completed-batch measurements so deadline-aware batch
+//! sizing can invert "how much fits in this slack?".
 
 pub mod gauge;
+pub mod latency;
 pub mod lma;
 pub mod online;
 pub mod schedule;
@@ -28,6 +35,7 @@ pub mod training;
 pub mod tuner;
 
 pub use gauge::{gauge_max_workload, GaugeResult, TrialVerdict};
+pub use latency::OnlineLatencyModel;
 pub use lma::{fit_exponential, ExpFit, FitError};
 pub use online::OnlineMemoryModel;
 pub use schedule::{compute_schedule, MemoryModel, ScheduleError};

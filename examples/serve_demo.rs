@@ -1,10 +1,12 @@
-//! The serving layer end to end: an open-loop, Poisson-ish stream of
-//! unit-task requests from three tenants against a Galaxy8-class
-//! cluster. The service trains the §5 memory model at startup, packs
-//! arrivals into the largest admissible batches (Eq. 6 against live
-//! residual + in-flight state), and reports latency percentiles. The
-//! same trace is then replayed as per-shape Full-Parallelism jobs —
-//! the §4 baseline — for comparison.
+//! The serving layer end to end: a generated production trace — Zipf
+//! tenant skew, bursty arrivals, three SLO classes, mixed task shapes
+//! — replayed open-loop against a Galaxy8-class cluster under the
+//! SLO-aware scheduler. The service trains the §5 memory model at
+//! startup, packs arrivals into the largest admissible batches (Eq. 6
+//! against live residual + in-flight state), orders lanes
+//! EDF-within-DRR, and reports per-class latency percentiles. The same
+//! trace is then replayed as per-shape Full-Parallelism jobs — the §4
+//! baseline — for comparison.
 //!
 //! ```sh
 //! cargo run --release --example serve_demo
@@ -12,11 +14,10 @@
 
 use mtvc::cluster::ClusterSpec;
 use mtvc::graph::Dataset;
+use mtvc::loadgen::{drive, generate, ClassMix, DriveCfg, Scenario};
 use mtvc::multitask::{run_job, BatchSchedule, JobSpec, Task};
-use mtvc::serve::{ServiceConfig, TaskRequest, TaskService, TenantId};
+use mtvc::serve::{SchedulerPolicy, ServiceConfig, SloClass, TaskService};
 use mtvc::systems::SystemKind;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -32,48 +33,58 @@ fn main() {
         graph.num_vertices()
     );
 
-    // ---- synthesize the open-loop trace -------------------------------
-    // Poisson-ish arrivals: exponential inter-arrival times at `lambda`
-    // requests/second, three tenants, mixed task kinds.
-    let mut rng = SmallRng::seed_from_u64(0x00D5_CADE);
-    let lambda = 150.0;
-    let mut at = 0.0f64;
-    let mut trace: Vec<(f64, TenantId, Task)> = Vec::new();
-    for i in 0..90u32 {
-        let u: f64 = rng.gen::<f64>().max(1e-12);
-        at += -u.ln() / lambda;
-        let tenant = TenantId(i % 3);
-        let task = match rng.gen_range(0..10u32) {
-            0..=3 => Task::bppr(rng.gen_range(256..768u64)),
-            4..=6 => Task::mssp(rng.gen_range(1..6u64)),
-            _ => Task::bkhs(rng.gen_range(1..6u64)),
-        };
-        trace.push((at, tenant, task));
-    }
+    // ---- the scenario --------------------------------------------------
+    // A deterministic production shape: nine tenants with Zipf(1.2)
+    // popularity skew, ~150 req/s baseline with correlated burst
+    // episodes, three task shapes at different widths, and the three
+    // SLO classes with deadlines generous enough that the whole trace
+    // completes (the tight-deadline story lives in `bench_pr6`).
+    let scenario = Scenario::new("serve-demo", 9, 150.0, Duration::from_millis(600))
+        .with_zipf_exponent(1.2)
+        .with_bursts(Duration::from_millis(200), Duration::from_millis(80), 2.0)
+        .with_shape(Task::bppr(1), 4.0, 256..=768)
+        .with_shape(Task::mssp(1), 3.0, 1..=5)
+        .with_shape(Task::bkhs(1), 3.0, 1..=5)
+        .with_classes(ClassMix {
+            weights: [0.2, 0.5, 0.3],
+            deadlines: [
+                Some(Duration::from_secs(60)),
+                Some(Duration::from_secs(300)),
+                None,
+            ],
+        });
+    let trace = generate(&scenario, 0x00D5_CADE);
     let total_units = |name: &str| -> u64 {
         trace
+            .events
             .iter()
-            .filter(|(_, _, t)| t.name() == name)
-            .map(|(_, _, t)| t.workload())
+            .filter(|e| e.task.name() == name)
+            .map(|e| e.task.workload())
             .sum()
     };
     println!(
-        "trace: {} requests over {:.2}s  (BPPR {} walks, MSSP {} sources, BKHS {} sources)\n",
+        "trace: {} requests over {:.2}s, fingerprint {:#018x}",
         trace.len(),
-        at,
+        trace.span().as_secs_f64(),
+        trace.fingerprint(),
+    );
+    println!(
+        "  classes {:?}  (BPPR {} walks, MSSP {} sources, BKHS {} sources)\n",
+        trace.class_counts(),
         total_units("BPPR"),
         total_units("MSSP"),
         total_units("BKHS"),
     );
 
-    // ---- adaptive service ---------------------------------------------
+    // ---- adaptive service under the SLO-aware scheduler ----------------
     let cfg = ServiceConfig::new(system, cluster.clone())
         .with_shape(Task::bppr(1))
         .with_shape(Task::mssp(1))
         .with_shape(Task::bkhs(1))
         .with_workers(2)
         .with_quantum(256)
-        .with_queue_capacity(128)
+        .with_queue_capacity(512)
+        .with_scheduler(SchedulerPolicy::SloAware)
         .with_seed(0xFEED);
     let svc = TaskService::start(graph.clone(), cfg).expect("service start");
     for shape in [Task::bppr(1), Task::mssp(1), Task::bkhs(1)] {
@@ -85,35 +96,19 @@ fn main() {
     }
 
     let t0 = Instant::now();
-    let mut tickets = Vec::with_capacity(trace.len());
-    for (arrival, tenant, task) in &trace {
-        let target = Duration::from_secs_f64(*arrival);
-        let elapsed = t0.elapsed();
-        if target > elapsed {
-            std::thread::sleep(target - elapsed);
-        }
-        let req = TaskRequest::new(*tenant, *task).with_deadline(Duration::from_secs(300));
-        tickets.push(svc.submit(req).expect("submit"));
-    }
-    for t in &tickets {
-        let c = t.wait();
-        assert!(
-            c.outcome.is_served(),
-            "request {} ended {:?}",
-            c.id,
-            c.outcome
-        );
-    }
+    let rep = drive(&svc, &trace, DriveCfg::default());
     let report = svc.shutdown();
     let wall = t0.elapsed();
 
-    assert_eq!(report.served, trace.len() as u64, "all requests served");
+    assert_eq!(rep.offered(), trace.len() as u64, "every event offered");
+    assert_eq!(rep.shed, 0, "queue sized for the trace: nothing shed");
+    assert_eq!(report.served, rep.submitted, "all requests served");
     assert_eq!(report.overload_batches, 0, "no batch overloaded");
     assert_eq!(report.overflow_batches, 0, "no batch overflowed");
 
     let (p50, p95, p99) = report.latency.p50_p95_p99();
     let (w50, w95, w99) = report.queue_wait.p50_p95_p99();
-    println!("adaptive service (admission p = 0.85, 2 workers):");
+    println!("\nadaptive service (SLO-aware, admission p = 0.85, 2 workers):");
     println!(
         "  served {}/{} requests, 0 overload / 0 overflow batches",
         report.served,
@@ -136,16 +131,34 @@ fn main() {
         w95 as f64 / 1e3,
         w99 as f64 / 1e3
     );
+    for class in SloClass::ALL {
+        let cr = report.class(class);
+        let (c50, _, c99) = cr.latency.p50_p95_p99();
+        println!(
+            "  class {:<11} served {:>3}, deadlines met {:>3}/{:<3}, latency p50/p99 {:.1}/{:.1} ms",
+            class.label(),
+            cr.served,
+            cr.deadline_met,
+            cr.deadline_met + cr.deadline,
+            c50 as f64 / 1e3,
+            c99 as f64 / 1e3,
+        );
+    }
     println!(
-        "  batches: {} (workload p50 {} units), flush epochs: {}, model refits: {}",
+        "  batches: {} (workload p50 {} units), controller: {} decisions \
+         ({} narrowed, {} widened, {} deadline-capped)",
         report.batches,
         report.batch_workload.quantile(0.5),
-        report.flushes,
-        report.refits
+        report.controller.decisions,
+        report.controller.narrowed,
+        report.controller.widened,
+        report.controller.deadline_capped,
     );
     println!(
-        "  max queue depth: {} requests, simulated cluster time: {}",
-        report.max_queue_depth, report.total_sim_time
+        "  max queue depth: {} requests (time-weighted mean {:.1}), simulated cluster time: {}",
+        report.max_queue_depth,
+        report.queue_depth_series.time_weighted_mean(),
+        report.total_sim_time
     );
 
     // ---- Full-Parallelism baseline on the same trace ------------------

@@ -8,6 +8,7 @@ pub use mtvc_cluster as cluster;
 pub use mtvc_core as multitask;
 pub use mtvc_engine as engine;
 pub use mtvc_graph as graph;
+pub use mtvc_loadgen as loadgen;
 pub use mtvc_metrics as metrics;
 pub use mtvc_serve as serve;
 pub use mtvc_systems as systems;
