@@ -30,7 +30,7 @@
 
 use mtvc_engine::{
     vertex_rng, Context, Delivery, Envelope, Inbox, LocalIndex, Message, Outbox, PerSlab,
-    PerVertex, ProgramCore, RouteGrid, SlabProgram, SlabRecycler, VertexProgram,
+    PerVertex, ProgramCore, RouteGrid, RoutePolicy, SlabProgram, SlabRecycler, VertexProgram,
 };
 use mtvc_graph::partition::Partition;
 use mtvc_graph::Graph;
@@ -44,6 +44,26 @@ pub struct RoundLoopReport {
     pub sent_wire: u64,
     /// Total envelopes delivered (post-combining tuples).
     pub delivered_tuples: u64,
+}
+
+/// [`RoundLoopReport`] plus the wire-accounting measurements a
+/// [`RoutePolicy`]-driven run produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyReport {
+    pub report: RoundLoopReport,
+    /// Post-codec cross-worker bucket bytes across the run (local
+    /// flows deliver by pointer and never serialize); zero under
+    /// [`WireFormat::Tuples`].
+    ///
+    /// [`WireFormat::Tuples`]: mtvc_engine::WireFormat::Tuples
+    pub encoded_wire_bytes: u64,
+    /// What the same cross-worker traffic costs under the
+    /// `size_of`-style estimate (`payload_units * msg_bytes`), for
+    /// shrinkage ratios.
+    pub estimated_wire_bytes: u64,
+    /// Request-respond cache totals across the run.
+    pub respond_hits: u64,
+    pub respond_misses: u64,
 }
 
 /// Ceiling on rounds for runaway protection in both drivers.
@@ -61,8 +81,35 @@ pub fn drive_core<P: ProgramCore>(
     locals: &LocalIndex,
     combine: bool,
     seed: u64,
-    mut on_round_end: impl FnMut(usize),
+    on_round_end: impl FnMut(usize),
 ) -> RoundLoopReport {
+    drive_core_policy(
+        core,
+        graph,
+        part,
+        locals,
+        combine,
+        &RoutePolicy::default(),
+        seed,
+        on_round_end,
+    )
+    .report
+}
+
+/// [`drive_core`] under an explicit [`RoutePolicy`] (compact wire
+/// format, adaptive combining, respond caching), returning the policy
+/// measurements alongside the parity report.
+#[allow(clippy::too_many_arguments)]
+pub fn drive_core_policy<P: ProgramCore>(
+    core: &P,
+    graph: &Graph,
+    part: &Partition,
+    locals: &LocalIndex,
+    combine: bool,
+    policy: &RoutePolicy,
+    seed: u64,
+    mut on_round_end: impl FnMut(usize),
+) -> PolicyReport {
     let workers = part.num_workers();
     let msg_bytes = core.message_bytes();
     let mut stores: Vec<P::Store> = locals
@@ -73,10 +120,17 @@ pub fn drive_core<P: ProgramCore>(
     let mut outboxes: Vec<Outbox<P::Message>> = (0..workers).map(|_| Outbox::new()).collect();
     let mut inboxes: Vec<Inbox<P::Message>> = (0..workers).map(|_| Inbox::new()).collect();
     let mut grid: RouteGrid<P::Message> = RouteGrid::new(workers);
-    let mut report = RoundLoopReport {
-        rounds: 0,
-        sent_wire: 0,
-        delivered_tuples: 0,
+    grid.set_policy(*policy);
+    let mut report = PolicyReport {
+        report: RoundLoopReport {
+            rounds: 0,
+            sent_wire: 0,
+            delivered_tuples: 0,
+        },
+        encoded_wire_bytes: 0,
+        estimated_wire_bytes: 0,
+        respond_hits: 0,
+        respond_misses: 0,
     };
 
     for round in 0..ROUND_CAP {
@@ -121,9 +175,13 @@ pub fn drive_core<P: ProgramCore>(
             combine,
             msg_bytes,
         );
-        report.sent_wire += stats.sent_wire;
-        report.delivered_tuples += stats.delivered_tuples;
-        report.rounds = round + 1;
+        report.report.sent_wire += stats.sent_wire;
+        report.report.delivered_tuples += stats.delivered_tuples;
+        report.report.rounds = round + 1;
+        report.encoded_wire_bytes += stats.encoded_wire_bytes;
+        report.estimated_wire_bytes += stats.net_out_bytes.iter().sum::<u64>();
+        report.respond_hits += stats.respond_hits;
+        report.respond_misses += stats.respond_misses;
         on_round_end(round);
     }
     core.recycle(stores);

@@ -28,12 +28,14 @@ pub mod router;
 pub mod runner;
 pub mod sampling;
 pub mod slab;
+pub mod wire;
 
 pub use message::{Delivery, Envelope, Message};
 pub use mirror::MirrorIndex;
 pub use pool::WorkerPool;
 pub use profile::{ExecutionMode, OocConfig, SyncMode, SystemProfile};
 pub use program::{Context, Outbox, PerVertex, ProgramCore, VertexProgram};
-pub use router::{route, Inbox, LocalIndex, RouteGrid, RoutingStats, Run};
+pub use router::{route, route_with, Inbox, LocalIndex, RouteGrid, RoutePolicy, RoutingStats, Run};
 pub use runner::{vertex_rng, EngineConfig, RunResult, Runner, PARALLEL_VERTEX_THRESHOLD};
-pub use slab::{PerSlab, SlabProgram, SlabRecycler, SlabRowMut, StateSlab};
+pub use slab::{PerSlab, SlabProgram, SlabRecycler, SlabRowMut, StateSlab, LANES};
+pub use wire::{PayloadCodec, WireFormat};

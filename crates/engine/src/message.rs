@@ -22,6 +22,23 @@ pub trait Message: Clone + Send + Sync {
     /// `(destination, combine_key)`; multiplicities are summed by the
     /// engine separately.
     fn merge(&mut self, other: &Self);
+
+    /// Query/group id carried by the compact wire format's run-length
+    /// stream (`engine::wire`) instead of inside each payload. Payloads
+    /// without a natural grouping id return `None` and ride a one-byte
+    /// flag per run.
+    fn wire_query(&self) -> Option<u64> {
+        None
+    }
+
+    /// Size of this payload under the compact wire format, **excluding**
+    /// the destination index and [`wire_query`] (both carried by shared
+    /// bucket streams). The default is a conservative fixed-width word.
+    ///
+    /// [`wire_query`]: Message::wire_query
+    fn encoded_payload_bytes(&self) -> u64 {
+        8
+    }
 }
 
 /// Unit payload for tests and simple notifications.
@@ -30,6 +47,9 @@ impl Message for () {
         None
     }
     fn merge(&mut self, _other: &Self) {}
+    fn encoded_payload_bytes(&self) -> u64 {
+        0
+    }
 }
 
 /// A routed message.

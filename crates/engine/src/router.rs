@@ -38,10 +38,77 @@ use crate::message::{Delivery, Envelope, Message};
 use crate::mirror::MirrorIndex;
 use crate::pool::WorkerPool;
 use crate::program::Outbox;
+use crate::wire::{self, WireFormat};
 use mtvc_graph::hash::FastMap;
 use mtvc_graph::partition::Partition;
 use mtvc_graph::{Graph, VertexId};
 use std::collections::hash_map::Entry;
+
+/// Encoded bytes of one mirror transfer under the compact wire format,
+/// on top of the payload: the mirrored origin's index plus the stream
+/// flag. (Tuples mode charges `msg_bytes` per transfer instead.)
+const MIRROR_ENC_OVERHEAD: u64 = 2;
+
+/// Adaptive combining keeps a source worker's combiner on only while
+/// the observed fold yield — payload units merged away per slot probe
+/// — stays at or above `ADAPTIVE_HIT_RATE_NUM / ADAPTIVE_HIT_RATE_DEN`.
+/// For scalar (mult 1) messages this is the plain hit rate: merging
+/// must fold at least 3 of every 4 keyed envelopes to pay for the
+/// per-envelope probes. Batched envelopes (e.g. lane-chunked MSSP)
+/// weigh each fold by its multiplicity, since one merge then saves a
+/// whole chunk of downstream copy and delivery work. A single
+/// sub-threshold round does not turn the combiner off: frontier
+/// algorithms ramp through sparse low-yield rounds before saturating,
+/// so eviction takes [`ADAPTIVE_OFF_STRIKES`] consecutive bad verdicts
+/// (a re-probed worker re-enters one strike short — the prior evidence
+/// still counts). While off, the combiner re-probes one round out of
+/// every [`ADAPTIVE_PROBE_PERIOD`] in case the traffic shape changed.
+const ADAPTIVE_HIT_RATE_NUM: u64 = 3;
+const ADAPTIVE_HIT_RATE_DEN: u64 = 4;
+const ADAPTIVE_PROBE_PERIOD: u32 = 8;
+const ADAPTIVE_OFF_STRIKES: u32 = 2;
+
+/// Routing behaviour knobs beyond the per-round `combine` flag: the
+/// wire format the accounting assumes, whether sender-side combining
+/// adapts per (worker, round), and the receiver-side request-respond
+/// cache threshold. The default policy reproduces the historic
+/// pipeline bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutePolicy {
+    /// Network accounting representation; [`WireFormat::Compact`]
+    /// measures real encoded bucket bytes instead of
+    /// `payload_units * msg_bytes`.
+    pub wire_format: WireFormat,
+    /// When set (and the profile enables combining at all), each source
+    /// worker toggles its combiner per round from the observed fold
+    /// yield — the fix for combining that costs more than it saves at
+    /// wide batch widths. Decisions land in [`RoutingStats::combine_on`].
+    pub adaptive_combine: bool,
+    /// Rounds whose combiner probed fewer keyed envelopes than this
+    /// keep the combiner armed instead of updating the adaptive toggle:
+    /// a near-empty round (init traffic, a draining frontier) carries
+    /// no statistical signal, and letting it shut combining off wastes
+    /// the following full-size rounds until the next re-probe.
+    pub adaptive_min_tries: u64,
+    /// Receiver-side request-respond cache (Yan et al.): an unmirrored
+    /// broadcast origin with at least this many neighbors sends each
+    /// destination worker its payload once; further copies to the same
+    /// worker ship index-only and are served from the receiver's cache.
+    /// `0` disables the cache. Bytes shrink only under
+    /// [`WireFormat::Compact`]; hit/miss counters accrue regardless.
+    pub respond_cache_threshold: u32,
+}
+
+impl Default for RoutePolicy {
+    fn default() -> Self {
+        RoutePolicy {
+            wire_format: WireFormat::default(),
+            adaptive_combine: false,
+            adaptive_min_tries: 1024,
+            respond_cache_threshold: 0,
+        }
+    }
+}
 
 /// Traffic measured while routing one round's messages.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -68,6 +135,23 @@ pub struct RoutingStats {
     pub out_buffer_bytes: Vec<u64>,
     /// Per-worker bytes of message buffers *received* (local + remote).
     pub in_buffer_bytes: Vec<u64>,
+    /// Post-codec bytes of every cross-worker shard bucket produced
+    /// this round, under the compact wire format. Local buckets are
+    /// delivered by pointer and never serialize, so they contribute
+    /// nothing. Zero in [`WireFormat::Tuples`] mode.
+    pub encoded_wire_bytes: u64,
+    /// Per-worker post-codec bytes sent to other machines.
+    pub encoded_out_bytes: Vec<u64>,
+    /// Per-worker post-codec bytes received from other machines.
+    pub encoded_in_bytes: Vec<u64>,
+    /// Per-source-worker combining decision this round (static profiles
+    /// repeat the profile flag; adaptive combining varies it).
+    pub combine_on: Vec<bool>,
+    /// Broadcast copies served from receiver-side request-respond
+    /// caches (payload not re-shipped).
+    pub respond_hits: u64,
+    /// Broadcast payloads shipped to prime a receiver's cache.
+    pub respond_misses: u64,
     /// True when this round re-transmitted traffic during
     /// rollback-replay recovery. Replayed wire traffic must never be
     /// folded into a run's first-run totals; the runner branches its
@@ -87,6 +171,12 @@ impl RoutingStats {
             local_bytes: 0,
             out_buffer_bytes: vec![0; workers],
             in_buffer_bytes: vec![0; workers],
+            encoded_wire_bytes: 0,
+            encoded_out_bytes: vec![0; workers],
+            encoded_in_bytes: vec![0; workers],
+            combine_on: vec![false; workers],
+            respond_hits: 0,
+            respond_misses: 0,
             replay: false,
         }
     }
@@ -96,6 +186,9 @@ impl RoutingStats {
         self.sent_wire = 0;
         self.delivered_tuples = 0;
         self.local_bytes = 0;
+        self.encoded_wire_bytes = 0;
+        self.respond_hits = 0;
+        self.respond_misses = 0;
         self.replay = false;
         for v in [
             &mut self.in_wire,
@@ -104,9 +197,12 @@ impl RoutingStats {
             &mut self.net_in_bytes,
             &mut self.out_buffer_bytes,
             &mut self.in_buffer_bytes,
+            &mut self.encoded_out_bytes,
+            &mut self.encoded_in_bytes,
         ] {
             v.iter_mut().for_each(|x| *x = 0);
         }
+        self.combine_on.iter_mut().for_each(|x| *x = false);
     }
 
     /// Total wire messages delivered (= sent; nothing is dropped).
@@ -269,6 +365,14 @@ struct PairFlow {
     local_bytes: u64,
     wire: u64,
     tuples: u64,
+    /// Post-codec bucket bytes (compact wire format only).
+    encoded_bytes: u64,
+    /// Post-codec bytes actually crossing machines (mirror-prepaid
+    /// transfers replace the prepaid fraction).
+    encoded_net_bytes: u64,
+    /// Request-respond cache hits / primes on this pair.
+    respond_hits: u64,
+    respond_misses: u64,
 }
 
 /// Messages from one source worker bound for one destination worker:
@@ -278,6 +382,11 @@ struct PairFlow {
 #[derive(Debug)]
 pub struct Shard<M> {
     bucket: Vec<Envelope<M>>,
+    /// Destination local index of each bucket envelope (parallel to
+    /// `bucket`): computed once at append time so the compact-measure
+    /// and merge scatters read it sequentially instead of re-deriving
+    /// it with a random `LocalIndex` lookup per envelope.
+    lis: Vec<u32>,
     /// Envelopes per destination local index (len = destination
     /// worker's vertex count; all-zero outside the pipeline).
     hist: Vec<u32>,
@@ -293,6 +402,32 @@ pub struct Shard<M> {
     /// Wire messages whose network cost is prepaid (count NOT to be
     /// charged per-envelope).
     prepaid_wire: u64,
+    /// Post-codec bytes already paid as mirror transfers (compact
+    /// analogue of `prepaid_net`).
+    prepaid_net_encoded: u64,
+    /// Payload bytes the request-respond cache elides from this pair's
+    /// encoded bucket, plus the hit/prime counts behind them.
+    cached_payload: u64,
+    respond_hits: u64,
+    respond_misses: u64,
+    /// Compact-measure scratch: per-local-index write cursors (all-zero
+    /// between rounds, like `hist`) and the bucket's query keys in
+    /// delivery order.
+    cursors: Vec<u32>,
+    qkeys: Vec<(bool, u64)>,
+    /// Dense sender-combining table for small combine keys: slot
+    /// `key * nloc + li` holds `epoch << 32 | bucket position` for
+    /// that `(destination, key)` pair, valid when the epoch half
+    /// equals `fold_round`. Turns the hash probe on the combining hot
+    /// path into one multiply and an epoch compare (and packing both
+    /// halves into one word keeps a probe to a single cache touch);
+    /// keys whose row would push the table past
+    /// [`DENSE_FOLD_SLOTS_MAX`] fall back to the sender's hash map.
+    fold_slots: Vec<u64>,
+    fold_round: u32,
+    /// Destination worker's vertex count, refreshed each round (the
+    /// dense table's row stride).
+    nloc: usize,
     /// The pair's traffic, measured at the end of the shard stage
     /// (bucket content is final once combining happened at the source).
     flow: PairFlow,
@@ -302,23 +437,58 @@ impl<M> Default for Shard<M> {
     fn default() -> Self {
         Shard {
             bucket: Vec::new(),
+            lis: Vec::new(),
             hist: Vec::new(),
             touched: Vec::new(),
             wire: 0,
             prepaid_net: 0,
             prepaid_wire: 0,
+            prepaid_net_encoded: 0,
+            cached_payload: 0,
+            respond_hits: 0,
+            respond_misses: 0,
+            cursors: Vec::new(),
+            qkeys: Vec::new(),
+            fold_slots: Vec::new(),
+            fold_round: 0,
+            nloc: 0,
             flow: PairFlow::default(),
         }
     }
 }
 
+/// Upper bound on a [`Shard`]'s dense combining table, in slots
+/// (`rows * nloc`). At 8 bytes per slot this caps the table at 32 MiB
+/// per shard; combine keys whose row starts beyond the cap use the
+/// sender's hash map instead, so arbitrarily large or sparse key
+/// domains stay correct — just not dense-accelerated.
+const DENSE_FOLD_SLOTS_MAX: usize = 1 << 22;
+
+/// Fresh [`Shard::fold_slots`] entry: epoch half 0 never matches a
+/// live `fold_round` (rounds count from 1).
+const FOLD_SLOT_EMPTY: u64 = 0;
+
 /// Sender-side combining state for one source worker: maps
 /// `(dest, combine_key)` to the envelope's position within the
-/// destination shard's bucket. Recycled across rounds (cleared, never
+/// destination shard's bucket, plus the round's slot probe/hit counters
+/// (the adaptive-combining signal) and the request-respond cache's
+/// seen-worker scratch. Recycled across rounds (cleared, never
 /// dropped), so steady-state combining allocates nothing.
 #[derive(Debug, Default)]
 pub struct SenderSlots {
     map: FastMap<(VertexId, u64), u32>,
+    /// Keyed envelopes probed this round, and the payload units folded
+    /// away by slot hits (valid for rounds the combiner actually ran).
+    /// Hits are **unit-weighted**: folding a lane-batched envelope of
+    /// multiplicity 8 saves eight payload units of downstream copy and
+    /// delivery work for one probe, so it counts 8 — for scalar
+    /// (mult 1) messages this is exactly the envelope hit count.
+    tries: u64,
+    hits: u64,
+    /// Request-respond scratch: `seen[dw] == epoch` marks a destination
+    /// worker already primed by the current broadcast origin.
+    seen: Vec<u64>,
+    epoch: u64,
 }
 
 /// Append `env` to `shard`, maintaining the wire count and the
@@ -332,6 +502,48 @@ fn append_env<M>(shard: &mut Shard<M>, li: u32, env: Envelope<M>) {
     }
     *h += 1;
     shard.bucket.push(env);
+    shard.lis.push(li);
+}
+
+/// Probe the sender-combining structures for `(dest, key)`: the shard's
+/// dense epoch-tagged table when the key's row fits under
+/// [`DENSE_FOLD_SLOTS_MAX`], the sender's hash map otherwise. Returns
+/// the bucket position of an equal-keyed envelope appended earlier this
+/// round, or `None` after recording that the next appended envelope
+/// (at `bucket.len()`) owns the slot.
+#[inline]
+fn fold_probe<M>(
+    shard: &mut Shard<M>,
+    map: &mut FastMap<(VertexId, u64), u32>,
+    dest: VertexId,
+    li: u32,
+    key: u64,
+) -> Option<u32> {
+    let idx = (key as usize)
+        .checked_mul(shard.nloc)
+        .map(|row| row + li as usize);
+    match idx {
+        Some(idx) if idx < DENSE_FOLD_SLOTS_MAX => {
+            if shard.fold_slots.len() <= idx {
+                let end = (key as usize + 1) * shard.nloc;
+                shard.fold_slots.resize(end, FOLD_SLOT_EMPTY);
+            }
+            let slot = shard.fold_slots[idx];
+            if (slot >> 32) as u32 == shard.fold_round {
+                Some(slot as u32)
+            } else {
+                shard.fold_slots[idx] = (shard.fold_round as u64) << 32 | shard.bucket.len() as u64;
+                None
+            }
+        }
+        _ => match map.entry((dest, key)) {
+            Entry::Occupied(o) => Some(*o.get()),
+            Entry::Vacant(vac) => {
+                vac.insert(shard.bucket.len() as u32);
+                None
+            }
+        },
+    }
 }
 
 /// Route one point-to-point envelope into its shard, folding it into an
@@ -347,28 +559,28 @@ fn push_send<M: Message>(
     slots: &mut SenderSlots,
 ) {
     let dw = part.owner_of(env.dest) as usize;
+    let li = locals.local_of(env.dest);
     if combine {
         if let Some(key) = env.msg.combine_key() {
-            match slots.map.entry((env.dest, key)) {
-                Entry::Occupied(o) => {
-                    let shard = &mut shards[dw];
-                    let slot = &mut shard.bucket[*o.get() as usize];
-                    slot.msg.merge(&env.msg);
-                    slot.mult += env.mult;
-                    shard.wire += env.mult;
-                    return;
-                }
-                Entry::Vacant(vac) => {
-                    vac.insert(shards[dw].bucket.len() as u32);
-                }
+            slots.tries += 1;
+            let shard = &mut shards[dw];
+            if let Some(pos) = fold_probe(shard, &mut slots.map, env.dest, li, key) {
+                slots.hits += env.mult;
+                let slot = &mut shard.bucket[pos as usize];
+                slot.msg.merge(&env.msg);
+                slot.mult += env.mult;
+                shard.wire += env.mult;
+                return;
             }
         }
     }
-    append_env(&mut shards[dw], locals.local_of(env.dest), env);
+    append_env(&mut shards[dw], li, env);
 }
 
 /// Route one broadcast-expanded message. On a combining hit the clone
 /// is skipped entirely — the borrowed payload merges into the slot.
+/// Returns whether a new envelope was appended (false on a combining
+/// hit) — the request-respond cache only accounts appended copies.
 #[inline]
 #[allow(clippy::too_many_arguments)]
 fn push_broadcast<M: Message>(
@@ -380,29 +592,24 @@ fn push_broadcast<M: Message>(
     combine: bool,
     shards: &mut [Shard<M>],
     slots: &mut SenderSlots,
-) {
+) -> bool {
+    let li = locals.local_of(dest);
     if combine {
         if let Some(key) = msg.combine_key() {
-            match slots.map.entry((dest, key)) {
-                Entry::Occupied(o) => {
-                    let shard = &mut shards[dw];
-                    let slot = &mut shard.bucket[*o.get() as usize];
-                    slot.msg.merge(msg);
-                    slot.mult += mult;
-                    shard.wire += mult;
-                    return;
-                }
-                Entry::Vacant(vac) => {
-                    vac.insert(shards[dw].bucket.len() as u32);
-                }
+            slots.tries += 1;
+            let shard = &mut shards[dw];
+            if let Some(pos) = fold_probe(shard, &mut slots.map, dest, li, key) {
+                slots.hits += mult;
+                let slot = &mut shard.bucket[pos as usize];
+                slot.msg.merge(msg);
+                slot.mult += mult;
+                shard.wire += mult;
+                return false;
             }
         }
     }
-    append_env(
-        &mut shards[dw],
-        locals.local_of(dest),
-        Envelope::new(dest, msg.clone(), mult),
-    );
+    append_env(&mut shards[dw], li, Envelope::new(dest, msg.clone(), mult));
+    true
 }
 
 /// Stage 1: drain `outbox` into one shard per destination worker,
@@ -420,6 +627,7 @@ fn shard_outbox<M: Message>(
     mirrors: Option<&MirrorIndex>,
     combine: bool,
     msg_bytes: u64,
+    policy: &RoutePolicy,
     shards: &mut [Shard<M>],
     slots: &mut SenderSlots,
 ) -> u64 {
@@ -428,9 +636,25 @@ fn shard_outbox<M: Message>(
         if shard.hist.len() < nloc {
             shard.hist.resize(nloc, 0);
         }
+        shard.nloc = nloc;
+        if combine {
+            shard.fold_round = shard.fold_round.wrapping_add(1);
+            if shard.fold_round == 0 {
+                // Epoch tag wrapped: stale tags from 2^32 rounds ago
+                // would alias the new epoch, so clear them once.
+                shard.fold_slots.fill(FOLD_SLOT_EMPTY);
+                shard.fold_round = 1;
+            }
+        }
     }
     if combine {
         slots.map.clear();
+        slots.tries = 0;
+        slots.hits = 0;
+    }
+    let compact = policy.wire_format == WireFormat::Compact;
+    if slots.seen.len() < shards.len() {
+        slots.seen.resize(shards.len(), 0);
     }
 
     let mut sent_wire = 0u64;
@@ -446,8 +670,14 @@ fn shard_outbox<M: Message>(
             Some(mirror_workers) => {
                 // One wire transfer per remote mirror worker replaces
                 // the per-neighbor wire cost of all remote fan-outs.
+                let enc_xfer = if compact {
+                    (MIRROR_ENC_OVERHEAD + msg.encoded_payload_bytes()) * mult
+                } else {
+                    0
+                };
                 for &mw in mirror_workers {
                     shards[mw as usize].prepaid_net += msg_bytes * mult;
+                    shards[mw as usize].prepaid_net_encoded += enc_xfer;
                 }
                 for &t in graph.neighbors(origin) {
                     let dw = part.owner_of(t) as usize;
@@ -458,17 +688,35 @@ fn shard_outbox<M: Message>(
                 }
             }
             None => {
-                // Unmirrored broadcast: ordinary per-neighbor sends.
+                // Unmirrored broadcast: ordinary per-neighbor sends,
+                // with the request-respond cache eliding repeat
+                // payloads to the same remote worker for high-degree
+                // origins.
+                let caching = policy.respond_cache_threshold != 0
+                    && degree >= policy.respond_cache_threshold as u64;
+                if caching {
+                    slots.epoch += 1;
+                }
                 for &t in graph.neighbors(origin) {
                     let dw = part.owner_of(t) as usize;
-                    push_broadcast(t, &msg, mult, dw, locals, combine, shards, slots);
+                    let appended =
+                        push_broadcast(t, &msg, mult, dw, locals, combine, shards, slots);
+                    if caching && dw != src_worker && appended {
+                        if slots.seen[dw] == slots.epoch {
+                            shards[dw].respond_hits += 1;
+                            shards[dw].cached_payload += msg.encoded_payload_bytes();
+                        } else {
+                            slots.seen[dw] = slots.epoch;
+                            shards[dw].respond_misses += 1;
+                        }
+                    }
                 }
             }
         }
     }
 
     for (dw, shard) in shards.iter_mut().enumerate() {
-        finish_shard(src_worker, dw, shard, combine, msg_bytes);
+        finish_shard(src_worker, dw, shard, combine, msg_bytes, policy);
     }
     sent_wire
 }
@@ -479,9 +727,20 @@ fn shard_outbox<M: Message>(
 /// bytes: the shard tracks how many wire messages were prepaid, and the
 /// remainder of the bucket pays normally. Envelopes from `sends` and
 /// unmirrored broadcasts are never prepaid.
-fn finish_shard<M>(src: usize, dst: usize, shard: &mut Shard<M>, combine: bool, msg_bytes: u64) {
+fn finish_shard<M: Message>(
+    src: usize,
+    dst: usize,
+    shard: &mut Shard<M>,
+    combine: bool,
+    msg_bytes: u64,
+    policy: &RoutePolicy,
+) {
     let prepaid_net = std::mem::take(&mut shard.prepaid_net);
     let prepaid_wire = std::mem::take(&mut shard.prepaid_wire);
+    let prepaid_net_enc = std::mem::take(&mut shard.prepaid_net_encoded);
+    let cached_payload = std::mem::take(&mut shard.cached_payload);
+    let respond_hits = std::mem::take(&mut shard.respond_hits);
+    let respond_misses = std::mem::take(&mut shard.respond_misses);
     let wire = std::mem::take(&mut shard.wire);
     let mut flow = PairFlow::default();
     if !shard.bucket.is_empty() || prepaid_net != 0 {
@@ -493,6 +752,24 @@ fn finish_shard<M>(src: usize, dst: usize, shard: &mut Shard<M>, combine: bool, 
         flow.buffer_bytes = buffer_bytes;
         flow.wire = wire;
         flow.tuples = tuples;
+        flow.respond_hits = respond_hits;
+        flow.respond_misses = respond_misses;
+        // The codec models wire serialization, so only cross-worker
+        // buckets are measured: local delivery hands envelopes over by
+        // pointer and never encodes.
+        if policy.wire_format == WireFormat::Compact && dst != src {
+            let enc = measure_shard_encoded(shard).saturating_sub(cached_payload);
+            flow.encoded_bytes = enc;
+            // Prepaid wire messages already crossed as mirror
+            // transfers; keep only the unpaid fraction of the
+            // encoded bucket (integer scaling by wire share).
+            let prepaid_units = prepaid_wire.min(wire);
+            // `wire == 0` means an empty bucket, so `enc` is 0 too.
+            let kept = (enc * prepaid_units)
+                .checked_div(wire)
+                .map_or(0, |folded| enc - folded);
+            flow.encoded_net_bytes = kept + prepaid_net_enc;
+        }
         if dst != src {
             // Replace the prepaid portion: those wire messages crossed
             // as mirror transfers already counted.
@@ -503,6 +780,76 @@ fn finish_shard<M>(src: usize, dst: usize, shard: &mut Shard<M>, combine: bool, 
         }
     }
     shard.flow = flow;
+}
+
+/// Compact-format size of one shard bucket, computed **without sorting
+/// the bucket**: the directory comes from the (sorted) touched list and
+/// histogram, order-independent streams from one bucket pass, and the
+/// query run-length stream from a counting scatter of the query keys
+/// into delivery order — the same permutation the merge stage will
+/// apply. Must equal [`wire::measure_bucket`] (the serial oracle's
+/// sort-based measurement); pinned by the routing property tests.
+fn measure_shard_encoded<M: Message>(shard: &mut Shard<M>) -> u64 {
+    let n = shard.bucket.len();
+    if n == 0 {
+        return 0;
+    }
+    // Sorting `touched` is safe: the merge stage treats it as a set.
+    shard.touched.sort_unstable();
+    if shard.cursors.len() < shard.hist.len() {
+        shard.cursors.resize(shard.hist.len(), 0);
+    }
+    let mut bytes = wire::varint_len(n as u64) + wire::varint_len(shard.touched.len() as u64);
+    let mut prev = 0u32;
+    let mut running = 0u32;
+    for &li in &shard.touched {
+        let h = shard.hist[li as usize];
+        bytes += wire::varint_len((li - prev) as u64) + wire::varint_len(h as u64);
+        prev = li;
+        shard.cursors[li as usize] = running;
+        running += h;
+    }
+    // The counting scatter writes every slot in 0..n exactly once (the
+    // histogram sums to the bucket length), so the buffer only ever
+    // needs to grow — no per-round fill.
+    if shard.qkeys.len() < n {
+        shard.qkeys.resize(n, (false, 0));
+    }
+    for (env, &li) in shard.bucket.iter().zip(&shard.lis) {
+        let slot = shard.cursors[li as usize] as usize;
+        shard.cursors[li as usize] += 1;
+        shard.qkeys[slot] = match env.msg.wire_query() {
+            Some(q) => (true, q),
+            None => (false, 0),
+        };
+        bytes += wire::varint_len(env.mult) + env.msg.encoded_payload_bytes();
+    }
+    // Restore the all-zero cursor buffer for the next round.
+    for &li in &shard.touched {
+        shard.cursors[li as usize] = 0;
+    }
+    // Query-RLE size, accumulated branchlessly: lane-chunk traffic
+    // makes runs short and boundaries effectively random, so a
+    // run-at-a-time loop pays a branch mispredict per envelope. Each
+    // run costs varint_len(len) + flag byte + optional key varint;
+    // varint_len(len) is 1 plus one extra byte per 7-bit threshold the
+    // running length crosses, so every component is a masked add.
+    let mut prev = shard.qkeys[0];
+    let mut run_len = 1u64;
+    let mut runs = 1u64;
+    let mut key_bytes = 1 + if prev.0 { wire::varint_len(prev.1) } else { 0 };
+    let mut long_extra = 0u64;
+    for &key in &shard.qkeys[1..n] {
+        let boundary = (key != prev) as u64;
+        runs += boundary;
+        key_bytes += boundary * (1 + key.0 as u64 * wire::varint_len(key.1));
+        run_len = run_len * (1 - boundary) + 1;
+        long_extra += (run_len.count_ones() == 1
+            && run_len.trailing_zeros().is_multiple_of(7)
+            && run_len > 1) as u64;
+        prev = key;
+    }
+    bytes + runs + key_bytes + long_extra
 }
 
 /// Stage 2: fold one destination's shard column (in source order) into
@@ -564,10 +911,9 @@ fn merge_column<M: Message>(
     inbox.deliveries.reserve(total);
     let spare = inbox.deliveries.spare_capacity_mut();
     for shard in col.iter_mut() {
-        for env in shard.bucket.drain(..) {
-            let li = locals.local_of(env.dest) as usize;
-            let slot = counts[li] as usize;
-            counts[li] += 1;
+        for (env, li) in shard.bucket.drain(..).zip(shard.lis.drain(..)) {
+            let slot = counts[li as usize] as usize;
+            counts[li as usize] += 1;
             spare[slot].write(Delivery {
                 msg: env.msg,
                 mult: env.mult,
@@ -608,6 +954,11 @@ fn apply_flow(stats: &mut RoutingStats, src: usize, dst: usize, flow: &PairFlow)
     stats.in_wire[dst] += flow.wire;
     stats.in_tuples[dst] += flow.tuples;
     stats.delivered_tuples += flow.tuples;
+    stats.encoded_wire_bytes += flow.encoded_bytes;
+    stats.encoded_out_bytes[src] += flow.encoded_net_bytes;
+    stats.encoded_in_bytes[dst] += flow.encoded_net_bytes;
+    stats.respond_hits += flow.respond_hits;
+    stats.respond_misses += flow.respond_misses;
 }
 
 /// Route all outboxes into grouped per-worker inboxes — the serial
@@ -627,7 +978,7 @@ fn apply_flow(stats: &mut RoutingStats, src: usize, dst: usize, flow: &PairFlow)
 ///   combiners work. Multiplicities sum; payloads merge in send order.
 /// * `msg_bytes`: wire size of one message.
 pub fn route<M: Message>(
-    mut outboxes: Vec<Outbox<M>>,
+    outboxes: Vec<Outbox<M>>,
     graph: &Graph,
     part: &Partition,
     locals: &LocalIndex,
@@ -635,10 +986,40 @@ pub fn route<M: Message>(
     combine: bool,
     msg_bytes: u64,
 ) -> (Vec<Inbox<M>>, RoutingStats) {
-    use std::collections::HashMap;
+    route_with(
+        outboxes,
+        graph,
+        part,
+        locals,
+        mirrors,
+        combine,
+        msg_bytes,
+        &RoutePolicy::default(),
+    )
+}
+
+/// [`route`] with an explicit [`RoutePolicy`]: the serial oracle for
+/// the compact wire format and the request-respond cache. Combining
+/// stays static here (`policy.adaptive_combine` is ignored — the
+/// adaptive toggle is per-grid state, covered by its own determinism
+/// and conservation properties).
+#[allow(clippy::too_many_arguments)]
+pub fn route_with<M: Message>(
+    mut outboxes: Vec<Outbox<M>>,
+    graph: &Graph,
+    part: &Partition,
+    locals: &LocalIndex,
+    mirrors: Option<&MirrorIndex>,
+    combine: bool,
+    msg_bytes: u64,
+    policy: &RoutePolicy,
+) -> (Vec<Inbox<M>>, RoutingStats) {
+    use std::collections::{HashMap, HashSet};
 
     let workers = part.num_workers();
+    let compact = policy.wire_format == WireFormat::Compact;
     let mut stats = RoutingStats::new(workers);
+    stats.combine_on.iter_mut().for_each(|c| *c = combine);
     // columns[dst][src]: combined envelope buckets in source order.
     let mut columns: Vec<Vec<Vec<Envelope<M>>>> =
         (0..workers).map(|_| Vec::with_capacity(workers)).collect();
@@ -647,13 +1028,19 @@ pub fn route<M: Message>(
         let mut buckets: Vec<Vec<Envelope<M>>> = (0..workers).map(|_| Vec::new()).collect();
         let mut prepaid_net = vec![0u64; workers];
         let mut prepaid_wire = vec![0u64; workers];
+        let mut prepaid_net_enc = vec![0u64; workers];
+        let mut cached_payload = vec![0u64; workers];
+        let mut respond_hits = vec![0u64; workers];
+        let mut respond_misses = vec![0u64; workers];
         let mut slots: HashMap<(VertexId, u64), usize> = HashMap::new();
 
+        // Returns whether a new envelope was appended (false = merged).
         let deposit = |buckets: &mut Vec<Vec<Envelope<M>>>,
                        slots: &mut HashMap<(VertexId, u64), usize>,
                        dest: VertexId,
                        msg: &M,
-                       mult: u64| {
+                       mult: u64|
+         -> bool {
             let dw = part.owner_of(dest) as usize;
             if combine {
                 if let Some(key) = msg.combine_key() {
@@ -661,12 +1048,13 @@ pub fn route<M: Message>(
                         let slot = &mut buckets[dw][pos];
                         slot.msg.merge(msg);
                         slot.mult += mult;
-                        return;
+                        return false;
                     }
                     slots.insert((dest, key), buckets[dw].len());
                 }
             }
             buckets[dw].push(Envelope::new(dest, msg.clone(), mult));
+            true
         };
 
         for env in outbox.sends.drain(..) {
@@ -674,19 +1062,37 @@ pub fn route<M: Message>(
             deposit(&mut buckets, &mut slots, env.dest, &env.msg, env.mult);
         }
         for (origin, msg, mult) in outbox.broadcasts.drain(..) {
-            stats.sent_wire += graph.degree(origin) as u64 * mult;
+            let degree = graph.degree(origin) as u64;
+            stats.sent_wire += degree * mult;
             let fanout = mirrors.and_then(|m| m.fanout(origin));
             if let Some(mirror_workers) = fanout {
                 for &mw in mirror_workers {
                     prepaid_net[mw as usize] += msg_bytes * mult;
+                    if compact {
+                        prepaid_net_enc[mw as usize] +=
+                            (MIRROR_ENC_OVERHEAD + msg.encoded_payload_bytes()) * mult;
+                    }
                 }
             }
+            let caching = fanout.is_none()
+                && policy.respond_cache_threshold != 0
+                && degree >= policy.respond_cache_threshold as u64;
+            let mut primed: HashSet<usize> = HashSet::new();
             for &t in graph.neighbors(origin) {
                 let dw = part.owner_of(t) as usize;
                 if fanout.is_some() && dw != src {
                     prepaid_wire[dw] += mult;
                 }
-                deposit(&mut buckets, &mut slots, t, &msg, mult);
+                let appended = deposit(&mut buckets, &mut slots, t, &msg, mult);
+                if caching && dw != src && appended {
+                    if primed.contains(&dw) {
+                        respond_hits[dw] += 1;
+                        cached_payload[dw] += msg.encoded_payload_bytes();
+                    } else {
+                        primed.insert(dw);
+                        respond_misses[dw] += 1;
+                    }
+                }
             }
         }
 
@@ -700,6 +1106,20 @@ pub fn route<M: Message>(
                 flow.buffer_bytes = buffer_bytes;
                 flow.wire = wire;
                 flow.tuples = tuples;
+                flow.respond_hits = respond_hits[dw];
+                flow.respond_misses = respond_misses[dw];
+                // Wire-only, matching `finish_shard`: local buckets
+                // never serialize.
+                if compact && dw != src {
+                    let enc = wire::measure_bucket(&bucket, |v| locals.local_of(v))
+                        .saturating_sub(cached_payload[dw]);
+                    flow.encoded_bytes = enc;
+                    let prepaid_units = prepaid_wire[dw].min(wire);
+                    let kept = (enc * prepaid_units)
+                        .checked_div(wire)
+                        .map_or(0, |folded| enc - folded);
+                    flow.encoded_net_bytes = kept + prepaid_net_enc[dw];
+                }
                 if dw != src {
                     let prepaid_units = prepaid_wire[dw].min(payload_units);
                     flow.net_bytes =
@@ -768,6 +1188,25 @@ pub struct RouteGrid<M> {
     /// Per-destination active-local-index scratch.
     active: Vec<Vec<u32>>,
     stats: RoutingStats,
+    /// Routing behaviour (wire format, adaptive combining, respond
+    /// cache). Default reproduces the historic pipeline bit-for-bit.
+    policy: RoutePolicy,
+    /// Adaptive combining state: next-round decision per source worker,
+    /// rounds spent off since the last probe, and the payload-unit
+    /// volume observed in the round that last voted the combiner off
+    /// (frontier-driven workloads are non-stationary, so a traffic
+    /// regime shift while sitting out forces an immediate re-probe).
+    combine_next: Vec<bool>,
+    since_probe: Vec<u32>,
+    off_sent: Vec<u64>,
+    off_streak: Vec<u32>,
+    /// Previous round's per-source payload units: rounds whose traffic
+    /// more than doubles over it are still ramping, and their fold
+    /// yields don't predict the saturated regime's — no verdict is
+    /// taken from them.
+    prev_sent: Vec<u64>,
+    /// This round's effective per-source combining decisions.
+    decisions: Vec<bool>,
     /// When set, rounds routed by this grid are tagged as
     /// rollback-replay retransmissions in their [`RoutingStats`].
     replay: bool,
@@ -791,6 +1230,13 @@ impl<M: Message> RouteGrid<M> {
             counts: (0..workers).map(|_| Vec::new()).collect(),
             active: (0..workers).map(|_| Vec::new()).collect(),
             stats: RoutingStats::new(workers),
+            policy: RoutePolicy::default(),
+            combine_next: vec![true; workers],
+            since_probe: vec![0; workers],
+            off_sent: vec![0; workers],
+            off_streak: vec![0; workers],
+            prev_sent: vec![0; workers],
+            decisions: vec![false; workers],
             replay: false,
         }
     }
@@ -799,6 +1245,23 @@ impl<M: Message> RouteGrid<M> {
     /// [`RoutingStats::replay`].
     pub fn set_replay(&mut self, replay: bool) {
         self.replay = replay;
+    }
+
+    /// Install a routing policy for subsequent rounds, resetting the
+    /// adaptive-combining state (combiners start on and must earn their
+    /// keep).
+    pub fn set_policy(&mut self, policy: RoutePolicy) {
+        self.policy = policy;
+        self.combine_next.iter_mut().for_each(|c| *c = true);
+        self.since_probe.iter_mut().for_each(|p| *p = 0);
+        self.off_sent.iter_mut().for_each(|s| *s = 0);
+        self.off_streak.iter_mut().for_each(|s| *s = 0);
+        self.prev_sent.iter_mut().for_each(|s| *s = 0);
+    }
+
+    /// The active routing policy.
+    pub fn policy(&self) -> RoutePolicy {
+        self.policy
     }
 
     /// Route one round of traffic: drain `outboxes` into the grouped
@@ -825,6 +1288,14 @@ impl<M: Message> RouteGrid<M> {
         assert_eq!(outboxes.len(), workers, "one outbox per worker");
         assert_eq!(inboxes.len(), workers, "one inbox per worker");
 
+        // Effective per-source combining decision: the profile flag,
+        // gated by the adaptive toggle's last verdict when enabled.
+        let adaptive = combine && self.policy.adaptive_combine;
+        for (src, dec) in self.decisions.iter_mut().enumerate() {
+            *dec = combine && (!self.policy.adaptive_combine || self.combine_next[src]);
+        }
+        let policy = self.policy;
+
         // ---- stage 1: shard + combine, parallel over sources --------
         // Lane assignment is `worker % pool.workers()`: normally the
         // pool is partition-sized and this is the identity, but it also
@@ -832,33 +1303,87 @@ impl<M: Message> RouteGrid<M> {
         match pool {
             Some(pool) => pool.scope(|s| {
                 let lanes = pool.workers();
-                for (src, (((outbox, row), sent), slots)) in outboxes
+                for (src, ((((outbox, row), sent), slots), &dec)) in outboxes
                     .iter_mut()
                     .zip(self.rows.iter_mut())
                     .zip(self.sent.iter_mut())
                     .zip(self.slots.iter_mut())
+                    .zip(self.decisions.iter())
                     .enumerate()
                 {
                     s.run_on(src % lanes, move || {
                         *sent = shard_outbox(
-                            src, outbox, graph, part, locals, mirrors, combine, msg_bytes, row,
-                            slots,
+                            src, outbox, graph, part, locals, mirrors, dec, msg_bytes, &policy,
+                            row, slots,
                         );
                     });
                 }
             }),
             None => {
-                for (src, (((outbox, row), sent), slots)) in outboxes
+                for (src, ((((outbox, row), sent), slots), &dec)) in outboxes
                     .iter_mut()
                     .zip(self.rows.iter_mut())
                     .zip(self.sent.iter_mut())
                     .zip(self.slots.iter_mut())
+                    .zip(self.decisions.iter())
                     .enumerate()
                 {
                     *sent = shard_outbox(
-                        src, outbox, graph, part, locals, mirrors, combine, msg_bytes, row, slots,
+                        src, outbox, graph, part, locals, mirrors, dec, msg_bytes, &policy, row,
+                        slots,
                     );
                 }
+            }
+        }
+
+        // Adaptive update: a source that combined this round keeps its
+        // combiner iff the fold yield met the threshold; a source that
+        // sat out re-probes every ADAPTIVE_PROBE_PERIOD rounds, or
+        // immediately once its payload-unit volume grows past twice
+        // what the OFF-voting round saw — frontier algorithms ramp from
+        // sparse (low-yield) early rounds into dense (high-yield)
+        // saturation, and waiting out the full period there forfeits
+        // the combiner's best rounds. Pure per-source arithmetic on
+        // stage-1 counters, so pooled and serial execution decide
+        // identically.
+        if adaptive {
+            let min_tries = self.policy.adaptive_min_tries.max(1);
+            for src in 0..workers {
+                // A round whose traffic more than doubled is still
+                // ramping: its fold yield reflects a sparse frontier,
+                // not the saturated regime the decision is for, so it
+                // casts no verdict (and round one always ramps).
+                let ramping = self.sent[src] > self.prev_sent[src].saturating_mul(2);
+                if self.decisions[src] {
+                    let (h, t) = (self.slots[src].hits, self.slots[src].tries);
+                    // Below the probe floor (idle workers included) the
+                    // round has no signal: stay armed.
+                    if t < min_tries || ramping {
+                        self.combine_next[src] = true;
+                    } else if h * ADAPTIVE_HIT_RATE_DEN >= t * ADAPTIVE_HIT_RATE_NUM {
+                        self.combine_next[src] = true;
+                        self.off_streak[src] = 0;
+                    } else {
+                        self.off_streak[src] += 1;
+                        self.combine_next[src] = self.off_streak[src] < ADAPTIVE_OFF_STRIKES;
+                        if !self.combine_next[src] {
+                            self.off_sent[src] = self.sent[src].max(1);
+                        }
+                    }
+                    self.since_probe[src] = 0;
+                } else {
+                    self.since_probe[src] += 1;
+                    let regime_shift = self.sent[src] > self.off_sent[src].saturating_mul(2);
+                    if self.since_probe[src] >= ADAPTIVE_PROBE_PERIOD || regime_shift {
+                        // Re-enter one strike short: the evidence that
+                        // evicted this worker still stands, so one bad
+                        // probe round sends it straight back off.
+                        self.combine_next[src] = true;
+                        self.since_probe[src] = 0;
+                        self.off_streak[src] = ADAPTIVE_OFF_STRIKES - 1;
+                    }
+                }
+                self.prev_sent[src] = self.sent[src];
             }
         }
 
@@ -914,6 +1439,7 @@ impl<M: Message> RouteGrid<M> {
         self.stats.reset();
         self.stats.replay = self.replay;
         self.stats.sent_wire = self.sent.iter().sum();
+        self.stats.combine_on.copy_from_slice(&self.decisions);
         for src in 0..workers {
             for dst in 0..workers {
                 let flow = self.flows[dst * workers + src];
@@ -1183,6 +1709,167 @@ mod tests {
                 assert_eq!(stats, &want_stats, "combine={combine} pooled={pooled}");
                 assert_eq!(inboxes, want_in, "combine={combine} pooled={pooled}");
             }
+        }
+    }
+
+    #[test]
+    fn compact_grid_matches_serial_and_shrinks_bytes() {
+        let g = generators::star(17);
+        let p = RangePartitioner.partition(&g, 4);
+        let l = LocalIndex::build(&p);
+        let idx = MirrorIndex::build(&g, &p, 4);
+        let policy = RoutePolicy {
+            wire_format: WireFormat::Compact,
+            ..RoutePolicy::default()
+        };
+        let make_outboxes = || {
+            let mut ob0: Outbox<Src> = Outbox::new();
+            ob0.broadcasts.push((0, Src(0), 1));
+            ob0.sends.push(Envelope::new(16, Src(9), 2));
+            ob0.sends.push(Envelope::new(12, Src(9), 3));
+            let mut obs = vec![ob0];
+            obs.extend((1..4).map(|_| Outbox::new()));
+            obs
+        };
+        for combine in [false, true] {
+            let (want_in, want_stats) = route_with(
+                make_outboxes(),
+                &g,
+                &p,
+                &l,
+                Some(&idx),
+                combine,
+                16,
+                &policy,
+            );
+            assert!(want_stats.encoded_wire_bytes > 0);
+            let estimate: u64 = want_stats.out_buffer_bytes.iter().sum();
+            assert!(
+                want_stats.encoded_wire_bytes < estimate,
+                "encoded {} must undercut the {} byte estimate",
+                want_stats.encoded_wire_bytes,
+                estimate
+            );
+            let mut grid: RouteGrid<Src> = RouteGrid::new(4);
+            grid.set_policy(policy);
+            let mut outboxes = make_outboxes();
+            let mut inboxes: Vec<Inbox<Src>> = (0..4).map(|_| Inbox::new()).collect();
+            let stats = grid.route_round(
+                None,
+                &mut outboxes,
+                &mut inboxes,
+                &g,
+                &p,
+                &l,
+                Some(&idx),
+                combine,
+                16,
+            );
+            assert_eq!(stats, &want_stats, "combine={combine}");
+            assert_eq!(inboxes, want_in, "combine={combine}");
+        }
+    }
+
+    #[test]
+    fn respond_cache_counts_hits_and_elides_payload() {
+        // Unmirrored star broadcast: hub 0 fans 16 copies to 4 workers;
+        // each remote worker gets 1 prime + 3 cache hits.
+        let g = generators::star(17);
+        let p = RangePartitioner.partition(&g, 4);
+        let l = LocalIndex::build(&p);
+        let policy = |threshold| RoutePolicy {
+            wire_format: WireFormat::Compact,
+            respond_cache_threshold: threshold,
+            ..RoutePolicy::default()
+        };
+        let run = |pol: RoutePolicy| {
+            let mut ob0: Outbox<Src> = Outbox::new();
+            ob0.broadcasts.push((0, Src(0), 1));
+            let mut obs = vec![ob0];
+            obs.extend((1..4).map(|_| Outbox::new()));
+            route_with(obs, &g, &p, &l, None, false, 16, &pol)
+        };
+        let (in_off, off) = run(policy(0));
+        let (in_on, on) = run(policy(8));
+        assert_eq!(in_on, in_off, "the cache is accounting-only");
+        assert_eq!(off.respond_hits, 0);
+        assert_eq!(off.respond_misses, 0);
+        // Worker 0 owns hub + leaves 1..4 (local, uncached); workers
+        // 1..3 each receive 4 copies: 1 miss + 3 hits.
+        assert_eq!(on.respond_misses, 3);
+        assert_eq!(on.respond_hits, 9);
+        // Each hit elides one 8-byte default payload.
+        assert_eq!(on.encoded_wire_bytes + 9 * 8, off.encoded_wire_bytes);
+        assert_eq!(on.sent_wire, off.sent_wire, "wire count never changes");
+        // A threshold above the hub degree leaves the cache cold.
+        let (_, over) = run(policy(64));
+        assert_eq!(over.respond_hits, 0);
+        assert_eq!(over.encoded_wire_bytes, off.encoded_wire_bytes);
+    }
+
+    #[test]
+    fn adaptive_combining_turns_off_on_low_hit_rate_and_reprobes() {
+        // All-distinct destinations: combining probes every envelope
+        // and never merges (fold yield 0), so the adaptive toggle must
+        // shut it off after two strikes and re-probe later. The probe
+        // floor drops to 1 so these eight-envelope rounds count as
+        // full-signal rounds; constant traffic volume means round 0 is
+        // the only ramp round (no verdict) and no regime-shift
+        // re-probe fires while the combiner sits out.
+        let (g, p, l) = two_worker_setup();
+        let mut grid: RouteGrid<Src> = RouteGrid::new(2);
+        grid.set_policy(RoutePolicy {
+            adaptive_combine: true,
+            adaptive_min_tries: 1,
+            ..RoutePolicy::default()
+        });
+        let mut inboxes: Vec<Inbox<Src>> = (0..2).map(|_| Inbox::new()).collect();
+        let mut on_rounds = Vec::new();
+        for _round in 0..ADAPTIVE_PROBE_PERIOD + 4 {
+            let mut obs: Vec<Outbox<Src>> = vec![Outbox::new(), Outbox::new()];
+            for d in 0..8u32 {
+                obs[0].sends.push(Envelope::new(d, Src(d), 1));
+            }
+            let stats = grid.route_round(None, &mut obs, &mut inboxes, &g, &p, &l, None, true, 8);
+            assert_eq!(stats.sent_wire, 8);
+            assert_eq!(stats.delivered_tuples, 8);
+            on_rounds.push(stats.combine_on[0]);
+            // An idle worker observes no probes (t == 0) and keeps its
+            // combiner armed.
+            assert!(stats.combine_on[1]);
+            inboxes.iter_mut().for_each(|i| i.clear());
+        }
+        // Round 0 ramps (no verdict), rounds 1-2 strike, rounds
+        // 3..PROBE_PERIOD+3 stay OFF, then one probe round turns it
+        // back ON — and, re-entering one strike short, a single bad
+        // verdict would evict it again.
+        assert!(on_rounds[0] && on_rounds[1] && on_rounds[2]);
+        assert!(on_rounds[3..ADAPTIVE_PROBE_PERIOD as usize + 3]
+            .iter()
+            .all(|&c| !c));
+        assert!(on_rounds[ADAPTIVE_PROBE_PERIOD as usize + 3]);
+    }
+
+    #[test]
+    fn adaptive_combining_stays_on_at_high_hit_rate() {
+        let (g, p, l) = two_worker_setup();
+        let mut grid: RouteGrid<Src> = RouteGrid::new(2);
+        grid.set_policy(RoutePolicy {
+            adaptive_combine: true,
+            adaptive_min_tries: 1,
+            ..RoutePolicy::default()
+        });
+        let mut inboxes: Vec<Inbox<Src>> = (0..2).map(|_| Inbox::new()).collect();
+        for round in 0..4 {
+            let mut obs: Vec<Outbox<Src>> = vec![Outbox::new(), Outbox::new()];
+            // 8 sends, one destination+key: 7/8 fold yield ≥ 3/4.
+            for _ in 0..8 {
+                obs[0].sends.push(Envelope::new(5, Src(1), 1));
+            }
+            let stats = grid.route_round(None, &mut obs, &mut inboxes, &g, &p, &l, None, true, 8);
+            assert!(stats.combine_on[0], "round {round} stays combined");
+            assert_eq!(stats.delivered_tuples, 1);
+            inboxes.iter_mut().for_each(|i| i.clear());
         }
     }
 

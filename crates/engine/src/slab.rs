@@ -25,6 +25,13 @@ use crate::program::{Context, ProgramCore};
 use mtvc_graph::VertexId;
 use parking_lot::Mutex;
 
+/// Query lanes per SIMD chunk. Rows are processed in fixed-width
+/// `[u64; LANES]` blocks whose branchless min/mask bodies autovectorize
+/// on stable Rust; 8 × u64 fills one AVX-512 register (two AVX2 ops)
+/// and 8 lane bits always land inside a single frontier word, so a
+/// chunk's mask update is one shifted OR.
+pub const LANES: usize = 8;
+
 /// One dense state slab: `rows × width` cells plus a frontier bitset.
 ///
 /// Layout (local-index-major, unpadded):
@@ -203,6 +210,32 @@ impl<C: Copy> SlabRowMut<'_, C> {
         }
     }
 
+    /// Visit every marked cell in **chunks of [`LANES`] lanes**,
+    /// ascending, clearing marks as it goes. The visitor receives the
+    /// chunk index, an 8-bit mask of which lanes in the chunk are
+    /// marked, and mutable access to the chunk's cells (the final chunk
+    /// of a non-multiple-of-8 row is a short slice). Frontier words are
+    /// scanned a word at a time — a row with no marks costs
+    /// `ceil(W/64)` word loads, never a per-bit probe.
+    #[inline]
+    pub fn drain_chunks(&mut self, mut f: impl FnMut(usize, u8, &mut [C])) {
+        let len = self.cells.len();
+        for (wi, word) in self.front.iter_mut().enumerate() {
+            let mut bits = *word;
+            *word = 0;
+            while bits != 0 {
+                // Jump straight to the next dirty byte of the word.
+                let byte = bits.trailing_zeros() as usize >> 3;
+                let mask = (bits >> (byte * 8)) as u8;
+                bits &= !(0xFFu64 << (byte * 8));
+                let chunk = wi * 8 + byte;
+                let start = chunk * LANES;
+                let end = (start + LANES).min(len);
+                f(chunk, mask, &mut self.cells[start..end]);
+            }
+        }
+    }
+
     /// The raw cell slice.
     #[inline]
     pub fn cells(&self) -> &[C] {
@@ -219,6 +252,57 @@ impl SlabRowMut<'_, u64> {
         let better = cand < cur;
         self.cells[q] = if better { cand } else { cur };
         self.front[q >> 6] |= (better as u64) << (q & 63);
+    }
+
+    /// Relax one [`LANES`]-wide chunk of cells against `cand`,
+    /// branchlessly, OR-ing the improvement mask into the frontier with
+    /// a single shifted store. `base` must be chunk-aligned
+    /// (`base % LANES == 0`); lanes past the row width are ignored, and
+    /// `u64::MAX` candidate lanes are natural no-ops. Semantically
+    /// identical to `LANES` scalar [`relax_min`] calls — pinned by
+    /// proptest against that oracle.
+    ///
+    /// [`relax_min`]: SlabRowMut::relax_min
+    #[inline]
+    pub fn relax_min_lanes(&mut self, base: usize, cand: &[u64; LANES]) {
+        debug_assert_eq!(base % LANES, 0, "chunk base must be LANES-aligned");
+        let n = LANES.min(self.cells.len() - base);
+        let mut mask = 0u64;
+        if n == LANES {
+            // Fixed-width slice: one bounds check, then the compiler
+            // vectorizes the branchless min/mask body.
+            let row: &mut [u64] = &mut self.cells[base..base + LANES];
+            for (l, cell) in row.iter_mut().enumerate() {
+                let cur = *cell;
+                let c = cand[l];
+                let better = c < cur;
+                *cell = if better { c } else { cur };
+                mask |= (better as u64) << l;
+            }
+        } else {
+            for (l, &c) in cand.iter().enumerate().take(n) {
+                let cur = self.cells[base + l];
+                let better = c < cur;
+                self.cells[base + l] = if better { c } else { cur };
+                mask |= (better as u64) << l;
+            }
+        }
+        // 8 aligned lanes never straddle a frontier word.
+        self.front[base >> 6] |= mask << (base & 63);
+    }
+
+    /// Relax the whole row against a candidate slice (`cands.len()`
+    /// must equal the row width), chunk by chunk. Equivalent to `W`
+    /// scalar [`relax_min`](SlabRowMut::relax_min) calls.
+    #[inline]
+    pub fn relax_min_row(&mut self, cands: &[u64]) {
+        debug_assert_eq!(cands.len(), self.cells.len());
+        let mut chunk = [u64::MAX; LANES];
+        for (ci, block) in cands.chunks(LANES).enumerate() {
+            chunk[..block.len()].copy_from_slice(block);
+            chunk[block.len()..].fill(u64::MAX);
+            self.relax_min_lanes(ci * LANES, &chunk);
+        }
     }
 }
 
@@ -521,6 +605,80 @@ mod tests {
         let mut marks = Vec::new();
         b.row_mut(2).drain(|q, _| marks.push(q));
         assert_eq!(marks, vec![1], "frontier words travel with the clone");
+    }
+
+    #[test]
+    fn lane_relax_matches_scalar_on_partial_chunk() {
+        // Width 7: the single chunk is short; lane 7 must be ignored.
+        let mut lanes: StateSlab<u64> = StateSlab::new(1, 7, u64::MAX);
+        let mut scalar = lanes.clone();
+        let cand = [9, u64::MAX, 3, 100, u64::MAX, 0, 7, 42];
+        lanes.row_mut(0).relax_min_lanes(0, &cand);
+        {
+            let mut row = scalar.row_mut(0);
+            for (q, &c) in cand.iter().take(7).enumerate() {
+                row.relax_min(q, c);
+            }
+        }
+        assert_eq!(lanes.row(0), scalar.row(0));
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        lanes.row_mut(0).drain(|q, c| a.push((q, *c)));
+        scalar.row_mut(0).drain(|q, c| b.push((q, *c)));
+        assert_eq!(a, b);
+        assert_eq!(a, vec![(0, 9), (2, 3), (3, 100), (5, 0), (6, 7)]);
+    }
+
+    #[test]
+    fn drain_chunks_reports_masks_ascending_and_clears() {
+        let mut slab: StateSlab<u64> = StateSlab::new(1, 130, 0);
+        {
+            let mut row = slab.row_mut(0);
+            for q in [129, 3, 64, 63, 8] {
+                row.set(q, q as u64);
+                row.mark(q);
+            }
+        }
+        let mut seen = Vec::new();
+        slab.row_mut(0).drain_chunks(|chunk, mask, cells| {
+            seen.push((chunk, mask, cells.len()));
+        });
+        // q=3 -> chunk 0 bit 3; q=8 -> chunk 1 bit 0; q=63 -> chunk 7
+        // bit 7; q=64 -> chunk 8 bit 0; q=129 -> chunk 16 bit 1 (short
+        // tail chunk of 2 cells).
+        assert_eq!(
+            seen,
+            vec![
+                (0, 1 << 3, 8),
+                (1, 1 << 0, 8),
+                (7, 1 << 7, 8),
+                (8, 1 << 0, 8),
+                (16, 1 << 1, 2),
+            ]
+        );
+        let mut again = Vec::new();
+        slab.row_mut(0).drain_chunks(|c, _, _| again.push(c));
+        assert!(again.is_empty(), "drain_chunks clears the frontier");
+    }
+
+    #[test]
+    fn relax_min_row_equals_scalar_sequence() {
+        let mut lanes: StateSlab<u64> = StateSlab::new(1, 19, u64::MAX);
+        let mut scalar = lanes.clone();
+        let cands: Vec<u64> = (0..19).map(|q| (q as u64 * 37) % 23).collect();
+        lanes.row_mut(0).relax_min_row(&cands);
+        {
+            let mut row = scalar.row_mut(0);
+            for (q, &c) in cands.iter().enumerate() {
+                row.relax_min(q, c);
+            }
+        }
+        assert_eq!(lanes.row(0), scalar.row(0));
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        lanes.row_mut(0).drain(|q, c| a.push((q, *c)));
+        scalar.row_mut(0).drain(|q, c| b.push((q, *c)));
+        assert_eq!(a, b);
     }
 
     #[test]

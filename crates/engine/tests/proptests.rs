@@ -4,9 +4,9 @@
 use mtvc_cluster::{ClusterSpec, FaultPlan};
 use mtvc_engine::sampling::{binomial, multinomial_uniform};
 use mtvc_engine::{
-    route, Context, Delivery, EngineConfig, Envelope, Inbox, LocalIndex, Message, MirrorIndex,
-    Outbox, RouteGrid, Runner, SlabProgram, SlabRecycler, SlabRowMut, SystemProfile, VertexProgram,
-    WorkerPool,
+    route_with, wire, Context, Delivery, EngineConfig, Envelope, Inbox, LocalIndex, Message,
+    MirrorIndex, Outbox, PayloadCodec, RouteGrid, RoutePolicy, Runner, SlabProgram, SlabRecycler,
+    SlabRowMut, StateSlab, SystemProfile, VertexProgram, WireFormat, WorkerPool, LANES,
 };
 use mtvc_graph::partition::{HashPartitioner, Partitioner};
 use mtvc_graph::{generators, VertexId};
@@ -169,6 +169,23 @@ impl Message for Keyed {
     fn merge(&mut self, o: &Self) {
         self.val += o.val;
     }
+    fn wire_query(&self) -> Option<u64> {
+        self.key
+    }
+    fn encoded_payload_bytes(&self) -> u64 {
+        wire::varint_len(self.val)
+    }
+}
+impl PayloadCodec for Keyed {
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        wire::write_varint(out, self.val);
+    }
+    fn decode_payload(wire_query: Option<u64>, buf: &[u8], pos: &mut usize) -> Self {
+        Keyed {
+            key: wire_query,
+            val: wire::read_varint(buf, pos),
+        }
+    }
 }
 
 /// Build one synthetic outbox per worker from the RNG: point-to-point
@@ -227,6 +244,8 @@ proptest! {
         workers in 1usize..9,
         combine in any::<bool>(),
         mirrored in any::<bool>(),
+        compact in any::<bool>(),
+        caching in any::<bool>(),
         seed in any::<u64>(),
     ) {
         let g = generators::erdos_renyi(n, n * 3, seed);
@@ -235,6 +254,11 @@ proptest! {
         let mirrors = mirrored.then(|| MirrorIndex::build(&g, &part, 4));
         let outboxes = synthetic_outboxes(&g, &part, seed ^ 0xD1CE, 40, 6);
         let msg_bytes = 16;
+        let policy = RoutePolicy {
+            wire_format: if compact { WireFormat::Compact } else { WireFormat::Tuples },
+            respond_cache_threshold: if caching { 4 } else { 0 },
+            ..RoutePolicy::default()
+        };
 
         // Total wire messages entering the router, counted from the raw
         // traffic — conservation baseline for the accounting checks.
@@ -245,8 +269,9 @@ proptest! {
                     .sum::<u64>()
         }).sum();
 
-        let (serial_inboxes, serial_stats) =
-            route(outboxes.clone(), &g, &part, &locals, mirrors.as_ref(), combine, msg_bytes);
+        let (serial_inboxes, serial_stats) = route_with(
+            outboxes.clone(), &g, &part, &locals, mirrors.as_ref(), combine, msg_bytes, &policy,
+        );
 
         // Wire accounting must be invariant under combining: combiners
         // fold tuples, never wire messages.
@@ -260,6 +285,25 @@ proptest! {
             .map(|d| d.mult)
             .sum();
         prop_assert_eq!(delivered_mult, raw_wire);
+
+        // Encoded-byte conservation: every post-codec byte sent to
+        // another worker is received by exactly one worker, and without
+        // mirroring (whose prepaid mirror transfers shift bytes between
+        // the two views) the per-worker totals are exactly the summed
+        // cross-worker bucket encodings.
+        let enc_out: u64 = serial_stats.encoded_out_bytes.iter().sum();
+        let enc_in: u64 = serial_stats.encoded_in_bytes.iter().sum();
+        prop_assert_eq!(enc_out, enc_in);
+        if !mirrored {
+            prop_assert_eq!(enc_out, serial_stats.encoded_wire_bytes);
+        }
+        if !compact {
+            prop_assert_eq!(serial_stats.encoded_wire_bytes, 0);
+            prop_assert_eq!(enc_out, 0);
+        }
+        if !caching {
+            prop_assert_eq!(serial_stats.respond_hits + serial_stats.respond_misses, 0);
+        }
 
         // Grouped-delivery invariants: runs ascend by local index, end
         // offsets are strictly monotone and partition the buffer, and
@@ -283,6 +327,7 @@ proptest! {
         // buffer reuse across rounds.
         let pool = WorkerPool::new(workers.min(4));
         let mut grid: RouteGrid<Keyed> = RouteGrid::new(workers);
+        grid.set_policy(policy);
         let mut grid_inboxes: Vec<Inbox<Keyed>> =
             (0..workers).map(|_| Inbox::new()).collect();
         for _ in 0..2 {
@@ -304,6 +349,109 @@ proptest! {
                 && ob.broadcasts.is_empty()));
         }
         prop_assert_eq!(&grid_inboxes, &serial_inboxes);
+    }
+
+    /// The compact codec is lossless and exactly self-measuring: for
+    /// any envelope bucket, `measure_bucket` equals the real encoded
+    /// byte length and decoding restores the bucket in the canonical
+    /// (local-index-sorted, stable) order with every field intact.
+    #[test]
+    fn codec_roundtrip_and_measure_parity(
+        len in 0usize..60,
+        seed in any::<u64>(),
+    ) {
+        use rand::Rng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let envs: Vec<Envelope<Keyed>> = (0..len)
+            .map(|_| {
+                let dest = (rng.gen::<u64>() % 32) as VertexId;
+                let key = match rng.gen::<u64>() % 5 {
+                    0 => None,
+                    1 => Some(u64::MAX),
+                    k => Some(k % 3),
+                };
+                // Shifted values hit every varint length class.
+                let val = rng.gen::<u64>() >> (rng.gen::<u64>() % 64);
+                let mult = 1 + rng.gen::<u64>() % 4;
+                Envelope::new(dest, Keyed { key, val }, mult)
+            })
+            .collect();
+        let li_of = |v: VertexId| v;
+
+        let buf = wire::encode_bucket(&envs, li_of);
+        prop_assert_eq!(wire::measure_bucket(&envs, li_of), buf.len() as u64);
+
+        let decoded: Vec<Envelope<Keyed>> = wire::decode_bucket(&buf, |li| li);
+        let mut order: Vec<usize> = (0..envs.len()).collect();
+        order.sort_by_key(|&i| envs[i].dest);
+        prop_assert_eq!(decoded.len(), envs.len());
+        for (d, &i) in decoded.iter().zip(&order) {
+            prop_assert_eq!(d.dest, envs[i].dest);
+            prop_assert_eq!(d.mult, envs[i].mult);
+            prop_assert_eq!(&d.msg, &envs[i].msg);
+        }
+    }
+
+    /// Lane-chunked slab kernels are bit-identical to the scalar
+    /// operations they batch: `relax_min_lanes` against per-lane
+    /// `relax_min`, then `drain_chunks` against `drain`, across batch
+    /// widths on and off the [`LANES`] boundary.
+    #[test]
+    fn lane_relax_and_drain_match_scalar_oracle(
+        width_sel in 0usize..4,
+        rows in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        use rand::Rng;
+        // On and off the LANES boundary, plus a multi-word frontier.
+        let width = [1usize, 7, 8, 64][width_sel];
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut lane: StateSlab<u64> = StateSlab::new(rows, width, u64::MAX);
+        let mut scalar: StateSlab<u64> = StateSlab::new(rows, width, u64::MAX);
+        let chunks = width.div_ceil(LANES);
+
+        for _ in 0..200 {
+            let li = rng.gen::<u32>() % rows as u32;
+            let chunk = rng.gen::<u64>() as usize % chunks;
+            let mut cand = [u64::MAX; LANES];
+            for c in cand.iter_mut() {
+                if rng.gen::<u64>() % 3 != 0 {
+                    *c = rng.gen::<u64>() % 1000;
+                }
+            }
+            lane.row_mut(li).relax_min_lanes(chunk * LANES, &cand);
+            let mut row = scalar.row_mut(li);
+            for (l, &c) in cand.iter().enumerate() {
+                let q = chunk * LANES + l;
+                if q < width {
+                    row.relax_min(q, c);
+                }
+            }
+        }
+        for li in 0..rows as u32 {
+            prop_assert_eq!(lane.row(li), scalar.row(li));
+        }
+
+        // Same dirty sets, visited in the same ascending order, and
+        // both drains leave the frontier clear.
+        for li in 0..rows as u32 {
+            let mut via_chunks: Vec<(usize, u64)> = Vec::new();
+            lane.row_mut(li).drain_chunks(|chunk, mask, cells| {
+                for (l, &cell) in cells.iter().enumerate() {
+                    if mask & (1 << l) != 0 {
+                        via_chunks.push((chunk * LANES + l, cell));
+                    }
+                }
+            });
+            let mut via_scalar: Vec<(usize, u64)> = Vec::new();
+            scalar.row_mut(li).drain(|q, cell| via_scalar.push((q, *cell)));
+            prop_assert_eq!(&via_chunks, &via_scalar, "row {}", li);
+
+            let mut leftover = 0usize;
+            lane.row_mut(li).drain(|_, _| leftover += 1);
+            scalar.row_mut(li).drain(|_, _| leftover += 1);
+            prop_assert_eq!(leftover, 0, "drain must clear the frontier");
+        }
     }
 
     /// Full-run scheduling independence across the combiner axis: the

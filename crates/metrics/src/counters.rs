@@ -24,6 +24,13 @@ pub struct RoundStats {
     pub network_bytes: Bytes,
     /// Bytes of message traffic staying within a machine.
     pub local_bytes: Bytes,
+    /// Post-codec bytes of the round's message buckets under the
+    /// compact wire format (zero for profiles shipping full tuples).
+    pub encoded_wire_bytes: Bytes,
+    /// Broadcast copies served from receiver-side request-respond
+    /// caches this round, and the payloads shipped to prime them.
+    pub respond_cache_hits: u64,
+    pub respond_cache_misses: u64,
     /// Vertices whose `compute` ran this round.
     pub active_vertices: u64,
     /// Peak memory used by the *busiest* machine during this round.
@@ -74,6 +81,12 @@ pub struct RunStats {
     pub total_messages_sent: u64,
     pub total_messages_delivered: u64,
     pub total_network_bytes: Bytes,
+    /// Post-codec bucket bytes across the run (see
+    /// [`RoundStats::encoded_wire_bytes`]).
+    pub total_encoded_wire_bytes: Bytes,
+    /// Request-respond cache totals across the run.
+    pub respond_cache_hits: u64,
+    pub respond_cache_misses: u64,
     pub total_spilled_bytes: Bytes,
     pub peak_memory: Bytes,
     /// High-water mark of per-machine resident vertex-state bytes
@@ -103,6 +116,9 @@ impl RunStats {
         self.total_messages_sent += round.messages_sent;
         self.total_messages_delivered += round.messages_delivered;
         self.total_network_bytes += round.network_bytes;
+        self.total_encoded_wire_bytes += round.encoded_wire_bytes;
+        self.respond_cache_hits += round.respond_cache_hits;
+        self.respond_cache_misses += round.respond_cache_misses;
         self.total_spilled_bytes += round.spilled_bytes;
         self.peak_memory = self.peak_memory.max(round.peak_machine_memory);
         self.peak_state_bytes = self.peak_state_bytes.max(round.state_bytes);
@@ -120,6 +136,9 @@ impl RunStats {
         self.total_messages_sent += other.total_messages_sent;
         self.total_messages_delivered += other.total_messages_delivered;
         self.total_network_bytes += other.total_network_bytes;
+        self.total_encoded_wire_bytes += other.total_encoded_wire_bytes;
+        self.respond_cache_hits += other.respond_cache_hits;
+        self.respond_cache_misses += other.respond_cache_misses;
         self.total_spilled_bytes += other.total_spilled_bytes;
         self.peak_memory = self.peak_memory.max(other.peak_memory);
         self.peak_state_bytes = self.peak_state_bytes.max(other.peak_state_bytes);

@@ -17,7 +17,9 @@
 
 use crate::mssp::QueryId;
 use crate::sources::SourceIndex;
-use mtvc_engine::{Context, Delivery, Message, SlabProgram, SlabRowMut, VertexProgram};
+use mtvc_engine::{
+    Context, Delivery, Message, PayloadCodec, SlabProgram, SlabRowMut, VertexProgram,
+};
 use mtvc_graph::hash::FastSet;
 use mtvc_graph::VertexId;
 use std::ops::Range;
@@ -34,6 +36,21 @@ impl Message for ReachMsg {
         Some(self.query as u64)
     }
     fn merge(&mut self, _other: &Self) {}
+    fn wire_query(&self) -> Option<u64> {
+        Some(self.query as u64)
+    }
+    fn encoded_payload_bytes(&self) -> u64 {
+        0 // the query id *is* the message — it rides the query stream
+    }
+}
+
+impl PayloadCodec for ReachMsg {
+    fn encode_payload(&self, _out: &mut Vec<u8>) {}
+    fn decode_payload(wire_query: Option<u64>, _buf: &[u8], _pos: &mut usize) -> Self {
+        ReachMsg {
+            query: wire_query.expect("ReachMsg always carries a query id") as QueryId,
+        }
+    }
 }
 
 /// Per-vertex BKHS state: queries whose k-hop ball contains this vertex.

@@ -30,7 +30,9 @@
 //! consumption and f64 summation order are bit-identical to the
 //! hash-map baselines.
 
-use mtvc_engine::{Context, Delivery, Message, SlabProgram, SlabRowMut, VertexProgram};
+use mtvc_engine::{
+    Context, Delivery, Message, PayloadCodec, SlabProgram, SlabRowMut, VertexProgram,
+};
 use mtvc_graph::hash::FastMap;
 use mtvc_graph::VertexId;
 
@@ -102,6 +104,21 @@ impl Message for WalkMsg {
         Some(self.source as u64)
     }
     fn merge(&mut self, _other: &Self) {}
+    fn wire_query(&self) -> Option<u64> {
+        Some(self.source as u64)
+    }
+    fn encoded_payload_bytes(&self) -> u64 {
+        0 // the source id *is* the walk token — it rides the query stream
+    }
+}
+
+impl PayloadCodec for WalkMsg {
+    fn encode_payload(&self, _out: &mut Vec<u8>) {}
+    fn decode_payload(wire_query: Option<u64>, _buf: &[u8], _pos: &mut usize) -> Self {
+        WalkMsg {
+            source: wire_query.expect("WalkMsg always carries its source") as VertexId,
+        }
+    }
 }
 
 /// Per-vertex BPPR state: how many walks of each source stopped here.
@@ -375,6 +392,26 @@ impl Message for PushMsg {
     }
     fn merge(&mut self, other: &Self) {
         self.amount += other.amount;
+    }
+    fn wire_query(&self) -> Option<u64> {
+        Some(self.source as u64)
+    }
+    fn encoded_payload_bytes(&self) -> u64 {
+        8 // fractional residue: fixed-width f64 bits, never varint
+    }
+}
+
+impl PayloadCodec for PushMsg {
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.amount.to_le_bytes());
+    }
+    fn decode_payload(wire_query: Option<u64>, buf: &[u8], pos: &mut usize) -> Self {
+        let amount = f64::from_le_bytes(buf[*pos..*pos + 8].try_into().unwrap());
+        *pos += 8;
+        PushMsg {
+            source: wire_query.expect("PushMsg always carries its source") as VertexId,
+            amount,
+        }
     }
 }
 

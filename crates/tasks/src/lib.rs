@@ -46,6 +46,9 @@ pub use bppr::{
     BpprProgram, BpprPushProgram, BpprPushSlabProgram, BpprSlabProgram, PushCell, SourceSet,
 };
 pub use cc::ConnectedComponentsProgram;
-pub use mssp::{MsspBroadcastProgram, MsspBroadcastSlabProgram, MsspProgram, MsspSlabProgram};
+pub use mssp::{
+    DistLanesMsg, DistMsg, MsspBroadcastProgram, MsspBroadcastSlabProgram, MsspLaneSlabProgram,
+    MsspProgram, MsspSlabProgram,
+};
 pub use pagerank::PageRankProgram;
 pub use sources::SourceIndex;

@@ -28,7 +28,10 @@
 //!   bit-identical to the slab kernels.
 
 use crate::sources::SourceIndex;
-use mtvc_engine::{Context, Delivery, Message, SlabProgram, SlabRowMut, VertexProgram};
+use mtvc_engine::wire::{read_varint, varint_len, write_varint};
+use mtvc_engine::{
+    Context, Delivery, Message, PayloadCodec, SlabProgram, SlabRowMut, VertexProgram, LANES,
+};
 use mtvc_graph::hash::FastMap;
 use mtvc_graph::VertexId;
 use std::ops::Range;
@@ -50,6 +53,99 @@ impl Message for DistMsg {
     }
     fn merge(&mut self, other: &Self) {
         self.dist = self.dist.min(other.dist);
+    }
+    fn wire_query(&self) -> Option<u64> {
+        Some(self.query as u64)
+    }
+    fn encoded_payload_bytes(&self) -> u64 {
+        varint_len(self.dist)
+    }
+}
+
+impl PayloadCodec for DistMsg {
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.dist);
+    }
+    fn decode_payload(wire_query: Option<u64>, buf: &[u8], pos: &mut usize) -> Self {
+        DistMsg {
+            query: wire_query.expect("DistMsg always carries a query id") as QueryId,
+            dist: read_varint(buf, pos),
+        }
+    }
+}
+
+/// Lane-batched distance message: one envelope relaxes a whole
+/// LANES-aligned chunk of the receiver's distance row. `mask` flags
+/// which lanes carry a live candidate; unset lanes hold `u64::MAX` and
+/// never relax anything. Multiplicity is `mask.count_ones()`, so wire
+/// accounting matches the scalar [`DistMsg`] traffic unit for unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistLanesMsg {
+    /// Chunk index: lanes cover queries `[chunk*LANES, chunk*LANES+LANES)`.
+    pub chunk: u32,
+    /// Bit `l` set = lane `l` carries a candidate distance.
+    pub mask: u8,
+    pub dist: [u64; LANES],
+}
+
+impl DistLanesMsg {
+    /// Payload units this envelope represents (live lanes).
+    pub fn units(&self) -> u64 {
+        self.mask.count_ones() as u64
+    }
+}
+
+impl Message for DistLanesMsg {
+    fn combine_key(&self) -> Option<u64> {
+        Some(self.chunk as u64)
+    }
+    fn merge(&mut self, other: &Self) {
+        // Elementwise min; dead lanes are MAX on both sides so the
+        // branchless fold needs no mask test.
+        self.mask |= other.mask;
+        for (a, b) in self.dist.iter_mut().zip(other.dist.iter()) {
+            *a = (*a).min(*b);
+        }
+    }
+    fn wire_query(&self) -> Option<u64> {
+        Some(self.chunk as u64)
+    }
+    fn encoded_payload_bytes(&self) -> u64 {
+        // Masked accumulation instead of a per-lane branch: the lane
+        // occupancy is data-dependent, so testing each bit costs a
+        // mispredict per lane on the compact measurement pass.
+        let mut bytes = 1; // mask byte
+        for l in 0..LANES {
+            let set = ((self.mask >> l) & 1) as u64;
+            bytes += set * varint_len(self.dist[l]);
+        }
+        bytes
+    }
+}
+
+impl PayloadCodec for DistLanesMsg {
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        out.push(self.mask);
+        for l in 0..LANES {
+            if self.mask & (1 << l) != 0 {
+                write_varint(out, self.dist[l]);
+            }
+        }
+    }
+    fn decode_payload(wire_query: Option<u64>, buf: &[u8], pos: &mut usize) -> Self {
+        let mask = buf[*pos];
+        *pos += 1;
+        let mut dist = [u64::MAX; LANES];
+        for (l, d) in dist.iter_mut().enumerate() {
+            if mask & (1 << l) != 0 {
+                *d = read_varint(buf, pos);
+            }
+        }
+        DistLanesMsg {
+            chunk: wire_query.expect("DistLanesMsg always carries its chunk") as u32,
+            mask,
+            dist,
+        }
     }
 }
 
@@ -369,6 +465,129 @@ impl SlabProgram for MsspSlabProgram {
     }
 }
 
+/// Relax out-edges for every improved chunk of `row`, one lane-batched
+/// message per (chunk, edge). Shared by init and compute so both emit
+/// the identical traffic shape.
+fn send_improved_chunks(row: &mut SlabRowMut<'_, u64>, ctx: &mut Context<'_, DistLanesMsg>) {
+    row.drain_chunks(|chunk, mask, cells| {
+        let units = mask.count_ones() as u64;
+        // Masked chunk snapshot, built once; dead lanes stay at MAX
+        // and saturating_add keeps them there, so the per-edge loop
+        // below is branchless and fixed-width (autovectorizes).
+        let mut base = [u64::MAX; LANES];
+        for (l, &c) in cells.iter().enumerate() {
+            if mask & (1 << l) != 0 {
+                base[l] = c;
+            }
+        }
+        for (t, w) in ctx.weighted_neighbors() {
+            let w = w as u64;
+            let mut dist = base;
+            for d in dist.iter_mut() {
+                *d = d.saturating_add(w);
+            }
+            ctx.send(
+                t,
+                DistLanesMsg {
+                    chunk: chunk as u32,
+                    mask,
+                    dist,
+                },
+                units,
+            );
+        }
+    });
+}
+
+/// Weighted point-to-point MSSP with **lane-batched** messages and
+/// chunk-vectorized relaxation: deliveries relax eight query lanes at
+/// a time ([`SlabRowMut::relax_min_lanes`]) and the frontier drains by
+/// chunk ([`StateSlab::drain_chunks`]), so one envelope per (chunk,
+/// edge) replaces up to eight scalar [`DistMsg`]s. Payload units
+/// (envelope multiplicity) equal the scalar program's message count,
+/// so `sent_wire` — and therefore the cost model's traffic — is
+/// bit-identical to [`MsspSlabProgram`]; final distances are pinned
+/// equal by property tests.
+///
+/// [`StateSlab::drain_chunks`]: mtvc_engine::StateSlab
+#[derive(Debug, Clone)]
+pub struct MsspLaneSlabProgram {
+    index: Arc<SourceIndex>,
+    range: Range<usize>,
+}
+
+impl MsspLaneSlabProgram {
+    pub fn new(sources: Vec<VertexId>) -> MsspLaneSlabProgram {
+        let range = 0..sources.len();
+        MsspLaneSlabProgram {
+            index: SourceIndex::shared(sources),
+            range,
+        }
+    }
+
+    /// One batch of a job-wide [`SourceIndex`].
+    pub fn batch(index: Arc<SourceIndex>, range: Range<usize>) -> MsspLaneSlabProgram {
+        assert!(range.end <= index.len(), "batch range exceeds source pool");
+        MsspLaneSlabProgram { index, range }
+    }
+
+    pub fn sources(&self) -> &[VertexId] {
+        &self.index.sources()[self.range.clone()]
+    }
+
+    pub fn num_queries(&self) -> usize {
+        self.range.len()
+    }
+}
+
+impl SlabProgram for MsspLaneSlabProgram {
+    type Message = DistLanesMsg;
+    type Cell = u64;
+    type Out = MsspState;
+
+    fn width(&self) -> usize {
+        self.range.len()
+    }
+
+    fn empty_cell(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn message_bytes(&self) -> u64 {
+        20 // per payload unit — same wire estimate as the scalar kernel
+    }
+
+    fn init(&self, v: VertexId, mut row: SlabRowMut<'_, u64>, ctx: &mut Context<'_, DistLanesMsg>) {
+        let mut any = false;
+        for q in self.index.batch_queries_at(v, &self.range) {
+            // relax (not set) so the frontier records the lane and the
+            // drain below emits it.
+            row.relax_min(q as usize, 0);
+            any = true;
+        }
+        if any {
+            send_improved_chunks(&mut row, ctx);
+        }
+    }
+
+    fn compute(
+        &self,
+        _v: VertexId,
+        mut row: SlabRowMut<'_, u64>,
+        inbox: &[Delivery<DistLanesMsg>],
+        ctx: &mut Context<'_, DistLanesMsg>,
+    ) {
+        for d in inbox {
+            row.relax_min_lanes(d.msg.chunk as usize * LANES, &d.msg.dist);
+        }
+        send_improved_chunks(&mut row, ctx);
+    }
+
+    fn extract(&self, _v: VertexId, row: &[u64]) -> MsspState {
+        extract_dists(row)
+    }
+}
+
 /// Broadcast-interface MSSP on a dense state slab (hop distances).
 /// Traffic-identical to [`MsspBroadcastProgram`].
 #[derive(Debug, Clone)]
@@ -509,6 +728,69 @@ mod tests {
             SlabProgram::message_bytes(&MsspSlabProgram::new(vec![0])),
             VertexProgram::message_bytes(&p2p)
         );
+    }
+
+    #[test]
+    fn lane_msg_merge_is_masked_elementwise_min() {
+        let mut a = DistLanesMsg {
+            chunk: 3,
+            mask: 0b0000_0101,
+            dist: [
+                7,
+                u64::MAX,
+                9,
+                u64::MAX,
+                u64::MAX,
+                u64::MAX,
+                u64::MAX,
+                u64::MAX,
+            ],
+        };
+        let b = DistLanesMsg {
+            chunk: 3,
+            mask: 0b0000_0110,
+            dist: [
+                u64::MAX,
+                4,
+                5,
+                u64::MAX,
+                u64::MAX,
+                u64::MAX,
+                u64::MAX,
+                u64::MAX,
+            ],
+        };
+        a.merge(&b);
+        assert_eq!(a.mask, 0b0000_0111);
+        assert_eq!(&a.dist[..3], &[7, 4, 5]);
+        assert_eq!(a.units(), 3);
+    }
+
+    #[test]
+    fn lane_msg_codec_roundtrips() {
+        use mtvc_engine::wire::{encode_bucket, measure_bucket};
+        use mtvc_engine::Envelope;
+        let msg = DistLanesMsg {
+            chunk: 9,
+            mask: 0b1000_0010,
+            dist: [
+                u64::MAX,
+                300,
+                u64::MAX,
+                u64::MAX,
+                u64::MAX,
+                u64::MAX,
+                u64::MAX,
+                2,
+            ],
+        };
+        // mask byte + varint(300)=2 + varint(2)=1
+        assert_eq!(msg.encoded_payload_bytes(), 4);
+        let envs = vec![Envelope::new(5, msg, 2)];
+        let buf = encode_bucket(&envs, |v| v);
+        assert_eq!(buf.len() as u64, measure_bucket(&envs, |v| v));
+        let back = mtvc_engine::wire::decode_bucket::<DistLanesMsg>(&buf, |li| li as VertexId);
+        assert_eq!(back, envs);
     }
 
     #[test]

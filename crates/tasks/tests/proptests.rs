@@ -5,15 +5,15 @@
 //! per-vertex results, same message traffic, same RNG consumption.
 
 use mtvc_cluster::ClusterSpec;
-use mtvc_engine::{EngineConfig, ExecutionMode, RunResult, Runner, SystemProfile};
+use mtvc_engine::{EngineConfig, ExecutionMode, RunResult, Runner, SystemProfile, WireFormat};
 use mtvc_graph::partition::HashPartitioner;
 use mtvc_graph::{generators, reference as gref, Graph, VertexId};
 use mtvc_metrics::SimTime;
 use mtvc_tasks::bppr::{BpprState, PushState};
 use mtvc_tasks::{
     BkhsProgram, BkhsSlabProgram, BpprProgram, BpprPushProgram, BpprPushSlabProgram,
-    BpprSlabProgram, MsspBroadcastProgram, MsspBroadcastSlabProgram, MsspProgram, MsspSlabProgram,
-    SourceIndex, SourceSet,
+    BpprSlabProgram, MsspBroadcastProgram, MsspBroadcastSlabProgram, MsspLaneSlabProgram,
+    MsspProgram, MsspSlabProgram, SourceIndex, SourceSet,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -87,6 +87,45 @@ proptest! {
         prop_assert_eq!(hash.stats.rounds, slab.stats.rounds);
         for v in g.vertices() {
             prop_assert_eq!(&hash.states[v as usize], &slab.states[v as usize], "v={}", v);
+        }
+    }
+
+    /// Lane-batched MSSP (chunked envelopes, `relax_min_lanes`, and
+    /// optionally the compact wire format) must complete in the same
+    /// rounds, put the same wire-message count on the network, and
+    /// produce bit-identical distances to the scalar slab kernel —
+    /// across widths on and off the `LANES` boundary.
+    #[test]
+    fn lane_mssp_matches_scalar_slab(
+        n in 20usize..110,
+        width_sel in 0usize..4,
+        workers in 1usize..5,
+        combine in any::<bool>(),
+        compact in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        // Widths on and off the LANES boundary.
+        let width = [1usize, 7, 8, 64][width_sel];
+        let base = generators::power_law(n, n * 4, 2.3, seed);
+        let g = generators::with_random_weights(&base, 1, 9, seed ^ 3);
+        let sources = pick_sources(n, width, seed ^ 7);
+
+        let mut cfg = roomy_config(workers, seed, combine);
+        if compact {
+            cfg.profile.wire_format = WireFormat::Compact;
+        }
+        let scalar = runner(&g, cfg.clone())
+            .run_slab(&MsspSlabProgram::new(sources.clone()));
+        let lane = runner(&g, cfg)
+            .run_slab(&MsspLaneSlabProgram::new(sources));
+        completed(&scalar);
+        completed(&lane);
+        prop_assert_eq!(lane.stats.rounds, scalar.stats.rounds);
+        prop_assert_eq!(lane.stats.total_messages_sent, scalar.stats.total_messages_sent);
+        for v in g.vertices() {
+            prop_assert_eq!(
+                &lane.states[v as usize].dist, &scalar.states[v as usize].dist, "v={}", v
+            );
         }
     }
 
