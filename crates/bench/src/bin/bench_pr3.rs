@@ -11,40 +11,19 @@
 //! reached its high-water capacity. Task compute code may still
 //! allocate (MSSP's receiver-side aggregation map, for instance) — the
 //! number isolates what the *path* adds on top of the program itself.
+//!
+//! Timing and allocation mechanics live in [`mtvc_bench::measure`]
+//! (shared with the later snapshot bins); cells report best-of-reps
+//! wall time.
 
+use mtvc_bench::measure::{measure_rounds, CountingAlloc, Measurement};
 use mtvc_bench::round_loop::{drive_current, drive_legacy, RoundLoopReport};
-use mtvc_engine::{LocalIndex, VertexProgram};
-use mtvc_graph::partition::{HashPartitioner, Partition, Partitioner};
-use mtvc_graph::{generators, Graph, VertexId};
+use mtvc_engine::LocalIndex;
+use mtvc_graph::partition::{HashPartitioner, Partitioner};
+use mtvc_graph::{generators, VertexId};
 use mtvc_tasks::bppr::{BpprProgram, SourceSet};
 use mtvc_tasks::mssp::MsspProgram;
-use std::alloc::{GlobalAlloc, Layout, System};
 use std::io::Write;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
-
-/// System allocator wrapper that counts every allocated byte
-/// (allocations only — frees are not subtracted, so deltas measure
-/// allocation *churn*, which is exactly what buffer recycling removes).
-struct CountingAlloc;
-
-static ALLOCATED: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        // Count only the growth; shrinks are free.
-        let grown = new_size.saturating_sub(layout.size());
-        ALLOCATED.fetch_add(grown as u64, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-}
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
@@ -55,9 +34,6 @@ const WORKERS: usize = 4;
 const SEED: u64 = 0x9E3;
 /// Timed repetitions per cell (single-threaded full runs).
 const REPS: usize = 5;
-/// Rounds skipped before the steady-state allocation window opens
-/// (buffers are still growing toward their high-water marks).
-const WARMUP_ROUNDS: usize = 3;
 
 struct CellResult {
     report: RoundLoopReport,
@@ -66,52 +42,14 @@ struct CellResult {
     steady_bytes_per_round: u64,
 }
 
-/// Time `REPS` full runs and measure one instrumented run's per-round
-/// allocation profile.
-fn measure<P: VertexProgram>(
-    driver: impl Fn(
-        &P,
-        &Graph,
-        &Partition,
-        &LocalIndex,
-        bool,
-        u64,
-        &mut dyn FnMut(usize),
-    ) -> RoundLoopReport,
-    program: &P,
-    g: &Graph,
-    part: &Partition,
-    locals: &LocalIndex,
-    combine: bool,
-) -> CellResult {
-    // Warm-up + allocation profile: snapshot the byte counter at each
-    // round boundary.
-    let mut marks: Vec<u64> = Vec::with_capacity(64);
-    let report = driver(program, g, part, locals, combine, SEED, &mut |_| {
-        marks.push(ALLOCATED.load(Ordering::Relaxed));
-    });
-    let deltas: Vec<u64> = marks.windows(2).map(|w| w[1] - w[0]).collect();
-    let steady = deltas
-        .iter()
-        .skip(WARMUP_ROUNDS.min(deltas.len().saturating_sub(1)))
-        .copied()
-        .min()
-        .unwrap_or(0);
-
-    let before = ALLOCATED.load(Ordering::Relaxed);
-    let start = Instant::now();
-    for _ in 0..REPS {
-        let r = driver(program, g, part, locals, combine, SEED, &mut |_| {});
-        assert_eq!(r, report, "driver must be deterministic");
-    }
-    let elapsed = start.elapsed().as_secs_f64();
-    let allocated = ALLOCATED.load(Ordering::Relaxed) - before;
-    let total_rounds = (report.rounds * REPS) as f64;
-    CellResult {
-        report,
-        rounds_per_sec: total_rounds / elapsed,
-        total_bytes_per_round: allocated / total_rounds as u64,
-        steady_bytes_per_round: steady,
+impl From<Measurement<RoundLoopReport>> for CellResult {
+    fn from(m: Measurement<RoundLoopReport>) -> CellResult {
+        CellResult {
+            report: m.report,
+            rounds_per_sec: m.report.rounds as f64 / m.best_secs,
+            total_bytes_per_round: m.total_bytes_per_rep / m.report.rounds as u64,
+            steady_bytes_per_round: m.steady_bytes_per_round,
+        }
     }
 }
 
@@ -147,22 +85,14 @@ fn main() {
     let mut mssp_combine_speedup = 0.0f64;
     for combine in [false, true] {
         let tag = if combine { "combine" } else { "nocombine" };
-        let cur = measure(
-            |p, g, pt, l, c, s, hook| drive_current(p, g, pt, l, c, s, hook),
-            &mssp,
-            &g,
-            &part,
-            &locals,
-            combine,
-        );
-        let old = measure(
-            |p, g, pt, l, c, s, hook| drive_legacy(p, g, pt, l, c, s, hook),
-            &mssp,
-            &g,
-            &part,
-            &locals,
-            combine,
-        );
+        let cur: CellResult = measure_rounds(REPS, |hook| {
+            drive_current(&mssp, &g, &part, &locals, combine, SEED, hook)
+        })
+        .into();
+        let old: CellResult = measure_rounds(REPS, |hook| {
+            drive_legacy(&mssp, &g, &part, &locals, combine, SEED, hook)
+        })
+        .into();
         // Order-insensitive task: the two paths must agree exactly.
         assert_eq!(cur.report, old.report, "mssp parity ({tag})");
         let speedup = cur.rounds_per_sec / old.rounds_per_sec;
@@ -180,22 +110,14 @@ fn main() {
         cells.push(json_cell(&format!("mssp_current_{tag}"), &cur));
         cells.push(json_cell(&format!("mssp_legacy_{tag}"), &old));
 
-        let cur = measure(
-            |p, g, pt, l, c, s, hook| drive_current(p, g, pt, l, c, s, hook),
-            &bppr,
-            &g,
-            &part,
-            &locals,
-            combine,
-        );
-        let old = measure(
-            |p, g, pt, l, c, s, hook| drive_legacy(p, g, pt, l, c, s, hook),
-            &bppr,
-            &g,
-            &part,
-            &locals,
-            combine,
-        );
+        let cur: CellResult = measure_rounds(REPS, |hook| {
+            drive_current(&bppr, &g, &part, &locals, combine, SEED, hook)
+        })
+        .into();
+        let old: CellResult = measure_rounds(REPS, |hook| {
+            drive_legacy(&bppr, &g, &part, &locals, combine, SEED, hook)
+        })
+        .into();
         println!(
             "bppr_{tag}: current {:.1} rounds/s vs legacy {:.1} rounds/s ({:.2}x), \
              steady alloc/round {} vs {} bytes",

@@ -20,46 +20,22 @@
 //!
 //! `PR5_SMOKE=1` shrinks the graph and rep count for CI: the parity
 //! asserts still run end to end, the timings are not meaningful.
+//! Timing and allocation mechanics live in [`mtvc_bench::measure`]
+//! (shared with the other snapshot bins).
 
+use mtvc_bench::measure::{measure_rounds, CountingAlloc, Measurement};
 use mtvc_bench::round_loop::{drive_current, drive_slab_recycled, RoundLoopReport};
 use mtvc_engine::{LocalIndex, SlabRecycler};
 use mtvc_graph::partition::{HashPartitioner, Partitioner};
 use mtvc_graph::{generators, VertexId};
 use mtvc_tasks::{MsspProgram, MsspSlabProgram};
-use std::alloc::{GlobalAlloc, Layout, System};
 use std::io::Write;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
-
-/// System allocator wrapper counting every allocated byte (allocations
-/// only — frees are not subtracted, so deltas measure allocation
-/// *churn*, which is exactly what slab recycling removes).
-struct CountingAlloc;
-
-static ALLOCATED: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let grown = new_size.saturating_sub(layout.size());
-        ALLOCATED.fetch_add(grown as u64, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-}
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 const WORKERS: usize = 4;
 const SEED: u64 = 0x9E3;
-/// Rounds skipped before the steady-state allocation window opens.
-const WARMUP_ROUNDS: usize = 3;
 /// Batch widths swept (queries per batch).
 const WIDTHS: [usize; 3] = [1, 8, 64];
 
@@ -95,38 +71,14 @@ struct CellResult {
     steady_bytes_per_round: u64,
 }
 
-/// Time `reps` full runs of `driver` (best-of, which filters scheduler
-/// noise on shared runners) and profile one extra run's per-round
-/// allocation. The profiling run comes *first* so the timed runs start
-/// from warmed buffers (for the recycled slab driver that means pooled
-/// slabs — the production steady state).
-fn measure(reps: usize, driver: impl Fn(&mut dyn FnMut(usize)) -> RoundLoopReport) -> CellResult {
-    let mut marks: Vec<u64> = Vec::with_capacity(64);
-    let warm = driver(&mut |_| {});
-    let report = driver(&mut |_| marks.push(ALLOCATED.load(Ordering::Relaxed)));
-    assert_eq!(warm, report, "driver must be deterministic");
-    let deltas: Vec<u64> = marks.windows(2).map(|w| w[1] - w[0]).collect();
-    let steady = deltas
-        .iter()
-        .skip(WARMUP_ROUNDS.min(deltas.len().saturating_sub(1)))
-        .copied()
-        .min()
-        .unwrap_or(0);
-
-    let before = ALLOCATED.load(Ordering::Relaxed);
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        let r = driver(&mut |_| {});
-        best = best.min(start.elapsed().as_secs_f64());
-        assert_eq!(r, report, "driver must be deterministic");
-    }
-    let allocated = ALLOCATED.load(Ordering::Relaxed) - before;
-    CellResult {
-        report,
-        rounds_per_sec: report.rounds as f64 / best,
-        total_bytes_per_round: allocated / (report.rounds * reps) as u64,
-        steady_bytes_per_round: steady,
+impl From<Measurement<RoundLoopReport>> for CellResult {
+    fn from(m: Measurement<RoundLoopReport>) -> CellResult {
+        CellResult {
+            report: m.report,
+            rounds_per_sec: m.report.rounds as f64 / m.best_secs,
+            total_bytes_per_round: m.total_bytes_per_rep / m.report.rounds as u64,
+            steady_bytes_per_round: m.steady_bytes_per_round,
+        }
     }
 }
 
@@ -162,14 +114,16 @@ fn main() {
             let slab_prog = MsspSlabProgram::new(sources);
             let recycler: SlabRecycler<u64> = SlabRecycler::new();
 
-            let base = measure(params.reps, |hook| {
+            let base: CellResult = measure_rounds(params.reps, |hook| {
                 drive_current(&hashmap, &g, &part, &locals, combine, SEED, hook)
-            });
-            let slab = measure(params.reps, |hook| {
+            })
+            .into();
+            let slab: CellResult = measure_rounds(params.reps, |hook| {
                 drive_slab_recycled(
                     &slab_prog, &recycler, &g, &part, &locals, combine, SEED, hook,
                 )
-            });
+            })
+            .into();
             // Same kernel semantics, same envelope path: exact parity.
             assert_eq!(base.report, slab.report, "mssp parity (W={width}, {tag})");
 

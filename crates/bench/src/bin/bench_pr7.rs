@@ -30,6 +30,7 @@
 //! `PR7_SMOKE=1` shrinks the graph and rep count for CI: all asserts
 //! still run end to end, the timings are not meaningful.
 
+use mtvc_bench::measure::measure_interleaved;
 use mtvc_bench::round_loop::{drive_core_policy, PolicyReport};
 use mtvc_engine::{LocalIndex, PerSlab, RoutePolicy, SlabProgram, WireFormat};
 use mtvc_graph::partition::Partition;
@@ -37,7 +38,6 @@ use mtvc_graph::partition::{HashPartitioner, Partitioner};
 use mtvc_graph::{generators, Graph, VertexId};
 use mtvc_tasks::{MsspBroadcastSlabProgram, MsspLaneSlabProgram, MsspSlabProgram};
 use std::io::Write;
-use std::time::Instant;
 
 const WORKERS: usize = 4;
 const SEED: u64 = 0x9E3;
@@ -81,29 +81,15 @@ struct CellResult {
     rounds_per_sec: f64,
 }
 
-/// Time `reps` full runs of every driver (best-of, which filters
-/// scheduler noise) after one warm-up run each, asserting determinism
-/// throughout. Reps are interleaved round-robin across the drivers so
-/// each cell samples the same background-load windows — back-to-back
-/// reps would let a load spike hit one cell's entire sample and skew
-/// every cross-cell ratio.
+/// Interleaved best-of-reps timing (see
+/// [`mtvc_bench::measure::measure_interleaved`] for the sampling
+/// rationale), mapped into rounds/sec cells.
 fn measure_all(reps: usize, drivers: &[&dyn Fn() -> PolicyReport]) -> Vec<CellResult> {
-    let reports: Vec<PolicyReport> = drivers.iter().map(|d| d()).collect();
-    let mut best = vec![f64::INFINITY; drivers.len()];
-    for _ in 0..reps {
-        for (i, driver) in drivers.iter().enumerate() {
-            let start = Instant::now();
-            let r = driver();
-            best[i] = best[i].min(start.elapsed().as_secs_f64());
-            assert_eq!(r, reports[i], "driver must be deterministic");
-        }
-    }
-    reports
+    measure_interleaved(reps, drivers)
         .into_iter()
-        .zip(best)
-        .map(|(report, b)| CellResult {
+        .map(|(report, best)| CellResult {
             report,
-            rounds_per_sec: report.report.rounds as f64 / b,
+            rounds_per_sec: report.report.rounds as f64 / best,
         })
         .collect()
 }

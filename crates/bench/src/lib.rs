@@ -5,6 +5,7 @@
 //! DESIGN.md §2), runs the multi-task jobs, and prints the paper-style
 //! rows. CSV copies land in `target/experiments/`.
 
+pub mod measure;
 pub mod round_loop;
 
 use mtvc_cluster::ClusterSpec;

@@ -64,6 +64,13 @@ pub struct PolicyReport {
     /// Request-respond cache totals across the run.
     pub respond_hits: u64,
     pub respond_misses: u64,
+    /// Shard-stage envelope copies across the run (see
+    /// [`RoutingStats::shard_copy_bytes`]): the flat two-stage path
+    /// writes every surviving envelope twice (emit materialisation +
+    /// bucket append), the fold-at-send path once.
+    ///
+    /// [`RoutingStats::shard_copy_bytes`]: mtvc_engine::RoutingStats
+    pub shard_copy_bytes: u64,
 }
 
 /// Ceiling on rounds for runaway protection in both drivers.
@@ -131,6 +138,7 @@ pub fn drive_core_policy<P: ProgramCore>(
         estimated_wire_bytes: 0,
         respond_hits: 0,
         respond_misses: 0,
+        shard_copy_bytes: 0,
     };
 
     for round in 0..ROUND_CAP {
@@ -182,6 +190,99 @@ pub fn drive_core_policy<P: ProgramCore>(
         report.estimated_wire_bytes += stats.net_out_bytes.iter().sum::<u64>();
         report.respond_hits += stats.respond_hits;
         report.respond_misses += stats.respond_misses;
+        report.shard_copy_bytes += stats.shard_copy_bytes;
+        on_round_end(round);
+    }
+    core.recycle(stores);
+    report
+}
+
+/// [`drive_core_policy`] on the fold-at-send pre-sharded emit path:
+/// compute writes straight into per-destination shards through
+/// [`ShardedOutbox`](mtvc_engine::ShardedOutbox) sinks (`begin_round`
+/// → `emit_sinks` → `route_presharded`) instead of materialising a
+/// flat outbox for the shard stage to re-walk. Traffic and every
+/// statistic except `shard_copy_bytes` are bit-identical to
+/// [`drive_core_policy`]; steady-state rounds allocate nothing on
+/// either path.
+#[allow(clippy::too_many_arguments)]
+pub fn drive_core_presharded<P: ProgramCore>(
+    core: &P,
+    graph: &Graph,
+    part: &Partition,
+    locals: &LocalIndex,
+    combine: bool,
+    policy: &RoutePolicy,
+    seed: u64,
+    mut on_round_end: impl FnMut(usize),
+) -> PolicyReport {
+    let workers = part.num_workers();
+    let msg_bytes = core.message_bytes();
+    let mut stores: Vec<P::Store> = locals
+        .worker_vertices()
+        .iter()
+        .map(|list| core.make_store(list))
+        .collect();
+    let mut inboxes: Vec<Inbox<P::Message>> = (0..workers).map(|_| Inbox::new()).collect();
+    let mut grid: RouteGrid<P::Message> = RouteGrid::new(workers);
+    grid.set_policy(*policy);
+    let mut report = PolicyReport {
+        report: RoundLoopReport {
+            rounds: 0,
+            sent_wire: 0,
+            delivered_tuples: 0,
+        },
+        encoded_wire_bytes: 0,
+        estimated_wire_bytes: 0,
+        respond_hits: 0,
+        respond_misses: 0,
+        shard_copy_bytes: 0,
+    };
+
+    for round in 0..ROUND_CAP {
+        if round > 0 {
+            if inboxes.iter().all(|i| i.is_empty()) {
+                break;
+            }
+            if core.max_rounds().is_some_and(|max| round > max) {
+                break;
+            }
+        }
+        grid.begin_round(combine, locals);
+        for (((w, vertices), mut sink), inbox) in locals
+            .worker_vertices()
+            .iter()
+            .enumerate()
+            .zip(grid.emit_sinks(graph, part, locals, None, msg_bytes))
+            .zip(inboxes.iter_mut())
+        {
+            if round == 0 {
+                for (li, &v) in vertices.iter().enumerate() {
+                    let mut rng = vertex_rng(seed, round, v);
+                    let mut ctx = Context::new(v, round, graph, &mut rng, &mut sink);
+                    core.init_vertex(v, li as u32, &mut stores[w], &mut ctx);
+                }
+            } else {
+                let mut start = 0usize;
+                for run in inbox.runs() {
+                    let msgs = &inbox.deliveries()[start..run.end as usize];
+                    start = run.end as usize;
+                    let mut rng = vertex_rng(seed, round, run.dest);
+                    let mut ctx = Context::new(run.dest, round, graph, &mut rng, &mut sink);
+                    core.compute_vertex(run.dest, run.local, &mut stores[w], msgs, &mut ctx);
+                }
+                inbox.clear();
+            }
+        }
+        let stats = grid.route_presharded(None, &mut inboxes, locals, msg_bytes, combine);
+        report.report.sent_wire += stats.sent_wire;
+        report.report.delivered_tuples += stats.delivered_tuples;
+        report.report.rounds = round + 1;
+        report.encoded_wire_bytes += stats.encoded_wire_bytes;
+        report.estimated_wire_bytes += stats.net_out_bytes.iter().sum::<u64>();
+        report.respond_hits += stats.respond_hits;
+        report.respond_misses += stats.respond_misses;
+        report.shard_copy_bytes += stats.shard_copy_bytes;
         on_round_end(round);
     }
     core.recycle(stores);
@@ -505,6 +606,33 @@ mod tests {
             assert_eq!(base, dense, "combine={combine}");
             assert_eq!(base, pooled, "combine={combine}");
             assert_eq!(recycler.pooled(), 4, "all worker slabs retired");
+        }
+    }
+
+    /// The fold-at-send driver must agree with the flat two-stage
+    /// driver on every statistic except shard-stage copies, which it
+    /// must strictly shrink (no emit materialisation).
+    #[test]
+    fn presharded_driver_agrees_with_flat_and_halves_copies() {
+        let g = generators::power_law(400, 1600, 2.3, 7);
+        let part = HashPartitioner::default().partition(&g, 4);
+        let locals = LocalIndex::build(&part);
+        let slab = mtvc_tasks::MsspSlabProgram::new(vec![0, 13, 200]);
+        let core = PerSlab::new(&slab);
+        let policy = RoutePolicy::default();
+        for combine in [false, true] {
+            let flat = drive_core_policy(&core, &g, &part, &locals, combine, &policy, 42, |_| {});
+            let pre =
+                drive_core_presharded(&core, &g, &part, &locals, combine, &policy, 42, |_| {});
+            assert_eq!(flat.report, pre.report, "combine={combine}");
+            assert_eq!(flat.encoded_wire_bytes, pre.encoded_wire_bytes);
+            assert_eq!(flat.estimated_wire_bytes, pre.estimated_wire_bytes);
+            assert!(
+                pre.shard_copy_bytes < flat.shard_copy_bytes,
+                "combine={combine}: presharded {} must beat flat {}",
+                pre.shard_copy_bytes,
+                flat.shard_copy_bytes
+            );
         }
     }
 

@@ -34,8 +34,10 @@ pub use message::{Delivery, Envelope, Message};
 pub use mirror::MirrorIndex;
 pub use pool::WorkerPool;
 pub use profile::{ExecutionMode, OocConfig, SyncMode, SystemProfile};
-pub use program::{Context, Outbox, PerVertex, ProgramCore, VertexProgram};
-pub use router::{route, route_with, Inbox, LocalIndex, RouteGrid, RoutePolicy, RoutingStats, Run};
+pub use program::{Context, EmitSink, Outbox, PerVertex, ProgramCore, VertexProgram};
+pub use router::{
+    route, route_with, Inbox, LocalIndex, RouteGrid, RoutePolicy, RoutingStats, Run, ShardedOutbox,
+};
 pub use runner::{vertex_rng, EngineConfig, RunResult, Runner, PARALLEL_VERTEX_THRESHOLD};
 pub use slab::{PerSlab, SlabProgram, SlabRecycler, SlabRowMut, StateSlab, LANES};
 pub use wire::{PayloadCodec, WireFormat};

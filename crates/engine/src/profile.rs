@@ -98,6 +98,13 @@ pub struct SystemProfile {
     /// broadcast origins (0 = off); see
     /// [`RoutePolicy::respond_cache_threshold`].
     pub respond_cache_threshold: u32,
+    /// Emit straight into pre-sharded per-destination buckets (folding
+    /// at emission time) instead of materialising a flat outbox that
+    /// the shard stage re-walks. On by default ([`Self::base`]) —
+    /// bit-identical traffic and statistics either way; this knob only
+    /// exists so benchmarks can measure the copy elimination against
+    /// the two-stage baseline.
+    pub fold_at_send: bool,
 }
 
 impl SystemProfile {
@@ -118,6 +125,7 @@ impl SystemProfile {
             wire_format: WireFormat::Tuples,
             adaptive_combiner: false,
             respond_cache_threshold: 0,
+            fold_at_send: true,
         }
     }
 

@@ -4,6 +4,30 @@ use crate::message::{Delivery, Envelope, Message};
 use mtvc_graph::{Graph, VertexId};
 use rand::rngs::SmallRng;
 
+/// Where a [`Context`] delivers emissions. Two implementations exist:
+/// the flat [`Outbox`] (queue now, shard in the routing stage — the
+/// historic pipeline and the serial oracle's input) and the router's
+/// [`ShardedOutbox`](crate::router::ShardedOutbox), which routes each
+/// emission into its destination shard at emit time and runs the
+/// sender-side combiner's fold probe there, so folded envelopes are
+/// never materialised (fold-at-send). Programs are oblivious: they call
+/// [`Context::send`]/[`Context::broadcast`] either way.
+///
+/// The methods are raw — multiplicity-0 and degree-0 filtering happens
+/// in [`Context`], so both sinks observe the exact same emission
+/// sequence.
+pub trait EmitSink<M> {
+    /// Accept one point-to-point envelope.
+    fn emit(&mut self, env: Envelope<M>);
+
+    /// Accept one broadcast (origin, payload, per-neighbor
+    /// multiplicity); the origin's degree is known non-zero.
+    fn emit_broadcast(&mut self, origin: VertexId, msg: M, mult: u64);
+
+    /// Record persistent-state growth declared by a compute call.
+    fn add_state_bytes(&mut self, bytes: u64);
+}
+
 /// Per-worker send buffer, reused across compute calls *and* across
 /// rounds: the routing pipeline drains `sends`/`broadcasts` in place,
 /// so the vectors keep their capacity and a steady-state round
@@ -41,33 +65,57 @@ impl<M> Outbox<M> {
     }
 }
 
+impl<M> EmitSink<M> for Outbox<M> {
+    #[inline]
+    fn emit(&mut self, env: Envelope<M>) {
+        self.sends.push(env);
+    }
+
+    #[inline]
+    fn emit_broadcast(&mut self, origin: VertexId, msg: M, mult: u64) {
+        self.broadcasts.push((origin, msg, mult));
+    }
+
+    #[inline]
+    fn add_state_bytes(&mut self, bytes: u64) {
+        self.state_bytes_added += bytes;
+    }
+}
+
 /// Execution context handed to `compute`. Borrow-scoped to one vertex
 /// activation: sends are attributed to [`Context::vertex`].
+///
+/// Emissions flow to an [`EmitSink`] — a flat [`Outbox`] on the
+/// two-stage routing path, a pre-sharded
+/// [`ShardedOutbox`](crate::router::ShardedOutbox) on the fold-at-send
+/// path. The dynamic dispatch is one perfectly-predicted indirect call
+/// per emission (the sink never changes within a round).
 pub struct Context<'a, M: Message> {
     vertex: VertexId,
     round: usize,
     graph: &'a Graph,
     rng: &'a mut SmallRng,
-    outbox: &'a mut Outbox<M>,
+    sink: &'a mut dyn EmitSink<M>,
 }
 
 impl<'a, M: Message> Context<'a, M> {
     /// Build a context for one vertex activation. Public so benches and
     /// harnesses can drive programs directly; the engine's round loop
-    /// constructs one per `init`/`compute` call.
+    /// constructs one per `init`/`compute` call. A plain
+    /// `&mut Outbox<M>` coerces to the sink parameter.
     pub fn new(
         vertex: VertexId,
         round: usize,
         graph: &'a Graph,
         rng: &'a mut SmallRng,
-        outbox: &'a mut Outbox<M>,
+        sink: &'a mut dyn EmitSink<M>,
     ) -> Self {
         Context {
             vertex,
             round,
             graph,
             rng,
-            outbox,
+            sink,
         }
     }
 
@@ -113,7 +161,7 @@ impl<'a, M: Message> Context<'a, M> {
         if mult == 0 {
             return;
         }
-        self.outbox.sends.push(Envelope::new(dest, msg, mult));
+        self.sink.emit(Envelope::new(dest, msg, mult));
     }
 
     /// Broadcast `msg` to every out-neighbor (the only interface
@@ -123,13 +171,13 @@ impl<'a, M: Message> Context<'a, M> {
         if mult == 0 || self.degree() == 0 {
             return;
         }
-        self.outbox.broadcasts.push((self.vertex, msg, mult));
+        self.sink.emit_broadcast(self.vertex, msg, mult);
     }
 
     /// Record growth of persistent vertex state (distance tables, walk
     /// counters, visited sets) for the memory ledger.
     pub fn add_state_bytes(&mut self, bytes: u64) {
-        self.outbox.state_bytes_added += bytes;
+        self.sink.add_state_bytes(bytes);
     }
 
     /// Send `count` copies of `msg`, each to an independently uniform
@@ -141,11 +189,9 @@ impl<'a, M: Message> Context<'a, M> {
         if count == 0 || neighbors.is_empty() {
             return;
         }
-        let outbox = &mut *self.outbox;
+        let sink = &mut *self.sink;
         crate::sampling::multinomial_uniform(self.rng, count, neighbors.len(), |bin, c| {
-            outbox
-                .sends
-                .push(Envelope::new(neighbors[bin], msg.clone(), c));
+            sink.emit(Envelope::new(neighbors[bin], msg.clone(), c));
         });
     }
 }

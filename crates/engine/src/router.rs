@@ -37,7 +37,7 @@
 use crate::message::{Delivery, Envelope, Message};
 use crate::mirror::MirrorIndex;
 use crate::pool::WorkerPool;
-use crate::program::Outbox;
+use crate::program::{EmitSink, Outbox};
 use crate::wire::{self, WireFormat};
 use mtvc_graph::hash::FastMap;
 use mtvc_graph::partition::Partition;
@@ -152,6 +152,15 @@ pub struct RoutingStats {
     pub respond_hits: u64,
     /// Broadcast payloads shipped to prime a receiver's cache.
     pub respond_misses: u64,
+    /// Bytes of envelopes materialised in routing buffers *before*
+    /// encode: every envelope written into a flat outbox at emit time
+    /// plus every envelope appended to a shard bucket. The two-stage
+    /// path writes each surviving envelope twice (outbox, then bucket)
+    /// and each folded envelope once (outbox only); the fold-at-send
+    /// pre-sharded path writes survivors once and folded envelopes
+    /// never — this counter is what the copy-elimination claim is
+    /// measured on. Pure accounting; no other statistic depends on it.
+    pub shard_copy_bytes: u64,
     /// True when this round re-transmitted traffic during
     /// rollback-replay recovery. Replayed wire traffic must never be
     /// folded into a run's first-run totals; the runner branches its
@@ -177,6 +186,7 @@ impl RoutingStats {
             combine_on: vec![false; workers],
             respond_hits: 0,
             respond_misses: 0,
+            shard_copy_bytes: 0,
             replay: false,
         }
     }
@@ -189,6 +199,7 @@ impl RoutingStats {
         self.encoded_wire_bytes = 0;
         self.respond_hits = 0;
         self.respond_misses = 0;
+        self.shard_copy_bytes = 0;
         self.replay = false;
         for v in [
             &mut self.in_wire,
@@ -373,6 +384,9 @@ struct PairFlow {
     /// Request-respond cache hits / primes on this pair.
     respond_hits: u64,
     respond_misses: u64,
+    /// Envelope bytes appended to this pair's bucket (the shard-stage
+    /// half of [`RoutingStats::shard_copy_bytes`]).
+    copy_bytes: u64,
 }
 
 /// Messages from one source worker bound for one destination worker:
@@ -396,6 +410,11 @@ pub struct Shard<M> {
     /// Wire messages in the bucket (multiplicity sum; combining folds
     /// envelopes but preserves this total).
     wire: u64,
+    /// Envelope bytes appended to the bucket this round (one
+    /// `size_of::<Envelope<M>>()` per surviving append; folds add
+    /// nothing) — the shard half of
+    /// [`RoutingStats::shard_copy_bytes`].
+    copied: u64,
     /// Bytes already paid on the wire for this pair (mirrored
     /// broadcasts pay per mirror-worker, not per envelope).
     prepaid_net: u64,
@@ -441,6 +460,7 @@ impl<M> Default for Shard<M> {
             hist: Vec::new(),
             touched: Vec::new(),
             wire: 0,
+            copied: 0,
             prepaid_net: 0,
             prepaid_wire: 0,
             prepaid_net_encoded: 0,
@@ -496,6 +516,7 @@ pub struct SenderSlots {
 #[inline]
 fn append_env<M>(shard: &mut Shard<M>, li: u32, env: Envelope<M>) {
     shard.wire += env.mult;
+    shard.copied += std::mem::size_of::<Envelope<M>>() as u64;
     let h = &mut shard.hist[li as usize];
     if *h == 0 {
         shard.touched.push(li);
@@ -612,25 +633,13 @@ fn push_broadcast<M: Message>(
     true
 }
 
-/// Stage 1: drain `outbox` into one shard per destination worker,
-/// sender-combining when `combine` is set, and measure each pair's
-/// flow. Returns the wire messages produced by this source.
-/// Send/broadcast capacity of the outbox is retained for the next
-/// round.
-#[allow(clippy::too_many_arguments)]
-fn shard_outbox<M: Message>(
-    src_worker: usize,
-    outbox: &mut Outbox<M>,
-    graph: &Graph,
-    part: &Partition,
-    locals: &LocalIndex,
-    mirrors: Option<&MirrorIndex>,
-    combine: bool,
-    msg_bytes: u64,
-    policy: &RoutePolicy,
-    shards: &mut [Shard<M>],
-    slots: &mut SenderSlots,
-) -> u64 {
+/// Reset one source's shard row for a new round of appends: refresh the
+/// destination vertex counts, size the histograms, and (when combining)
+/// advance the dense fold tables' epoch. Shared by the flat
+/// [`shard_outbox`] prologue and [`RouteGrid::begin_round`] (the
+/// fold-at-send path, which must prepare the row *before* the compute
+/// phase starts emitting into it).
+fn prepare_shards<M>(shards: &mut [Shard<M>], locals: &LocalIndex, combine: bool) {
     for (dw, shard) in shards.iter_mut().enumerate() {
         let nloc = locals.count(dw);
         if shard.hist.len() < nloc {
@@ -647,15 +656,48 @@ fn shard_outbox<M: Message>(
             }
         }
     }
+}
+
+/// Reset one source's sender-combining slots for a new round (companion
+/// to [`prepare_shards`], same two call sites).
+fn prepare_slots(slots: &mut SenderSlots, combine: bool, workers: usize) {
     if combine {
         slots.map.clear();
         slots.tries = 0;
         slots.hits = 0;
     }
-    let compact = policy.wire_format == WireFormat::Compact;
-    if slots.seen.len() < shards.len() {
-        slots.seen.resize(shards.len(), 0);
+    if slots.seen.len() < workers {
+        slots.seen.resize(workers, 0);
     }
+}
+
+/// Stage 1: drain `outbox` into one shard per destination worker,
+/// sender-combining when `combine` is set, and measure each pair's
+/// flow. Returns `(wire messages produced, emit-materialisation bytes)`
+/// for this source — the latter is the flat-outbox half of
+/// [`RoutingStats::shard_copy_bytes`]: every send and broadcast entry
+/// was written once into the outbox at emit time before this re-walk
+/// copies survivors into their buckets. Send/broadcast capacity of the
+/// outbox is retained for the next round.
+#[allow(clippy::too_many_arguments)]
+fn shard_outbox<M: Message>(
+    src_worker: usize,
+    outbox: &mut Outbox<M>,
+    graph: &Graph,
+    part: &Partition,
+    locals: &LocalIndex,
+    mirrors: Option<&MirrorIndex>,
+    combine: bool,
+    msg_bytes: u64,
+    policy: &RoutePolicy,
+    shards: &mut [Shard<M>],
+    slots: &mut SenderSlots,
+) -> (u64, u64) {
+    prepare_shards(shards, locals, combine);
+    prepare_slots(slots, combine, shards.len());
+    let compact = policy.wire_format == WireFormat::Compact;
+    let emit_copies = (outbox.sends.len() + outbox.broadcasts.len()) as u64
+        * std::mem::size_of::<Envelope<M>>() as u64;
 
     let mut sent_wire = 0u64;
     for env in outbox.sends.drain(..) {
@@ -718,7 +760,7 @@ fn shard_outbox<M: Message>(
     for (dw, shard) in shards.iter_mut().enumerate() {
         finish_shard(src_worker, dw, shard, combine, msg_bytes, policy);
     }
-    sent_wire
+    (sent_wire, emit_copies)
 }
 
 /// Measure one shard's pair traffic after its content is final.
@@ -742,9 +784,11 @@ fn finish_shard<M: Message>(
     let respond_hits = std::mem::take(&mut shard.respond_hits);
     let respond_misses = std::mem::take(&mut shard.respond_misses);
     let wire = std::mem::take(&mut shard.wire);
+    let copied = std::mem::take(&mut shard.copied);
     let mut flow = PairFlow::default();
     if !shard.bucket.is_empty() || prepaid_net != 0 {
         let tuples = shard.bucket.len() as u64;
+        flow.copy_bytes = copied;
         // Bytes on the wire: combining systems transmit tuples,
         // non-combining systems transmit every wire message.
         let payload_units = if combine { tuples } else { wire };
@@ -959,6 +1003,7 @@ fn apply_flow(stats: &mut RoutingStats, src: usize, dst: usize, flow: &PairFlow)
     stats.encoded_in_bytes[dst] += flow.encoded_net_bytes;
     stats.respond_hits += flow.respond_hits;
     stats.respond_misses += flow.respond_misses;
+    stats.shard_copy_bytes += flow.copy_bytes;
 }
 
 /// Route all outboxes into grouped per-worker inboxes — the serial
@@ -1024,7 +1069,11 @@ pub fn route_with<M: Message>(
     let mut columns: Vec<Vec<Vec<Envelope<M>>>> =
         (0..workers).map(|_| Vec::with_capacity(workers)).collect();
 
+    let env_bytes = std::mem::size_of::<Envelope<M>>() as u64;
     for (src, outbox) in outboxes.iter_mut().enumerate() {
+        // Flat-outbox emit materialisation: one envelope write per
+        // send/broadcast entry, independently of combining.
+        stats.shard_copy_bytes += (outbox.sends.len() + outbox.broadcasts.len()) as u64 * env_bytes;
         let mut buckets: Vec<Vec<Envelope<M>>> = (0..workers).map(|_| Vec::new()).collect();
         let mut prepaid_net = vec![0u64; workers];
         let mut prepaid_wire = vec![0u64; workers];
@@ -1100,6 +1149,9 @@ pub fn route_with<M: Message>(
             let mut flow = PairFlow::default();
             if !bucket.is_empty() || prepaid_net[dw] != 0 {
                 let tuples = bucket.len() as u64;
+                // Shard-stage appends: merges never append, so the
+                // bucket length is exactly the appended-envelope count.
+                flow.copy_bytes = tuples * env_bytes;
                 let wire: u64 = bucket.iter().map(|e| e.mult).sum();
                 let payload_units = if combine { tuples } else { wire };
                 let buffer_bytes = payload_units * msg_bytes;
@@ -1181,6 +1233,10 @@ pub struct RouteGrid<M> {
     flows: Vec<PairFlow>,
     /// Per-source wire messages produced, written by stage 1.
     sent: Vec<u64>,
+    /// Per-source flat-outbox emit-materialisation bytes, written by
+    /// stage 1 (all-zero on the fold-at-send path, which has no flat
+    /// outbox to materialise).
+    copied: Vec<u64>,
     /// Per-source sender-combining slot maps.
     slots: Vec<SenderSlots>,
     /// Per-destination run-offset buffers (all-zero between rounds).
@@ -1226,6 +1282,7 @@ impl<M: Message> RouteGrid<M> {
                 .collect(),
             flows: vec![PairFlow::default(); workers * workers],
             sent: vec![0; workers],
+            copied: vec![0; workers],
             slots: (0..workers).map(|_| SenderSlots::default()).collect(),
             counts: (0..workers).map(|_| Vec::new()).collect(),
             active: (0..workers).map(|_| Vec::new()).collect(),
@@ -1288,12 +1345,7 @@ impl<M: Message> RouteGrid<M> {
         assert_eq!(outboxes.len(), workers, "one outbox per worker");
         assert_eq!(inboxes.len(), workers, "one inbox per worker");
 
-        // Effective per-source combining decision: the profile flag,
-        // gated by the adaptive toggle's last verdict when enabled.
-        let adaptive = combine && self.policy.adaptive_combine;
-        for (src, dec) in self.decisions.iter_mut().enumerate() {
-            *dec = combine && (!self.policy.adaptive_combine || self.combine_next[src]);
-        }
+        self.compute_decisions(combine);
         let policy = self.policy;
 
         // ---- stage 1: shard + combine, parallel over sources --------
@@ -1303,16 +1355,17 @@ impl<M: Message> RouteGrid<M> {
         match pool {
             Some(pool) => pool.scope(|s| {
                 let lanes = pool.workers();
-                for (src, ((((outbox, row), sent), slots), &dec)) in outboxes
+                for (src, (((((outbox, row), sent), copied), slots), &dec)) in outboxes
                     .iter_mut()
                     .zip(self.rows.iter_mut())
                     .zip(self.sent.iter_mut())
+                    .zip(self.copied.iter_mut())
                     .zip(self.slots.iter_mut())
                     .zip(self.decisions.iter())
                     .enumerate()
                 {
                     s.run_on(src % lanes, move || {
-                        *sent = shard_outbox(
+                        (*sent, *copied) = shard_outbox(
                             src, outbox, graph, part, locals, mirrors, dec, msg_bytes, &policy,
                             row, slots,
                         );
@@ -1320,15 +1373,16 @@ impl<M: Message> RouteGrid<M> {
                 }
             }),
             None => {
-                for (src, ((((outbox, row), sent), slots), &dec)) in outboxes
+                for (src, (((((outbox, row), sent), copied), slots), &dec)) in outboxes
                     .iter_mut()
                     .zip(self.rows.iter_mut())
                     .zip(self.sent.iter_mut())
+                    .zip(self.copied.iter_mut())
                     .zip(self.slots.iter_mut())
                     .zip(self.decisions.iter())
                     .enumerate()
                 {
-                    *sent = shard_outbox(
+                    (*sent, *copied) = shard_outbox(
                         src, outbox, graph, part, locals, mirrors, dec, msg_bytes, &policy, row,
                         slots,
                     );
@@ -1336,17 +1390,37 @@ impl<M: Message> RouteGrid<M> {
             }
         }
 
-        // Adaptive update: a source that combined this round keeps its
-        // combiner iff the fold yield met the threshold; a source that
-        // sat out re-probes every ADAPTIVE_PROBE_PERIOD rounds, or
-        // immediately once its payload-unit volume grows past twice
-        // what the OFF-voting round saw — frontier algorithms ramp from
-        // sparse (low-yield) early rounds into dense (high-yield)
-        // saturation, and waiting out the full period there forfeits
-        // the combiner's best rounds. Pure per-source arithmetic on
-        // stage-1 counters, so pooled and serial execution decide
-        // identically.
-        if adaptive {
+        self.adaptive_update(combine);
+        self.merge_and_reduce(pool, inboxes, locals)
+    }
+
+    /// Compute this round's effective per-source combining decisions:
+    /// the profile flag, gated by the adaptive toggle's last verdict
+    /// when enabled. Called at the top of [`Self::route_round`], and by
+    /// [`Self::begin_round`] on the fold-at-send path — in both cases
+    /// *before* any traffic of the round is observed, so the two paths
+    /// see identical decisions (adaptive state only changes during
+    /// routing).
+    fn compute_decisions(&mut self, combine: bool) {
+        for (src, dec) in self.decisions.iter_mut().enumerate() {
+            *dec = combine && (!self.policy.adaptive_combine || self.combine_next[src]);
+        }
+    }
+
+    /// Adaptive update: a source that combined this round keeps its
+    /// combiner iff the fold yield met the threshold; a source that
+    /// sat out re-probes every ADAPTIVE_PROBE_PERIOD rounds, or
+    /// immediately once its payload-unit volume grows past twice
+    /// what the OFF-voting round saw — frontier algorithms ramp from
+    /// sparse (low-yield) early rounds into dense (high-yield)
+    /// saturation, and waiting out the full period there forfeits
+    /// the combiner's best rounds. Pure per-source arithmetic on
+    /// stage-1 counters, so pooled and serial execution decide
+    /// identically (and the fold-at-send path, whose counters accrue
+    /// during compute instead, decides identically too).
+    fn adaptive_update(&mut self, combine: bool) {
+        let workers = self.workers;
+        if combine && self.policy.adaptive_combine {
             let min_tries = self.policy.adaptive_min_tries.max(1);
             for src in 0..workers {
                 // A round whose traffic more than doubled is still
@@ -1386,6 +1460,19 @@ impl<M: Message> RouteGrid<M> {
                 self.prev_sent[src] = self.sent[src];
             }
         }
+    }
+
+    /// Stage 2 plus reduction, shared by both routing paths: transpose
+    /// the shard matrix, merge each destination's column into its
+    /// grouped inbox, transpose back, and fold the per-pair flows into
+    /// the round's [`RoutingStats`].
+    fn merge_and_reduce(
+        &mut self,
+        pool: Option<&WorkerPool>,
+        inboxes: &mut [Inbox<M>],
+        locals: &LocalIndex,
+    ) -> &RoutingStats {
+        let workers = self.workers;
 
         // ---- transpose: hand each destination its shard column -----
         for (src, row) in self.rows.iter_mut().enumerate() {
@@ -1439,6 +1526,7 @@ impl<M: Message> RouteGrid<M> {
         self.stats.reset();
         self.stats.replay = self.replay;
         self.stats.sent_wire = self.sent.iter().sum();
+        self.stats.shard_copy_bytes = self.copied.iter().sum();
         self.stats.combine_on.copy_from_slice(&self.decisions);
         for src in 0..workers {
             for dst in 0..workers {
@@ -1447,6 +1535,254 @@ impl<M: Message> RouteGrid<M> {
             }
         }
         &self.stats
+    }
+
+    /// Fold-at-send entry point, part 1 of 3: prepare the grid for a
+    /// round whose envelopes will be emitted straight into the shard
+    /// matrix by the compute phase (via [`Self::emit_sinks`]) instead
+    /// of through flat outboxes. Computes the round's combining
+    /// decisions and readies every source's shard row and slot map —
+    /// work [`shard_outbox`] does lazily at the top of stage 1, which
+    /// here must happen before `compute()` runs. Call once per round,
+    /// before handing out sinks.
+    pub fn begin_round(&mut self, combine: bool, locals: &LocalIndex) {
+        self.compute_decisions(combine);
+        let workers = self.workers;
+        for ((row, slots), &dec) in self
+            .rows
+            .iter_mut()
+            .zip(self.slots.iter_mut())
+            .zip(self.decisions.iter())
+        {
+            debug_assert!(
+                row.iter().all(|s| s.bucket.is_empty()),
+                "shard rows must be drained between rounds"
+            );
+            prepare_shards(row, locals, dec);
+            prepare_slots(slots, dec, workers);
+        }
+        self.sent.iter_mut().for_each(|s| *s = 0);
+        // No flat outbox exists on this path, so no emit-
+        // materialisation bytes accrue: survivors are written exactly
+        // once, by `append_env`.
+        self.copied.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Fold-at-send entry point, part 2 of 3: one [`ShardedOutbox`]
+    /// emit sink per source worker, in worker order. Each sink borrows
+    /// its worker's shard row, slot map, and wire counter disjointly,
+    /// so the compute phase can drive all of them in parallel. Valid
+    /// for one round, after [`Self::begin_round`].
+    pub fn emit_sinks<'a>(
+        &'a mut self,
+        graph: &'a Graph,
+        part: &'a Partition,
+        locals: &'a LocalIndex,
+        mirrors: Option<&'a MirrorIndex>,
+        msg_bytes: u64,
+    ) -> impl Iterator<Item = ShardedOutbox<'a, M>> + 'a {
+        let policy = self.policy;
+        self.rows
+            .iter_mut()
+            .zip(self.slots.iter_mut())
+            .zip(self.sent.iter_mut())
+            .zip(self.decisions.iter())
+            .enumerate()
+            .map(move |(src, (((row, slots), sent), &dec))| ShardedOutbox {
+                src,
+                shards: row.as_mut_slice(),
+                slots,
+                sent,
+                graph,
+                part,
+                locals,
+                mirrors,
+                combine: dec,
+                msg_bytes,
+                policy,
+                state_bytes_added: 0,
+            })
+    }
+
+    /// Fold-at-send entry point, part 3 of 3: finish the round after
+    /// the compute phase filled the shard matrix through its sinks.
+    /// Measures every pair's flow (the stage-1 epilogue), updates the
+    /// adaptive-combining state, and runs the shared merge + reduction
+    /// — bit-identical inboxes and statistics to routing the same
+    /// emissions through [`Self::route_round`], except that
+    /// [`RoutingStats::shard_copy_bytes`] reflects the copies this
+    /// path never performed.
+    pub fn route_presharded(
+        &mut self,
+        pool: Option<&WorkerPool>,
+        inboxes: &mut [Inbox<M>],
+        locals: &LocalIndex,
+        msg_bytes: u64,
+        combine: bool,
+    ) -> &RoutingStats {
+        let workers = self.workers;
+        assert_eq!(inboxes.len(), workers, "one inbox per worker");
+        let policy = self.policy;
+
+        // Stage-1 epilogue: shard content is final once compute ended,
+        // so measure each pair's flow. Parallel over sources, like the
+        // stage it completes.
+        match pool {
+            Some(pool) => pool.scope(|s| {
+                let lanes = pool.workers();
+                for (src, (row, &dec)) in
+                    self.rows.iter_mut().zip(self.decisions.iter()).enumerate()
+                {
+                    s.run_on(src % lanes, move || {
+                        for (dst, shard) in row.iter_mut().enumerate() {
+                            finish_shard(src, dst, shard, dec, msg_bytes, &policy);
+                        }
+                    });
+                }
+            }),
+            None => {
+                for (src, (row, &dec)) in
+                    self.rows.iter_mut().zip(self.decisions.iter()).enumerate()
+                {
+                    for (dst, shard) in row.iter_mut().enumerate() {
+                        finish_shard(src, dst, shard, dec, msg_bytes, &policy);
+                    }
+                }
+            }
+        }
+
+        self.adaptive_update(combine);
+        self.merge_and_reduce(pool, inboxes, locals)
+    }
+}
+
+/// Per-source emit sink for the fold-at-send pre-sharded path: the
+/// compute phase's `send()`/`broadcast()` land here and are routed
+/// straight into the destination worker's [`Shard`] — probing the fold
+/// table at emission time — instead of being materialised in a flat
+/// [`Outbox`] for [`shard_outbox`] to re-walk. Folded envelopes are
+/// never written anywhere; survivors are written exactly once. All
+/// accounting (`sent_wire`, prepaid mirror bytes, the request-respond
+/// cache, fold-yield counters) is the same code the flat path runs, so
+/// the two paths stay bit-identical in traffic and statistics.
+///
+/// Obtained from [`RouteGrid::emit_sinks`] after
+/// [`RouteGrid::begin_round`]; handed to the compute phase as its
+/// [`EmitSink`].
+pub struct ShardedOutbox<'a, M: Message> {
+    src: usize,
+    shards: &'a mut [Shard<M>],
+    slots: &'a mut SenderSlots,
+    sent: &'a mut u64,
+    graph: &'a Graph,
+    part: &'a Partition,
+    locals: &'a LocalIndex,
+    mirrors: Option<&'a MirrorIndex>,
+    /// This source's effective combining decision for the round.
+    combine: bool,
+    msg_bytes: u64,
+    policy: RoutePolicy,
+    /// Exact-store-bytes escape hatch, mirroring
+    /// [`Outbox::state_bytes_added`]: the runner reads it back after
+    /// the compute phase.
+    pub state_bytes_added: u64,
+}
+
+impl<M: Message> EmitSink<M> for ShardedOutbox<'_, M> {
+    #[inline]
+    fn emit(&mut self, env: Envelope<M>) {
+        *self.sent += env.mult;
+        push_send(
+            env,
+            self.part,
+            self.locals,
+            self.combine,
+            self.shards,
+            self.slots,
+        );
+    }
+
+    fn emit_broadcast(&mut self, origin: VertexId, msg: M, mult: u64) {
+        let degree = self.graph.degree(origin) as u64;
+        *self.sent += degree * mult;
+        let compact = self.policy.wire_format == WireFormat::Compact;
+        match self.mirrors.and_then(|m| m.fanout(origin)) {
+            Some(mirror_workers) => {
+                // One wire transfer per remote mirror worker replaces
+                // the per-neighbor wire cost of all remote fan-outs.
+                let enc_xfer = if compact {
+                    (MIRROR_ENC_OVERHEAD + msg.encoded_payload_bytes()) * mult
+                } else {
+                    0
+                };
+                for &mw in mirror_workers {
+                    self.shards[mw as usize].prepaid_net += self.msg_bytes * mult;
+                    self.shards[mw as usize].prepaid_net_encoded += enc_xfer;
+                }
+                for &t in self.graph.neighbors(origin) {
+                    let dw = self.part.owner_of(t) as usize;
+                    if dw != self.src {
+                        self.shards[dw].prepaid_wire += mult;
+                    }
+                    push_broadcast(
+                        t,
+                        &msg,
+                        mult,
+                        dw,
+                        self.locals,
+                        self.combine,
+                        self.shards,
+                        self.slots,
+                    );
+                }
+            }
+            None => {
+                // Unmirrored broadcast: ordinary per-neighbor sends,
+                // with the request-respond cache eliding repeat
+                // payloads to the same remote worker for high-degree
+                // origins.
+                let caching = self.policy.respond_cache_threshold != 0
+                    && degree >= self.policy.respond_cache_threshold as u64;
+                if caching {
+                    self.slots.epoch += 1;
+                }
+                for &t in self.graph.neighbors(origin) {
+                    let dw = self.part.owner_of(t) as usize;
+                    let appended = push_broadcast(
+                        t,
+                        &msg,
+                        mult,
+                        dw,
+                        self.locals,
+                        self.combine,
+                        self.shards,
+                        self.slots,
+                    );
+                    if caching && dw != self.src && appended {
+                        if self.slots.seen[dw] == self.slots.epoch {
+                            self.shards[dw].respond_hits += 1;
+                            self.shards[dw].cached_payload += msg.encoded_payload_bytes();
+                        } else {
+                            self.slots.seen[dw] = self.slots.epoch;
+                            self.shards[dw].respond_misses += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn add_state_bytes(&mut self, bytes: u64) {
+        self.state_bytes_added += bytes;
+    }
+}
+
+impl<M: Message> std::fmt::Debug for ShardedOutbox<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedOutbox")
+            .field("src", &self.src)
+            .finish()
     }
 }
 
@@ -1517,6 +1853,41 @@ mod tests {
         // Sender combining keeps first-send order: Src(7) then Src(8).
         assert_eq!(inboxes[1].deliveries()[0].mult, 5);
         assert_eq!(inboxes[1].deliveries()[1].mult, 1);
+    }
+
+    #[test]
+    fn fold_table_cap_falls_back_to_hash_map() {
+        #[derive(Clone, Debug, PartialEq)]
+        struct Key64(u64);
+        impl Message for Key64 {
+            fn combine_key(&self) -> Option<u64> {
+                Some(self.0)
+            }
+            fn merge(&mut self, _o: &Self) {}
+        }
+        let (g, p, l) = two_worker_setup();
+        // Row start past the dense cap, and a key whose row offset
+        // overflows `usize` outright: both must combine via the
+        // sender's hash-map fallback, interleaved with a dense key.
+        let past_cap = DENSE_FOLD_SLOTS_MAX as u64 + 3;
+        let mut ob0: Outbox<Key64> = Outbox::new();
+        ob0.sends.push(Envelope::new(5, Key64(past_cap), 2));
+        ob0.sends.push(Envelope::new(5, Key64(7), 1)); // dense row
+        ob0.sends.push(Envelope::new(5, Key64(past_cap), 3));
+        ob0.sends.push(Envelope::new(5, Key64(u64::MAX), 1));
+        ob0.sends.push(Envelope::new(5, Key64(u64::MAX), 4));
+        ob0.sends.push(Envelope::new(5, Key64(7), 2));
+        let (inboxes, stats) = route(vec![ob0, Outbox::new()], &g, &p, &l, None, true, 16);
+        assert_eq!(stats.sent_wire, 13);
+        assert_eq!(stats.delivered_tuples, 3, "three distinct keys");
+        // First-send order with per-key mult sums, dense and fallback
+        // keys folding independently.
+        let folded: Vec<(u64, u64)> = inboxes[1]
+            .deliveries()
+            .iter()
+            .map(|d| (d.msg.0, d.mult))
+            .collect();
+        assert_eq!(folded, vec![(past_cap, 5), (7, 3), (u64::MAX, 5)]);
     }
 
     #[test]

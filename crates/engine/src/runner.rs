@@ -18,7 +18,7 @@
 use crate::mirror::MirrorIndex;
 use crate::pool::WorkerPool;
 use crate::profile::{ExecutionMode, SyncMode, SystemProfile};
-use crate::program::{Context, Outbox, PerVertex, ProgramCore, VertexProgram};
+use crate::program::{Context, EmitSink, Outbox, PerVertex, ProgramCore, VertexProgram};
 use crate::router::{Inbox, LocalIndex, RouteGrid, RoutingStats};
 use crate::slab::{PerSlab, SlabProgram, SlabRecycler};
 use crate::wire::WireFormat;
@@ -441,39 +441,85 @@ impl<'g> Runner<'g> {
             }
 
             // ---- compute phase -------------------------------------
-            let active =
-                self.compute_phase(program, round, &mut inboxes, &mut outboxes, &mut states);
+            // Fold-at-send profiles emit straight into the prepared
+            // shard matrix; the two-stage baseline emits into flat
+            // outboxes that the routing stage re-walks. Same traffic,
+            // same statistics (minus the copies the former never
+            // performs).
+            grid.set_replay(replaying);
+            let fold_at_send = profile.fold_at_send;
+            let (active, state_added) = if fold_at_send {
+                grid.begin_round(profile.combiner, &self.locals);
+                self.compute_phase_presharded(
+                    program,
+                    round,
+                    &mut inboxes,
+                    &mut grid,
+                    &mut states,
+                    msg_bytes,
+                )
+            } else {
+                let active =
+                    self.compute_phase(program, round, &mut inboxes, &mut outboxes, &mut states);
+                let added = outboxes.iter().map(|ob| ob.state_bytes_added).collect();
+                (active, added)
+            };
 
             // Persist state growth before pricing the round: the new
             // state is resident while the round runs. Exact stores
             // (slabs) report their capacity directly; ledger stores
             // accumulate what compute declared.
-            for (w, ob) in outboxes.iter().enumerate() {
+            for (w, &added) in state_added.iter().enumerate() {
                 match program.exact_store_bytes(&states[w]) {
                     Some(exact) => {
                         debug_assert_eq!(
-                            ob.state_bytes_added, 0,
+                            added, 0,
                             "exactly-accounted programs must not call add_state_bytes"
                         );
                         state_bytes[w] = exact;
                     }
-                    None => state_bytes[w] += ob.state_bytes_added,
+                    None => state_bytes[w] += added,
                 }
             }
 
             // ---- routing phase -------------------------------------
-            grid.set_replay(replaying);
-            let routing = grid.route_round(
-                self.pool.as_ref(),
-                &mut outboxes,
-                &mut inboxes,
-                self.graph,
-                &self.partition,
-                &self.locals,
-                self.mirrors.as_ref(),
-                profile.combiner,
-                msg_bytes,
-            );
+            let routing = if fold_at_send {
+                grid.route_presharded(
+                    self.pool.as_ref(),
+                    &mut inboxes,
+                    &self.locals,
+                    msg_bytes,
+                    profile.combiner,
+                )
+            } else {
+                grid.route_round(
+                    self.pool.as_ref(),
+                    &mut outboxes,
+                    &mut inboxes,
+                    self.graph,
+                    &self.partition,
+                    &self.locals,
+                    self.mirrors.as_ref(),
+                    profile.combiner,
+                    msg_bytes,
+                )
+            };
+            if fold_at_send {
+                // Conservation pins for the pre-sharded path, matching
+                // the grid path's property-test guarantees: nothing is
+                // dropped between emission and delivery, and every
+                // encoded byte sent is an encoded byte received.
+                debug_assert_eq!(
+                    routing.sent_wire,
+                    routing.delivered_wire(),
+                    "pre-sharded routing must deliver every wire message"
+                );
+                debug_assert_eq!(
+                    routing.encoded_out_bytes.iter().sum::<u64>(),
+                    routing.encoded_in_bytes.iter().sum::<u64>(),
+                    "pre-sharded routing must conserve encoded wire bytes"
+                );
+            }
 
             // ---- demand assembly -----------------------------------
             let demand = self.assemble_demand(
@@ -569,6 +615,7 @@ impl<'g> Runner<'g> {
                             encoded_wire_bytes: Bytes(routing.encoded_wire_bytes),
                             respond_cache_hits: routing.respond_hits,
                             respond_cache_misses: routing.respond_misses,
+                            shard_copy_bytes: Bytes(routing.shard_copy_bytes),
                             active_vertices: active.iter().sum(),
                             peak_machine_memory: charge.peak_memory,
                             state_bytes: Bytes(state_bytes.iter().copied().max().unwrap_or(0)),
@@ -630,6 +677,7 @@ impl<'g> Runner<'g> {
                         let graph = self.graph;
                         let vertices = &self.locals.worker_vertices()[w];
                         s.run_on(w, move || {
+                            outbox.clear();
                             *slot = worker_pass(
                                 program,
                                 graph,
@@ -652,6 +700,7 @@ impl<'g> Runner<'g> {
                     .zip(active.iter_mut())
                     .enumerate()
                 {
+                    outbox.clear();
                     *slot = worker_pass(
                         program,
                         self.graph,
@@ -666,6 +715,88 @@ impl<'g> Runner<'g> {
             }
         }
         active
+    }
+
+    /// [`Self::compute_phase`] for the fold-at-send path: each worker
+    /// emits through its [`ShardedOutbox`](crate::ShardedOutbox) sink
+    /// (obtained from the prepared `grid`) instead of a flat outbox, so
+    /// envelopes land pre-sharded — and pre-folded — as they are
+    /// produced. Returns per-worker `(active vertices, state bytes
+    /// added)`; the latter replaces the flat outbox's
+    /// `state_bytes_added` ledger.
+    #[allow(clippy::too_many_arguments)]
+    fn compute_phase_presharded<C: ProgramCore>(
+        &self,
+        program: &C,
+        round: usize,
+        inboxes: &mut [Inbox<C::Message>],
+        grid: &mut RouteGrid<C::Message>,
+        states: &mut [C::Store],
+        msg_bytes: u64,
+    ) -> (Vec<u64>, Vec<u64>) {
+        let seed = self.config.seed;
+        let mut active = vec![0u64; states.len()];
+        let mut state_added = vec![0u64; states.len()];
+        let sinks = grid.emit_sinks(
+            self.graph,
+            &self.partition,
+            &self.locals,
+            self.mirrors.as_ref(),
+            msg_bytes,
+        );
+        match &self.pool {
+            Some(pool) => {
+                pool.scope(|s| {
+                    for (w, ((((inbox, mut sink), worker_states), slot), added)) in inboxes
+                        .iter_mut()
+                        .zip(sinks)
+                        .zip(states.iter_mut())
+                        .zip(active.iter_mut())
+                        .zip(state_added.iter_mut())
+                        .enumerate()
+                    {
+                        let graph = self.graph;
+                        let vertices = &self.locals.worker_vertices()[w];
+                        s.run_on(w, move || {
+                            *slot = worker_pass(
+                                program,
+                                graph,
+                                round,
+                                seed,
+                                vertices,
+                                inbox,
+                                &mut sink,
+                                worker_states,
+                            );
+                            *added = sink.state_bytes_added;
+                        });
+                    }
+                });
+            }
+            None => {
+                for (w, ((((inbox, mut sink), worker_states), slot), added)) in inboxes
+                    .iter_mut()
+                    .zip(sinks)
+                    .zip(states.iter_mut())
+                    .zip(active.iter_mut())
+                    .zip(state_added.iter_mut())
+                    .enumerate()
+                {
+                    *slot = worker_pass(
+                        program,
+                        self.graph,
+                        round,
+                        seed,
+                        &self.locals.worker_vertices()[w],
+                        inbox,
+                        &mut sink,
+                        worker_states,
+                    );
+                    *added = sink.state_bytes_added;
+                }
+            }
+        }
+        (active, state_added)
     }
 
     /// Build the [`RoundDemand`] for the cost model from this round's
@@ -763,8 +894,10 @@ impl<'g> Runner<'g> {
 /// that way), so this is a single pass over its runs — each vertex's
 /// messages are handed to `compute` as a borrowed slice, with no
 /// sorting, no clones, and no per-round allocation. The inbox is
-/// cleared afterwards (capacity retained for the next routing round);
-/// the outbox is cleared and refilled.
+/// cleared afterwards (capacity retained for the next routing round).
+/// Emissions land in `sink` — a (cleared) flat [`Outbox`] on the
+/// two-stage grid path, a [`ShardedOutbox`](crate::ShardedOutbox) on
+/// the fold-at-send path; both observe the identical emission sequence.
 #[allow(clippy::too_many_arguments)]
 fn worker_pass<C: ProgramCore>(
     program: &C,
@@ -773,17 +906,16 @@ fn worker_pass<C: ProgramCore>(
     seed: u64,
     vertices: &[VertexId],
     inbox: &mut Inbox<C::Message>,
-    outbox: &mut Outbox<C::Message>,
+    sink: &mut dyn EmitSink<C::Message>,
     store: &mut C::Store,
 ) -> u64 {
-    outbox.clear();
     let active;
     if round == 0 {
         // A worker's vertex list is in local-index order, so position
         // IS the state index.
         for (li, &v) in vertices.iter().enumerate() {
             let mut rng = vertex_rng(seed, round, v);
-            let mut ctx = Context::new(v, round, graph, &mut rng, outbox);
+            let mut ctx = Context::new(v, round, graph, &mut rng, sink);
             program.init_vertex(v, li as u32, store, &mut ctx);
         }
         active = vertices.len() as u64;
@@ -794,7 +926,7 @@ fn worker_pass<C: ProgramCore>(
             let msgs = &inbox.deliveries()[start..run.end as usize];
             start = run.end as usize;
             let mut rng = vertex_rng(seed, round, run.dest);
-            let mut ctx = Context::new(run.dest, round, graph, &mut rng, outbox);
+            let mut ctx = Context::new(run.dest, round, graph, &mut rng, sink);
             program.compute_vertex(run.dest, run.local, store, msgs, &mut ctx);
         }
         // Recycle: the routing merge stage refills this inbox, reusing
@@ -958,6 +1090,39 @@ mod tests {
         // Flood sends point-to-point, so the (broadcast-only) respond
         // cache stays cold; its hit path is pinned by router tests.
         assert_eq!(compact.stats.respond_cache_hits, 0);
+    }
+
+    #[test]
+    fn fold_at_send_matches_flat_and_halves_copy_traffic() {
+        let g = generators::power_law(300, 1200, 2.3, 5);
+        let pre = Runner::new(&g, &HashPartitioner::default(), config(4)).run(&Flood);
+        let mut cfg = config(4);
+        cfg.profile.fold_at_send = false;
+        let flat = Runner::new(&g, &HashPartitioner::default(), cfg).run(&Flood);
+        // Pre-sharded emission changes where envelopes are copied,
+        // never what is delivered: same rounds, counts, and levels.
+        assert_eq!(pre.stats.rounds, flat.stats.rounds);
+        assert_eq!(
+            pre.stats.total_messages_sent,
+            flat.stats.total_messages_sent
+        );
+        assert_eq!(
+            pre.stats.total_messages_delivered,
+            flat.stats.total_messages_delivered
+        );
+        for (a, b) in pre.states.iter().zip(flat.states.iter()) {
+            assert_eq!(a.0, b.0);
+        }
+        // The flat path materialises each surviving envelope in an
+        // outbox and copies it again into its shard bucket; the
+        // pre-sharded path writes it once.
+        assert!(pre.stats.total_shard_copy_bytes.get() > 0);
+        assert!(
+            pre.stats.total_shard_copy_bytes < flat.stats.total_shard_copy_bytes,
+            "presharded {} vs flat {}",
+            pre.stats.total_shard_copy_bytes.get(),
+            flat.stats.total_shard_copy_bytes.get()
+        );
     }
 
     #[test]

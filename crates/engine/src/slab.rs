@@ -306,6 +306,43 @@ impl SlabRowMut<'_, u64> {
     }
 }
 
+impl SlabRowMut<'_, u8> {
+    /// Absorb a reachability mask into one [`LANES`]-wide chunk of 0/1
+    /// cells: every lane set in `mask` whose cell is still 0 flips to 1
+    /// and is marked in the frontier; lanes already reached are no-ops.
+    /// Returns the mask of **newly** reached lanes. `base` must be
+    /// chunk-aligned (`base % LANES == 0`); mask bits past the row
+    /// width are ignored. Semantically identical to `LANES` scalar
+    /// "if cell == 0 { cell = 1; mark }" steps — the BKHS hop-set
+    /// inner loop, pinned by proptest against the scalar slab program.
+    #[inline]
+    pub fn absorb_lanes(&mut self, base: usize, mask: u8) -> u8 {
+        debug_assert_eq!(base % LANES, 0, "chunk base must be LANES-aligned");
+        let n = LANES.min(self.cells.len() - base);
+        let mut fresh = 0u8;
+        if n == LANES {
+            // Fixed-width slice: one bounds check, branchless body.
+            let row: &mut [u8] = &mut self.cells[base..base + LANES];
+            for (l, cell) in row.iter_mut().enumerate() {
+                let arriving = (mask >> l) & 1;
+                let newly = arriving & (*cell == 0) as u8;
+                *cell |= arriving;
+                fresh |= newly << l;
+            }
+        } else {
+            for l in 0..n {
+                let arriving = (mask >> l) & 1;
+                let newly = arriving & (self.cells[base + l] == 0) as u8;
+                self.cells[base + l] |= arriving;
+                fresh |= newly << l;
+            }
+        }
+        // 8 aligned lanes never straddle a frontier word.
+        self.front[base >> 6] |= (fresh as u64) << (base & 63);
+        fresh
+    }
+}
+
 /// A vertex program whose per-vertex state is one dense slab row of
 /// `W` cells instead of an owned `State` value. Semantics otherwise
 /// match [`VertexProgram`](crate::program::VertexProgram): `init` runs

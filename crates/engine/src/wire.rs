@@ -374,6 +374,80 @@ mod tests {
         assert_eq!(back, want);
     }
 
+    /// Every tuple its own destination: the directory degenerates to
+    /// one run per tuple and the query stream to one group per tuple —
+    /// the per-run overhead paths must still measure and decode
+    /// exactly.
+    #[test]
+    fn single_entry_runs_roundtrip() {
+        let envs: Vec<Envelope<P>> = (0..9)
+            .map(|i| env(i * 3, Some(i as u64), 100 + i as u64, 1 + i as u64))
+            .collect();
+        let buf = encode_bucket(&envs, |v| v);
+        assert_eq!(buf.len() as u64, measure_bucket(&envs, |v| v));
+        let back = decode_bucket::<P>(&buf, |li| li as VertexId);
+        assert_eq!(back, envs); // already li-sorted: order preserved
+    }
+
+    /// Local indices at the u32 extremes: the first directory entry's
+    /// delta is the absolute index, so a lone `u32::MAX` destination
+    /// exercises the widest delta varint; a 0→MAX pair exercises the
+    /// widest inter-run delta.
+    #[test]
+    fn max_delta_local_indices_roundtrip() {
+        let far = u32::MAX as VertexId;
+        for envs in [
+            vec![env(far, Some(2), 5, 1)],
+            vec![env(0, None, 1, 1), env(far, Some(7), 9, 4)],
+        ] {
+            let buf = encode_bucket(&envs, |v| v);
+            assert_eq!(buf.len() as u64, measure_bucket(&envs, |v| v));
+            let back = decode_bucket::<P>(&buf, |li| li as VertexId);
+            assert_eq!(back, envs);
+        }
+    }
+
+    /// A payload that encodes to zero bytes (it rides entirely on the
+    /// query stream, like BKHS reach notifications): the payload
+    /// stream is empty and decode must reconstruct every message from
+    /// `wire_query` alone.
+    #[test]
+    fn zero_length_payload_stream_roundtrip() {
+        #[derive(Debug, Clone, PartialEq)]
+        struct Tag {
+            q: u64,
+        }
+        impl Message for Tag {
+            fn combine_key(&self) -> Option<u64> {
+                Some(self.q)
+            }
+            fn merge(&mut self, _o: &Self) {}
+            fn wire_query(&self) -> Option<u64> {
+                Some(self.q)
+            }
+            fn encoded_payload_bytes(&self) -> u64 {
+                0
+            }
+        }
+        impl PayloadCodec for Tag {
+            fn encode_payload(&self, _out: &mut Vec<u8>) {}
+            fn decode_payload(wire_query: Option<u64>, _buf: &[u8], _pos: &mut usize) -> Self {
+                Tag {
+                    q: wire_query.expect("Tag always carries its query"),
+                }
+            }
+        }
+        let envs: Vec<Envelope<Tag>> = (0..6)
+            .map(|i| Envelope::new((i % 3) as VertexId, Tag { q: i as u64 % 2 }, 1))
+            .collect();
+        let buf = encode_bucket(&envs, |v| v);
+        assert_eq!(buf.len() as u64, measure_bucket(&envs, |v| v));
+        let back = decode_bucket::<Tag>(&buf, |li| li as VertexId);
+        let mut want = envs.clone();
+        want.sort_by_key(|e| e.dest);
+        assert_eq!(back, want);
+    }
+
     #[test]
     fn compact_beats_fixed_width_estimate() {
         // 64 tuples of a 20-byte fixed format: estimate 1280 bytes.

@@ -4,9 +4,10 @@
 use mtvc_cluster::{ClusterSpec, FaultPlan};
 use mtvc_engine::sampling::{binomial, multinomial_uniform};
 use mtvc_engine::{
-    route_with, wire, Context, Delivery, EngineConfig, Envelope, Inbox, LocalIndex, Message,
-    MirrorIndex, Outbox, PayloadCodec, RouteGrid, RoutePolicy, Runner, SlabProgram, SlabRecycler,
-    SlabRowMut, StateSlab, SystemProfile, VertexProgram, WireFormat, WorkerPool, LANES,
+    route_with, wire, Context, Delivery, EmitSink, EngineConfig, Envelope, Inbox, LocalIndex,
+    Message, MirrorIndex, Outbox, PayloadCodec, RouteGrid, RoutePolicy, Runner, SlabProgram,
+    SlabRecycler, SlabRowMut, StateSlab, SystemProfile, VertexProgram, WireFormat, WorkerPool,
+    LANES,
 };
 use mtvc_graph::partition::{HashPartitioner, Partitioner};
 use mtvc_graph::{generators, VertexId};
@@ -349,6 +350,94 @@ proptest! {
                 && ob.broadcasts.is_empty()));
         }
         prop_assert_eq!(&grid_inboxes, &serial_inboxes);
+    }
+
+    /// Fold-at-send tentpole invariant: replaying the same traffic
+    /// through pre-sharded `ShardedOutbox` sinks (`begin_round` →
+    /// `emit_sinks` → `route_presharded`) produces inboxes and
+    /// statistics identical to the two-stage `route_round` — except
+    /// `shard_copy_bytes`, where folding at emission time must save
+    /// the flat path's per-envelope materialisation copy.
+    #[test]
+    fn presharded_route_equals_two_stage_route(
+        n in 8usize..150,
+        workers in 1usize..9,
+        combine in any::<bool>(),
+        mirrored in any::<bool>(),
+        compact in any::<bool>(),
+        caching in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let g = generators::erdos_renyi(n, n * 3, seed);
+        let part = HashPartitioner { salt: seed }.partition(&g, workers);
+        let locals = LocalIndex::build(&part);
+        let mirrors = mirrored.then(|| MirrorIndex::build(&g, &part, 4));
+        let outboxes = synthetic_outboxes(&g, &part, seed ^ 0xF01D, 40, 6);
+        let msg_bytes = 16;
+        let policy = RoutePolicy {
+            wire_format: if compact { WireFormat::Compact } else { WireFormat::Tuples },
+            respond_cache_threshold: if caching { 4 } else { 0 },
+            ..RoutePolicy::default()
+        };
+        let pool = WorkerPool::new(workers.min(4));
+
+        // Baseline: the two-stage grid over a flat outbox.
+        let mut flat_grid: RouteGrid<Keyed> = RouteGrid::new(workers);
+        flat_grid.set_policy(policy);
+        let mut flat_inboxes: Vec<Inbox<Keyed>> =
+            (0..workers).map(|_| Inbox::new()).collect();
+        let mut working = outboxes.clone();
+        let flat_stats = flat_grid.route_round(
+            Some(&pool),
+            &mut working,
+            &mut flat_inboxes,
+            &g,
+            &part,
+            &locals,
+            mirrors.as_ref(),
+            combine,
+            msg_bytes,
+        ).clone();
+
+        // Pre-sharded: feed the identical traffic straight into the
+        // per-destination shards, twice to exercise buffer reuse.
+        let mut grid: RouteGrid<Keyed> = RouteGrid::new(workers);
+        grid.set_policy(policy);
+        let mut inboxes: Vec<Inbox<Keyed>> =
+            (0..workers).map(|_| Inbox::new()).collect();
+        for _ in 0..2 {
+            inboxes.iter_mut().for_each(|i| i.clear());
+            grid.begin_round(combine, &locals);
+            for (sink, ob) in grid
+                .emit_sinks(&g, &part, &locals, mirrors.as_ref(), msg_bytes)
+                .zip(outboxes.iter())
+            {
+                let mut sink = sink;
+                for env in &ob.sends {
+                    sink.emit(env.clone());
+                }
+                for (origin, msg, mult) in &ob.broadcasts {
+                    sink.emit_broadcast(*origin, msg.clone(), *mult);
+                }
+            }
+            let stats = grid.route_presharded(
+                Some(&pool), &mut inboxes, &locals, msg_bytes, combine,
+            );
+
+            // Folding at send must never copy more than the flat
+            // path, and saves exactly the emit-materialisation pass
+            // (one envelope write per send/broadcast entry).
+            let env_bytes = std::mem::size_of::<Envelope<Keyed>>() as u64;
+            let emit_copies: u64 = outboxes.iter().map(|ob| {
+                (ob.sends.len() + ob.broadcasts.len()) as u64 * env_bytes
+            }).sum();
+            prop_assert_eq!(stats.shard_copy_bytes + emit_copies, flat_stats.shard_copy_bytes);
+
+            let mut scrubbed = stats.clone();
+            scrubbed.shard_copy_bytes = flat_stats.shard_copy_bytes;
+            prop_assert_eq!(&scrubbed, &flat_stats);
+        }
+        prop_assert_eq!(&inboxes, &flat_inboxes);
     }
 
     /// The compact codec is lossless and exactly self-measuring: for

@@ -31,6 +31,12 @@ pub struct RoundStats {
     /// caches this round, and the payloads shipped to prime them.
     pub respond_cache_hits: u64,
     pub respond_cache_misses: u64,
+    /// Bytes of surviving envelopes memcpy'd into shard buckets this
+    /// round. The flat emit path pays this twice per envelope (outbox
+    /// materialisation + bucket append); fold-at-send pre-sharded
+    /// outboxes pay it once, so this counter is how the copy saving
+    /// shows up in reports.
+    pub shard_copy_bytes: Bytes,
     /// Vertices whose `compute` ran this round.
     pub active_vertices: u64,
     /// Peak memory used by the *busiest* machine during this round.
@@ -87,6 +93,9 @@ pub struct RunStats {
     /// Request-respond cache totals across the run.
     pub respond_cache_hits: u64,
     pub respond_cache_misses: u64,
+    /// Shard-bucket copy traffic across the run (see
+    /// [`RoundStats::shard_copy_bytes`]).
+    pub total_shard_copy_bytes: Bytes,
     pub total_spilled_bytes: Bytes,
     pub peak_memory: Bytes,
     /// High-water mark of per-machine resident vertex-state bytes
@@ -119,6 +128,7 @@ impl RunStats {
         self.total_encoded_wire_bytes += round.encoded_wire_bytes;
         self.respond_cache_hits += round.respond_cache_hits;
         self.respond_cache_misses += round.respond_cache_misses;
+        self.total_shard_copy_bytes += round.shard_copy_bytes;
         self.total_spilled_bytes += round.spilled_bytes;
         self.peak_memory = self.peak_memory.max(round.peak_machine_memory);
         self.peak_state_bytes = self.peak_state_bytes.max(round.state_bytes);
@@ -139,6 +149,7 @@ impl RunStats {
         self.total_encoded_wire_bytes += other.total_encoded_wire_bytes;
         self.respond_cache_hits += other.respond_cache_hits;
         self.respond_cache_misses += other.respond_cache_misses;
+        self.total_shard_copy_bytes += other.total_shard_copy_bytes;
         self.total_spilled_bytes += other.total_spilled_bytes;
         self.peak_memory = self.peak_memory.max(other.peak_memory);
         self.peak_state_bytes = self.peak_state_bytes.max(other.peak_state_bytes);

@@ -13,12 +13,15 @@
 //! `(vertex, query)` in a dense slab row; the hash-set baselines
 //! [`BkhsProgram`] / [`BkhsBroadcastProgram`] remain for benchmarking
 //! and cross-checking. Message traffic is bit-identical between the
-//! layouts.
+//! layouts. [`BkhsLaneSlabProgram`] additionally batches eight
+//! adjacent queries per envelope ([`ReachLanesMsg`]), the same lane
+//! scheme as MSSP's `DistLanesMsg` — mult-weighted traffic stays
+//! bit-identical to the scalar slab kernel.
 
 use crate::mssp::QueryId;
 use crate::sources::SourceIndex;
 use mtvc_engine::{
-    Context, Delivery, Message, PayloadCodec, SlabProgram, SlabRowMut, VertexProgram,
+    Context, Delivery, Message, PayloadCodec, SlabProgram, SlabRowMut, VertexProgram, LANES,
 };
 use mtvc_graph::hash::FastSet;
 use mtvc_graph::VertexId;
@@ -49,6 +52,50 @@ impl PayloadCodec for ReachMsg {
     fn decode_payload(wire_query: Option<u64>, _buf: &[u8], _pos: &mut usize) -> Self {
         ReachMsg {
             query: wire_query.expect("ReachMsg always carries a query id") as QueryId,
+        }
+    }
+}
+
+/// Lane-batched reachability notification: "the queries of `chunk`
+/// whose bit is set in `mask` reach you". One envelope per
+/// (chunk, edge) replaces up to [`LANES`] scalar [`ReachMsg`]s; the
+/// multiplicity is the number of set lanes, so wire accounting matches
+/// the scalar traffic unit for unit. The payload is the single mask
+/// byte — the chunk id rides the query stream, like [`ReachMsg`]'s
+/// query id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReachLanesMsg {
+    /// Chunk index: lanes cover queries `[chunk*LANES, chunk*LANES+LANES)`.
+    pub chunk: u32,
+    /// Bit `l` set = lane `l`'s query reaches the destination.
+    pub mask: u8,
+}
+
+impl Message for ReachLanesMsg {
+    fn combine_key(&self) -> Option<u64> {
+        Some(self.chunk as u64)
+    }
+    fn merge(&mut self, other: &Self) {
+        self.mask |= other.mask;
+    }
+    fn wire_query(&self) -> Option<u64> {
+        Some(self.chunk as u64)
+    }
+    fn encoded_payload_bytes(&self) -> u64 {
+        1 // the mask byte; the chunk id rides the query stream
+    }
+}
+
+impl PayloadCodec for ReachLanesMsg {
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        out.push(self.mask);
+    }
+    fn decode_payload(wire_query: Option<u64>, buf: &[u8], pos: &mut usize) -> Self {
+        let mask = buf[*pos];
+        *pos += 1;
+        ReachLanesMsg {
+            chunk: wire_query.expect("ReachLanesMsg always carries its chunk") as u32,
+            mask,
         }
     }
 }
@@ -376,6 +423,104 @@ impl SlabProgram for BkhsBroadcastSlabProgram {
                 ctx.broadcast(ReachMsg { query: d.msg.query }, 1);
             }
         }
+    }
+
+    fn extract(&self, _v: VertexId, row: &[u8]) -> BkhsState {
+        extract_reached(row)
+    }
+
+    fn max_rounds(&self) -> Option<usize> {
+        self.inner.max_rounds()
+    }
+}
+
+/// Forward every newly-reached chunk of the row: one
+/// [`ReachLanesMsg`] per (dirty chunk, neighbor) whose multiplicity is
+/// the number of fresh lanes, so mult-weighted traffic equals the
+/// scalar program's one-unit-per-query sends.
+fn send_reached_chunks(row: &mut SlabRowMut<'_, u8>, ctx: &mut Context<'_, ReachLanesMsg>) {
+    row.drain_chunks(|chunk, mask, _cells| {
+        let units = mask.count_ones() as u64;
+        for &t in ctx.neighbors() {
+            ctx.send(
+                t,
+                ReachLanesMsg {
+                    chunk: chunk as u32,
+                    mask,
+                },
+                units,
+            );
+        }
+    });
+}
+
+/// Lane-batched point-to-point BKHS: eight queries advance per
+/// envelope. Arrivals OR their mask into the row via
+/// [`SlabRowMut::absorb_lanes`], which marks only *freshly* reached
+/// lanes in the frontier; draining then forwards one message per dirty
+/// chunk instead of one per query. Mult-weighted traffic, rounds and
+/// final states are bit-identical to [`BkhsSlabProgram`] — pinned by
+/// proptest.
+#[derive(Debug, Clone)]
+pub struct BkhsLaneSlabProgram {
+    inner: BkhsSlabProgram,
+}
+
+impl BkhsLaneSlabProgram {
+    pub fn new(sources: Vec<VertexId>, k: u32) -> BkhsLaneSlabProgram {
+        BkhsLaneSlabProgram {
+            inner: BkhsSlabProgram::new(sources, k),
+        }
+    }
+
+    /// One batch of a job-wide [`SourceIndex`].
+    pub fn batch(index: Arc<SourceIndex>, range: Range<usize>, k: u32) -> BkhsLaneSlabProgram {
+        BkhsLaneSlabProgram {
+            inner: BkhsSlabProgram::batch(index, range, k),
+        }
+    }
+}
+
+impl SlabProgram for BkhsLaneSlabProgram {
+    type Message = ReachLanesMsg;
+    type Cell = u8;
+    type Out = BkhsState;
+
+    fn width(&self) -> usize {
+        self.inner.width()
+    }
+
+    fn empty_cell(&self) -> u8 {
+        0
+    }
+
+    fn message_bytes(&self) -> u64 {
+        12
+    }
+
+    fn init(&self, v: VertexId, mut row: SlabRowMut<'_, u8>, ctx: &mut Context<'_, ReachLanesMsg>) {
+        let mut any = false;
+        for q in self.inner.index.batch_queries_at(v, &self.inner.range) {
+            *row.cell_mut(q as usize) = 1;
+            row.mark(q as usize);
+            any = true;
+        }
+        if any {
+            send_reached_chunks(&mut row, ctx);
+        }
+    }
+
+    fn compute(
+        &self,
+        _v: VertexId,
+        mut row: SlabRowMut<'_, u8>,
+        inbox: &[Delivery<ReachLanesMsg>],
+        ctx: &mut Context<'_, ReachLanesMsg>,
+    ) {
+        for d in inbox {
+            row.absorb_lanes(d.msg.chunk as usize * LANES, d.msg.mask);
+        }
+        send_reached_chunks(&mut row, ctx);
     }
 
     fn extract(&self, _v: VertexId, row: &[u8]) -> BkhsState {

@@ -41,9 +41,13 @@ pub mod sampling {
     pub use mtvc_engine::sampling::*;
 }
 
-pub use bkhs::{BkhsBroadcastProgram, BkhsBroadcastSlabProgram, BkhsProgram, BkhsSlabProgram};
+pub use bkhs::{
+    BkhsBroadcastProgram, BkhsBroadcastSlabProgram, BkhsLaneSlabProgram, BkhsProgram,
+    BkhsSlabProgram, ReachLanesMsg,
+};
 pub use bppr::{
-    BpprProgram, BpprPushProgram, BpprPushSlabProgram, BpprSlabProgram, PushCell, SourceSet,
+    BpprProgram, BpprPushLaneSlabProgram, BpprPushProgram, BpprPushSlabProgram, BpprSlabProgram,
+    PushCell, PushLanesMsg, SourceSet,
 };
 pub use cc::ConnectedComponentsProgram;
 pub use mssp::{

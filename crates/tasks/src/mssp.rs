@@ -26,6 +26,11 @@
 //!   baselines, kept for benchmarking the slab layout against and as
 //!   independent oracles in property tests. Message traffic is
 //!   bit-identical to the slab kernels.
+//!
+//! [`MsspLaneSlabProgram`] lane-batches the slab kernel: one
+//! [`DistLanesMsg`] relaxes eight adjacent queries per envelope. BKHS
+//! and push-BPPR use the same scheme (`ReachLanesMsg`,
+//! `PushLanesMsg` in their modules).
 
 use crate::sources::SourceIndex;
 use mtvc_engine::wire::{read_varint, varint_len, write_varint};

@@ -11,9 +11,10 @@ use mtvc_graph::{generators, reference as gref, Graph, VertexId};
 use mtvc_metrics::SimTime;
 use mtvc_tasks::bppr::{BpprState, PushState};
 use mtvc_tasks::{
-    BkhsProgram, BkhsSlabProgram, BpprProgram, BpprPushProgram, BpprPushSlabProgram,
-    BpprSlabProgram, MsspBroadcastProgram, MsspBroadcastSlabProgram, MsspLaneSlabProgram,
-    MsspProgram, MsspSlabProgram, SourceIndex, SourceSet,
+    BkhsLaneSlabProgram, BkhsProgram, BkhsSlabProgram, BpprProgram, BpprPushLaneSlabProgram,
+    BpprPushProgram, BpprPushSlabProgram, BpprSlabProgram, MsspBroadcastProgram,
+    MsspBroadcastSlabProgram, MsspLaneSlabProgram, MsspProgram, MsspSlabProgram, SourceIndex,
+    SourceSet,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -125,6 +126,94 @@ proptest! {
         for v in g.vertices() {
             prop_assert_eq!(
                 &lane.states[v as usize].dist, &scalar.states[v as usize].dist, "v={}", v
+            );
+        }
+    }
+
+    /// Lane-batched BKHS (`ReachLanesMsg`, `absorb_lanes`) must finish
+    /// in the same rounds, send the same mult-weighted wire traffic,
+    /// and reach exactly the same (query, vertex) pairs as the scalar
+    /// slab kernel — across widths on and off the `LANES` boundary.
+    #[test]
+    fn lane_bkhs_matches_scalar_slab(
+        n in 20usize..100,
+        width_sel in 0usize..4,
+        k in 1u32..5,
+        workers in 1usize..5,
+        combine in any::<bool>(),
+        compact in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let width = [1usize, 7, 8, 64][width_sel];
+        let g = generators::power_law(n, n * 4, 2.4, seed);
+        let sources = pick_sources(n, width, seed ^ 13);
+
+        let mut cfg = roomy_config(workers, seed, combine);
+        if compact {
+            cfg.profile.wire_format = WireFormat::Compact;
+        }
+        let scalar = runner(&g, cfg.clone())
+            .run_slab(&BkhsSlabProgram::new(sources.clone(), k));
+        let lane = runner(&g, cfg)
+            .run_slab(&BkhsLaneSlabProgram::new(sources, k));
+        completed(&scalar);
+        completed(&lane);
+        prop_assert_eq!(lane.stats.rounds, scalar.stats.rounds);
+        prop_assert_eq!(lane.stats.total_messages_sent, scalar.stats.total_messages_sent);
+        for v in g.vertices() {
+            prop_assert_eq!(
+                &lane.states[v as usize].reached,
+                &scalar.states[v as usize].reached,
+                "v={}", v
+            );
+        }
+    }
+
+    /// Lane-batched forward-push BPPR (`PushLanesMsg`) must finish in
+    /// the same rounds, send the same mult-weighted traffic, and leave
+    /// exactly the same f64 masses as the scalar slab push — same adds
+    /// in the same per-cell order — across source-set widths on and
+    /// off the `LANES` boundary.
+    #[test]
+    fn lane_bppr_push_matches_scalar_slab(
+        n in 20usize..90,
+        width_sel in 0usize..5,
+        walks in 1u64..200,
+        workers in 1usize..5,
+        combine in any::<bool>(),
+        compact in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let g = generators::power_law(n, n * 4, 2.3, seed);
+        // Subset widths on and off the LANES boundary (duplicates
+        // dedup away — both kernels see the identical set), plus the
+        // AllVertices default.
+        let sources = if width_sel < 4 {
+            SourceSet::subset(pick_sources(n, [1usize, 7, 8, 64][width_sel], seed ^ 19))
+        } else {
+            SourceSet::AllVertices
+        };
+
+        let mut cfg = broadcast_config(workers, seed, combine);
+        if compact {
+            cfg.profile.wire_format = WireFormat::Compact;
+        }
+        let scalar = runner(&g, cfg.clone()).run_slab(
+            &BpprPushSlabProgram::new(walks, 0.2, n).with_sources(sources.clone()),
+        );
+        let lane = runner(&g, cfg).run_slab(
+            &BpprPushLaneSlabProgram::new(walks, 0.2, n).with_sources(sources),
+        );
+        completed(&scalar);
+        completed(&lane);
+        prop_assert_eq!(lane.stats.rounds, scalar.stats.rounds);
+        prop_assert_eq!(lane.stats.total_messages_sent, scalar.stats.total_messages_sent);
+        for v in g.vertices() {
+            // Exact f64 equality: same adds in the same order.
+            prop_assert_eq!(
+                &lane.states[v as usize].mass,
+                &scalar.states[v as usize].mass,
+                "v={}", v
             );
         }
     }
