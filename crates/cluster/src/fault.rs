@@ -6,9 +6,11 @@
 //! a mispredicted memory model, not just report it — so this module
 //! provides the *fault side* of the failure path: a seeded, fully
 //! deterministic [`FaultPlan`] describing which machines crash at which
-//! supersteps, which rounds lose their in-flight messages, and whether
-//! the simulated kernel OOM-kills a worker the moment its memory demand
-//! exceeds physical capacity (instead of the cost model's softer
+//! supersteps, which rounds lose their in-flight messages, which
+//! machines straggle (slow rounds), when the interconnect partitions,
+//! which inbound buckets arrive corrupted, and whether the simulated
+//! kernel OOM-kills a worker the moment its memory demand exceeds
+//! physical capacity (instead of the cost model's softer
 //! thrashing-then-overflow regime).
 //!
 //! The engine consumes a plan through a [`FaultInjector`]: each
@@ -36,14 +38,77 @@ pub enum FaultKind {
         /// The machine whose inbound messages are dropped.
         machine: usize,
     },
+    /// The machine runs slow for a window of supersteps: its compute
+    /// demand is scaled by `factor_pct / 100` for `rounds` rounds
+    /// starting at the fault's round. No state is lost — the cost is
+    /// pure simulated time, accounted as recovery overhead so the
+    /// run's first-run completion time stays fault-free-identical.
+    Straggler {
+        /// The machine that slows down.
+        machine: usize,
+        /// Slowdown factor in percent (150 = 1.5× compute time; always
+        /// ≥ 100 when drawn from [`FaultPlan::chaos`]).
+        factor_pct: u32,
+        /// How many consecutive supersteps the window covers (≥ 1).
+        rounds: usize,
+    },
+    /// The cluster's interconnect splits: every cross-machine delivery
+    /// of the superstep fails, for `rounds` consecutive supersteps.
+    /// Recovered like a delivery failure — rollback and replay — plus a
+    /// barrier-stall charge per blocked round while the partition heals.
+    Partition {
+        /// How many consecutive supersteps the partition lasts (≥ 1).
+        rounds: usize,
+    },
+    /// `flips` encoded message buckets addressed to this machine arrive
+    /// with flipped bits. The checksummed wire frame detects each at
+    /// decode; the sender retransmits the affected buckets from its
+    /// retained shard buffers — no rollback, only retransmission time.
+    PayloadCorruption {
+        /// The machine whose inbound buckets are corrupted.
+        machine: usize,
+        /// How many buckets arrive corrupted (each is retransmitted
+        /// once; retransmissions are assumed clean).
+        flips: u32,
+    },
 }
 
 impl FaultKind {
-    /// The machine the fault strikes.
-    pub fn machine(&self) -> usize {
+    /// The machine the fault strikes, if the fault targets a single
+    /// machine (`None` for cluster-wide faults such as partitions).
+    pub fn machine(&self) -> Option<usize> {
         match *self {
-            FaultKind::MachineCrash { machine } | FaultKind::DeliveryFailure { machine } => machine,
+            FaultKind::MachineCrash { machine }
+            | FaultKind::DeliveryFailure { machine }
+            | FaultKind::Straggler { machine, .. }
+            | FaultKind::PayloadCorruption { machine, .. } => Some(machine),
+            FaultKind::Partition { .. } => None,
         }
+    }
+}
+
+/// How many of each fault kind a seeded chaos schedule should draw.
+///
+/// The all-zeros default injects nothing; fill in the kinds a scenario
+/// needs and pass the mix to [`FaultPlan::chaos`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosMix {
+    /// Machine crashes (rollback + replay).
+    pub crashes: usize,
+    /// Transient delivery failures (rollback + replay).
+    pub losses: usize,
+    /// Straggler windows (slow rounds, no state loss).
+    pub stragglers: usize,
+    /// Network partitions (cluster-wide delivery loss for a window).
+    pub partitions: usize,
+    /// Payload-corruption events (per-bucket retransmission).
+    pub corruptions: usize,
+}
+
+impl ChaosMix {
+    /// Total events the mix schedules.
+    pub fn total(&self) -> usize {
+        self.crashes + self.losses + self.stragglers + self.partitions + self.corruptions
     }
 }
 
@@ -104,6 +169,50 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule a straggler window: `machine` computes `factor_pct`%
+    /// slower for `rounds` supersteps starting at `round`.
+    pub fn with_straggler(
+        mut self,
+        round: usize,
+        machine: usize,
+        factor_pct: u32,
+        rounds: usize,
+    ) -> FaultPlan {
+        assert!(factor_pct >= 100, "a straggler cannot speed a machine up");
+        assert!(rounds >= 1, "a straggler window covers at least one round");
+        self.events.push(FaultEvent {
+            round,
+            kind: FaultKind::Straggler {
+                machine,
+                factor_pct,
+                rounds,
+            },
+        });
+        self
+    }
+
+    /// Schedule a network partition lasting `rounds` supersteps starting
+    /// at `round`.
+    pub fn with_partition(mut self, round: usize, rounds: usize) -> FaultPlan {
+        assert!(rounds >= 1, "a partition lasts at least one round");
+        self.events.push(FaultEvent {
+            round,
+            kind: FaultKind::Partition { rounds },
+        });
+        self
+    }
+
+    /// Schedule `flips` corrupted inbound buckets on `machine` at the
+    /// start of `round`.
+    pub fn with_corruption(mut self, round: usize, machine: usize, flips: u32) -> FaultPlan {
+        assert!(flips >= 1, "corruption must flip at least one bucket");
+        self.events.push(FaultEvent {
+            round,
+            kind: FaultKind::PayloadCorruption { machine, flips },
+        });
+        self
+    }
+
     /// Enable the hard OOM kill: the run is terminated the moment any
     /// machine's simulated memory demand exceeds its physical capacity,
     /// instead of entering the cost model's thrashing regime and only
@@ -140,6 +249,50 @@ impl FaultPlan {
         plan
     }
 
+    /// Draw a seeded random schedule covering the full fault taxonomy:
+    /// `mix` counts of each kind, rounds uniform over `1..=horizon`,
+    /// machines uniform over `machines`. Straggler factors land in
+    /// 150..=400 %, straggler windows in 1..=3 rounds, partitions in
+    /// 1..=2 rounds, corruption in 1..=4 buckets. Deterministic in
+    /// `seed`; [`FaultPlan::random`] draws are unaffected (different
+    /// stream).
+    pub fn chaos(seed: u64, machines: usize, horizon: usize, mix: ChaosMix) -> FaultPlan {
+        assert!(machines >= 1, "need at least one machine");
+        assert!(horizon >= 1, "need at least one superstep");
+        let mut state = seed ^ 0xC4A0_5C4A_05C4_A05C;
+        let draw_round = |state: &mut u64| 1 + (splitmix64(state) as usize) % horizon;
+        let mut plan = FaultPlan::none();
+        for _ in 0..mix.crashes {
+            let round = draw_round(&mut state);
+            let machine = (splitmix64(&mut state) as usize) % machines;
+            plan = plan.with_crash(round, machine);
+        }
+        for _ in 0..mix.losses {
+            let round = draw_round(&mut state);
+            let machine = (splitmix64(&mut state) as usize) % machines;
+            plan = plan.with_delivery_failure(round, machine);
+        }
+        for _ in 0..mix.stragglers {
+            let round = draw_round(&mut state);
+            let machine = (splitmix64(&mut state) as usize) % machines;
+            let factor_pct = 150 + (splitmix64(&mut state) % 251) as u32;
+            let rounds = 1 + (splitmix64(&mut state) as usize) % 3;
+            plan = plan.with_straggler(round, machine, factor_pct, rounds);
+        }
+        for _ in 0..mix.partitions {
+            let round = draw_round(&mut state);
+            let rounds = 1 + (splitmix64(&mut state) as usize) % 2;
+            plan = plan.with_partition(round, rounds);
+        }
+        for _ in 0..mix.corruptions {
+            let round = draw_round(&mut state);
+            let machine = (splitmix64(&mut state) as usize) % machines;
+            let flips = 1 + (splitmix64(&mut state) % 4) as u32;
+            plan = plan.with_corruption(round, machine, flips);
+        }
+        plan
+    }
+
     /// Whether the hard OOM kill is armed.
     pub fn hard_oom(&self) -> bool {
         self.hard_oom
@@ -158,14 +311,17 @@ impl FaultPlan {
 
 /// Runtime consumer of a [`FaultPlan`] for one run.
 ///
-/// Events are delivered by [`FaultInjector::take_at`] exactly once each
-/// (transient-fault semantics): after a rollback, the replayed
+/// Events are delivered by [`FaultInjector::take_all_at`] exactly once
+/// each (transient-fault semantics): after a rollback, the replayed
 /// superstep passes the point of failure cleanly, so recovery
 /// terminates even when several faults stack up.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     /// Remaining events, sorted by round (stable for equal rounds).
     pending: Vec<FaultEvent>,
+    /// Events returned by the latest [`FaultInjector::take_all_at`];
+    /// kept owned so the call can hand back a slice.
+    taken: Vec<FaultEvent>,
     hard_oom: bool,
     fired: u64,
 }
@@ -178,22 +334,26 @@ impl FaultInjector {
         pending.sort_by_key(|e| std::cmp::Reverse(e.round));
         FaultInjector {
             pending,
+            taken: Vec::new(),
             hard_oom: plan.hard_oom,
             fired: 0,
         }
     }
 
-    /// Fire (and consume) one event scheduled at `round`, if any. Call
-    /// repeatedly per round until `None`: stacked events at the same
-    /// round each fire once.
-    pub fn take_at(&mut self, round: usize) -> Option<FaultEvent> {
-        match self.pending.last() {
-            Some(e) if e.round <= round => {
-                self.fired += 1;
-                self.pending.pop()
+    /// Fire (and consume) every event scheduled at or before `round`,
+    /// in schedule order. Co-scheduled faults — several events at the
+    /// same round — all fire in one call; each event fires exactly
+    /// once across the run. Returns an empty slice when nothing is due.
+    pub fn take_all_at(&mut self, round: usize) -> &[FaultEvent] {
+        self.taken.clear();
+        while let Some(e) = self.pending.last() {
+            if e.round > round {
+                break;
             }
-            _ => None,
+            self.taken.push(self.pending.pop().unwrap());
+            self.fired += 1;
         }
+        &self.taken
     }
 
     /// Whether the hard OOM kill is armed.
@@ -223,17 +383,31 @@ mod tests {
             .with_delivery_failure(2, 0)
             .with_crash(5, 3);
         let mut inj = FaultInjector::new(&plan);
-        assert!(inj.take_at(0).is_none());
-        assert!(inj.take_at(1).is_none());
-        let e = inj.take_at(2).unwrap();
-        assert_eq!(e.kind, FaultKind::DeliveryFailure { machine: 0 });
-        assert!(inj.take_at(2).is_none());
-        // Both round-5 events fire, one take_at call each.
-        assert!(inj.take_at(5).is_some());
-        assert!(inj.take_at(5).is_some());
-        assert!(inj.take_at(5).is_none());
+        assert!(inj.take_all_at(0).is_empty());
+        assert!(inj.take_all_at(1).is_empty());
+        let due = inj.take_all_at(2);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].kind, FaultKind::DeliveryFailure { machine: 0 });
+        assert!(inj.take_all_at(2).is_empty());
+        // Both round-5 events fire together in one call.
+        assert_eq!(inj.take_all_at(5).len(), 2);
+        assert!(inj.take_all_at(5).is_empty());
         assert_eq!(inj.fired(), 3);
         assert_eq!(inj.remaining(), 0);
+    }
+
+    #[test]
+    fn co_scheduled_faults_all_fire_in_one_call() {
+        let plan = FaultPlan::none()
+            .with_crash(4, 1)
+            .with_delivery_failure(4, 0)
+            .with_partition(4, 1)
+            .with_corruption(4, 2, 3);
+        let mut inj = FaultInjector::new(&plan);
+        let due = inj.take_all_at(4);
+        assert_eq!(due.len(), 4, "every co-scheduled event fires at once");
+        assert!(inj.take_all_at(4).is_empty());
+        assert_eq!(inj.fired(), 4);
     }
 
     #[test]
@@ -242,7 +416,7 @@ mod tests {
         // only polls at checkpoint boundaries) still fires.
         let plan = FaultPlan::none().with_crash(3, 0);
         let mut inj = FaultInjector::new(&plan);
-        assert!(inj.take_at(7).is_some());
+        assert_eq!(inj.take_all_at(7).len(), 1);
     }
 
     #[test]
@@ -253,10 +427,44 @@ mod tests {
         assert_eq!(a.events().len(), 5);
         for e in a.events() {
             assert!((1..=10).contains(&e.round));
-            assert!(e.kind.machine() < 4);
+            assert!(e.kind.machine().unwrap() < 4);
         }
         let c = FaultPlan::random(43, 4, 10, 3, 2);
         assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn chaos_plans_are_deterministic_and_in_range() {
+        let mix = ChaosMix {
+            crashes: 2,
+            losses: 2,
+            stragglers: 3,
+            partitions: 1,
+            corruptions: 2,
+        };
+        let a = FaultPlan::chaos(42, 4, 10, mix);
+        let b = FaultPlan::chaos(42, 4, 10, mix);
+        assert_eq!(a, b);
+        assert_eq!(a.events().len(), mix.total());
+        for e in a.events() {
+            assert!((1..=10).contains(&e.round));
+            if let Some(m) = e.kind.machine() {
+                assert!(m < 4);
+            }
+            match e.kind {
+                FaultKind::Straggler {
+                    factor_pct, rounds, ..
+                } => {
+                    assert!((150..=400).contains(&factor_pct));
+                    assert!((1..=3).contains(&rounds));
+                }
+                FaultKind::Partition { rounds } => assert!((1..=2).contains(&rounds)),
+                FaultKind::PayloadCorruption { flips, .. } => assert!((1..=4).contains(&flips)),
+                _ => {}
+            }
+        }
+        assert_ne!(a, FaultPlan::chaos(43, 4, 10, mix));
+        assert!(FaultPlan::chaos(1, 3, 8, ChaosMix::default()).is_empty());
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod money;
 pub mod topology;
 
 pub use costmodel::{ChargeError, CostModel, RoundCharge, RoundDemand};
-pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
+pub use fault::{ChaosMix, FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use machine::{DiskKind, MachineSpec};
 pub use money::MonetaryCost;
 pub use topology::ClusterSpec;

@@ -39,5 +39,5 @@ pub use router::{
     route, route_with, Inbox, LocalIndex, RouteGrid, RoutePolicy, RoutingStats, Run, ShardedOutbox,
 };
 pub use runner::{vertex_rng, EngineConfig, RunResult, Runner, PARALLEL_VERTEX_THRESHOLD};
-pub use slab::{PerSlab, SlabProgram, SlabRecycler, SlabRowMut, StateSlab, LANES};
-pub use wire::{PayloadCodec, WireFormat};
+pub use slab::{PerSlab, SlabDelta, SlabProgram, SlabRecycler, SlabRowMut, StateSlab, LANES};
+pub use wire::{PayloadCodec, WireError, WireFormat, FRAME_HEADER_BYTES};

@@ -65,11 +65,24 @@ pub struct EngineConfig {
     /// (values `0` and `1` both mean every round). Fault-free runs
     /// never checkpoint, so the clean path stays snapshot-free.
     pub checkpoint_every: usize,
+    /// Incremental checkpoint mode: `Some(k)` stores a sparse state
+    /// delta (the cells touched since the previous checkpoint, via
+    /// [`ProgramCore::store_delta`]) at the cadence, taking a fresh
+    /// full snapshot every `k` deltas. Programs that do not produce
+    /// deltas (per-vertex ledger stores) fall back to full snapshots
+    /// transparently. `None` (the default) is PR 4's full-snapshot
+    /// path. Rollback reconstructs the state bit-identically either
+    /// way; only the stored bytes differ (`FaultStats`'s
+    /// `checkpoint_full_bytes` / `checkpoint_delta_bytes`).
+    pub incremental_checkpoints: Option<usize>,
     /// Injected-fault schedule; `None` = fault-free run. With a plan
-    /// set, the runner checkpoints and recovers injected crashes and
-    /// delivery failures by rollback-replay; replayed work is recorded
-    /// in `RunStats::faults` only, so every other statistic — and the
-    /// final states and outcome — match the fault-free run bit for bit.
+    /// set, the runner checkpoints and recovers injected crashes,
+    /// delivery failures, and network partitions by rollback-replay;
+    /// payload corruption is repaired by per-bucket retransmission and
+    /// stragglers are priced as slowed rounds — in every case the
+    /// extra work is recorded in `RunStats::faults` only, so every
+    /// other statistic — and the final states and outcome — match the
+    /// fault-free run bit for bit.
     pub faults: Option<FaultPlan>,
 }
 
@@ -85,6 +98,7 @@ impl EngineConfig {
             residual_bytes: Vec::new(),
             parallel_vertex_threshold: PARALLEL_VERTEX_THRESHOLD,
             checkpoint_every: 8,
+            incremental_checkpoints: None,
             faults: None,
         }
     }
@@ -98,6 +112,15 @@ impl EngineConfig {
     /// Set the checkpoint cadence ([`EngineConfig::checkpoint_every`]).
     pub fn with_checkpoint_every(mut self, every: usize) -> Self {
         self.checkpoint_every = every;
+        self
+    }
+
+    /// Store sparse deltas at the checkpoint cadence, with a full
+    /// snapshot every `k` deltas
+    /// ([`EngineConfig::incremental_checkpoints`]).
+    pub fn with_incremental_checkpoints(mut self, k: usize) -> Self {
+        assert!(k >= 1, "incremental checkpoints need k >= 1");
+        self.incremental_checkpoints = Some(k);
         self
     }
 
@@ -198,6 +221,22 @@ impl<S: Clone, M: Clone> Checkpoint<S, M> {
         recycle_into(prev_in_bytes, &self.prev_in_bytes);
         self.round
     }
+}
+
+/// One incremental checkpoint: per-worker sparse state deltas since
+/// the previous checkpoint (base snapshot or earlier delta) plus full
+/// copies of the small round-loop aggregates. Rollback reconstructs
+/// the state by cloning the base [`Checkpoint`] and replaying every
+/// delta in order — bit-identical to a full snapshot of the same
+/// round, but storing only the cells the frontier actually touched.
+struct DeltaRecord<D, M> {
+    round: usize,
+    diffs: Vec<D>,
+    inboxes: Vec<Inbox<M>>,
+    state_bytes: Vec<u64>,
+    prev_in_wire: Vec<u64>,
+    prev_in_tuples: Vec<u64>,
+    prev_in_bytes: Vec<u64>,
 }
 
 /// A prepared executor bound to a graph, partition, and configuration.
@@ -371,10 +410,20 @@ impl<'g> Runner<'g> {
         let mut injector = self.config.faults.as_ref().map(FaultInjector::new);
         let hard_oom = injector.as_ref().is_some_and(|i| i.hard_oom());
         let ckpt_every = self.config.checkpoint_every.max(1);
+        let incremental = self.config.incremental_checkpoints;
         let mut checkpoint: Option<Checkpoint<C::Store, C::Message>> = None;
+        // Incremental mode: deltas since the base snapshot, plus a
+        // shadow store mirroring "base + all deltas" so each new delta
+        // diffs against the previously checkpointed state.
+        let mut deltas: Vec<DeltaRecord<C::Delta, C::Message>> = Vec::new();
+        let mut shadow: Vec<C::Store> = Vec::new();
         // Rounds below this index were already executed (and recorded)
         // before a rollback; re-running them is replay, not first-run.
         let mut replay_until = 0usize;
+        // Straggler windows: machine `m` runs its compute slowed by
+        // `straggler_factor[m]` until round `straggler_until[m]`.
+        let mut straggler_until: Vec<usize> = vec![0; workers];
+        let mut straggler_factor: Vec<f64> = vec![1.0; workers];
 
         let mut round = 0usize;
         loop {
@@ -400,42 +449,158 @@ impl<'g> Runner<'g> {
                 // touches anything — but never during replay (the saved
                 // snapshot already covers the replay window).
                 if !replaying && round.is_multiple_of(ckpt_every) {
-                    let ckpt = checkpoint.get_or_insert_with(Checkpoint::empty);
-                    ckpt.save(
-                        round,
-                        &states,
-                        &inboxes,
-                        &state_bytes,
-                        &prev_in_wire,
-                        &prev_in_tuples,
-                        &prev_in_bytes,
-                    );
+                    // Incremental mode stores a sparse delta against
+                    // the previously checkpointed state (mirrored in
+                    // `shadow`), falling back to a full snapshot every
+                    // `k` deltas or whenever the program declines to
+                    // produce one (shape change, non-delta store).
+                    let diffs: Option<Vec<C::Delta>> = match incremental {
+                        Some(k) if checkpoint.is_some() && deltas.len() < k => shadow
+                            .iter()
+                            .zip(&states)
+                            .map(|(prev, cur)| program.store_delta(prev, cur))
+                            .collect(),
+                        _ => None,
+                    };
+                    if let Some(diffs) = diffs {
+                        let delta_bytes: u64 = diffs.iter().map(|d| program.delta_bytes(d)).sum();
+                        for (s, d) in shadow.iter_mut().zip(&diffs) {
+                            program.apply_store_delta(s, d);
+                        }
+                        deltas.push(DeltaRecord {
+                            round,
+                            diffs,
+                            inboxes: inboxes.clone(),
+                            state_bytes: state_bytes.clone(),
+                            prev_in_wire: prev_in_wire.clone(),
+                            prev_in_tuples: prev_in_tuples.clone(),
+                            prev_in_bytes: prev_in_bytes.clone(),
+                        });
+                        stats.faults.delta_checkpoints += 1;
+                        stats.faults.checkpoint_delta_bytes += Bytes(delta_bytes);
+                    } else {
+                        let ckpt = checkpoint.get_or_insert_with(Checkpoint::empty);
+                        ckpt.save(
+                            round,
+                            &states,
+                            &inboxes,
+                            &state_bytes,
+                            &prev_in_wire,
+                            &prev_in_tuples,
+                            &prev_in_bytes,
+                        );
+                        stats.faults.checkpoint_full_bytes += Bytes(state_bytes.iter().sum());
+                        if incremental.is_some() {
+                            deltas.clear();
+                            recycle_into(&mut shadow, &states);
+                        }
+                    }
                     stats.faults.checkpoints += 1;
                 }
                 // ---- fault firing ----------------------------------
-                if let Some(event) = inj.take_at(round) {
+                // Every event co-scheduled for this round fires in one
+                // call; the rollback (if any of them demands one)
+                // happens once, after all of them are booked.
+                let mut rollback = false;
+                for event in inj.take_all_at(round) {
                     stats.faults.injected += 1;
                     match event.kind {
-                        FaultKind::MachineCrash { .. } => stats.faults.crashes += 1,
-                        FaultKind::DeliveryFailure { .. } => stats.faults.delivery_failures += 1,
+                        FaultKind::MachineCrash { .. } => {
+                            stats.faults.crashes += 1;
+                            rollback = true;
+                        }
+                        FaultKind::DeliveryFailure { .. } => {
+                            stats.faults.delivery_failures += 1;
+                            rollback = true;
+                        }
+                        FaultKind::Partition { rounds } => {
+                            // Connectivity is gone for `rounds` rounds:
+                            // every machine stalls at the barrier until
+                            // the partition heals, then the lost
+                            // deliveries recover by rollback-replay
+                            // like any other delivery failure.
+                            stats.faults.partitions += 1;
+                            let stall = rounds as f64
+                                * (cost.barrier_base + cost.barrier_per_machine * workers as f64);
+                            stats.faults.recovery_time += SimTime::secs(stall);
+                            rollback = true;
+                        }
+                        FaultKind::Straggler {
+                            machine,
+                            factor_pct,
+                            rounds,
+                        } => {
+                            stats.faults.stragglers += 1;
+                            if machine < workers {
+                                let f = f64::from(factor_pct) / 100.0;
+                                straggler_factor[machine] = if round >= straggler_until[machine] {
+                                    f
+                                } else {
+                                    straggler_factor[machine].max(f)
+                                };
+                                straggler_until[machine] =
+                                    straggler_until[machine].max(round + rounds);
+                            }
+                        }
+                        FaultKind::PayloadCorruption { machine, flips } => {
+                            // Detected at decode by the wire frame
+                            // checksum; repaired by re-sending each
+                            // corrupted bucket from the sender's
+                            // retained shard buffers — no rollback.
+                            // Each flip costs one bucket-sized
+                            // retransfer, modeled as the machine's
+                            // per-peer share of last round's inbound
+                            // buffer bytes.
+                            stats.faults.corrupted_buckets += u64::from(flips);
+                            stats.faults.retransmitted_buckets += u64::from(flips);
+                            let inbound = prev_in_bytes.get(machine).copied().unwrap_or(0);
+                            let peers = (workers as u64 - 1).max(1);
+                            let bytes = u64::from(flips) * (inbound / peers);
+                            stats.faults.retransmitted_bytes += Bytes(bytes);
+                            if spec.network_bandwidth > 0.0 {
+                                stats.faults.recovery_time +=
+                                    SimTime::secs(bytes as f64 / spec.network_bandwidth);
+                            }
+                        }
                     }
+                }
+                if rollback {
                     // Global rollback — the canonical Pregel recovery:
                     // restore the last checkpoint and replay forward.
-                    // The event is consumed (transient semantics), so
+                    // The events are consumed (transient semantics), so
                     // the replayed superstep passes the failure point
                     // cleanly and recovery terminates.
                     let ckpt = checkpoint
                         .as_ref()
                         .expect("a checkpoint is saved at round 0 before any fault can fire");
                     replay_until = replay_until.max(round);
-                    round = ckpt.restore(
-                        &mut states,
-                        &mut inboxes,
-                        &mut state_bytes,
-                        &mut prev_in_wire,
-                        &mut prev_in_tuples,
-                        &mut prev_in_bytes,
-                    );
+                    round = if let Some(rec) = deltas.last() {
+                        // Incremental restore: clone the base snapshot
+                        // and replay every delta in order — the result
+                        // is bit-identical to a full snapshot of the
+                        // last checkpointed round.
+                        recycle_into(&mut states, &ckpt.states);
+                        for rec in &deltas {
+                            for (s, d) in states.iter_mut().zip(&rec.diffs) {
+                                program.apply_store_delta(s, d);
+                            }
+                        }
+                        recycle_into(&mut inboxes, &rec.inboxes);
+                        recycle_into(&mut state_bytes, &rec.state_bytes);
+                        recycle_into(&mut prev_in_wire, &rec.prev_in_wire);
+                        recycle_into(&mut prev_in_tuples, &rec.prev_in_tuples);
+                        recycle_into(&mut prev_in_bytes, &rec.prev_in_bytes);
+                        rec.round
+                    } else {
+                        ckpt.restore(
+                            &mut states,
+                            &mut inboxes,
+                            &mut state_bytes,
+                            &mut prev_in_wire,
+                            &mut prev_in_tuples,
+                            &mut prev_in_bytes,
+                        )
+                    };
                     continue; // re-enter the loop at the restored round
                 }
             }
@@ -570,6 +735,26 @@ impl<'g> Runner<'g> {
                     let barrier_t = profile.barrier_scale()
                         * (cost.barrier_base + cost.barrier_per_machine * workers as f64);
                     let duration = charge.duration + SimTime::secs(barrier_t);
+                    // Straggler windows: re-price the round with the
+                    // slowed machines' compute scaled up and book only
+                    // the *excess* over the healthy charge, to the
+                    // fault record — first-run totals, recorded rounds,
+                    // and the final states stay bit-identical to the
+                    // fault-free run.
+                    if !routing.replay && straggler_until.iter().any(|&until| round < until) {
+                        let mut slow = demand.clone();
+                        for (m, ops) in slow.compute_ops.iter_mut().enumerate() {
+                            if round < straggler_until[m] {
+                                *ops *= straggler_factor[m];
+                            }
+                        }
+                        if let Ok(slow_charge) = cost.charge(spec, &slow) {
+                            let excess = slow_charge.duration - charge.duration;
+                            if excess > SimTime::ZERO {
+                                stats.faults.straggler_time += excess;
+                            }
+                        }
+                    }
                     if routing.replay {
                         // Replayed work is pure recovery cost. Its time
                         // and traffic must not skew the run's first-run
@@ -949,6 +1134,7 @@ pub fn vertex_rng(seed: u64, round: usize, v: VertexId) -> SmallRng {
 mod tests {
     use super::*;
     use crate::message::{Delivery, Message};
+    use mtvc_cluster::ChaosMix;
     use mtvc_graph::generators;
     use mtvc_graph::partition::HashPartitioner;
     use std::sync::Mutex;
@@ -1545,5 +1731,310 @@ mod tests {
                 "round {r} ran on threads outside round 0's set"
             );
         }
+    }
+
+    #[test]
+    fn co_scheduled_faults_all_fire_and_recover() {
+        let g = generators::grid(12, 12);
+        let clean = Runner::new(&g, &HashPartitioner::default(), config(4)).run(&Flood);
+        // Four different fault kinds, all at round 3: one take_all_at
+        // call must fire every one of them.
+        let plan = FaultPlan::none()
+            .with_crash(3, 1)
+            .with_delivery_failure(3, 0)
+            .with_corruption(3, 2, 1)
+            .with_straggler(3, 3, 100_000, 2);
+        let cfg = config(4).with_checkpoint_every(2).with_faults(plan);
+        let chaos = Runner::new(&g, &HashPartitioner::default(), cfg).run(&Flood);
+
+        assert_eq!(clean.outcome, chaos.outcome);
+        let f = chaos.stats.faults;
+        assert_eq!(f.injected, 4, "all co-scheduled events fire");
+        assert_eq!(f.crashes, 1);
+        assert_eq!(f.delivery_failures, 1);
+        assert_eq!(f.stragglers, 1);
+        assert_eq!(f.corrupted_buckets, 1);
+        assert!(f.replayed_rounds > 0);
+        assert_eq!(without_faults(chaos.stats), without_faults(clean.stats));
+        for v in g.vertices() {
+            assert_eq!(clean.states[v as usize].0, chaos.states[v as usize].0);
+        }
+    }
+
+    #[test]
+    fn corruption_retransmits_without_rollback() {
+        let g = generators::grid(12, 12);
+        let clean = Runner::new(&g, &HashPartitioner::default(), config(4)).run(&Flood);
+        let plan = FaultPlan::none()
+            .with_corruption(4, 1, 2)
+            .with_corruption(6, 3, 1);
+        let cfg = config(4).with_checkpoint_every(2).with_faults(plan);
+        let chaos = Runner::new(&g, &HashPartitioner::default(), cfg).run(&Flood);
+
+        assert_eq!(clean.outcome, chaos.outcome);
+        let f = chaos.stats.faults;
+        assert_eq!(f.injected, 2);
+        assert_eq!(f.corrupted_buckets, 3);
+        assert_eq!(f.retransmitted_buckets, 3);
+        assert!(f.retransmitted_bytes.get() > 0, "buckets carry bytes");
+        assert!(f.recovery_time > SimTime::ZERO, "retransfer costs time");
+        assert_eq!(
+            f.replayed_rounds, 0,
+            "corruption repairs by retransmission, not rollback"
+        );
+        assert_eq!(f.replayed_wire, 0);
+        assert_eq!(without_faults(chaos.stats), without_faults(clean.stats));
+        for v in g.vertices() {
+            assert_eq!(clean.states[v as usize].0, chaos.states[v as usize].0);
+        }
+    }
+
+    #[test]
+    fn stragglers_cost_time_without_changing_outputs() {
+        let g = generators::grid(12, 12);
+        let clean = Runner::new(&g, &HashPartitioner::default(), config(4)).run(&Flood);
+        // 1000x slowdown guarantees the straggler dominates its rounds'
+        // critical path, whatever the compute/network balance.
+        let plan = FaultPlan::none()
+            .with_straggler(2, 1, 100_000, 3)
+            .with_straggler(3, 2, 200, 2);
+        let cfg = config(4).with_checkpoint_every(2).with_faults(plan);
+        let chaos = Runner::new(&g, &HashPartitioner::default(), cfg).run(&Flood);
+
+        assert_eq!(clean.outcome, chaos.outcome);
+        let f = chaos.stats.faults;
+        assert_eq!(f.injected, 2);
+        assert_eq!(f.stragglers, 2);
+        assert!(f.straggler_time > SimTime::ZERO, "slow window costs time");
+        assert_eq!(f.replayed_rounds, 0, "stragglers never roll back");
+        assert_eq!(without_faults(chaos.stats), without_faults(clean.stats));
+        for v in g.vertices() {
+            assert_eq!(clean.states[v as usize].0, chaos.states[v as usize].0);
+        }
+    }
+
+    #[test]
+    fn partitions_roll_back_and_recover() {
+        let g = generators::grid(12, 12);
+        let clean = Runner::new(&g, &HashPartitioner::default(), config(4)).run(&Flood);
+        // Round 5 is off the checkpoint cadence, so healing the
+        // partition really does replay a round.
+        let plan = FaultPlan::none().with_partition(5, 2);
+        let cfg = config(4).with_checkpoint_every(2).with_faults(plan);
+        let chaos = Runner::new(&g, &HashPartitioner::default(), cfg).run(&Flood);
+
+        assert_eq!(clean.outcome, chaos.outcome);
+        let f = chaos.stats.faults;
+        assert_eq!(f.injected, 1);
+        assert_eq!(f.partitions, 1);
+        assert!(f.replayed_rounds > 0, "lost deliveries replay");
+        assert!(f.recovery_time > SimTime::ZERO, "stall plus replay");
+        assert_eq!(without_faults(chaos.stats), without_faults(clean.stats));
+        for v in g.vertices() {
+            assert_eq!(clean.states[v as usize].0, chaos.states[v as usize].0);
+        }
+    }
+
+    #[test]
+    fn chaos_mix_recovers_bit_identical() {
+        let g = generators::grid(12, 12);
+        let clean = Runner::new(&g, &HashPartitioner::default(), config(4)).run(&Flood);
+        let mix = ChaosMix {
+            crashes: 1,
+            losses: 1,
+            stragglers: 2,
+            partitions: 1,
+            corruptions: 2,
+        };
+        let plan = FaultPlan::chaos(0xC1A0, 4, 8, mix);
+        let cfg = config(4).with_checkpoint_every(2).with_faults(plan);
+        let chaos = Runner::new(&g, &HashPartitioner::default(), cfg).run(&Flood);
+
+        assert_eq!(clean.outcome, chaos.outcome);
+        assert_eq!(chaos.stats.faults.injected as usize, mix.total());
+        assert_eq!(without_faults(chaos.stats), without_faults(clean.stats));
+        for v in g.vertices() {
+            assert_eq!(clean.states[v as usize].0, chaos.states[v as usize].0);
+        }
+    }
+
+    #[test]
+    fn checkpoint_cadence_edges_are_safe() {
+        let g = generators::ring(32, true);
+        let plan = FaultPlan::none().with_crash(3, 0);
+        let run = |every: usize| {
+            Runner::new(
+                &g,
+                &HashPartitioner::default(),
+                config(2)
+                    .with_checkpoint_every(every)
+                    .with_faults(plan.clone()),
+            )
+            .run(&Flood)
+        };
+        let clean = Runner::new(&g, &HashPartitioner::default(), config(2)).run(&Flood);
+        let every_round = run(1);
+        let zero = run(0);
+        let sparse = run(10_000);
+        // `0` is documented to mean "every round" — identical to 1.
+        assert_eq!(every_round.stats, zero.stats);
+        // Cadence beyond the run length: only the round-0 snapshot
+        // exists, so recovery replays from the very start.
+        assert_eq!(sparse.stats.faults.checkpoints, 1);
+        assert!(sparse.stats.faults.replayed_rounds >= 3);
+        for r in [&every_round, &zero, &sparse] {
+            assert_eq!(r.outcome, clean.outcome);
+            assert_eq!(
+                without_faults(r.stats.clone()),
+                without_faults(clean.stats.clone())
+            );
+            for v in g.vertices() {
+                assert_eq!(clean.states[v as usize].0, r.states[v as usize].0);
+            }
+        }
+    }
+
+    /// Multi-lane flood over a state slab: lane `q` floods hop counts
+    /// from source vertex `q`. Exercises the slab delta path of
+    /// incremental checkpoints.
+    struct SlabFlood {
+        width: usize,
+    }
+
+    #[derive(Clone, Debug)]
+    struct LaneHop {
+        lane: u16,
+        dist: u64,
+    }
+    impl Message for LaneHop {
+        fn combine_key(&self) -> Option<u64> {
+            Some(u64::from(self.lane))
+        }
+        fn merge(&mut self, other: &Self) {
+            self.dist = self.dist.min(other.dist);
+        }
+    }
+
+    impl crate::slab::SlabProgram for SlabFlood {
+        type Message = LaneHop;
+        type Cell = u64;
+        type Out = Vec<u64>;
+
+        fn width(&self) -> usize {
+            self.width
+        }
+        fn empty_cell(&self) -> u64 {
+            u64::MAX
+        }
+        fn message_bytes(&self) -> u64 {
+            12
+        }
+
+        fn init(
+            &self,
+            v: VertexId,
+            mut row: crate::slab::SlabRowMut<'_, u64>,
+            ctx: &mut Context<'_, LaneHop>,
+        ) {
+            if (v as usize) < self.width {
+                let q = v as usize;
+                row.relax_min(q, 0);
+                for &t in ctx.neighbors() {
+                    ctx.send(
+                        t,
+                        LaneHop {
+                            lane: q as u16,
+                            dist: 1,
+                        },
+                        1,
+                    );
+                }
+            }
+        }
+
+        fn compute(
+            &self,
+            _v: VertexId,
+            mut row: crate::slab::SlabRowMut<'_, u64>,
+            inbox: &[Delivery<LaneHop>],
+            ctx: &mut Context<'_, LaneHop>,
+        ) {
+            for d in inbox {
+                row.relax_min(d.msg.lane as usize, d.msg.dist);
+            }
+            let mut improved = Vec::new();
+            row.drain(|q, cell| improved.push((q, *cell)));
+            for (q, dist) in improved {
+                for &t in ctx.neighbors() {
+                    ctx.send(
+                        t,
+                        LaneHop {
+                            lane: q as u16,
+                            dist: dist + 1,
+                        },
+                        1,
+                    );
+                }
+            }
+        }
+
+        fn extract(&self, _v: VertexId, row: &[u64]) -> Vec<u64> {
+            row.to_vec()
+        }
+    }
+
+    #[test]
+    fn incremental_checkpoints_match_full_and_store_less() {
+        let g = generators::grid(12, 12);
+        let program = SlabFlood { width: 4 };
+        let plan = FaultPlan::none()
+            .with_crash(5, 1)
+            .with_delivery_failure(9, 0);
+        let base = || config(4).with_checkpoint_every(2).with_faults(plan.clone());
+        let clean = Runner::new(&g, &HashPartitioner::default(), config(4)).run_slab(&program);
+        let full = Runner::new(&g, &HashPartitioner::default(), base()).run_slab(&program);
+        let incr = Runner::new(
+            &g,
+            &HashPartitioner::default(),
+            base().with_incremental_checkpoints(4),
+        )
+        .run_slab(&program);
+
+        assert_eq!(full.outcome, incr.outcome);
+        assert_eq!(clean.outcome, incr.outcome);
+        for v in g.vertices() {
+            assert_eq!(
+                full.states[v as usize], incr.states[v as usize],
+                "vertex {v}"
+            );
+            assert_eq!(
+                clean.states[v as usize], incr.states[v as usize],
+                "vertex {v}"
+            );
+        }
+        assert_eq!(
+            without_faults(full.stats.clone()),
+            without_faults(incr.stats.clone()),
+            "delta storage must not change execution"
+        );
+        let fi = &incr.stats.faults;
+        let ff = &full.stats.faults;
+        assert!(fi.delta_checkpoints > 0, "cadence rounds store deltas");
+        assert!(fi.checkpoint_delta_bytes.get() > 0);
+        assert!(fi.checkpoint_full_bytes.get() > 0, "base snapshots remain");
+        assert_eq!(fi.checkpoints, ff.checkpoints, "same cadence either way");
+        assert_eq!(ff.delta_checkpoints, 0);
+        assert!(
+            fi.checkpoint_full_bytes < ff.checkpoint_full_bytes,
+            "deltas displace full snapshots"
+        );
+        // On the sparse wavefront a delta is far smaller than a full
+        // snapshot of the same round.
+        let per_delta = fi.checkpoint_delta_bytes.get() / fi.delta_checkpoints;
+        let per_full = ff.checkpoint_full_bytes.get() / ff.checkpoints;
+        assert!(
+            per_delta < per_full,
+            "delta {per_delta}B per checkpoint vs full {per_full}B"
+        );
     }
 }

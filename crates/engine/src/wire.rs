@@ -31,6 +31,17 @@
 //! is pinned `== encode_bucket(..).len()` by property tests (the grid
 //! computes the same quantity a third way, from its histogram scatter).
 //!
+//! # Integrity frames
+//!
+//! On the wire a bucket travels inside a checksummed frame
+//! ([`FRAME_HEADER_BYTES`]: little-endian body length + 64-bit FNV-1a of
+//! the body). [`decode_frame`] verifies both before the fully-validated
+//! [`try_decode_bucket`] parse, so a corrupted bucket is *detected* as a
+//! typed [`WireError`] — never a panic or a silently wrong decode — and
+//! repaired by per-bucket retransmission from the sender's retained
+//! shard buffers. Header bytes are excluded from the cost model's
+//! encoded-byte accounting (see [`FRAME_HEADER_BYTES`]).
+//!
 //! [`Message::wire_query`]: crate::message::Message::wire_query
 
 use crate::message::{Envelope, Message};
@@ -70,19 +81,264 @@ pub fn write_varint(out: &mut Vec<u8>, mut x: u64) {
 }
 
 /// Read one LEB128 varint at `*pos`, advancing it.
+///
+/// Total on any input: reading past the end of `buf` consumes a
+/// phantom zero byte (terminating the varint and leaving
+/// `*pos > buf.len()`, which checked decoders detect as truncation),
+/// and continuation bytes past the 64-bit range are consumed without
+/// shifting (lenient, but never a panic or overflow). Trusted decode
+/// paths rely on well-formed input for exactness; untrusted input goes
+/// through [`try_decode_bucket`] / [`decode_frame`], which validate
+/// every stream boundary.
 #[inline]
 pub fn read_varint(buf: &[u8], pos: &mut usize) -> u64 {
     let mut x = 0u64;
     let mut shift = 0u32;
     loop {
-        let b = buf[*pos];
+        let b = buf.get(*pos).copied().unwrap_or(0);
         *pos += 1;
-        x |= ((b & 0x7F) as u64) << shift;
+        if shift < 64 {
+            x |= ((b & 0x7F) as u64) << shift;
+        }
         if b < 0x80 {
             return x;
         }
         shift += 7;
     }
+}
+
+/// Why an encoded bucket or frame failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the encoding did.
+    Truncated,
+    /// The frame header's body length disagrees with the bytes present.
+    LengthMismatch {
+        /// Body length the header claims.
+        expected: u64,
+        /// Body bytes actually present after the header.
+        actual: u64,
+    },
+    /// The frame checksum does not match the body — the payload was
+    /// corrupted in flight.
+    ChecksumMismatch {
+        /// Checksum the header carries.
+        expected: u64,
+        /// FNV-1a of the body as received.
+        actual: u64,
+    },
+    /// The bytes parse but violate the bucket's structural invariants
+    /// (impossible counts, zero multiplicities, unknown flags, trailing
+    /// garbage).
+    Malformed,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "encoded bucket is truncated"),
+            WireError::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "frame length mismatch: header says {expected}, got {actual}"
+                )
+            }
+            WireError::ChecksumMismatch { expected, actual } => {
+                write!(f, "frame checksum mismatch: header says {expected:#018x}, body hashes to {actual:#018x}")
+            }
+            WireError::Malformed => write!(f, "encoded bucket violates structural invariants"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// 64-bit FNV-1a over `bytes` — the frame checksum. Not cryptographic;
+/// it detects the seeded bit-flip corruption the fault model injects
+/// (any single flipped bit changes the hash) at one multiply per byte.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Size of the integrity frame header: an 8-byte little-endian body
+/// length followed by an 8-byte little-endian FNV-1a checksum of the
+/// body. Frame header bytes are *not* part of the cost model's encoded
+/// wire accounting ([`measure_bucket`] stays `== encode_bucket().len()`);
+/// they model the per-bucket transport envelope whose cost is already
+/// folded into the cost model's per-message overhead.
+pub const FRAME_HEADER_BYTES: usize = 16;
+
+/// Wrap an encoded bucket body in the checksummed integrity frame.
+pub fn frame_bucket(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + body.len());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a(body).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Verify a frame's header and checksum, returning the body on
+/// success. This is where in-flight corruption is *detected*: any
+/// bit-flip in header or body yields a typed error, never a silently
+/// wrong decode.
+pub fn check_frame(frame: &[u8]) -> Result<&[u8], WireError> {
+    if frame.len() < FRAME_HEADER_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let expected_len = u64::from_le_bytes(frame[0..8].try_into().unwrap());
+    let body = &frame[FRAME_HEADER_BYTES..];
+    if expected_len != body.len() as u64 {
+        return Err(WireError::LengthMismatch {
+            expected: expected_len,
+            actual: body.len() as u64,
+        });
+    }
+    let expected_sum = u64::from_le_bytes(frame[8..16].try_into().unwrap());
+    let actual_sum = fnv1a(body);
+    if expected_sum != actual_sum {
+        return Err(WireError::ChecksumMismatch {
+            expected: expected_sum,
+            actual: actual_sum,
+        });
+    }
+    Ok(body)
+}
+
+/// Encode `envs` as one checksummed frame: [`encode_bucket`] body
+/// behind a [`FRAME_HEADER_BYTES`] integrity header.
+pub fn encode_frame<M: PayloadCodec>(
+    envs: &[Envelope<M>],
+    li_of: impl Fn(VertexId) -> u32,
+) -> Vec<u8> {
+    frame_bucket(&encode_bucket(envs, li_of))
+}
+
+/// Decode one checksummed frame: verify length and checksum, then run
+/// the fully-validated bucket decode. The sender keeps its shard
+/// buffers until the receiver acknowledges, so an `Err` here is
+/// repaired by retransmitting this one bucket — not by rolling the
+/// superstep back.
+pub fn decode_frame<M: PayloadCodec>(
+    frame: &[u8],
+    vertex_of: impl Fn(u32) -> VertexId,
+) -> Result<Vec<Envelope<M>>, WireError> {
+    try_decode_bucket(check_frame(frame)?, vertex_of)
+}
+
+/// Decode one compact bucket with every structural invariant checked:
+/// counts bounded by the input size, directory indices monotone and in
+/// `u32` range, run lengths covering exactly `n` tuples, multiplicities
+/// nonzero, query flags valid, and the input consumed exactly. Returns
+/// [`WireError`] instead of panicking on any malformed input; payload
+/// codecs built on [`read_varint`] stay total because it never reads
+/// out of bounds.
+pub fn try_decode_bucket<M: PayloadCodec>(
+    buf: &[u8],
+    vertex_of: impl Fn(u32) -> VertexId,
+) -> Result<Vec<Envelope<M>>, WireError> {
+    if buf.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut pos = 0usize;
+    let n = read_varint(buf, &mut pos) as usize;
+    if pos > buf.len() {
+        return Err(WireError::Truncated);
+    }
+    // Every tuple needs at least one mult byte; a count beyond the
+    // input size is malformed (and guards allocation against hostile
+    // lengths). An empty bucket encodes to an empty buffer, so n == 0
+    // with bytes present is malformed too. Checked before the run
+    // count is read so a hostile count is rejected as malformed even
+    // when it exhausts the buffer.
+    if n == 0 || n > buf.len() {
+        return Err(WireError::Malformed);
+    }
+    let runs = read_varint(buf, &mut pos) as usize;
+    if pos > buf.len() {
+        return Err(WireError::Truncated);
+    }
+    if runs == 0 || runs > n {
+        return Err(WireError::Malformed);
+    }
+
+    let mut dests: Vec<VertexId> = Vec::with_capacity(n);
+    let mut li = 0u32;
+    for r in 0..runs {
+        let delta = read_varint(buf, &mut pos);
+        let len = read_varint(buf, &mut pos) as usize;
+        if pos > buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let next = if r == 0 {
+            u32::try_from(delta).map_err(|_| WireError::Malformed)?
+        } else {
+            u64::from(li)
+                .checked_add(delta)
+                .and_then(|x| u32::try_from(x).ok())
+                .ok_or(WireError::Malformed)?
+        };
+        li = next;
+        if len == 0 || dests.len() + len > n {
+            return Err(WireError::Malformed);
+        }
+        dests.extend(std::iter::repeat_n(vertex_of(li), len));
+    }
+    if dests.len() != n {
+        return Err(WireError::Malformed);
+    }
+
+    let mut mults: Vec<u64> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let m = read_varint(buf, &mut pos);
+        if pos > buf.len() {
+            return Err(WireError::Truncated);
+        }
+        if m == 0 {
+            return Err(WireError::Malformed);
+        }
+        mults.push(m);
+    }
+
+    let mut queries: Vec<Option<u64>> = Vec::with_capacity(n);
+    while queries.len() < n {
+        let len = read_varint(buf, &mut pos) as usize;
+        let flag = *buf.get(pos).ok_or(WireError::Truncated)?;
+        pos += 1;
+        let key = match flag {
+            1 => {
+                let q = read_varint(buf, &mut pos);
+                if pos > buf.len() {
+                    return Err(WireError::Truncated);
+                }
+                Some(q)
+            }
+            0 => None,
+            _ => return Err(WireError::Malformed),
+        };
+        if len == 0 || queries.len() + len > n {
+            return Err(WireError::Malformed);
+        }
+        queries.extend(std::iter::repeat_n(key, len));
+    }
+
+    let mut envs: Vec<Envelope<M>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let msg = M::decode_payload(queries[i], buf, &mut pos);
+        if pos > buf.len() {
+            return Err(WireError::Truncated);
+        }
+        envs.push(Envelope::new(dests[i], msg, mults[i]));
+    }
+    if pos != buf.len() {
+        return Err(WireError::Malformed);
+    }
+    Ok(envs)
 }
 
 /// A message payload that knows its own compact byte representation.
@@ -446,6 +702,119 @@ mod tests {
         let mut want = envs.clone();
         want.sort_by_key(|e| e.dest);
         assert_eq!(back, want);
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Offset basis for the empty input; "a" from the published
+        // FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(&[]), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+
+    #[test]
+    fn frame_roundtrip_matches_unframed_decode() {
+        let envs = vec![
+            env(7, Some(1), 10, 1),
+            env(2, Some(1), 11, 3),
+            env(7, None, 12, 1),
+        ];
+        let frame = encode_frame(&envs, |v| v);
+        assert_eq!(
+            frame.len(),
+            FRAME_HEADER_BYTES + measure_bucket(&envs, |v| v) as usize
+        );
+        let back = decode_frame::<P>(&frame, |li| li as VertexId).unwrap();
+        assert_eq!(
+            back,
+            decode_bucket::<P>(&frame[FRAME_HEADER_BYTES..], |li| li as VertexId)
+        );
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let envs = vec![
+            env(3, Some(4), 77, 2),
+            env(3, None, 5, 1),
+            env(9, Some(4), 1, 1),
+        ];
+        let frame = encode_frame(&envs, |v| v);
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    decode_frame::<P>(&bad, |li| li as VertexId).is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frames_error_cleanly() {
+        let envs = vec![env(1, Some(0), 9, 1)];
+        let frame = encode_frame(&envs, |v| v);
+        for cut in 0..frame.len() {
+            assert!(decode_frame::<P>(&frame[..cut], |li| li as VertexId).is_err());
+        }
+        assert_eq!(
+            decode_frame::<P>(&frame[..4], |li| li as VertexId),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn try_decode_matches_trusted_decode_on_valid_input() {
+        let envs = vec![
+            env(7, Some(1), 10, 1),
+            env(2, Some(1), 11, 3),
+            env(2, Some(9), 500, 1),
+        ];
+        let buf = encode_bucket(&envs, |v| v);
+        let checked = try_decode_bucket::<P>(&buf, |li| li as VertexId).unwrap();
+        assert_eq!(checked, decode_bucket::<P>(&buf, |li| li as VertexId));
+        assert!(try_decode_bucket::<P>(&[], |li| li as VertexId)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn try_decode_rejects_structural_garbage() {
+        // Truncated mid-stream.
+        let envs = vec![env(4, Some(2), 300, 2), env(6, None, 1, 1)];
+        let buf = encode_bucket(&envs, |v| v);
+        for cut in 1..buf.len() {
+            assert!(
+                try_decode_bucket::<P>(&buf[..cut], |li| li as VertexId).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        // Hostile tuple count far beyond the input size.
+        let mut hostile = Vec::new();
+        write_varint(&mut hostile, u64::MAX);
+        assert_eq!(
+            try_decode_bucket::<P>(&hostile, |li| li as VertexId),
+            Err(WireError::Malformed)
+        );
+        // Trailing garbage after a valid bucket.
+        let mut padded = buf.clone();
+        padded.push(0);
+        assert!(try_decode_bucket::<P>(&padded, |li| li as VertexId).is_err());
+    }
+
+    #[test]
+    fn read_varint_is_total_past_the_end() {
+        // Reading past the end consumes a phantom zero and flags via
+        // pos; a run of continuation bytes terminates without overflow.
+        let mut pos = 0usize;
+        assert_eq!(read_varint(&[], &mut pos), 0);
+        assert!(pos > 0);
+        let all_cont = [0x80u8; 20];
+        let mut pos = 0usize;
+        let _ = read_varint(&all_cont, &mut pos);
+        assert!(pos > all_cont.len());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests for the engine: message conservation, sampler
 //! distribution laws, and scheduling-independence of results.
 
-use mtvc_cluster::{ClusterSpec, FaultPlan};
+use mtvc_cluster::{ChaosMix, ClusterSpec, FaultPlan};
 use mtvc_engine::sampling::{binomial, multinomial_uniform};
 use mtvc_engine::{
     route_with, wire, Context, Delivery, EmitSink, EngineConfig, Envelope, Inbox, LocalIndex,
@@ -914,5 +914,211 @@ proptest! {
         for v in 0..n {
             prop_assert_eq!(&clean.states[v].dist, &chaos.states[v].dist, "vertex {}", v);
         }
+    }
+}
+
+fn scrub_faults(stats: &mtvc_metrics::RunStats) -> mtvc_metrics::RunStats {
+    let mut s = stats.clone();
+    s.faults = Default::default();
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// PR 9 tentpole property: a run under the full fault taxonomy —
+    /// crashes, delivery failures, stragglers, network partitions, and
+    /// payload corruption, several of which may land on the same round
+    /// — recovers task outputs bit-identical to the fault-free run on
+    /// both checkpoint paths (full snapshots and incremental deltas).
+    /// Every cost of recovering — replay, stalls, slow rounds,
+    /// retransmissions — lives in `stats.faults` and nowhere else.
+    #[test]
+    fn chaos_under_load_recovers_bit_identical(
+        n in 16usize..100,
+        workers in 2usize..6,
+        pooled in any::<bool>(),
+        checkpoint_every in 1usize..6,
+        incremental in any::<bool>(),
+        crashes in 0usize..2,
+        losses in 0usize..2,
+        stragglers in 0usize..3,
+        partitions in 0usize..2,
+        corruptions in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::power_law(n, n * 4, 2.4, seed);
+        let sources = vec![0 as VertexId, (n / 2) as VertexId];
+        let run = |faults: Option<FaultPlan>| {
+            let mut cfg = EngineConfig::new(
+                ClusterSpec::galaxy(workers),
+                SystemProfile::base("t"),
+            );
+            cfg.cutoff = SimTime::secs(1e12);
+            cfg.parallel_vertex_threshold = if pooled { 0 } else { usize::MAX };
+            cfg.checkpoint_every = checkpoint_every;
+            if incremental {
+                cfg.incremental_checkpoints = Some(3);
+            }
+            cfg.faults = faults;
+            let runner = Runner::new(&g, &HashPartitioner { salt: seed }, cfg);
+            runner.run_slab(&MiniSlabMssp { sources: sources.clone() })
+        };
+        let mix = ChaosMix { crashes, losses, stragglers, partitions, corruptions };
+        let clean = run(None);
+        let chaos = run(Some(FaultPlan::chaos(seed ^ 0xC405, workers, 8, mix)));
+        prop_assert!(clean.outcome.is_completed());
+        prop_assert_eq!(&clean.outcome, &chaos.outcome);
+        prop_assert_eq!(scrub_faults(&clean.stats), scrub_faults(&chaos.stats));
+        for v in 0..n {
+            prop_assert_eq!(&clean.states[v].dist, &chaos.states[v].dist, "vertex {}", v);
+        }
+    }
+
+    /// Incremental checkpoints are an exact drop-in for full snapshots:
+    /// under the same chaos plan both modes produce identical outcomes,
+    /// identical non-fault statistics, and identical per-vertex states —
+    /// while never storing more full-snapshot bytes than the full mode.
+    #[test]
+    fn incremental_checkpoints_equal_full_checkpoints(
+        n in 16usize..100,
+        workers in 2usize..6,
+        checkpoint_every in 1usize..5,
+        full_every in 2usize..6,
+        crashes in 0usize..3,
+        losses in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::power_law(n, n * 4, 2.4, seed);
+        let sources = vec![0 as VertexId, (n / 2) as VertexId];
+        let plan = FaultPlan::random(seed ^ 0xDE17A, workers, 8, crashes, losses);
+        let run = |incremental: Option<usize>| {
+            let mut cfg = EngineConfig::new(
+                ClusterSpec::galaxy(workers),
+                SystemProfile::base("t"),
+            );
+            cfg.cutoff = SimTime::secs(1e12);
+            cfg.checkpoint_every = checkpoint_every;
+            cfg.incremental_checkpoints = incremental;
+            cfg.faults = Some(plan.clone());
+            let runner = Runner::new(&g, &HashPartitioner { salt: seed }, cfg);
+            runner.run_slab(&MiniSlabMssp { sources: sources.clone() })
+        };
+        let full = run(None);
+        let incr = run(Some(full_every));
+        prop_assert_eq!(&full.outcome, &incr.outcome);
+        prop_assert_eq!(scrub_faults(&full.stats), scrub_faults(&incr.stats));
+        for v in 0..n {
+            prop_assert_eq!(&full.states[v].dist, &incr.states[v].dist, "vertex {}", v);
+        }
+        // Deltas displace full snapshots at the same cadence.
+        let ff = &full.stats.faults;
+        let fi = &incr.stats.faults;
+        prop_assert_eq!(fi.checkpoints, ff.checkpoints);
+        prop_assert_eq!(ff.delta_checkpoints, 0);
+        prop_assert!(fi.checkpoint_full_bytes <= ff.checkpoint_full_bytes);
+    }
+
+    /// Checkpoint-cadence edges: `0` (the documented alias for "every
+    /// round"), `1`, and a cadence far beyond the run length must all
+    /// recover bit-identically — and `0` must behave exactly like `1`.
+    #[test]
+    fn checkpoint_cadence_edges_recover(
+        n in 16usize..80,
+        workers in 2usize..5,
+        crashes in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::power_law(n, n * 4, 2.4, seed);
+        let sources = vec![0 as VertexId, (n / 2) as VertexId];
+        let run = |every: usize, faults: Option<FaultPlan>| {
+            let mut cfg = EngineConfig::new(
+                ClusterSpec::galaxy(workers),
+                SystemProfile::base("t"),
+            );
+            cfg.cutoff = SimTime::secs(1e12);
+            cfg.checkpoint_every = every;
+            cfg.faults = faults;
+            let runner = Runner::new(&g, &HashPartitioner { salt: seed }, cfg);
+            runner.run(&mtvc_tasks_free_mssp(sources.clone()))
+        };
+        let clean = run(8, None);
+        let plan = FaultPlan::random(seed ^ 0xCADE, workers, 6, crashes, 0);
+        let zero = run(0, Some(plan.clone()));
+        let one = run(1, Some(plan.clone()));
+        let huge = run(usize::MAX, Some(plan));
+        prop_assert_eq!(&zero.stats, &one.stats, "0 must alias 1");
+        for r in [&zero, &one, &huge] {
+            prop_assert_eq!(&clean.outcome, &r.outcome);
+            prop_assert_eq!(scrub_faults(&clean.stats), scrub_faults(&r.stats));
+            for v in 0..n {
+                prop_assert_eq!(&clean.states[v].dist, &r.states[v].dist, "vertex {}", v);
+            }
+        }
+        // Beyond-run cadence keeps exactly the round-0 snapshot.
+        prop_assert_eq!(huge.stats.faults.checkpoints, 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Wire-integrity fuzz: framing a bucket round-trips losslessly; a
+    /// random bit flip anywhere in the frame is always detected as a
+    /// typed error (never a panic, never a silent wrong decode); and
+    /// the checked bucket decoder is total on corrupted bodies.
+    #[test]
+    fn frames_detect_every_random_bit_flip(
+        len in 0usize..40,
+        flip in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        use rand::Rng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let envs: Vec<Envelope<Keyed>> = (0..len)
+            .map(|_| {
+                let dest = (rng.gen::<u64>() % 32) as VertexId;
+                let key = match rng.gen::<u64>() % 5 {
+                    0 => None,
+                    1 => Some(u64::MAX),
+                    k => Some(k % 3),
+                };
+                let val = rng.gen::<u64>() >> (rng.gen::<u64>() % 64);
+                let mult = 1 + rng.gen::<u64>() % 4;
+                Envelope::new(dest, Keyed { key, val }, mult)
+            })
+            .collect();
+        let li_of = |v: VertexId| v;
+
+        let frame = wire::encode_frame(&envs, li_of);
+        let decoded = wire::decode_frame::<Keyed>(&frame, |li| li);
+        prop_assert!(decoded.is_ok(), "intact frame must decode");
+        prop_assert_eq!(decoded.unwrap().len(), envs.len());
+
+        let mut bad = frame.clone();
+        let bit = (flip as usize) % (bad.len() * 8);
+        bad[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(
+            wire::decode_frame::<Keyed>(&bad, |li| li).is_err(),
+            "bit {} flip must be detected", bit
+        );
+
+        // The checked (unframed) decoder may accept or reject a
+        // corrupted body — but it must never panic.
+        let mut body = wire::encode_bucket(&envs, li_of);
+        if !body.is_empty() {
+            let bit = (flip as usize) % (body.len() * 8);
+            body[bit / 8] ^= 1 << (bit % 8);
+            let _ = wire::try_decode_bucket::<Keyed>(&body, |li| li);
+        }
+    }
+
+    /// `try_decode_bucket` is total on arbitrary byte soup: any input
+    /// yields `Ok` or a typed `WireError`, never a panic.
+    #[test]
+    fn try_decode_is_total_on_random_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = wire::try_decode_bucket::<Keyed>(&bytes, |li| li);
     }
 }

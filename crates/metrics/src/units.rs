@@ -4,6 +4,22 @@
 //! accounting and [`SimTime`] for simulated wall-clock durations produced
 //! by the cost model. Both are thin newtypes so they can be mixed up
 //! neither with each other nor with raw counters.
+//!
+//! # Unit conventions across the workspace
+//!
+//! Quantities that cross crate boundaries follow fixed conventions:
+//!
+//! * **[`Bytes`]** — raw byte counts (memory, wire traffic, spill,
+//!   checkpoint storage, retransmissions). Never kilo/mega-scaled at
+//!   the source; only [`Bytes`]'s `Display` scales for humans.
+//! * **[`SimTime`]** — *simulated* seconds from the cost model (`f64`).
+//!   Engine durations, recovery/straggler overheads, and the overload
+//!   cutoff all use it. Not wall-clock time.
+//! * **Latency histograms** (serve layer) — `latency` and `queue_wait`
+//!   record wall-clock **microseconds**; the recovery-latency histogram
+//!   records simulated **milliseconds** (a `SimTime` × 1000, rounded),
+//!   chosen so sub-second recoveries keep resolution in integer bins.
+//!   Each histogram's field docs restate its unit.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

@@ -1,0 +1,612 @@
+//! Machine health tracking, circuit breaking, and the brownout ladder.
+//!
+//! Under sustained chaos the service must *degrade deliberately*
+//! instead of letting every class suffer equally. Three cooperating
+//! pieces implement that:
+//!
+//! * [`HealthTracker`] keeps a per-machine EWMA of batch "badness"
+//!   (injected faults, OOM kills, terminal batch failures). The
+//!   cluster score is the *worst* machine's score — one sick machine
+//!   is enough to slow every barrier, so it drives the ladder.
+//! * [`CircuitBreaker`] watches consecutive bad batches. Enough in a
+//!   row opens the breaker; after a cooldown of former iterations it
+//!   half-opens and a clean probe batch closes it again.
+//! * [`BrownoutLadder`] converts score + breaker state into a
+//!   [`BrownoutLevel`]: shed [`SloClass::Batch`] first, then
+//!   [`SloClass::Standard`], then narrow the batch budget — always
+//!   protecting [`SloClass::Interactive`] deadlines. Entry and exit
+//!   thresholds differ (hysteresis) and every move waits out a
+//!   minimum dwell, so the ladder cannot flap on a single noisy
+//!   observation.
+//!
+//! Shedding is **deferral, not loss**: a shed class simply stays in
+//! the queue (its deadline-free requests wait; deadline-carrying ones
+//! may expire exactly as they would behind a genuinely slow cluster).
+//! When the queue closes for shutdown the mask is lifted so the drain
+//! always completes.
+
+use crate::request::SloClass;
+
+/// Tuning knobs of the brownout subsystem. The defaults are
+/// deliberately conservative: roughly half the recent batches must
+/// misbehave before the first rung engages.
+#[derive(Debug, Clone, Copy)]
+pub struct BrownoutCfg {
+    /// EWMA weight of the newest batch observation (0, 1].
+    pub ewma_alpha: f64,
+    /// The ladder climbs one rung when the cluster score reaches this.
+    pub enter_score: f64,
+    /// The ladder descends one rung when the score falls to this (must
+    /// be below `enter_score` — the gap is the hysteresis band).
+    pub exit_score: f64,
+    /// Multiplier applied to every machine score on former iterations
+    /// without a fresh observation (idle recovery; < 1).
+    pub idle_decay: f64,
+    /// Former iterations a rung must dwell before the next move.
+    pub min_dwell: u32,
+    /// Consecutive bad batches that open the circuit breaker.
+    pub breaker_threshold: u32,
+    /// Former iterations the breaker stays open before half-opening.
+    pub breaker_cooldown: u32,
+    /// Batch-budget percentage granted at [`BrownoutLevel::NarrowCaps`]
+    /// (clamped to [1, 100]).
+    pub narrow_cap_pct: u8,
+}
+
+impl Default for BrownoutCfg {
+    fn default() -> BrownoutCfg {
+        BrownoutCfg {
+            ewma_alpha: 0.4,
+            enter_score: 0.45,
+            exit_score: 0.15,
+            idle_decay: 0.98,
+            min_dwell: 2,
+            breaker_threshold: 3,
+            breaker_cooldown: 16,
+            narrow_cap_pct: 50,
+        }
+    }
+}
+
+/// Per-machine exponentially-weighted badness scores in [0, 1].
+#[derive(Debug, Clone)]
+pub struct HealthTracker {
+    alpha: f64,
+    scores: Vec<f64>,
+}
+
+impl HealthTracker {
+    /// A tracker for `machines` machines, all starting healthy (0).
+    pub fn new(machines: usize, alpha: f64) -> HealthTracker {
+        assert!(machines >= 1, "need at least one machine");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        HealthTracker {
+            alpha,
+            scores: vec![0.0; machines],
+        }
+    }
+
+    /// Fold one batch observation into `machine`'s score. `badness` is
+    /// clamped to [0, 1]: 0 = clean batch, 1 = terminal failure.
+    pub fn observe(&mut self, machine: usize, badness: f64) {
+        let b = badness.clamp(0.0, 1.0);
+        let i = machine % self.scores.len();
+        let s = &mut self.scores[i];
+        *s = self.alpha * b + (1.0 - self.alpha) * *s;
+    }
+
+    /// Idle tick: decay every score towards healthy by `factor`.
+    /// Called once per former iteration so a shed-everything ladder
+    /// still recovers even when no batches complete.
+    pub fn decay(&mut self, factor: f64) {
+        for s in &mut self.scores {
+            *s *= factor.clamp(0.0, 1.0);
+        }
+    }
+
+    /// The cluster score: the worst machine's EWMA.
+    pub fn score(&self) -> f64 {
+        self.scores.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The EWMA score of one machine.
+    pub fn machine_score(&self, machine: usize) -> f64 {
+        self.scores[machine % self.scores.len()]
+    }
+}
+
+/// Breaker state: `Closed` admits everything, `Open` presses the
+/// ladder towards its deepest rung, `HalfOpen` lets probe traffic
+/// through to test recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitState {
+    /// Healthy: batches flow, failures are counted.
+    Closed,
+    /// Tripped: the ladder is pressed upwards until the cooldown runs.
+    Open,
+    /// Probing: the next batch decides — clean closes, bad re-opens.
+    HalfOpen,
+}
+
+/// Counts consecutive bad batches and trips open at a threshold.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: u32,
+    state: CircuitState,
+    consecutive_bad: u32,
+    cooldown_left: u32,
+    opens: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `threshold` consecutive bad
+    /// batches and cooling down for `cooldown` former iterations.
+    pub fn new(threshold: u32, cooldown: u32) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown: cooldown.max(1),
+            state: CircuitState::Closed,
+            consecutive_bad: 0,
+            cooldown_left: 0,
+            opens: 0,
+        }
+    }
+
+    /// Record one finished batch. A bad batch in `HalfOpen` re-opens
+    /// immediately; a clean one closes the breaker.
+    pub fn record(&mut self, bad: bool) {
+        match (self.state, bad) {
+            (CircuitState::Closed, true) => {
+                self.consecutive_bad += 1;
+                if self.consecutive_bad >= self.threshold {
+                    self.trip();
+                }
+            }
+            (CircuitState::Closed, false) => self.consecutive_bad = 0,
+            (CircuitState::HalfOpen, true) => self.trip(),
+            (CircuitState::HalfOpen, false) => {
+                self.state = CircuitState::Closed;
+                self.consecutive_bad = 0;
+            }
+            // Batches dispatched before the trip may still land while
+            // open; a bad one refreshes the cooldown.
+            (CircuitState::Open, true) => self.cooldown_left = self.cooldown,
+            (CircuitState::Open, false) => {}
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = CircuitState::Open;
+        self.opens += 1;
+        self.cooldown_left = self.cooldown;
+        self.consecutive_bad = 0;
+    }
+
+    /// One former iteration passes: count the cooldown down and
+    /// half-open once it expires.
+    pub fn tick(&mut self) {
+        if self.state == CircuitState::Open {
+            self.cooldown_left = self.cooldown_left.saturating_sub(1);
+            if self.cooldown_left == 0 {
+                self.state = CircuitState::HalfOpen;
+            }
+        }
+    }
+
+    /// Current breaker state.
+    pub fn state(&self) -> CircuitState {
+        self.state
+    }
+
+    /// Times the breaker tripped open.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+}
+
+/// One rung of the degradation ladder, mildest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BrownoutLevel {
+    /// Every class admitted, full batch budget.
+    Normal,
+    /// [`SloClass::Batch`] deferred.
+    ShedBatch,
+    /// [`SloClass::Batch`] and [`SloClass::Standard`] deferred.
+    ShedStandard,
+    /// Only [`SloClass::Interactive`], and the batch budget narrowed
+    /// to [`BrownoutCfg::narrow_cap_pct`] — small batches fail small
+    /// and recover fast.
+    NarrowCaps,
+}
+
+impl BrownoutLevel {
+    /// Rung count (for per-level arrays).
+    pub const COUNT: usize = 4;
+
+    /// All rungs, mildest first — index matches [`BrownoutLevel::index`].
+    pub const ALL: [BrownoutLevel; 4] = [
+        BrownoutLevel::Normal,
+        BrownoutLevel::ShedBatch,
+        BrownoutLevel::ShedStandard,
+        BrownoutLevel::NarrowCaps,
+    ];
+
+    /// Dense index, 0 = `Normal` … 3 = `NarrowCaps`.
+    pub fn index(self) -> usize {
+        match self {
+            BrownoutLevel::Normal => 0,
+            BrownoutLevel::ShedBatch => 1,
+            BrownoutLevel::ShedStandard => 2,
+            BrownoutLevel::NarrowCaps => 3,
+        }
+    }
+
+    /// Short lowercase label for reports and JSON keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            BrownoutLevel::Normal => "normal",
+            BrownoutLevel::ShedBatch => "shed_batch",
+            BrownoutLevel::ShedStandard => "shed_standard",
+            BrownoutLevel::NarrowCaps => "narrow_caps",
+        }
+    }
+
+    /// Admission mask indexed by [`SloClass::index`]: which classes
+    /// the former may take at this rung. Interactive is never shed.
+    pub fn allowed(self) -> [bool; 3] {
+        match self {
+            BrownoutLevel::Normal => [true, true, true],
+            BrownoutLevel::ShedBatch => [true, true, false],
+            BrownoutLevel::ShedStandard | BrownoutLevel::NarrowCaps => [true, false, false],
+        }
+    }
+}
+
+impl std::fmt::Display for BrownoutLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The hysteretic degradation ladder: climbs one rung at a time under
+/// pressure (high score or an open breaker), descends one rung at a
+/// time once the score falls through the exit threshold with the
+/// breaker closed, and never moves twice within the dwell window.
+#[derive(Debug, Clone)]
+pub struct BrownoutLadder {
+    cfg: BrownoutCfg,
+    level: usize,
+    dwell: u32,
+    transitions: u64,
+    iterations_at: [u64; BrownoutLevel::COUNT],
+    deepest: usize,
+}
+
+impl BrownoutLadder {
+    /// A ladder at [`BrownoutLevel::Normal`].
+    pub fn new(cfg: BrownoutCfg) -> BrownoutLadder {
+        assert!(
+            cfg.exit_score < cfg.enter_score,
+            "hysteresis needs exit_score < enter_score"
+        );
+        BrownoutLadder {
+            cfg,
+            level: 0,
+            dwell: 0,
+            transitions: 0,
+            iterations_at: [0; BrownoutLevel::COUNT],
+            deepest: 0,
+        }
+    }
+
+    /// Advance one former iteration and return the rung to serve it
+    /// under.
+    pub fn step(&mut self, score: f64, breaker: CircuitState) -> BrownoutLevel {
+        self.iterations_at[self.level] += 1;
+        self.dwell = self.dwell.saturating_add(1);
+        if self.dwell >= self.cfg.min_dwell.max(1) {
+            let press = breaker == CircuitState::Open || score >= self.cfg.enter_score;
+            // Half-open permits relief: the cooldown has expired and
+            // the score is what is left to judge recovery by.
+            let relief = breaker != CircuitState::Open && score <= self.cfg.exit_score;
+            if press && self.level + 1 < BrownoutLevel::COUNT {
+                self.level += 1;
+                self.deepest = self.deepest.max(self.level);
+                self.transitions += 1;
+                self.dwell = 0;
+            } else if relief && self.level > 0 {
+                self.level -= 1;
+                self.transitions += 1;
+                self.dwell = 0;
+            }
+        }
+        self.level()
+    }
+
+    /// The current rung.
+    pub fn level(&self) -> BrownoutLevel {
+        BrownoutLevel::ALL[self.level]
+    }
+
+    /// Rung moves (in either direction) so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+}
+
+/// What the former must do this iteration: which classes to take and
+/// what fraction of the batch budget to grant.
+#[derive(Debug, Clone, Copy)]
+pub struct BrownoutDecision {
+    /// The rung the decision was made at.
+    pub level: BrownoutLevel,
+    /// Admission mask indexed by [`SloClass::index`].
+    pub allowed: [bool; 3],
+    /// Batch-budget percentage in [1, 100].
+    pub budget_pct: u8,
+}
+
+impl BrownoutDecision {
+    /// The no-brownout decision: everything admitted at full budget.
+    pub fn normal() -> BrownoutDecision {
+        BrownoutDecision {
+            level: BrownoutLevel::Normal,
+            allowed: [true; 3],
+            budget_pct: 100,
+        }
+    }
+
+    /// Whether `class` may be taken this iteration.
+    pub fn admits(&self, class: SloClass) -> bool {
+        self.allowed[class.index()]
+    }
+
+    /// Apply the budget percentage to `budget` (never below 1).
+    pub fn cap(&self, budget: u64) -> u64 {
+        if self.budget_pct >= 100 {
+            return budget;
+        }
+        (budget.saturating_mul(u64::from(self.budget_pct)) / 100).max(1)
+    }
+}
+
+/// Final brownout statistics for [`crate::ServiceReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BrownoutReport {
+    /// Whether the brownout subsystem was configured at all.
+    pub enabled: bool,
+    /// Ladder moves in either direction.
+    pub transitions: u64,
+    /// Former iterations spent at each rung, indexed by
+    /// [`BrownoutLevel::index`].
+    pub iterations_at: [u64; BrownoutLevel::COUNT],
+    /// Former iterations at any rung above [`BrownoutLevel::Normal`]
+    /// (i.e. while at least one class was deferred).
+    pub shed_iterations: u64,
+    /// Times the circuit breaker tripped open.
+    pub breaker_opens: u64,
+    /// Deepest rung reached, as [`BrownoutLevel::index`].
+    pub deepest_level: u8,
+}
+
+/// The assembled brownout subsystem the service holds behind one lock:
+/// tracker + breaker + ladder, stepped by the batch former and fed by
+/// the workers.
+#[derive(Debug)]
+pub struct BrownoutState {
+    cfg: BrownoutCfg,
+    tracker: HealthTracker,
+    breaker: CircuitBreaker,
+    ladder: BrownoutLadder,
+    /// Set by [`BrownoutState::observe_batch`], cleared by the next
+    /// former tick: suppresses the idle decay on iterations that did
+    /// receive a fresh observation.
+    observed_since_tick: bool,
+}
+
+impl BrownoutState {
+    /// A healthy subsystem for `machines` machines.
+    pub fn new(cfg: BrownoutCfg, machines: usize) -> BrownoutState {
+        BrownoutState {
+            cfg,
+            tracker: HealthTracker::new(machines.max(1), cfg.ewma_alpha),
+            breaker: CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown),
+            ladder: BrownoutLadder::new(cfg),
+            observed_since_tick: false,
+        }
+    }
+
+    /// Worker path: fold one finished batch into `machine`'s health.
+    /// `badness` ∈ [0, 1] grades the batch; `bad` is the breaker's
+    /// binary verdict (any fault, OOM kill, or terminal failure).
+    pub fn observe_batch(&mut self, machine: usize, badness: f64, bad: bool) {
+        self.tracker.observe(machine, badness);
+        self.breaker.record(bad);
+        self.observed_since_tick = true;
+    }
+
+    /// Former path: advance one iteration and decide the admission
+    /// mask and budget for it.
+    pub fn former_tick(&mut self) -> BrownoutDecision {
+        self.breaker.tick();
+        if !self.observed_since_tick {
+            self.tracker.decay(self.cfg.idle_decay);
+        }
+        self.observed_since_tick = false;
+        let level = self.ladder.step(self.tracker.score(), self.breaker.state());
+        BrownoutDecision {
+            level,
+            allowed: level.allowed(),
+            budget_pct: if level == BrownoutLevel::NarrowCaps {
+                self.cfg.narrow_cap_pct.clamp(1, 100)
+            } else {
+                100
+            },
+        }
+    }
+
+    /// Current cluster health score (worst machine).
+    pub fn score(&self) -> f64 {
+        self.tracker.score()
+    }
+
+    /// Snapshot the statistics for the final service report.
+    pub fn report(&self) -> BrownoutReport {
+        let iterations_at = self.ladder.iterations_at;
+        BrownoutReport {
+            enabled: true,
+            transitions: self.ladder.transitions,
+            iterations_at,
+            shed_iterations: iterations_at[1..].iter().sum(),
+            breaker_opens: self.breaker.opens(),
+            deepest_level: self.ladder.deepest as u8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_worst_machine_drives_the_score() {
+        let mut t = HealthTracker::new(3, 0.5);
+        t.observe(0, 0.2);
+        t.observe(2, 1.0);
+        assert!((t.machine_score(0) - 0.1).abs() < 1e-12);
+        assert!((t.machine_score(2) - 0.5).abs() < 1e-12);
+        assert_eq!(t.score(), t.machine_score(2));
+        t.decay(0.5);
+        assert!((t.score() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breaker_opens_cools_and_probes() {
+        let mut b = CircuitBreaker::new(2, 3);
+        b.record(true);
+        assert_eq!(b.state(), CircuitState::Closed);
+        b.record(false); // streak broken
+        b.record(true);
+        b.record(true);
+        assert_eq!(b.state(), CircuitState::Open);
+        assert_eq!(b.opens(), 1);
+        b.tick();
+        b.tick();
+        assert_eq!(b.state(), CircuitState::Open);
+        b.tick();
+        assert_eq!(b.state(), CircuitState::HalfOpen);
+        // A bad probe re-opens; a clean one closes.
+        b.record(true);
+        assert_eq!(b.state(), CircuitState::Open);
+        assert_eq!(b.opens(), 2);
+        for _ in 0..3 {
+            b.tick();
+        }
+        assert_eq!(b.state(), CircuitState::HalfOpen);
+        b.record(false);
+        assert_eq!(b.state(), CircuitState::Closed);
+    }
+
+    #[test]
+    fn ladder_climbs_sheds_in_order_and_recovers_hysteretically() {
+        let cfg = BrownoutCfg {
+            min_dwell: 1,
+            ..BrownoutCfg::default()
+        };
+        let mut l = BrownoutLadder::new(cfg);
+        assert_eq!(l.level(), BrownoutLevel::Normal);
+        // Pressure climbs one rung per step, Batch shed first.
+        assert_eq!(l.step(0.9, CircuitState::Closed), BrownoutLevel::ShedBatch);
+        assert_eq!(
+            l.step(0.9, CircuitState::Closed),
+            BrownoutLevel::ShedStandard
+        );
+        assert_eq!(l.step(0.9, CircuitState::Closed), BrownoutLevel::NarrowCaps);
+        assert_eq!(l.step(0.9, CircuitState::Closed), BrownoutLevel::NarrowCaps);
+        assert_eq!(l.level().allowed(), [true, false, false]);
+        // Mid-band scores hold the rung (hysteresis)…
+        assert_eq!(l.step(0.3, CircuitState::Closed), BrownoutLevel::NarrowCaps);
+        // …and sub-exit scores descend one rung at a time, but only
+        // with the breaker closed.
+        assert_eq!(l.step(0.01, CircuitState::Open), BrownoutLevel::NarrowCaps);
+        assert_eq!(
+            l.step(0.01, CircuitState::Closed),
+            BrownoutLevel::ShedStandard
+        );
+        assert_eq!(l.step(0.01, CircuitState::Closed), BrownoutLevel::ShedBatch);
+        assert_eq!(l.step(0.01, CircuitState::Closed), BrownoutLevel::Normal);
+        assert!(l.transitions() >= 6);
+    }
+
+    #[test]
+    fn dwell_window_blocks_back_to_back_moves() {
+        let cfg = BrownoutCfg {
+            min_dwell: 3,
+            ..BrownoutCfg::default()
+        };
+        let mut l = BrownoutLadder::new(cfg);
+        assert_eq!(l.step(0.9, CircuitState::Closed), BrownoutLevel::Normal);
+        assert_eq!(l.step(0.9, CircuitState::Closed), BrownoutLevel::Normal);
+        assert_eq!(l.step(0.9, CircuitState::Closed), BrownoutLevel::ShedBatch);
+        // The fresh rung must dwell before climbing again.
+        assert_eq!(l.step(0.9, CircuitState::Closed), BrownoutLevel::ShedBatch);
+    }
+
+    #[test]
+    fn decision_caps_budget_only_at_the_deepest_rung() {
+        let mut s = BrownoutState::new(
+            BrownoutCfg {
+                min_dwell: 1,
+                breaker_threshold: 1,
+                ..BrownoutCfg::default()
+            },
+            2,
+        );
+        let d = s.former_tick();
+        assert_eq!(d.level, BrownoutLevel::Normal);
+        assert_eq!(d.cap(1000), 1000);
+        assert!(d.admits(SloClass::Batch));
+        // One terminally-failed batch trips the breaker and starts the
+        // climb; three ticks later the budget narrows.
+        s.observe_batch(0, 1.0, true);
+        for _ in 0..3 {
+            s.former_tick();
+        }
+        let d = s.former_tick();
+        assert_eq!(d.level, BrownoutLevel::NarrowCaps);
+        assert_eq!(d.cap(1000), 500);
+        assert_eq!(d.cap(1), 1, "cap never reaches zero");
+        assert!(d.admits(SloClass::Interactive));
+        assert!(!d.admits(SloClass::Standard));
+        let r = s.report();
+        assert!(r.enabled);
+        assert_eq!(r.deepest_level, 3);
+        assert!(r.breaker_opens >= 1);
+        assert!(r.transitions >= 3);
+        assert!(r.shed_iterations >= 2);
+    }
+
+    #[test]
+    fn idle_decay_recovers_a_shed_everything_ladder() {
+        let mut s = BrownoutState::new(
+            BrownoutCfg {
+                min_dwell: 1,
+                breaker_threshold: 1,
+                breaker_cooldown: 2,
+                idle_decay: 0.5,
+                ..BrownoutCfg::default()
+            },
+            1,
+        );
+        s.observe_batch(0, 1.0, true);
+        let mut deepest = BrownoutLevel::Normal;
+        // No further observations: ticks alone must walk it back down.
+        for _ in 0..32 {
+            deepest = deepest.max(s.former_tick().level);
+        }
+        assert!(deepest > BrownoutLevel::Normal, "ladder never engaged");
+        assert_eq!(s.former_tick().level, BrownoutLevel::Normal);
+        assert!(s.score() < 0.01);
+    }
+}

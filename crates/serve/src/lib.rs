@@ -56,12 +56,17 @@
 
 pub mod admission;
 pub mod controller;
+pub mod health;
 pub mod queue;
 pub mod request;
 pub mod service;
 
 pub use admission::{AdmissionController, AdmissionError, BatchId};
 pub use controller::{ControllerCfg, ControllerStats, Decision, JointController, SchedulerPolicy};
+pub use health::{
+    BrownoutCfg, BrownoutDecision, BrownoutLadder, BrownoutLevel, BrownoutReport, BrownoutState,
+    CircuitBreaker, CircuitState, HealthTracker,
+};
 pub use queue::{same_shape, DrrQueue, ExpiredRequest, QueuePolicy, SubmitError, TakenBatch};
 pub use request::{
     Completion, QueuedRequest, RequestId, RequestOutcome, SloClass, TaskRequest, TenantId,

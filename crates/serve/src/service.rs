@@ -16,13 +16,14 @@
 
 use crate::admission::{AdmissionController, AdmissionError};
 use crate::controller::{ControllerCfg, ControllerStats, JointController, SchedulerPolicy};
+use crate::health::{BrownoutCfg, BrownoutDecision, BrownoutReport, BrownoutState};
 use crate::queue::{same_shape, DrrQueue, QueuePolicy, SubmitError};
 use crate::request::{Completion, QueuedRequest, RequestId, RequestOutcome, SloClass, TaskRequest};
 use mtvc_cluster::{ClusterSpec, FaultPlan};
 use mtvc_core::{select_sources, BatchRunner, RecoveryPolicy, Task};
 use mtvc_graph::hash::mix64;
 use mtvc_graph::Graph;
-use mtvc_metrics::{Histogram, RunOutcome, SimTime, TimedSeries, OVERLOAD_CUTOFF};
+use mtvc_metrics::{Bytes, Histogram, RunOutcome, SimTime, TimedSeries, OVERLOAD_CUTOFF};
 use mtvc_systems::SystemKind;
 use mtvc_tune::{train, FitError, OnlineLatencyModel, OnlineMemoryModel};
 use std::collections::HashMap;
@@ -85,6 +86,13 @@ pub struct ServiceConfig {
     /// SLO-aware scheduler (EDF-within-DRR, class-weighted quanta, and
     /// the joint batching/parallelism controller).
     pub scheduler: SchedulerPolicy,
+    /// Brownout ladder configuration: with `Some`, per-worker health
+    /// tracking and a circuit breaker drive a degradation ladder that
+    /// defers [`SloClass::Batch`], then [`SloClass::Standard`], then
+    /// narrows the batch budget — protecting
+    /// [`SloClass::Interactive`] deadlines under sustained faults.
+    /// `None` (the default) serves every class unconditionally.
+    pub brownout: Option<BrownoutCfg>,
 }
 
 impl ServiceConfig {
@@ -111,6 +119,7 @@ impl ServiceConfig {
             chaos: None,
             ladder_depth: 4,
             scheduler: SchedulerPolicy::BaselineDrr,
+            brownout: None,
         }
     }
 
@@ -205,6 +214,12 @@ impl ServiceConfig {
     /// Set the OOM degradation ladder's maximum bisection depth.
     pub fn with_ladder_depth(mut self, depth: u32) -> Self {
         self.ladder_depth = depth;
+        self
+    }
+
+    /// Arm the brownout ladder ([`ServiceConfig::brownout`]).
+    pub fn with_brownout(mut self, cfg: BrownoutCfg) -> Self {
+        self.brownout = Some(cfg);
         self
     }
 }
@@ -355,6 +370,16 @@ pub struct ServiceReport {
     pub oom_kills: u64,
     /// Simulated recovery time per faulted batch, milliseconds.
     pub recovery_latency: Histogram,
+    /// Wire buckets whose frame checksum caught injected payload
+    /// corruption, across all batches.
+    pub corrupted_buckets: u64,
+    /// Wire buckets repaired by bounded retransmission (no rollback).
+    pub retransmitted_buckets: u64,
+    /// Bytes re-sent by those retransmissions (simulated traffic).
+    pub retransmitted_bytes: Bytes,
+    /// What the brownout ladder did (`enabled == false` when
+    /// [`ServiceConfig::brownout`] was `None`).
+    pub brownout: BrownoutReport,
     /// Per-[`SloClass`] breakdown, indexed by [`SloClass::index`].
     pub class: [ClassReport; 3],
     /// Queue depth over time: `(seconds since start, requests)`
@@ -393,6 +418,9 @@ struct MetricsState {
     faults_injected: u64,
     replayed_rounds: u64,
     oom_kills: u64,
+    corrupted_buckets: u64,
+    retransmitted_buckets: u64,
+    retransmitted_bytes: Bytes,
     queue_wait: Histogram,
     latency: Histogram,
     service_time: Histogram,
@@ -418,6 +446,9 @@ impl MetricsState {
             faults_injected: 0,
             replayed_rounds: 0,
             oom_kills: 0,
+            corrupted_buckets: 0,
+            retransmitted_buckets: 0,
+            retransmitted_bytes: Bytes::ZERO,
             queue_wait: Histogram::new(),
             latency: Histogram::new(),
             service_time: Histogram::new(),
@@ -446,6 +477,10 @@ struct Shared {
     /// the lock exists so `shutdown` can read the stats).
     controller: Mutex<JointController>,
     scheduler: SchedulerPolicy,
+    /// Brownout subsystem (health tracker + circuit breaker + ladder):
+    /// workers feed batch health in, the former steps the ladder each
+    /// iteration. `None` when brownouts are not configured.
+    brownout: Option<Mutex<BrownoutState>>,
     /// Epoch for the queue-depth time series.
     started: Instant,
 }
@@ -548,6 +583,9 @@ impl TaskService {
             latency_models,
             controller: Mutex::new(JointController::new(ControllerCfg::new(cfg.workers))),
             scheduler: cfg.scheduler,
+            brownout: cfg
+                .brownout
+                .map(|b| Mutex::new(BrownoutState::new(b, cfg.workers))),
             started: Instant::now(),
         });
 
@@ -562,13 +600,13 @@ impl TaskService {
         };
         let (tx, rx) = crossbeam::channel::bounded::<FormedBatch>(cfg.workers);
         let mut workers = Vec::with_capacity(cfg.workers);
-        for _ in 0..cfg.workers {
+        for worker in 0..cfg.workers {
             let rx = rx.clone();
             let shared = shared.clone();
             let runners = runners.clone();
             let wcfg = wcfg.clone();
             workers.push(std::thread::spawn(move || {
-                worker_loop(&shared, &runners, &wcfg, rx)
+                worker_loop(&shared, &runners, &wcfg, rx, worker)
             }));
         }
         drop(rx);
@@ -687,6 +725,15 @@ impl TaskService {
             replayed_rounds: m.replayed_rounds,
             oom_kills: m.oom_kills,
             recovery_latency: m.recovery_latency.clone(),
+            corrupted_buckets: m.corrupted_buckets,
+            retransmitted_buckets: m.retransmitted_buckets,
+            retransmitted_bytes: m.retransmitted_bytes,
+            brownout: self
+                .shared
+                .brownout
+                .as_ref()
+                .map(|b| b.lock().unwrap().report())
+                .unwrap_or_default(),
             class: m.class.clone(),
             queue_depth_series: m.depth_series.clone(),
             controller: self.shared.controller.lock().unwrap().stats(),
@@ -781,6 +828,13 @@ const HEADROOM_POLL: Duration = Duration::from_millis(20);
 fn former_loop(shared: &Shared, max_batch: u64, tx: crossbeam::channel::Sender<FormedBatch>) {
     let mut last_depth = usize::MAX;
     while let Some(shape) = shared.queue.next_shape_blocking() {
+        // Step the brownout ladder once per scheduling iteration. A
+        // closed queue is draining towards shutdown: the mask is
+        // lifted so deferred classes always leave, never hang.
+        let decision = match &shared.brownout {
+            Some(b) if !shared.queue.is_closed() => b.lock().unwrap().former_tick(),
+            _ => BrownoutDecision::normal(),
+        };
         let depth = shared.queue.len();
         if depth != last_depth {
             last_depth = depth;
@@ -837,7 +891,12 @@ fn former_loop(shared: &Shared, max_batch: u64, tx: crossbeam::channel::Sender<F
                     )
                 }
             };
-            let round = shared.queue.take_batch(&shape, budget, now);
+            // The brownout rung caps the budget (NarrowCaps) and masks
+            // shed classes out of the take.
+            let budget = decision.cap(budget);
+            let round = shared
+                .queue
+                .take_batch_classes(&shape, budget, now, decision.allowed);
             if !round.expired.is_empty() {
                 let mut m = shared.metrics.lock().unwrap();
                 for exp in &round.expired {
@@ -870,9 +929,28 @@ fn former_loop(shared: &Shared, max_batch: u64, tx: crossbeam::channel::Sender<F
                     dispatched: Instant::now(),
                     parallel_threshold,
                 };
-                // Bounded channel: blocks when every worker is busy.
-                if tx.send(batch).is_err() {
-                    return; // workers are gone; shutting down
+                // Bounded channel: backpressure when every worker is
+                // busy. The wait is chunked so the brownout ladder
+                // keeps ticking — a blocking send would freeze the
+                // control loop for the whole length of a slow batch,
+                // exactly when the ladder most needs to move.
+                let mut batch = batch;
+                loop {
+                    use crossbeam::channel::SendTimeoutError;
+                    match tx.send_timeout(batch, HEADROOM_POLL) {
+                        Ok(()) => break,
+                        Err(SendTimeoutError::Timeout(b)) => {
+                            batch = b;
+                            if let Some(br) = &shared.brownout {
+                                if !shared.queue.is_closed() {
+                                    let _ = br.lock().unwrap().former_tick();
+                                }
+                            }
+                        }
+                        Err(SendTimeoutError::Disconnected(_)) => {
+                            return; // workers are gone; shutting down
+                        }
+                    }
                 }
                 continue;
             }
@@ -882,6 +960,17 @@ fn former_loop(shared: &Shared, max_batch: u64, tx: crossbeam::channel::Sender<F
         let Some(w_head) = shared.queue.head_workload(&shape) else {
             continue; // head expired away or shape rotated; re-peek
         };
+        if let Some(class) = shared.queue.head_class(&shape) {
+            if !decision.admits(class) {
+                // The head is deferred by the brownout ladder, not by
+                // headroom. Park briefly: worker completions and idle
+                // ticks walk the ladder back down, and shutdown lifts
+                // the mask.
+                let ac = shared.admission.lock().unwrap();
+                let _ = shared.headroom.wait_timeout(ac, HEADROOM_POLL);
+                continue;
+            }
+        }
         let mut ac = shared.admission.lock().unwrap();
         if w_head > ac.max_possible(&shape).unwrap_or(0).min(max_batch) {
             // Cannot fit even an idle, flushed cluster: reject.
@@ -922,6 +1011,7 @@ fn worker_loop(
     runners: &[(Task, Arc<BatchRunner>)],
     wcfg: &WorkerCfg,
     rx: crossbeam::channel::Receiver<FormedBatch>,
+    worker: usize,
 ) {
     while let Ok(batch) = rx.recv() {
         let Some(runner) = runners
@@ -1006,6 +1096,9 @@ fn worker_loop(
             m.faults_injected += f.injected;
             m.replayed_rounds += f.replayed_rounds;
             m.oom_kills += f.oom_kills;
+            m.corrupted_buckets += f.corrupted_buckets;
+            m.retransmitted_buckets += f.retransmitted_buckets;
+            m.retransmitted_bytes += f.retransmitted_bytes;
             if f.injected > 0 {
                 m.recovery_latency
                     .record((f.recovery_time.as_secs() * 1e3).round() as u64);
@@ -1015,6 +1108,22 @@ fn worker_loop(
                 RunOutcome::Overload => m.overload_batches += 1,
                 RunOutcome::Overflow => m.overflow_batches += 1,
             }
+        }
+        if let Some(b) = &shared.brownout {
+            // Grade the batch for the health tracker: a terminal
+            // failure is fully bad; otherwise badness grows with the
+            // fault events survived (1 event → 0.5, asymptote 1).
+            let f = &exec.stats.faults;
+            let events = f.injected + f.oom_kills;
+            let failed = completed_time.is_none();
+            let badness = if failed {
+                1.0
+            } else {
+                events as f64 / (events as f64 + 1.0)
+            };
+            b.lock()
+                .unwrap()
+                .observe_batch(worker, badness, failed || events > 0);
         }
         match completed_time {
             Some(t) => {
@@ -1275,6 +1384,7 @@ mod tests {
             latency_models: vec![Mutex::new(OnlineLatencyModel::new())],
             controller: Mutex::new(JointController::new(ControllerCfg::new(2))),
             scheduler: SchedulerPolicy::BaselineDrr,
+            brownout: None,
             started: Instant::now(),
         };
         let wcfg = WorkerCfg {
@@ -1310,6 +1420,94 @@ mod tests {
         shared.queue.close();
         retry_or_fail(&shared, vec![req(0)], "overload", Instant::now(), &wcfg);
         assert_eq!(shared.metrics.lock().unwrap().failed, 2);
+    }
+
+    /// The brownout ladder under sustained chaos: every batch carries
+    /// injected faults, so the breaker trips, the ladder climbs and
+    /// defers Batch-class traffic — yet *every* request is still
+    /// served (shedding is deferral; shutdown lifts the mask and
+    /// drains), and the corruption/retransmission counters surface in
+    /// the report.
+    #[test]
+    fn brownout_ladder_sheds_under_chaos_and_still_drains() {
+        use crate::health::BrownoutCfg;
+        let run = |brownout: bool| {
+            let graph = Arc::new(generators::grid(12, 12));
+            let mut cfg = ServiceConfig::new(SystemKind::PregelPlus, ClusterSpec::galaxy(4))
+                .with_workers(1)
+                // Quantum 1 with unit requests: many small batches, so
+                // the former keeps iterating (and ticking the ladder)
+                // long after the first faulted batch reports in.
+                .with_quantum(1)
+                .with_seed(0xB40)
+                .with_checkpoint_every(2)
+                // Off-cadence rounds; corruption exercises the frame
+                // checksum + retransmission path end to end.
+                .with_chaos(FaultPlan::none().with_crash(3, 1).with_corruption(5, 0, 2));
+            if brownout {
+                cfg = cfg.with_brownout(BrownoutCfg {
+                    min_dwell: 1,
+                    breaker_threshold: 1,
+                    breaker_cooldown: 2,
+                    enter_score: 0.3,
+                    exit_score: 0.1,
+                    // Fast idle recovery so a fully-shed ladder cannot
+                    // stall the run for long.
+                    idle_decay: 0.5,
+                    ..BrownoutCfg::default()
+                });
+            }
+            cfg.training_workload = 64;
+            cfg = cfg.with_shape(Task::mssp(1));
+            let svc = TaskService::start(graph, cfg).expect("service starts");
+            // One tenant lane per class, so shedding Batch defers only
+            // tenant 2's lane while the others keep the former busy.
+            let tickets: Vec<Ticket> = (0..24u32)
+                .map(|i| {
+                    let class = match i % 3 {
+                        0 => SloClass::Interactive,
+                        1 => SloClass::Standard,
+                        _ => SloClass::Batch,
+                    };
+                    svc.submit(TaskRequest::new(TenantId(i % 3), Task::mssp(1)).with_class(class))
+                        .unwrap()
+                })
+                .collect();
+            // Wait for every ticket while the service is *live* — the
+            // ladder only sheds on an open queue (shutdown lifts the
+            // mask to drain), so deferred Batch requests resolving
+            // here proves deferral ends in service, not loss.
+            for t in &tickets {
+                let c = t.wait();
+                assert!(c.outcome.is_served(), "{:?}", c.outcome);
+            }
+            svc.shutdown()
+        };
+        let plain = run(false);
+        assert!(!plain.brownout.enabled);
+        assert_eq!(plain.brownout.transitions, 0);
+        let browned = run(true);
+        assert_eq!(browned.served, 24, "shedding must defer, not drop");
+        assert_eq!(browned.failed, 0);
+        assert!(browned.faults_injected > 0, "chaos plan never fired");
+        assert!(
+            browned.corrupted_buckets > 0,
+            "corruption events must surface in the report"
+        );
+        assert_eq!(
+            browned.corrupted_buckets, browned.retransmitted_buckets,
+            "every corrupted bucket is retransmitted exactly once"
+        );
+        assert!(browned.retransmitted_bytes.get() > 0);
+        let b = &browned.brownout;
+        assert!(b.enabled);
+        assert!(
+            b.breaker_opens >= 1,
+            "faulted batches must trip the breaker"
+        );
+        assert!(b.transitions >= 1, "the ladder never climbed");
+        assert!(b.shed_iterations >= 1, "no iteration ran degraded");
+        assert!(b.deepest_level >= 1);
     }
 
     /// Chaos does not change outcomes: a stream served under injected
