@@ -71,6 +71,24 @@ pub struct PolicyReport {
     ///
     /// [`RoutingStats::shard_copy_bytes`]: mtvc_engine::RoutingStats
     pub shard_copy_bytes: u64,
+    /// Out-of-core spill traffic (messages plus paged-out slab state)
+    /// across the run. The serial drivers in this module never page,
+    /// so they report zero; Runner-driven benches fill it in via
+    /// [`PolicyReport::absorb_run`].
+    pub total_spilled_bytes: u64,
+    /// Partition bytes streamed in by the pager across the run (zero
+    /// when paging is off or the driver is serial in-memory).
+    pub total_loaded_bytes: u64,
+}
+
+impl PolicyReport {
+    /// Fold a Runner run's out-of-core byte totals into this report
+    /// (the serial drivers here never page, so only Runner-driven
+    /// benches call this).
+    pub fn absorb_run(&mut self, stats: &mtvc_metrics::RunStats) {
+        self.total_spilled_bytes += stats.total_spilled_bytes.get();
+        self.total_loaded_bytes += stats.total_loaded_bytes.get();
+    }
 }
 
 /// Ceiling on rounds for runaway protection in both drivers.
@@ -139,6 +157,8 @@ pub fn drive_core_policy<P: ProgramCore>(
         respond_hits: 0,
         respond_misses: 0,
         shard_copy_bytes: 0,
+        total_spilled_bytes: 0,
+        total_loaded_bytes: 0,
     };
 
     for round in 0..ROUND_CAP {
@@ -237,6 +257,8 @@ pub fn drive_core_presharded<P: ProgramCore>(
         respond_hits: 0,
         respond_misses: 0,
         shard_copy_bytes: 0,
+        total_spilled_bytes: 0,
+        total_loaded_bytes: 0,
     };
 
     for round in 0..ROUND_CAP {

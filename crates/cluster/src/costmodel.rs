@@ -21,7 +21,12 @@
 //!   and spill over-budget messages; when disk busy time exceeds the
 //!   overlapping compute+network time, the round is disk-bound and
 //!   *disk overuse* (time at 100% utilization) accrues, with the I/O
-//!   queue exploding as utilization saturates (Table 3).
+//!   queue exploding as utilization saturates (Table 3). When the
+//!   engine runs with partition paging enabled, the `spill`/`stream`
+//!   demand entering these terms is *measured* by the pager (exact
+//!   bytes written out and streamed in per round) instead of the
+//!   whole-graph demand estimate, so schedule choices (round-robin vs
+//!   frontier-density) change the priced disk time.
 //! * **network overuse** (§4.3, §4.4): a round's message burst saturates
 //!   the NIC for `bytes/bandwidth` seconds; sustained saturation beyond
 //!   a floor counts as overuse, so smaller per-round bursts (more
@@ -47,11 +52,17 @@ pub struct RoundDemand {
     /// Peak memory demand per worker during the round.
     pub memory: Vec<Bytes>,
     /// Message bytes spilled to disk (out-of-core over-budget traffic).
+    /// Under partition paging this also carries the slab-state bytes
+    /// the pager actually wrote out, so the disk term prices measured
+    /// traffic rather than the demand-based estimate.
     pub spill: Vec<Bytes>,
     /// Number of spilled messages (for I/O queue accounting).
     pub spill_messages: Vec<u64>,
-    /// Unconditional disk streaming per round (e.g. GraphD streams the
-    /// edge lists from disk every round).
+    /// Unconditional disk streaming per round. Without paging this is
+    /// the estimate-path value (e.g. GraphD streams the whole edge
+    /// list from disk every round); with paging active it is the exact
+    /// partition bytes the pager loaded this round, so frontier-density
+    /// scheduling shows up directly as a smaller disk term.
     pub stream: Vec<Bytes>,
     /// Whether a synchronization barrier ends this round.
     pub barrier: bool,

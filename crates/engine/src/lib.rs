@@ -21,6 +21,7 @@
 
 pub mod message;
 pub mod mirror;
+pub mod paging;
 pub mod pool;
 pub mod profile;
 pub mod program;
@@ -32,12 +33,19 @@ pub mod wire;
 
 pub use message::{Delivery, Envelope, Message};
 pub use mirror::MirrorIndex;
+pub use paging::{PagedLayout, PagerSnapshot, WorkerPager};
 pub use pool::WorkerPool;
-pub use profile::{ExecutionMode, OocConfig, SyncMode, SystemProfile};
-pub use program::{Context, EmitSink, Outbox, PerVertex, ProgramCore, VertexProgram};
+pub use profile::{
+    ExecutionMode, OocConfig, PagingConfig, PartitionSchedule, StoreKind, SyncMode, SystemProfile,
+};
+pub use program::{
+    Context, EmitSink, Outbox, PagedNeighbors, PerVertex, ProgramCore, VertexProgram,
+};
 pub use router::{
     route, route_with, Inbox, LocalIndex, RouteGrid, RoutePolicy, RoutingStats, Run, ShardedOutbox,
 };
 pub use runner::{vertex_rng, EngineConfig, RunResult, Runner, PARALLEL_VERTEX_THRESHOLD};
-pub use slab::{PerSlab, SlabDelta, SlabProgram, SlabRecycler, SlabRowMut, StateSlab, LANES};
+pub use slab::{
+    PageableCell, PerSlab, SlabDelta, SlabProgram, SlabRecycler, SlabRowMut, StateSlab, LANES,
+};
 pub use wire::{PayloadCodec, WireError, WireFormat, FRAME_HEADER_BYTES};

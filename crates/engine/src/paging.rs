@@ -1,0 +1,556 @@
+//! The partition pager: real out-of-core adjacency (and slab-state)
+//! movement for over-budget runs.
+//!
+//! When a profile's [`OocConfig`](crate::profile::OocConfig) carries a
+//! [`PagingConfig`], the runner stops *estimating* disk traffic and
+//! starts *measuring* it: at partition time the graph's adjacency is
+//! sliced into contiguous-CSR chunks and written to a
+//! [`BackingStore`](mtvc_graph::ooc::BackingStore)
+//! ([`PagedLayout::build`]), and each worker streams partitions through
+//! a budget-bounded [`WorkerPager`] cache every round. Compute reads
+//! neighbors from the decoded chunks (via
+//! [`PagedNeighbors`](crate::program::PagedNeighbors)), so the paging
+//! path is the *hot path*, not an accounting shadow — a codec or cache
+//! bug breaks results.
+//!
+//! Two schedules ([`PartitionSchedule`]):
+//!
+//! * **RoundRobin** — every partition is loaded every round in
+//!   local-index order: GraphD's semi-streaming full edge pass (§2.2).
+//! * **FrontierDensity** — partitions whose frontier is empty (zero
+//!   delivered runs this round) are skipped entirely, and cache
+//!   eviction prefers the *sparsest* resident partition (fewest active
+//!   vertices this round, ties by least recent use), so dense
+//!   partitions stay resident as BFS/MSSP frontiers shrink.
+//!
+//! Compute order is unaffected by either schedule — vertices always run
+//! in ascending local-index order — so a paged run is bit-identical to
+//! a fully-resident run by construction; the schedule only changes
+//! which bytes move.
+//!
+//! **Determinism / replay**: eviction decisions are pure functions of
+//! the cache's recency order and the current round's frontier
+//! densities. Checkpoints capture a [`PagerSnapshot`] (resident
+//! partition ids in recency order — metadata, not decoded bytes);
+//! rollback restores that exact cache state, so replayed rounds evolve
+//! the cache identically to the first execution and every post-replay
+//! round sees identical load/skip counters.
+
+use crate::profile::{PagingConfig, PartitionSchedule, StoreKind};
+use mtvc_graph::ooc::{
+    alloc_key_namespace, BackingStore, DecodedChunk, FileStore, MemStore, PartitionedAdjacency,
+};
+use mtvc_graph::{Graph, VertexId};
+use std::sync::Arc;
+
+/// The per-run paged-adjacency layout: the partitioned on-store
+/// adjacency plus the paging configuration, shared by every run of a
+/// [`Runner`](crate::runner::Runner).
+pub struct PagedLayout {
+    adjacency: Arc<PartitionedAdjacency>,
+    config: PagingConfig,
+}
+
+impl std::fmt::Debug for PagedLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagedLayout")
+            .field("adjacency", &self.adjacency)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl PagedLayout {
+    /// Partition `graph`'s adjacency along `locals` (each worker's
+    /// vertex list in local-index order), encode every partition, and
+    /// write them to the store `config` selects. After this the store
+    /// holds the copy the pagers read; the resident [`Graph`] is no
+    /// longer consulted for neighbors on the paged path.
+    pub fn build(graph: &Graph, locals: &[Vec<VertexId>], config: PagingConfig) -> PagedLayout {
+        let store: Arc<dyn BackingStore> = match config.store {
+            StoreKind::Memory => Arc::new(MemStore::new()),
+            StoreKind::TempFile => {
+                Arc::new(FileStore::new_temp().expect("create temp dir for paging store"))
+            }
+        };
+        let adjacency = Arc::new(PartitionedAdjacency::build(
+            graph,
+            locals,
+            config.partition_bytes.get(),
+            store,
+        ));
+        PagedLayout { adjacency, config }
+    }
+
+    pub fn config(&self) -> PagingConfig {
+        self.config
+    }
+
+    pub fn adjacency(&self) -> &Arc<PartitionedAdjacency> {
+        &self.adjacency
+    }
+
+    /// Fresh per-worker pagers for one run (cold caches).
+    pub fn make_pagers(&self) -> Vec<WorkerPager> {
+        (0..self.adjacency.workers())
+            .map(|w| WorkerPager::new(self.adjacency.clone(), w, self.config))
+            .collect()
+    }
+}
+
+/// Measured paging activity of one worker over one round, harvested by
+/// the runner via [`WorkerPager::take_round`] and fed to the cost
+/// model's disk terms and the round's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagerRound {
+    /// Encoded bytes read from the store this round (adjacency loads
+    /// plus slab-state page-ins).
+    pub loaded_bytes: u64,
+    /// Adjacency partitions loaded.
+    pub partition_loads: u64,
+    /// Partitions skipped outright (frontier-density schedule only).
+    pub partitions_skipped: u64,
+    /// Slab-state bytes paged *out* to the store this round — measured
+    /// spill.
+    pub state_spill_bytes: u64,
+    /// Peak decoded adjacency bytes resident in the cache this round —
+    /// what the memory ledger charges instead of the
+    /// `graph_bytes × graph_mem_factor` estimate.
+    pub peak_resident_bytes: u64,
+}
+
+/// Resident-set snapshot of one worker's pager: partition ids in
+/// recency order (least → most recent). Captured into checkpoints so
+/// rollback restores the exact cache state; cheap metadata, never
+/// decoded bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PagerSnapshot {
+    resident: Vec<u32>,
+}
+
+/// One worker's bounded partition cache over the shared
+/// [`PartitionedAdjacency`]. Loads decode real store bytes; eviction
+/// recycles decode buffers; every byte moved lands in [`PagerRound`].
+pub struct WorkerPager {
+    adj: Arc<PartitionedAdjacency>,
+    worker: usize,
+    budget: u64,
+    schedule: PartitionSchedule,
+    page_state: bool,
+    resident: Vec<Option<DecodedChunk>>,
+    /// Partition ids, least recently used first.
+    recency: Vec<u32>,
+    resident_bytes: u64,
+    free_chunks: Vec<DecodedChunk>,
+    raw: Vec<u8>,
+    /// Delivered-run count per partition, this round.
+    density: Vec<u32>,
+    /// Per partition: encoded size of its paged-out slab-state rows,
+    /// if currently on the store.
+    state_out: Vec<Option<u64>>,
+    state_out_total: u64,
+    state_ns: u64,
+    round: PagerRound,
+}
+
+impl std::fmt::Debug for WorkerPager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPager")
+            .field("worker", &self.worker)
+            .field("partitions", &self.resident.len())
+            .field("resident_bytes", &self.resident_bytes)
+            .finish()
+    }
+}
+
+impl WorkerPager {
+    fn new(adj: Arc<PartitionedAdjacency>, worker: usize, config: PagingConfig) -> WorkerPager {
+        let nparts = adj.partitions(worker).len();
+        WorkerPager {
+            adj,
+            worker,
+            budget: config.budget.get(),
+            schedule: config.schedule,
+            page_state: config.page_state,
+            resident: (0..nparts).map(|_| None).collect(),
+            recency: Vec::with_capacity(nparts),
+            resident_bytes: 0,
+            free_chunks: Vec::new(),
+            raw: Vec::new(),
+            density: vec![0; nparts],
+            state_out: vec![None; nparts],
+            state_out_total: 0,
+            state_ns: alloc_key_namespace(),
+            round: PagerRound::default(),
+        }
+    }
+
+    /// Adjacency partitions of this worker.
+    pub fn partitions(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Local-index range `[start, end)` of partition `p`.
+    pub fn partition_range(&self, p: usize) -> (u32, u32) {
+        let m = self.adj.partitions(self.worker)[p];
+        (m.li_start, m.li_end)
+    }
+
+    /// Whether slab-state paging is enabled for this run.
+    pub fn pages_state(&self) -> bool {
+        self.page_state
+    }
+
+    /// Turn slab-state paging off for this run (checkpointed runs
+    /// snapshot states by value and must see every row resident).
+    pub fn disable_state_paging(&mut self) {
+        self.page_state = false;
+    }
+
+    /// Reset this round's frontier densities (call before
+    /// [`Self::bump_density`] over the round's runs).
+    pub fn clear_density(&mut self) {
+        self.density.fill(0);
+    }
+
+    /// Count one delivered run landing in partition `p`.
+    pub fn bump_density(&mut self, p: usize) {
+        self.density[p] += 1;
+    }
+
+    /// Frontier density (delivered runs) of partition `p` this round.
+    pub fn density(&self, p: usize) -> u32 {
+        self.density[p]
+    }
+
+    /// Whether the schedule skips partition `p` this round (empty
+    /// frontier under [`PartitionSchedule::FrontierDensity`]; round 0
+    /// never consults this — every vertex initializes).
+    pub fn should_skip(&self, p: usize) -> bool {
+        self.schedule == PartitionSchedule::FrontierDensity && self.density[p] == 0
+    }
+
+    /// Record a skipped partition.
+    pub fn note_skip(&mut self) {
+        self.round.partitions_skipped += 1;
+    }
+
+    /// Make partition `p` resident (loading and decoding it from the
+    /// store if it is not), evicting other partitions as needed to
+    /// respect the budget. `p` itself is pinned and never evicted by
+    /// its own load; a single partition larger than the whole budget
+    /// is allowed to be the sole resident.
+    pub fn ensure_resident(&mut self, p: usize) {
+        if self.resident[p].is_some() {
+            self.touch(p);
+            return;
+        }
+        let meta = self.adj.partitions(self.worker)[p];
+        // Evict-before-load: the incoming decoded size is known from
+        // the partition meta, so the cache never transiently exceeds
+        // its budget.
+        while self.resident_bytes + meta.decoded_bytes > self.budget {
+            match self.pick_victim(p) {
+                Some(victim) => self.evict(victim),
+                None => break,
+            }
+        }
+        let mut chunk = self.free_chunks.pop().unwrap_or_default();
+        let read = self
+            .adj
+            .load_into(self.worker, p, &mut self.raw, &mut chunk);
+        debug_assert_eq!(chunk.resident_bytes(), meta.decoded_bytes);
+        self.resident_bytes += chunk.resident_bytes();
+        self.resident[p] = Some(chunk);
+        self.recency.push(p as u32);
+        self.round.loaded_bytes += read;
+        self.round.partition_loads += 1;
+        self.round.peak_resident_bytes = self.round.peak_resident_bytes.max(self.resident_bytes);
+    }
+
+    /// The decoded chunk of partition `p`; must be resident.
+    pub fn chunk(&self, p: usize) -> &DecodedChunk {
+        self.resident[p].as_ref().expect("partition not resident")
+    }
+
+    fn touch(&mut self, p: usize) {
+        if let Some(pos) = self.recency.iter().position(|&q| q == p as u32) {
+            let id = self.recency.remove(pos);
+            self.recency.push(id);
+        }
+    }
+
+    /// Eviction victim among residents other than the pinned `keep`:
+    /// plain LRU under RoundRobin; under FrontierDensity the sparsest
+    /// partition this round (ties by least recent use), so dense
+    /// partitions survive as frontiers shrink. Pure in recency order +
+    /// densities, which is what makes replay evolve the cache
+    /// identically.
+    fn pick_victim(&self, keep: usize) -> Option<usize> {
+        let candidates = self
+            .recency
+            .iter()
+            .map(|&q| q as usize)
+            .filter(|&q| q != keep);
+        match self.schedule {
+            PartitionSchedule::RoundRobin => candidates
+                .min_by_key(|&q| self.recency.iter().position(|&r| r as usize == q).unwrap()),
+            PartitionSchedule::FrontierDensity => candidates.min_by_key(|&q| {
+                let pos = self.recency.iter().position(|&r| r as usize == q).unwrap();
+                (self.density[q], pos)
+            }),
+        }
+    }
+
+    fn evict(&mut self, p: usize) {
+        if let Some(chunk) = self.resident[p].take() {
+            self.resident_bytes -= chunk.resident_bytes();
+            self.free_chunks.push(chunk);
+            if let Some(pos) = self.recency.iter().position(|&q| q == p as u32) {
+                self.recency.remove(pos);
+            }
+        }
+    }
+
+    /// Key under which partition `p`'s slab-state rows live on the
+    /// store while paged out.
+    pub fn state_key(&self, p: usize) -> u64 {
+        self.state_ns | ((self.worker as u64) << 24) | p as u64
+    }
+
+    /// Encoded size of `p`'s paged-out state rows, if they are on the
+    /// store.
+    pub fn state_paged_out(&self, p: usize) -> Option<u64> {
+        self.state_out[p]
+    }
+
+    /// Record that `p`'s state rows were written to the store
+    /// (`bytes` encoded) — measured spill.
+    pub fn note_state_paged_out(&mut self, p: usize, bytes: u64) {
+        debug_assert!(self.state_out[p].is_none());
+        self.state_out[p] = Some(bytes);
+        self.state_out_total += bytes;
+        self.round.state_spill_bytes += bytes;
+    }
+
+    /// Record that `p`'s state rows were read back and restored;
+    /// returns the bytes read.
+    pub fn note_state_paged_in(&mut self, p: usize) -> u64 {
+        let bytes = self.state_out[p].take().expect("state not paged out");
+        self.state_out_total -= bytes;
+        self.round.loaded_bytes += bytes;
+        bytes
+    }
+
+    /// Partitions whose state rows are currently on the store, in
+    /// ascending order.
+    pub fn state_paged_partitions(&self) -> Vec<usize> {
+        self.state_out
+            .iter()
+            .enumerate()
+            .filter_map(|(p, b)| b.map(|_| p))
+            .collect()
+    }
+
+    /// Total slab-state bytes currently living on the store instead of
+    /// in memory — subtracted from the worker's state ledger.
+    pub fn state_evicted_bytes(&self) -> u64 {
+        self.state_out_total
+    }
+
+    /// The shared backing store (state page-outs write through this).
+    pub fn store(&self) -> Arc<dyn BackingStore> {
+        self.adj.store().clone()
+    }
+
+    /// Decoded adjacency bytes currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Harvest and reset this round's measured counters. The next
+    /// round's peak starts from the bytes still resident.
+    pub fn take_round(&mut self) -> PagerRound {
+        let mut out = std::mem::take(&mut self.round);
+        out.peak_resident_bytes = out.peak_resident_bytes.max(self.resident_bytes);
+        self.round.peak_resident_bytes = self.resident_bytes;
+        out
+    }
+
+    /// Capture the resident set (recency order) for a checkpoint.
+    pub fn snapshot(&self) -> PagerSnapshot {
+        PagerSnapshot {
+            resident: self.recency.clone(),
+        }
+    }
+
+    /// Restore the cache to a checkpoint's resident set: drop
+    /// partitions the snapshot lacks, reload ones it has (reloads are
+    /// rollback repair traffic, recorded nowhere), and adopt the
+    /// snapshot's recency order exactly, so replayed rounds evolve the
+    /// cache identically to the first execution.
+    pub fn restore(&mut self, snap: &PagerSnapshot) {
+        for p in 0..self.resident.len() {
+            if self.resident[p].is_some() && !snap.resident.contains(&(p as u32)) {
+                self.evict(p);
+            }
+        }
+        for &p in &snap.resident {
+            let p = p as usize;
+            if self.resident[p].is_none() {
+                let mut chunk = self.free_chunks.pop().unwrap_or_default();
+                self.adj
+                    .load_into(self.worker, p, &mut self.raw, &mut chunk);
+                self.resident_bytes += chunk.resident_bytes();
+                self.resident[p] = Some(chunk);
+            }
+        }
+        self.recency = snap.resident.clone();
+        self.round = PagerRound {
+            peak_resident_bytes: self.resident_bytes,
+            ..PagerRound::default()
+        };
+        debug_assert!(
+            self.state_out.iter().all(Option::is_none),
+            "state paging never coexists with checkpoints"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvc_graph::generators;
+    use mtvc_graph::partition::{HashPartitioner, Partitioner};
+    use mtvc_metrics::Bytes;
+
+    fn layout(budget: u64, schedule: PartitionSchedule) -> (PagedLayout, Vec<Vec<VertexId>>) {
+        let g = generators::power_law(600, 3000, 2.3, 11);
+        let locals = HashPartitioner::default()
+            .partition(&g, 2)
+            .worker_vertices();
+        let config = PagingConfig {
+            budget: Bytes::new(budget),
+            partition_bytes: Bytes::new(512),
+            schedule,
+            page_state: false,
+            store: StoreKind::Memory,
+        };
+        (PagedLayout::build(&g, &locals, config), locals)
+    }
+
+    #[test]
+    fn cache_respects_budget_and_counts_real_bytes() {
+        let (layout, _) = layout(4096, PartitionSchedule::RoundRobin);
+        let mut pagers = layout.make_pagers();
+        let pager = &mut pagers[0];
+        let nparts = pager.partitions();
+        assert!(nparts > 4, "graph must split into several partitions");
+        for p in 0..nparts {
+            pager.ensure_resident(p);
+            assert!(!pager.chunk(p).is_empty());
+        }
+        let round = pager.take_round();
+        assert_eq!(round.partition_loads, nparts as u64);
+        assert_eq!(round.loaded_bytes, layout.adjacency().encoded_bytes(0));
+        // Budget was enforced throughout (partitions decode well under
+        // 4 KiB each here, so the pinned-overflow case never applies).
+        assert!(round.peak_resident_bytes <= 4096);
+        assert!(pager.resident_bytes() <= 4096);
+    }
+
+    #[test]
+    fn revisiting_resident_partition_loads_nothing() {
+        let (layout, _) = layout(1 << 20, PartitionSchedule::RoundRobin);
+        let mut pager = layout.make_pagers().remove(0);
+        pager.ensure_resident(0);
+        pager.ensure_resident(1);
+        let first = pager.take_round();
+        assert_eq!(first.partition_loads, 2);
+        pager.ensure_resident(0);
+        pager.ensure_resident(1);
+        let second = pager.take_round();
+        assert_eq!(second.partition_loads, 0, "warm cache: no traffic");
+        assert_eq!(second.loaded_bytes, 0);
+        assert_eq!(second.peak_resident_bytes, pager.resident_bytes());
+    }
+
+    #[test]
+    fn frontier_density_skips_and_evicts_sparse_first() {
+        let (layout, _) = layout(4096, PartitionSchedule::FrontierDensity);
+        let metas = layout.adjacency().partitions(0);
+        assert!(metas.len() >= 4, "graph must split into several partitions");
+        let d = |p: usize| metas[p].decoded_bytes;
+        // Budget fits {0, 2} exactly; loading 3 then forces one
+        // eviction, and the sparsest resident must be the victim.
+        let config = PagingConfig {
+            budget: Bytes::new(d(0) + d(2) + d(3) - 1),
+            partition_bytes: Bytes::new(512),
+            schedule: PartitionSchedule::FrontierDensity,
+            page_state: false,
+            store: StoreKind::Memory,
+        };
+        let mut pager = WorkerPager::new(layout.adjacency().clone(), 0, config);
+        pager.clear_density();
+        pager.bump_density(0);
+        pager.bump_density(0);
+        pager.bump_density(2);
+        assert!(!pager.should_skip(0));
+        assert!(pager.should_skip(1), "zero-density partition is skipped");
+        assert!(!pager.should_skip(2));
+        pager.ensure_resident(0);
+        pager.ensure_resident(2);
+        assert!(pager.resident[0].is_some() && pager.resident[2].is_some());
+        pager.ensure_resident(3);
+        assert!(
+            pager.resident[2].is_none(),
+            "sparsest resident is evicted first"
+        );
+        assert!(
+            pager.resident[0].is_some(),
+            "denser partition must outlive sparser one in cache"
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_reproduces_resident_set() {
+        let (layout, _) = layout(8192, PartitionSchedule::RoundRobin);
+        let mut pager = layout.make_pagers().remove(0);
+        for p in 0..pager.partitions() {
+            pager.ensure_resident(p);
+        }
+        let snap = pager.snapshot();
+        let resident_before: Vec<bool> = pager.resident.iter().map(Option::is_some).collect();
+        let bytes_before = pager.resident_bytes();
+        // Mutate the cache, then restore.
+        for p in 0..pager.partitions() {
+            pager.evict(p);
+        }
+        pager.ensure_resident(0);
+        pager.restore(&snap);
+        let resident_after: Vec<bool> = pager.resident.iter().map(Option::is_some).collect();
+        assert_eq!(resident_before, resident_after);
+        assert_eq!(bytes_before, pager.resident_bytes());
+        assert_eq!(pager.snapshot(), snap, "recency order restored exactly");
+        let round = pager.take_round();
+        assert_eq!(round.loaded_bytes, 0, "restore traffic is recorded nowhere");
+    }
+
+    #[test]
+    fn state_page_bookkeeping_tracks_spill_and_readback() {
+        let (layout, _) = layout(4096, PartitionSchedule::FrontierDensity);
+        let mut pager = layout.make_pagers().remove(0);
+        assert_eq!(pager.state_evicted_bytes(), 0);
+        pager.note_state_paged_out(1, 640);
+        pager.note_state_paged_out(3, 320);
+        assert_eq!(pager.state_evicted_bytes(), 960);
+        assert_eq!(pager.state_paged_partitions(), vec![1, 3]);
+        assert_eq!(pager.state_paged_out(1), Some(640));
+        assert_eq!(pager.note_state_paged_in(1), 640);
+        assert_eq!(pager.state_evicted_bytes(), 320);
+        let round = pager.take_round();
+        assert_eq!(round.state_spill_bytes, 960);
+        assert_eq!(round.loaded_bytes, 640, "state read-back is measured");
+        assert_ne!(pager.state_key(0), pager.state_key(1));
+    }
+}

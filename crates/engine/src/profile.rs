@@ -57,6 +57,73 @@ pub struct OocConfig {
     /// distributed semi-streaming model keeps only vertex state
     /// resident).
     pub stream_edges: bool,
+    /// Real paging path: adjacency partitioned onto a backing store and
+    /// moved through a bounded cache, with every load/evict byte
+    /// measured. `None` keeps the historical demand-based accounting
+    /// estimate (retained as an oracle for the measured path).
+    #[serde(default)]
+    pub paging: Option<PagingConfig>,
+}
+
+/// How the pager orders and prunes partition loads each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PartitionSchedule {
+    /// Stream every partition every round in local-index order —
+    /// GraphD's semi-streaming baseline (the full edge pass the paper's
+    /// §2.2 describes).
+    #[default]
+    RoundRobin,
+    /// Order retention by per-partition active-vertex count and skip
+    /// partitions whose frontier is empty entirely (PartitionedVC-style
+    /// frontier-density scheduling).
+    FrontierDensity,
+}
+
+/// Which [`mtvc_graph::ooc::BackingStore`] the engine constructs for a
+/// paged run. An enum rather than a trait object so [`SystemProfile`]
+/// stays `Serialize`/`Deserialize`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StoreKind {
+    /// Deterministic in-memory byte store — tests and CI, no disk
+    /// fixtures, but the same real encode/write/read/decode traffic.
+    #[default]
+    Memory,
+    /// One file per partition under a private temp dir — benches, so
+    /// paging exercises the real filesystem.
+    TempFile,
+}
+
+/// Configuration of the real adjacency/state paging path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PagingConfig {
+    /// Decoded-byte budget of the per-worker partition cache. The
+    /// pager never holds more than this resident (beyond a single
+    /// pinned in-use partition) and the ledger charges the measured
+    /// peak.
+    pub budget: Bytes,
+    /// Target encoded bytes per adjacency partition.
+    pub partition_bytes: Bytes,
+    /// Load order / skip policy.
+    pub schedule: PartitionSchedule,
+    /// Also page slab state rows of inactive partitions out to the
+    /// store (only effective for slab programs on fault-free runs).
+    pub page_state: bool,
+    /// Backing store implementation.
+    pub store: StoreKind,
+}
+
+impl PagingConfig {
+    /// A small-budget paging setup suitable for tests: in-memory store,
+    /// round-robin streaming, no state paging.
+    pub fn with_budget(budget: Bytes) -> PagingConfig {
+        PagingConfig {
+            budget,
+            partition_bytes: Bytes::new(budget.get().div_ceil(4).max(1)),
+            schedule: PartitionSchedule::RoundRobin,
+            page_state: false,
+            store: StoreKind::Memory,
+        }
+    }
 }
 
 /// Complete behavioural description of a VC-system.

@@ -1,8 +1,22 @@
 //! The vertex-program abstraction (`compute(v)` in the paper's §2.1).
 
 use crate::message::{Delivery, Envelope, Message};
+use mtvc_graph::csr::EdgeWeights;
 use mtvc_graph::{Graph, VertexId};
 use rand::rngs::SmallRng;
+
+/// Adjacency of the current vertex served from a decoded out-of-core
+/// chunk instead of the resident [`Graph`]. When a paged run hands this
+/// to [`Context`], every neighbor the program observes really came
+/// through the backing store's encode/decode path — a codec bug breaks
+/// results, not just counters.
+#[derive(Debug, Clone, Copy)]
+pub struct PagedNeighbors<'a> {
+    /// Out-neighbors of the current vertex, decoded from its partition.
+    pub neighbors: &'a [VertexId],
+    /// Parallel edge weights; `None` on unweighted graphs.
+    pub weights: Option<&'a [u32]>,
+}
 
 /// Where a [`Context`] delivers emissions. Two implementations exist:
 /// the flat [`Outbox`] (queue now, shard in the routing stage — the
@@ -94,6 +108,7 @@ pub struct Context<'a, M: Message> {
     vertex: VertexId,
     round: usize,
     graph: &'a Graph,
+    paged: Option<PagedNeighbors<'a>>,
     rng: &'a mut SmallRng,
     sink: &'a mut dyn EmitSink<M>,
 }
@@ -114,6 +129,29 @@ impl<'a, M: Message> Context<'a, M> {
             vertex,
             round,
             graph,
+            paged: None,
+            rng,
+            sink,
+        }
+    }
+
+    /// Build a context whose adjacency comes from a decoded out-of-core
+    /// chunk. The graph reference stays for global metadata
+    /// ([`Context::num_vertices`]); neighbor and weight access is
+    /// served from `paged` exclusively.
+    pub fn new_paged(
+        vertex: VertexId,
+        round: usize,
+        graph: &'a Graph,
+        paged: PagedNeighbors<'a>,
+        rng: &'a mut SmallRng,
+        sink: &'a mut dyn EmitSink<M>,
+    ) -> Self {
+        Context {
+            vertex,
+            round,
+            graph,
+            paged: Some(paged),
             rng,
             sink,
         }
@@ -136,17 +174,36 @@ impl<'a, M: Message> Context<'a, M> {
 
     /// Out-neighbors of the current vertex.
     pub fn neighbors(&self) -> &'a [VertexId] {
-        self.graph.neighbors(self.vertex)
+        match self.paged {
+            Some(p) => p.neighbors,
+            None => self.graph.neighbors(self.vertex),
+        }
     }
 
     /// Out-degree of the current vertex.
     pub fn degree(&self) -> usize {
-        self.graph.degree(self.vertex)
+        self.neighbors().len()
     }
 
     /// `(neighbor, weight)` pairs for the current vertex.
     pub fn weighted_neighbors(&self) -> impl Iterator<Item = (VertexId, u32)> + 'a {
-        self.graph.weighted_neighbors(self.vertex)
+        let (targets, weights) = match self.paged {
+            Some(p) => (
+                p.neighbors,
+                match p.weights {
+                    Some(w) => EdgeWeights::Explicit(w),
+                    None => EdgeWeights::Unit(p.neighbors.len()),
+                },
+            ),
+            None => (
+                self.graph.neighbors(self.vertex),
+                self.graph.edge_weights(self.vertex),
+            ),
+        };
+        targets
+            .iter()
+            .enumerate()
+            .map(move |(i, &t)| (t, weights.get(i)))
     }
 
     /// Deterministic per-(vertex, round) random generator.
@@ -185,7 +242,7 @@ impl<'a, M: Message> Context<'a, M> {
     /// `count` individual `send`s but allocation-free and `O(min(count,
     /// degree))` via multinomial sampling.
     pub fn send_uniform_spread(&mut self, msg: M, count: u64) {
-        let neighbors = self.graph.neighbors(self.vertex);
+        let neighbors = self.neighbors();
         if count == 0 || neighbors.is_empty() {
             return;
         }
@@ -327,6 +384,26 @@ pub trait ProgramCore: Sync {
     /// recycler pool. Default: drop them.
     fn recycle(&self, stores: Vec<Self::Store>) {
         drop(stores);
+    }
+
+    /// Page local-index rows `[start, end)` of the store out: encode
+    /// them into `out` and blank the range, returning the encoded size.
+    /// `None` means the store cannot page state (the [`PerVertex`]
+    /// ledger path) — the runner then pages adjacency only.
+    fn page_out_rows(
+        &self,
+        _store: &mut Self::Store,
+        _start: u32,
+        _end: u32,
+        _out: &mut Vec<u8>,
+    ) -> Option<u64> {
+        None
+    }
+
+    /// Restore rows paged out by [`ProgramCore::page_out_rows`]. Only
+    /// called with bytes this program produced over the same range.
+    fn page_in_rows(&self, _store: &mut Self::Store, _start: u32, _end: u32, _bytes: &[u8]) {
+        unreachable!("page_in_rows on a program that never pages out")
     }
 }
 

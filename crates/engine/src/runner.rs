@@ -16,9 +16,12 @@
 //! envelope path.
 
 use crate::mirror::MirrorIndex;
+use crate::paging::{PagedLayout, PagerRound, PagerSnapshot, WorkerPager};
 use crate::pool::WorkerPool;
 use crate::profile::{ExecutionMode, SyncMode, SystemProfile};
-use crate::program::{Context, EmitSink, Outbox, PerVertex, ProgramCore, VertexProgram};
+use crate::program::{
+    Context, EmitSink, Outbox, PagedNeighbors, PerVertex, ProgramCore, VertexProgram,
+};
 use crate::router::{Inbox, LocalIndex, RouteGrid, RoutingStats};
 use crate::slab::{PerSlab, SlabProgram, SlabRecycler};
 use crate::wire::WireFormat;
@@ -157,6 +160,10 @@ struct Checkpoint<S, M> {
     prev_in_wire: Vec<u64>,
     prev_in_tuples: Vec<u64>,
     prev_in_bytes: Vec<u64>,
+    /// Per-worker pager resident sets (empty on fully-resident runs):
+    /// rollback restores the partition caches to this exact state so
+    /// replayed rounds evolve them identically to the first execution.
+    pagers: Vec<PagerSnapshot>,
 }
 
 /// `dst.clone_from(src)` for vectors, guaranteed to reuse both the
@@ -180,6 +187,7 @@ impl<S: Clone, M: Clone> Checkpoint<S, M> {
             prev_in_wire: Vec::new(),
             prev_in_tuples: Vec::new(),
             prev_in_bytes: Vec::new(),
+            pagers: Vec::new(),
         }
     }
 
@@ -193,6 +201,7 @@ impl<S: Clone, M: Clone> Checkpoint<S, M> {
         prev_in_wire: &[u64],
         prev_in_tuples: &[u64],
         prev_in_bytes: &[u64],
+        pagers: Vec<PagerSnapshot>,
     ) {
         self.round = round;
         recycle_into(&mut self.states, states);
@@ -201,6 +210,7 @@ impl<S: Clone, M: Clone> Checkpoint<S, M> {
         recycle_into(&mut self.prev_in_wire, prev_in_wire);
         recycle_into(&mut self.prev_in_tuples, prev_in_tuples);
         recycle_into(&mut self.prev_in_bytes, prev_in_bytes);
+        self.pagers = pagers;
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -237,6 +247,7 @@ struct DeltaRecord<D, M> {
     prev_in_wire: Vec<u64>,
     prev_in_tuples: Vec<u64>,
     prev_in_bytes: Vec<u64>,
+    pagers: Vec<PagerSnapshot>,
 }
 
 /// A prepared executor bound to a graph, partition, and configuration.
@@ -251,6 +262,14 @@ pub struct Runner<'g> {
     locals: LocalIndex,
     /// Adjacency bytes per worker (resident unless streamed).
     graph_bytes: Vec<u64>,
+    /// The real out-of-core layout: adjacency partitioned, encoded, and
+    /// written to a backing store at construction time. Present iff the
+    /// profile carries an [`OocConfig`](crate::profile::OocConfig) with
+    /// a `paging` config and the mode is point-to-point; each run then
+    /// streams partitions through budget-bounded per-worker caches and
+    /// the demand assembly uses *measured* load/spill bytes instead of
+    /// the resident-graph estimate.
+    paged: Option<PagedLayout>,
     /// Persistent worker threads, present iff the run qualifies for
     /// parallel execution. Spawned once here — never per round.
     pool: Option<WorkerPool>,
@@ -302,6 +321,14 @@ impl<'g> Runner<'g> {
                     .sum()
             })
             .collect();
+        // Broadcast mode reads mirror adjacency during routing, so the
+        // paged path (which serves neighbors from decoded chunks) is
+        // restricted to point-to-point profiles; anything else keeps
+        // the demand-based estimate.
+        let paged = match (&mirrors, config.profile.out_of_core.and_then(|o| o.paging)) {
+            (None, Some(pcfg)) => Some(PagedLayout::build(graph, locals.worker_vertices(), pcfg)),
+            _ => None,
+        };
         let pool = (partition.num_workers() > 1
             && graph.num_vertices() >= config.parallel_vertex_threshold)
             .then(|| WorkerPool::new(partition.num_workers()));
@@ -312,6 +339,7 @@ impl<'g> Runner<'g> {
             config,
             locals,
             graph_bytes,
+            paged,
             pool,
         }
     }
@@ -329,6 +357,12 @@ impl<'g> Runner<'g> {
     /// [`EngineConfig::parallel_vertex_threshold`]).
     pub fn pool(&self) -> Option<&WorkerPool> {
         self.pool.as_ref()
+    }
+
+    /// The paged-adjacency layout, if this runner executes the real
+    /// out-of-core path (see [`PagedLayout`]).
+    pub fn paged_layout(&self) -> Option<&PagedLayout> {
+        self.paged.as_ref()
     }
 
     /// Execute `program` to completion (quiescence, fixed round bound,
@@ -405,6 +439,19 @@ impl<'g> Runner<'g> {
         let mut prev_in_bytes: Vec<u64> = vec![0; workers];
         let mut outcome: Option<RunOutcome> = None;
 
+        // Real paging path: fresh (cold) per-worker partition caches
+        // for this run. Slab-state paging is disabled whenever a fault
+        // plan is armed — checkpoints snapshot states by value and must
+        // see every row resident.
+        let mut pagers: Option<Vec<WorkerPager>> = self.paged.as_ref().map(|l| l.make_pagers());
+        if self.config.faults.is_some() {
+            if let Some(ps) = pagers.as_mut() {
+                for p in ps.iter_mut() {
+                    p.disable_state_paging();
+                }
+            }
+        }
+
         // Fault machinery, armed only when a plan is present — the
         // clean path takes no snapshots and pays no per-round checks.
         let mut injector = self.config.faults.as_ref().map(FaultInjector::new);
@@ -475,6 +522,7 @@ impl<'g> Runner<'g> {
                             prev_in_wire: prev_in_wire.clone(),
                             prev_in_tuples: prev_in_tuples.clone(),
                             prev_in_bytes: prev_in_bytes.clone(),
+                            pagers: pager_snaps(&pagers),
                         });
                         stats.faults.delta_checkpoints += 1;
                         stats.faults.checkpoint_delta_bytes += Bytes(delta_bytes);
@@ -488,6 +536,7 @@ impl<'g> Runner<'g> {
                             &prev_in_wire,
                             &prev_in_tuples,
                             &prev_in_bytes,
+                            pager_snaps(&pagers),
                         );
                         stats.faults.checkpoint_full_bytes += Bytes(state_bytes.iter().sum());
                         if incremental.is_some() {
@@ -590,8 +639,10 @@ impl<'g> Runner<'g> {
                         recycle_into(&mut prev_in_wire, &rec.prev_in_wire);
                         recycle_into(&mut prev_in_tuples, &rec.prev_in_tuples);
                         recycle_into(&mut prev_in_bytes, &rec.prev_in_bytes);
+                        restore_pagers(&mut pagers, &rec.pagers);
                         rec.round
                     } else {
+                        restore_pagers(&mut pagers, &ckpt.pagers);
                         ckpt.restore(
                             &mut states,
                             &mut inboxes,
@@ -622,13 +673,36 @@ impl<'g> Runner<'g> {
                     &mut grid,
                     &mut states,
                     msg_bytes,
+                    pagers.as_mut(),
                 )
             } else {
-                let active =
-                    self.compute_phase(program, round, &mut inboxes, &mut outboxes, &mut states);
+                let active = self.compute_phase(
+                    program,
+                    round,
+                    &mut inboxes,
+                    &mut outboxes,
+                    &mut states,
+                    pagers.as_mut(),
+                );
                 let added = outboxes.iter().map(|ob| ob.state_bytes_added).collect();
                 (active, added)
             };
+
+            // Harvest the pagers' measured movement: loaded and spilled
+            // bytes feed the cost model's disk terms in place of the
+            // demand-based estimate, and the cache's decoded peak feeds
+            // the memory ledger in place of resident-graph bytes. The
+            // second element is each worker's slab-state bytes
+            // currently living on the store (subtracted from its state
+            // ledger below).
+            let paged_rounds: Option<Vec<(PagerRound, u64)>> = pagers.as_mut().map(|ps| {
+                ps.iter_mut()
+                    .map(|p| {
+                        let evicted = p.state_evicted_bytes();
+                        (p.take_round(), evicted)
+                    })
+                    .collect()
+            });
 
             // Persist state growth before pricing the round: the new
             // state is resident while the round runs. Exact stores
@@ -697,6 +771,7 @@ impl<'g> Runner<'g> {
                 &state_bytes,
                 msg_bytes,
                 async_mode,
+                paged_rounds.as_deref(),
             );
 
             // ---- hard OOM kill -------------------------------------
@@ -791,6 +866,19 @@ impl<'g> Runner<'g> {
                         } else {
                             Bytes(routing.net_out_bytes.iter().sum())
                         };
+                        // Replay rounds never reach this branch, so the
+                        // recorded pager counters are first-run only.
+                        let (loaded, loads, skipped, paged_peak) =
+                            paged_rounds.as_deref().map_or((0, 0, 0, 0), |ps| {
+                                ps.iter().fold((0, 0, 0, 0), |(b, l, s, m), (pr, _)| {
+                                    (
+                                        b + pr.loaded_bytes,
+                                        l + pr.partition_loads,
+                                        s + pr.partitions_skipped,
+                                        m.max(pr.peak_resident_bytes),
+                                    )
+                                })
+                            });
                         stats.record_round(RoundStats {
                             round,
                             messages_sent: routing.sent_wire,
@@ -805,6 +893,10 @@ impl<'g> Runner<'g> {
                             peak_machine_memory: charge.peak_memory,
                             state_bytes: Bytes(state_bytes.iter().copied().max().unwrap_or(0)),
                             spilled_bytes: Bytes(demand.spill.iter().map(|b| b.get()).sum()),
+                            loaded_bytes: Bytes(loaded),
+                            partition_loads: loads,
+                            partitions_skipped: skipped,
+                            paged_resident_bytes: Bytes(paged_peak),
                             duration,
                             network_overuse: charge.network_overuse,
                             disk_overuse,
@@ -824,6 +916,24 @@ impl<'g> Runner<'g> {
             prev_in_tuples.copy_from_slice(&routing.in_tuples);
             prev_in_bytes.copy_from_slice(&routing.in_buffer_bytes);
             round += 1;
+        }
+
+        // Page back any slab state still on the store so the flattened
+        // outputs see every row. This is post-run repatriation, not
+        // round traffic — it lands in no counter.
+        if let Some(ps) = pagers.as_mut() {
+            let mut buf = Vec::new();
+            for (w, pager) in ps.iter_mut().enumerate() {
+                for p in pager.state_paged_partitions() {
+                    let (lo, hi) = pager.partition_range(p);
+                    let key = pager.state_key(p);
+                    let found = pager.store().get(key, &mut buf);
+                    debug_assert!(found, "paged-out state rows must be on the store");
+                    program.page_in_rows(&mut states[w], lo, hi, &buf);
+                    pager.store().remove(key);
+                    pager.note_state_paged_in(p);
+                }
+            }
         }
 
         let outcome = outcome.unwrap_or(RunOutcome::Completed(total));
@@ -846,56 +956,87 @@ impl<'g> Runner<'g> {
         inboxes: &mut [Inbox<C::Message>],
         outboxes: &mut [Outbox<C::Message>],
         states: &mut [C::Store],
+        pagers: Option<&mut Vec<WorkerPager>>,
     ) -> Vec<u64> {
         let seed = self.config.seed;
         let mut active = vec![0u64; states.len()];
+        let slots = pager_slots(pagers, states.len());
         match &self.pool {
             Some(pool) => {
                 pool.scope(|s| {
-                    for (w, (((inbox, outbox), worker_states), slot)) in inboxes
+                    for (w, ((((inbox, outbox), worker_states), slot), pager)) in inboxes
                         .iter_mut()
                         .zip(outboxes.iter_mut())
                         .zip(states.iter_mut())
                         .zip(active.iter_mut())
+                        .zip(slots)
                         .enumerate()
                     {
                         let graph = self.graph;
                         let vertices = &self.locals.worker_vertices()[w];
                         s.run_on(w, move || {
                             outbox.clear();
-                            *slot = worker_pass(
-                                program,
-                                graph,
-                                round,
-                                seed,
-                                vertices,
-                                inbox,
-                                outbox,
-                                worker_states,
-                            );
+                            *slot = match pager {
+                                Some(pager) => worker_pass_paged(
+                                    program,
+                                    graph,
+                                    round,
+                                    seed,
+                                    vertices,
+                                    inbox,
+                                    outbox,
+                                    worker_states,
+                                    pager,
+                                ),
+                                None => worker_pass(
+                                    program,
+                                    graph,
+                                    round,
+                                    seed,
+                                    vertices,
+                                    inbox,
+                                    outbox,
+                                    worker_states,
+                                ),
+                            };
                         });
                     }
                 });
             }
             None => {
-                for (w, (((inbox, outbox), worker_states), slot)) in inboxes
+                for (w, ((((inbox, outbox), worker_states), slot), pager)) in inboxes
                     .iter_mut()
                     .zip(outboxes.iter_mut())
                     .zip(states.iter_mut())
                     .zip(active.iter_mut())
+                    .zip(slots)
                     .enumerate()
                 {
                     outbox.clear();
-                    *slot = worker_pass(
-                        program,
-                        self.graph,
-                        round,
-                        seed,
-                        &self.locals.worker_vertices()[w],
-                        inbox,
-                        outbox,
-                        worker_states,
-                    );
+                    let vertices = &self.locals.worker_vertices()[w];
+                    *slot = match pager {
+                        Some(pager) => worker_pass_paged(
+                            program,
+                            self.graph,
+                            round,
+                            seed,
+                            vertices,
+                            inbox,
+                            outbox,
+                            worker_states,
+                            pager,
+                        ),
+                        None => worker_pass(
+                            program,
+                            self.graph,
+                            round,
+                            seed,
+                            vertices,
+                            inbox,
+                            outbox,
+                            worker_states,
+                        ),
+                    };
                 }
             }
         }
@@ -918,10 +1059,12 @@ impl<'g> Runner<'g> {
         grid: &mut RouteGrid<C::Message>,
         states: &mut [C::Store],
         msg_bytes: u64,
+        pagers: Option<&mut Vec<WorkerPager>>,
     ) -> (Vec<u64>, Vec<u64>) {
         let seed = self.config.seed;
         let mut active = vec![0u64; states.len()];
         let mut state_added = vec![0u64; states.len()];
+        let slots = pager_slots(pagers, states.len());
         let sinks = grid.emit_sinks(
             self.graph,
             &self.partition,
@@ -932,51 +1075,80 @@ impl<'g> Runner<'g> {
         match &self.pool {
             Some(pool) => {
                 pool.scope(|s| {
-                    for (w, ((((inbox, mut sink), worker_states), slot), added)) in inboxes
+                    for (w, (((((inbox, mut sink), worker_states), slot), added), pager)) in inboxes
                         .iter_mut()
                         .zip(sinks)
                         .zip(states.iter_mut())
                         .zip(active.iter_mut())
                         .zip(state_added.iter_mut())
+                        .zip(slots)
                         .enumerate()
                     {
                         let graph = self.graph;
                         let vertices = &self.locals.worker_vertices()[w];
                         s.run_on(w, move || {
-                            *slot = worker_pass(
-                                program,
-                                graph,
-                                round,
-                                seed,
-                                vertices,
-                                inbox,
-                                &mut sink,
-                                worker_states,
-                            );
+                            *slot = match pager {
+                                Some(pager) => worker_pass_paged(
+                                    program,
+                                    graph,
+                                    round,
+                                    seed,
+                                    vertices,
+                                    inbox,
+                                    &mut sink,
+                                    worker_states,
+                                    pager,
+                                ),
+                                None => worker_pass(
+                                    program,
+                                    graph,
+                                    round,
+                                    seed,
+                                    vertices,
+                                    inbox,
+                                    &mut sink,
+                                    worker_states,
+                                ),
+                            };
                             *added = sink.state_bytes_added;
                         });
                     }
                 });
             }
             None => {
-                for (w, ((((inbox, mut sink), worker_states), slot), added)) in inboxes
+                for (w, (((((inbox, mut sink), worker_states), slot), added), pager)) in inboxes
                     .iter_mut()
                     .zip(sinks)
                     .zip(states.iter_mut())
                     .zip(active.iter_mut())
                     .zip(state_added.iter_mut())
+                    .zip(slots)
                     .enumerate()
                 {
-                    *slot = worker_pass(
-                        program,
-                        self.graph,
-                        round,
-                        seed,
-                        &self.locals.worker_vertices()[w],
-                        inbox,
-                        &mut sink,
-                        worker_states,
-                    );
+                    let vertices = &self.locals.worker_vertices()[w];
+                    *slot = match pager {
+                        Some(pager) => worker_pass_paged(
+                            program,
+                            self.graph,
+                            round,
+                            seed,
+                            vertices,
+                            inbox,
+                            &mut sink,
+                            worker_states,
+                            pager,
+                        ),
+                        None => worker_pass(
+                            program,
+                            self.graph,
+                            round,
+                            seed,
+                            vertices,
+                            inbox,
+                            &mut sink,
+                            worker_states,
+                        ),
+                    };
                     *added = sink.state_bytes_added;
                 }
             }
@@ -998,6 +1170,7 @@ impl<'g> Runner<'g> {
         state_bytes: &[u64],
         msg_bytes: u64,
         async_mode: bool,
+        paged: Option<&[(PagerRound, u64)]>,
     ) -> RoundDemand {
         let workers = active.len();
         let mut demand = RoundDemand::zeros(workers, false);
@@ -1024,7 +1197,12 @@ impl<'g> Runner<'g> {
             }
 
             let msg_buffer = prev_in_bytes[w] + routing.out_buffer_bytes[w];
-            let mut memory = (state_bytes[w] as f64 * profile.mem_overhead_factor) as u64;
+            let paged_w = paged.map(|p| p[w]);
+            // Slab-state rows paged out to the store are not resident;
+            // the ledger charges only what stayed in memory.
+            let resident_state =
+                state_bytes[w].saturating_sub(paged_w.map_or(0, |(_, evicted)| evicted));
+            let mut memory = (resident_state as f64 * profile.mem_overhead_factor) as u64;
             if !self.config.residual_bytes.is_empty() {
                 memory += self.config.residual_bytes[w];
             }
@@ -1033,14 +1211,29 @@ impl<'g> Runner<'g> {
                     let budget = ooc.message_budget.get();
                     let overhead_buf = (msg_buffer as f64 * profile.mem_overhead_factor) as u64;
                     let resident = overhead_buf.min(budget);
-                    let spill = overhead_buf.saturating_sub(budget);
+                    let msg_spill = overhead_buf.saturating_sub(budget);
                     memory += resident;
-                    demand.spill[w] = Bytes(spill);
-                    demand.spill_messages[w] = spill.checked_div(msg_bytes).unwrap_or(0);
-                    if ooc.stream_edges {
-                        demand.stream[w] = Bytes(self.graph_bytes[w]);
-                    } else {
-                        memory += (self.graph_bytes[w] as f64 * profile.graph_mem_factor) as u64;
+                    demand.spill_messages[w] = msg_spill.checked_div(msg_bytes).unwrap_or(0);
+                    match paged_w {
+                        // Real paging path: the disk terms are fed the
+                        // bytes that actually moved this round, and
+                        // memory is charged the cache's decoded peak —
+                        // measurements, not the demand-based estimate
+                        // of the `None` arm below (kept as the oracle).
+                        Some((pr, _)) => {
+                            demand.spill[w] = Bytes(msg_spill + pr.state_spill_bytes);
+                            demand.stream[w] = Bytes(pr.loaded_bytes);
+                            memory += pr.peak_resident_bytes;
+                        }
+                        None => {
+                            demand.spill[w] = Bytes(msg_spill);
+                            if ooc.stream_edges {
+                                demand.stream[w] = Bytes(self.graph_bytes[w]);
+                            } else {
+                                memory +=
+                                    (self.graph_bytes[w] as f64 * profile.graph_mem_factor) as u64;
+                            }
+                        }
                     }
                 }
                 None => {
@@ -1119,6 +1312,169 @@ fn worker_pass<C: ProgramCore>(
         inbox.clear();
     }
     active
+}
+
+/// [`worker_pass`] on the real out-of-core path: neighbors are served
+/// from decoded partition chunks streamed through `pager`'s bounded
+/// cache, never from the resident [`Graph`]. Partitions are visited in
+/// ascending local-index order and the inbox's runs are ascending by
+/// local index, so the compute sequence — and therefore every emission
+/// and state update — is bit-identical to [`worker_pass`]; the pager
+/// only changes which bytes move. Under the frontier-density schedule,
+/// partitions with no delivered runs this round are skipped outright
+/// (nothing loaded, nothing visited); with slab-state paging on, the
+/// skipped partitions' state rows are encoded to the store and blanked
+/// (measured spill), and paged back in before their next compute.
+#[allow(clippy::too_many_arguments)]
+fn worker_pass_paged<C: ProgramCore>(
+    program: &C,
+    graph: &Graph,
+    round: usize,
+    seed: u64,
+    vertices: &[VertexId],
+    inbox: &mut Inbox<C::Message>,
+    sink: &mut dyn EmitSink<C::Message>,
+    store: &mut C::Store,
+    pager: &mut WorkerPager,
+) -> u64 {
+    let mut state_buf = Vec::new();
+    let active;
+    if round == 0 {
+        // Every vertex initializes, so every partition streams through
+        // the cache regardless of schedule.
+        for p in 0..pager.partitions() {
+            pager.ensure_resident(p);
+            let (lo, hi) = pager.partition_range(p);
+            let chunk = pager.chunk(p);
+            for li in lo..hi {
+                let v = vertices[li as usize];
+                let paged = PagedNeighbors {
+                    neighbors: chunk.neighbors_of(li),
+                    weights: chunk.weights_of(li),
+                };
+                let mut rng = vertex_rng(seed, round, v);
+                let mut ctx = Context::new_paged(v, round, graph, paged, &mut rng, sink);
+                program.init_vertex(v, li, store, &mut ctx);
+            }
+        }
+        active = vertices.len() as u64;
+    } else {
+        // Frontier densities: count delivered runs per partition. Runs
+        // ascend by local index and partitions are contiguous
+        // local-index ranges, so one forward scan suffices.
+        pager.clear_density();
+        {
+            let mut p = 0usize;
+            for run in inbox.runs() {
+                while pager.partition_range(p).1 <= run.local {
+                    p += 1;
+                }
+                pager.bump_density(p);
+            }
+        }
+        active = inbox.runs().len() as u64;
+        let runs = inbox.runs();
+        let deliveries = inbox.deliveries();
+        let mut ri = 0usize;
+        let mut start = 0usize;
+        for p in 0..pager.partitions() {
+            if pager.should_skip(p) {
+                // Empty frontier: zero runs land here, so skipping
+                // moves no bytes and visits no vertices.
+                pager.note_skip();
+                continue;
+            }
+            pager.ensure_resident(p);
+            page_state_in(program, store, pager, p, &mut state_buf);
+            let (_, hi) = pager.partition_range(p);
+            while ri < runs.len() && runs[ri].local < hi {
+                let run = runs[ri];
+                let msgs = &deliveries[start..run.end as usize];
+                start = run.end as usize;
+                ri += 1;
+                let chunk = pager.chunk(p);
+                let paged = PagedNeighbors {
+                    neighbors: chunk.neighbors_of(run.local),
+                    weights: chunk.weights_of(run.local),
+                };
+                let mut rng = vertex_rng(seed, round, run.dest);
+                let mut ctx = Context::new_paged(run.dest, round, graph, paged, &mut rng, sink);
+                program.compute_vertex(run.dest, run.local, store, msgs, &mut ctx);
+            }
+        }
+        debug_assert_eq!(ri, runs.len(), "every delivered run must compute");
+        inbox.clear();
+        // Slab-state paging: rows of partitions the frontier left
+        // behind this round move to the store until messages return.
+        if pager.pages_state() {
+            for p in 0..pager.partitions() {
+                if pager.density(p) == 0 && pager.state_paged_out(p).is_none() {
+                    let (lo, hi) = pager.partition_range(p);
+                    match program.page_out_rows(store, lo, hi, &mut state_buf) {
+                        Some(bytes) => {
+                            pager.store().put(pager.state_key(p), &state_buf);
+                            pager.note_state_paged_out(p, bytes);
+                        }
+                        // The program keeps no pageable rows
+                        // (per-vertex ledger store): nothing to move.
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+    active
+}
+
+/// Restore partition `p`'s slab-state rows from the store if they are
+/// paged out there, so its vertices compute on real state.
+fn page_state_in<C: ProgramCore>(
+    program: &C,
+    store: &mut C::Store,
+    pager: &mut WorkerPager,
+    p: usize,
+    buf: &mut Vec<u8>,
+) {
+    if pager.state_paged_out(p).is_none() {
+        return;
+    }
+    let (lo, hi) = pager.partition_range(p);
+    let key = pager.state_key(p);
+    let found = pager.store().get(key, buf);
+    debug_assert!(found, "paged-out state rows must be on the store");
+    program.page_in_rows(store, lo, hi, buf);
+    pager.store().remove(key);
+    pager.note_state_paged_in(p);
+}
+
+/// One `Option<&mut WorkerPager>` per worker, so the zipped compute
+/// loops hand each worker its own pager without sharing a borrow.
+fn pager_slots(
+    pagers: Option<&mut Vec<WorkerPager>>,
+    workers: usize,
+) -> Vec<Option<&mut WorkerPager>> {
+    match pagers {
+        Some(v) => v.iter_mut().map(Some).collect(),
+        None => (0..workers).map(|_| None).collect(),
+    }
+}
+
+/// Capture every worker pager's resident set for a checkpoint (empty
+/// when the run is fully resident).
+fn pager_snaps(pagers: &Option<Vec<WorkerPager>>) -> Vec<PagerSnapshot> {
+    pagers
+        .as_ref()
+        .map(|ps| ps.iter().map(WorkerPager::snapshot).collect())
+        .unwrap_or_default()
+}
+
+/// Roll every worker pager back to a checkpoint's resident sets.
+fn restore_pagers(pagers: &mut Option<Vec<WorkerPager>>, snaps: &[PagerSnapshot]) {
+    if let Some(ps) = pagers.as_mut() {
+        for (pager, snap) in ps.iter_mut().zip(snaps) {
+            pager.restore(snap);
+        }
+    }
 }
 
 /// Deterministic per-(round, vertex) RNG: thread scheduling cannot
@@ -1378,18 +1734,264 @@ mod tests {
         assert!(async_run.stats.total_time < sync_run.stats.total_time);
     }
 
+    /// An [`OocConfig`](crate::profile::OocConfig) with the estimate
+    /// path (`paging: None`) — the pre-paging oracle.
+    fn ooc_estimated(message_budget: u64) -> crate::profile::OocConfig {
+        crate::profile::OocConfig {
+            message_budget: Bytes::new(message_budget),
+            stream_edges: true,
+            paging: None,
+        }
+    }
+
+    /// An [`OocConfig`](crate::profile::OocConfig) on the real paging
+    /// path: `message_budget` governs the message-spill arithmetic,
+    /// `page_budget`/`partition_bytes` the partition cache.
+    fn ooc_paged(
+        message_budget: u64,
+        page_budget: u64,
+        partition_bytes: u64,
+        schedule: crate::profile::PartitionSchedule,
+    ) -> crate::profile::OocConfig {
+        crate::profile::OocConfig {
+            message_budget: Bytes::new(message_budget),
+            stream_edges: true,
+            paging: Some(crate::profile::PagingConfig {
+                budget: Bytes::new(page_budget),
+                partition_bytes: Bytes::new(partition_bytes),
+                schedule,
+                page_state: false,
+                store: crate::profile::StoreKind::Memory,
+            }),
+        }
+    }
+
     #[test]
     fn ooc_profile_spills_when_budget_tiny() {
         let g = generators::complete(48);
         let mut cfg = config(2);
-        cfg.profile.out_of_core = Some(crate::profile::OocConfig {
-            message_budget: Bytes::new(64),
-            stream_edges: true,
-        });
+        cfg.profile.out_of_core = Some(ooc_estimated(64));
         let result = Runner::new(&g, &HashPartitioner::default(), cfg).run(&Flood);
         assert!(result.outcome.is_completed());
         assert!(result.stats.total_spilled_bytes > Bytes::ZERO);
         assert!(result.stats.max_disk_utilization > 0.0);
+        // The estimate path never touches the pager counters.
+        assert_eq!(result.stats.total_loaded_bytes, Bytes::ZERO);
+        assert_eq!(result.stats.total_partition_loads, 0);
+        assert_eq!(result.stats.peak_paged_resident_bytes, Bytes::ZERO);
+        // Every round streamed the full worker adjacency (the
+        // demand-based estimate's disk term).
+        assert!(result
+            .stats
+            .per_round
+            .iter()
+            .all(|r| r.spilled_bytes > Bytes::ZERO));
+    }
+
+    #[test]
+    fn paged_run_matches_resident_run_bit_identical() {
+        let g = generators::grid(12, 12);
+        let resident = Runner::new(&g, &HashPartitioner::default(), config(4)).run(&Flood);
+        for schedule in [
+            crate::profile::PartitionSchedule::RoundRobin,
+            crate::profile::PartitionSchedule::FrontierDensity,
+        ] {
+            let mut cfg = config(4);
+            cfg.profile.out_of_core = Some(ooc_paged(1 << 20, 1024, 256, schedule));
+            let runner = Runner::new(&g, &HashPartitioner::default(), cfg);
+            assert!(runner.paged_layout().is_some(), "paging path must engage");
+            let paged = runner.run(&Flood);
+            assert_eq!(
+                resident.outcome.is_completed(),
+                paged.outcome.is_completed()
+            );
+            for v in g.vertices() {
+                assert_eq!(
+                    resident.states[v as usize].0, paged.states[v as usize].0,
+                    "vertex {v} under {schedule:?}"
+                );
+            }
+            // Identical compute ⇒ identical traffic; only I/O differs.
+            assert_eq!(
+                resident.stats.total_messages_sent,
+                paged.stats.total_messages_sent
+            );
+            assert_eq!(resident.stats.rounds, paged.stats.rounds);
+            assert!(paged.stats.total_loaded_bytes > Bytes::ZERO, "real loads");
+            assert!(paged.stats.total_partition_loads > 0);
+            assert!(
+                paged.stats.peak_paged_resident_bytes <= Bytes::new(1024),
+                "cache never exceeds its budget"
+            );
+        }
+    }
+
+    #[test]
+    fn paged_runs_are_deterministic_and_pool_invariant() {
+        let g = generators::grid(12, 12);
+        let make = |threshold: usize| {
+            let mut cfg = config(4).with_parallel_threshold(threshold);
+            cfg.profile.out_of_core = Some(ooc_paged(
+                1 << 20,
+                1024,
+                256,
+                crate::profile::PartitionSchedule::FrontierDensity,
+            ));
+            Runner::new(&g, &HashPartitioner::default(), cfg).run(&Flood)
+        };
+        let serial = make(usize::MAX);
+        let again = make(usize::MAX);
+        let pooled = make(1);
+        assert_eq!(serial.outcome, again.outcome);
+        assert_eq!(serial.stats, again.stats, "paged runs must be repeatable");
+        assert_eq!(serial.outcome, pooled.outcome);
+        assert_eq!(serial.stats, pooled.stats, "pager counters included");
+        for v in g.vertices() {
+            assert_eq!(serial.states[v as usize].0, pooled.states[v as usize].0);
+        }
+    }
+
+    #[test]
+    fn frontier_density_skips_partitions_and_loads_fewer_bytes() {
+        // A long path keeps a one-vertex frontier for hundreds of
+        // rounds — the frontier-density scheduler's best case.
+        let g = generators::ring(512, false);
+        // A budget well under one worker's decoded adjacency, so the
+        // round-robin full pass re-streams evicted partitions every
+        // round while frontier-density touches only the live one.
+        let run = |schedule| {
+            let mut cfg = config(4);
+            cfg.profile.out_of_core = Some(ooc_paged(1 << 20, 384, 96, schedule));
+            Runner::new(&g, &HashPartitioner::default(), cfg).run(&Flood)
+        };
+        let rr = run(crate::profile::PartitionSchedule::RoundRobin);
+        let fd = run(crate::profile::PartitionSchedule::FrontierDensity);
+        assert!(rr.outcome.is_completed() && fd.outcome.is_completed());
+        for v in g.vertices() {
+            assert_eq!(rr.states[v as usize].0, fd.states[v as usize].0);
+        }
+        assert_eq!(
+            rr.stats.total_partitions_skipped, 0,
+            "round-robin never skips"
+        );
+        assert!(
+            fd.stats.total_partitions_skipped > 0,
+            "sparse frontiers skip"
+        );
+        assert!(
+            fd.stats.total_loaded_bytes < rr.stats.total_loaded_bytes,
+            "frontier-density must move strictly fewer bytes ({} vs {})",
+            fd.stats.total_loaded_bytes.get(),
+            rr.stats.total_loaded_bytes.get()
+        );
+    }
+
+    #[test]
+    fn measured_spill_matches_estimate_regimes() {
+        // The old demand-based estimate stays alive as the oracle: in
+        // the budget-tiny regime both paths spill, in the ample regime
+        // neither does.
+        let g = generators::complete(48);
+        let run = |ooc: crate::profile::OocConfig| {
+            let mut cfg = config(2);
+            cfg.profile.out_of_core = Some(ooc);
+            Runner::new(&g, &HashPartitioner::default(), cfg).run(&Flood)
+        };
+        let tiny_est = run(ooc_estimated(64));
+        let tiny_paged = run(ooc_paged(
+            64,
+            4096,
+            1024,
+            crate::profile::PartitionSchedule::RoundRobin,
+        ));
+        assert!(tiny_est.stats.total_spilled_bytes > Bytes::ZERO);
+        assert!(tiny_paged.stats.total_spilled_bytes > Bytes::ZERO);
+        let ample_est = run(ooc_estimated(1 << 30));
+        let ample_paged = run(ooc_paged(
+            1 << 30,
+            1 << 30,
+            1 << 16,
+            crate::profile::PartitionSchedule::RoundRobin,
+        ));
+        assert_eq!(ample_est.stats.total_spilled_bytes, Bytes::ZERO);
+        assert_eq!(ample_paged.stats.total_spilled_bytes, Bytes::ZERO);
+        // Same message-overflow arithmetic on both paths.
+        assert_eq!(
+            tiny_est.stats.total_spilled_bytes,
+            tiny_paged.stats.total_spilled_bytes
+        );
+        // Disk streaming differs: measured encoded bytes vs the
+        // resident-size estimate (the estimate path streams the full
+        // adjacency every round; the pager's warm cache loads less).
+        assert!(ample_paged.stats.total_loaded_bytes > Bytes::ZERO);
+    }
+
+    #[test]
+    fn paged_chaos_recovers_bit_identical() {
+        let g = generators::grid(12, 12);
+        let base = || {
+            let mut cfg = config(4);
+            cfg.profile.out_of_core = Some(ooc_paged(
+                1 << 20,
+                1024,
+                256,
+                crate::profile::PartitionSchedule::FrontierDensity,
+            ));
+            cfg
+        };
+        let clean = Runner::new(&g, &HashPartitioner::default(), base()).run(&Flood);
+        let plan = FaultPlan::none()
+            .with_crash(3, 1)
+            .with_delivery_failure(5, 0)
+            .with_crash(7, 2);
+        let cfg = base().with_checkpoint_every(2).with_faults(plan);
+        let chaos = Runner::new(&g, &HashPartitioner::default(), cfg).run(&Flood);
+        assert_eq!(clean.outcome, chaos.outcome);
+        for v in g.vertices() {
+            assert_eq!(clean.states[v as usize].0, chaos.states[v as usize].0);
+        }
+        assert!(
+            chaos.stats.faults.replayed_rounds > 0,
+            "rollback must replay"
+        );
+        // Rollback restored the partition caches exactly, so every
+        // first-run round's pager counters — and everything else —
+        // match the fault-free run bit for bit.
+        assert_eq!(without_faults(chaos.stats), without_faults(clean.stats));
+    }
+
+    #[test]
+    fn slab_state_paging_moves_state_and_preserves_results() {
+        let g = generators::ring(256, false);
+        let program = SlabFlood { width: 4 };
+        let resident = Runner::new(&g, &HashPartitioner::default(), config(4)).run_slab(&program);
+        let mut cfg = config(4);
+        // Huge message budget isolates the measured state spill: any
+        // spilled byte below is a slab row that really moved.
+        let mut ooc = ooc_paged(
+            1 << 30,
+            2048,
+            512,
+            crate::profile::PartitionSchedule::FrontierDensity,
+        );
+        ooc.paging.as_mut().unwrap().page_state = true;
+        cfg.profile.out_of_core = Some(ooc);
+        let paged = Runner::new(&g, &HashPartitioner::default(), cfg).run_slab(&program);
+        assert_eq!(
+            resident.outcome.is_completed(),
+            paged.outcome.is_completed()
+        );
+        for v in g.vertices() {
+            assert_eq!(
+                resident.states[v as usize], paged.states[v as usize],
+                "vertex {v}"
+            );
+        }
+        assert!(
+            paged.stats.total_spilled_bytes > Bytes::ZERO,
+            "inactive partitions' slab rows must page out"
+        );
+        assert!(paged.stats.total_partitions_skipped > 0);
     }
 
     #[test]

@@ -60,52 +60,11 @@ pub enum WireFormat {
     Compact,
 }
 
-/// Bytes of `x` as an LEB128 varint. Branchless — one byte per started
-/// 7-bit group of the value's significant bits (`x | 1` gives zero one
-/// significant bit) — because the measurement paths call this per
-/// envelope per lane, where a shift-loop's data-dependent branch
-/// mispredicts on mixed-magnitude payloads.
-#[inline]
-pub fn varint_len(x: u64) -> u64 {
-    (64 - (x | 1).leading_zeros() as u64).div_ceil(7)
-}
-
-/// Append `x` to `out` as an LEB128 varint.
-#[inline]
-pub fn write_varint(out: &mut Vec<u8>, mut x: u64) {
-    while x >= 0x80 {
-        out.push(x as u8 | 0x80);
-        x >>= 7;
-    }
-    out.push(x as u8);
-}
-
-/// Read one LEB128 varint at `*pos`, advancing it.
-///
-/// Total on any input: reading past the end of `buf` consumes a
-/// phantom zero byte (terminating the varint and leaving
-/// `*pos > buf.len()`, which checked decoders detect as truncation),
-/// and continuation bytes past the 64-bit range are consumed without
-/// shifting (lenient, but never a panic or overflow). Trusted decode
-/// paths rely on well-formed input for exactness; untrusted input goes
-/// through [`try_decode_bucket`] / [`decode_frame`], which validate
-/// every stream boundary.
-#[inline]
-pub fn read_varint(buf: &[u8], pos: &mut usize) -> u64 {
-    let mut x = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let b = buf.get(*pos).copied().unwrap_or(0);
-        *pos += 1;
-        if shift < 64 {
-            x |= ((b & 0x7F) as u64) << shift;
-        }
-        if b < 0x80 {
-            return x;
-        }
-        shift += 7;
-    }
-}
+// The LEB128 varint primitives live in `mtvc_graph::varint` (shared
+// with the out-of-core chunk codec, which sits below this crate in the
+// dependency order); re-exported here so wire-format callers keep
+// their historical import path.
+pub use mtvc_graph::varint::{read_varint, varint_len, write_varint};
 
 /// Why an encoded bucket or frame failed to decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -5,13 +5,13 @@ use mtvc_cluster::{ChaosMix, ClusterSpec, FaultPlan};
 use mtvc_engine::sampling::{binomial, multinomial_uniform};
 use mtvc_engine::{
     route_with, wire, Context, Delivery, EmitSink, EngineConfig, Envelope, Inbox, LocalIndex,
-    Message, MirrorIndex, Outbox, PayloadCodec, RouteGrid, RoutePolicy, Runner, SlabProgram,
-    SlabRecycler, SlabRowMut, StateSlab, SystemProfile, VertexProgram, WireFormat, WorkerPool,
-    LANES,
+    Message, MirrorIndex, OocConfig, Outbox, PagingConfig, PartitionSchedule, PayloadCodec,
+    RouteGrid, RoutePolicy, Runner, SlabProgram, SlabRecycler, SlabRowMut, StateSlab, StoreKind,
+    SystemProfile, VertexProgram, WireFormat, WorkerPool, LANES,
 };
 use mtvc_graph::partition::{HashPartitioner, Partitioner};
 use mtvc_graph::{generators, VertexId};
-use mtvc_metrics::SimTime;
+use mtvc_metrics::{Bytes, SimTime};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -968,6 +968,77 @@ proptest! {
         let clean = run(None);
         let chaos = run(Some(FaultPlan::chaos(seed ^ 0xC405, workers, 8, mix)));
         prop_assert!(clean.outcome.is_completed());
+        prop_assert_eq!(&clean.outcome, &chaos.outcome);
+        prop_assert_eq!(scrub_faults(&clean.stats), scrub_faults(&chaos.stats));
+        for v in 0..n {
+            prop_assert_eq!(&clean.states[v].dist, &chaos.states[v].dist, "vertex {}", v);
+        }
+    }
+
+    /// Chaos × out-of-core cell: under the real paging path (partition
+    /// cache with a budget small enough to force eviction, message
+    /// budget small enough to spill), rollback-and-replay after
+    /// crashes/losses/stragglers/partitions/corruption must restore
+    /// the pager's cache state and reload evicted partitions so the
+    /// run stays bit-identical to the fault-free paged run — outcomes,
+    /// per-vertex states, and every non-fault statistic including the
+    /// measured spill/load/skip counters.
+    #[test]
+    fn chaos_paged_run_equals_fault_free_paged_run(
+        n in 16usize..100,
+        workers in 2usize..6,
+        pooled in any::<bool>(),
+        checkpoint_every in 1usize..6,
+        incremental in any::<bool>(),
+        frontier_density in any::<bool>(),
+        crashes in 0usize..2,
+        losses in 0usize..2,
+        stragglers in 0usize..3,
+        partitions in 0usize..2,
+        corruptions in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::power_law(n, n * 4, 2.4, seed);
+        let sources = vec![0 as VertexId, (n / 2) as VertexId];
+        let schedule = if frontier_density {
+            PartitionSchedule::FrontierDensity
+        } else {
+            PartitionSchedule::RoundRobin
+        };
+        let run = |faults: Option<FaultPlan>| {
+            let mut cfg = EngineConfig::new(
+                ClusterSpec::galaxy(workers),
+                SystemProfile::base("t"),
+            );
+            cfg.cutoff = SimTime::secs(1e12);
+            cfg.parallel_vertex_threshold = if pooled { 0 } else { usize::MAX };
+            cfg.checkpoint_every = checkpoint_every;
+            if incremental {
+                cfg.incremental_checkpoints = Some(3);
+            }
+            cfg.faults = faults;
+            cfg.profile.out_of_core = Some(OocConfig {
+                message_budget: Bytes::new(512),
+                stream_edges: true,
+                paging: Some(PagingConfig {
+                    budget: Bytes::new(1024),
+                    partition_bytes: Bytes::new(256),
+                    schedule,
+                    page_state: false,
+                    store: StoreKind::Memory,
+                }),
+            });
+            let runner = Runner::new(&g, &HashPartitioner { salt: seed }, cfg);
+            runner.run_slab(&MiniSlabMssp { sources: sources.clone() })
+        };
+        let mix = ChaosMix { crashes, losses, stragglers, partitions, corruptions };
+        let clean = run(None);
+        let chaos = run(Some(FaultPlan::chaos(seed ^ 0x00C0, workers, 8, mix)));
+        prop_assert!(clean.outcome.is_completed());
+        prop_assert!(
+            clean.stats.total_partition_loads > 0,
+            "paging path must engage"
+        );
         prop_assert_eq!(&clean.outcome, &chaos.outcome);
         prop_assert_eq!(scrub_faults(&clean.stats), scrub_faults(&chaos.stats));
         for v in 0..n {

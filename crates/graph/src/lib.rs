@@ -13,12 +13,17 @@ pub mod csr;
 pub mod datasets;
 pub mod generators;
 pub mod hash;
+pub mod ooc;
 pub mod partition;
 pub mod reference;
 pub mod stats;
+pub mod varint;
 
 pub use builder::GraphBuilder;
 pub use csr::{Graph, VertexId};
 pub use datasets::{Dataset, DatasetInfo};
+pub use ooc::{
+    BackingStore, DecodedChunk, FileStore, MemStore, PartitionMeta, PartitionedAdjacency,
+};
 pub use partition::{HashPartitioner, Partition, Partitioner, RangePartitioner};
 pub use stats::DegreeStats;

@@ -1,0 +1,108 @@
+//! LEB128 varint primitives shared by the wire codec and the
+//! out-of-core chunk codec.
+//!
+//! Historically these lived in `mtvc_engine::wire`; they moved here so
+//! the on-"disk" adjacency layout ([`crate::ooc`]) can reuse the exact
+//! same byte-level machinery without inverting the crate dependency
+//! (`mtvc-engine` depends on `mtvc-graph`, never the reverse). The
+//! engine re-exports them from `wire`, so existing callers are
+//! unaffected.
+
+/// Bytes of `x` as an LEB128 varint. Branchless — one byte per started
+/// 7-bit group of the value's significant bits (`x | 1` gives zero one
+/// significant bit) — because the measurement paths call this per
+/// envelope per lane, where a shift-loop's data-dependent branch
+/// mispredicts on mixed-magnitude payloads.
+#[inline]
+pub fn varint_len(x: u64) -> u64 {
+    (64 - (x | 1).leading_zeros() as u64).div_ceil(7)
+}
+
+/// Append `x` to `out` as an LEB128 varint.
+#[inline]
+pub fn write_varint(out: &mut Vec<u8>, mut x: u64) {
+    while x >= 0x80 {
+        out.push(x as u8 | 0x80);
+        x >>= 7;
+    }
+    out.push(x as u8);
+}
+
+/// Read one LEB128 varint at `*pos`, advancing it.
+///
+/// Total on any input: reading past the end of `buf` consumes a
+/// phantom zero byte (terminating the varint and leaving
+/// `*pos > buf.len()`, which checked decoders detect as truncation),
+/// and continuation bytes past the 64-bit range are consumed without
+/// shifting (lenient, but never a panic or overflow). Trusted decode
+/// paths rely on well-formed input for exactness; untrusted input must
+/// validate every stream boundary.
+#[inline]
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> u64 {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = buf.get(*pos).copied().unwrap_or(0);
+        *pos += 1;
+        if shift < 64 {
+            x |= ((b & 0x7F) as u64) << shift;
+        }
+        if b < 0x80 {
+            return x;
+        }
+        shift += 7;
+    }
+}
+
+/// ZigZag-map a signed delta onto the unsigned varint domain, so small
+/// negative deltas (unsorted neighbor lists) stay short.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrips_and_lengths_match() {
+        let samples = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &x in &samples {
+            let start = buf.len();
+            write_varint(&mut buf, x);
+            assert_eq!((buf.len() - start) as u64, varint_len(x), "{x}");
+        }
+        let mut pos = 0;
+        for &x in &samples {
+            assert_eq!(read_varint(&buf, &mut pos), x);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn zigzag_roundtrips_and_keeps_small_deltas_small() {
+        for v in [0i64, 1, -1, 2, -2, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v, "{v}");
+        }
+        assert!(varint_len(zigzag(-1)) == 1);
+        assert!(varint_len(zigzag(3)) == 1);
+    }
+}

@@ -47,6 +47,23 @@ pub struct RoundStats {
     pub state_bytes: Bytes,
     /// Bytes streamed to disk by out-of-core execution this round.
     pub spilled_bytes: Bytes,
+    /// Encoded bytes read back from the backing store by the partition
+    /// pager this round (adjacency loads plus slab-state read-backs);
+    /// zero on fully-resident runs.
+    #[serde(default)]
+    pub loaded_bytes: Bytes,
+    /// Adjacency partitions loaded by the pager this round.
+    #[serde(default)]
+    pub partition_loads: u64,
+    /// Partitions skipped outright by the frontier-density schedule
+    /// (empty frontier — no bytes moved, no vertices visited).
+    #[serde(default)]
+    pub partitions_skipped: u64,
+    /// Peak decoded adjacency bytes resident in the busiest worker's
+    /// partition cache this round (the measured replacement for the
+    /// resident-graph memory estimate).
+    #[serde(default)]
+    pub paged_resident_bytes: Bytes,
     /// Simulated duration of this round as charged by the cost model.
     pub duration: SimTime,
     /// Time this round spent with the network at its bandwidth cap.
@@ -97,6 +114,18 @@ pub struct RunStats {
     /// [`RoundStats::shard_copy_bytes`]).
     pub total_shard_copy_bytes: Bytes,
     pub total_spilled_bytes: Bytes,
+    /// Measured pager traffic across the run (see
+    /// [`RoundStats::loaded_bytes`] and friends).
+    #[serde(default)]
+    pub total_loaded_bytes: Bytes,
+    #[serde(default)]
+    pub total_partition_loads: u64,
+    #[serde(default)]
+    pub total_partitions_skipped: u64,
+    /// High-water mark of decoded partition-cache bytes (see
+    /// [`RoundStats::paged_resident_bytes`]).
+    #[serde(default)]
+    pub peak_paged_resident_bytes: Bytes,
     pub peak_memory: Bytes,
     /// High-water mark of per-machine resident vertex-state bytes
     /// across the run (see [`RoundStats::state_bytes`]).
@@ -130,6 +159,12 @@ impl RunStats {
         self.respond_cache_misses += round.respond_cache_misses;
         self.total_shard_copy_bytes += round.shard_copy_bytes;
         self.total_spilled_bytes += round.spilled_bytes;
+        self.total_loaded_bytes += round.loaded_bytes;
+        self.total_partition_loads += round.partition_loads;
+        self.total_partitions_skipped += round.partitions_skipped;
+        self.peak_paged_resident_bytes = self
+            .peak_paged_resident_bytes
+            .max(round.paged_resident_bytes);
         self.peak_memory = self.peak_memory.max(round.peak_machine_memory);
         self.peak_state_bytes = self.peak_state_bytes.max(round.state_bytes);
         self.total_time += round.duration;
@@ -151,6 +186,12 @@ impl RunStats {
         self.respond_cache_misses += other.respond_cache_misses;
         self.total_shard_copy_bytes += other.total_shard_copy_bytes;
         self.total_spilled_bytes += other.total_spilled_bytes;
+        self.total_loaded_bytes += other.total_loaded_bytes;
+        self.total_partition_loads += other.total_partition_loads;
+        self.total_partitions_skipped += other.total_partitions_skipped;
+        self.peak_paged_resident_bytes = self
+            .peak_paged_resident_bytes
+            .max(other.peak_paged_resident_bytes);
         self.peak_memory = self.peak_memory.max(other.peak_memory);
         self.peak_state_bytes = self.peak_state_bytes.max(other.peak_state_bytes);
         self.total_time += other.total_time;
@@ -219,6 +260,35 @@ mod tests {
         assert_eq!(a.peak_memory, Bytes(9));
         assert_eq!(a.total_time.as_secs(), 6.0);
         assert_eq!(a.per_round.len(), 3);
+    }
+
+    #[test]
+    fn pager_counters_sum_and_peak() {
+        let mut s = RunStats::new();
+        s.record_round(RoundStats {
+            loaded_bytes: Bytes(100),
+            partition_loads: 4,
+            partitions_skipped: 1,
+            paged_resident_bytes: Bytes(700),
+            ..RoundStats::default()
+        });
+        s.record_round(RoundStats {
+            loaded_bytes: Bytes(50),
+            partition_loads: 2,
+            partitions_skipped: 5,
+            paged_resident_bytes: Bytes(300),
+            ..RoundStats::default()
+        });
+        assert_eq!(s.total_loaded_bytes, Bytes(150));
+        assert_eq!(s.total_partition_loads, 6);
+        assert_eq!(s.total_partitions_skipped, 6);
+        assert_eq!(s.peak_paged_resident_bytes, Bytes(700));
+        let mut merged = RunStats::new();
+        merged.absorb(&s);
+        merged.absorb(&s);
+        assert_eq!(merged.total_loaded_bytes, Bytes(300));
+        assert_eq!(merged.total_partitions_skipped, 12);
+        assert_eq!(merged.peak_paged_resident_bytes, Bytes(700));
     }
 
     #[test]

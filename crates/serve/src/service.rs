@@ -377,6 +377,13 @@ pub struct ServiceReport {
     pub retransmitted_buckets: u64,
     /// Bytes re-sent by those retransmissions (simulated traffic).
     pub retransmitted_bytes: Bytes,
+    /// Out-of-core spill traffic across all batches (messages plus
+    /// paged-out slab state), summed from each batch's
+    /// `RunStats::total_spilled_bytes`.
+    pub total_spilled_bytes: Bytes,
+    /// Partition bytes streamed in by the pager across all batches
+    /// (zero when paging is off).
+    pub total_loaded_bytes: Bytes,
     /// What the brownout ladder did (`enabled == false` when
     /// [`ServiceConfig::brownout`] was `None`).
     pub brownout: BrownoutReport,
@@ -421,6 +428,8 @@ struct MetricsState {
     corrupted_buckets: u64,
     retransmitted_buckets: u64,
     retransmitted_bytes: Bytes,
+    total_spilled_bytes: Bytes,
+    total_loaded_bytes: Bytes,
     queue_wait: Histogram,
     latency: Histogram,
     service_time: Histogram,
@@ -449,6 +458,8 @@ impl MetricsState {
             corrupted_buckets: 0,
             retransmitted_buckets: 0,
             retransmitted_bytes: Bytes::ZERO,
+            total_spilled_bytes: Bytes::ZERO,
+            total_loaded_bytes: Bytes::ZERO,
             queue_wait: Histogram::new(),
             latency: Histogram::new(),
             service_time: Histogram::new(),
@@ -728,6 +739,8 @@ impl TaskService {
             corrupted_buckets: m.corrupted_buckets,
             retransmitted_buckets: m.retransmitted_buckets,
             retransmitted_bytes: m.retransmitted_bytes,
+            total_spilled_bytes: m.total_spilled_bytes,
+            total_loaded_bytes: m.total_loaded_bytes,
             brownout: self
                 .shared
                 .brownout
@@ -1099,6 +1112,8 @@ fn worker_loop(
             m.corrupted_buckets += f.corrupted_buckets;
             m.retransmitted_buckets += f.retransmitted_buckets;
             m.retransmitted_bytes += f.retransmitted_bytes;
+            m.total_spilled_bytes += exec.stats.total_spilled_bytes;
+            m.total_loaded_bytes += exec.stats.total_loaded_bytes;
             if f.injected > 0 {
                 m.recovery_latency
                     .record((f.recovery_time.as_secs() * 1e3).round() as u64);

@@ -101,7 +101,7 @@ impl PayloadCodec for ReachLanesMsg {
 }
 
 /// Per-vertex BKHS state: queries whose k-hop ball contains this vertex.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BkhsState {
     pub reached: FastSet<QueryId>,
 }

@@ -36,7 +36,8 @@
 //! batching — its per-envelope RNG draws pin it to scalar traffic).
 
 use mtvc_engine::{
-    Context, Delivery, Message, PayloadCodec, SlabProgram, SlabRowMut, VertexProgram, LANES,
+    Context, Delivery, Message, PageableCell, PayloadCodec, SlabProgram, SlabRowMut, VertexProgram,
+    LANES,
 };
 use mtvc_graph::hash::FastMap;
 use mtvc_graph::VertexId;
@@ -127,7 +128,7 @@ impl PayloadCodec for WalkMsg {
 }
 
 /// Per-vertex BPPR state: how many walks of each source stopped here.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BpprState {
     pub stops: FastMap<VertexId, u64>,
 }
@@ -421,7 +422,7 @@ impl PayloadCodec for PushMsg {
 }
 
 /// Per-vertex push state: fractional walk mass stopped here per source.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PushState {
     pub mass: FastMap<VertexId, f64>,
 }
@@ -544,6 +545,25 @@ impl VertexProgram for BpprPushProgram {
 pub struct PushCell {
     pub mass: f64,
     pub residue: f64,
+}
+
+impl PageableCell for PushCell {
+    const CELL_BYTES: usize = 16;
+
+    fn write_to(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.mass.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.residue.to_bits().to_le_bytes());
+    }
+
+    fn read_from(buf: &[u8]) -> Self {
+        let bits = |range: std::ops::Range<usize>| {
+            f64::from_bits(u64::from_le_bytes(buf[range].try_into().unwrap()))
+        };
+        PushCell {
+            mass: bits(0..8),
+            residue: bits(8..16),
+        }
+    }
 }
 
 /// Forward-push BPPR on a dense state slab: `(mass, residue)` per
